@@ -1,0 +1,26 @@
+//! Criterion bench for Table IV (cyclic query).
+//!
+//! Setup regenerates the experiment at quick scale and prints its rows;
+//! the timed section measures a representative engine run so regressions
+//! in the simulator or protocol hot paths show up in bench history.
+
+use checkmate_bench::{experiments as exp, Harness, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut h = Harness::new(Scale::quick());
+    let e = exp::tab4::run(&mut h);
+    println!("{}", exp::tab4::render(&e));
+
+    let mut group = c.benchmark_group("tab4");
+    group.sample_size(10);
+    group.bench_function("representative_run", |b| {
+        b.iter(|| {
+            h.run_at_rate(checkmate_bench::Wl::Cyclic, checkmate_core::ProtocolKind::Uncoordinated, 2, 300.0, false, None).sink_records
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p checkmate-bench --bin regen -- \
+//!     [--scale quick|paper|paper-full] [--exp fig7,tab2,...] [--out results/] [-v]
+//! ```
+//!
+//! Writes one JSON file per experiment under `--out` and prints the
+//! rendered tables.
+
+use checkmate_bench::experiments as exp;
+use checkmate_bench::{Harness, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = Scale::paper();
+    let mut out = PathBuf::from("results");
+    let mut only: Option<Vec<String>> = None;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = match v.as_str() {
+                    "quick" => Scale::quick(),
+                    "paper-lite" => Scale::paper_lite(),
+                    "paper" => Scale::paper(),
+                    "paper-full" => Scale::paper_full(),
+                    other => panic!("unknown scale {other}; use quick|paper-lite|paper|paper-full"),
+                };
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
+            "--exp" => {
+                only = Some(
+                    args.next()
+                        .expect("--exp needs a comma-separated list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => {
+                eprintln!("usage: regen [--scale quick|paper|paper-full] [--exp ids] [--out dir] [-v]");
+                eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let wanted = |id: &str| only.as_ref().is_none_or(|l| l.iter().any(|x| x == id));
+    let mut h = Harness::new(scale.clone());
+    h.verbose = verbose;
+    eprintln!("# scale = {}, output = {}", scale.name, out.display());
+
+    macro_rules! run_exp {
+        ($id:literal, $module:ident) => {
+            if wanted($id) {
+                eprintln!("# running {} ...", $id);
+                let start = std::time::Instant::now();
+                let e = exp::$module::run(&mut h);
+                let path = e.write_json(&out).expect("write results");
+                println!("{}", exp::$module::render(&e));
+                eprintln!(
+                    "# {} done in {:.1}s → {}\n",
+                    $id,
+                    start.elapsed().as_secs_f64(),
+                    path.display()
+                );
+            }
+        };
+    }
+
+    run_exp!("fig7", fig7);
+    run_exp!("tab2", tab2);
+    run_exp!("fig8", fig8);
+    if wanted("fig9") || wanted("fig10") {
+        eprintln!("# running figs9_10 ...");
+        let start = std::time::Instant::now();
+        let e = exp::figs9_10::run(&mut h);
+        let path = e.write_json(&out).expect("write results");
+        println!("{}", exp::figs9_10::render(&e));
+        eprintln!(
+            "# figs9_10 done in {:.1}s → {}\n",
+            start.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    run_exp!("fig11", fig11);
+    run_exp!("tab3", tab3);
+    run_exp!("fig12", fig12);
+    run_exp!("fig13", fig13);
+    run_exp!("tab4", tab4);
+    run_exp!("ablation", ablation);
+}

@@ -1,0 +1,86 @@
+//! Ablation beyond the paper: HMNR vs BCS communication-induced
+//! checkpointing.
+//!
+//! The paper adopts HMNR after "initial tests indicate that the HMNR has
+//! better performance than BCS" (§III-C) but reports no numbers. This
+//! experiment quantifies the trade-off: BCS piggybacks only a clock
+//! (8 B, near-zero overhead) but forces far more checkpoints; HMNR pays
+//! vector-sized piggybacks to avoid spurious forces.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_core::ProtocolKind;
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub variant: String,
+    pub mst: f64,
+    pub overhead_ratio: f64,
+    pub checkpoints_total: u64,
+    pub forced: u64,
+    pub forced_pct: f64,
+    pub avg_checkpoint_ms: f64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let workers = h.scale.table_parallelisms[0];
+    let mut rows = Vec::new();
+    for q in [Query::Q1, Query::Q3] {
+        for proto in [
+            ProtocolKind::CommunicationInduced,
+            ProtocolKind::CommunicationInducedBcs,
+        ] {
+            let mst = h.mst(Wl::Nexmark(q), proto, workers);
+            let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+            let forced_pct = if r.checkpoints_total > 0 {
+                100.0 * r.checkpoints_forced as f64 / r.checkpoints_total as f64
+            } else {
+                0.0
+            };
+            rows.push(Row {
+                query: q.name(),
+                workers,
+                variant: proto.to_string(),
+                mst,
+                overhead_ratio: r.overhead_ratio(),
+                checkpoints_total: r.checkpoints_total,
+                forced: r.checkpoints_forced,
+                forced_pct,
+                avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+            });
+        }
+    }
+    Experiment::new(
+        "ablation_cic",
+        "CIC variant ablation: HMNR vs BCS (beyond the paper, §III-C remark)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["query", "workers", "variant", "mst rec/s", "overhead", "ckpts", "forced", "forced %", "avg ct (ms)"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.workers.to_string(),
+                    r.variant.clone(),
+                    format!("{:.0}", r.mst),
+                    format!("{:.2}x", r.overhead_ratio),
+                    r.checkpoints_total.to_string(),
+                    r.forced.to_string(),
+                    format!("{:.0}%", r.forced_pct),
+                    format!("{:.2}", r.avg_checkpoint_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

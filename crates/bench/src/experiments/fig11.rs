@@ -1,0 +1,63 @@
+//! Figure 11 — restart time after failure.
+//!
+//! Expected shape: COOR restarts fastest (fetch state only); UNC/CIC
+//! must additionally fetch and prepare logged in-flight messages, a gap
+//! that widens with parallelism (up to ~10× at 100 workers in the
+//! paper).
+
+use crate::harness::{Harness, Wl};
+use crate::results::{ms_opt, text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub protocol: String,
+    pub restart_ms: Option<f64>,
+    pub recovery_ms: Option<f64>,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.parallelisms.clone() {
+        for q in Query::ALL {
+            for proto in super::PROTOCOLS {
+                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+                rows.push(Row {
+                    query: q.name(),
+                    workers,
+                    protocol: proto.to_string(),
+                    restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+                    recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "fig11",
+        "Restart time after failure (Fig. 11); recovery time also reported (§VII-B)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["query", "workers", "protocol", "restart (ms)", "recovery (ms)"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.workers.to_string(),
+                    r.protocol.clone(),
+                    ms_opt(r.restart_ms.map(|v| (v * 1e6) as u64)),
+                    ms_opt(r.recovery_ms.map(|v| (v * 1e6) as u64)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

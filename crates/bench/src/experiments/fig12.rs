@@ -1,0 +1,84 @@
+//! Figure 12 — p50 latency and average checkpointing time under
+//! hot-item skew at 50 % and 80 % of the non-skewed MST.
+//!
+//! Expected shape (the paper's headline surprise): COOR degrades by an
+//! order of magnitude or more in both latency and checkpointing time as
+//! the hot-item ratio grows (stragglers delay markers and alignment
+//! blocks channels), while UNC and CIC stay low — "the uncoordinated
+//! approach outperforms the coordinated one" under skew.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_nexmark::{Query, Skew};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub mst_pct: u32,
+    pub query: &'static str,
+    pub hot_pct: u32,
+    pub protocol: String,
+    pub p50_ms: f64,
+    pub avg_checkpoint_ms: f64,
+}
+
+/// The paper's hot-item ratios.
+pub const HOT_RATIOS: [f64; 3] = [0.10, 0.20, 0.30];
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let workers = h.scale.table_parallelisms[0]; // paper: 10 workers
+    let mut rows = Vec::new();
+    for q in Query::SKEWED {
+        for proto in super::WITH_BASELINE {
+            // Rate pinned to fractions of the protocol's own *non-skewed*
+            // MST (paper §VII-B, Skewed NexMark).
+            let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
+            for &mst_pct in &[0.5, 0.8] {
+                for &hot in &HOT_RATIOS {
+                    let r = h.run_at_rate(
+                        Wl::Nexmark(q),
+                        proto,
+                        workers,
+                        base_mst * mst_pct,
+                        false,
+                        Skew::hot(hot),
+                    );
+                    rows.push(Row {
+                        mst_pct: (mst_pct * 100.0) as u32,
+                        query: q.name(),
+                        hot_pct: (hot * 100.0) as u32,
+                        protocol: proto.to_string(),
+                        p50_ms: r.p50_ns as f64 / 1e6,
+                        avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+                    });
+                }
+            }
+        }
+    }
+    Experiment::new(
+        "fig12",
+        "p50 latency and checkpointing time under hot-item skew (Fig. 12)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["mst %", "query", "hot %", "protocol", "p50 (ms)", "avg ct (ms)"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mst_pct.to_string(),
+                    r.query.to_string(),
+                    r.hot_pct.to_string(),
+                    r.protocol.clone(),
+                    format!("{:.1}", r.p50_ms),
+                    format!("{:.2}", r.avg_checkpoint_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

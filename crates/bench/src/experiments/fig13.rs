@@ -1,0 +1,69 @@
+//! Figure 13 — restart time after failure under skew (50 % of the
+//! non-skewed MST).
+//!
+//! Expected shape: the coordinated advantage from Fig. 11 vanishes —
+//! all protocols restart in the same ballpark, because coordination
+//! under skew leaves the last completed round further in the past.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{ms_opt, text_table, Experiment};
+use checkmate_nexmark::{Query, Skew};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub hot_pct: u32,
+    pub protocol: String,
+    pub restart_ms: Option<f64>,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let workers = h.scale.table_parallelisms[0];
+    let mut rows = Vec::new();
+    for q in Query::SKEWED {
+        for proto in super::PROTOCOLS {
+            let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
+            for &hot in &super::fig12::HOT_RATIOS {
+                let r = h.run_at_rate(
+                    Wl::Nexmark(q),
+                    proto,
+                    workers,
+                    base_mst * 0.5,
+                    true,
+                    Skew::hot(hot),
+                );
+                rows.push(Row {
+                    query: q.name(),
+                    hot_pct: (hot * 100.0) as u32,
+                    protocol: proto.to_string(),
+                    restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "fig13",
+        "Restart time after failure in the presence of skew (Fig. 13)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["query", "hot %", "protocol", "restart (ms)"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.hot_pct.to_string(),
+                    r.protocol.clone(),
+                    ms_opt(r.restart_ms.map(|v| (v * 1e6) as u64)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

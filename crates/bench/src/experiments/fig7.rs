@@ -1,0 +1,66 @@
+//! Figure 7 — normalized maximum sustainable throughput per query,
+//! protocol and parallelism.
+//!
+//! Expected shape (paper §VII-B): COOR tracks the checkpoint-free MST
+//! closely (≈0.9–1.0), UNC follows ≈10 % behind, CIC degrades with
+//! parallelism (below 0.5 at high worker counts) because its piggyback
+//! inflates every message.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub protocol: String,
+    pub mst: f64,
+    /// MST / checkpoint-free MST at the same (query, workers).
+    pub normalized: f64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.parallelisms.clone() {
+        for q in Query::ALL {
+            let baseline = h.mst(Wl::Nexmark(q), checkmate_core::ProtocolKind::None, workers);
+            for proto in super::WITH_BASELINE {
+                let mst = h.mst(Wl::Nexmark(q), proto, workers);
+                rows.push(Row {
+                    query: q.name(),
+                    workers,
+                    protocol: proto.to_string(),
+                    mst,
+                    normalized: if baseline > 0.0 { mst / baseline } else { 0.0 },
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "fig7",
+        "Normalized maximum sustainable throughput per query and parallelism (Fig. 7)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["query", "workers", "protocol", "mst rec/s", "normalized"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.workers.to_string(),
+                    r.protocol.clone(),
+                    format!("{:.0}", r.mst),
+                    format!("{:.2}", r.normalized),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

@@ -1,0 +1,64 @@
+//! Figure 8 — average checkpointing time per query, protocol and
+//! parallelism.
+//!
+//! Expected shape: UNC/CIC take milliseconds (local snapshot + upload)
+//! at every setting; COOR needs a full round through the dataflow, up to
+//! two orders of magnitude longer on the shuffled queries (Q3, Q8, Q12)
+//! and growing with parallelism.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{ms, text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub protocol: String,
+    pub avg_checkpoint_ms: f64,
+    pub checkpoints: u64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.parallelisms.clone() {
+        for q in Query::ALL {
+            for proto in super::PROTOCOLS {
+                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+                rows.push(Row {
+                    query: q.name(),
+                    workers,
+                    protocol: proto.to_string(),
+                    avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+                    checkpoints: r.checkpoints_total,
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "fig8",
+        "Average checkpointing time (Fig. 8)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["query", "workers", "protocol", "avg ct (ms)", "checkpoints"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.workers.to_string(),
+                    r.protocol.clone(),
+                    ms((r.avg_checkpoint_ms * 1e6) as u64),
+                    r.checkpoints.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

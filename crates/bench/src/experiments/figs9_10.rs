@@ -1,0 +1,93 @@
+//! Figures 9 & 10 — per-second 50th and 99th percentile latency
+//! timelines with a failure injected mid-run.
+//!
+//! Expected shape: similar pre-failure latency for COOR/UNC (CIC higher
+//! at larger parallelism); a spike at the failure; COOR recovers fastest
+//! (no replay), UNC/CIC take longer (replay of logged in-flight
+//! messages); Q3 shows COOR latency spikes at each checkpoint as state
+//! grows.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub protocol: String,
+    pub second: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub count: u64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.series_parallelisms.clone() {
+        for q in Query::ALL {
+            for proto in super::WITH_BASELINE {
+                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+                for s in &r.latency_series {
+                    rows.push(Row {
+                        query: q.name(),
+                        workers,
+                        protocol: proto.to_string(),
+                        second: s.second,
+                        p50_ms: s.p50_ns as f64 / 1e6,
+                        p99_ms: s.p99_ns as f64 / 1e6,
+                        count: s.count,
+                    });
+                }
+            }
+        }
+    }
+    Experiment::new(
+        "figs9_10",
+        "Per-second p50/p99 latency with failure (Figs. 9–10)",
+        h.scale.name,
+        rows,
+    )
+}
+
+/// Condensed rendering: pre-failure / post-failure medians per run
+/// (the full series lives in the JSON).
+pub fn render(e: &Experiment<Row>) -> String {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(&str, u32, &str), Vec<&Row>> = BTreeMap::new();
+    for r in &e.rows {
+        groups
+            .entry((r.query, r.workers, r.protocol.as_str()))
+            .or_default()
+            .push(r);
+    }
+    let mut out_rows = Vec::new();
+    for ((q, w, p), series) in groups {
+        let failure_sec = series.iter().map(|r| r.second).max().unwrap_or(0) / 3; // ~18s of 60s
+        let pre: Vec<f64> = series
+            .iter()
+            .filter(|r| r.second < failure_sec)
+            .map(|r| r.p50_ms)
+            .collect();
+        let post: Vec<f64> = series
+            .iter()
+            .filter(|r| r.second >= failure_sec)
+            .map(|r| r.p50_ms)
+            .collect();
+        let peak_p99 = series.iter().map(|r| r.p99_ms).fold(0.0, f64::max);
+        out_rows.push(vec![
+            q.to_string(),
+            w.to_string(),
+            p.to_string(),
+            format!("{:.1}", checkmate_metrics::mean(&pre)),
+            format!("{:.1}", checkmate_metrics::mean(&post)),
+            format!("{:.1}", peak_p99),
+        ]);
+    }
+    text_table(
+        &e.title,
+        &["query", "workers", "protocol", "p50 pre-fail (ms)", "p50 post (ms)", "peak p99 (ms)"],
+        &out_rows,
+    )
+}

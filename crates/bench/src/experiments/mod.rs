@@ -1,0 +1,37 @@
+//! One module per table/figure of the paper's evaluation (§VII), plus
+//! ablations beyond the paper. Every module exposes
+//! `run(&mut Harness) -> Experiment<Row>` and `render(&Experiment<Row>)`.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig7;
+pub mod fig8;
+pub mod figs9_10;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+
+use checkmate_core::ProtocolKind;
+
+/// The three checkpointing protocols compared throughout the evaluation.
+pub const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+];
+
+/// Protocols including the checkpoint-free baseline.
+pub const WITH_BASELINE: [ProtocolKind; 4] = [
+    ProtocolKind::None,
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+];
+
+/// All experiment identifiers, in paper order (plus the ablation).
+pub const ALL_IDS: [&str; 11] = [
+    "fig7", "tab2", "fig8", "fig9", "fig10", "fig11", "tab3", "fig12", "fig13", "tab4",
+    "ablation",
+];

@@ -1,0 +1,60 @@
+//! Table II — message overhead ratio relative to a checkpoint-free
+//! execution.
+//!
+//! Expected shape: COOR and UNC ≈ 1.00–1.01× (markers and checkpoint
+//! metadata are negligible); CIC ≈ 1.7–2.6× and growing with workers
+//! (piggybacked clocks and vectors on every message).
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub workers: u32,
+    pub query: &'static str,
+    pub protocol: String,
+    pub ratio: f64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.table_parallelisms.clone() {
+        for q in Query::ALL {
+            for proto in super::PROTOCOLS {
+                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+                rows.push(Row {
+                    workers,
+                    query: q.name(),
+                    protocol: proto.to_string(),
+                    ratio: r.overhead_ratio(),
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "tab2",
+        "Message overhead ratio vs checkpoint-free execution (Table II)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["workers", "query", "protocol", "ratio"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workers.to_string(),
+                    r.query.to_string(),
+                    r.protocol.clone(),
+                    format!("{:.2}x", r.ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

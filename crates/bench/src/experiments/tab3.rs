@@ -1,0 +1,69 @@
+//! Table III — total checkpoints and percentage of invalid checkpoints.
+//!
+//! Expected shape: COOR has zero invalid checkpoints by construction;
+//! UNC/CIC take somewhat more checkpoints in total (independent jittered
+//! timers, plus forced checkpoints for CIC) and lose a few percent as
+//! invalid at recovery; no domino effect on the acyclic queries.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{text_table, Experiment};
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub workers: u32,
+    pub query: &'static str,
+    pub protocol: String,
+    pub total: u64,
+    pub forced: u64,
+    pub invalid: u64,
+    pub invalid_pct: f64,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.table_parallelisms.clone() {
+        for q in Query::ALL {
+            for proto in super::PROTOCOLS {
+                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+                rows.push(Row {
+                    workers,
+                    query: q.name(),
+                    protocol: proto.to_string(),
+                    total: r.checkpoints_total,
+                    forced: r.checkpoints_forced,
+                    invalid: r.checkpoints_invalid,
+                    invalid_pct: r.invalid_pct(),
+                });
+            }
+        }
+    }
+    Experiment::new(
+        "tab3",
+        "Total checkpoints and invalid percentage at recovery (Table III)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["workers", "query", "protocol", "total", "forced", "invalid", "invalid %"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workers.to_string(),
+                    r.query.to_string(),
+                    r.protocol.clone(),
+                    r.total.to_string(),
+                    r.forced.to_string(),
+                    r.invalid.to_string(),
+                    format!("{:.1}%", r.invalid_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

@@ -1,0 +1,96 @@
+//! Table IV — the cyclic reachability query: average checkpointing
+//! time, restart time and invalid checkpoints for UNC and CIC (plus the
+//! COOR row demonstrating the marker deadlock that excludes it).
+//!
+//! Expected shape: UNC and CIC perform similarly; CIC's checkpointing
+//! time is slightly higher (protocol state in the snapshot); invalid
+//! percentages stay low — no domino effect on the paper's sparse
+//! configuration.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{ms_opt, text_table, Experiment};
+use checkmate_core::ProtocolKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub workers: u32,
+    pub protocol: String,
+    pub avg_checkpoint_ms: Option<f64>,
+    pub restart_ms: Option<f64>,
+    pub invalid_pct: Option<f64>,
+    pub forced: u64,
+    pub outcome: String,
+}
+
+pub fn run(h: &mut Harness) -> Experiment<Row> {
+    let mut rows = Vec::new();
+    for &workers in &h.scale.cyclic_parallelisms.clone() {
+        for proto in [
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::CommunicationInduced,
+        ] {
+            // Paper: 75–80 % of MST for the cyclic query.
+            let r = h.run_at_mst(Wl::Cyclic, proto, workers, 0.78, true);
+            rows.push(Row {
+                workers,
+                protocol: proto.to_string(),
+                avg_checkpoint_ms: Some(r.avg_checkpoint_time_ns as f64 / 1e6),
+                restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+                invalid_pct: Some(r.invalid_pct()),
+                forced: r.checkpoints_forced,
+                outcome: format!("{:?}", r.outcome),
+            });
+        }
+        // The aligned coordinated protocol cannot handle the cycle: show
+        // the deadlock instead of numbers (paper §VII-B).
+        let r = h.run_at_rate(
+            Wl::Cyclic,
+            ProtocolKind::Coordinated,
+            workers,
+            100.0 * workers as f64,
+            false,
+            None,
+        );
+        rows.push(Row {
+            workers,
+            protocol: ProtocolKind::Coordinated.to_string(),
+            avg_checkpoint_ms: None,
+            restart_ms: None,
+            invalid_pct: None,
+            forced: 0,
+            outcome: format!("{:?}", r.outcome),
+        });
+    }
+    Experiment::new(
+        "tab4",
+        "Cyclic reachability query: CT, restart, invalid checkpoints (Table IV)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &["workers", "protocol", "avg ct (ms)", "restart (ms)", "invalid %", "forced", "outcome"],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workers.to_string(),
+                    r.protocol.clone(),
+                    r.avg_checkpoint_ms
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                    ms_opt(r.restart_ms.map(|v| (v * 1e6) as u64)),
+                    r.invalid_pct
+                        .map(|v| format!("{v:.1}%"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.forced.to_string(),
+                    r.outcome.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

@@ -1,0 +1,210 @@
+//! The shared experiment harness: builds workloads, measures MST with
+//! caching, and runs steady/failure experiments at fractions of MST —
+//! the methodology of §VII-A ("we run all queries at 80 % of the maximum
+//! sustainable throughput that each protocol achieves for each query and
+//! parallelism").
+
+use crate::scale::Scale;
+use checkmate_core::ProtocolKind;
+use checkmate_cyclic::{reachability, DEFAULT_NODES};
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::RunReport;
+use checkmate_engine::workload::Workload;
+use checkmate_metrics::{find_max_sustainable, MstSearch};
+use checkmate_nexmark::{Query, Skew};
+use std::collections::BTreeMap;
+
+/// What to run: a NexMark query or the cyclic reachability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Wl {
+    Nexmark(Query),
+    Cyclic,
+}
+
+impl Wl {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Wl::Nexmark(q) => q.name(),
+            Wl::Cyclic => "cyclic",
+        }
+    }
+}
+
+// Query is Ord-able via its discriminant for the cache key.
+impl Wl {
+    fn key(&self) -> (u8, u8) {
+        match self {
+            Wl::Nexmark(Query::Q1) => (0, 0),
+            Wl::Nexmark(Query::Q3) => (0, 1),
+            Wl::Nexmark(Query::Q8) => (0, 2),
+            Wl::Nexmark(Query::Q12) => (0, 3),
+            Wl::Cyclic => (1, 0),
+        }
+    }
+}
+
+/// Experiment harness with an MST cache shared across experiments.
+pub struct Harness {
+    pub scale: Scale,
+    mst_cache: BTreeMap<((u8, u8), ProtocolKind, u32), f64>,
+    /// Verbose progress to stderr.
+    pub verbose: bool,
+}
+
+impl Harness {
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            mst_cache: BTreeMap::new(),
+            verbose: false,
+        }
+    }
+
+    pub fn workload(&self, wl: Wl, parallelism: u32, skew: Option<Skew>) -> Workload {
+        match wl {
+            Wl::Nexmark(q) => q.workload(parallelism, self.scale.seed, skew),
+            Wl::Cyclic => reachability(parallelism, self.scale.seed, DEFAULT_NODES),
+        }
+    }
+
+    fn base_cfg(&self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> EngineConfig {
+        EngineConfig {
+            parallelism,
+            protocol,
+            checkpoint_interval: self.scale.checkpoint_interval,
+            duration: self.scale.duration,
+            warmup: self.scale.warmup,
+            seed: self.scale.seed,
+            // Cyclic recovery lines can reach arbitrarily far back when
+            // the feedback loop runs hot (the domino regime) — even to the
+            // initial state — so checkpoint space reclamation is disabled
+            // for cyclic runs: sound GC on cycles needs a dedicated
+            // GC-recovery-line computation (Wang et al. 1995), which this
+            // reproduction leaves out of scope. The engine's channel-log
+            // range check would otherwise abort recovery loudly.
+            checkpoint_retention: match wl {
+                Wl::Cyclic => u64::MAX,
+                _ => EngineConfig::default().checkpoint_retention,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Maximum sustainable throughput of `(wl, protocol, parallelism)`,
+    /// cached. Total records/second across the whole pipeline.
+    pub fn mst(&mut self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> f64 {
+        let key = (wl.key(), protocol, parallelism);
+        if let Some(&v) = self.mst_cache.get(&key) {
+            return v;
+        }
+        let per_worker_hi = match wl {
+            Wl::Nexmark(_) => 4_000.0,
+            // The feedback loop amplifies records; the envelope is lower.
+            Wl::Cyclic => 1_200.0,
+        };
+        let scale = &self.scale;
+        let probe_cfg = EngineConfig {
+            duration: scale.probe_duration,
+            warmup: scale.probe_warmup,
+            ..self.base_cfg(wl, protocol, parallelism)
+        };
+        let workload = self.workload(wl, parallelism, None);
+        let mst = find_max_sustainable(
+            MstSearch {
+                lo: 20.0 * parallelism as f64,
+                hi: per_worker_hi * parallelism as f64,
+                rel_tol: 0.04,
+                max_probes: scale.mst_probes,
+            },
+            |rate| {
+                let cfg = EngineConfig {
+                    total_rate: rate,
+                    ..probe_cfg.clone()
+                };
+                let r = Engine::new(&workload, cfg).run();
+                r.sustainable && !r.deadlocked()
+            },
+        );
+        if self.verbose {
+            eprintln!(
+                "    mst[{} {} p={}] = {:.0} rec/s ({:.0}/worker)",
+                wl.name(),
+                protocol,
+                parallelism,
+                mst,
+                mst / parallelism as f64
+            );
+        }
+        self.mst_cache.insert(key, mst);
+        mst
+    }
+
+    /// Run a steady-state experiment at `mst_fraction` of the protocol's
+    /// own MST, optionally injecting the scale's standard failure.
+    pub fn run_at_mst(
+        &mut self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        mst_fraction: f64,
+        fail: bool,
+    ) -> RunReport {
+        let rate = self.mst(wl, protocol, parallelism) * mst_fraction;
+        self.run_at_rate(wl, protocol, parallelism, rate, fail, None)
+    }
+
+    /// Run at an explicit rate (used by the skew experiments, which pin
+    /// the rate to fractions of the *non-skewed* MST).
+    pub fn run_at_rate(
+        &mut self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        total_rate: f64,
+        fail: bool,
+        skew: Option<Skew>,
+    ) -> RunReport {
+        let failure_at = match wl {
+            Wl::Cyclic => self.scale.cyclic_failure_at,
+            _ => self.scale.failure_at,
+        };
+        let cfg = EngineConfig {
+            total_rate,
+            failure: fail.then_some(FailureSpec {
+                at: failure_at,
+                worker: WorkerId(0),
+            }),
+            ..self.base_cfg(wl, protocol, parallelism)
+        };
+        let workload = self.workload(wl, parallelism, skew);
+        let report = Engine::new(&workload, cfg).run();
+        if self.verbose {
+            eprintln!("    {}", report.summary());
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_is_cached_and_positive() {
+        let mut h = Harness::new(Scale::quick());
+        let a = h.mst(Wl::Nexmark(Query::Q1), ProtocolKind::None, 2);
+        let b = h.mst(Wl::Nexmark(Query::Q1), ProtocolKind::None, 2);
+        assert_eq!(a, b);
+        assert!(a > 100.0, "Q1 MST {a}");
+    }
+
+    #[test]
+    fn steady_run_at_80pct_is_sustainable() {
+        let mut h = Harness::new(Scale::quick());
+        let r = h.run_at_mst(Wl::Nexmark(Query::Q12), ProtocolKind::Coordinated, 2, 0.8, false);
+        assert!(r.sustainable, "{}", r.summary());
+        assert!(r.sink_records > 100);
+    }
+}

@@ -1,0 +1,26 @@
+//! # checkmate-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! CheckMate paper's evaluation (§VII), plus ablations beyond it.
+//!
+//! - [`scale`] — run-size presets (`quick` for CI/benches, `paper` for
+//!   the full grid);
+//! - [`harness`] — MST measurement with caching and steady/failure runs
+//!   at fractions of MST (the paper's methodology);
+//! - [`experiments`] — one module per table/figure: fig7 (normalized
+//!   MST), tab2 (message overhead), fig8 (checkpoint time), figs9_10
+//!   (latency timelines), fig11 (restart), tab3 (invalid checkpoints),
+//!   fig12/fig13 (skew), tab4 (cyclic), ablation (HMNR vs BCS);
+//! - [`results`] — JSON output and text tables.
+//!
+//! Regenerate everything with the `regen` binary:
+//! `cargo run --release -p checkmate-bench --bin regen -- --scale paper`.
+
+pub mod experiments;
+pub mod harness;
+pub mod results;
+pub mod scale;
+
+pub use harness::{Harness, Wl};
+pub use results::{text_table, Experiment};
+pub use scale::Scale;

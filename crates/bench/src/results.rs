@@ -1,0 +1,129 @@
+//! Experiment result containers: JSON serialization for downstream
+//! plotting plus aligned text tables for the console and EXPERIMENTS.md.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One completed experiment: identifier (paper table/figure), title, and
+/// typed rows.
+#[derive(Debug, Serialize)]
+pub struct Experiment<R: Serialize> {
+    pub id: String,
+    pub title: String,
+    pub scale: String,
+    pub rows: Vec<R>,
+}
+
+impl<R: Serialize> Experiment<R> {
+    pub fn new(id: &str, title: &str, scale: &str, rows: Vec<R>) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            scale: scale.to_string(),
+            rows,
+        }
+    }
+
+    /// Write `<dir>/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("serializable rows");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Render an aligned text table.
+pub fn text_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |out: &mut String, cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", s.trim_end());
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format nanoseconds as milliseconds with two decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Format an optional duration in ms; `-` when absent.
+pub fn ms_opt(ns: Option<u64>) -> String {
+    ns.map(ms).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        a: u32,
+        b: String,
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = text_table(
+            "demo",
+            &["col", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+        assert!(lines[0].starts_with("== demo =="));
+        assert!(lines[1].starts_with("col     value"));
+        assert!(lines[4].starts_with("longer  22"));
+    }
+
+    #[test]
+    fn json_written() {
+        let dir = std::env::temp_dir().join("checkmate-bench-test");
+        let e = Experiment::new(
+            "unit",
+            "unit test",
+            "quick",
+            vec![Row {
+                a: 1,
+                b: "x".into(),
+            }],
+        );
+        let path = e.write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"unit test\""));
+        assert!(body.contains("\"a\": 1"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(2_500_000), "2.50");
+        assert_eq!(ms_opt(None), "-");
+        assert_eq!(ms_opt(Some(1_000_000)), "1.00");
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment scales.
+//!
+//! The paper's full grid (60-second runs, up to 100 workers, full MST
+//! bisection per cell) regenerates with `Scale::paper()`; a scaled-down
+//! grid for CI and Criterion benches uses `Scale::quick()`. Both produce
+//! the same row/series structure — only run length, worker counts and
+//! probe budgets differ.
+
+use checkmate_sim::{SimTime, SECONDS};
+
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub name: &'static str,
+    /// Worker counts of the sweep (paper: 5, 10, 30, 50, 70, 100).
+    pub parallelisms: Vec<u32>,
+    /// The two worker counts used by the table experiments (paper: 10, 50).
+    pub table_parallelisms: [u32; 2],
+    /// Worker counts of the cyclic experiment (paper: 5, 10).
+    pub cyclic_parallelisms: [u32; 2],
+    /// Steady-run duration / warmup / failure instant.
+    pub duration: SimTime,
+    pub warmup: SimTime,
+    pub failure_at: SimTime,
+    /// Cyclic runs fail later (paper: 48 s into 60 s).
+    pub cyclic_failure_at: SimTime,
+    /// MST probe run length (sustainability shows quickly).
+    pub probe_duration: SimTime,
+    pub probe_warmup: SimTime,
+    /// Bisection budget per (query, protocol, parallelism) cell.
+    pub mst_probes: u32,
+    /// Per-second latency series window (Figs. 9–10).
+    pub series_parallelisms: Vec<u32>,
+    /// Checkpoint interval for all protocols.
+    pub checkpoint_interval: SimTime,
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's configuration (§VII-A), bounded at 50 workers by
+    /// default; pass `--max-workers 100` to regen for the full sweep.
+    pub fn paper() -> Self {
+        Self {
+            name: "paper",
+            parallelisms: vec![5, 10, 30, 50],
+            table_parallelisms: [10, 50],
+            cyclic_parallelisms: [5, 10],
+            duration: 60 * SECONDS,
+            warmup: 30 * SECONDS,
+            failure_at: 18 * SECONDS,
+            cyclic_failure_at: 48 * SECONDS,
+            probe_duration: 12 * SECONDS,
+            probe_warmup: 4 * SECONDS,
+            mst_probes: 9,
+            series_parallelisms: vec![10, 30, 50],
+            checkpoint_interval: 5 * SECONDS,
+            seed: 0xC4EC,
+        }
+    }
+
+    /// Extend the sweep to the paper's 70- and 100-worker points.
+    pub fn paper_full() -> Self {
+        let mut s = Self::paper();
+        s.parallelisms = vec![5, 10, 30, 50, 70, 100];
+        s
+    }
+
+    /// The paper's run shape (60 s, 30 s warmup, failure at 18 s) at the
+    /// two smallest worker counts — the configuration behind the numbers
+    /// committed in EXPERIMENTS.md (regenerates in tens of minutes).
+    pub fn paper_lite() -> Self {
+        let mut s = Self::paper();
+        s.name = "paper-lite";
+        s.parallelisms = vec![5, 10];
+        s.table_parallelisms = [5, 10];
+        s.series_parallelisms = vec![10];
+        s.mst_probes = 8;
+        s
+    }
+
+    /// CI/bench scale: small grid, short runs.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick",
+            parallelisms: vec![2, 4, 8],
+            table_parallelisms: [2, 8],
+            cyclic_parallelisms: [2, 4],
+            duration: 12 * SECONDS,
+            warmup: 4 * SECONDS,
+            failure_at: 6 * SECONDS,
+            cyclic_failure_at: 9 * SECONDS,
+            probe_duration: 8 * SECONDS,
+            probe_warmup: 2 * SECONDS,
+            mst_probes: 7,
+            series_parallelisms: vec![4],
+            checkpoint_interval: 2 * SECONDS,
+            seed: 0xC4EC,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_consistent() {
+        for s in [Scale::paper(), Scale::paper_full(), Scale::quick()] {
+            assert!(s.warmup < s.duration);
+            assert!(s.failure_at < s.duration);
+            assert!(s.cyclic_failure_at < s.duration);
+            assert!(s.probe_warmup < s.probe_duration);
+            assert!(!s.parallelisms.is_empty());
+        }
+        assert_eq!(Scale::paper_full().parallelisms.len(), 6);
+    }
+}

@@ -1,0 +1,278 @@
+//! The checkpoint graph (paper §III-B, Fig. 4a).
+//!
+//! Nodes are checkpoints; a directed edge `c⟨i,x⟩ → c⟨j,y⟩` exists when
+//!
+//! 1. `i ≠ j` and at least one *orphan candidate* message exists on some
+//!    channel `i → j`: sent after `c⟨i,x⟩` was captured and delivered
+//!    before `c⟨j,y⟩` was captured — detectable purely from the
+//!    checkpoints' channel watermarks: `recv_wm(c⟨j,y⟩) > sent_wm(c⟨i,x⟩)`;
+//! 2. or `i = j` and `y = x + 1` (consecutive checkpoints of one
+//!    instance).
+//!
+//! An edge between two checkpoints means they cannot both be part of a
+//! consistent recovery line. The rollback propagation algorithm
+//! ([`crate::recovery`]) walks this graph.
+
+use crate::meta::{CheckpointId, CheckpointMeta};
+use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Channel endpoints, the only topology information the graph needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelTriple {
+    pub ch: ChannelIdx,
+    pub from: InstanceIdx,
+    pub to: InstanceIdx,
+}
+
+/// The checkpoint dependency graph of one execution.
+#[derive(Debug, Clone)]
+pub struct CheckpointGraph {
+    per_inst: BTreeMap<InstanceIdx, Vec<CheckpointMeta>>,
+    adj: BTreeMap<CheckpointId, BTreeSet<CheckpointId>>,
+}
+
+impl CheckpointGraph {
+    /// Build from the collected checkpoint metadata and the physical
+    /// channel list. Every instance must have at least its initial
+    /// (index 0) checkpoint, and indices must be contiguous.
+    pub fn build(metas: Vec<CheckpointMeta>, channels: &[ChannelTriple]) -> Self {
+        let mut per_inst: BTreeMap<InstanceIdx, Vec<CheckpointMeta>> = BTreeMap::new();
+        for m in metas {
+            per_inst.entry(m.id.instance).or_default().push(m);
+        }
+        for (inst, v) in per_inst.iter_mut() {
+            v.sort_by_key(|m| m.id.index);
+            for (i, m) in v.iter().enumerate() {
+                assert_eq!(
+                    m.id.index, i as u64,
+                    "instance {inst:?}: checkpoint indices must be contiguous from 0"
+                );
+            }
+        }
+
+        let mut adj: BTreeMap<CheckpointId, BTreeSet<CheckpointId>> = BTreeMap::new();
+        for v in per_inst.values() {
+            for m in v {
+                adj.entry(m.id).or_default();
+            }
+        }
+
+        // Consecutive same-instance edges.
+        for v in per_inst.values() {
+            for w in v.windows(2) {
+                adj.get_mut(&w[0].id).unwrap().insert(w[1].id);
+            }
+        }
+
+        // Orphan edges per channel. `sent_wm` is non-decreasing in the
+        // checkpoint index, so for each receiver checkpoint the qualifying
+        // sender checkpoints form a prefix.
+        for t in channels {
+            let (Some(snd), Some(rcv)) = (per_inst.get(&t.from), per_inst.get(&t.to)) else {
+                continue;
+            };
+            for cj in rcv {
+                let r = cj.received_on(t.ch);
+                if r == 0 {
+                    continue;
+                }
+                // Edge from every sender checkpoint whose sent watermark
+                // is below r (some delivered message was sent after it).
+                for ci in snd {
+                    if ci.sent_on(t.ch) < r {
+                        adj.get_mut(&ci.id).unwrap().insert(cj.id);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        Self { per_inst, adj }
+    }
+
+    pub fn instances(&self) -> impl Iterator<Item = InstanceIdx> + '_ {
+        self.per_inst.keys().copied()
+    }
+
+    pub fn n_instances(&self) -> usize {
+        self.per_inst.len()
+    }
+
+    pub fn n_checkpoints(&self) -> usize {
+        self.per_inst.values().map(Vec::len).sum()
+    }
+
+    pub fn meta(&self, id: CheckpointId) -> &CheckpointMeta {
+        &self.per_inst[&id.instance][id.index as usize]
+    }
+
+    /// Latest checkpoint of an instance.
+    pub fn latest(&self, inst: InstanceIdx) -> CheckpointId {
+        let v = &self.per_inst[&inst];
+        v.last().expect("at least the initial checkpoint").id
+    }
+
+    /// The next-older checkpoint of the same instance.
+    pub fn prev(&self, id: CheckpointId) -> Option<CheckpointId> {
+        (id.index > 0).then(|| CheckpointId::new(id.instance, id.index - 1))
+    }
+
+    pub fn successors(&self, id: CheckpointId) -> impl Iterator<Item = CheckpointId> + '_ {
+        self.adj[&id].iter().copied()
+    }
+
+    /// All checkpoints strictly reachable (≥ 1 edge) from `from`.
+    pub fn reachable_from(&self, from: CheckpointId) -> BTreeSet<CheckpointId> {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<CheckpointId> = self.adj[&from].iter().copied().collect();
+        while let Some(u) = queue.pop_front() {
+            if seen.insert(u) {
+                queue.extend(self.adj[&u].iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Does an edge (direct dependency) exist between two checkpoints?
+    pub fn has_edge(&self, from: CheckpointId, to: CheckpointId) -> bool {
+        self.adj[&from].contains(&to)
+    }
+
+    /// A candidate line (one checkpoint per instance) is consistent iff no
+    /// orphan edge connects two of its members. Consecutive-index edges
+    /// never connect two line members (one per instance), so checking all
+    /// pair edges suffices.
+    pub fn line_is_consistent(&self, line: &BTreeMap<InstanceIdx, CheckpointId>) -> bool {
+        for a in line.values() {
+            for b in line.values() {
+                if a != b && self.has_edge(*a, *b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(
+        inst: u32,
+        index: u64,
+        sent: &[(u32, u64)],
+        recv: &[(u32, u64)],
+    ) -> CheckpointMeta {
+        let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
+        m.id = CheckpointId::new(InstanceIdx(inst), index);
+        m.sent_wm = sent.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();
+        m.recv_wm = recv.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();
+        m
+    }
+
+    /// Two instances, one channel 0→1 (ChannelIdx 0).
+    fn channels() -> Vec<ChannelTriple> {
+        vec![ChannelTriple {
+            ch: ChannelIdx(0),
+            from: InstanceIdx(0),
+            to: InstanceIdx(1),
+        }]
+    }
+
+    #[test]
+    fn consecutive_edges_present() {
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 5)], &[]),
+            meta(1, 0, &[], &[]),
+        ];
+        let g = CheckpointGraph::build(metas, &channels());
+        assert!(g.has_edge(
+            CheckpointId::new(InstanceIdx(0), 0),
+            CheckpointId::new(InstanceIdx(0), 1)
+        ));
+        assert_eq!(g.n_checkpoints(), 3);
+    }
+
+    #[test]
+    fn orphan_edge_from_watermarks() {
+        // Sender checkpointed having sent 3 messages; receiver checkpointed
+        // having received 5 → messages 4,5 are orphans w.r.t. this pair.
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 3)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 5)]),
+        ];
+        let g = CheckpointGraph::build(metas, &channels());
+        let s1 = CheckpointId::new(InstanceIdx(0), 1);
+        let r1 = CheckpointId::new(InstanceIdx(1), 1);
+        assert!(g.has_edge(s1, r1));
+        // and from the initial sender checkpoint too (sent 0 < 5)
+        assert!(g.has_edge(CheckpointId::new(InstanceIdx(0), 0), r1));
+        // but no edge into the receiver's initial checkpoint (recv 0)
+        assert!(!g.has_edge(s1, CheckpointId::new(InstanceIdx(1), 0)));
+    }
+
+    #[test]
+    fn no_orphan_edge_when_aligned() {
+        // Receiver saw exactly what the sender had sent: no orphan.
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 4)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 4)]),
+        ];
+        let g = CheckpointGraph::build(metas, &channels());
+        let s1 = CheckpointId::new(InstanceIdx(0), 1);
+        let r1 = CheckpointId::new(InstanceIdx(1), 1);
+        assert!(!g.has_edge(s1, r1));
+        let line: BTreeMap<_, _> = [(InstanceIdx(0), s1), (InstanceIdx(1), r1)].into();
+        assert!(g.line_is_consistent(&line));
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 3)], &[]),
+            meta(0, 2, &[(0, 9)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 5)]),
+        ];
+        let g = CheckpointGraph::build(metas, &channels());
+        // c(0,0) → c(0,1) → c(0,2) and c(0,1) → c(1,1)
+        let from = CheckpointId::new(InstanceIdx(0), 0);
+        let reach = g.reachable_from(from);
+        assert!(reach.contains(&CheckpointId::new(InstanceIdx(0), 2)));
+        assert!(reach.contains(&CheckpointId::new(InstanceIdx(1), 1)));
+        assert!(!reach.contains(&from)); // acyclic here
+    }
+
+    #[test]
+    fn inconsistent_line_detected() {
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 3)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 5)]),
+        ];
+        let g = CheckpointGraph::build(metas, &channels());
+        let line: BTreeMap<_, _> = [
+            (InstanceIdx(0), CheckpointId::new(InstanceIdx(0), 1)),
+            (InstanceIdx(1), CheckpointId::new(InstanceIdx(1), 1)),
+        ]
+        .into();
+        assert!(!g.line_is_consistent(&line));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_in_indices_panics() {
+        let metas = vec![meta(0, 0, &[], &[]), meta(0, 2, &[], &[])];
+        CheckpointGraph::build(metas, &[]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Coordinated aligned checkpointing (paper §III-A).
+//!
+//! The per-instance alignment state machine: on the first marker of a
+//! round, block that channel and buffer its traffic; once markers arrived
+//! on *all* input channels, snapshot, forward markers downstream, and
+//! unblock. Sources are triggered directly by the coordinator and have no
+//! alignment to do.
+//!
+//! The hosting engine owns the blocking itself (it buffers messages of
+//! blocked channels); this module decides *what* to do per marker.
+
+use checkmate_dataflow::graph::ChannelIdx;
+use std::collections::BTreeSet;
+
+/// What the engine must do after handing a marker to the aligner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkerAction {
+    /// Block the channel the marker arrived on; keep buffering.
+    Block,
+    /// Alignment complete: snapshot now (round `round`), forward markers
+    /// on all output channels, then unblock `unblock`.
+    Checkpoint { round: u64, unblock: Vec<ChannelIdx> },
+}
+
+/// Alignment state machine for one non-source operator instance.
+#[derive(Debug, Clone)]
+pub struct CoorAligner {
+    in_channels: Vec<ChannelIdx>,
+    pending: Option<Align>,
+    last_completed_round: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Align {
+    round: u64,
+    received: BTreeSet<ChannelIdx>,
+}
+
+impl CoorAligner {
+    pub fn new(in_channels: Vec<ChannelIdx>) -> Self {
+        assert!(
+            !in_channels.is_empty(),
+            "source instances are triggered by the coordinator, not aligned"
+        );
+        Self {
+            in_channels,
+            pending: None,
+            last_completed_round: 0,
+        }
+    }
+
+    /// Handle a marker for `round` arriving on `ch`.
+    ///
+    /// FIFO channels deliver markers in round order, and the engine
+    /// buffers traffic (including later markers) of blocked channels, so
+    /// at most one round aligns at a time here.
+    pub fn on_marker(&mut self, ch: ChannelIdx, round: u64) -> MarkerAction {
+        assert!(
+            round > self.last_completed_round,
+            "marker for completed round {round} (last completed {})",
+            self.last_completed_round
+        );
+        let align = self.pending.get_or_insert_with(|| Align {
+            round,
+            received: BTreeSet::new(),
+        });
+        assert_eq!(
+            align.round, round,
+            "marker for round {round} while aligning round {}; engine must buffer blocked channels",
+            align.round
+        );
+        let newly = align.received.insert(ch);
+        assert!(newly, "duplicate marker on channel {ch:?} for round {round}");
+
+        if align.received.len() == self.in_channels.len() {
+            let unblock: Vec<ChannelIdx> = align.received.iter().copied().collect();
+            self.pending = None;
+            self.last_completed_round = round;
+            MarkerAction::Checkpoint { round, unblock }
+        } else {
+            MarkerAction::Block
+        }
+    }
+
+    /// Is the instance currently blocked on `ch` (marker received, waiting
+    /// for the rest)?
+    pub fn is_blocked(&self, ch: ChannelIdx) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|a| a.received.contains(&ch))
+    }
+
+    /// Channels still awaited in the in-progress alignment.
+    pub fn awaited_channels(&self) -> Vec<ChannelIdx> {
+        match &self.pending {
+            None => Vec::new(),
+            Some(a) => self
+                .in_channels
+                .iter()
+                .filter(|ch| !a.received.contains(ch))
+                .copied()
+                .collect(),
+        }
+    }
+
+    pub fn aligning_round(&self) -> Option<u64> {
+        self.pending.as_ref().map(|a| a.round)
+    }
+
+    pub fn last_completed_round(&self) -> u64 {
+        self.last_completed_round
+    }
+
+    /// Abandon any in-flight alignment and reset progress to `round`
+    /// (recovery rolls the pipeline back to the last completed round).
+    pub fn reset_to_round(&mut self, round: u64) {
+        self.pending = None;
+        self.last_completed_round = round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ChannelIdx = ChannelIdx(1);
+    const C2: ChannelIdx = ChannelIdx(2);
+    const C3: ChannelIdx = ChannelIdx(3);
+
+    #[test]
+    fn single_input_checkpoints_immediately() {
+        let mut a = CoorAligner::new(vec![C1]);
+        let act = a.on_marker(C1, 1);
+        assert_eq!(
+            act,
+            MarkerAction::Checkpoint {
+                round: 1,
+                unblock: vec![C1]
+            }
+        );
+        assert_eq!(a.last_completed_round(), 1);
+        assert!(a.aligning_round().is_none());
+    }
+
+    #[test]
+    fn multi_input_blocks_until_all_markers() {
+        let mut a = CoorAligner::new(vec![C1, C2, C3]);
+        assert_eq!(a.on_marker(C2, 1), MarkerAction::Block);
+        assert!(a.is_blocked(C2));
+        assert!(!a.is_blocked(C1));
+        assert_eq!(a.awaited_channels(), vec![C1, C3]);
+        assert_eq!(a.on_marker(C1, 1), MarkerAction::Block);
+        let act = a.on_marker(C3, 1);
+        match act {
+            MarkerAction::Checkpoint { round, mut unblock } => {
+                assert_eq!(round, 1);
+                unblock.sort();
+                assert_eq!(unblock, vec![C1, C2, C3]);
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+        assert!(!a.is_blocked(C2));
+    }
+
+    #[test]
+    fn successive_rounds() {
+        let mut a = CoorAligner::new(vec![C1, C2]);
+        a.on_marker(C1, 1);
+        a.on_marker(C2, 1);
+        assert_eq!(a.on_marker(C1, 2), MarkerAction::Block);
+        assert_eq!(a.aligning_round(), Some(2));
+        match a.on_marker(C2, 2) {
+            MarkerAction::Checkpoint { round, .. } => assert_eq!(round, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "completed round")]
+    fn stale_round_marker_panics() {
+        let mut a = CoorAligner::new(vec![C1]);
+        a.on_marker(C1, 1);
+        a.on_marker(C1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate marker")]
+    fn duplicate_marker_panics() {
+        let mut a = CoorAligner::new(vec![C1, C2]);
+        a.on_marker(C1, 1);
+        a.on_marker(C1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine must buffer")]
+    fn overlapping_rounds_panic() {
+        let mut a = CoorAligner::new(vec![C1, C2]);
+        a.on_marker(C1, 1);
+        a.on_marker(C2, 2);
+    }
+
+    #[test]
+    fn reset_abandons_alignment() {
+        let mut a = CoorAligner::new(vec![C1, C2]);
+        a.on_marker(C1, 3);
+        a.reset_to_round(2);
+        assert!(a.aligning_round().is_none());
+        assert_eq!(a.last_completed_round(), 2);
+        // round 3 markers flow again after recovery
+        assert_eq!(a.on_marker(C1, 3), MarkerAction::Block);
+    }
+}

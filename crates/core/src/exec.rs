@@ -1,0 +1,293 @@
+//! An abstract execution model of §II: processes exchanging messages over
+//! FIFO channels while taking checkpoints under a chosen protocol.
+//!
+//! This is the distilled form of what the full engine does — no operators,
+//! no costs, no time — used to (property-)test the protocol machinery and
+//! recovery theory end to end: runs produce both the *watermark metadata*
+//! view (what the coordinator sees, feeding the checkpoint graph) and the
+//! *trace* view (ground truth for Z-path analysis).
+
+use crate::cic::{CicPiggyback, CicState};
+use crate::meta::{ChannelBook, CheckpointId, CheckpointKind, CheckpointMeta};
+use crate::zpath::TraceMsg;
+use crate::ckpt_graph::{ChannelTriple, CheckpointGraph};
+use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which checkpoint-interval bookkeeping the abstract run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbstractProtocol {
+    /// Independent checkpoints, no forcing (UNC).
+    Uncoordinated,
+    /// HMNR communication-induced.
+    CicHmnr,
+    /// BCS communication-induced.
+    CicBcs,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    send_interval: u64,
+    pb: Option<CicPiggyback>,
+}
+
+/// The abstract executor over `n` fully connected processes.
+#[derive(Debug)]
+pub struct AbstractExec {
+    n: usize,
+    books: Vec<ChannelBook>,
+    cic: Option<Vec<CicState>>,
+    counts: Vec<u64>,
+    metas: Vec<CheckpointMeta>,
+    trace: Vec<TraceMsg>,
+    in_flight: BTreeMap<(usize, usize), VecDeque<InFlight>>,
+    forced_count: u64,
+    local_count: u64,
+}
+
+impl AbstractExec {
+    pub fn new(n: usize, protocol: AbstractProtocol) -> Self {
+        assert!(n >= 1);
+        let cic = match protocol {
+            AbstractProtocol::Uncoordinated => None,
+            AbstractProtocol::CicHmnr => Some((0..n).map(|p| CicState::hmnr(p, n)).collect()),
+            AbstractProtocol::CicBcs => Some((0..n).map(|_| CicState::bcs()).collect()),
+        };
+        let metas = (0..n)
+            .map(|p| CheckpointMeta::initial(InstanceIdx(p as u32), false))
+            .collect();
+        Self {
+            n,
+            books: vec![ChannelBook::new(); n],
+            cic,
+            counts: vec![0; n],
+            metas,
+            trace: Vec::new(),
+            in_flight: BTreeMap::new(),
+            forced_count: 0,
+            local_count: 0,
+        }
+    }
+
+    /// Dense channel index for the pair `(i → j)`.
+    pub fn channel(&self, i: usize, j: usize) -> ChannelIdx {
+        ChannelIdx((i * self.n + j) as u32)
+    }
+
+    /// All channels of the fully connected topology.
+    pub fn channel_triples(&self) -> Vec<ChannelTriple> {
+        let mut v = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    v.push(ChannelTriple {
+                        ch: self.channel(i, j),
+                        from: InstanceIdx(i as u32),
+                        to: InstanceIdx(j as u32),
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// Send a message `i → j` (enqueued in the FIFO channel).
+    pub fn send(&mut self, i: usize, j: usize) {
+        assert!(i != j && i < self.n && j < self.n);
+        let ch = self.channel(i, j);
+        let seq = self.books[i].next_send(ch);
+        let pb = self.cic.as_mut().map(|states| states[i].on_send(j));
+        self.in_flight.entry((i, j)).or_default().push_back(InFlight {
+            seq,
+            send_interval: self.counts[i],
+            pb,
+        });
+    }
+
+    /// Deliver the oldest in-flight message on `i → j`; returns false when
+    /// the channel is empty. Under CIC this may first take a forced
+    /// checkpoint at the receiver.
+    pub fn deliver(&mut self, i: usize, j: usize) -> bool {
+        let Some(queue) = self.in_flight.get_mut(&(i, j)) else {
+            return false;
+        };
+        let Some(msg) = queue.pop_front() else {
+            return false;
+        };
+        if let Some(states) = &self.cic {
+            let pb = msg.pb.as_ref().expect("CIC messages carry piggybacks");
+            if states[j].should_force(i, pb) {
+                self.take_checkpoint(j, CheckpointKind::Forced);
+                self.forced_count += 1;
+            }
+        }
+        let ch = self.channel(i, j);
+        let fresh = self.books[j].deliver(ch, msg.seq);
+        assert!(fresh, "abstract executor never replays");
+        if let Some(states) = &mut self.cic {
+            states[j].on_deliver(i, msg.pb.as_ref().expect("checked above"));
+        }
+        self.trace.push(TraceMsg {
+            from: i,
+            to: j,
+            send_interval: msg.send_interval,
+            recv_interval: self.counts[j],
+        });
+        true
+    }
+
+    /// Take a local (timer-driven) checkpoint at `p`.
+    pub fn checkpoint(&mut self, p: usize) {
+        self.take_checkpoint(p, CheckpointKind::Local);
+        self.local_count += 1;
+    }
+
+    fn take_checkpoint(&mut self, p: usize, kind: CheckpointKind) {
+        self.counts[p] += 1;
+        let (recv_wm, sent_wm) = self.books[p].watermarks();
+        self.metas.push(CheckpointMeta {
+            id: CheckpointId::new(InstanceIdx(p as u32), self.counts[p]),
+            kind,
+            taken_at: 0,
+            durable_at: 0,
+            recv_wm,
+            sent_wm,
+            source_offset: None,
+            state_key: String::new(),
+            state_bytes: 0,
+        });
+        if let Some(states) = &mut self.cic {
+            states[p].on_checkpoint();
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn trace(&self) -> &[TraceMsg] {
+        &self.trace
+    }
+
+    pub fn metas(&self) -> &[CheckpointMeta] {
+        &self.metas
+    }
+
+    pub fn forced_count(&self) -> u64 {
+        self.forced_count
+    }
+
+    pub fn local_count(&self) -> u64 {
+        self.local_count
+    }
+
+    /// Any messages still in flight (sent, not delivered)?
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.values().map(VecDeque::len).sum()
+    }
+
+    /// Build the checkpoint graph of the execution so far.
+    pub fn graph(&self) -> CheckpointGraph {
+        CheckpointGraph::build(self.metas.clone(), &self.channel_triples())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::rollback_propagation;
+    use crate::zpath;
+
+    #[test]
+    fn aligned_style_execution_rolls_back_nothing() {
+        // send → deliver → everyone checkpoints: watermarks agree.
+        let mut e = AbstractExec::new(3, AbstractProtocol::Uncoordinated);
+        e.send(0, 1);
+        e.send(1, 2);
+        e.deliver(0, 1);
+        e.deliver(1, 2);
+        for p in 0..3 {
+            e.checkpoint(p);
+        }
+        let out = rollback_propagation(&e.graph());
+        assert_eq!(out.invalid_count(), 0);
+        for p in 0..3u32 {
+            assert_eq!(out.line[&InstanceIdx(p)].index, 1);
+        }
+    }
+
+    #[test]
+    fn orphan_invalidates_receiver_checkpoint() {
+        let mut e = AbstractExec::new(2, AbstractProtocol::Uncoordinated);
+        e.checkpoint(0); // c(0,1) before sending
+        e.send(0, 1);
+        e.deliver(0, 1); // received in interval 0 of P1... then:
+        e.checkpoint(1); // c(1,1) reflects the delivery
+        // c(0,1).sent = 0 but message sent after it; c(1,1).recv = 1 →
+        // orphan edge c(0,1) → c(1,1): roll P1 back.
+        let out = rollback_propagation(&e.graph());
+        assert_eq!(out.line[&InstanceIdx(0)].index, 1);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 0);
+        assert_eq!(out.invalid_count(), 1);
+    }
+
+    #[test]
+    fn trace_and_graph_views_agree_on_consistency() {
+        let mut e = AbstractExec::new(2, AbstractProtocol::Uncoordinated);
+        e.send(0, 1);
+        e.deliver(0, 1);
+        e.checkpoint(1);
+        e.send(1, 0);
+        e.deliver(1, 0);
+        e.checkpoint(0);
+        let out = rollback_propagation(&e.graph());
+        let line: Vec<u64> = (0..2)
+            .map(|p| out.line[&InstanceIdx(p as u32)].index)
+            .collect();
+        assert!(zpath::is_consistent(e.trace(), &line));
+    }
+
+    #[test]
+    fn cic_forces_checkpoint_on_dangerous_pattern() {
+        let mut e = AbstractExec::new(2, AbstractProtocol::CicHmnr);
+        // P0 sends to P1 (P0's interval has a send); P1 checkpoints (clock
+        // up) and replies; delivering the reply at P0 must force.
+        e.send(0, 1);
+        e.deliver(0, 1);
+        e.checkpoint(1);
+        e.send(1, 0);
+        e.deliver(1, 0);
+        assert!(e.forced_count() >= 1, "expected a forced checkpoint");
+    }
+
+    #[test]
+    fn bcs_forces_at_least_as_much_as_hmnr_here() {
+        let run = |proto| {
+            let mut e = AbstractExec::new(3, proto);
+            e.send(0, 1);
+            e.deliver(0, 1);
+            e.checkpoint(0);
+            e.send(0, 2);
+            e.deliver(0, 2);
+            e.send(2, 1);
+            e.deliver(2, 1);
+            e.forced_count()
+        };
+        assert!(run(AbstractProtocol::CicBcs) >= run(AbstractProtocol::CicHmnr));
+    }
+
+    #[test]
+    fn empty_channel_deliver_returns_false() {
+        let mut e = AbstractExec::new(2, AbstractProtocol::Uncoordinated);
+        assert!(!e.deliver(0, 1));
+        e.send(0, 1);
+        assert!(e.deliver(0, 1));
+        assert!(!e.deliver(0, 1));
+        assert_eq!(e.in_flight_count(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # checkmate-core
+//!
+//! The checkpointing protocols of the CheckMate paper (ICDE 2024) as
+//! runtime-agnostic state machines, plus the recovery theory they rest on:
+//!
+//! - [`coor`] — coordinated aligned checkpointing (marker alignment);
+//! - [`cic`] — communication-induced checkpointing (HMNR, plus the BCS
+//!   ablation variant);
+//! - [`meta`] — checkpoint metadata, channel watermarks, send/receive
+//!   sequence bookkeeping and replay deduplication (the uncoordinated
+//!   protocol is these pieces plus a local timer owned by the engine);
+//! - [`ckpt_graph`] — the checkpoint dependency graph built from
+//!   watermarks;
+//! - [`recovery`] — rollback propagation (paper Algorithm 1) and the
+//!   coordinated recovery line;
+//! - [`zpath`] — ground-truth Z-path/Z-cycle analysis used to validate the
+//!   protocols;
+//! - [`exec`] — an abstract execution model for protocol-level testing
+//!   without the full engine.
+//!
+//! The same protocol objects drive both the virtual-time engine
+//! (`checkmate-engine`) and the threaded engine (`checkmate-runtime`).
+
+pub mod cic;
+pub mod ckpt_graph;
+pub mod coor;
+pub mod exec;
+pub mod meta;
+pub mod protocol;
+pub mod recovery;
+pub mod zpath;
+
+pub use cic::{BcsState, CicPiggyback, CicState, HmnrState};
+pub use ckpt_graph::{ChannelTriple, CheckpointGraph};
+pub use coor::{CoorAligner, MarkerAction};
+pub use exec::{AbstractExec, AbstractProtocol};
+pub use meta::{ChannelBook, CheckpointId, CheckpointKind, CheckpointMeta};
+pub use protocol::ProtocolKind;
+pub use recovery::{coordinated_line, rollback_propagation, RecoveryOutcome};
+pub use zpath::{is_consistent, on_z_cycle, orphans, useless_checkpoints, z_path_exists, Ckpt, TraceMsg};

@@ -1,0 +1,285 @@
+//! Checkpoint metadata and per-channel sequence bookkeeping.
+//!
+//! Every protocol's checkpoints carry the same metadata shape: which
+//! instance, which per-instance index, and — crucially for the
+//! uncoordinated family — the per-channel *watermarks*: the last sequence
+//! number sent on every outgoing channel and the last delivered on every
+//! incoming channel at snapshot time. Watermarks are what the checkpoint
+//! graph (paper Fig. 4) is built from and what replay/deduplication keys
+//! on.
+
+use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
+use checkmate_dataflow::{Codec, Dec, DecodeError, Enc, Time};
+use std::collections::BTreeMap;
+
+/// Identifies one checkpoint: `(instance, per-instance index)`.
+/// Index 0 is the implicit initial checkpoint every instance has at t=0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckpointId {
+    pub instance: InstanceIdx,
+    pub index: u64,
+}
+
+impl CheckpointId {
+    pub fn new(instance: InstanceIdx, index: u64) -> Self {
+        Self { instance, index }
+    }
+
+    pub fn initial(instance: InstanceIdx) -> Self {
+        Self { instance, index: 0 }
+    }
+}
+
+/// Why a checkpoint was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// The implicit state at deployment time.
+    Initial,
+    /// Part of a coordinated round.
+    Coordinated { round: u64 },
+    /// An uncoordinated local-timer checkpoint.
+    Local,
+    /// A CIC forced checkpoint (taken before delivering a message that
+    /// would otherwise risk a useless checkpoint).
+    Forced,
+}
+
+impl CheckpointKind {
+    pub fn is_forced(&self) -> bool {
+        matches!(self, CheckpointKind::Forced)
+    }
+
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            CheckpointKind::Coordinated { round } => Some(*round),
+            CheckpointKind::Initial => Some(0),
+            _ => None,
+        }
+    }
+}
+
+/// Checkpoint metadata, shipped to the coordinator when the snapshot
+/// becomes durable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    pub id: CheckpointId,
+    pub kind: CheckpointKind,
+    /// When the snapshot was captured (state frozen).
+    pub taken_at: Time,
+    /// When the snapshot finished uploading (became usable for recovery).
+    pub durable_at: Time,
+    /// Last sequence delivered per incoming channel at capture time.
+    pub recv_wm: BTreeMap<ChannelIdx, u64>,
+    /// Last sequence sent per outgoing channel at capture time.
+    pub sent_wm: BTreeMap<ChannelIdx, u64>,
+    /// Source cursor (next offset to read) for source instances.
+    pub source_offset: Option<u64>,
+    /// Object-store key of the serialized state.
+    pub state_key: String,
+    /// Serialized state size in bytes.
+    pub state_bytes: u64,
+}
+
+impl CheckpointMeta {
+    /// The implicit initial checkpoint of an instance (empty state, all
+    /// watermarks zero, offset zero for sources).
+    pub fn initial(instance: InstanceIdx, is_source: bool) -> Self {
+        Self {
+            id: CheckpointId::initial(instance),
+            kind: CheckpointKind::Initial,
+            taken_at: 0,
+            durable_at: 0,
+            recv_wm: BTreeMap::new(),
+            sent_wm: BTreeMap::new(),
+            source_offset: if is_source { Some(0) } else { None },
+            state_key: String::new(),
+            state_bytes: 0,
+        }
+    }
+
+    pub fn sent_on(&self, ch: ChannelIdx) -> u64 {
+        self.sent_wm.get(&ch).copied().unwrap_or(0)
+    }
+
+    pub fn received_on(&self, ch: ChannelIdx) -> u64 {
+        self.recv_wm.get(&ch).copied().unwrap_or(0)
+    }
+}
+
+/// Per-instance channel sequence bookkeeping: assigns send sequences,
+/// deduplicates deliveries, and produces watermarks for checkpoints.
+///
+/// The book is itself part of the instance's checkpointed state: after a
+/// rollback it is restored from the checkpoint, so regenerated sends reuse
+/// their original sequence numbers and replayed deliveries deduplicate
+/// against the restored receive watermarks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelBook {
+    sent: BTreeMap<ChannelIdx, u64>,
+    recv: BTreeMap<ChannelIdx, u64>,
+}
+
+impl ChannelBook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next send sequence for `ch` (1-based).
+    pub fn next_send(&mut self, ch: ChannelIdx) -> u64 {
+        let e = self.sent.entry(ch).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Attempt to deliver `seq` on `ch`. Returns `true` when fresh (caller
+    /// must process it), `false` for a duplicate (caller must drop it).
+    ///
+    /// Channels are FIFO and lossless during normal operation, so a fresh
+    /// sequence must be exactly `watermark + 1`; anything beyond indicates
+    /// an engine bug and panics loudly.
+    pub fn deliver(&mut self, ch: ChannelIdx, seq: u64) -> bool {
+        let e = self.recv.entry(ch).or_insert(0);
+        if seq <= *e {
+            return false;
+        }
+        assert_eq!(
+            seq,
+            *e + 1,
+            "channel {ch:?}: out-of-order delivery (seq {seq} after watermark {})",
+            *e
+        );
+        *e = seq;
+        true
+    }
+
+    pub fn last_sent(&self, ch: ChannelIdx) -> u64 {
+        self.sent.get(&ch).copied().unwrap_or(0)
+    }
+
+    pub fn last_received(&self, ch: ChannelIdx) -> u64 {
+        self.recv.get(&ch).copied().unwrap_or(0)
+    }
+
+    /// Snapshot watermarks for a checkpoint.
+    pub fn watermarks(&self) -> (BTreeMap<ChannelIdx, u64>, BTreeMap<ChannelIdx, u64>) {
+        (self.recv.clone(), self.sent.clone())
+    }
+
+    /// Restore from checkpoint watermarks.
+    pub fn restore(recv: BTreeMap<ChannelIdx, u64>, sent: BTreeMap<ChannelIdx, u64>) -> Self {
+        Self { sent, recv }
+    }
+
+    /// Encoded size contribution to the state snapshot.
+    pub fn encoded_len(&self) -> usize {
+        8 + (self.sent.len() + self.recv.len()) * 12
+    }
+}
+
+impl Codec for ChannelBook {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u32(self.sent.len() as u32);
+        for (ch, seq) in &self.sent {
+            enc.u32(ch.0).u64(*seq);
+        }
+        enc.u32(self.recv.len() as u32);
+        for (ch, seq) in &self.recv {
+            enc.u32(ch.0).u64(*seq);
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let mut book = Self::new();
+        let n = dec.u32()? as usize;
+        for _ in 0..n {
+            let ch = ChannelIdx(dec.u32()?);
+            let seq = dec.u64()?;
+            book.sent.insert(ch, seq);
+        }
+        let n = dec.u32()? as usize;
+        for _ in 0..n {
+            let ch = ChannelIdx(dec.u32()?);
+            let seq = dec.u64()?;
+            book.recv.insert(ch, seq);
+        }
+        Ok(book)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CH: ChannelIdx = ChannelIdx(3);
+
+    #[test]
+    fn send_sequences_are_contiguous() {
+        let mut b = ChannelBook::new();
+        assert_eq!(b.next_send(CH), 1);
+        assert_eq!(b.next_send(CH), 2);
+        assert_eq!(b.next_send(ChannelIdx(4)), 1);
+        assert_eq!(b.last_sent(CH), 2);
+    }
+
+    #[test]
+    fn delivery_dedups() {
+        let mut b = ChannelBook::new();
+        assert!(b.deliver(CH, 1));
+        assert!(b.deliver(CH, 2));
+        assert!(!b.deliver(CH, 1)); // replayed duplicate
+        assert!(!b.deliver(CH, 2));
+        assert!(b.deliver(CH, 3));
+        assert_eq!(b.last_received(CH), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn gap_delivery_panics() {
+        let mut b = ChannelBook::new();
+        b.deliver(CH, 2);
+    }
+
+    #[test]
+    fn watermark_snapshot_and_restore_roundtrip() {
+        let mut b = ChannelBook::new();
+        b.next_send(CH);
+        b.next_send(CH);
+        b.deliver(ChannelIdx(9), 1);
+        let (recv, sent) = b.watermarks();
+        let restored = ChannelBook::restore(recv, sent);
+        assert_eq!(restored, b);
+        // regenerated sends continue from the watermark
+        let mut r2 = restored.clone();
+        assert_eq!(r2.next_send(CH), 3);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut b = ChannelBook::new();
+        b.next_send(CH);
+        b.deliver(ChannelIdx(1), 1);
+        b.deliver(ChannelIdx(1), 2);
+        let bytes = b.to_bytes();
+        assert_eq!(ChannelBook::from_bytes(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn initial_meta_shape() {
+        let m = CheckpointMeta::initial(InstanceIdx(5), true);
+        assert_eq!(m.id.index, 0);
+        assert_eq!(m.source_offset, Some(0));
+        assert_eq!(m.kind.round(), Some(0));
+        assert_eq!(m.sent_on(CH), 0);
+        assert_eq!(m.received_on(CH), 0);
+        let m = CheckpointMeta::initial(InstanceIdx(5), false);
+        assert_eq!(m.source_offset, None);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(CheckpointKind::Forced.is_forced());
+        assert!(!CheckpointKind::Local.is_forced());
+        assert_eq!(CheckpointKind::Coordinated { round: 3 }.round(), Some(3));
+        assert_eq!(CheckpointKind::Local.round(), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Protocol selection and the feature table of paper Table I.
+
+use std::fmt;
+
+/// Which checkpointing protocol a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolKind {
+    /// No checkpointing at all — the baseline every metric is normalized
+    /// against ("No checkpoints" in the figures).
+    None,
+    /// Coordinated aligned checkpointing (Chandy–Lamport as adapted for
+    /// acyclic dataflows by Flink; paper §III-A).
+    Coordinated,
+    /// Uncoordinated checkpointing with message logging (paper §III-B).
+    Uncoordinated,
+    /// Communication-induced checkpointing, HMNR (paper §III-C).
+    CommunicationInduced,
+    /// Communication-induced checkpointing, BCS index-based variant.
+    /// Not part of the paper's main evaluation (they report "initial tests
+    /// indicate that HMNR has better performance than BCS"); implemented
+    /// here to reproduce that claim as an ablation.
+    CommunicationInducedBcs,
+}
+
+impl ProtocolKind {
+    pub const ALL_EVALUATED: [ProtocolKind; 4] = [
+        ProtocolKind::None,
+        ProtocolKind::Coordinated,
+        ProtocolKind::Uncoordinated,
+        ProtocolKind::CommunicationInduced,
+    ];
+
+    /// Does the protocol block channels while waiting for markers?
+    /// (Table I, "Blocking (markers)")
+    pub fn uses_markers(&self) -> bool {
+        matches!(self, ProtocolKind::Coordinated)
+    }
+
+    /// Does the protocol require in-flight message logging?
+    /// (Table I, "In-flight Logging")
+    pub fn logs_messages(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Uncoordinated
+                | ProtocolKind::CommunicationInduced
+                | ProtocolKind::CommunicationInducedBcs
+        )
+    }
+
+    /// Does the protocol require receiver-side deduplication on replay?
+    /// (Table I, "Deduplication Required")
+    pub fn needs_dedup(&self) -> bool {
+        self.logs_messages()
+    }
+
+    /// Does the protocol piggyback information on data messages?
+    /// (Table I, "Message Overhead")
+    pub fn piggybacks(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::CommunicationInduced | ProtocolKind::CommunicationInducedBcs
+        )
+    }
+
+    /// Can operators checkpoint independently? (Table I, "Independent
+    /// Checkpoints")
+    pub fn independent_checkpoints(&self) -> bool {
+        self.logs_messages()
+    }
+
+    /// Is checkpointing stalled by stragglers? (Table I, "Straggler
+    /// Stalls")
+    pub fn straggler_stalls(&self) -> bool {
+        matches!(self, ProtocolKind::Coordinated)
+    }
+
+    /// Can the protocol produce checkpoints that never join a recovery
+    /// line? (Table I, "Unused Checkpoints")
+    pub fn can_have_invalid_checkpoints(&self) -> bool {
+        self.logs_messages()
+    }
+
+    /// Does the protocol insert forced checkpoints? (Table I, "Forced
+    /// Checkpoints")
+    pub fn forces_checkpoints(&self) -> bool {
+        self.piggybacks()
+    }
+
+    /// Can the protocol checkpoint cyclic dataflows? The aligned
+    /// coordinated protocol cannot (paper §VII-B, cyclic query).
+    pub fn supports_cycles(&self) -> bool {
+        !matches!(self, ProtocolKind::Coordinated)
+    }
+
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ProtocolKind::None => "NONE",
+            ProtocolKind::Coordinated => "COOR",
+            ProtocolKind::Uncoordinated => "UNC",
+            ProtocolKind::CommunicationInduced => "CIC",
+            ProtocolKind::CommunicationInducedBcs => "CIC-BCS",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_feature_matrix() {
+        use ProtocolKind::*;
+        // Coordinated: markers, no logging, no dedup, no overhead, no
+        // independent checkpoints, straggler stalls, no invalid, no forced.
+        assert!(Coordinated.uses_markers());
+        assert!(!Coordinated.logs_messages());
+        assert!(!Coordinated.needs_dedup());
+        assert!(!Coordinated.piggybacks());
+        assert!(!Coordinated.independent_checkpoints());
+        assert!(Coordinated.straggler_stalls());
+        assert!(!Coordinated.can_have_invalid_checkpoints());
+        assert!(!Coordinated.forces_checkpoints());
+        // Uncoordinated: logging + dedup + independent + invalid possible.
+        assert!(!Uncoordinated.uses_markers());
+        assert!(Uncoordinated.logs_messages());
+        assert!(Uncoordinated.needs_dedup());
+        assert!(!Uncoordinated.piggybacks());
+        assert!(Uncoordinated.independent_checkpoints());
+        assert!(!Uncoordinated.straggler_stalls());
+        assert!(Uncoordinated.can_have_invalid_checkpoints());
+        assert!(!Uncoordinated.forces_checkpoints());
+        // CIC: everything UNC has, plus piggyback overhead and forced.
+        assert!(CommunicationInduced.logs_messages());
+        assert!(CommunicationInduced.piggybacks());
+        assert!(CommunicationInduced.forces_checkpoints());
+        // Cyclic support: everyone but COOR.
+        assert!(!Coordinated.supports_cycles());
+        assert!(Uncoordinated.supports_cycles());
+        assert!(CommunicationInduced.supports_cycles());
+        assert!(None.supports_cycles());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::Coordinated.to_string(), "COOR");
+        assert_eq!(ProtocolKind::CommunicationInducedBcs.to_string(), "CIC-BCS");
+    }
+}

@@ -1,0 +1,289 @@
+//! Recovery-line computation.
+//!
+//! - [`rollback_propagation`] — the paper's Algorithm 1 over the
+//!   checkpoint graph, used by the uncoordinated and communication-induced
+//!   protocols;
+//! - [`coordinated_line`] — the trivial recovery line of the coordinated
+//!   protocol: the latest round completed by every instance.
+
+use crate::ckpt_graph::CheckpointGraph;
+use crate::meta::{CheckpointId, CheckpointMeta};
+use checkmate_dataflow::graph::InstanceIdx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a recovery-line search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// One checkpoint per instance forming a consistent global state.
+    pub line: BTreeMap<InstanceIdx, CheckpointId>,
+    /// Checkpoints newer than the line that the search rolled past. These
+    /// are the "invalid checkpoints" reported in the paper's Table III:
+    /// durable state that cannot be used for this recovery.
+    pub rolled_past: Vec<CheckpointId>,
+    /// Number of marking iterations the algorithm needed (≥ 1).
+    pub iterations: usize,
+}
+
+impl RecoveryOutcome {
+    pub fn invalid_count(&self) -> usize {
+        self.rolled_past.len()
+    }
+
+    /// Total rollback distance in checkpoints (same as invalid count, kept
+    /// for readability at call sites).
+    pub fn rollback_distance(&self) -> usize {
+        self.rolled_past.len()
+    }
+}
+
+/// The rollback propagation algorithm (paper Algorithm 1, after Wang et
+/// al. 1995).
+///
+/// Starting from the root set (each instance's latest checkpoint), mark
+/// every root-set member strictly reachable — through any path in the
+/// checkpoint graph — from another root-set member; replace marked members
+/// with their predecessor checkpoints; repeat until no member is marked.
+/// The returned root set is the most recent consistent recovery line.
+///
+/// Termination: initial checkpoints (index 0) have no incoming edges
+/// (their receive watermarks are all zero and they are first in their
+/// consecutive chains), so they are never marked.
+pub fn rollback_propagation(graph: &CheckpointGraph) -> RecoveryOutcome {
+    let mut root: BTreeMap<InstanceIdx, CheckpointId> =
+        graph.instances().map(|i| (i, graph.latest(i))).collect();
+    let mut rolled_past: Vec<CheckpointId> = Vec::new();
+    let mut iterations = 0;
+
+    loop {
+        iterations += 1;
+        // Union of reachable sets from all root members.
+        let mut reachable: BTreeSet<CheckpointId> = BTreeSet::new();
+        for &cp in root.values() {
+            reachable.extend(graph.reachable_from(cp));
+        }
+        // A member is marked if some *other* member reaches it (or a cycle
+        // reaches it back — `reachable_from` is strict, so a self-loop
+        // through the graph also marks).
+        let marked: Vec<InstanceIdx> = root
+            .iter()
+            .filter(|(_, cp)| reachable.contains(cp))
+            .map(|(inst, _)| *inst)
+            .collect();
+        if marked.is_empty() {
+            debug_assert!(graph.line_is_consistent(&root));
+            return RecoveryOutcome {
+                line: root,
+                rolled_past,
+                iterations,
+            };
+        }
+        for inst in marked {
+            let cur = root[&inst];
+            let prev = graph
+                .prev(cur)
+                .expect("initial checkpoints are unreachable and never marked");
+            rolled_past.push(cur);
+            root.insert(inst, prev);
+        }
+    }
+}
+
+/// The coordinated protocol's recovery line: checkpoints of the most
+/// recent round completed (made durable) by *every* instance. Metas must
+/// contain, for each instance, its coordinated checkpoints (kind
+/// `Initial` counts as round 0).
+pub fn coordinated_line(metas: &[CheckpointMeta]) -> BTreeMap<InstanceIdx, CheckpointId> {
+    // Per instance: the set of completed rounds.
+    let mut per_inst: BTreeMap<InstanceIdx, BTreeMap<u64, CheckpointId>> = BTreeMap::new();
+    for m in metas {
+        let round = m
+            .kind
+            .round()
+            .expect("coordinated_line expects coordinated/initial checkpoints only");
+        per_inst.entry(m.id.instance).or_default().insert(round, m.id);
+    }
+    // Highest round present for all instances.
+    let mut common: Option<BTreeSet<u64>> = None;
+    for rounds in per_inst.values() {
+        let set: BTreeSet<u64> = rounds.keys().copied().collect();
+        common = Some(match common {
+            None => set,
+            Some(c) => c.intersection(&set).copied().collect(),
+        });
+    }
+    let round = common
+        .and_then(|c| c.last().copied())
+        .expect("round 0 (initial checkpoints) is always complete");
+    per_inst
+        .into_iter()
+        .map(|(inst, rounds)| (inst, rounds[&round]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckpt_graph::ChannelTriple;
+    use crate::meta::CheckpointKind;
+    use checkmate_dataflow::graph::ChannelIdx;
+
+    fn meta(
+        inst: u32,
+        index: u64,
+        sent: &[(u32, u64)],
+        recv: &[(u32, u64)],
+    ) -> CheckpointMeta {
+        let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
+        m.id = CheckpointId::new(InstanceIdx(inst), index);
+        m.sent_wm = sent.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();
+        m.recv_wm = recv.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();
+        m
+    }
+
+    fn ch(c: u32, from: u32, to: u32) -> ChannelTriple {
+        ChannelTriple {
+            ch: ChannelIdx(c),
+            from: InstanceIdx(from),
+            to: InstanceIdx(to),
+        }
+    }
+
+    #[test]
+    fn aligned_checkpoints_need_no_rollback() {
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 4)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 4)]),
+        ];
+        let g = CheckpointGraph::build(metas, &[ch(0, 0, 1)]);
+        let out = rollback_propagation(&g);
+        assert_eq!(out.invalid_count(), 0);
+        assert_eq!(out.line[&InstanceIdx(0)].index, 1);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 1);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn orphan_rolls_receiver_back() {
+        // Receiver's latest checkpoint saw 5 messages; sender's latest had
+        // sent only 3 → receiver's checkpoint is invalid (paper Fig. 2b).
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 3)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 5)]),
+        ];
+        let g = CheckpointGraph::build(metas, &[ch(0, 0, 1)]);
+        let out = rollback_propagation(&g);
+        assert_eq!(out.line[&InstanceIdx(0)].index, 1);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 0);
+        assert_eq!(out.rolled_past, vec![CheckpointId::new(InstanceIdx(1), 1)]);
+    }
+
+    #[test]
+    fn cascading_rollback_two_hops() {
+        // 0 → 1 → 2 chain of orphans: rolling 2 back forces nothing more,
+        // but 1's latest is also orphaned by 0.
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 2)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[(1, 1)], &[(0, 4)]), // saw 4 from 0 (orphan), had sent 1 to 2
+            meta(2, 0, &[], &[]),
+            meta(2, 1, &[], &[(1, 3)]), // saw 3 from 1 (orphan w.r.t. both of 1's ckpts)
+        ];
+        let g = CheckpointGraph::build(metas, &[ch(0, 0, 1), ch(1, 1, 2)]);
+        let out = rollback_propagation(&g);
+        assert_eq!(out.line[&InstanceIdx(0)].index, 1);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 0);
+        assert_eq!(out.line[&InstanceIdx(2)].index, 0);
+        assert_eq!(out.invalid_count(), 2);
+    }
+
+    #[test]
+    fn domino_to_initial_state() {
+        // Mutual orphans at every level: both instances roll to initial.
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 1)], &[(1, 2)]), // saw 2 from peer, sent 1
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[(1, 1)], &[(0, 2)]), // saw 2 from peer, sent 1
+        ];
+        let g = CheckpointGraph::build(metas, &[ch(0, 0, 1), ch(1, 1, 0)]);
+        let out = rollback_propagation(&g);
+        assert_eq!(out.line[&InstanceIdx(0)].index, 0);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 0);
+        assert_eq!(out.invalid_count(), 2);
+        assert!(out.iterations >= 2);
+    }
+
+    #[test]
+    fn line_is_maximal_among_enumerated_consistent_lines() {
+        // Small case: enumerate all candidate lines, assert the algorithm's
+        // line dominates every consistent one componentwise.
+        let metas = vec![
+            meta(0, 0, &[], &[]),
+            meta(0, 1, &[(0, 3)], &[]),
+            meta(0, 2, &[(0, 6)], &[]),
+            meta(1, 0, &[], &[]),
+            meta(1, 1, &[], &[(0, 4)]),
+            meta(1, 2, &[], &[(0, 8)]),
+        ];
+        let g = CheckpointGraph::build(metas.clone(), &[ch(0, 0, 1)]);
+        let out = rollback_propagation(&g);
+        for x in 0..=2u64 {
+            for y in 0..=2u64 {
+                let line: BTreeMap<_, _> = [
+                    (InstanceIdx(0), CheckpointId::new(InstanceIdx(0), x)),
+                    (InstanceIdx(1), CheckpointId::new(InstanceIdx(1), y)),
+                ]
+                .into();
+                if g.line_is_consistent(&line) {
+                    assert!(
+                        out.line[&InstanceIdx(0)].index >= x
+                            && out.line[&InstanceIdx(1)].index >= y,
+                        "algorithm line {:?} dominated by consistent ({x},{y})",
+                        out.line
+                    );
+                }
+            }
+        }
+        // sanity: (2, 1) is consistent (sent 6 ≥ recv 4): expect exactly it
+        assert_eq!(out.line[&InstanceIdx(0)].index, 2);
+        assert_eq!(out.line[&InstanceIdx(1)].index, 1);
+    }
+
+    fn coor_meta(inst: u32, index: u64, round: u64) -> CheckpointMeta {
+        let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
+        m.id = CheckpointId::new(InstanceIdx(inst), index);
+        m.kind = if round == 0 {
+            CheckpointKind::Initial
+        } else {
+            CheckpointKind::Coordinated { round }
+        };
+        m
+    }
+
+    #[test]
+    fn coordinated_line_takes_last_common_round() {
+        let metas = vec![
+            coor_meta(0, 0, 0),
+            coor_meta(0, 1, 1),
+            coor_meta(0, 2, 2),
+            coor_meta(1, 0, 0),
+            coor_meta(1, 1, 1), // instance 1 hasn't completed round 2
+        ];
+        let line = coordinated_line(&metas);
+        assert_eq!(line[&InstanceIdx(0)].index, 1);
+        assert_eq!(line[&InstanceIdx(1)].index, 1);
+    }
+
+    #[test]
+    fn coordinated_line_falls_back_to_initial() {
+        let metas = vec![coor_meta(0, 0, 0), coor_meta(1, 0, 0)];
+        let line = coordinated_line(&metas);
+        assert_eq!(line[&InstanceIdx(0)].index, 0);
+        assert_eq!(line[&InstanceIdx(1)].index, 0);
+    }
+}

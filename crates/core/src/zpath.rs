@@ -1,0 +1,206 @@
+//! Z-path and Z-cycle analysis (Elnozahy et al. 2002; Netzer–Xu).
+//!
+//! A checkpoint is *useless* — it can belong to no consistent recovery
+//! line — iff it lies on a Z-cycle. Communication-induced protocols exist
+//! precisely to break Z-cycles with forced checkpoints (paper §III-C).
+//! This module provides the ground-truth analysis the property tests use
+//! to judge the protocol implementations.
+//!
+//! Conventions: every process starts with implicit checkpoint 0 and is in
+//! *interval k* after taking checkpoint `k` (and before `k+1`). A message
+//! records the sender's interval at send and the receiver's interval at
+//! delivery.
+
+use std::collections::VecDeque;
+
+/// One delivered message of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMsg {
+    pub from: usize,
+    pub to: usize,
+    /// Sender's checkpoint interval when the message was sent.
+    pub send_interval: u64,
+    /// Receiver's checkpoint interval when the message was delivered.
+    pub recv_interval: u64,
+}
+
+/// A checkpoint reference `(process, index)`.
+pub type Ckpt = (usize, u64);
+
+/// Does a Z-path exist from checkpoint `from` to checkpoint `to`?
+///
+/// A Z-path is a chain of messages `m1 … mq` where `m1` is sent by
+/// `from.0` after checkpoint `from.1`, each `m(k+1)` is sent by the
+/// receiver of `mk` in the *same or a later* interval than `mk` was
+/// received (the zigzag: within one interval, the send may causally
+/// precede the receive), and `mq` is delivered to `to.0` before checkpoint
+/// `to.1` was taken.
+pub fn z_path_exists(msgs: &[TraceMsg], from: Ckpt, to: Ckpt) -> bool {
+    let (i, x) = from;
+    let (j, y) = to;
+    let mut visited = vec![false; msgs.len()];
+    let mut queue: VecDeque<usize> = msgs
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.from == i && m.send_interval >= x)
+        .map(|(k, _)| k)
+        .collect();
+    while let Some(k) = queue.pop_front() {
+        if visited[k] {
+            continue;
+        }
+        visited[k] = true;
+        let m = &msgs[k];
+        if m.to == j && m.recv_interval < y {
+            return true;
+        }
+        for (k2, m2) in msgs.iter().enumerate() {
+            if !visited[k2] && m2.from == m.to && m2.send_interval >= m.recv_interval {
+                queue.push_back(k2);
+            }
+        }
+    }
+    false
+}
+
+/// Is checkpoint `c` on a Z-cycle (and therefore useless)?
+pub fn on_z_cycle(msgs: &[TraceMsg], c: Ckpt) -> bool {
+    // A Z-cycle needs a message received before `c`, so index 0 (taken
+    // before anything was delivered... at time zero) can only be on a
+    // cycle if some message was received in a negative interval — never.
+    if c.1 == 0 {
+        return false;
+    }
+    z_path_exists(msgs, c, c)
+}
+
+/// All useless checkpoints of an execution with `counts[p]` = latest
+/// checkpoint index of process `p`.
+pub fn useless_checkpoints(msgs: &[TraceMsg], counts: &[u64]) -> Vec<Ckpt> {
+    let mut out = Vec::new();
+    for (p, &cnt) in counts.iter().enumerate() {
+        for idx in 1..=cnt {
+            if on_z_cycle(msgs, (p, idx)) {
+                out.push((p, idx));
+            }
+        }
+    }
+    out
+}
+
+/// Orphan messages of a candidate line (`line[p]` = checkpoint index used
+/// for process `p`): delivered before the receiver's line checkpoint but
+/// sent after the sender's (paper Definition 4).
+pub fn orphans<'a>(msgs: &'a [TraceMsg], line: &[u64]) -> Vec<&'a TraceMsg> {
+    msgs.iter()
+        .filter(|m| m.recv_interval < line[m.to] && m.send_interval >= line[m.from])
+        .collect()
+}
+
+/// A line is consistent iff it induces no orphan messages (dropped
+/// messages are recoverable from logs and do not violate consistency when
+/// channel state is captured — paper Definition 5).
+pub fn is_consistent(msgs: &[TraceMsg], line: &[u64]) -> bool {
+    orphans(msgs, line).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(from: usize, to: usize, si: u64, ri: u64) -> TraceMsg {
+        TraceMsg {
+            from,
+            to,
+            send_interval: si,
+            recv_interval: ri,
+        }
+    }
+
+    #[test]
+    fn causal_path_is_z_path() {
+        // P0 sends in interval 1 → P1 receives in interval 0, P1 sends in
+        // interval 0 → P2 receives in interval 0 (before its ckpt 1).
+        let msgs = [m(0, 1, 1, 0), m(1, 2, 0, 0)];
+        assert!(z_path_exists(&msgs, (0, 1), (2, 1)));
+        // but not into P2's initial checkpoint
+        assert!(!z_path_exists(&msgs, (0, 1), (2, 0)));
+    }
+
+    #[test]
+    fn zigzag_non_causal_path() {
+        // m2 sent *before* m1 received, in the same interval of P1:
+        // m1: P0(int 1) → P1 received in interval 2
+        // m2: P1 sent in interval 2 → P2 received interval 0
+        // zigzag allows m2 after m1 because send_interval(m2)=2 ≥ recv(m1)=2
+        let msgs = [m(0, 1, 1, 2), m(1, 2, 2, 0)];
+        assert!(z_path_exists(&msgs, (0, 1), (2, 1)));
+    }
+
+    #[test]
+    fn interval_gap_breaks_path() {
+        // m2 sent in interval 1, m1 received in interval 2: cannot link.
+        let msgs = [m(0, 1, 1, 2), m(1, 2, 1, 0)];
+        assert!(!z_path_exists(&msgs, (0, 1), (2, 1)));
+    }
+
+    #[test]
+    fn classic_z_cycle() {
+        // The textbook useless checkpoint: P1 takes c(1,1); P1 sends m1 in
+        // interval 1, received by P0 in interval 0; earlier P0 sent m0 in
+        // interval 0 which P1 received in interval 0 (before c(1,1)).
+        // Z-path c(1,1) → m1 → (P0 interval 0) → m0 → received before
+        // c(1,1): cycle.
+        let msgs = [m(1, 0, 1, 0), m(0, 1, 0, 0)];
+        assert!(on_z_cycle(&msgs, (1, 1)));
+        // P0's initial checkpoint is never on a cycle.
+        assert!(!on_z_cycle(&msgs, (0, 0)));
+    }
+
+    #[test]
+    fn aligned_exchange_no_cycle() {
+        // Messages always received in the same interval they were sent,
+        // checkpoints aligned: no cycles.
+        let msgs = [m(0, 1, 0, 0), m(1, 0, 0, 0), m(0, 1, 1, 1), m(1, 0, 1, 1)];
+        assert!(useless_checkpoints(&msgs, &[2, 2]).is_empty());
+    }
+
+    #[test]
+    fn useless_checkpoint_matches_no_consistent_line_bruteforce() {
+        // Netzer–Xu: c is useless ⇔ no consistent line contains c.
+        let msgs = [m(1, 0, 1, 0), m(0, 1, 0, 0), m(0, 1, 1, 1)];
+        let counts = [2u64, 2];
+        for p in 0..2usize {
+            for idx in 0..=counts[p] {
+                let mut any_line = false;
+                // enumerate the other process's indices
+                let q = 1 - p;
+                for qidx in 0..=counts[q] {
+                    let mut line = [0u64; 2];
+                    line[p] = idx;
+                    line[q] = qidx;
+                    if is_consistent(&msgs, &line) {
+                        any_line = true;
+                    }
+                }
+                assert_eq!(
+                    !any_line,
+                    idx > 0 && on_z_cycle(&msgs, (p, idx)),
+                    "mismatch for ({p},{idx})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orphan_detection() {
+        let msgs = [m(0, 1, 1, 0)];
+        // line: P0 at 1 (sent after? send_interval 1 ≥ 1 yes), P1 at 1
+        // (received before? recv 0 < 1 yes) → orphan.
+        assert_eq!(orphans(&msgs, &[1, 1]).len(), 1);
+        // rolling P1 back to 0 resolves it (message no longer received)
+        assert!(is_consistent(&msgs, &[1, 0]));
+        // or keeping P0 at 0... send_interval 1 ≥ 0 → still orphan.
+        assert!(!is_consistent(&msgs, &[0, 1]));
+    }
+}

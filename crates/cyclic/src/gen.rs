@@ -1,0 +1,229 @@
+//! Event generator for the cyclic reachability query (paper §VI/§VII-B).
+//!
+//! The paper's generator "creates events with the following
+//! probabilities: 60 % chance of creating a new link, 15 % of creating a
+//! source node, 20 % chance of deleting an existing link, and 5 % of
+//! deleting an existing source node", over "a static set of 1M nodes".
+//! The query ingests two streams — links and source nodes — so we split
+//! the mix into a links stream (75 % add / 25 % delete, 80 % of total
+//! rate) and a sources stream (75 % add / 25 % delete, 20 % of total).
+//!
+//! Deletions reference events generated earlier in the same partition,
+//! found deterministically so replays remain pure.
+
+use checkmate_dataflow::{mix_key, Record, Value};
+use checkmate_wal::EventStream;
+
+/// Share of the total input rate carried by the links stream
+/// ((60 + 20) / 100).
+pub const LINK_SHARE: f64 = 0.8;
+/// Share carried by the sources stream ((15 + 5) / 100).
+pub const SOURCE_SHARE: f64 = 0.2;
+
+/// Event tags inside the tuples.
+pub const TAG_ADD: u64 = 0;
+pub const TAG_DEL: u64 = 1;
+
+fn h(seed: u64, g: u64, salt: u64) -> u64 {
+    mix_key(seed ^ g.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Directed-link events: `(tag, u, v)`, keyed by the link's start node
+/// `u` (the join partitions its link state by start node).
+pub struct LinkStream {
+    pub partitions: u32,
+    pub seed: u64,
+    pub nodes: u64,
+}
+
+impl LinkStream {
+    pub fn new(partitions: u32, seed: u64, nodes: u64) -> Self {
+        assert!(nodes > 1);
+        Self {
+            partitions,
+            seed,
+            nodes,
+        }
+    }
+
+    fn is_add(&self, partition: u32, offset: u64) -> bool {
+        h(self.seed, offset * self.partitions as u64 + partition as u64, 10) % 100 < 75
+    }
+
+    /// The link endpoints introduced by an *add* at `offset`.
+    fn link_of(&self, partition: u32, offset: u64) -> (u64, u64) {
+        let g = offset * self.partitions as u64 + partition as u64;
+        let u = h(self.seed, g, 11) % self.nodes;
+        // v ≠ u (self-loops carry no information for reachability).
+        let v = (u + 1 + h(self.seed, g, 12) % (self.nodes - 1)) % self.nodes;
+        (u, v)
+    }
+
+    /// Deterministically pick an earlier add-offset to delete; falls back
+    /// to add when none is found nearby.
+    fn del_target(&self, partition: u32, offset: u64) -> Option<u64> {
+        if offset == 0 {
+            return None;
+        }
+        let g = offset * self.partitions as u64 + partition as u64;
+        let start = h(self.seed, g, 13) % offset;
+        (0..16u64)
+            .map(|i| (start + i) % offset)
+            .find(|&cand| self.is_add(partition, cand))
+    }
+}
+
+impl EventStream for LinkStream {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    fn record(&self, partition: u32, offset: u64) -> Record {
+        let (tag, (u, v)) = if self.is_add(partition, offset) {
+            (TAG_ADD, self.link_of(partition, offset))
+        } else {
+            match self.del_target(partition, offset) {
+                Some(cand) => (TAG_DEL, self.link_of(partition, cand)),
+                None => (TAG_ADD, self.link_of(partition, offset)),
+            }
+        };
+        Record::new(
+            u,
+            Value::Tuple(vec![Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
+            0,
+        )
+    }
+}
+
+/// Source-node events: `(tag, s)`, keyed by the node `s`.
+pub struct SourceNodeStream {
+    pub partitions: u32,
+    pub seed: u64,
+    pub nodes: u64,
+}
+
+impl SourceNodeStream {
+    pub fn new(partitions: u32, seed: u64, nodes: u64) -> Self {
+        assert!(nodes > 0);
+        Self {
+            partitions,
+            seed,
+            nodes,
+        }
+    }
+
+    fn is_add(&self, partition: u32, offset: u64) -> bool {
+        h(self.seed, offset * self.partitions as u64 + partition as u64, 20) % 100 < 75
+    }
+
+    fn node_of(&self, partition: u32, offset: u64) -> u64 {
+        let g = offset * self.partitions as u64 + partition as u64;
+        h(self.seed, g, 21) % self.nodes
+    }
+
+    fn del_target(&self, partition: u32, offset: u64) -> Option<u64> {
+        if offset == 0 {
+            return None;
+        }
+        let g = offset * self.partitions as u64 + partition as u64;
+        let start = h(self.seed, g, 22) % offset;
+        (0..16u64)
+            .map(|i| (start + i) % offset)
+            .find(|&cand| self.is_add(partition, cand))
+    }
+}
+
+impl EventStream for SourceNodeStream {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    fn record(&self, partition: u32, offset: u64) -> Record {
+        let (tag, s) = if self.is_add(partition, offset) {
+            (TAG_ADD, self.node_of(partition, offset))
+        } else {
+            match self.del_target(partition, offset) {
+                Some(cand) => (TAG_DEL, self.node_of(partition, cand)),
+                None => (TAG_ADD, self.node_of(partition, offset)),
+            }
+        };
+        Record::new(
+            s,
+            Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()),
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_pure() {
+        let l = LinkStream::new(4, 9, 1000);
+        let s = SourceNodeStream::new(4, 9, 1000);
+        for off in [0u64, 7, 321] {
+            assert_eq!(l.record(1, off), l.record(1, off));
+            assert_eq!(s.record(2, off), s.record(2, off));
+        }
+    }
+
+    #[test]
+    fn event_mix_roughly_75_25() {
+        let l = LinkStream::new(1, 9, 1_000_000);
+        let n = 4_000u64;
+        let adds = (0..n)
+            .filter(|&o| l.record(0, o).value.field(0).as_u64() == Some(TAG_ADD))
+            .count();
+        let ratio = adds as f64 / n as f64;
+        assert!((0.70..0.85).contains(&ratio), "add ratio {ratio}");
+    }
+
+    #[test]
+    fn deletes_reference_previously_added_links() {
+        let l = LinkStream::new(2, 9, 10_000);
+        let mut added = std::collections::HashSet::new();
+        for off in 0..2_000u64 {
+            let rec = l.record(0, off);
+            let t = rec.value.as_tuple().unwrap();
+            let (tag, u, v) = (
+                t[0].as_u64().unwrap(),
+                t[1].as_u64().unwrap(),
+                t[2].as_u64().unwrap(),
+            );
+            if tag == TAG_ADD {
+                added.insert((u, v));
+            } else {
+                assert!(
+                    added.contains(&(u, v)),
+                    "delete at {off} references unknown link ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let l = LinkStream::new(1, 3, 50);
+        for off in 0..500u64 {
+            let rec = l.record(0, off);
+            let t = rec.value.as_tuple().unwrap();
+            assert_ne!(t[1], t[2], "self-loop at {off}");
+        }
+    }
+
+    #[test]
+    fn key_is_start_node() {
+        let l = LinkStream::new(1, 3, 100);
+        for off in 0..100u64 {
+            let rec = l.record(0, off);
+            assert_eq!(Some(rec.key), rec.value.field(1).as_u64());
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        assert!((LINK_SHARE + SOURCE_SHARE - 1.0).abs() < 1e-12);
+    }
+}

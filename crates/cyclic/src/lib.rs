@@ -1,0 +1,18 @@
+//! # checkmate-cyclic
+//!
+//! The cyclic reachability streaming query of the paper's evaluation
+//! (§VI, adapted from Chandramouli et al.'s FFP reachability query):
+//! temporal directed links and source nodes stream in; the query
+//! maintains all paths reachable from live source nodes, feeding newly
+//! derived reach records back into the join through a feedback edge —
+//! the dataflow cycle that the aligned coordinated protocol cannot
+//! checkpoint (it deadlocks; §VII-B), and that historically threatens
+//! uncoordinated checkpointing with the domino effect.
+
+pub mod gen;
+pub mod ops;
+pub mod query;
+
+pub use gen::{LinkStream, SourceNodeStream, LINK_SHARE, SOURCE_SHARE, TAG_ADD, TAG_DEL};
+pub use ops::{ReachJoinOp, ReachProjectOp, ReachSelectOp, MAX_PATH, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES};
+pub use query::{reachability, DEFAULT_NODES};

@@ -1,0 +1,389 @@
+//! Operators of the reachability query (paper Fig. 6):
+//! `Join ⋈ → Select σ → Project π → (sink + feedback to join)`.
+
+use crate::gen::{TAG_ADD, TAG_DEL};
+use checkmate_dataflow::codec::{Codec, Dec, DecodeError, Enc};
+use checkmate_dataflow::ids::PortId;
+use checkmate_dataflow::operator::{OpCtx, Operator};
+use checkmate_dataflow::record::Record;
+use checkmate_dataflow::state::KeyedState;
+use checkmate_dataflow::value::Value;
+
+/// Input ports of [`ReachJoinOp`].
+pub const PORT_LINKS: PortId = PortId(0);
+pub const PORT_SOURCES: PortId = PortId(1);
+pub const PORT_FEEDBACK: PortId = PortId(2);
+
+/// Paths longer than this are dropped by the project operator — a safety
+/// bound against path blow-up on dense graphs (the select operator's
+/// cycle check already bounds paths on simple cycles).
+pub const MAX_PATH: usize = 12;
+
+/// The stateful join at the heart of the reachability query.
+///
+/// State (partitioned by node id):
+/// - `links[u]`  — end nodes of live directed links starting at `u`;
+/// - `reach[n]`  — reach records `(source, path)` currently known at
+///   node `n` (from AddSource or from the feedback loop).
+///
+/// On every new link/reach record it joins against the other side and
+/// emits `(end_node, source, path)` pairs downstream.
+#[derive(Default)]
+pub struct ReachJoinOp {
+    links: KeyedState<Vec<Value>>,
+    reach: KeyedState<Vec<Value>>,
+}
+
+impl ReachJoinOp {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn live_links(&self) -> usize {
+        self.links.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    pub fn reach_records(&self) -> usize {
+        self.reach.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    fn emit_pair(ctx: &mut OpCtx, base: &Record, v: u64, source: u64, path: &Value) {
+        ctx.emit(base.derive(
+            v,
+            Value::Tuple(vec![Value::U64(v), Value::U64(source), path.clone()].into()),
+        ));
+    }
+}
+
+impl Operator for ReachJoinOp {
+    fn on_record(&mut self, port: PortId, rec: Record, ctx: &mut OpCtx) {
+        match port {
+            PORT_LINKS => {
+                let t = rec.value.as_tuple().expect("link tuple");
+                let tag = t[0].as_u64().expect("tag");
+                let u = t[1].as_u64().expect("u");
+                let v = t[2].as_u64().expect("v");
+                if tag == TAG_ADD {
+                    self.links.upsert(u, Vec::new, |l| l.push(Value::U64(v)));
+                    if let Some(records) = self.reach.get(u) {
+                        for r in records.clone() {
+                            let rt = r.as_tuple().expect("reach tuple");
+                            let source = rt[0].as_u64().expect("source");
+                            ReachJoinOp::emit_pair(ctx, &rec, v, source, &rt[1]);
+                        }
+                    }
+                } else {
+                    debug_assert_eq!(tag, TAG_DEL);
+                    self.links.upsert(u, Vec::new, |l| {
+                        if let Some(pos) = l.iter().position(|x| x.as_u64() == Some(v)) {
+                            l.swap_remove(pos);
+                        }
+                    });
+                }
+            }
+            PORT_SOURCES => {
+                let t = rec.value.as_tuple().expect("source tuple");
+                let tag = t[0].as_u64().expect("tag");
+                let s = t[1].as_u64().expect("s");
+                if tag == TAG_ADD {
+                    let path = Value::List(vec![Value::U64(s)]);
+                    self.reach.upsert(s, Vec::new, |r| {
+                        r.push(Value::Tuple(vec![Value::U64(s), path.clone()].into()))
+                    });
+                    if let Some(ends) = self.links.get(s) {
+                        for v in ends.clone() {
+                            let v = v.as_u64().expect("end node");
+                            ReachJoinOp::emit_pair(ctx, &rec, v, s, &path);
+                        }
+                    }
+                } else {
+                    debug_assert_eq!(tag, TAG_DEL);
+                    // Remove the original source record at node s. Derived
+                    // reach records elsewhere are left in place (the paper
+                    // leaves cascade deletion unspecified; see DESIGN.md).
+                    self.reach.upsert(s, Vec::new, |r| {
+                        r.retain(|x| {
+                            let t = x.as_tuple().expect("reach tuple");
+                            !(t[0].as_u64() == Some(s)
+                                && t[1].as_list().is_some_and(|p| p.len() == 1))
+                        });
+                    });
+                }
+            }
+            PORT_FEEDBACK => {
+                // (source, node, path) arriving from the project operator.
+                let t = rec.value.as_tuple().expect("feedback tuple");
+                let source = t[0].as_u64().expect("source");
+                let node = t[1].as_u64().expect("node");
+                let path = t[2].clone();
+                self.reach.upsert(node, Vec::new, |r| {
+                    r.push(Value::Tuple(vec![Value::U64(source), path.clone()].into()))
+                });
+                if let Some(ends) = self.links.get(node) {
+                    for v in ends.clone() {
+                        let v = v.as_u64().expect("end node");
+                        ReachJoinOp::emit_pair(ctx, &rec, v, source, &path);
+                    }
+                }
+            }
+            other => panic!("reach join: unexpected port {other}"),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Enc::with_capacity(self.state_size() + 16);
+        self.links.encode(&mut enc);
+        self.reach.encode(&mut enc);
+        enc.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), DecodeError> {
+        let mut dec = Dec::new(bytes);
+        self.links = KeyedState::decode(&mut dec)?;
+        self.reach = KeyedState::decode(&mut dec)?;
+        dec.finish()
+    }
+
+    fn state_size(&self) -> usize {
+        self.links.byte_size() + self.reach.byte_size()
+    }
+}
+
+/// σ — drop pairs whose end node already appears in the path (cycle
+/// avoidance; paper: "we check if the end node ... is contained in the
+/// path ... and we discard such pairs"). Stateless.
+#[derive(Default)]
+pub struct ReachSelectOp;
+
+impl Operator for ReachSelectOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        let t = rec.value.as_tuple().expect("pair tuple");
+        let v = t[0].as_u64().expect("end node");
+        let in_path = t[2]
+            .as_list()
+            .expect("path list")
+            .iter()
+            .any(|x| x.as_u64() == Some(v));
+        if !in_path {
+            ctx.emit(rec);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+/// π — build the new reach record `(source, v, path + [v])`, output it
+/// (edge 0 → sink) and feed it back (edge 1 → join). Stateless.
+#[derive(Default)]
+pub struct ReachProjectOp;
+
+impl Operator for ReachProjectOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        let t = rec.value.as_tuple().expect("pair tuple");
+        let v = t[0].as_u64().expect("end node");
+        let source = t[1].as_u64().expect("source");
+        let mut path = t[2].as_list().expect("path").to_vec();
+        if path.len() >= MAX_PATH {
+            return;
+        }
+        path.push(Value::U64(v));
+        let reach = Value::Tuple(
+            vec![Value::U64(source), Value::U64(v), Value::List(path)].into(),
+        );
+        // Output to the sink...
+        ctx.emit_to(0, rec.derive(v, reach.clone()));
+        // ...and recursively back into the join, keyed by the new node.
+        ctx.emit_to(1, rec.derive(v, reach));
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(tag: u64, u: u64, v: u64) -> Record {
+        Record::new(
+            u,
+            Value::Tuple(vec![Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
+            0,
+        )
+    }
+
+    fn source(tag: u64, s: u64) -> Record {
+        Record::new(s, Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()), 0)
+    }
+
+    fn drive(op: &mut dyn Operator, port: PortId, rec: Record) -> Vec<(usize, Record)> {
+        let mut ctx = OpCtx::new(0);
+        op.on_record(port, rec, &mut ctx);
+        ctx.take().0
+    }
+
+    #[test]
+    fn source_then_link_joins() {
+        let mut j = ReachJoinOp::new();
+        assert!(drive(&mut j, PORT_SOURCES, source(TAG_ADD, 5)).is_empty());
+        let out = drive(&mut j, PORT_LINKS, link(TAG_ADD, 5, 9));
+        assert_eq!(out.len(), 1);
+        let t = out[0].1.value.as_tuple().unwrap();
+        assert_eq!(t[0].as_u64(), Some(9)); // end node
+        assert_eq!(t[1].as_u64(), Some(5)); // source
+    }
+
+    #[test]
+    fn link_then_source_joins() {
+        let mut j = ReachJoinOp::new();
+        drive(&mut j, PORT_LINKS, link(TAG_ADD, 5, 9));
+        let out = drive(&mut j, PORT_SOURCES, source(TAG_ADD, 5));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn deleted_link_no_longer_joins() {
+        let mut j = ReachJoinOp::new();
+        drive(&mut j, PORT_LINKS, link(TAG_ADD, 5, 9));
+        drive(&mut j, PORT_LINKS, link(TAG_DEL, 5, 9));
+        assert!(drive(&mut j, PORT_SOURCES, source(TAG_ADD, 5)).is_empty());
+        assert_eq!(j.live_links(), 0);
+    }
+
+    #[test]
+    fn deleted_source_record_removed() {
+        let mut j = ReachJoinOp::new();
+        drive(&mut j, PORT_SOURCES, source(TAG_ADD, 5));
+        drive(&mut j, PORT_SOURCES, source(TAG_DEL, 5));
+        assert!(drive(&mut j, PORT_LINKS, link(TAG_ADD, 5, 9)).is_empty());
+    }
+
+    #[test]
+    fn feedback_extends_reachability() {
+        let mut j = ReachJoinOp::new();
+        drive(&mut j, PORT_LINKS, link(TAG_ADD, 9, 12));
+        // a reach record for source 5 arriving at node 9 via feedback
+        let fb = Record::new(
+            9,
+            Value::Tuple(
+                vec![
+                    Value::U64(5),
+                    Value::U64(9),
+                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                ]
+                .into(),
+            ),
+            0,
+        );
+        let out = drive(&mut j, PORT_FEEDBACK, fb);
+        assert_eq!(out.len(), 1);
+        let t = out[0].1.value.as_tuple().unwrap();
+        assert_eq!(t[0].as_u64(), Some(12));
+    }
+
+    #[test]
+    fn select_discards_cycles() {
+        let mut s = ReachSelectOp;
+        let pair_cyclic = Record::new(
+            5,
+            Value::Tuple(
+                vec![
+                    Value::U64(5),
+                    Value::U64(5),
+                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                ]
+                .into(),
+            ),
+            0,
+        );
+        assert!(drive(&mut s, PortId(0), pair_cyclic).is_empty());
+        let pair_ok = Record::new(
+            7,
+            Value::Tuple(
+                vec![
+                    Value::U64(7),
+                    Value::U64(5),
+                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                ]
+                .into(),
+            ),
+            0,
+        );
+        assert_eq!(drive(&mut s, PortId(0), pair_ok).len(), 1);
+    }
+
+    #[test]
+    fn project_emits_output_and_feedback() {
+        let mut p = ReachProjectOp;
+        let pair = Record::new(
+            9,
+            Value::Tuple(
+                vec![Value::U64(9), Value::U64(5), Value::List(vec![Value::U64(5)])].into(),
+            ),
+            0,
+        );
+        let out = drive(&mut p, PortId(0), pair);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0); // sink edge
+        assert_eq!(out[1].0, 1); // feedback edge
+        let t = out[1].1.value.as_tuple().unwrap();
+        assert_eq!(t[1].as_u64(), Some(9)); // new node
+        assert_eq!(t[2].as_list().unwrap().len(), 2); // path extended
+        assert_eq!(out[1].1.key, 9); // routed by the new node
+    }
+
+    #[test]
+    fn project_caps_path_length() {
+        let mut p = ReachProjectOp;
+        let long_path = Value::List((0..MAX_PATH as u64).map(Value::U64).collect());
+        let pair = Record::new(
+            99,
+            Value::Tuple(vec![Value::U64(99), Value::U64(5), long_path].into()),
+            0,
+        );
+        assert!(drive(&mut p, PortId(0), pair).is_empty());
+    }
+
+    #[test]
+    fn join_snapshot_roundtrip() {
+        let mut j = ReachJoinOp::new();
+        drive(&mut j, PORT_LINKS, link(TAG_ADD, 5, 9));
+        drive(&mut j, PORT_SOURCES, source(TAG_ADD, 5));
+        let snap = j.snapshot();
+        let mut fresh = ReachJoinOp::new();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.state_size(), j.state_size());
+        assert_eq!(fresh.live_links(), 1);
+        assert_eq!(fresh.reach_records(), 1);
+        // restored join behaves identically
+        let out = drive(&mut fresh, PORT_LINKS, link(TAG_ADD, 5, 7));
+        assert_eq!(out.len(), 1);
+    }
+}

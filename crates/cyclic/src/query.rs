@@ -1,0 +1,66 @@
+//! The reachability query workload (paper Fig. 6): two sources feed a
+//! stateful join whose derived results loop back through
+//! select → project → feedback.
+
+use crate::gen::{LinkStream, SourceNodeStream, LINK_SHARE, SOURCE_SHARE};
+use crate::ops::{ReachJoinOp, ReachProjectOp, ReachSelectOp, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES};
+use checkmate_dataflow::ops::{DigestSinkOp, PassThroughOp};
+use checkmate_dataflow::{EdgeKind, GraphBuilder};
+use checkmate_engine::workload::{StreamSpec, Workload};
+use std::sync::Arc;
+
+/// Size of the static node universe (paper: 1 M nodes).
+pub const DEFAULT_NODES: u64 = 1_000_000;
+
+/// Build the cyclic reachability workload.
+pub fn reachability(parallelism: u32, seed: u64, nodes: u64) -> Workload {
+    let mut b = GraphBuilder::new();
+    let links = b.source("links", 0, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let sources = b.source("sources", 1, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let join = b.op("join", 320_000, Arc::new(|_| Box::new(ReachJoinOp::new())));
+    let select = b.op("select", 140_000, Arc::new(|_| Box::<ReachSelectOp>::default()));
+    let project = b.op("project", 160_000, Arc::new(|_| Box::<ReachProjectOp>::default()));
+    let sink = b.sink("sink", 90_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
+    b.connect_port(links, join, EdgeKind::Shuffle, PORT_LINKS);
+    b.connect_port(sources, join, EdgeKind::Shuffle, PORT_SOURCES);
+    b.connect(join, select, EdgeKind::Forward);
+    b.connect(select, project, EdgeKind::Forward);
+    // project edge 0 → sink, edge 1 → feedback into the join.
+    b.connect(project, sink, EdgeKind::Forward);
+    b.connect_port(project, join, EdgeKind::Feedback, PORT_FEEDBACK);
+    Workload {
+        name: "reachability".into(),
+        graph: b.build().expect("cyclic graph"),
+        streams: vec![
+            StreamSpec {
+                stream: Arc::new(LinkStream::new(parallelism, seed, nodes)),
+                rate_share: LINK_SHARE,
+            },
+            StreamSpec {
+                stream: Arc::new(SourceNodeStream::new(parallelism, seed, nodes)),
+                rate_share: SOURCE_SHARE,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_as_cyclic_graph() {
+        let wl = reachability(4, 9, 10_000);
+        wl.validate(4);
+        assert!(wl.graph.is_cyclic());
+        assert_eq!(wl.graph.sources().count(), 2);
+        assert_eq!(wl.graph.ops().len(), 6);
+        let feedback = wl
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Feedback)
+            .count();
+        assert_eq!(feedback, 1);
+    }
+}

@@ -1,0 +1,648 @@
+//! Logical dataflow graphs and their physical expansion.
+//!
+//! A [`LogicalGraph`] is a small DAG (plus optional feedback edges for
+//! cyclic queries) of operators connected by typed edges. Expanding it with
+//! a parallelism `p` yields a [`PhysicalGraph`]: `p` instances per operator
+//! (instance `i` of every operator placed on worker `i`, as in the paper's
+//! testbed) and the full set of point-to-point channels.
+
+use crate::ids::{ChannelId, InstanceId, OpId, PortId, WorkerId};
+use crate::operator::Operator;
+use std::fmt;
+use std::sync::Arc;
+
+/// How an edge routes records between instance grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// 1-to-1: instance `i` sends only to instance `i`. No network fan-out.
+    Forward,
+    /// Key-hash partitioning: instance `i` may send to any instance `j`
+    /// chosen by the record key.
+    Shuffle,
+    /// Every record goes to all instances.
+    Broadcast,
+    /// A shuffle edge that closes a cycle in the graph (the reachability
+    /// query's feedback loop). Treated as shuffle for routing; flagged so
+    /// protocols and validators can reason about cyclicity.
+    Feedback,
+}
+
+impl EdgeKind {
+    pub fn is_feedback(&self) -> bool {
+        matches!(self, EdgeKind::Feedback)
+    }
+
+    /// Does instance `from_idx` have a channel to instance `to_idx`?
+    pub fn connects(&self, from_idx: u32, to_idx: u32) -> bool {
+        match self {
+            EdgeKind::Forward => from_idx == to_idx,
+            _ => true,
+        }
+    }
+}
+
+/// Role of an operator in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpRole {
+    /// Reads an external stream (identified by workload stream id).
+    Source { stream: u32 },
+    Transform,
+    /// Terminal operator; the engine measures end-to-end latency here.
+    Sink,
+}
+
+/// Factory producing a fresh operator instance for parallel index `i`.
+pub type OpFactory = Arc<dyn Fn(u32) -> Box<dyn Operator> + Send + Sync>;
+
+/// A logical operator specification.
+#[derive(Clone)]
+pub struct LogicalOp {
+    pub id: OpId,
+    pub name: String,
+    pub role: OpRole,
+    pub factory: OpFactory,
+    /// Base CPU nanoseconds charged per record processed by this operator
+    /// (on top of per-byte serialization costs).
+    pub work_ns: u64,
+}
+
+impl fmt::Debug for LogicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogicalOp")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .field("work_ns", &self.work_ns)
+            .finish()
+    }
+}
+
+/// A logical edge between operators.
+#[derive(Debug, Clone)]
+pub struct LogicalEdge {
+    pub from: OpId,
+    pub to: OpId,
+    pub kind: EdgeKind,
+    /// Which input port of `to` this edge feeds (joins use LEFT/RIGHT).
+    pub to_port: PortId,
+}
+
+/// Error from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    UnknownOp(OpId),
+    SourceHasInput(OpId),
+    SinkHasOutput(OpId),
+    /// A cycle exists using only non-feedback edges. Cycles must be closed
+    /// explicitly with [`EdgeKind::Feedback`].
+    UndeclaredCycle,
+    /// A feedback edge was declared but removing feedback edges still
+    /// leaves the graph acyclic — the feedback flag is wrong or unneeded.
+    SpuriousFeedback,
+    NoSources,
+    NoSink,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownOp(id) => write!(f, "edge references unknown operator {id}"),
+            GraphError::SourceHasInput(id) => write!(f, "source {id} has an input edge"),
+            GraphError::SinkHasOutput(id) => write!(f, "sink {id} has an output edge"),
+            GraphError::UndeclaredCycle => write!(f, "graph has a cycle not closed by a Feedback edge"),
+            GraphError::SpuriousFeedback => write!(f, "feedback edge declared on an acyclic path"),
+            GraphError::NoSources => write!(f, "graph has no source operators"),
+            GraphError::NoSink => write!(f, "graph has no sink operator"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builder for [`LogicalGraph`].
+#[derive(Default)]
+pub struct GraphBuilder {
+    ops: Vec<LogicalOp>,
+    edges: Vec<LogicalEdge>,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn source(&mut self, name: &str, stream: u32, work_ns: u64, factory: OpFactory) -> OpId {
+        self.add(name, OpRole::Source { stream }, work_ns, factory)
+    }
+
+    pub fn op(&mut self, name: &str, work_ns: u64, factory: OpFactory) -> OpId {
+        self.add(name, OpRole::Transform, work_ns, factory)
+    }
+
+    pub fn sink(&mut self, name: &str, work_ns: u64, factory: OpFactory) -> OpId {
+        self.add(name, OpRole::Sink, work_ns, factory)
+    }
+
+    fn add(&mut self, name: &str, role: OpRole, work_ns: u64, factory: OpFactory) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(LogicalOp {
+            id,
+            name: name.to_string(),
+            role,
+            factory,
+            work_ns,
+        });
+        id
+    }
+
+    pub fn connect(&mut self, from: OpId, to: OpId, kind: EdgeKind) -> &mut Self {
+        self.connect_port(from, to, kind, PortId(0))
+    }
+
+    pub fn connect_port(&mut self, from: OpId, to: OpId, kind: EdgeKind, port: PortId) -> &mut Self {
+        self.edges.push(LogicalEdge {
+            from,
+            to,
+            kind,
+            to_port: port,
+        });
+        self
+    }
+
+    pub fn build(self) -> Result<LogicalGraph, GraphError> {
+        LogicalGraph::validate(self.ops, self.edges)
+    }
+}
+
+/// A validated logical dataflow graph.
+#[derive(Clone)]
+pub struct LogicalGraph {
+    ops: Vec<LogicalOp>,
+    edges: Vec<LogicalEdge>,
+    cyclic: bool,
+}
+
+impl fmt::Debug for LogicalGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogicalGraph")
+            .field("ops", &self.ops)
+            .field("edges", &self.edges)
+            .field("cyclic", &self.cyclic)
+            .finish()
+    }
+}
+
+impl LogicalGraph {
+    fn validate(ops: Vec<LogicalOp>, edges: Vec<LogicalEdge>) -> Result<Self, GraphError> {
+        let n = ops.len();
+        let valid = |id: OpId| (id.0 as usize) < n;
+        for e in &edges {
+            if !valid(e.from) {
+                return Err(GraphError::UnknownOp(e.from));
+            }
+            if !valid(e.to) {
+                return Err(GraphError::UnknownOp(e.to));
+            }
+            if matches!(ops[e.to.0 as usize].role, OpRole::Source { .. }) {
+                return Err(GraphError::SourceHasInput(e.to));
+            }
+            if matches!(ops[e.from.0 as usize].role, OpRole::Sink) {
+                return Err(GraphError::SinkHasOutput(e.from));
+            }
+        }
+        if !ops.iter().any(|o| matches!(o.role, OpRole::Source { .. })) {
+            return Err(GraphError::NoSources);
+        }
+        if !ops.iter().any(|o| matches!(o.role, OpRole::Sink)) {
+            return Err(GraphError::NoSink);
+        }
+
+        // Cycle check on non-feedback edges (Kahn's algorithm).
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in edges.iter().filter(|e| !e.kind.is_feedback()) {
+            adj[e.from.0 as usize].push(e.to.0 as usize);
+            indeg[e.to.0 as usize] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(GraphError::UndeclaredCycle);
+        }
+
+        // Every feedback edge must actually close a cycle: its target must
+        // reach its origin through forward edges.
+        let cyclic = edges.iter().any(|e| e.kind.is_feedback());
+        for e in edges.iter().filter(|e| e.kind.is_feedback()) {
+            if !reaches(&adj, e.to.0 as usize, e.from.0 as usize) {
+                return Err(GraphError::SpuriousFeedback);
+            }
+        }
+
+        Ok(Self { ops, edges, cyclic })
+    }
+
+    pub fn ops(&self) -> &[LogicalOp] {
+        &self.ops
+    }
+
+    pub fn edges(&self) -> &[LogicalEdge] {
+        &self.edges
+    }
+
+    pub fn op(&self, id: OpId) -> &LogicalOp {
+        &self.ops[id.0 as usize]
+    }
+
+    /// True when the graph contains a feedback edge (a cyclic query).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    pub fn sources(&self) -> impl Iterator<Item = &LogicalOp> {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.role, OpRole::Source { .. }))
+    }
+
+    pub fn sinks(&self) -> impl Iterator<Item = &LogicalOp> {
+        self.ops.iter().filter(|o| matches!(o.role, OpRole::Sink))
+    }
+
+    /// Expand to a physical graph with uniform parallelism `p`.
+    pub fn expand(&self, p: u32) -> PhysicalGraph {
+        PhysicalGraph::expand(self, p)
+    }
+}
+
+fn reaches(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut visited = vec![false; adj.len()];
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        for &v in &adj[u] {
+            stack.push(v);
+        }
+    }
+    false
+}
+
+/// Dense index of an operator instance within a physical graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceIdx(pub u32);
+
+/// Dense index of a channel within a physical graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelIdx(pub u32);
+
+/// A physical channel: one (sender instance, receiver instance) pair of one
+/// logical edge.
+#[derive(Debug, Clone)]
+pub struct ChannelMeta {
+    pub idx: ChannelIdx,
+    pub id: ChannelId,
+    pub from: InstanceIdx,
+    pub to: InstanceIdx,
+    pub port: PortId,
+    pub kind: EdgeKind,
+    /// Index of the logical edge this channel belongs to.
+    pub edge: usize,
+}
+
+/// One output edge of an operator instance, with the channel for each
+/// target instance index (dense, length = parallelism; `None` where the
+/// edge kind doesn't connect the pair).
+#[derive(Debug, Clone)]
+pub struct OutEdge {
+    pub edge: usize,
+    pub kind: EdgeKind,
+    pub to_op: OpId,
+    pub port: PortId,
+    /// `targets[j]` = channel to instance `j` of `to_op`, if connected.
+    pub targets: Vec<Option<ChannelIdx>>,
+}
+
+/// The physically expanded dataflow.
+pub struct PhysicalGraph {
+    logical: LogicalGraph,
+    parallelism: u32,
+    channels: Vec<ChannelMeta>,
+    /// Per instance: channels arriving at it, ordered.
+    in_channels: Vec<Vec<ChannelIdx>>,
+    /// Per instance: out edges (ordered by logical edge declaration order,
+    /// which matches `OpCtx::emit_to` indices for that operator).
+    out_edges: Vec<Vec<OutEdge>>,
+}
+
+impl PhysicalGraph {
+    fn expand(logical: &LogicalGraph, p: u32) -> Self {
+        assert!(p > 0, "parallelism must be positive");
+        let n_ops = logical.ops.len() as u32;
+        let n_inst = (n_ops * p) as usize;
+        let mut channels = Vec::new();
+        let mut in_channels: Vec<Vec<ChannelIdx>> = vec![Vec::new(); n_inst];
+        let mut out_edges: Vec<Vec<OutEdge>> = vec![Vec::new(); n_inst];
+
+        let inst_idx = |op: OpId, i: u32| InstanceIdx(op.0 * p + i);
+
+        for (edge_no, e) in logical.edges.iter().enumerate() {
+            for i in 0..p {
+                let from = inst_idx(e.from, i);
+                let mut targets = vec![None; p as usize];
+                for j in 0..p {
+                    if !e.kind.connects(i, j) {
+                        continue;
+                    }
+                    let to = inst_idx(e.to, j);
+                    let idx = ChannelIdx(channels.len() as u32);
+                    channels.push(ChannelMeta {
+                        idx,
+                        id: ChannelId::new(
+                            InstanceId::new(e.from, i),
+                            InstanceId::new(e.to, j),
+                        ),
+                        from,
+                        to,
+                        port: e.to_port,
+                        kind: e.kind,
+                        edge: edge_no,
+                    });
+                    in_channels[to.0 as usize].push(idx);
+                    targets[j as usize] = Some(idx);
+                }
+                out_edges[from.0 as usize].push(OutEdge {
+                    edge: edge_no,
+                    kind: e.kind,
+                    to_op: e.to,
+                    port: e.to_port,
+                    targets,
+                });
+            }
+        }
+
+        Self {
+            logical: logical.clone(),
+            parallelism: p,
+            channels,
+            in_channels,
+            out_edges,
+        }
+    }
+
+    pub fn logical(&self) -> &LogicalGraph {
+        &self.logical
+    }
+
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Total number of operator instances (`n_ops × p`).
+    pub fn n_instances(&self) -> usize {
+        self.logical.ops.len() * self.parallelism as usize
+    }
+
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    pub fn channel(&self, idx: ChannelIdx) -> &ChannelMeta {
+        &self.channels[idx.0 as usize]
+    }
+
+    pub fn channels(&self) -> &[ChannelMeta] {
+        &self.channels
+    }
+
+    pub fn instance_idx(&self, id: InstanceId) -> InstanceIdx {
+        InstanceIdx(id.op.0 * self.parallelism + id.index)
+    }
+
+    pub fn instance_id(&self, idx: InstanceIdx) -> InstanceId {
+        let op = OpId(idx.0 / self.parallelism);
+        let index = idx.0 % self.parallelism;
+        InstanceId::new(op, index)
+    }
+
+    pub fn op_of(&self, idx: InstanceIdx) -> &LogicalOp {
+        self.logical.op(self.instance_id(idx).op)
+    }
+
+    /// The worker hosting an instance (instance `i` of every op → worker `i`).
+    pub fn worker_of(&self, idx: InstanceIdx) -> WorkerId {
+        WorkerId(idx.0 % self.parallelism)
+    }
+
+    /// Instances hosted on a given worker, in op order.
+    pub fn instances_on(&self, w: WorkerId) -> impl Iterator<Item = InstanceIdx> + '_ {
+        (0..self.logical.ops.len() as u32).map(move |op| InstanceIdx(op * self.parallelism + w.0))
+    }
+
+    pub fn in_channels_of(&self, idx: InstanceIdx) -> &[ChannelIdx] {
+        &self.in_channels[idx.0 as usize]
+    }
+
+    pub fn out_edges_of(&self, idx: InstanceIdx) -> &[OutEdge] {
+        &self.out_edges[idx.0 as usize]
+    }
+
+    /// All instances of a logical operator.
+    pub fn instances_of(&self, op: OpId) -> impl Iterator<Item = InstanceIdx> + '_ {
+        (0..self.parallelism).map(move |i| InstanceIdx(op.0 * self.parallelism + i))
+    }
+
+    /// Build the operator instances (one box per instance, in dense order).
+    pub fn build_operators(&self) -> Vec<Box<dyn Operator>> {
+        let mut out = Vec::with_capacity(self.n_instances());
+        for op in &self.logical.ops {
+            for i in 0..self.parallelism {
+                let _ = op; // keep borrow localized
+                out.push((self.logical.ops[op.id.0 as usize].factory)(i));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PhysicalGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalGraph")
+            .field("parallelism", &self.parallelism)
+            .field("n_instances", &self.n_instances())
+            .field("n_channels", &self.n_channels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OpCtx;
+    use crate::record::Record;
+
+    struct Nop;
+    impl Operator for Nop {
+        fn on_record(&mut self, _p: PortId, r: Record, ctx: &mut OpCtx) {
+            ctx.emit(r);
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _b: &[u8]) -> Result<(), crate::codec::DecodeError> {
+            Ok(())
+        }
+        fn state_size(&self) -> usize {
+            0
+        }
+        fn is_stateless(&self) -> bool {
+            true
+        }
+    }
+
+    fn nop_factory() -> OpFactory {
+        Arc::new(|_| Box::new(Nop))
+    }
+
+    fn linear_graph() -> LogicalGraph {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 100, nop_factory());
+        let map = b.op("map", 100, nop_factory());
+        let sink = b.sink("sink", 100, nop_factory());
+        b.connect(src, map, EdgeKind::Forward);
+        b.connect(map, sink, EdgeKind::Shuffle);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_shape() {
+        let g = linear_graph();
+        assert_eq!(g.ops().len(), 3);
+        assert!(!g.is_cyclic());
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn rejects_edge_into_source() {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 0, nop_factory());
+        let sink = b.sink("sink", 0, nop_factory());
+        b.connect(sink, src, EdgeKind::Forward);
+        // sink has output AND source has input; first check hit is source-input.
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::SourceHasInput(_) | GraphError::SinkHasOutput(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_undeclared_cycle() {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 0, nop_factory());
+        let a = b.op("a", 0, nop_factory());
+        let c = b.op("c", 0, nop_factory());
+        let sink = b.sink("sink", 0, nop_factory());
+        b.connect(src, a, EdgeKind::Forward);
+        b.connect(a, c, EdgeKind::Shuffle);
+        b.connect(c, a, EdgeKind::Shuffle); // cycle, not marked feedback
+        b.connect(a, sink, EdgeKind::Forward);
+        assert_eq!(b.build().unwrap_err(), GraphError::UndeclaredCycle);
+    }
+
+    #[test]
+    fn accepts_feedback_cycle() {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 0, nop_factory());
+        let a = b.op("a", 0, nop_factory());
+        let c = b.op("c", 0, nop_factory());
+        let sink = b.sink("sink", 0, nop_factory());
+        b.connect(src, a, EdgeKind::Forward);
+        b.connect(a, c, EdgeKind::Shuffle);
+        b.connect(c, a, EdgeKind::Feedback);
+        b.connect(c, sink, EdgeKind::Forward);
+        let g = b.build().unwrap();
+        assert!(g.is_cyclic());
+    }
+
+    #[test]
+    fn rejects_spurious_feedback() {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 0, nop_factory());
+        let a = b.op("a", 0, nop_factory());
+        let sink = b.sink("sink", 0, nop_factory());
+        b.connect(src, a, EdgeKind::Feedback); // no path a -> src
+        b.connect(a, sink, EdgeKind::Forward);
+        assert_eq!(b.build().unwrap_err(), GraphError::SpuriousFeedback);
+    }
+
+    #[test]
+    fn expansion_counts() {
+        let g = linear_graph();
+        let p = 4;
+        let pg = g.expand(p);
+        assert_eq!(pg.n_instances(), 12);
+        // forward edge: p channels; shuffle edge: p*p channels
+        assert_eq!(pg.n_channels(), (p + p * p) as usize);
+        // map instance 2 has exactly one in-channel (forward from src 2)
+        let map2 = pg.instance_idx(InstanceId::new(OpId(1), 2));
+        assert_eq!(pg.in_channels_of(map2).len(), 1);
+        // sink instance has p in-channels (shuffle from all maps)
+        let sink1 = pg.instance_idx(InstanceId::new(OpId(2), 1));
+        assert_eq!(pg.in_channels_of(sink1).len(), p as usize);
+    }
+
+    #[test]
+    fn instance_index_roundtrip_and_placement() {
+        let g = linear_graph();
+        let pg = g.expand(5);
+        for op in 0..3u32 {
+            for i in 0..5u32 {
+                let id = InstanceId::new(OpId(op), i);
+                let idx = pg.instance_idx(id);
+                assert_eq!(pg.instance_id(idx), id);
+                assert_eq!(pg.worker_of(idx), WorkerId(i));
+            }
+        }
+        let on_w2: Vec<_> = pg.instances_on(WorkerId(2)).collect();
+        assert_eq!(on_w2.len(), 3); // one instance of each op
+    }
+
+    #[test]
+    fn out_edge_targets_follow_kind() {
+        let g = linear_graph();
+        let pg = g.expand(3);
+        let src0 = pg.instance_idx(InstanceId::new(OpId(0), 0));
+        let oe = &pg.out_edges_of(src0)[0];
+        assert_eq!(oe.kind, EdgeKind::Forward);
+        assert!(oe.targets[0].is_some());
+        assert!(oe.targets[1].is_none());
+        let map0 = pg.instance_idx(InstanceId::new(OpId(1), 0));
+        let oe = &pg.out_edges_of(map0)[0];
+        assert_eq!(oe.kind, EdgeKind::Shuffle);
+        assert!(oe.targets.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn build_operators_creates_all_instances() {
+        let g = linear_graph();
+        let pg = g.expand(3);
+        let ops = pg.build_operators();
+        assert_eq!(ops.len(), 9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Identifier types shared across the workspace.
+//!
+//! The physical layout follows the CheckMate testbed (paper §IV/§VII-A):
+//! a pipeline of logical operators is expanded by a parallelism `p`, and
+//! worker `w` hosts parallel instance `w` of *every* logical operator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A worker node. Workers are numbered `0..parallelism`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// A logical operator in the dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+/// A physical operator instance: logical operator + parallel index.
+///
+/// With the one-instance-per-worker placement, `index` is also the
+/// [`WorkerId`] hosting the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    pub op: OpId,
+    pub index: u32,
+}
+
+impl InstanceId {
+    pub const fn new(op: OpId, index: u32) -> Self {
+        Self { op, index }
+    }
+
+    /// The worker hosting this instance under the testbed placement.
+    pub const fn worker(&self) -> WorkerId {
+        WorkerId(self.index)
+    }
+}
+
+/// A directed communication channel between two operator instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId {
+    pub from: InstanceId,
+    pub to: InstanceId,
+}
+
+impl ChannelId {
+    pub const fn new(from: InstanceId, to: InstanceId) -> Self {
+        Self { from, to }
+    }
+
+    /// True when source and destination live on the same worker, i.e. the
+    /// message never crosses the (simulated) network.
+    pub fn is_local(&self) -> bool {
+        self.from.worker() == self.to.worker()
+    }
+}
+
+/// Input port of an operator. Multi-input operators (joins) distinguish
+/// their inputs by port; single-input operators use port 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    pub const LEFT: PortId = PortId(0);
+    pub const RIGHT: PortId = PortId(1);
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.op, self.index)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_worker_placement() {
+        let inst = InstanceId::new(OpId(3), 7);
+        assert_eq!(inst.worker(), WorkerId(7));
+    }
+
+    #[test]
+    fn channel_locality() {
+        let a = InstanceId::new(OpId(0), 1);
+        let b = InstanceId::new(OpId(1), 1);
+        let c = InstanceId::new(OpId(1), 2);
+        assert!(ChannelId::new(a, b).is_local());
+        assert!(!ChannelId::new(a, c).is_local());
+    }
+
+    #[test]
+    fn display_forms() {
+        let ch = ChannelId::new(InstanceId::new(OpId(0), 1), InstanceId::new(OpId(2), 3));
+        assert_eq!(ch.to_string(), "op0[1]->op2[3]");
+        assert_eq!(WorkerId(4).to_string(), "w4");
+        assert_eq!(PortId::RIGHT.to_string(), "p1");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![
+            InstanceId::new(OpId(1), 0),
+            InstanceId::new(OpId(0), 1),
+            InstanceId::new(OpId(0), 0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                InstanceId::new(OpId(0), 0),
+                InstanceId::new(OpId(0), 1),
+                InstanceId::new(OpId(1), 0),
+            ]
+        );
+    }
+}

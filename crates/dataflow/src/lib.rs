@@ -1,0 +1,30 @@
+//! # checkmate-dataflow
+//!
+//! The streaming dataflow model underlying the CheckMate reproduction:
+//! records with dynamic payloads, logical graphs of operators expanded into
+//! physical instance grids, and a library of snapshotable operators
+//! (map/filter/join/window/aggregate/sink).
+//!
+//! This crate is engine-agnostic: the virtual-time engine
+//! (`checkmate-engine`) and the threaded real-time engine
+//! (`checkmate-runtime`) both drive these operators.
+
+pub mod codec;
+pub mod graph;
+pub mod ids;
+pub mod operator;
+pub mod ops;
+pub mod record;
+pub mod state;
+pub mod value;
+
+pub use codec::{Codec, Dec, DecodeError, Enc};
+pub use graph::{
+    ChannelIdx, ChannelMeta, EdgeKind, GraphBuilder, GraphError, InstanceIdx, LogicalGraph,
+    LogicalOp, OpFactory, OpRole, OutEdge, PhysicalGraph,
+};
+pub use ids::{ChannelId, InstanceId, OpId, PortId, WorkerId};
+pub use operator::{drive_once, OpCtx, Operator};
+pub use record::{mix_key, shuffle_target, Record, Time};
+pub use state::{ByteSized, KeyedState};
+pub use value::{fnv1a, Value};

@@ -1,0 +1,131 @@
+//! The operator abstraction.
+//!
+//! Operators are single-threaded state machines driven by the hosting
+//! engine: records in, records out, with snapshot/restore hooks used by the
+//! checkpointing protocols. The same operator implementations run on the
+//! virtual-time engine (`checkmate-engine`) and the threaded real-time
+//! engine (`checkmate-runtime`).
+
+use crate::codec::DecodeError;
+use crate::ids::PortId;
+use crate::record::{Record, Time};
+
+/// Execution context handed to an operator for one invocation.
+///
+/// Collects emitted records (tagged with the operator's output edge index)
+/// and timer requests; the engine drains both after the call returns.
+#[derive(Debug)]
+pub struct OpCtx {
+    /// Current processing time (virtual or wall-clock nanoseconds).
+    pub now: Time,
+    outputs: Vec<(usize, Record)>,
+    timers: Vec<Time>,
+}
+
+impl OpCtx {
+    pub fn new(now: Time) -> Self {
+        Self {
+            now,
+            outputs: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Emit a record on the operator's first (usually only) output edge.
+    pub fn emit(&mut self, rec: Record) {
+        self.outputs.push((0, rec));
+    }
+
+    /// Emit a record on a specific output edge (by declaration order in the
+    /// logical graph).
+    pub fn emit_to(&mut self, out_edge: usize, rec: Record) {
+        self.outputs.push((out_edge, rec));
+    }
+
+    /// Request a timer callback at absolute time `at` (≥ now).
+    pub fn set_timer(&mut self, at: Time) {
+        self.timers.push(at);
+    }
+
+    /// Drain outputs and timer requests (engine-side).
+    pub fn take(&mut self) -> (Vec<(usize, Record)>, Vec<Time>) {
+        (
+            std::mem::take(&mut self.outputs),
+            std::mem::take(&mut self.timers),
+        )
+    }
+
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
+/// A dataflow operator instance.
+///
+/// Implementations must be deterministic: given the same sequence of
+/// `on_record`/`on_timer` calls (ports, records, times), they must produce
+/// the same outputs and the same snapshots. Determinism is what makes
+/// recovery testable: replaying the same inputs after a rollback must
+/// rebuild the same state.
+pub trait Operator: Send {
+    /// Process one input record arriving on `port`.
+    fn on_record(&mut self, port: PortId, rec: Record, ctx: &mut OpCtx);
+
+    /// Timer callback (used by windowed operators for expiry cleanup).
+    fn on_timer(&mut self, _at: Time, _ctx: &mut OpCtx) {}
+
+    /// Serialize the operator state. Called when the hosting protocol takes
+    /// a checkpoint of this instance.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restore state from a snapshot produced by [`Operator::snapshot`].
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), DecodeError>;
+
+    /// Approximate in-memory state size in bytes. The cost model charges
+    /// snapshot serialization proportional to this, so it should track the
+    /// encoded size closely (exactness is not required).
+    fn state_size(&self) -> usize;
+
+    /// Stateless operators can skip checkpointing entirely under the
+    /// uncoordinated protocol (paper §III-B, "configurability"): their
+    /// snapshot is empty and restoring is a no-op.
+    fn is_stateless(&self) -> bool {
+        false
+    }
+
+    /// Sink operators report their exactly-once digest here; engines use
+    /// it for verification. Non-sinks return `None`.
+    fn sink_digest(&self) -> Option<crate::ops::Digest> {
+        None
+    }
+}
+
+/// Convenience: run a closure against a fresh context and return emissions.
+/// Test helper used across workload crates.
+pub fn drive_once(op: &mut dyn Operator, port: PortId, rec: Record, now: Time) -> Vec<Record> {
+    let mut ctx = OpCtx::new(now);
+    op.on_record(port, rec, &mut ctx);
+    ctx.take().0.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn ctx_collects_outputs_in_order() {
+        let mut ctx = OpCtx::new(5);
+        ctx.emit(Record::new(1, Value::U64(1), 0));
+        ctx.emit_to(1, Record::new(2, Value::U64(2), 0));
+        ctx.set_timer(100);
+        let (outs, timers) = ctx.take();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].0, 0);
+        assert_eq!(outs[1].0, 1);
+        assert_eq!(timers, vec![100]);
+        // take() drains
+        let (outs, timers) = ctx.take();
+        assert!(outs.is_empty() && timers.is_empty());
+    }
+}

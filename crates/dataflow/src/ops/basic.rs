@@ -1,0 +1,182 @@
+//! Stateless operators: map, filter, flat-map, pass-through.
+
+use crate::codec::DecodeError;
+use crate::ids::PortId;
+use crate::operator::{OpCtx, Operator};
+use crate::record::Record;
+
+type MapFn = Box<dyn Fn(Record) -> Record + Send>;
+type FilterFn = Box<dyn Fn(&Record) -> bool + Send>;
+type FlatMapFn = Box<dyn Fn(Record) -> Vec<Record> + Send>;
+
+/// Applies a function to every record (NexMark Q1's bid currency
+/// conversion is a `MapOp`).
+pub struct MapOp {
+    f: MapFn,
+}
+
+impl MapOp {
+    pub fn new(f: impl Fn(Record) -> Record + Send + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl Operator for MapOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        ctx.emit((self.f)(rec));
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+/// Drops records failing a predicate.
+pub struct FilterOp {
+    f: FilterFn,
+}
+
+impl FilterOp {
+    pub fn new(f: impl Fn(&Record) -> bool + Send + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl Operator for FilterOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        if (self.f)(&rec) {
+            ctx.emit(rec);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+/// Emits zero or more records per input.
+pub struct FlatMapOp {
+    f: FlatMapFn,
+}
+
+impl FlatMapOp {
+    pub fn new(f: impl Fn(Record) -> Vec<Record> + Send + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl Operator for FlatMapOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        for r in (self.f)(rec) {
+            ctx.emit(r);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+/// Forwards records unchanged. Used for sources whose reading logic lives
+/// in the engine, and as a test stand-in.
+#[derive(Default)]
+pub struct PassThroughOp;
+
+impl Operator for PassThroughOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        ctx.emit(rec);
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::drive_once;
+    use crate::value::Value;
+
+    #[test]
+    fn map_transforms() {
+        let mut op = MapOp::new(|r| {
+            let v = r.value.as_u64().unwrap();
+            r.derive(r.key, Value::U64(v * 2))
+        });
+        let out = drive_once(&mut op, PortId(0), Record::new(1, Value::U64(21), 7), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.as_u64(), Some(42));
+        assert_eq!(out[0].ingest_time, 7);
+    }
+
+    #[test]
+    fn filter_drops() {
+        let mut op = FilterOp::new(|r| r.key % 2 == 0);
+        assert_eq!(drive_once(&mut op, PortId(0), Record::new(1, Value::Unit, 0), 0).len(), 0);
+        assert_eq!(drive_once(&mut op, PortId(0), Record::new(2, Value::Unit, 0), 0).len(), 1);
+    }
+
+    #[test]
+    fn flatmap_fans_out() {
+        let mut op = FlatMapOp::new(|r| vec![r.clone(), r]);
+        let out = drive_once(&mut op, PortId(0), Record::new(3, Value::Unit, 0), 0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stateless_snapshot_is_empty() {
+        let op = PassThroughOp;
+        assert!(op.snapshot().is_empty());
+        assert!(op.is_stateless());
+        assert_eq!(op.state_size(), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Built-in streaming operators.
+//!
+//! These cover the fundamental operations the paper's workload uses
+//! (§VI): maps, filters, incremental joins, windowed joins, windowed
+//! aggregates, and sinks — all with snapshotable state.
+
+mod basic;
+mod counter;
+mod join;
+mod sink;
+mod window;
+
+pub use basic::{FilterOp, FlatMapOp, MapOp, PassThroughOp};
+pub use counter::KeyedCounterOp;
+pub use join::IncrementalJoinOp;
+pub use sink::{digest_of, Digest, DigestSinkOp};
+pub use window::{WindowJoinOp, WindowedCountOp};

@@ -1,0 +1,272 @@
+//! Processing-time tumbling-window operators in the paper's "running"
+//! form: processing is triggered on record arrival and the window content
+//! is cleaned when the window expires (paper §VI, Q8 and Q12).
+
+use crate::codec::{Codec, Dec, DecodeError, Enc};
+use crate::ids::PortId;
+use crate::operator::{OpCtx, Operator};
+use crate::record::{Record, Time};
+use crate::state::KeyedState;
+use crate::value::Value;
+
+/// Windowed symmetric hash join over processing-time tumbling windows
+/// (NexMark Q8: new persons ⋈ new auctions within the same window).
+pub struct WindowJoinOp {
+    window_ns: u64,
+    current_window: u64,
+    left: KeyedState<Vec<Value>>,
+    right: KeyedState<Vec<Value>>,
+}
+
+impl WindowJoinOp {
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0);
+        Self {
+            window_ns,
+            current_window: 0,
+            left: KeyedState::new(),
+            right: KeyedState::new(),
+        }
+    }
+
+    fn roll(&mut self, now: Time) {
+        let w = now / self.window_ns;
+        if w != self.current_window {
+            // Tumble: the previous window expires; running semantics have
+            // already emitted its results, so just drop the state.
+            self.left.clear();
+            self.right.clear();
+            self.current_window = w;
+        }
+    }
+
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+impl Operator for WindowJoinOp {
+    fn on_record(&mut self, port: PortId, rec: Record, ctx: &mut OpCtx) {
+        self.roll(ctx.now);
+        let key = rec.key;
+        if port == PortId::LEFT {
+            self.left.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            if let Some(matches) = self.right.get(key) {
+                for rv in matches {
+                    ctx.emit(rec.derive(
+                        key,
+                        Value::Tuple(vec![rec.value.clone(), rv.clone()].into()),
+                    ));
+                }
+            }
+        } else {
+            self.right.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            if let Some(matches) = self.left.get(key) {
+                for lv in matches {
+                    ctx.emit(rec.derive(
+                        key,
+                        Value::Tuple(vec![lv.clone(), rec.value.clone()].into()),
+                    ));
+                }
+            }
+        }
+        // Ask for a cleanup timer at the window boundary so state is
+        // released even if no further records arrive.
+        ctx.set_timer((self.current_window + 1) * self.window_ns);
+    }
+
+    fn on_timer(&mut self, at: Time, _ctx: &mut OpCtx) {
+        self.roll(at);
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Enc::with_capacity(self.state_size() + 32);
+        enc.u64(self.window_ns).u64(self.current_window);
+        self.left.encode(&mut enc);
+        self.right.encode(&mut enc);
+        enc.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), DecodeError> {
+        let mut dec = Dec::new(bytes);
+        self.window_ns = dec.u64()?;
+        self.current_window = dec.u64()?;
+        self.left = KeyedState::decode(&mut dec)?;
+        self.right = KeyedState::decode(&mut dec)?;
+        dec.finish()
+    }
+
+    fn state_size(&self) -> usize {
+        16 + self.left.byte_size() + self.right.byte_size()
+    }
+}
+
+/// Windowed count per key over processing-time tumbling windows
+/// (NexMark Q12: bids per bidder per window), running semantics: each
+/// arrival emits the updated `(key, count)` pair.
+pub struct WindowedCountOp {
+    window_ns: u64,
+    current_window: u64,
+    counts: KeyedState<u64>,
+}
+
+impl WindowedCountOp {
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0);
+        Self {
+            window_ns,
+            current_window: 0,
+            counts: KeyedState::new(),
+        }
+    }
+
+    fn roll(&mut self, now: Time) {
+        let w = now / self.window_ns;
+        if w != self.current_window {
+            self.counts.clear();
+            self.current_window = w;
+        }
+    }
+
+    pub fn count_of(&self, key: u64) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+}
+
+impl Operator for WindowedCountOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        self.roll(ctx.now);
+        let n = self.counts.upsert(rec.key, || 0, |c| {
+            *c += 1;
+            *c
+        });
+        ctx.emit(rec.derive(
+            rec.key,
+            Value::Tuple(vec![Value::U64(rec.key), Value::U64(n), Value::U64(self.current_window)].into()),
+        ));
+        ctx.set_timer((self.current_window + 1) * self.window_ns);
+    }
+
+    fn on_timer(&mut self, at: Time, _ctx: &mut OpCtx) {
+        self.roll(at);
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Enc::with_capacity(self.state_size() + 32);
+        enc.u64(self.window_ns).u64(self.current_window);
+        self.counts.encode(&mut enc);
+        enc.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), DecodeError> {
+        let mut dec = Dec::new(bytes);
+        self.window_ns = dec.u64()?;
+        self.current_window = dec.u64()?;
+        self.counts = KeyedState::decode(&mut dec)?;
+        dec.finish()
+    }
+
+    fn state_size(&self) -> usize {
+        16 + self.counts.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u64, tag: &str) -> Record {
+        Record::new(key, Value::str(tag), 0)
+    }
+
+    fn drive(op: &mut dyn Operator, port: PortId, r: Record, now: Time) -> Vec<Record> {
+        let mut ctx = OpCtx::new(now);
+        op.on_record(port, r, &mut ctx);
+        ctx.take().0.into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn window_join_within_window() {
+        let mut op = WindowJoinOp::new(1_000);
+        assert!(drive(&mut op, PortId::LEFT, rec(1, "p"), 100).is_empty());
+        let out = drive(&mut op, PortId::RIGHT, rec(1, "a"), 200);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn window_join_expires_across_windows() {
+        let mut op = WindowJoinOp::new(1_000);
+        drive(&mut op, PortId::LEFT, rec(1, "p"), 100);
+        // next window: previous left side is gone
+        let out = drive(&mut op, PortId::RIGHT, rec(1, "a"), 1_200);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn window_join_timer_cleans_state() {
+        let mut op = WindowJoinOp::new(1_000);
+        drive(&mut op, PortId::LEFT, rec(1, "p"), 100);
+        assert!(op.state_size() > 16);
+        let mut ctx = OpCtx::new(1_000);
+        op.on_timer(1_000, &mut ctx);
+        assert_eq!(op.state_size(), 16);
+    }
+
+    #[test]
+    fn window_join_requests_cleanup_timer() {
+        let mut op = WindowJoinOp::new(1_000);
+        let mut ctx = OpCtx::new(250);
+        op.on_record(PortId::LEFT, rec(1, "p"), &mut ctx);
+        let (_, timers) = ctx.take();
+        assert_eq!(timers, vec![1_000]);
+    }
+
+    #[test]
+    fn windowed_count_running_emission() {
+        let mut op = WindowedCountOp::new(1_000);
+        let o1 = drive(&mut op, PortId(0), rec(7, "b"), 10);
+        assert_eq!(o1[0].value.field(1).as_u64(), Some(1));
+        let o2 = drive(&mut op, PortId(0), rec(7, "b"), 20);
+        assert_eq!(o2[0].value.field(1).as_u64(), Some(2));
+        // new window resets
+        let o3 = drive(&mut op, PortId(0), rec(7, "b"), 1_500);
+        assert_eq!(o3[0].value.field(1).as_u64(), Some(1));
+    }
+
+    #[test]
+    fn counts_are_per_key() {
+        let mut op = WindowedCountOp::new(1_000);
+        drive(&mut op, PortId(0), rec(1, "b"), 10);
+        drive(&mut op, PortId(0), rec(2, "b"), 20);
+        drive(&mut op, PortId(0), rec(1, "b"), 30);
+        assert_eq!(op.count_of(1), 2);
+        assert_eq!(op.count_of(2), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_window() {
+        let mut op = WindowedCountOp::new(1_000);
+        drive(&mut op, PortId(0), rec(1, "b"), 10);
+        drive(&mut op, PortId(0), rec(1, "b"), 20);
+        let snap = op.snapshot();
+        let mut fresh = WindowedCountOp::new(1);
+        fresh.restore(&snap).unwrap();
+        // continues counting in the same window
+        let out = drive(&mut fresh, PortId(0), rec(1, "b"), 30);
+        assert_eq!(out[0].value.field(1).as_u64(), Some(3));
+    }
+
+    #[test]
+    fn window_join_snapshot_roundtrip() {
+        let mut op = WindowJoinOp::new(5_000);
+        drive(&mut op, PortId::LEFT, rec(1, "p"), 100);
+        drive(&mut op, PortId::RIGHT, rec(2, "a"), 200);
+        let snap = op.snapshot();
+        let mut fresh = WindowJoinOp::new(1);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.window_ns(), 5_000);
+        assert_eq!(fresh.state_size(), op.state_size());
+        let out = drive(&mut fresh, PortId::RIGHT, rec(1, "a"), 300);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Dynamic payload values carried by stream records.
+//!
+//! Workloads (NexMark, the cyclic reachability query, synthetic tests) all
+//! express their record payloads in this small dynamic model so that the
+//! engine, the channel logs, and the checkpoint snapshots stay monomorphic.
+//! Every value has a stable binary encoding ([`Codec`]) and therefore a
+//! well-defined wire size, which the cost model charges for.
+
+use crate::codec::{Codec, Dec, DecodeError, Enc};
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed payload value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Unit,
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(Arc<str>),
+    /// Fixed-arity composite (used for tuples/structs like a NexMark bid).
+    Tuple(Arc<[Value]>),
+    /// Variable-length list (used for reachability paths).
+    List(Vec<Value>),
+}
+
+impl Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    pub fn tuple(items: impl Into<Arc<[Value]>>) -> Self {
+        Value::Tuple(items.into())
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Tuple field access; panics with a descriptive message on misuse.
+    /// Operators use this for schema fields they constructed themselves.
+    pub fn field(&self, idx: usize) -> &Value {
+        match self {
+            Value::Tuple(t) => &t[idx],
+            other => panic!("Value::field({idx}) on non-tuple {other:?}"),
+        }
+    }
+
+    /// The encoded wire size of this value in bytes. This is what the cost
+    /// model charges for serialization and what channel logs account.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len(),
+            Value::Tuple(t) => 1 + 4 + t.iter().map(Value::encoded_len).sum::<usize>(),
+            Value::List(l) => 1 + 4 + l.iter().map(Value::encoded_len).sum::<usize>(),
+        }
+    }
+
+    /// A deterministic 64-bit hash of the value, used for sink digests in
+    /// exactly-once verification. FNV-1a over the encoded bytes.
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// FNV-1a hash; stable across platforms and runs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_U64: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_TUPLE: u8 = 5;
+const TAG_LIST: u8 = 6;
+
+impl Codec for Value {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Value::Unit => {
+                enc.u8(TAG_UNIT);
+            }
+            Value::U64(v) => {
+                enc.u8(TAG_U64).u64(*v);
+            }
+            Value::I64(v) => {
+                enc.u8(TAG_I64).i64(*v);
+            }
+            Value::F64(v) => {
+                enc.u8(TAG_F64).f64(*v);
+            }
+            Value::Str(s) => {
+                enc.u8(TAG_STR).str(s);
+            }
+            Value::Tuple(t) => {
+                enc.u8(TAG_TUPLE).u32(t.len() as u32);
+                for v in t.iter() {
+                    v.encode(enc);
+                }
+            }
+            Value::List(l) => {
+                enc.u8(TAG_LIST).u32(l.len() as u32);
+                for v in l {
+                    v.encode(enc);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let tag = dec.u8()?;
+        Ok(match tag {
+            TAG_UNIT => Value::Unit,
+            TAG_U64 => Value::U64(dec.u64()?),
+            TAG_I64 => Value::I64(dec.i64()?),
+            TAG_F64 => Value::F64(dec.f64()?),
+            TAG_STR => Value::str(dec.str()?),
+            TAG_TUPLE => {
+                let n = dec.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(Value::decode(dec)?);
+                }
+                Value::Tuple(items.into())
+            }
+            TAG_LIST => {
+                let n = dec.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(Value::decode(dec)?);
+                }
+                Value::List(items)
+            }
+            _ => {
+                return Err(DecodeError {
+                    context: "unknown value tag",
+                    offset: 0,
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::tuple(vec![
+            Value::U64(42),
+            Value::str("auction"),
+            Value::List(vec![Value::I64(-1), Value::F64(2.5)]),
+            Value::Unit,
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = sample();
+        let bytes = v.to_bytes();
+        assert_eq!(Value::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for v in [
+            Value::Unit,
+            Value::U64(7),
+            Value::str("hello world"),
+            sample(),
+            Value::List(vec![]),
+        ] {
+            assert_eq!(v.encoded_len(), v.to_bytes().len(), "{v}");
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminating() {
+        assert_eq!(sample().stable_hash(), sample().stable_hash());
+        assert_ne!(Value::U64(1).stable_hash(), Value::U64(2).stable_hash());
+        // Different types with same bit pattern must differ (tag byte).
+        assert_ne!(Value::U64(1).stable_hash(), Value::I64(1).stable_hash());
+    }
+
+    #[test]
+    fn field_access() {
+        let v = sample();
+        assert_eq!(v.field(0).as_u64(), Some(42));
+        assert_eq!(v.field(1).as_str(), Some("auction"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-tuple")]
+    fn field_on_scalar_panics() {
+        Value::U64(1).field(0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(sample().to_string(), r#"(42, "auction", [-1, 2.5], ())"#);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(Value::from_bytes(&[99]).is_err());
+    }
+}

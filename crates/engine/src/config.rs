@@ -1,0 +1,158 @@
+//! Engine run configuration.
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::WorkerId;
+use checkmate_sim::{CostModel, SimTime, MILLIS, SECONDS};
+
+/// A failure to inject: kill `worker` at `at` (virtual time). The paper
+/// introduces a failure on the 18th second of each 60-second run (§VII-A).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    pub at: SimTime,
+    pub worker: WorkerId,
+}
+
+/// Full configuration of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Uniform operator parallelism = number of workers.
+    pub parallelism: u32,
+    /// Checkpointing protocol under evaluation.
+    pub protocol: ProtocolKind,
+    /// Calibrated resource costs.
+    pub cost: CostModel,
+    /// Total input rate in records/second, split across source streams by
+    /// their `rate_share` and then across partitions.
+    pub total_rate: f64,
+    /// COOR round interval; also the UNC/CIC local checkpoint interval, so
+    /// checkpoint counts stay comparable across protocols (Table III).
+    pub checkpoint_interval: SimTime,
+    /// Relative jitter applied to UNC/CIC local timers (operators
+    /// checkpoint independently; their timers are deliberately unaligned).
+    pub checkpoint_jitter: f64,
+    /// Virtual run duration.
+    pub duration: SimTime,
+    /// Metrics before this instant are discarded (warm-up).
+    pub warmup: SimTime,
+    /// Optional injected failure.
+    pub failure: Option<FailureSpec>,
+    /// Bound each source partition to this many records (None = unbounded).
+    /// Bounded runs end early once everything is processed; used by the
+    /// exactly-once verification tests.
+    pub input_limit: Option<u64>,
+    /// Source consumer batching interval (Kafka poll/linger). Records
+    /// become readable in bursts of `rate × batch`; this is what gives the
+    /// testbed its realistic queue depths — and what makes coordinated
+    /// markers wait behind data at scale. 0 disables batching.
+    pub source_batch: SimTime,
+    /// RNG seed; same config + same seed ⇒ bit-identical run.
+    pub seed: u64,
+    /// How many checkpoints per instance the store retains (older state
+    /// objects and the channel-log ranges they pin are garbage collected).
+    pub checkpoint_retention: u64,
+    /// Recovery is declared complete when the worst source backlog returns
+    /// below `steady_lag × this factor + 250 ms` (see RunReport).
+    pub recovery_lag_factor: f64,
+    /// Alignment stall duration after which the coordinator declares a
+    /// marker deadlock (only ever fires on cyclic graphs under COOR).
+    pub deadlock_timeout: SimTime,
+    /// Safety valve: abort after this many simulation events.
+    pub max_events: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: 2,
+            protocol: ProtocolKind::Coordinated,
+            cost: CostModel::default(),
+            total_rate: 1_000.0,
+            checkpoint_interval: 5 * SECONDS,
+            checkpoint_jitter: 0.2,
+            duration: 20 * SECONDS,
+            warmup: 5 * SECONDS,
+            failure: None,
+            input_limit: None,
+            source_batch: 100 * MILLIS,
+            seed: 0xC0FFEE,
+            checkpoint_retention: 8,
+            recovery_lag_factor: 1.5,
+            deadlock_timeout: 5 * SECONDS,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience: the paper's standard run shape — 60 s, 30 s warmup,
+    /// failure at 18 s on worker 0 when `fail` is set.
+    pub fn paper_run(parallelism: u32, protocol: ProtocolKind, fail: bool) -> Self {
+        Self {
+            parallelism,
+            protocol,
+            duration: 60 * SECONDS,
+            warmup: 30 * SECONDS,
+            failure: fail.then_some(FailureSpec {
+                at: 18 * SECONDS,
+                worker: WorkerId(0),
+            }),
+            ..Self::default()
+        }
+    }
+
+    pub fn with_rate(mut self, total_rate: f64) -> Self {
+        self.total_rate = total_rate;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate invariants before a run.
+    pub fn validate(&self) {
+        assert!(self.parallelism > 0, "parallelism must be positive");
+        assert!(self.total_rate > 0.0, "total rate must be positive");
+        assert!(self.checkpoint_interval > 0);
+        assert!(self.warmup <= self.duration);
+        assert!(
+            self.checkpoint_interval >= 10 * MILLIS,
+            "checkpoint interval below 10ms is not meaningful in this model"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        EngineConfig::default().validate();
+    }
+
+    #[test]
+    fn paper_run_shape() {
+        let c = EngineConfig::paper_run(10, ProtocolKind::Uncoordinated, true);
+        assert_eq!(c.parallelism, 10);
+        assert_eq!(c.duration, 60 * SECONDS);
+        assert_eq!(c.warmup, 30 * SECONDS);
+        let f = c.failure.unwrap();
+        assert_eq!(f.at, 18 * SECONDS);
+        assert_eq!(f.worker, WorkerId(0));
+        assert!(EngineConfig::paper_run(10, ProtocolKind::None, false)
+            .failure
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        let c = EngineConfig {
+            parallelism: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,1297 @@
+//! The virtual-time streaming engine.
+//!
+//! A deterministic discrete-event simulation of the paper's testbed:
+//! workers with one CPU each hosting one instance of every operator,
+//! FIFO channels with latency/bandwidth, a coordinator scheduling
+//! checkpoints and orchestrating recovery, a replayable source, message
+//! logs, and a durable checkpoint store. The checkpointing protocols from
+//! `checkmate-core` run unmodified inside.
+
+use crate::config::EngineConfig;
+use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
+use crate::report::{LatencySeries, Outcome, RunReport};
+use crate::state::{build_worker_instances, Coordinator, Worker};
+use crate::workload::Workload;
+use checkmate_core::{
+    coordinated_line, rollback_propagation, ChannelTriple, CheckpointGraph, CheckpointId,
+    CheckpointKind, CheckpointMeta, CoorAligner, MarkerAction, ProtocolKind,
+};
+use checkmate_dataflow::graph::{ChannelIdx, EdgeKind, InstanceIdx};
+use checkmate_dataflow::ops::Digest;
+use checkmate_dataflow::{OpCtx, OpId, OpRole, PhysicalGraph, PortId, Record};
+use checkmate_sim::{derive_seed, EventQueue, SimRng, SimTime, MILLIS};
+use checkmate_storage::ObjectStore;
+use checkmate_wal::{ChannelLog, EventStream, Schedule, SourceLog};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Simulation events. Events carry worker incarnations where staleness
+/// after a failure must invalidate them; the whole tuple is additionally
+/// guarded by a global epoch bumped at recovery.
+enum Ev {
+    Arrive {
+        src_winc: u32,
+        dst_winc: u32,
+        msg: NetMsg,
+    },
+    TaskDone {
+        worker: u32,
+        winc: u32,
+    },
+    Wake {
+        worker: u32,
+    },
+    CkptTimer {
+        inst: InstanceIdx,
+    },
+    OpTimer {
+        worker: u32,
+        winc: u32,
+        op: OpId,
+    },
+    RoundStart {
+        round: u64,
+    },
+    TriggerArrive {
+        worker: u32,
+        winc: u32,
+        op: OpId,
+        round: u64,
+    },
+    DeadlockCheck {
+        round: u64,
+    },
+    UploadDone {
+        winc: u32,
+        meta: CheckpointMeta,
+        state: Vec<u8>,
+    },
+    Fail,
+    Detect,
+    RestartDone {
+        line: BTreeMap<InstanceIdx, CheckpointId>,
+    },
+    LagProbe,
+}
+
+#[derive(Default)]
+struct Metrics {
+    series: LatencySeries,
+    sink_outputs_total: u64,
+    sink_records_postwarmup: u64,
+    payload_bytes: u64,
+    protocol_bytes: u64,
+    checkpoints_total: u64,
+    checkpoints_forced: u64,
+    replay_dedup_drops: u64,
+}
+
+/// The engine. Construct with [`Engine::new`], consume with
+/// [`Engine::run`].
+pub struct Engine {
+    cfg: EngineConfig,
+    pg: PhysicalGraph,
+    name: String,
+    logs: Vec<SourceLog<Arc<dyn EventStream>>>,
+    rates_pp: Vec<f64>,
+    store: ObjectStore,
+    queue: EventQueue<(u32, Ev)>,
+    now: SimTime,
+    epoch: u32,
+    arrival_seq: u64,
+    arrivals_inflight: u64,
+    chan_floor: Vec<SimTime>,
+    chan_logs: Vec<ChannelLog>,
+    workers: Vec<Worker>,
+    coord: Coordinator,
+    rng: SimRng,
+    metrics: Metrics,
+    halted: Option<Outcome>,
+    events: u64,
+}
+
+impl Engine {
+    pub fn new(workload: &Workload, cfg: EngineConfig) -> Self {
+        cfg.validate();
+        workload.validate(cfg.parallelism);
+        let pg = workload.graph.expand(cfg.parallelism);
+        let mut logs = Vec::new();
+        let mut rates_pp = Vec::new();
+        for s in &workload.streams {
+            let rate_pp = cfg.total_rate * s.rate_share / cfg.parallelism as f64;
+            let mut sched = Schedule::new(rate_pp).with_batch(cfg.source_batch);
+            if let Some(limit) = cfg.input_limit {
+                sched = sched.with_limit(limit);
+            }
+            logs.push(SourceLog::new(Arc::clone(&s.stream), sched));
+            rates_pp.push(rate_pp);
+        }
+        let workers = (0..cfg.parallelism)
+            .map(|w| Worker {
+                id: w,
+                down: false,
+                paused: false,
+                incarnation: 0,
+                running: false,
+                busy_until: 0,
+                queue: BTreeMap::new(),
+                stash: BTreeMap::new(),
+                blocked: BTreeSet::new(),
+                pending_triggers: VecDeque::new(),
+                pending_ckpts: VecDeque::new(),
+                due_timers: BTreeSet::new(),
+                src_rr: 0,
+                prefer_source: false,
+                wake_at: None,
+                instances: build_worker_instances(&pg, w, cfg.protocol),
+            })
+            .collect();
+        let n_channels = pg.n_channels();
+        let logging = cfg.protocol.logs_messages();
+        let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
+        Self {
+            coord: Coordinator::new(cfg.protocol),
+            cfg,
+            pg,
+            name: workload.name.clone(),
+            logs,
+            rates_pp,
+            store: ObjectStore::new(),
+            queue: EventQueue::new(),
+            now: 0,
+            epoch: 0,
+            arrival_seq: 0,
+            arrivals_inflight: 0,
+            chan_floor: vec![0; n_channels],
+            chan_logs: if logging {
+                (0..n_channels).map(|_| ChannelLog::new()).collect()
+            } else {
+                Vec::new()
+            },
+            workers,
+            rng,
+            metrics: Metrics::default(),
+            halted: None,
+            events: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // bootstrap & main loop
+    // ------------------------------------------------------------------
+
+    fn bootstrap(&mut self) {
+        // Implicit initial checkpoints (index 0) for every instance.
+        for w in &self.workers {
+            for inst in &w.instances {
+                let meta = CheckpointMeta::initial(inst.idx, inst.is_source());
+                self.coord.metas.insert((inst.idx, 0), meta);
+            }
+        }
+        match self.cfg.protocol {
+            ProtocolKind::Coordinated => {
+                self.push_at(self.cfg.checkpoint_interval, Ev::RoundStart { round: 1 });
+            }
+            p if p.independent_checkpoints() => {
+                let interval = self.cfg.checkpoint_interval;
+                for w in 0..self.workers.len() {
+                    for op in 0..self.workers[w].instances.len() {
+                        let inst = self.workers[w].instances[op].idx;
+                        // Random phase so operators checkpoint independently.
+                        let first = interval / 2 + self.rng.below(interval);
+                        self.push_at(first, Ev::CkptTimer { inst });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let Some(f) = self.cfg.failure {
+            assert!(
+                (f.worker.0) < self.cfg.parallelism,
+                "failure worker out of range"
+            );
+            self.push_at(f.at, Ev::Fail);
+        }
+        for w in 0..self.workers.len() {
+            self.push_at(0, Ev::Wake { worker: w as u32 });
+        }
+        self.push_at(250 * MILLIS, Ev::LagProbe);
+    }
+
+    /// Execute the run to completion and produce the report.
+    pub fn run(mut self) -> RunReport {
+        self.bootstrap();
+        while let Some((t, (epoch, ev))) = self.queue.pop() {
+            if t > self.cfg.duration {
+                self.now = self.cfg.duration;
+                break;
+            }
+            self.now = t;
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                self.halted = Some(Outcome::EventBudgetExhausted);
+            }
+            if self.halted.is_some() {
+                break;
+            }
+            self.handle(epoch, ev);
+        }
+        self.finish()
+    }
+
+    fn push_at(&mut self, t: SimTime, ev: Ev) {
+        self.queue.push(t, (self.epoch, ev));
+    }
+
+    fn worker_of_inst(&self, inst: InstanceIdx) -> usize {
+        (inst.0 % self.cfg.parallelism) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, epoch: u32, ev: Ev) {
+        match ev {
+            Ev::Arrive {
+                src_winc,
+                dst_winc,
+                msg,
+            } => {
+                self.arrivals_inflight -= 1;
+                if epoch != self.epoch {
+                    return;
+                }
+                let ch = self.pg.channel(msg.channel);
+                let (from_w, to_w) = (
+                    self.worker_of_inst(ch.from),
+                    self.worker_of_inst(ch.to),
+                );
+                if self.workers[from_w].incarnation != src_winc
+                    || self.workers[to_w].incarnation != dst_winc
+                    || self.workers[to_w].down
+                {
+                    return; // lost with the failed worker / stale epoch
+                }
+                let key = (self.now, self.arrival_seq);
+                self.arrival_seq += 1;
+                let w = &mut self.workers[to_w];
+                if w.blocked.contains(&msg.channel) {
+                    w.stash.entry(msg.channel).or_default().push((key, msg));
+                } else {
+                    w.queue.insert(key, msg);
+                }
+                self.try_dispatch(to_w);
+            }
+            Ev::TaskDone { worker, winc } => {
+                if epoch != self.epoch || self.workers[worker as usize].incarnation != winc {
+                    return;
+                }
+                self.workers[worker as usize].running = false;
+                self.try_dispatch(worker as usize);
+                self.maybe_drained();
+            }
+            Ev::Wake { worker } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let w = &mut self.workers[worker as usize];
+                if w.wake_at == Some(self.now) {
+                    w.wake_at = None;
+                }
+                self.try_dispatch(worker as usize);
+                self.maybe_drained();
+            }
+            Ev::CkptTimer { inst } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let w = self.worker_of_inst(inst);
+                let op = self.pg.instance_id(inst).op;
+                // Re-arm first (jittered period), then queue the work.
+                let next = self.now + self.rng.jitter(self.cfg.checkpoint_interval, self.cfg.checkpoint_jitter);
+                self.push_at(next, Ev::CkptTimer { inst });
+                if self.workers[w].down || self.workers[w].paused {
+                    return;
+                }
+                self.workers[w].pending_ckpts.push_back(op);
+                self.try_dispatch(w);
+            }
+            Ev::OpTimer { worker, winc, op } => {
+                if epoch != self.epoch || self.workers[worker as usize].incarnation != winc {
+                    return;
+                }
+                let w = worker as usize;
+                self.workers[w].instance_mut(op).scheduled_timers.remove(&self.now);
+                self.workers[w].due_timers.insert((self.now, op));
+                self.try_dispatch(w);
+            }
+            Ev::RoundStart { round } => {
+                // Rounds are coordinator-driven and survive epochs; skip
+                // while recovering.
+                self.push_at(self.now + self.cfg.checkpoint_interval, Ev::RoundStart { round: round + 1 });
+                if self.workers.iter().any(|w| w.paused) {
+                    return;
+                }
+                self.coord.round = round;
+                self.coord.round_started_at.insert(round, self.now);
+                let sources: Vec<OpId> = self
+                    .pg
+                    .logical()
+                    .sources()
+                    .map(|o| o.id)
+                    .collect();
+                for w in 0..self.workers.len() {
+                    for &op in &sources {
+                        let winc = self.workers[w].incarnation;
+                        self.push_at(
+                            self.now + self.cfg.cost.control_latency_ns,
+                            Ev::TriggerArrive {
+                                worker: w as u32,
+                                winc,
+                                op,
+                                round,
+                            },
+                        );
+                    }
+                }
+                self.push_at(self.now + self.cfg.deadlock_timeout, Ev::DeadlockCheck { round });
+            }
+            Ev::TriggerArrive {
+                worker,
+                winc,
+                op,
+                round,
+            } => {
+                if epoch != self.epoch || self.workers[worker as usize].incarnation != winc {
+                    return;
+                }
+                let w = worker as usize;
+                if self.workers[w].down || self.workers[w].paused {
+                    return;
+                }
+                self.workers[w].pending_triggers.push_back((op, round));
+                self.try_dispatch(w);
+            }
+            Ev::DeadlockCheck { round } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                self.check_deadlock(round);
+            }
+            Ev::UploadDone { winc, meta, state } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let w = self.worker_of_inst(meta.id.instance);
+                if self.workers[w].incarnation != winc {
+                    return; // upload died with the worker
+                }
+                self.finish_upload(meta, state);
+            }
+            Ev::Fail => self.on_fail(),
+            Ev::Detect => self.on_detect(),
+            Ev::RestartDone { line } => self.on_restart(line),
+            Ev::LagProbe => self.on_lag_probe(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // worker scheduling
+    // ------------------------------------------------------------------
+
+    fn try_dispatch(&mut self, w: usize) {
+        {
+            let worker = &self.workers[w];
+            if worker.down || worker.paused || worker.running {
+                return;
+            }
+        }
+        // 1) COOR source triggers.
+        if let Some((op, round)) = self.workers[w].pending_triggers.pop_front() {
+            self.exec_source_trigger(w, op, round);
+            return;
+        }
+        // 2) UNC/CIC local checkpoints.
+        if let Some(op) = self.workers[w].pending_ckpts.pop_front() {
+            self.exec_local_checkpoint(w, op);
+            return;
+        }
+        // 3) Due operator timers.
+        if let Some(&(at, op)) = self.workers[w].due_timers.iter().next() {
+            if at <= self.now {
+                self.workers[w].due_timers.remove(&(at, op));
+                self.exec_op_timer(w, op, at);
+                return;
+            }
+        }
+        // 4/5) Fair interleave: alternate one source poll with one inbound
+        // message so that sources keep pushing while downstream is busy
+        // (bounded only by readability) — queues then reflect real load.
+        let prefer_source = self.workers[w].prefer_source;
+        self.workers[w].prefer_source = !prefer_source;
+        if prefer_source {
+            if self.try_source_poll(w) || self.try_message(w) {
+                return;
+            }
+        } else if self.try_message(w) || self.try_source_poll(w) {
+            return;
+        }
+        // 6) Idle: wake at the next source availability.
+        let mut next: Option<SimTime> = None;
+        for inst in &self.workers[w].instances {
+            let Some(stream) = inst.stream else { continue };
+            let offset = inst.cursor.expect("source has cursor").next_offset;
+            if let Some(at) = self.logs[stream as usize].available_at(offset) {
+                next = Some(next.map_or(at, |n: SimTime| n.min(at)));
+            }
+        }
+        if let Some(at) = next {
+            let at = at.max(self.now + 1);
+            let need = match self.workers[w].wake_at {
+                None => true,
+                Some(cur) => at < cur,
+            };
+            if need {
+                self.workers[w].wake_at = Some(at);
+                self.push_at(at, Ev::Wake { worker: w as u32 });
+            }
+        }
+    }
+
+    /// Process the oldest deliverable inbound message (stashing blocked
+    /// channels on the way). Returns true when a task was started.
+    fn try_message(&mut self, w: usize) -> bool {
+        loop {
+            let Some((&key, _)) = self.workers[w].queue.first_key_value() else {
+                return false;
+            };
+            let ch = self.workers[w].queue[&key].channel;
+            if self.workers[w].blocked.contains(&ch) {
+                let (k, m) = self.workers[w].queue.pop_first().expect("checked");
+                self.workers[w].stash.entry(ch).or_default().push((k, m));
+                continue;
+            }
+            let (_, msg) = self.workers[w].queue.pop_first().expect("checked");
+            self.exec_deliver(w, msg);
+            return true;
+        }
+    }
+
+    /// Poll one readable source record (round-robin across source
+    /// instances). Returns true when a task was started.
+    fn try_source_poll(&mut self, w: usize) -> bool {
+        let n_ops = self.workers[w].instances.len();
+        for step in 0..n_ops {
+            let op_i = (self.workers[w].src_rr + step) % n_ops;
+            let (stream, offset) = {
+                let inst = &self.workers[w].instances[op_i];
+                let Some(stream) = inst.stream else { continue };
+                (stream as usize, inst.cursor.expect("source has cursor").next_offset)
+            };
+            if self.logs[stream].poll(w as u32, offset, self.now).is_some() {
+                self.workers[w].src_rr = (op_i + 1) % n_ops;
+                self.exec_source_poll(w, OpId(op_i as u32));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Begin a task on worker `w`: occupy the CPU for `service` ns and
+    /// schedule completion.
+    fn begin_task(&mut self, w: usize, service: SimTime) -> SimTime {
+        let t_done = self.now + service.max(1);
+        let worker = &mut self.workers[w];
+        worker.running = true;
+        worker.busy_until = t_done;
+        let winc = worker.incarnation;
+        self.push_at(t_done, Ev::TaskDone { worker: w as u32, winc });
+        t_done
+    }
+
+    // ------------------------------------------------------------------
+    // task execution
+    // ------------------------------------------------------------------
+
+    fn exec_deliver(&mut self, w: usize, msg: NetMsg) {
+        let ch_meta = self.pg.channel(msg.channel);
+        let (op, port, from_inst) = (
+            self.pg.instance_id(ch_meta.to).op,
+            ch_meta.port,
+            ch_meta.from,
+        );
+        match msg.kind {
+            MsgKind::Marker { round } => self.exec_marker(w, op, msg.channel, round),
+            MsgKind::Data { seq, record } => {
+                let wire = 8 + record.encoded_len() + msg.wire_overhead;
+                let mut service = self.cfg.cost.deser_ns(wire);
+                // Duplicate? (replayed message already reflected in the
+                // restored receiver state)
+                let last = self.workers[w].instance(op).book.last_received(msg.channel);
+                if seq <= last {
+                    assert!(
+                        msg.replayed,
+                        "non-replay duplicate on {:?}: seq {seq} ≤ wm {last}",
+                        msg.channel
+                    );
+                    self.metrics.replay_dedup_drops += 1;
+                    self.begin_task(w, service);
+                    return;
+                }
+                // CIC forced checkpoint before delivery.
+                if let Some(pb) = &msg.piggyback {
+                    let force = self.workers[w]
+                        .instance(op)
+                        .cic
+                        .as_ref()
+                        .expect("piggyback implies CIC")
+                        .should_force(from_inst.0 as usize, pb);
+                    if force {
+                        service += self.take_checkpoint(w, op, CheckpointKind::Forced);
+                    }
+                }
+                {
+                    let inst = self.workers[w].instance_mut(op);
+                    let fresh = inst.book.deliver(msg.channel, seq);
+                    assert!(fresh, "post-dedup delivery must be fresh");
+                    if let (Some(cic), Some(pb)) = (inst.cic.as_mut(), &msg.piggyback) {
+                        cic.on_deliver(from_inst.0 as usize, pb);
+                    }
+                }
+                service += self.pg.logical().op(op).work_ns;
+                let is_sink = matches!(self.pg.logical().op(op).role, OpRole::Sink);
+                let (outputs, timers) = self.run_operator(w, op, port, record.clone());
+                service += self.route_outputs(w, op, outputs, &mut 0);
+                let t_done = self.begin_task(w, service);
+                self.schedule_op_timers(w, op, timers);
+                if is_sink {
+                    self.metrics.sink_outputs_total += 1;
+                    let latency = t_done.saturating_sub(record.ingest_time);
+                    self.metrics.series.record(t_done, latency);
+                    if t_done >= self.cfg.warmup {
+                        self.metrics.sink_records_postwarmup += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_marker(&mut self, w: usize, op: OpId, ch: ChannelIdx, round: u64) {
+        let mut service = self.cfg.cost.marker_handle_ns;
+        let action = self.workers[w]
+            .instance_mut(op)
+            .aligner
+            .as_mut()
+            .expect("marker at aligned instance")
+            .on_marker(ch, round);
+        match action {
+            MarkerAction::Block => {
+                self.workers[w].blocked.insert(ch);
+                self.begin_task(w, service);
+            }
+            MarkerAction::Checkpoint { round, unblock } => {
+                service += self.take_checkpoint(w, op, CheckpointKind::Coordinated { round });
+                service += self.forward_markers(w, op, round);
+                for c in unblock {
+                    self.workers[w].unstash(c);
+                }
+                self.begin_task(w, service);
+            }
+        }
+    }
+
+    fn exec_source_trigger(&mut self, w: usize, op: OpId, round: u64) {
+        let mut service = self.take_checkpoint(w, op, CheckpointKind::Coordinated { round });
+        service += self.forward_markers(w, op, round);
+        self.begin_task(w, service);
+    }
+
+    fn exec_local_checkpoint(&mut self, w: usize, op: OpId) {
+        let service = self.take_checkpoint(w, op, CheckpointKind::Local);
+        self.begin_task(w, service);
+    }
+
+    fn exec_op_timer(&mut self, w: usize, op: OpId, at: SimTime) {
+        let mut ctx = OpCtx::new(at);
+        self.workers[w].instance_mut(op).op.on_timer(at, &mut ctx);
+        let (outputs, timers) = ctx.take();
+        let mut service = self.cfg.cost.marker_handle_ns; // timer bookkeeping cost
+        service += self.route_outputs(w, op, outputs, &mut 0);
+        self.begin_task(w, service);
+        self.schedule_op_timers(w, op, timers);
+    }
+
+    fn exec_source_poll(&mut self, w: usize, op: OpId) {
+        let (stream, offset) = {
+            let inst = self.workers[w].instance(op);
+            (
+                inst.stream.expect("source") as usize,
+                inst.cursor.expect("source").next_offset,
+            )
+        };
+        let entry = self.logs[stream]
+            .poll(w as u32, offset, self.now)
+            .expect("picked because available");
+        self.workers[w]
+            .instance_mut(op)
+            .cursor
+            .as_mut()
+            .expect("source")
+            .advance();
+        let mut service = self.pg.logical().op(op).work_ns;
+        let (outputs, timers) = self.run_operator(w, op, PortId(0), entry.record);
+        service += self.route_outputs(w, op, outputs, &mut 0);
+        self.begin_task(w, service);
+        self.schedule_op_timers(w, op, timers);
+    }
+
+    /// Run the operator body; returns (outputs, timer requests).
+    fn run_operator(
+        &mut self,
+        w: usize,
+        op: OpId,
+        port: PortId,
+        record: Record,
+    ) -> (Vec<(usize, Record)>, Vec<SimTime>) {
+        let mut ctx = OpCtx::new(self.now);
+        self.workers[w].instance_mut(op).op.on_record(port, record, &mut ctx);
+        ctx.take()
+    }
+
+    fn schedule_op_timers(&mut self, w: usize, op: OpId, timers: Vec<SimTime>) {
+        let winc = self.workers[w].incarnation;
+        let mut to_schedule = Vec::new();
+        {
+            let inst = self.workers[w].instance_mut(op);
+            for t in timers {
+                let t = t.max(self.now + 1);
+                if inst.scheduled_timers.insert(t) {
+                    to_schedule.push(t);
+                }
+            }
+        }
+        for t in to_schedule {
+            self.push_at(t, Ev::OpTimer { worker: w as u32, winc, op });
+        }
+    }
+
+    /// Route operator outputs to their target instances; returns the CPU
+    /// cost of serializing (and logging) them. `marker_extra` is unused
+    /// padding for signature symmetry.
+    fn route_outputs(
+        &mut self,
+        w: usize,
+        op: OpId,
+        outputs: Vec<(usize, Record)>,
+        _marker_extra: &mut u64,
+    ) -> SimTime {
+        let mut service = 0;
+        let p = self.cfg.parallelism;
+        let inst_idx = self.workers[w].instance(op).idx;
+        for (edge_i, rec) in outputs {
+            let channels: Vec<ChannelIdx> = {
+                let oe = &self.pg.out_edges_of(inst_idx)[edge_i];
+                let targets: Vec<u32> = match oe.kind {
+                    EdgeKind::Forward => vec![w as u32],
+                    EdgeKind::Broadcast => (0..p).collect(),
+                    EdgeKind::Shuffle | EdgeKind::Feedback => {
+                        vec![checkmate_dataflow::shuffle_target(rec.key, p)]
+                    }
+                };
+                targets
+                    .into_iter()
+                    .map(|j| oe.targets[j as usize].expect("edge connects target"))
+                    .collect()
+            };
+            for ch in channels {
+                service += self.send_data(w, op, ch, rec.clone());
+            }
+        }
+        service
+    }
+
+    /// Send one data record on `ch`; returns the sender CPU cost.
+    fn send_data(&mut self, w: usize, op: OpId, ch: ChannelIdx, rec: Record) -> SimTime {
+        let to_inst = self.pg.channel(ch).from; // (sanity: from == our inst)
+        debug_assert_eq!(self.worker_of_inst(to_inst), w);
+        let dest_inst = self.pg.channel(ch).to;
+        let (seq, pb) = {
+            let inst = self.workers[w].instance_mut(op);
+            let seq = inst.book.next_send(ch);
+            let pb = inst.cic.as_mut().map(|c| c.on_send(dest_inst.0 as usize));
+            (seq, pb)
+        };
+        let mut msg = NetMsg::data(ch, seq, rec.clone());
+        if let Some(pb) = pb {
+            let wire = match self.cfg.protocol {
+                ProtocolKind::CommunicationInduced => hmnr_wire_bytes(self.cfg.parallelism),
+                ProtocolKind::CommunicationInducedBcs => BCS_WIRE_BYTES,
+                _ => unreachable!("piggyback without CIC"),
+            };
+            msg = msg.with_piggyback(pb, wire);
+        }
+        let mut service = self.cfg.cost.ser_ns(msg.wire_bytes());
+        if !self.chan_logs.is_empty() {
+            self.chan_logs[ch.0 as usize].append(seq, rec);
+            service += self.cfg.cost.log_append_ns(msg.payload_bytes());
+        }
+        self.metrics.payload_bytes += msg.payload_bytes() as u64;
+        self.metrics.protocol_bytes += msg.overhead_bytes() as u64;
+        self.ship(w, msg, self.workers[w].busy_until.max(self.now) /* placeholder */);
+        service
+    }
+
+    /// Schedule the network arrival of `msg`, enforcing per-channel FIFO.
+    /// `t_send` is when the sender's task completes (the message leaves).
+    fn ship(&mut self, w: usize, msg: NetMsg, _t_send_hint: SimTime) {
+        // Tasks call route/send during dispatch, before begin_task fixes
+        // busy_until; use `now` + a conservative bound: the arrival floor
+        // guarantees FIFO regardless, and service times dominate.
+        let ch = self.pg.channel(msg.channel);
+        let local = self.worker_of_inst(ch.from) == self.worker_of_inst(ch.to);
+        let xfer = if local {
+            self.cfg.cost.local_xfer_ns
+        } else {
+            self.cfg.cost.xfer_ns(msg.wire_bytes())
+        };
+        let floor = self.chan_floor[msg.channel.0 as usize];
+        let arrival = (self.now + xfer).max(floor + 1);
+        self.chan_floor[msg.channel.0 as usize] = arrival;
+        let src_winc = self.workers[self.worker_of_inst(ch.from)].incarnation;
+        let dst_winc = self.workers[self.worker_of_inst(ch.to)].incarnation;
+        self.arrivals_inflight += 1;
+        self.push_at(
+            arrival,
+            Ev::Arrive {
+                src_winc,
+                dst_winc,
+                msg,
+            },
+        );
+        let _ = w;
+    }
+
+    /// Forward COOR markers on every outgoing channel; returns CPU cost.
+    fn forward_markers(&mut self, w: usize, op: OpId, round: u64) -> SimTime {
+        let inst_idx = self.workers[w].instance(op).idx;
+        let mut service = 0;
+        let channels: Vec<ChannelIdx> = self
+            .pg
+            .out_edges_of(inst_idx)
+            .iter()
+            .flat_map(|oe| oe.targets.iter().flatten().copied())
+            .collect();
+        for ch in channels {
+            service += self.cfg.cost.ser_ns(MARKER_BYTES);
+            let msg = NetMsg::marker(ch, round);
+            self.metrics.protocol_bytes += msg.overhead_bytes() as u64;
+            self.ship(w, msg, self.now);
+        }
+        service
+    }
+
+    /// Capture a checkpoint of instance `(w, op)`; returns the CPU cost of
+    /// serializing the snapshot. The upload completes asynchronously.
+    fn take_checkpoint(&mut self, w: usize, op: OpId, kind: CheckpointKind) -> SimTime {
+        let winc = self.workers[w].incarnation;
+        let (meta, state) = {
+            let inst = self.workers[w].instance_mut(op);
+            inst.ckpt_index += 1;
+            let state = inst.snapshot_bytes();
+            let (recv_wm, sent_wm) = inst.book.watermarks();
+            let meta = CheckpointMeta {
+                id: CheckpointId::new(inst.idx, inst.ckpt_index),
+                kind,
+                taken_at: self.now,
+                durable_at: 0,
+                recv_wm,
+                sent_wm,
+                source_offset: inst.cursor.map(|c| c.next_offset),
+                state_key: format!("ckpt/{}/{}", inst.idx.0, inst.ckpt_index),
+                state_bytes: state.len() as u64,
+            };
+            if let Some(cic) = inst.cic.as_mut() {
+                cic.on_checkpoint();
+            }
+            (meta, state)
+        };
+        let service = self.cfg.cost.snapshot_ns(state.len());
+        let durable =
+            self.now + service + self.cfg.cost.store_put_ns(state.len()) + self.cfg.cost.control_latency_ns;
+        // Metadata traffic to the coordinator is protocol overhead.
+        self.metrics.protocol_bytes += 64;
+        self.push_at(durable, Ev::UploadDone { winc, meta, state });
+        service
+    }
+
+    fn finish_upload(&mut self, mut meta: CheckpointMeta, state: Vec<u8>) {
+        meta.durable_at = self.now;
+        self.store.put(meta.state_key.clone(), state);
+        let inst = meta.id.instance;
+        let round = match meta.kind {
+            CheckpointKind::Coordinated { round } => Some(round),
+            _ => None,
+        };
+        if meta.id.index > 0 {
+            match self.cfg.protocol {
+                ProtocolKind::Coordinated => {} // counted at round completion
+                _ => {
+                    self.metrics.checkpoints_total += 1;
+                    if meta.kind.is_forced() {
+                        self.metrics.checkpoints_forced += 1;
+                    }
+                    self.coord
+                        .ckpt_durations
+                        .push(self.now - meta.taken_at);
+                }
+            }
+        }
+        self.coord.metas.insert((inst, meta.id.index), meta.clone());
+        self.gc_after(&meta);
+        if let Some(r) = round {
+            let acks = self.coord.round_acks.entry(r).or_default();
+            acks.insert(inst);
+            if acks.len() == self.pg.n_instances() {
+                self.coord.rounds_completed += 1;
+                let started = self.coord.round_started_at[&r];
+                self.coord.round_durations.push(self.now - started);
+                self.metrics.checkpoints_total += self.pg.n_instances() as u64;
+            }
+        }
+    }
+
+    /// Checkpoint space reclamation: drop state objects beyond the
+    /// retention window and truncate channel logs below what retained
+    /// checkpoints can still need.
+    fn gc_after(&mut self, meta: &CheckpointMeta) {
+        let retention = self.cfg.checkpoint_retention;
+        if meta.id.index <= retention {
+            return;
+        }
+        let old_index = meta.id.index - retention;
+        if let Some(old) = self.coord.metas.get(&(meta.id.instance, old_index)) {
+            if !old.state_key.is_empty() {
+                self.store.delete(&old.state_key);
+            }
+        }
+        // Truncate in-channel logs below the oldest retained receive
+        // watermark of this instance.
+        if self.chan_logs.is_empty() {
+            return;
+        }
+        if let Some(oldest) = self.coord.metas.get(&(meta.id.instance, old_index)) {
+            let in_channels: Vec<ChannelIdx> =
+                self.pg.in_channels_of(meta.id.instance).to_vec();
+            for ch in in_channels {
+                let wm = oldest.received_on(ch);
+                if wm > 0 {
+                    self.chan_logs[ch.0 as usize].truncate_below(wm + 1);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // failure & recovery
+    // ------------------------------------------------------------------
+
+    fn on_fail(&mut self) {
+        let w = self.cfg.failure.expect("Fail event requires spec").worker.0 as usize;
+        let worker = &mut self.workers[w];
+        worker.down = true;
+        worker.incarnation += 1;
+        worker.clear_volatile();
+        self.coord.failed_worker = Some(w as u32);
+        self.push_at(self.now + self.cfg.cost.failure_detect_ns, Ev::Detect);
+    }
+
+    fn on_detect(&mut self) {
+        self.coord.detected_at = Some(self.now);
+        self.epoch += 1;
+        for w in &mut self.workers {
+            w.paused = true;
+            w.running = false;
+        }
+        // --- recovery line ---
+        let line = match self.cfg.protocol {
+            ProtocolKind::Coordinated | ProtocolKind::None => {
+                let metas: Vec<CheckpointMeta> = self
+                    .coord
+                    .metas
+                    .values()
+                    .filter(|m| {
+                        m.kind.round().is_some_and(|r| {
+                            r == 0
+                                || self
+                                    .coord
+                                    .round_acks
+                                    .get(&r)
+                                    .is_some_and(|a| a.len() == self.pg.n_instances())
+                        })
+                    })
+                    .cloned()
+                    .collect();
+                coordinated_line(&metas)
+            }
+            _ => {
+                let triples: Vec<ChannelTriple> = self
+                    .pg
+                    .channels()
+                    .iter()
+                    .map(|c| ChannelTriple {
+                        ch: c.idx,
+                        from: c.from,
+                        to: c.to,
+                    })
+                    .collect();
+                let graph = CheckpointGraph::build(self.coord.metas_vec(), &triples);
+                let out = rollback_propagation(&graph);
+                self.coord.invalid_checkpoints = out.invalid_count() as u64;
+                out.line
+            }
+        };
+        // --- restart cost per worker ---
+        let failed = self.coord.failed_worker.expect("detect after fail");
+        let mut restart_done = self.now;
+        for w in 0..self.workers.len() {
+            let mut ready = self.now + self.cfg.cost.control_latency_ns;
+            if w as u32 == failed {
+                ready += self.cfg.cost.worker_respawn_ns;
+            }
+            // State fetches, one GET per instance.
+            for inst in &self.workers[w].instances {
+                let id = line[&inst.idx];
+                let meta = &self.coord.metas[&(inst.idx, id.index)];
+                if !meta.state_key.is_empty() {
+                    ready += self.cfg.cost.store_get_ns(meta.state_bytes as usize);
+                }
+            }
+            // Replay preparation: fetch the in-flight log ranges this
+            // worker's instances must resend (one bulk GET per worker plus
+            // transfer time for the bytes).
+            if !self.chan_logs.is_empty() {
+                let mut bytes = 0usize;
+                for c in self.pg.channels() {
+                    if self.worker_of_inst(c.from) != w {
+                        continue;
+                    }
+                    let lo = self.coord.metas[&(c.to, line[&c.to].index)].received_on(c.idx);
+                    let hi = self.coord.metas[&(c.from, line[&c.from].index)].sent_on(c.idx);
+                    if hi > lo {
+                        bytes += self.chan_logs[c.idx.0 as usize].range_bytes(lo, hi);
+                    }
+                }
+                if bytes > 0 {
+                    ready += self.cfg.cost.store_get_ns(bytes);
+                }
+            }
+            restart_done = restart_done.max(ready);
+        }
+        self.queue.push(restart_done, (self.epoch, Ev::RestartDone { line }));
+    }
+
+    fn on_restart(&mut self, line: BTreeMap<InstanceIdx, CheckpointId>) {
+        self.coord.restart_done_at = Some(self.now);
+        // Discard post-line checkpoints (the "invalid" ones).
+        let stale_keys = self.coord.discard_after_line(&line);
+        for k in stale_keys {
+            self.store.delete(&k);
+        }
+        // Reset all workers & instances to the line.
+        for w in 0..self.workers.len() {
+            self.workers[w].down = false;
+            self.workers[w].paused = false;
+            self.workers[w].incarnation += 1;
+            self.workers[w].busy_until = self.now;
+            self.workers[w].clear_volatile();
+            let ops: Vec<usize> = (0..self.workers[w].instances.len()).collect();
+            for op_i in ops {
+                let (idx, index) = {
+                    let inst = &self.workers[w].instances[op_i];
+                    (inst.idx, line[&inst.idx].index)
+                };
+                let meta = self.coord.metas[&(idx, index)].clone();
+                self.restore_instance(w, op_i, &meta);
+            }
+        }
+        // Replay in-flight messages from the channel logs (UNC/CIC).
+        if !self.chan_logs.is_empty() {
+            let channel_metas: Vec<(ChannelIdx, InstanceIdx, InstanceIdx)> = self
+                .pg
+                .channels()
+                .iter()
+                .map(|c| (c.idx, c.from, c.to))
+                .collect();
+            for (ch, from, to) in channel_metas {
+                let lo = self.coord.metas[&(to, line[&to].index)].received_on(ch);
+                let hi = self.coord.metas[&(from, line[&from].index)].sent_on(ch);
+                if hi <= lo {
+                    continue;
+                }
+                let entries: Vec<(u64, Record)> = self.chan_logs[ch.0 as usize]
+                    .range(lo, hi)
+                    .into_iter()
+                    .map(|e| (e.seq, e.record.clone()))
+                    .collect();
+                for (seq, rec) in entries {
+                    let msg = NetMsg::data(ch, seq, rec).replay();
+                    self.ship(self.worker_of_inst(from), msg, self.now);
+                }
+            }
+        }
+        // Clear acks of rounds that died with the failure.
+        let completed: Vec<u64> = self
+            .coord
+            .round_acks
+            .iter()
+            .filter(|(_, a)| a.len() == self.pg.n_instances())
+            .map(|(r, _)| *r)
+            .collect();
+        self.coord
+            .round_acks
+            .retain(|r, _| completed.contains(r));
+        // Re-arm UNC/CIC timers.
+        if self.cfg.protocol.independent_checkpoints() {
+            for w in 0..self.workers.len() {
+                for op_i in 0..self.workers[w].instances.len() {
+                    let inst = self.workers[w].instances[op_i].idx;
+                    let next = self.now
+                        + self.cfg.checkpoint_interval / 2
+                        + self.rng.below(self.cfg.checkpoint_interval);
+                    self.push_at(next, Ev::CkptTimer { inst });
+                }
+            }
+        }
+        for w in 0..self.workers.len() {
+            self.push_at(self.now, Ev::Wake { worker: w as u32 });
+        }
+    }
+
+    fn restore_instance(&mut self, w: usize, op_i: usize, meta: &CheckpointMeta) {
+        let protocol = self.cfg.protocol;
+        let n_inst = self.pg.n_instances();
+        let parallelism = self.cfg.parallelism;
+        let state = (!meta.state_key.is_empty()).then(|| {
+            self.store
+                .get(&meta.state_key)
+                .unwrap_or_else(|| panic!("recovery needs GC'd checkpoint {}", meta.state_key))
+        });
+        let (in_channels, factory, role) = {
+            let inst = &self.workers[w].instances[op_i];
+            let lop = self.pg.logical().op(inst.op_id);
+            (
+                self.pg.in_channels_of(inst.idx).to_vec(),
+                Arc::clone(&lop.factory),
+                lop.role,
+            )
+        };
+        let inst = &mut self.workers[w].instances[op_i];
+        match state {
+            Some(bytes) => inst.restore_from(&bytes),
+            None => {
+                // Initial checkpoint: fresh everything.
+                inst.op = (factory)(w as u32);
+                inst.book = checkmate_core::ChannelBook::new();
+                inst.cursor = matches!(role, OpRole::Source { .. })
+                    .then(checkmate_wal::SourceCursor::default);
+                inst.cic = match protocol {
+                    ProtocolKind::CommunicationInduced => {
+                        Some(checkmate_core::CicState::hmnr(inst.idx.0 as usize, n_inst))
+                    }
+                    ProtocolKind::CommunicationInducedBcs => {
+                        Some(checkmate_core::CicState::bcs())
+                    }
+                    _ => None,
+                };
+                inst.scheduled_timers.clear();
+            }
+        }
+        inst.ckpt_index = meta.id.index;
+        // Rebuild alignment state at the line's round.
+        if protocol == ProtocolKind::Coordinated && !matches!(role, OpRole::Source { .. }) {
+            let mut aligner = CoorAligner::new(in_channels);
+            aligner.reset_to_round(meta.kind.round().expect("COOR line is per-round"));
+            inst.aligner = Some(aligner);
+        }
+        let _ = parallelism;
+    }
+
+    // ------------------------------------------------------------------
+    // probes, deadlock, drain, report
+    // ------------------------------------------------------------------
+
+    fn current_lag_secs(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for w in &self.workers {
+            for inst in &w.instances {
+                let Some(stream) = inst.stream else { continue };
+                let cursor = inst.cursor.expect("source").next_offset;
+                let lag = self.logs[stream as usize].lag(cursor, self.now);
+                worst = worst.max(lag as f64 / self.rates_pp[stream as usize]);
+            }
+        }
+        worst
+    }
+
+    fn on_lag_probe(&mut self) {
+        let lag = self.current_lag_secs();
+        if self.now >= self.cfg.warmup && self.coord.lag_at_warmup_secs.is_none() {
+            self.coord.lag_at_warmup_secs = Some(lag);
+        }
+        if self.coord.detected_at.is_none() {
+            self.coord.steady_lag_secs = lag;
+        } else if self.coord.restart_done_at.is_some() && self.coord.recovery_done_at.is_none() {
+            let threshold = self.coord.steady_lag_secs * self.cfg.recovery_lag_factor + 0.25;
+            if lag <= threshold {
+                self.coord.recovery_done_at = Some(self.now);
+            }
+        }
+        self.maybe_drained();
+        if self.now + 250 * MILLIS <= self.cfg.duration {
+            self.push_at(self.now + 250 * MILLIS, Ev::LagProbe);
+        }
+    }
+
+    fn check_deadlock(&mut self, round: u64) {
+        let complete = self
+            .coord
+            .round_acks
+            .get(&round)
+            .is_some_and(|a| a.len() == self.pg.n_instances());
+        if complete {
+            return;
+        }
+        for w in &self.workers {
+            for inst in &w.instances {
+                let Some(aligner) = &inst.aligner else { continue };
+                if aligner.aligning_round() != Some(round) {
+                    continue;
+                }
+                let awaiting_feedback = aligner
+                    .awaited_channels()
+                    .iter()
+                    .any(|ch| self.pg.channel(*ch).kind.is_feedback());
+                if awaiting_feedback {
+                    self.halted = Some(Outcome::CoordinatedDeadlock { at: self.now });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn maybe_drained(&mut self) {
+        if self.cfg.input_limit.is_none() || self.halted.is_some() {
+            return;
+        }
+        if self.arrivals_inflight > 0 {
+            return;
+        }
+        // A failure in progress is not a drain: the dead worker's backlog
+        // only reappears after recovery replays/reprocesses it.
+        if self.workers.iter().any(|w| w.down || w.paused) {
+            return;
+        }
+        let all_idle = self.workers.iter().all(|w| {
+            !w.running
+                && w.queue.is_empty()
+                && w.stash.is_empty()
+                && w.pending_triggers.is_empty()
+                && w.pending_ckpts.is_empty()
+                && w.instances.iter().all(|i| {
+                    i.stream.is_none()
+                        || self.logs[i.stream.unwrap() as usize]
+                            .exhausted(i.cursor.expect("source").next_offset)
+                })
+        });
+        if all_idle {
+            self.halted = Some(Outcome::Drained);
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        let outcome = self.halted.clone().unwrap_or(Outcome::Completed);
+        let warmup_sec = self.cfg.warmup / 1_000_000_000;
+        let p50 = self.metrics.series.percentile_from(warmup_sec, 0.50);
+        let p99 = self.metrics.series.percentile_from(warmup_sec, 0.99);
+        let final_lag = self.current_lag_secs();
+        // Sustainability (paper §V): the rate is sustained iff neither the
+        // source backlog nor the end-to-end latency diverges. Backlog
+        // catches source starvation; the latency slope catches queue
+        // growth inside the pipeline (sources keep reading eagerly, so
+        // overload shows up as per-second p50 climbing, not as lag).
+        let latency_ok = {
+            let series = self.metrics.series.clone_series_after(warmup_sec);
+            match (series.first(), series.last()) {
+                (Some(first), Some(last)) if series.len() >= 2 => {
+                    let early = first.1 as f64 / 1e9;
+                    let late = last.1 as f64 / 1e9;
+                    late <= 1.0 && late <= early + 0.15
+                }
+                _ => true,
+            }
+        };
+        let mut digest = Digest::default();
+        for w in &self.workers {
+            for inst in &w.instances {
+                if let Some(d) = inst.op.sink_digest() {
+                    digest.count = digest.count.wrapping_add(d.count);
+                    digest.acc = digest.acc.wrapping_add(d.acc);
+                }
+            }
+        }
+        let durations = match self.cfg.protocol {
+            ProtocolKind::Coordinated => &self.coord.round_durations,
+            _ => &self.coord.ckpt_durations,
+        };
+        let avg_ct = if durations.is_empty() {
+            0
+        } else {
+            durations.iter().sum::<u64>() / durations.len() as u64
+        };
+        RunReport {
+            workload: self.name.clone(),
+            protocol: self.cfg.protocol,
+            parallelism: self.cfg.parallelism,
+            total_rate: self.cfg.total_rate,
+            outcome,
+            end_time: self.now,
+            latency_series: self.metrics.series.build(),
+            p50_ns: p50,
+            p99_ns: p99,
+            sink_records: self.metrics.sink_records_postwarmup,
+            // Sustained = bounded backlog (≤ 300 ms of input, a few
+            // consumer batches), no post-warmup backlog growth, and no
+            // latency divergence.
+            sustainable: final_lag <= 0.3
+                && self
+                    .coord
+                    .lag_at_warmup_secs
+                    .is_none_or(|w| final_lag - w <= 0.15)
+                && latency_ok,
+            final_lag_secs: final_lag,
+            checkpoints_total: self.metrics.checkpoints_total,
+            checkpoints_forced: self.metrics.checkpoints_forced,
+            checkpoints_invalid: self.coord.invalid_checkpoints,
+            avg_checkpoint_time_ns: avg_ct,
+            rounds_completed: self.coord.rounds_completed,
+            detected_at: self.coord.detected_at,
+            restart_time_ns: match (self.coord.detected_at, self.coord.restart_done_at) {
+                (Some(d), Some(r)) => Some(r - d),
+                _ => None,
+            },
+            recovery_time_ns: match (self.coord.detected_at, self.coord.recovery_done_at) {
+                (Some(d), Some(r)) => Some(r - d),
+                _ => None,
+            },
+            payload_bytes: self.metrics.payload_bytes,
+            protocol_bytes: self.metrics.protocol_bytes,
+            sink_digest: digest,
+            output_duplicates: self
+                .metrics
+                .sink_outputs_total
+                .saturating_sub(digest.count),
+            events: self.events,
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Wire messages between operator instances.
+
+use checkmate_core::CicPiggyback;
+use checkmate_dataflow::graph::ChannelIdx;
+use checkmate_dataflow::Record;
+
+/// What a message carries.
+#[derive(Debug, Clone)]
+pub enum MsgKind {
+    /// A data record with its channel sequence number.
+    Data { seq: u64, record: Record },
+    /// A coordinated-checkpoint marker for `round`.
+    Marker { round: u64 },
+}
+
+/// Wire size of a marker body (round number + frame tag).
+pub const MARKER_BYTES: usize = 16;
+
+/// Piggyback wire size at a given worker count.
+///
+/// The in-memory HMNR state is per operator instance (that is what the
+/// protocol's correctness argument needs), but the wire format aggregates
+/// co-located instances per worker — instances on one worker fail and
+/// checkpoint together, so one clock/vector row per *worker* suffices on
+/// the wire: 8 B Lamport clock + 4 B checkpoint count per worker + two
+/// bitsets. This keeps the overhead growth with parallelism in the range
+/// the paper reports (Table II).
+pub fn hmnr_wire_bytes(workers: u32) -> usize {
+    let w = workers as usize;
+    8 + 4 * w + 2 * w.div_ceil(8)
+}
+
+/// BCS piggybacks only the clock.
+pub const BCS_WIRE_BYTES: usize = 8;
+
+/// A message traversing a channel.
+#[derive(Debug, Clone)]
+pub struct NetMsg {
+    pub channel: ChannelIdx,
+    pub kind: MsgKind,
+    /// CIC piggyback attached to data messages (None for other protocols
+    /// and for markers).
+    pub piggyback: Option<CicPiggyback>,
+    /// Protocol bytes this message adds to the wire (piggyback for data,
+    /// the whole body for markers).
+    pub wire_overhead: usize,
+    /// True when this is a replayed in-flight message (recovery): already
+    /// logged, so receivers must not re-log it, and stale sequences are
+    /// deduplicated silently.
+    pub replayed: bool,
+}
+
+impl NetMsg {
+    pub fn data(channel: ChannelIdx, seq: u64, record: Record) -> Self {
+        Self {
+            channel,
+            kind: MsgKind::Data { seq, record },
+            piggyback: None,
+            wire_overhead: 0,
+            replayed: false,
+        }
+    }
+
+    pub fn marker(channel: ChannelIdx, round: u64) -> Self {
+        Self {
+            channel,
+            kind: MsgKind::Marker { round },
+            piggyback: None,
+            wire_overhead: MARKER_BYTES,
+            replayed: false,
+        }
+    }
+
+    pub fn with_piggyback(mut self, pb: CicPiggyback, wire_bytes: usize) -> Self {
+        self.piggyback = Some(pb);
+        self.wire_overhead = wire_bytes;
+        self
+    }
+
+    pub fn replay(mut self) -> Self {
+        self.replayed = true;
+        self
+    }
+
+    /// Payload bytes: what a checkpoint-free execution would also carry
+    /// (markers carry no payload).
+    pub fn payload_bytes(&self) -> usize {
+        match &self.kind {
+            MsgKind::Data { record, .. } => 8 + record.encoded_len(), // seq + record
+            MsgKind::Marker { .. } => 0,
+        }
+    }
+
+    /// Protocol overhead bytes.
+    pub fn overhead_bytes(&self) -> usize {
+        self.wire_overhead
+    }
+
+    /// Total wire bytes (excluding the fixed frame header, which the cost
+    /// model adds).
+    pub fn wire_bytes(&self) -> usize {
+        self.payload_bytes() + self.wire_overhead
+    }
+
+    pub fn is_marker(&self) -> bool {
+        matches!(self.kind, MsgKind::Marker { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkmate_core::CicState;
+    use checkmate_dataflow::Value;
+
+    #[test]
+    fn data_sizes() {
+        let r = Record::new(1, Value::U64(7), 0);
+        let m = NetMsg::data(ChannelIdx(0), 1, r.clone());
+        assert_eq!(m.payload_bytes(), 8 + r.encoded_len());
+        assert_eq!(m.overhead_bytes(), 0);
+        assert_eq!(m.wire_bytes(), m.payload_bytes());
+    }
+
+    #[test]
+    fn piggyback_counts_as_overhead() {
+        let r = Record::new(1, Value::U64(7), 0);
+        let mut cic = CicState::hmnr(0, 20);
+        let pb = cic.on_send(1);
+        let wire = hmnr_wire_bytes(10);
+        let m = NetMsg::data(ChannelIdx(0), 1, r).with_piggyback(pb, wire);
+        assert_eq!(m.overhead_bytes(), wire);
+        assert_eq!(m.wire_bytes(), m.payload_bytes() + wire);
+    }
+
+    #[test]
+    fn marker_is_pure_overhead() {
+        let m = NetMsg::marker(ChannelIdx(3), 2);
+        assert!(m.is_marker());
+        assert_eq!(m.payload_bytes(), 0);
+        assert_eq!(m.overhead_bytes(), MARKER_BYTES);
+        assert_eq!(m.wire_bytes(), MARKER_BYTES);
+    }
+
+    #[test]
+    fn hmnr_wire_grows_with_workers() {
+        assert_eq!(hmnr_wire_bytes(10), 8 + 40 + 4);
+        assert_eq!(hmnr_wire_bytes(50), 8 + 200 + 14);
+        assert!(hmnr_wire_bytes(100) > 2 * hmnr_wire_bytes(50) - 20);
+        assert_eq!(BCS_WIRE_BYTES, 8);
+    }
+}

@@ -1,0 +1,263 @@
+//! Run outcome: every metric of paper §V, from one engine run.
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::ops::Digest;
+use checkmate_sim::{to_secs, SimTime};
+
+/// Latency percentiles of one one-second bucket (paper Figs. 9–10 plot
+/// these per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondStats {
+    pub second: u64,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to the configured duration.
+    Completed,
+    /// Bounded input fully processed before the duration elapsed.
+    Drained,
+    /// The coordinated protocol deadlocked on a cyclic graph: an
+    /// alignment stalled waiting for a marker on a feedback channel
+    /// (paper §VII-B: COOR "cannot handle cyclic queries").
+    CoordinatedDeadlock {
+        /// Seconds into the run when the deadlock was declared.
+        at: SimTime,
+    },
+    /// Event budget exhausted (indicates a configuration problem).
+    EventBudgetExhausted,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub workload: String,
+    pub protocol: ProtocolKind,
+    pub parallelism: u32,
+    pub total_rate: f64,
+    pub outcome: Outcome,
+    pub end_time: SimTime,
+
+    // ---- latency (paper §V "End-to-end Latency") ----
+    /// Per-virtual-second p50/p99 of sink latency, including warmup
+    /// seconds (figures plot the full timeline).
+    pub latency_series: Vec<SecondStats>,
+    /// Steady-state percentiles over post-warmup records.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+
+    // ---- throughput ----
+    /// Records processed at sinks (post-warmup).
+    pub sink_records: u64,
+    /// Is the configured rate sustainable? True iff the worst source
+    /// backlog at run end is below one second of input and did not grow
+    /// monotonically (paper §V "Sustainable Throughput").
+    pub sustainable: bool,
+    /// Worst source backlog at end, in seconds of input.
+    pub final_lag_secs: f64,
+
+    // ---- checkpointing (paper §V "Average Checkpointing Time") ----
+    /// Completed checkpoints (for COOR: checkpoints of completed rounds).
+    pub checkpoints_total: u64,
+    /// CIC forced checkpoints among the total.
+    pub checkpoints_forced: u64,
+    /// Checkpoints rolled past at recovery ("invalid", Table III).
+    pub checkpoints_invalid: u64,
+    /// Average checkpoint duration: per-checkpoint capture→durable for
+    /// UNC/CIC; full round initiation→completion for COOR.
+    pub avg_checkpoint_time_ns: u64,
+    /// Completed coordinated rounds (0 for other protocols).
+    pub rounds_completed: u64,
+
+    // ---- failure handling (paper §V "Restart & Recovery Time") ----
+    /// Failure detection instant, when a failure was injected.
+    pub detected_at: Option<SimTime>,
+    /// Detection → all workers restored and ready to process.
+    pub restart_time_ns: Option<u64>,
+    /// Detection → backlog back to steady state. None = never recovered
+    /// within the run (reported as such in the paper's skew experiments).
+    pub recovery_time_ns: Option<u64>,
+
+    // ---- message overhead (paper §V "Message Overhead", Table II) ----
+    /// Bytes a checkpoint-free run would have moved (records).
+    pub payload_bytes: u64,
+    /// Protocol bytes: markers, piggybacks, checkpoint metadata traffic.
+    pub protocol_bytes: u64,
+
+    // ---- exactly-once verification ----
+    /// Order-independent digest of everything the sinks processed
+    /// (rolled back and replayed with the state — equal to a failure-free
+    /// run's digest iff processing was exactly-once).
+    pub sink_digest: Digest,
+    /// Records emitted by sinks to the external world beyond the digest
+    /// count: duplicate *outputs* during recovery (exactly-once processing
+    /// still permits these, §II-A).
+    pub output_duplicates: u64,
+
+    /// Total simulation events processed (determinism fingerprinting).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Message overhead ratio vs. a checkpoint-free execution (Table II).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            return 1.0;
+        }
+        (self.payload_bytes + self.protocol_bytes) as f64 / self.payload_bytes as f64
+    }
+
+    /// Fraction of checkpoints invalidated at recovery (Table III).
+    pub fn invalid_pct(&self) -> f64 {
+        if self.checkpoints_total == 0 {
+            return 0.0;
+        }
+        100.0 * self.checkpoints_invalid as f64 / self.checkpoints_total as f64
+    }
+
+    pub fn deadlocked(&self) -> bool {
+        matches!(self.outcome, Outcome::CoordinatedDeadlock { .. })
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} p={} rate={:.0}/s: p50={:.1}ms p99={:.1}ms sink={} ckpts={} (forced={}, invalid={}) ct={:.2}ms overhead={:.2}x restart={:?}ms recovery={:?}ms lag={:.2}s {:?}",
+            self.workload,
+            self.protocol,
+            self.parallelism,
+            self.total_rate,
+            self.p50_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+            self.sink_records,
+            self.checkpoints_total,
+            self.checkpoints_forced,
+            self.checkpoints_invalid,
+            self.avg_checkpoint_time_ns as f64 / 1e6,
+            self.overhead_ratio(),
+            self.restart_time_ns.map(|t| t / 1_000_000),
+            self.recovery_time_ns.map(|t| t / 1_000_000),
+            self.final_lag_secs,
+            self.outcome,
+        )
+    }
+
+    pub fn end_secs(&self) -> f64 {
+        to_secs(self.end_time)
+    }
+}
+
+/// Builds per-second percentile series from raw samples.
+#[derive(Debug, Default)]
+pub struct LatencySeries {
+    /// Sorted insertion not required; sorted at build time.
+    buckets: std::collections::BTreeMap<u64, Vec<u64>>,
+}
+
+impl LatencySeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, at: SimTime, latency_ns: u64) {
+        self.buckets
+            .entry(at / 1_000_000_000)
+            .or_default()
+            .push(latency_ns);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Per-second p50 values at or after `from_sec`, as `(second, p50)`.
+    pub fn clone_series_after(&self, from_sec: u64) -> Vec<(u64, u64)> {
+        self.buckets
+            .range(from_sec..)
+            .map(|(s, v)| {
+                let mut copy = v.clone();
+                (*s, percentile_of(&mut copy, 0.50))
+            })
+            .collect()
+    }
+
+    /// Percentile over all samples at or after `from_sec`.
+    pub fn percentile_from(&self, from_sec: u64, p: f64) -> u64 {
+        let mut all: Vec<u64> = self
+            .buckets
+            .range(from_sec..)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        percentile_of(&mut all, p)
+    }
+
+    pub fn build(self) -> Vec<SecondStats> {
+        self.buckets
+            .into_iter()
+            .map(|(second, mut v)| {
+                let p50 = percentile_of(&mut v, 0.50);
+                let p99 = percentile_of(&mut v, 0.99);
+                SecondStats {
+                    second,
+                    count: v.len() as u64,
+                    p50_ns: p50,
+                    p99_ns: p99,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Nearest-rank percentile; 0 for empty input.
+pub fn percentile_of(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * p).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_of(&mut v, 0.50), 50);
+        assert_eq!(percentile_of(&mut v, 0.99), 99);
+        assert_eq!(percentile_of(&mut v, 1.0), 100);
+        let mut single = vec![42];
+        assert_eq!(percentile_of(&mut single, 0.5), 42);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(percentile_of(&mut empty, 0.99), 0);
+    }
+
+    #[test]
+    fn series_buckets_by_second() {
+        let mut s = LatencySeries::new();
+        s.record(500_000_000, 10);
+        s.record(900_000_000, 20);
+        s.record(1_100_000_000, 30);
+        let built = s.build();
+        assert_eq!(built.len(), 2);
+        assert_eq!(built[0].second, 0);
+        assert_eq!(built[0].count, 2);
+        assert_eq!(built[1].second, 1);
+        assert_eq!(built[1].p50_ns, 30);
+    }
+
+    #[test]
+    fn percentile_from_respects_warmup() {
+        let mut s = LatencySeries::new();
+        s.record(0, 1_000_000);
+        s.record(5_000_000_000, 5);
+        assert_eq!(s.percentile_from(5, 0.5), 5);
+        assert_eq!(s.percentile_from(0, 1.0), 1_000_000);
+    }
+}

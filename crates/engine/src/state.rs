@@ -1,0 +1,410 @@
+//! Engine-internal state: operator instances, workers, and the
+//! coordinator's bookkeeping.
+
+use crate::msg::NetMsg;
+use checkmate_core::{
+    ChannelBook, CheckpointId, CheckpointMeta, CicState, CoorAligner, ProtocolKind,
+};
+use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
+use checkmate_dataflow::{Codec, Dec, Enc, OpId, Operator, PhysicalGraph};
+use checkmate_sim::SimTime;
+use checkmate_wal::SourceCursor;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One operator instance hosted on a worker.
+pub struct LocalInstance {
+    pub idx: InstanceIdx,
+    pub op_id: OpId,
+    pub op: Box<dyn Operator>,
+    pub book: ChannelBook,
+    /// COOR alignment state (non-source instances under COOR only).
+    pub aligner: Option<CoorAligner>,
+    /// CIC clocks/vectors (CIC protocols only).
+    pub cic: Option<CicState>,
+    /// Index of the last checkpoint captured (0 = initial).
+    pub ckpt_index: u64,
+    /// Source cursor (source instances only).
+    pub cursor: Option<SourceCursor>,
+    /// Stream id read by this source instance.
+    pub stream: Option<u32>,
+    /// Timer instants already requested from the scheduler (dedup).
+    pub scheduled_timers: BTreeSet<SimTime>,
+}
+
+impl LocalInstance {
+    /// Serialize the full recoverable state: operator + channel book +
+    /// protocol state + source cursor.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::with_capacity(self.op.state_size() + 64);
+        enc.bytes(&self.op.snapshot());
+        self.book.encode(&mut enc);
+        match &self.cic {
+            Some(c) => {
+                enc.bool(true);
+                c.encode(&mut enc);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+        match &self.cursor {
+            Some(c) => {
+                enc.bool(true);
+                enc.u64(c.next_offset);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Restore from [`Self::snapshot_bytes`] output.
+    pub fn restore_from(&mut self, bytes: &[u8]) {
+        let mut dec = Dec::new(bytes);
+        let op_bytes = dec.bytes().expect("snapshot: operator bytes");
+        self.op.restore(op_bytes).expect("snapshot: operator state");
+        self.book = ChannelBook::decode(&mut dec).expect("snapshot: channel book");
+        if dec.bool().expect("snapshot: cic flag") {
+            self.cic = Some(CicState::decode(&mut dec).expect("snapshot: cic state"));
+        } else {
+            self.cic = None;
+        }
+        if dec.bool().expect("snapshot: cursor flag") {
+            self.cursor = Some(SourceCursor {
+                next_offset: dec.u64().expect("snapshot: cursor"),
+            });
+        } else {
+            self.cursor = None;
+        }
+        dec.finish().expect("snapshot: trailing bytes");
+        self.scheduled_timers.clear();
+    }
+
+    pub fn is_source(&self) -> bool {
+        self.stream.is_some()
+    }
+}
+
+/// A queued message key: (arrival time, global arrival sequence) —
+/// processing order within a worker.
+pub type QueueKey = (SimTime, u64);
+
+/// One worker node.
+pub struct Worker {
+    pub id: u32,
+    pub down: bool,
+    pub paused: bool,
+    /// Bumped on failure and restart; events carrying an older incarnation
+    /// are stale and dropped.
+    pub incarnation: u32,
+    /// A task is currently executing (a TaskDone event is scheduled).
+    pub running: bool,
+    pub busy_until: SimTime,
+    /// Arrival-ordered inbound messages.
+    pub queue: BTreeMap<QueueKey, NetMsg>,
+    /// Messages of blocked channels (COOR alignment), keeping their
+    /// original queue keys for order-preserving re-insertion.
+    pub stash: BTreeMap<ChannelIdx, Vec<(QueueKey, NetMsg)>>,
+    /// Channels currently blocked by alignment.
+    pub blocked: BTreeSet<ChannelIdx>,
+    /// COOR: source-trigger requests (instance op id, round).
+    pub pending_triggers: VecDeque<(OpId, u64)>,
+    /// UNC/CIC: instances whose local checkpoint timer fired.
+    pub pending_ckpts: VecDeque<OpId>,
+    /// Operator timers due (fire time, op).
+    pub due_timers: BTreeSet<(SimTime, OpId)>,
+    /// Round-robin cursor over source ops for fair polling.
+    pub src_rr: usize,
+    /// Fair interleaving between source polls and inbound messages: the
+    /// worker alternates one source read with one message. Without this,
+    /// sources would yield completely to downstream traffic and queues
+    /// would never build — real engines push from sources while buffers
+    /// allow, which is exactly what makes markers wait under load.
+    pub prefer_source: bool,
+    /// Earliest wake-up already scheduled (dedup of Wake events).
+    pub wake_at: Option<SimTime>,
+    /// Instances hosted here, indexed by `OpId.0`.
+    pub instances: Vec<LocalInstance>,
+}
+
+impl Worker {
+    pub fn instance(&self, op: OpId) -> &LocalInstance {
+        &self.instances[op.0 as usize]
+    }
+
+    pub fn instance_mut(&mut self, op: OpId) -> &mut LocalInstance {
+        &mut self.instances[op.0 as usize]
+    }
+
+    /// Drop all volatile state (failure): queues, stashes, pending work.
+    /// Operator state remains in memory but is dead — a restart replaces
+    /// it from durable checkpoints.
+    pub fn clear_volatile(&mut self) {
+        self.queue.clear();
+        self.stash.clear();
+        self.blocked.clear();
+        self.pending_triggers.clear();
+        self.pending_ckpts.clear();
+        self.due_timers.clear();
+        self.wake_at = None;
+        self.running = false;
+    }
+
+    /// Move stashed messages of `ch` back into the queue (alignment
+    /// unblock); original keys restore original processing order.
+    pub fn unstash(&mut self, ch: ChannelIdx) {
+        self.blocked.remove(&ch);
+        if let Some(items) = self.stash.remove(&ch) {
+            for (key, msg) in items {
+                self.queue.insert(key, msg);
+            }
+        }
+    }
+}
+
+/// Coordinator-side run bookkeeping.
+pub struct Coordinator {
+    pub protocol: ProtocolKind,
+    /// All durable checkpoint metadata, keyed by (instance, index).
+    pub metas: BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
+    /// Last started coordinated round.
+    pub round: u64,
+    pub round_started_at: BTreeMap<u64, SimTime>,
+    pub round_acks: BTreeMap<u64, BTreeSet<InstanceIdx>>,
+    pub rounds_completed: u64,
+    /// COOR: initiation → completion per round.
+    pub round_durations: Vec<u64>,
+    /// UNC/CIC: capture → durable per checkpoint.
+    pub ckpt_durations: Vec<u64>,
+    pub failed_worker: Option<u32>,
+    pub detected_at: Option<SimTime>,
+    pub restart_done_at: Option<SimTime>,
+    pub recovery_done_at: Option<SimTime>,
+    /// Steady-state source backlog (seconds of input) sampled before the
+    /// failure; recovery completes when backlog returns near it.
+    pub steady_lag_secs: f64,
+    /// Backlog at the end of warmup — the baseline for the sustainability
+    /// slope check (a sustained rate keeps backlog flat after warmup).
+    pub lag_at_warmup_secs: Option<f64>,
+    pub invalid_checkpoints: u64,
+}
+
+impl Coordinator {
+    pub fn new(protocol: ProtocolKind) -> Self {
+        Self {
+            protocol,
+            metas: BTreeMap::new(),
+            round: 0,
+            round_started_at: BTreeMap::new(),
+            round_acks: BTreeMap::new(),
+            rounds_completed: 0,
+            round_durations: Vec::new(),
+            ckpt_durations: Vec::new(),
+            failed_worker: None,
+            detected_at: None,
+            restart_done_at: None,
+            recovery_done_at: None,
+            steady_lag_secs: 0.0,
+            lag_at_warmup_secs: None,
+            invalid_checkpoints: 0,
+        }
+    }
+
+    /// All metas as a vector (checkpoint-graph input).
+    pub fn metas_vec(&self) -> Vec<CheckpointMeta> {
+        self.metas.values().cloned().collect()
+    }
+
+    /// Latest checkpoint index per instance.
+    pub fn latest_index(&self, inst: InstanceIdx) -> u64 {
+        self.metas
+            .range((inst, 0)..=(inst, u64::MAX))
+            .next_back()
+            .map(|((_, i), _)| *i)
+            .unwrap_or(0)
+    }
+
+    /// Remove metadata newer than the recovery line (those checkpoints are
+    /// consumed as invalid); returns the removed state keys so the caller
+    /// can delete the store objects.
+    pub fn discard_after_line(
+        &mut self,
+        line: &BTreeMap<InstanceIdx, CheckpointId>,
+    ) -> Vec<String> {
+        let mut removed = Vec::new();
+        let keys: Vec<(InstanceIdx, u64)> = self
+            .metas
+            .keys()
+            .filter(|(inst, idx)| line.get(inst).is_some_and(|l| *idx > l.index))
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(m) = self.metas.remove(&k) {
+                if !m.state_key.is_empty() {
+                    removed.push(m.state_key);
+                }
+            }
+        }
+        removed
+    }
+}
+
+/// Helper: operator instances for a worker from the physical graph.
+pub fn build_worker_instances(pg: &PhysicalGraph, worker: u32, protocol: ProtocolKind) -> Vec<LocalInstance> {
+    use checkmate_dataflow::OpRole;
+    let p = pg.parallelism();
+    let n_inst = pg.n_instances();
+    pg.logical()
+        .ops()
+        .iter()
+        .map(|op| {
+            let idx = InstanceIdx(op.id.0 * p + worker);
+            let is_source = matches!(op.role, OpRole::Source { .. });
+            let stream = match op.role {
+                OpRole::Source { stream } => Some(stream),
+                _ => None,
+            };
+            let aligner = (protocol == ProtocolKind::Coordinated && !is_source)
+                .then(|| CoorAligner::new(pg.in_channels_of(idx).to_vec()));
+            let cic = match protocol {
+                ProtocolKind::CommunicationInduced => {
+                    Some(CicState::hmnr(idx.0 as usize, n_inst))
+                }
+                ProtocolKind::CommunicationInducedBcs => Some(CicState::bcs()),
+                _ => None,
+            };
+            LocalInstance {
+                idx,
+                op_id: op.id,
+                op: (op.factory)(worker),
+                book: ChannelBook::new(),
+                aligner,
+                cic,
+                ckpt_index: 0,
+                cursor: is_source.then(SourceCursor::default),
+                stream,
+                scheduled_timers: BTreeSet::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkmate_dataflow::ops::{DigestSinkOp, KeyedCounterOp, PassThroughOp};
+    use checkmate_dataflow::{EdgeKind, GraphBuilder, PortId, Record, Value};
+    use std::sync::Arc;
+
+    fn graph() -> PhysicalGraph {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 100, Arc::new(|_| Box::new(PassThroughOp)));
+        let cnt = b.op("count", 100, Arc::new(|_| Box::new(KeyedCounterOp::new())));
+        let sink = b.sink("sink", 100, Arc::new(|_| Box::new(DigestSinkOp::new())));
+        b.connect(src, cnt, EdgeKind::Shuffle);
+        b.connect(cnt, sink, EdgeKind::Forward);
+        b.build().unwrap().expand(3)
+    }
+
+    #[test]
+    fn builds_instances_with_protocol_state() {
+        let pg = graph();
+        let insts = build_worker_instances(&pg, 1, ProtocolKind::Coordinated);
+        assert_eq!(insts.len(), 3);
+        assert!(insts[0].is_source());
+        assert!(insts[0].aligner.is_none()); // sources are not aligned
+        assert!(insts[1].aligner.is_some());
+        assert!(insts[1].cic.is_none());
+
+        let insts = build_worker_instances(&pg, 0, ProtocolKind::CommunicationInduced);
+        assert!(insts[2].cic.is_some());
+        assert!(insts[2].aligner.is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_with_cursor_and_book() {
+        let pg = graph();
+        let mut insts = build_worker_instances(&pg, 0, ProtocolKind::CommunicationInduced);
+        let inst = &mut insts[0];
+        inst.cursor.as_mut().unwrap().seek(42);
+        inst.book.next_send(ChannelIdx(0));
+        inst.book.next_send(ChannelIdx(0));
+        let bytes = inst.snapshot_bytes();
+
+        let mut fresh = build_worker_instances(&pg, 0, ProtocolKind::CommunicationInduced);
+        fresh[0].restore_from(&bytes);
+        assert_eq!(fresh[0].cursor.unwrap().next_offset, 42);
+        assert_eq!(fresh[0].book.last_sent(ChannelIdx(0)), 2);
+        assert!(fresh[0].cic.is_some());
+    }
+
+    #[test]
+    fn stateful_operator_state_travels_in_snapshot() {
+        let pg = graph();
+        let mut insts = build_worker_instances(&pg, 2, ProtocolKind::Uncoordinated);
+        let inst = &mut insts[1];
+        // drive the counter
+        let mut ctx = checkmate_dataflow::OpCtx::new(0);
+        inst.op
+            .on_record(PortId(0), Record::new(7, Value::Unit, 0), &mut ctx);
+        let bytes = inst.snapshot_bytes();
+        let mut fresh = build_worker_instances(&pg, 2, ProtocolKind::Uncoordinated);
+        fresh[1].restore_from(&bytes);
+        let mut ctx = checkmate_dataflow::OpCtx::new(0);
+        fresh[1]
+            .op
+            .on_record(PortId(0), Record::new(7, Value::Unit, 0), &mut ctx);
+        let (outs, _) = ctx.take();
+        assert_eq!(outs[0].1.value.field(1).as_u64(), Some(2)); // count resumed
+    }
+
+    #[test]
+    fn worker_unstash_restores_order() {
+        let pg = graph();
+        let mut w = Worker {
+            id: 0,
+            down: false,
+            paused: false,
+            incarnation: 0,
+            running: false,
+            busy_until: 0,
+            queue: BTreeMap::new(),
+            stash: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+            pending_triggers: VecDeque::new(),
+            pending_ckpts: VecDeque::new(),
+            due_timers: BTreeSet::new(),
+            src_rr: 0,
+            prefer_source: false,
+            wake_at: None,
+            instances: build_worker_instances(&pg, 0, ProtocolKind::None),
+        };
+        let r = Record::new(1, Value::Unit, 0);
+        w.queue.insert((10, 1), NetMsg::data(ChannelIdx(5), 1, r.clone()));
+        w.blocked.insert(ChannelIdx(5));
+        // engine stashes blocked head
+        let (k, m) = w.queue.pop_first().unwrap();
+        w.stash.entry(ChannelIdx(5)).or_default().push((k, m));
+        w.queue.insert((20, 2), NetMsg::data(ChannelIdx(6), 1, r));
+        w.unstash(ChannelIdx(5));
+        let first = w.queue.pop_first().unwrap();
+        assert_eq!(first.0, (10, 1)); // stashed message comes first again
+    }
+
+    #[test]
+    fn coordinator_discard_after_line() {
+        let mut c = Coordinator::new(ProtocolKind::Uncoordinated);
+        for idx in 0..=3u64 {
+            let mut m = CheckpointMeta::initial(InstanceIdx(0), false);
+            m.id = CheckpointId::new(InstanceIdx(0), idx);
+            m.state_key = format!("ckpt/0/{idx}");
+            c.metas.insert((InstanceIdx(0), idx), m);
+        }
+        assert_eq!(c.latest_index(InstanceIdx(0)), 3);
+        let line: BTreeMap<_, _> = [(InstanceIdx(0), CheckpointId::new(InstanceIdx(0), 1))].into();
+        let removed = c.discard_after_line(&line);
+        assert_eq!(removed, vec!["ckpt/0/2", "ckpt/0/3"]);
+        assert_eq!(c.latest_index(InstanceIdx(0)), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Reusable test workloads for engine tests, integration tests, and
+//! benchmark sanity checks.
+
+use crate::workload::{StreamSpec, Workload};
+use checkmate_dataflow::ops::{DigestSinkOp, KeyedCounterOp, MapOp, PassThroughOp};
+use checkmate_dataflow::{EdgeKind, GraphBuilder, Record, Value};
+use checkmate_wal::EventStream;
+use std::sync::Arc;
+
+/// A deterministic synthetic stream: key spread over `keys`, value
+/// carries the global offset, payload padded to ~`pad` bytes.
+pub struct SyntheticStream {
+    pub partitions: u32,
+    pub keys: u64,
+    pub pad: usize,
+}
+
+impl EventStream for SyntheticStream {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    fn record(&self, partition: u32, offset: u64) -> Record {
+        let g = offset * self.partitions as u64 + partition as u64;
+        let key = g % self.keys;
+        let pad = "x".repeat(self.pad);
+        Record::new(
+            key,
+            Value::Tuple(vec![Value::U64(g), Value::str(pad)].into()),
+            0,
+        )
+    }
+}
+
+/// `source → count (shuffle) → sink`: one stateful shuffle stage.
+/// Exercises alignment across channels, keyed state, and recovery.
+pub fn counting_pipeline(parallelism: u32) -> Workload {
+    let mut b = GraphBuilder::new();
+    let src = b.source("src", 0, 150_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let cnt = b.op("count", 250_000, Arc::new(|_| Box::new(KeyedCounterOp::new())));
+    let sink = b.sink("sink", 100_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
+    b.connect(src, cnt, EdgeKind::Shuffle);
+    b.connect(cnt, sink, EdgeKind::Forward);
+    Workload {
+        name: "counting".into(),
+        graph: b.build().expect("valid graph"),
+        streams: vec![StreamSpec {
+            stream: Arc::new(SyntheticStream {
+                partitions: parallelism,
+                keys: 64,
+                pad: 40,
+            }),
+            rate_share: 1.0,
+        }],
+    }
+}
+
+/// `source → map (forward) → sink`: stateless, no shuffling (a Q1-like
+/// shape).
+pub fn map_pipeline(parallelism: u32) -> Workload {
+    let mut b = GraphBuilder::new();
+    let src = b.source("src", 0, 150_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let map = b.op(
+        "map",
+        200_000,
+        Arc::new(|_| {
+            Box::new(MapOp::new(|r| {
+                let g = r.value.field(0).as_u64().unwrap_or(0);
+                r.derive(r.key, Value::U64(g.wrapping_mul(3)))
+            }))
+        }),
+    );
+    let sink = b.sink("sink", 100_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
+    b.connect(src, map, EdgeKind::Forward);
+    b.connect(map, sink, EdgeKind::Forward);
+    Workload {
+        name: "map".into(),
+        graph: b.build().expect("valid graph"),
+        streams: vec![StreamSpec {
+            stream: Arc::new(SyntheticStream {
+                partitions: parallelism,
+                keys: 1024,
+                pad: 60,
+            }),
+            rate_share: 1.0,
+        }],
+    }
+}

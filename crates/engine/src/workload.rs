@@ -1,0 +1,115 @@
+//! Workload definition: a logical dataflow plus its input streams.
+
+use checkmate_dataflow::{LogicalGraph, OpRole};
+use checkmate_wal::EventStream;
+use std::sync::Arc;
+
+/// One input stream with its share of the total input rate.
+pub struct StreamSpec {
+    pub stream: Arc<dyn EventStream>,
+    /// Fraction of the configured total rate carried by this stream.
+    /// Shares across a workload must sum to 1.
+    pub rate_share: f64,
+}
+
+/// A deployable workload: graph + bound input streams.
+///
+/// Workload builders (NexMark queries, the cyclic reachability query) are
+/// constructed per parallelism so that stream partition counts match the
+/// worker count.
+pub struct Workload {
+    pub name: String,
+    pub graph: LogicalGraph,
+    pub streams: Vec<StreamSpec>,
+}
+
+impl Workload {
+    /// Validate that the workload is well-formed for `parallelism`.
+    pub fn validate(&self, parallelism: u32) {
+        let share_sum: f64 = self.streams.iter().map(|s| s.rate_share).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "workload {}: stream rate shares must sum to 1, got {share_sum}",
+            self.name
+        );
+        let max_stream = self
+            .graph
+            .ops()
+            .iter()
+            .filter_map(|o| match o.role {
+                OpRole::Source { stream } => Some(stream),
+                _ => None,
+            })
+            .max()
+            .expect("graph has sources");
+        assert!(
+            (max_stream as usize) < self.streams.len(),
+            "workload {}: source references stream {max_stream} but only {} streams bound",
+            self.name,
+            self.streams.len()
+        );
+        for (i, s) in self.streams.iter().enumerate() {
+            assert_eq!(
+                s.stream.partitions(),
+                parallelism,
+                "workload {}: stream {i} has {} partitions, expected {parallelism}",
+                self.name,
+                s.stream.partitions()
+            );
+            assert!(s.rate_share > 0.0, "stream {i} rate share must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkmate_dataflow::ops::{DigestSinkOp, PassThroughOp};
+    use checkmate_dataflow::{EdgeKind, GraphBuilder, Record, Value};
+    use std::sync::Arc;
+
+    pub struct ConstStream {
+        pub parts: u32,
+    }
+
+    impl EventStream for ConstStream {
+        fn partitions(&self) -> u32 {
+            self.parts
+        }
+        fn record(&self, p: u32, o: u64) -> Record {
+            Record::new(p as u64 ^ o, Value::U64(o), 0)
+        }
+    }
+
+    fn tiny_workload(parts: u32, share: f64) -> Workload {
+        let mut b = GraphBuilder::new();
+        let src = b.source("src", 0, 1000, Arc::new(|_| Box::new(PassThroughOp)));
+        let sink = b.sink("sink", 1000, Arc::new(|_| Box::new(DigestSinkOp::new())));
+        b.connect(src, sink, EdgeKind::Forward);
+        Workload {
+            name: "tiny".into(),
+            graph: b.build().unwrap(),
+            streams: vec![StreamSpec {
+                stream: Arc::new(ConstStream { parts }),
+                rate_share: share,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_workload_passes() {
+        tiny_workload(4, 1.0).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions")]
+    fn partition_mismatch_panics() {
+        tiny_workload(4, 1.0).validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_shares_panic() {
+        tiny_workload(4, 0.5).validate(4);
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end engine tests: liveness, determinism, protocol behaviour,
+//! and — the core correctness claim — exactly-once processing under
+//! failures for all three protocols.
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::Outcome;
+use checkmate_engine::testkit::{counting_pipeline, map_pipeline};
+use checkmate_sim::{MILLIS, SECONDS};
+
+fn base_cfg(parallelism: u32, protocol: ProtocolKind) -> EngineConfig {
+    EngineConfig {
+        parallelism,
+        protocol,
+        total_rate: 400.0 * parallelism as f64,
+        checkpoint_interval: SECONDS,
+        duration: 10 * SECONDS,
+        warmup: 2 * SECONDS,
+        ..EngineConfig::default()
+    }
+}
+
+/// Bounded-input config: both failure-free and failure runs process the
+/// exact same record multiset, so sink digests must be equal.
+fn bounded_cfg(parallelism: u32, protocol: ProtocolKind, fail: bool) -> EngineConfig {
+    EngineConfig {
+        input_limit: Some(1_500),
+        duration: 60 * SECONDS,
+        failure: fail.then_some(FailureSpec {
+            at: 2 * SECONDS,
+            worker: WorkerId(0),
+        }),
+        ..base_cfg(parallelism, protocol)
+    }
+}
+
+#[test]
+fn failure_free_run_processes_records() {
+    for protocol in ProtocolKind::ALL_EVALUATED {
+        let wl = counting_pipeline(3);
+        let report = Engine::new(&wl, base_cfg(3, protocol)).run();
+        assert!(
+            report.sink_records > 500,
+            "{protocol}: too few sink records: {}",
+            report.sink_records
+        );
+        assert_eq!(report.output_duplicates, 0, "{protocol}: dupes without failure");
+        assert!(report.sustainable, "{protocol}: lag {}", report.final_lag_secs);
+        if protocol != ProtocolKind::None {
+            assert!(report.checkpoints_total > 0, "{protocol}: no checkpoints");
+            assert!(report.avg_checkpoint_time_ns > 0, "{protocol}: zero CT");
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = || base_cfg(3, ProtocolKind::Uncoordinated);
+    let a = Engine::new(&counting_pipeline(3), cfg()).run();
+    let b = Engine::new(&counting_pipeline(3), cfg()).run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.sink_digest, b.sink_digest);
+    assert_eq!(a.p50_ns, b.p50_ns);
+    assert_eq!(a.latency_series, b.latency_series);
+    assert_eq!(a.checkpoints_total, b.checkpoints_total);
+}
+
+#[test]
+fn different_seeds_diverge_slightly_but_stay_sane() {
+    let mut cfg = base_cfg(3, ProtocolKind::Uncoordinated);
+    cfg.seed = 99;
+    let a = Engine::new(&counting_pipeline(3), cfg).run();
+    let b = Engine::new(&counting_pipeline(3), base_cfg(3, ProtocolKind::Uncoordinated)).run();
+    // Jittered checkpoint timers differ; processing results don't.
+    assert!(a.sink_records > 500 && b.sink_records > 500);
+}
+
+#[test]
+fn protocols_agree_on_failure_free_results() {
+    // The checkpointing protocol must not change *what* is computed.
+    let digests: Vec<_> = ProtocolKind::ALL_EVALUATED
+        .iter()
+        .map(|&p| {
+            let r = Engine::new(&counting_pipeline(2), bounded_cfg(2, p, false)).run();
+            assert_eq!(r.outcome, Outcome::Drained, "{p}: {:?}", r.outcome);
+            r.sink_digest
+        })
+        .collect();
+    for d in &digests[1..] {
+        assert_eq!(*d, digests[0]);
+    }
+}
+
+#[test]
+fn exactly_once_under_failure_coordinated() {
+    exactly_once_under_failure(ProtocolKind::Coordinated);
+}
+
+#[test]
+fn exactly_once_under_failure_uncoordinated() {
+    exactly_once_under_failure(ProtocolKind::Uncoordinated);
+}
+
+#[test]
+fn exactly_once_under_failure_cic() {
+    exactly_once_under_failure(ProtocolKind::CommunicationInduced);
+}
+
+#[test]
+fn exactly_once_under_failure_cic_bcs() {
+    exactly_once_under_failure(ProtocolKind::CommunicationInducedBcs);
+}
+
+fn exactly_once_under_failure(protocol: ProtocolKind) {
+    let clean = Engine::new(&counting_pipeline(3), bounded_cfg(3, protocol, false)).run();
+    let failed = Engine::new(&counting_pipeline(3), bounded_cfg(3, protocol, true)).run();
+    assert_eq!(clean.outcome, Outcome::Drained);
+    assert_eq!(
+        failed.outcome,
+        Outcome::Drained,
+        "{protocol}: failure run did not drain: {}",
+        failed.summary()
+    );
+    // Exactly-once processing: identical final sink state.
+    assert_eq!(
+        failed.sink_digest, clean.sink_digest,
+        "{protocol}: digest mismatch — lost or duplicated records\nclean:  {}\nfailed: {}",
+        clean.summary(),
+        failed.summary()
+    );
+    // The failure actually happened and was recovered from.
+    assert!(failed.detected_at.is_some(), "{protocol}: failure not detected");
+    assert!(failed.restart_time_ns.is_some(), "{protocol}: no restart recorded");
+    // Output duplicates are allowed (exactly-once processing, not output),
+    // and expected for a failure that rolls back past emitted results.
+    assert!(
+        failed.output_duplicates > 0,
+        "{protocol}: expected some duplicate outputs after rollback"
+    );
+}
+
+#[test]
+fn failure_without_checkpoints_reprocesses_everything() {
+    // Under ProtocolKind::None the recovery line is the initial state:
+    // recovery still converges and stays exactly-once (sources rewind to
+    // offset 0 and everything is recomputed).
+    let clean = Engine::new(&counting_pipeline(2), bounded_cfg(2, ProtocolKind::None, false)).run();
+    let failed = Engine::new(&counting_pipeline(2), bounded_cfg(2, ProtocolKind::None, true)).run();
+    assert_eq!(failed.sink_digest, clean.sink_digest);
+}
+
+#[test]
+fn map_pipeline_has_no_invalid_checkpoints_under_unc() {
+    // Forward-only topology: every instance pair is aligned by FIFO
+    // channels... but independent checkpoints still produce orphan
+    // patterns occasionally. What must hold: recovery succeeds and invalid
+    // count is small relative to total.
+    let mut cfg = bounded_cfg(3, ProtocolKind::Uncoordinated, true);
+    cfg.input_limit = Some(2_500);
+    let report = Engine::new(&map_pipeline(3), cfg).run();
+    assert_eq!(report.outcome, Outcome::Drained);
+    assert!(
+        report.checkpoints_invalid <= report.checkpoints_total / 2,
+        "too many invalid checkpoints: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn coordinated_rounds_complete_and_have_higher_ct_with_shuffle() {
+    // Run near capacity: markers queue behind data, so the round takes
+    // visibly longer than a local snapshot (paper Fig. 8 shows up to two
+    // orders of magnitude at 80 % MST on shuffled queries; the full-size
+    // experiment is bench `fig8`).
+    let loaded = |p| EngineConfig {
+        total_rate: 850.0 * 4.0,
+        ..base_cfg(4, p)
+    };
+    let coor = Engine::new(&counting_pipeline(4), loaded(ProtocolKind::Coordinated)).run();
+    assert!(coor.rounds_completed >= 5, "{}", coor.summary());
+    let unc = Engine::new(&counting_pipeline(4), loaded(ProtocolKind::Uncoordinated)).run();
+    assert!(
+        coor.avg_checkpoint_time_ns > 2 * unc.avg_checkpoint_time_ns,
+        "COOR CT {} vs UNC CT {}",
+        coor.avg_checkpoint_time_ns,
+        unc.avg_checkpoint_time_ns
+    );
+}
+
+#[test]
+fn cic_has_message_overhead_and_others_do_not() {
+    let overhead = |p| {
+        Engine::new(&counting_pipeline(4), base_cfg(4, p)).run().overhead_ratio()
+    };
+    let coor = overhead(ProtocolKind::Coordinated);
+    let unc = overhead(ProtocolKind::Uncoordinated);
+    let cic = overhead(ProtocolKind::CommunicationInduced);
+    let bcs = overhead(ProtocolKind::CommunicationInducedBcs);
+    assert!(coor < 1.05, "COOR overhead {coor}");
+    assert!(unc < 1.05, "UNC overhead {unc}");
+    assert!(cic > 1.2, "CIC overhead {cic} should be substantial");
+    assert!(bcs < cic, "BCS piggyback {bcs} must be cheaper than HMNR {cic}");
+}
+
+#[test]
+fn unsustainable_rate_is_detected() {
+    let mut cfg = base_cfg(2, ProtocolKind::None);
+    cfg.total_rate = 100_000.0; // far beyond CPU capacity
+    cfg.duration = 6 * SECONDS;
+    cfg.warmup = SECONDS;
+    let report = Engine::new(&counting_pipeline(2), cfg).run();
+    assert!(!report.sustainable, "{}", report.summary());
+    assert!(report.final_lag_secs > 1.0);
+}
+
+#[test]
+fn restart_time_grows_with_logs_for_unc_vs_coor() {
+    let run = |p| {
+        let mut cfg = base_cfg(3, p);
+        cfg.failure = Some(FailureSpec {
+            at: 5 * SECONDS,
+            worker: WorkerId(1),
+        });
+        Engine::new(&counting_pipeline(3), cfg).run()
+    };
+    let coor = run(ProtocolKind::Coordinated);
+    let unc = run(ProtocolKind::Uncoordinated);
+    let (Some(rc), Some(ru)) = (coor.restart_time_ns, unc.restart_time_ns) else {
+        panic!("restart missing: {:?} {:?}", coor.restart_time_ns, unc.restart_time_ns);
+    };
+    // UNC must additionally fetch and prepare replay messages (Fig. 11).
+    assert!(ru > rc, "UNC restart {ru} should exceed COOR {rc}");
+}
+
+#[test]
+fn recovery_time_is_measured_after_failure() {
+    let mut cfg = base_cfg(3, ProtocolKind::Coordinated);
+    cfg.failure = Some(FailureSpec {
+        at: 4 * SECONDS,
+        worker: WorkerId(0),
+    });
+    cfg.duration = 20 * SECONDS;
+    let report = Engine::new(&counting_pipeline(3), cfg).run();
+    let rec = report.recovery_time_ns.expect("should recover within 16s");
+    let restart = report.restart_time_ns.unwrap();
+    assert!(rec >= restart, "recovery {rec} includes restart {restart}");
+    assert!(rec < 16 * SECONDS);
+}
+
+#[test]
+fn event_budget_guard_fires() {
+    let mut cfg = base_cfg(2, ProtocolKind::None);
+    cfg.max_events = 1_000;
+    let report = Engine::new(&counting_pipeline(2), cfg).run();
+    assert_eq!(report.outcome, Outcome::EventBudgetExhausted);
+}
+
+#[test]
+fn latency_series_covers_run_duration() {
+    let report = Engine::new(&counting_pipeline(2), base_cfg(2, ProtocolKind::Coordinated)).run();
+    assert!(!report.latency_series.is_empty());
+    let last = report.latency_series.last().unwrap();
+    assert!(last.second >= 8, "series ends at {}s", last.second);
+    for s in &report.latency_series {
+        assert!(s.p99_ns >= s.p50_ns);
+        assert!(s.count > 0);
+    }
+}
+
+#[test]
+fn checkpoint_time_sanity_milliseconds() {
+    // UNC checkpoint times should be on the order of milliseconds
+    // (serialize + upload), as in the paper's Fig. 8.
+    let report = Engine::new(&counting_pipeline(3), base_cfg(3, ProtocolKind::Uncoordinated)).run();
+    let ct = report.avg_checkpoint_time_ns;
+    assert!(
+        ct > MILLIS && ct < 500 * MILLIS,
+        "UNC avg checkpoint time out of range: {}ms",
+        ct / MILLIS
+    );
+}

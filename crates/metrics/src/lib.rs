@@ -1,0 +1,11 @@
+//! # checkmate-metrics
+//!
+//! Measurement utilities for the checkpointing-protocol evaluation
+//! (paper §V): latency percentile series, summary statistics, and the
+//! maximum-sustainable-throughput search.
+
+pub mod mst;
+pub mod stats;
+
+pub use mst::{find_max_sustainable, MstSearch};
+pub use stats::{geomean, mean, normalize, Summary};

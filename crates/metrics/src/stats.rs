@@ -1,0 +1,112 @@
+//! Small statistics helpers used by the experiment harness.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean; 0 for empty input. Panics on non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Normalize a series by a baseline (Fig. 7 normalizes each protocol's
+/// MST by the checkpoint-free MST). Zero baseline yields zero.
+pub fn normalize(values: &[f64], baseline: f64) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| if baseline == 0.0 { 0.0 } else { v / baseline })
+        .collect()
+}
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+}
+
+impl Summary {
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let pct = |p: f64| {
+            let rank = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: mean(&sorted),
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let g = geomean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[0.0]);
+    }
+
+    #[test]
+    fn normalize_by_baseline() {
+        assert_eq!(normalize(&[5.0, 10.0], 10.0), vec![0.5, 1.0]);
+        assert_eq!(normalize(&[5.0], 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+}

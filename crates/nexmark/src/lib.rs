@@ -1,0 +1,13 @@
+//! # checkmate-nexmark
+//!
+//! The NexMark benchmark workload (Tucker et al. 2008) for the CheckMate
+//! reproduction: pure, replayable person/auction/bid event streams with
+//! optional hot-item skew, and the four queries of the paper's evaluation
+//! (Q1 map, Q3 incremental join, Q8 windowed join, Q12 windowed count) as
+//! deployable workloads.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, HOT_KEY_BASE, PERSON_SHARE};
+pub use queries::{q1, q12, q3, q8, Query, WINDOW_NS};

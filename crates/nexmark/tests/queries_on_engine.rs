@@ -1,0 +1,148 @@
+//! NexMark queries running end-to-end on the virtual-time engine under
+//! every protocol, with and without failures.
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::Outcome;
+use checkmate_nexmark::{Query, Skew};
+use checkmate_sim::SECONDS;
+
+fn cfg(parallelism: u32, protocol: ProtocolKind) -> EngineConfig {
+    EngineConfig {
+        parallelism,
+        protocol,
+        total_rate: 500.0 * parallelism as f64,
+        checkpoint_interval: 2 * SECONDS,
+        duration: 12 * SECONDS,
+        warmup: 4 * SECONDS,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn all_queries_run_under_all_protocols() {
+    for q in Query::ALL {
+        for p in ProtocolKind::ALL_EVALUATED {
+            let wl = q.workload(3, 11, None);
+            let r = Engine::new(&wl, cfg(3, p)).run();
+            assert!(
+                r.sink_records > 100,
+                "{} under {p}: only {} sink records ({})",
+                q.name(),
+                r.sink_records,
+                r.summary()
+            );
+            assert_eq!(r.outcome, Outcome::Completed, "{} {p}", q.name());
+        }
+    }
+}
+
+#[test]
+fn q3_exactly_once_under_failure_all_protocols() {
+    for p in [
+        ProtocolKind::Coordinated,
+        ProtocolKind::Uncoordinated,
+        ProtocolKind::CommunicationInduced,
+    ] {
+        let bounded = |fail: bool| EngineConfig {
+            input_limit: Some(1_200),
+            duration: 120 * SECONDS,
+            failure: fail.then_some(FailureSpec {
+                at: 3 * SECONDS,
+                worker: WorkerId(1),
+            }),
+            ..cfg(3, p)
+        };
+        let clean = Engine::new(&Query::Q3.workload(3, 11, None), bounded(false)).run();
+        let failed = Engine::new(&Query::Q3.workload(3, 11, None), bounded(true)).run();
+        assert_eq!(clean.outcome, Outcome::Drained);
+        assert_eq!(failed.outcome, Outcome::Drained, "{p}: {}", failed.summary());
+        assert_eq!(
+            failed.sink_digest, clean.sink_digest,
+            "{p}: Q3 exactly-once violated\nclean:  {}\nfailed: {}",
+            clean.summary(),
+            failed.summary()
+        );
+    }
+}
+
+#[test]
+fn q12_windowed_exactly_once_under_failure() {
+    // Windowed operators roll state across processing-time windows; the
+    // digest check is only stable when all records land in one window
+    // (window boundaries shift with recovery timing otherwise). Window is
+    // 10 s; keep the bounded input well inside it.
+    let bounded = |fail: bool| EngineConfig {
+        input_limit: Some(800),
+        duration: 9 * SECONDS,
+        total_rate: 3_000.0,
+        failure: fail.then_some(FailureSpec {
+            at: SECONDS,
+            worker: WorkerId(0),
+        }),
+        ..cfg(3, ProtocolKind::Uncoordinated)
+    };
+    let clean = Engine::new(&Query::Q12.workload(3, 11, None), bounded(false)).run();
+    let failed = Engine::new(&Query::Q12.workload(3, 11, None), bounded(true)).run();
+    assert_eq!(clean.outcome, Outcome::Drained);
+    assert_eq!(failed.outcome, Outcome::Drained, "{}", failed.summary());
+    assert_eq!(failed.sink_digest, clean.sink_digest);
+}
+
+#[test]
+fn skew_makes_coordinated_checkpoints_slow() {
+    // The paper's headline skew finding (Fig. 12): under hot-item skew the
+    // coordinated checkpoint time blows up (markers stuck behind the
+    // straggler) while UNC stays flat.
+    // High base load: the hot workers must saturate for the straggler
+    // effect to appear (the paper runs skew at 50 %/80 % of the
+    // *non-skewed* MST, which overloads the hot workers).
+    let skewed_cfg = |p| EngineConfig {
+        total_rate: 1_200.0 * 4.0,
+        duration: 15 * SECONDS,
+        warmup: 5 * SECONDS,
+        ..cfg(4, p)
+    };
+    let wl = |s| Query::Q12.workload(4, 11, s);
+    let coor_uniform =
+        Engine::new(&wl(None), skewed_cfg(ProtocolKind::Coordinated)).run();
+    let coor_skew =
+        Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Coordinated)).run();
+    let unc_skew =
+        Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Uncoordinated)).run();
+    assert!(
+        coor_skew.avg_checkpoint_time_ns > 3 * coor_uniform.avg_checkpoint_time_ns,
+        "skew should inflate COOR CT: uniform {}ms vs skew {}ms",
+        coor_uniform.avg_checkpoint_time_ns / 1_000_000,
+        coor_skew.avg_checkpoint_time_ns / 1_000_000
+    );
+    assert!(
+        coor_skew.avg_checkpoint_time_ns > 5 * unc_skew.avg_checkpoint_time_ns,
+        "COOR CT {}ms should dwarf UNC CT {}ms under skew",
+        coor_skew.avg_checkpoint_time_ns / 1_000_000,
+        unc_skew.avg_checkpoint_time_ns / 1_000_000
+    );
+}
+
+#[test]
+fn cic_overhead_grows_with_parallelism() {
+    let ratio = |p: u32| {
+        let wl = Query::Q1.workload(p, 11, None);
+        Engine::new(
+            &wl,
+            EngineConfig {
+                duration: 8 * SECONDS,
+                warmup: 2 * SECONDS,
+                ..cfg(p, ProtocolKind::CommunicationInduced)
+            },
+        )
+        .run()
+        .overhead_ratio()
+    };
+    let r4 = ratio(4);
+    let r8 = ratio(8);
+    assert!(r4 > 1.3, "CIC ratio at p=4: {r4}");
+    assert!(r8 > r4, "overhead must grow with workers: {r4} → {r8}");
+}

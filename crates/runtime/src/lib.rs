@@ -1,0 +1,18 @@
+//! # checkmate-runtime
+//!
+//! A threaded, wall-clock streaming engine running the same operators and
+//! checkpointing protocol state machines as the virtual-time engine: one
+//! OS thread per worker, crossbeam channels as the network, a shared
+//! durable store, scripted failure injection and full protocol-specific
+//! recovery (recovery line → restore → replay → resume).
+//!
+//! The virtual-time engine (`checkmate-engine`) is the measurement
+//! instrument — deterministic and fast enough for full parameter sweeps.
+//! This crate is the existence proof that nothing in the protocol layer
+//! depends on simulation: the live `quickstart` example and the
+//! exactly-once tests here run the identical `checkmate-core` code on
+//! real threads.
+
+pub mod live;
+
+pub use live::{run_live, LiveConfig, LiveReport};

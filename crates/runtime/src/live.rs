@@ -1,0 +1,856 @@
+//! The threaded real-time engine.
+//!
+//! One OS thread per worker plus a coordinator thread, crossbeam channels
+//! as the network, wall-clock time, a shared durable object store and
+//! shared durable channel logs. The same protocol state machines from
+//! `checkmate-core` drive checkpointing here as in the virtual-time
+//! engine — this crate exists to demonstrate that the protocol layer is
+//! runtime-agnostic and to provide a live playground (see the
+//! `quickstart` example).
+//!
+//! Failure handling is scripted: the harness kills a worker (its
+//! in-memory state and queued messages are discarded), then the
+//! coordinator pauses the pipeline, computes the protocol's recovery
+//! line, restores every instance from the durable store, replays logged
+//! in-flight messages, and resumes. Exactly-once processing is asserted
+//! by the same digest technique as the virtual-time engine.
+
+use checkmate_core::{
+    coordinated_line, rollback_propagation, ChannelBook, ChannelTriple, CheckpointGraph,
+    CheckpointId, CheckpointKind, CheckpointMeta, CicPiggyback, CicState, CoorAligner,
+    MarkerAction, ProtocolKind,
+};
+use checkmate_dataflow::graph::{ChannelIdx, EdgeKind, InstanceIdx};
+use checkmate_dataflow::ops::Digest;
+use checkmate_dataflow::{
+    Codec, Dec, Enc, LogicalGraph, OpCtx, OpId, OpRole, Operator, PhysicalGraph, PortId, Record,
+    shuffle_target,
+};
+use checkmate_storage::{ObjectStore, SharedStore};
+use checkmate_wal::{ChannelLog, EventStream, Schedule, SourceCursor, SourceLog};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock run configuration.
+#[derive(Clone)]
+pub struct LiveConfig {
+    pub parallelism: u32,
+    pub protocol: ProtocolKind,
+    /// Records per second per source partition.
+    pub rate_per_partition: f64,
+    /// Records per partition (the run ends when everything is processed).
+    pub records_per_partition: u64,
+    /// Checkpoint interval (wall clock).
+    pub checkpoint_interval: Duration,
+    /// Kill this worker once it has processed some records, then recover.
+    pub kill_worker: Option<u32>,
+    /// Hard wall-clock cap.
+    pub timeout: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: 2,
+            protocol: ProtocolKind::Coordinated,
+            rate_per_partition: 2_000.0,
+            records_per_partition: 2_000,
+            checkpoint_interval: Duration::from_millis(150),
+            kill_worker: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Result of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    pub sink_digest: Digest,
+    pub sink_records: u64,
+    pub checkpoints: u64,
+    pub recovered: bool,
+    pub p50_latency: Duration,
+    pub elapsed: Duration,
+}
+
+/// A message on the wire between workers.
+enum Wire {
+    Data {
+        epoch: u32,
+        channel: ChannelIdx,
+        seq: u64,
+        record: Record,
+        piggyback: Option<CicPiggyback>,
+        replayed: bool,
+    },
+    Marker {
+        epoch: u32,
+        channel: ChannelIdx,
+        round: u64,
+    },
+}
+
+impl Wire {
+    fn epoch(&self) -> u32 {
+        match self {
+            Wire::Data { epoch, .. } | Wire::Marker { epoch, .. } => *epoch,
+        }
+    }
+
+    fn channel(&self) -> ChannelIdx {
+        match self {
+            Wire::Data { channel, .. } | Wire::Marker { channel, .. } => *channel,
+        }
+    }
+}
+
+/// Coordinator → worker control messages.
+enum Ctrl {
+    TriggerRound(u64),
+    Kill,
+    Pause,
+    Restore(BTreeMap<OpId, CheckpointMeta>),
+    Resume(u32),
+    Stop,
+}
+
+/// Worker → coordinator notifications. Worker ids travel with the acks
+/// for debuggability even where the coordinator only counts them.
+#[allow(dead_code)]
+enum Note {
+    Meta(CheckpointMeta),
+    Paused(u32),
+    Restored(u32),
+    Done(u32, WorkerEnd),
+}
+
+struct WorkerEnd {
+    digest: Digest,
+    sink_records: u64,
+    latencies: Vec<Duration>,
+}
+
+struct Shared {
+    store: SharedStore,
+    /// Durable channel logs (the upstream-backup log service).
+    logs: Vec<Mutex<ChannelLog>>,
+    pg: PhysicalGraph,
+}
+
+/// One operator instance living on a worker thread.
+struct LiveInstance {
+    idx: InstanceIdx,
+    op: Box<dyn Operator>,
+    book: ChannelBook,
+    aligner: Option<CoorAligner>,
+    cic: Option<CicState>,
+    ckpt_index: u64,
+    cursor: Option<SourceCursor>,
+    stream: Option<u32>,
+}
+
+impl LiveInstance {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.bytes(&self.op.snapshot());
+        self.book.encode(&mut enc);
+        match &self.cic {
+            Some(c) => {
+                enc.bool(true);
+                c.encode(&mut enc);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+        match &self.cursor {
+            Some(c) => {
+                enc.bool(true);
+                enc.u64(c.next_offset);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+        enc.finish()
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) {
+        let mut dec = Dec::new(bytes);
+        let op_bytes = dec.bytes().expect("op bytes");
+        self.op.restore(op_bytes).expect("op restore");
+        self.book = ChannelBook::decode(&mut dec).expect("book");
+        if dec.bool().expect("cic flag") {
+            self.cic = Some(CicState::decode(&mut dec).expect("cic"));
+        }
+        if dec.bool().expect("cursor flag") {
+            self.cursor = Some(SourceCursor {
+                next_offset: dec.u64().expect("cursor"),
+            });
+        }
+    }
+}
+
+/// Run a workload on real threads. `streams[i]` backs source stream `i`.
+pub fn run_live(
+    graph: &LogicalGraph,
+    streams: Vec<Arc<dyn EventStream>>,
+    cfg: LiveConfig,
+) -> LiveReport {
+    assert!(
+        !graph.is_cyclic() || cfg.protocol.supports_cycles(),
+        "the aligned coordinated protocol deadlocks on cyclic graphs"
+    );
+    let pg = graph.expand(cfg.parallelism);
+    let n_channels = pg.n_channels();
+    let shared = Arc::new(Shared {
+        store: ObjectStore::shared(),
+        logs: (0..n_channels).map(|_| Mutex::new(ChannelLog::new())).collect(),
+        pg,
+    });
+
+    // Wiring: one data inbox + one control inbox per worker; one note
+    // channel back to the coordinator.
+    let mut data_tx = Vec::new();
+    let mut data_rx = Vec::new();
+    let mut ctrl_tx = Vec::new();
+    let mut ctrl_rx = Vec::new();
+    for _ in 0..cfg.parallelism {
+        let (tx, rx) = unbounded::<Wire>();
+        data_tx.push(tx);
+        data_rx.push(rx);
+        let (tx, rx) = unbounded::<Ctrl>();
+        ctrl_tx.push(tx);
+        ctrl_rx.push(rx);
+    }
+    let (note_tx, note_rx) = unbounded::<Note>();
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..cfg.parallelism {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        let data_tx = data_tx.clone();
+        let rx = data_rx[w as usize].clone();
+        let crx = ctrl_rx[w as usize].clone();
+        let note = note_tx.clone();
+        let streams = streams.clone();
+        handles.push(std::thread::spawn(move || {
+            worker_main(w, shared, cfg, streams, data_tx, rx, crx, note, start)
+        }));
+    }
+
+    let report = coordinate(&cfg, &shared, &ctrl_tx, &data_tx, &note_rx, start);
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn worker_main(
+    w: u32,
+    shared: Arc<Shared>,
+    cfg: LiveConfig,
+    streams: Vec<Arc<dyn EventStream>>,
+    data_tx: Vec<Sender<Wire>>,
+    rx: Receiver<Wire>,
+    crx: Receiver<Ctrl>,
+    note: Sender<Note>,
+    start: Instant,
+) {
+    let pg = &shared.pg;
+    let logs: Vec<SourceLog<Arc<dyn EventStream>>> = streams
+        .iter()
+        .map(|s| {
+            SourceLog::new(
+                Arc::clone(s),
+                Schedule::new(cfg.rate_per_partition).with_limit(cfg.records_per_partition),
+            )
+        })
+        .collect();
+
+    let build_instances = |protocol: ProtocolKind| -> Vec<LiveInstance> {
+        pg.logical()
+            .ops()
+            .iter()
+            .map(|op| {
+                let idx = InstanceIdx(op.id.0 * cfg.parallelism + w);
+                let is_source = matches!(op.role, OpRole::Source { .. });
+                LiveInstance {
+                    idx,
+                    op: (op.factory)(w),
+                    book: ChannelBook::new(),
+                    aligner: (protocol == ProtocolKind::Coordinated && !is_source)
+                        .then(|| CoorAligner::new(pg.in_channels_of(idx).to_vec())),
+                    cic: match protocol {
+                        ProtocolKind::CommunicationInduced => {
+                            Some(CicState::hmnr(idx.0 as usize, pg.n_instances()))
+                        }
+                        ProtocolKind::CommunicationInducedBcs => Some(CicState::bcs()),
+                        _ => None,
+                    },
+                    ckpt_index: 0,
+                    cursor: is_source.then(SourceCursor::default),
+                    stream: match op.role {
+                        OpRole::Source { stream } => Some(stream),
+                        _ => None,
+                    },
+                }
+            })
+            .collect()
+    };
+
+    let mut instances = build_instances(cfg.protocol);
+    let mut epoch: u32 = 0;
+    let mut dead = false;
+    let mut paused = false;
+    let mut stopped = false;
+    let mut blocked: BTreeSet<ChannelIdx> = BTreeSet::new();
+    let mut stash: BTreeMap<ChannelIdx, VecDeque<Wire>> = BTreeMap::new();
+    let mut digest_total = Digest::default();
+    let mut sink_records = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut next_local_ckpt = start.elapsed() + cfg.checkpoint_interval;
+
+    let now_ns = |start: &Instant| start.elapsed().as_nanos() as u64;
+
+    // Sending a record out of an instance, routing per edge kind.
+    // Defined as a macro to borrow locals freely.
+    macro_rules! route {
+        ($inst_i:expr, $edge_i:expr, $rec:expr) => {{
+            let inst_idx = instances[$inst_i].idx;
+            let oe = &pg.out_edges_of(inst_idx)[$edge_i];
+            let targets: Vec<u32> = match oe.kind {
+                EdgeKind::Forward => vec![w],
+                EdgeKind::Broadcast => (0..cfg.parallelism).collect(),
+                EdgeKind::Shuffle | EdgeKind::Feedback => {
+                    vec![shuffle_target($rec.key, cfg.parallelism)]
+                }
+            };
+            for j in targets {
+                let ch = oe.targets[j as usize].expect("connected");
+                let seq = instances[$inst_i].book.next_send(ch);
+                let dest = pg.channel(ch).to.0 as usize;
+                let pb = instances[$inst_i].cic.as_mut().map(|c| c.on_send(dest));
+                if cfg.protocol.logs_messages() {
+                    shared.logs[ch.0 as usize].lock().append(seq, $rec.clone());
+                }
+                let dest_worker = (pg.channel(ch).to.0 % cfg.parallelism) as usize;
+                let _ = data_tx[dest_worker].send(Wire::Data {
+                    epoch,
+                    channel: ch,
+                    seq,
+                    record: $rec.clone(),
+                    piggyback: pb,
+                    replayed: false,
+                });
+            }
+        }};
+    }
+
+    macro_rules! run_and_route {
+        ($inst_i:expr, $port:expr, $rec:expr) => {{
+            let mut ctx = OpCtx::new(now_ns(&start));
+            instances[$inst_i].op.on_record($port, $rec, &mut ctx);
+            let (outputs, _timers) = ctx.take();
+            for (edge_i, out) in outputs {
+                route!($inst_i, edge_i, out);
+            }
+        }};
+    }
+
+    macro_rules! take_checkpoint {
+        ($inst_i:expr, $kind:expr) => {{
+            instances[$inst_i].ckpt_index += 1;
+            let state = instances[$inst_i].snapshot_bytes();
+            let (recv_wm, sent_wm) = instances[$inst_i].book.watermarks();
+            let key = format!("ckpt/{}/{}", instances[$inst_i].idx.0, instances[$inst_i].ckpt_index);
+            shared.store.put(key.clone(), state);
+            let meta = CheckpointMeta {
+                id: CheckpointId::new(instances[$inst_i].idx, instances[$inst_i].ckpt_index),
+                kind: $kind,
+                taken_at: now_ns(&start),
+                durable_at: now_ns(&start),
+                recv_wm,
+                sent_wm,
+                source_offset: instances[$inst_i].cursor.map(|c| c.next_offset),
+                state_key: key,
+                state_bytes: 0,
+            };
+            if let Some(cic) = instances[$inst_i].cic.as_mut() {
+                cic.on_checkpoint();
+            }
+            let _ = note.send(Note::Meta(meta));
+        }};
+    }
+
+    macro_rules! forward_markers {
+        ($inst_i:expr, $round:expr) => {{
+            let inst_idx = instances[$inst_i].idx;
+            let chans: Vec<ChannelIdx> = pg
+                .out_edges_of(inst_idx)
+                .iter()
+                .flat_map(|oe| oe.targets.iter().flatten().copied())
+                .collect();
+            for ch in chans {
+                let dest_worker = (pg.channel(ch).to.0 % cfg.parallelism) as usize;
+                let _ = data_tx[dest_worker].send(Wire::Marker {
+                    epoch,
+                    channel: ch,
+                    round: $round,
+                });
+            }
+        }};
+    }
+
+    // Wires unblocked by alignment completion get queued here and are
+    // processed before anything new from the inbox.
+    let mut pending: VecDeque<Wire> = VecDeque::new();
+
+    macro_rules! handle_wire {
+        ($wire:expr) => {{
+            let wire = $wire;
+            if wire.epoch() == epoch && !dead {
+                let ch = wire.channel();
+                if blocked.contains(&ch) {
+                    stash.entry(ch).or_default().push_back(wire);
+                } else {
+                    match wire {
+                        Wire::Marker { round, channel, .. } => {
+                            let op_i = pg.instance_id(pg.channel(channel).to).op.0 as usize;
+                            let action = instances[op_i]
+                                .aligner
+                                .as_mut()
+                                .expect("aligned instance")
+                                .on_marker(channel, round);
+                            match action {
+                                MarkerAction::Block => {
+                                    blocked.insert(channel);
+                                }
+                                MarkerAction::Checkpoint { round, unblock } => {
+                                    take_checkpoint!(op_i, CheckpointKind::Coordinated { round });
+                                    forward_markers!(op_i, round);
+                                    // Re-queue stashed wires (in original
+                                    // order) ahead of new inbox traffic.
+                                    let mut unstashed = VecDeque::new();
+                                    for c in unblock {
+                                        blocked.remove(&c);
+                                        if let Some(q) = stash.remove(&c) {
+                                            unstashed.extend(q);
+                                        }
+                                    }
+                                    while let Some(wq) = unstashed.pop_back() {
+                                        pending.push_front(wq);
+                                    }
+                                }
+                            }
+                        }
+                        Wire::Data {
+                            channel,
+                            seq,
+                            record,
+                            piggyback,
+                            replayed,
+                            ..
+                        } => {
+                            let to = pg.channel(channel).to;
+                            let op_i = pg.instance_id(to).op.0 as usize;
+                            let port = pg.channel(channel).port;
+                            let last = instances[op_i].book.last_received(channel);
+                            if seq <= last {
+                                assert!(replayed, "non-replay duplicate");
+                            } else {
+                                if let Some(pb) = &piggyback {
+                                    let force = instances[op_i]
+                                        .cic
+                                        .as_ref()
+                                        .expect("cic")
+                                        .should_force(pg.channel(channel).from.0 as usize, pb);
+                                    if force {
+                                        take_checkpoint!(op_i, CheckpointKind::Forced);
+                                    }
+                                }
+                                let fresh = instances[op_i].book.deliver(channel, seq);
+                                assert!(fresh);
+                                if let (Some(cic), Some(pb)) =
+                                    (instances[op_i].cic.as_mut(), &piggyback)
+                                {
+                                    cic.on_deliver(pg.channel(channel).from.0 as usize, pb);
+                                }
+                                let is_sink =
+                                    matches!(pg.logical().ops()[op_i].role, OpRole::Sink);
+                                if is_sink {
+                                    sink_records += 1;
+                                    let lat = now_ns(&start).saturating_sub(record.ingest_time);
+                                    latencies.push(Duration::from_nanos(lat));
+                                }
+                                run_and_route!(op_i, port, record);
+                            }
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    loop {
+        // Control first.
+        while let Ok(ctrl) = crx.try_recv() {
+            match ctrl {
+                Ctrl::TriggerRound(round) => {
+                    if !dead && !paused && cfg.protocol == ProtocolKind::Coordinated {
+                        for op_i in 0..instances.len() {
+                            if instances[op_i].stream.is_some() {
+                                take_checkpoint!(op_i, CheckpointKind::Coordinated { round });
+                                forward_markers!(op_i, round);
+                            }
+                        }
+                    }
+                }
+                Ctrl::Kill => {
+                    dead = true;
+                    // crash: lose in-memory state and queued input
+                    instances = build_instances(cfg.protocol);
+                    while rx.try_recv().is_ok() {}
+                    blocked.clear();
+                    stash.clear();
+                    pending.clear();
+                }
+                Ctrl::Pause => {
+                    paused = true;
+                    let _ = note.send(Note::Paused(w));
+                }
+                Ctrl::Restore(line) => {
+                    instances = build_instances(cfg.protocol);
+                    for inst in instances.iter_mut() {
+                        let meta = &line[&pg.instance_id(inst.idx).op];
+                        if !meta.state_key.is_empty() {
+                            let bytes = shared.store.get(&meta.state_key).expect("durable state");
+                            inst.restore_from(&bytes);
+                        }
+                        inst.ckpt_index = meta.id.index;
+                        if let Some(aligner) = inst.aligner.as_mut() {
+                            aligner.reset_to_round(meta.kind.round().unwrap_or(0));
+                        }
+                    }
+                    blocked.clear();
+                    stash.clear();
+                    pending.clear();
+                    while rx.try_recv().is_ok() {}
+                    let _ = note.send(Note::Restored(w));
+                }
+                Ctrl::Resume(new_epoch) => {
+                    epoch = new_epoch;
+                    dead = false;
+                    paused = false;
+                    next_local_ckpt = start.elapsed() + cfg.checkpoint_interval;
+                }
+                Ctrl::Stop => {
+                    stopped = true;
+                }
+            }
+        }
+        if stopped {
+            break;
+        }
+        if paused || dead {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+
+        // Unblocked backlog first, then the inbox (bounded batch to stay
+        // responsive to control).
+        let mut any = false;
+        for _ in 0..64 {
+            if let Some(wire) = pending.pop_front() {
+                any = true;
+                handle_wire!(wire);
+                continue;
+            }
+            match rx.try_recv() {
+                Ok(wire) => {
+                    any = true;
+                    handle_wire!(wire);
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Source polling by wall clock.
+        let now = now_ns(&start);
+        let mut drained = true;
+        for op_i in 0..instances.len() {
+            let Some(stream) = instances[op_i].stream else {
+                continue;
+            };
+            let cursor = instances[op_i].cursor.expect("source");
+            if !logs[stream as usize].exhausted(cursor.next_offset) {
+                drained = false;
+            }
+            if let Some(entry) = logs[stream as usize].poll(w, cursor.next_offset, now) {
+                any = true;
+                instances[op_i].cursor.as_mut().expect("source").advance();
+                run_and_route!(op_i, PortId(0), entry.record);
+            }
+        }
+
+        // Local checkpoint timers (UNC/CIC).
+        if cfg.protocol.independent_checkpoints() && start.elapsed() >= next_local_ckpt {
+            for op_i in 0..instances.len() {
+                take_checkpoint!(op_i, CheckpointKind::Local);
+            }
+            next_local_ckpt = start.elapsed() + cfg.checkpoint_interval;
+        }
+
+        if drained && !any && rx.is_empty() {
+            // Everything read and processed here; wait for Stop (other
+            // workers may still send to us — keep draining).
+            std::thread::sleep(Duration::from_micros(200));
+        } else if !any {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    // Final digest collection.
+    for inst in &instances {
+        if let Some(d) = inst.op.sink_digest() {
+            digest_total.count = digest_total.count.wrapping_add(d.count);
+            digest_total.acc = digest_total.acc.wrapping_add(d.acc);
+        }
+    }
+    let _ = note.send(Note::Done(
+        w,
+        WorkerEnd {
+            digest: digest_total,
+            sink_records,
+            latencies,
+        },
+    ));
+}
+
+fn coordinate(
+    cfg: &LiveConfig,
+    shared: &Arc<Shared>,
+    ctrl_tx: &[Sender<Ctrl>],
+    data_tx: &[Sender<Wire>],
+    note_rx: &Receiver<Note>,
+    start: Instant,
+) -> LiveReport {
+    let pg = &shared.pg;
+    let mut metas: BTreeMap<(InstanceIdx, u64), CheckpointMeta> = BTreeMap::new();
+    for op in pg.logical().ops() {
+        for i in 0..cfg.parallelism {
+            let idx = InstanceIdx(op.id.0 * cfg.parallelism + i);
+            let is_source = matches!(op.role, OpRole::Source { .. });
+            metas.insert((idx, 0), CheckpointMeta::initial(idx, is_source));
+        }
+    }
+    let mut round = 0u64;
+    let mut next_round = start.elapsed() + cfg.checkpoint_interval;
+    let mut checkpoints = 0u64;
+    let mut recovered = false;
+    // Kill roughly 40 % into the expected run.
+    let expected = Duration::from_secs_f64(cfg.records_per_partition as f64 / cfg.rate_per_partition);
+    let kill_at = cfg.kill_worker.map(|_| expected.mul_f64(0.4));
+    let mut killed = false;
+    let run_deadline = start + cfg.timeout;
+
+    // Run phase: wait until the input window has passed plus slack for
+    // catch-up, handling kill/recovery in the middle.
+    let drain_deadline = start + expected + Duration::from_secs(2).max(expected);
+    loop {
+        while let Ok(n) = note_rx.try_recv() {
+            if let Note::Meta(m) = n {
+                if m.id.index > 0 {
+                    checkpoints += 1;
+                }
+                metas.insert((m.id.instance, m.id.index), m);
+            }
+        }
+        if cfg.protocol == ProtocolKind::Coordinated && start.elapsed() >= next_round {
+            round += 1;
+            for tx in ctrl_tx {
+                let _ = tx.send(Ctrl::TriggerRound(round));
+            }
+            next_round = start.elapsed() + cfg.checkpoint_interval;
+        }
+        if let (Some(at), Some(victim)) = (kill_at, cfg.kill_worker) {
+            if !killed && start.elapsed() >= at {
+                killed = true;
+                let _ = ctrl_tx[victim as usize].send(Ctrl::Kill);
+                std::thread::sleep(Duration::from_millis(30));
+                recover(cfg, shared, ctrl_tx, data_tx, note_rx, &mut metas);
+                recovered = true;
+            }
+        }
+        if Instant::now() >= drain_deadline || Instant::now() >= run_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Stop);
+    }
+    let mut digest = Digest::default();
+    let mut sink_records = 0u64;
+    let mut latencies = Vec::new();
+    let mut done = 0;
+    while done < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Done(_, end)) => {
+                done += 1;
+                digest.count = digest.count.wrapping_add(end.digest.count);
+                digest.acc = digest.acc.wrapping_add(end.digest.acc);
+                sink_records += end.sink_records;
+                latencies.extend(end.latencies);
+            }
+            Ok(_) => {}
+            Err(_) => panic!("worker did not stop in time"),
+        }
+    }
+    latencies.sort();
+    let p50 = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    LiveReport {
+        sink_digest: digest,
+        sink_records,
+        checkpoints,
+        recovered,
+        p50_latency: p50,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn recover(
+    cfg: &LiveConfig,
+    shared: &Arc<Shared>,
+    ctrl_tx: &[Sender<Ctrl>],
+    data_tx: &[Sender<Wire>],
+    note_rx: &Receiver<Note>,
+    metas: &mut BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
+) {
+    let pg = &shared.pg;
+    // Pause everyone and wait for acks.
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Pause);
+    }
+    let mut paused = 0;
+    while paused < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Paused(_)) => paused += 1,
+            Ok(Note::Meta(m)) => {
+                metas.insert((m.id.instance, m.id.index), m);
+            }
+            Ok(_) => {}
+            Err(_) => panic!("pause ack timeout"),
+        }
+    }
+
+    // Recovery line.
+    let line: BTreeMap<InstanceIdx, CheckpointId> = match cfg.protocol {
+        ProtocolKind::Coordinated | ProtocolKind::None => {
+            let ms: Vec<CheckpointMeta> = metas
+                .values()
+                .filter(|m| m.kind.round().is_some())
+                .cloned()
+                .collect();
+            coordinated_line(&ms)
+        }
+        _ => {
+            let triples: Vec<ChannelTriple> = pg
+                .channels()
+                .iter()
+                .map(|c| ChannelTriple {
+                    ch: c.idx,
+                    from: c.from,
+                    to: c.to,
+                })
+                .collect();
+            let ms: Vec<CheckpointMeta> = metas.values().cloned().collect();
+            rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
+        }
+    };
+    // Discard post-line metadata.
+    metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
+
+    // Restore every worker.
+    for w in 0..cfg.parallelism {
+        let mut per_op = BTreeMap::new();
+        for op in pg.logical().ops() {
+            let idx = InstanceIdx(op.id.0 * cfg.parallelism + w);
+            let id = line[&idx];
+            per_op.insert(op.id, metas[&(idx, id.index)].clone());
+        }
+        let _ = ctrl_tx[w as usize].send(Ctrl::Restore(per_op));
+    }
+    let mut restored = 0;
+    while restored < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Restored(_)) => restored += 1,
+            Ok(Note::Meta(_)) => {}
+            Ok(_) => {}
+            Err(_) => panic!("restore ack timeout"),
+        }
+    }
+
+    // Replay logged in-flight messages with the fresh epoch, then resume.
+    // Crossbeam channels dequeue in enqueue order, and workers are still
+    // paused while we enqueue, so every replay precedes any regenerated
+    // message on the same channel — the receivers' in-order dedup relies
+    // on that.
+    let new_epoch = metas
+        .values()
+        .map(|m| m.id.index as u32)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    if cfg.protocol.logs_messages() {
+        for c in pg.channels() {
+            let lo = metas[&(c.to, line[&c.to].index)].received_on(c.idx);
+            let hi = metas[&(c.from, line[&c.from].index)].sent_on(c.idx);
+            if hi <= lo {
+                continue;
+            }
+            // The coordinator replays from the durable logs directly into
+            // the receiver's inbox (acting as the log service). Replayed
+            // messages carry a neutral piggyback: old news never forces.
+            let entries: Vec<(u64, Record)> = shared.logs[c.idx.0 as usize]
+                .lock()
+                .range(lo, hi)
+                .into_iter()
+                .map(|e| (e.seq, e.record.clone()))
+                .collect();
+            let dest_worker = (c.to.0 % cfg.parallelism) as usize;
+            for (seq, record) in entries {
+                let piggyback = match cfg.protocol {
+                    ProtocolKind::CommunicationInduced => Some(CicPiggyback::Hmnr {
+                        lc: 0,
+                        ckpt: vec![0; pg.n_instances()],
+                        taken: vec![false; pg.n_instances()],
+                        greater: vec![false; pg.n_instances()],
+                    }),
+                    ProtocolKind::CommunicationInducedBcs => Some(CicPiggyback::Bcs { lc: 0 }),
+                    _ => None,
+                };
+                let _ = data_tx[dest_worker].send(Wire::Data {
+                    epoch: new_epoch,
+                    channel: c.idx,
+                    seq,
+                    record,
+                    piggyback,
+                    replayed: true,
+                });
+            }
+        }
+    }
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Resume(new_epoch));
+    }
+}

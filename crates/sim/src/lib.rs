@@ -1,0 +1,21 @@
+//! # checkmate-sim
+//!
+//! Deterministic discrete-event simulation kernel: a virtual clock, a
+//! time-ordered event queue with FIFO tie-breaking, seeded random streams,
+//! and the calibrated cost model that turns bytes and records into virtual
+//! nanoseconds.
+//!
+//! The kernel is engine-agnostic; `checkmate-engine` builds the streaming
+//! worker/coordinator machinery on top of it. Determinism is the contract:
+//! the same configuration and seed produce bit-identical traces, which the
+//! test suite asserts.
+
+pub mod cost;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use cost::CostModel;
+pub use queue::EventQueue;
+pub use rng::{derive_seed, SimRng};
+pub use time::{fmt_secs, from_secs, to_secs, SimTime, MICROS, MILLIS, NANOS, SECONDS};

@@ -1,0 +1,44 @@
+//! Virtual time.
+//!
+//! All simulation time is in nanoseconds from the start of the run. The
+//! whole workspace shares this convention (`checkmate_dataflow::Time` is
+//! the same `u64`).
+
+/// Virtual nanoseconds.
+pub type SimTime = u64;
+
+pub const NANOS: SimTime = 1;
+pub const MICROS: SimTime = 1_000;
+pub const MILLIS: SimTime = 1_000_000;
+pub const SECONDS: SimTime = 1_000_000_000;
+
+/// Format a virtual time as seconds with millisecond precision.
+pub fn fmt_secs(t: SimTime) -> String {
+    format!("{:.3}s", t as f64 / SECONDS as f64)
+}
+
+/// Convert to floating-point seconds.
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SECONDS as f64
+}
+
+/// Convert floating-point seconds to virtual time (saturating at 0).
+pub fn from_secs(s: f64) -> SimTime {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * SECONDS as f64) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(from_secs(to_secs(1_500 * MILLIS)), 1_500 * MILLIS);
+        assert_eq!(from_secs(-1.0), 0);
+        assert_eq!(fmt_secs(2 * SECONDS + 250 * MILLIS), "2.250s");
+    }
+}

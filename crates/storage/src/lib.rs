@@ -1,0 +1,16 @@
+//! # checkmate-storage
+//!
+//! The durable checkpoint store — our MinIO substitute.
+//!
+//! Checkpoints only count once they are durable (paper §III-A: "the
+//! checkpoints are stored in durable storage"), so every protocol's
+//! checkpoint path ends in a PUT here, and every recovery starts with GETs.
+//! The store itself is an in-memory keyed blob map; *when* a PUT/GET
+//! completes is the engine's job, priced by
+//! `checkmate_sim::CostModel::{store_put_ns, store_get_ns}` so that state
+//! size drives checkpoint and restart durations exactly as a remote object
+//! store would.
+
+pub mod store;
+
+pub use store::{ObjectKey, ObjectStore, SharedStore, StoreStats};

@@ -1,0 +1,199 @@
+//! In-memory object store with byte accounting.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Key of a stored object. Checkpoint state keys follow the convention
+/// `ckpt/<instance>/<index>`; channel log segments use `log/<channel>/…`.
+pub type ObjectKey = String;
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub puts: u64,
+    pub gets: u64,
+    pub deletes: u64,
+    pub bytes_put: u64,
+    pub bytes_got: u64,
+}
+
+/// A simple durable object store (MinIO substitute).
+///
+/// Contents survive worker failures by construction — the store models a
+/// separate storage service. Thread-safe for the threaded runtime.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    objects: BTreeMap<ObjectKey, Bytes>,
+    stats: StoreStats,
+}
+
+/// Shared handle.
+pub type SharedStore = Arc<ObjectStore>;
+
+impl ObjectStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn shared() -> SharedStore {
+        Arc::new(Self::new())
+    }
+
+    /// Store `bytes` under `key`, replacing any existing object.
+    pub fn put(&self, key: impl Into<ObjectKey>, bytes: impl Into<Bytes>) {
+        let key = key.into();
+        let bytes = bytes.into();
+        let mut inner = self.inner.lock();
+        inner.stats.puts += 1;
+        inner.stats.bytes_put += bytes.len() as u64;
+        inner.objects.insert(key, bytes);
+    }
+
+    /// Fetch the object under `key`.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let got = inner.objects.get(key).cloned();
+        if let Some(ref b) = got {
+            inner.stats.gets += 1;
+            inner.stats.bytes_got += b.len() as u64;
+        }
+        got
+    }
+
+    /// Size of the object under `key` without fetching it.
+    pub fn size_of(&self, key: &str) -> Option<usize> {
+        self.inner.lock().objects.get(key).map(Bytes::len)
+    }
+
+    pub fn delete(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let removed = inner.objects.remove(key).is_some();
+        if removed {
+            inner.stats.deletes += 1;
+        }
+        removed
+    }
+
+    /// Keys under a prefix, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<ObjectKey> {
+        let inner = self.inner.lock();
+        inner
+            .objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Delete all keys under a prefix; returns how many were removed.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let keys = self.list(prefix);
+        let mut inner = self.inner.lock();
+        let mut n = 0;
+        for k in keys {
+            if inner.objects.remove(&k).is_some() {
+                inner.stats.deletes += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.inner.lock().objects.len()
+    }
+
+    /// Total stored bytes right now.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .objects
+            .values()
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = ObjectStore::new();
+        s.put("ckpt/a/1", vec![1u8, 2, 3]);
+        assert_eq!(s.get("ckpt/a/1").unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(s.size_of("ckpt/a/1"), Some(3));
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn put_replaces() {
+        let s = ObjectStore::new();
+        s.put("k", vec![1u8; 10]);
+        s.put("k", vec![2u8; 4]);
+        assert_eq!(s.get("k").unwrap().len(), 4);
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn list_by_prefix_ordered() {
+        let s = ObjectStore::new();
+        s.put("ckpt/b/2", Vec::<u8>::new());
+        s.put("ckpt/a/1", Vec::<u8>::new());
+        s.put("log/x/0", Vec::<u8>::new());
+        s.put("ckpt/a/2", Vec::<u8>::new());
+        assert_eq!(s.list("ckpt/"), vec!["ckpt/a/1", "ckpt/a/2", "ckpt/b/2"]);
+        assert_eq!(s.list("ckpt/a/"), vec!["ckpt/a/1", "ckpt/a/2"]);
+        assert!(s.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn delete_and_delete_prefix() {
+        let s = ObjectStore::new();
+        s.put("a/1", Vec::<u8>::new());
+        s.put("a/2", Vec::<u8>::new());
+        s.put("b/1", Vec::<u8>::new());
+        assert!(s.delete("a/1"));
+        assert!(!s.delete("a/1"));
+        assert_eq!(s.delete_prefix("a/"), 1);
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn stats_account_traffic() {
+        let s = ObjectStore::new();
+        s.put("k", vec![0u8; 100]);
+        s.get("k");
+        s.get("k");
+        s.get("missing");
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 2); // missing get not counted
+        assert_eq!(st.bytes_put, 100);
+        assert_eq!(st.bytes_got, 200);
+        assert_eq!(s.total_bytes(), 100);
+    }
+
+    #[test]
+    fn shared_handle_is_cloneable_across_threads() {
+        let s = ObjectStore::shared();
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.put("from-thread", vec![9u8]);
+        });
+        h.join().unwrap();
+        assert!(s.get("from-thread").is_some());
+    }
+}

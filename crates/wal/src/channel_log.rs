@@ -1,0 +1,219 @@
+//! Per-channel in-flight message logs (upstream backup).
+//!
+//! The uncoordinated and communication-induced protocols must capture
+//! channel state: every message is appended, at send time, to a durable
+//! per-channel log keyed by its channel sequence number (paper §III-B,
+//! "log-based recovery and upstream backup"). After a failure, the
+//! recovery procedure replays, per channel, the messages in
+//! `(receiver checkpoint watermark, sender checkpoint watermark]` — the
+//! in-flight messages of the recovery line. Receivers deduplicate by
+//! sequence number.
+//!
+//! Logs are truncated once checkpoint retention allows (checkpoint space
+//! reclamation, Wang et al. 1995).
+
+use checkmate_dataflow::Record;
+use std::collections::VecDeque;
+
+/// One logged in-flight message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Channel sequence number (1-based; 0 means "nothing sent yet").
+    pub seq: u64,
+    pub record: Record,
+    /// Encoded size at send time (payload, without protocol piggyback).
+    pub bytes: usize,
+}
+
+/// Append-only log for a single channel.
+#[derive(Debug, Default)]
+pub struct ChannelLog {
+    entries: VecDeque<LogEntry>,
+    /// Sequence of the first retained entry (everything below is GC'd).
+    first_seq: u64,
+    total_bytes: usize,
+}
+
+impl ChannelLog {
+    pub fn new() -> Self {
+        Self {
+            entries: VecDeque::new(),
+            first_seq: 1,
+            total_bytes: 0,
+        }
+    }
+
+    /// Append the message with the given channel sequence. Sequences must
+    /// be contiguous and ascending; replayed sends after a rollback re-use
+    /// their original sequence numbers and are ignored here (the log
+    /// already has them).
+    pub fn append(&mut self, seq: u64, record: Record) {
+        let expected = self.first_seq + self.entries.len() as u64;
+        if seq < expected {
+            // Re-send of an already-logged message (post-rollback
+            // regeneration); the original entry stands.
+            return;
+        }
+        assert_eq!(
+            seq, expected,
+            "channel log gap: appended seq {seq}, expected {expected}"
+        );
+        let bytes = record.encoded_len();
+        self.total_bytes += bytes;
+        self.entries.push_back(LogEntry { seq, record, bytes });
+    }
+
+    /// Highest appended sequence (0 if empty since birth).
+    pub fn last_seq(&self) -> u64 {
+        self.first_seq + self.entries.len() as u64 - 1
+    }
+
+    /// Entries with `lo < seq ≤ hi`, in order. Panics if part of the range
+    /// was already truncated — recovery must never need GC'd messages.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<&LogEntry> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        assert!(
+            lo + 1 >= self.first_seq,
+            "replay range ({lo}, {hi}] reaches below retained seq {}",
+            self.first_seq
+        );
+        let start = (lo + 1 - self.first_seq) as usize;
+        let end = ((hi + 1).saturating_sub(self.first_seq) as usize).min(self.entries.len());
+        self.entries.iter().skip(start).take(end.saturating_sub(start)).collect()
+    }
+
+    /// Drop entries with `seq < below`. Called when checkpoint retention
+    /// guarantees no recovery line can need them.
+    pub fn truncate_below(&mut self, below: u64) {
+        while let Some(front) = self.entries.front() {
+            if front.seq < below {
+                self.total_bytes -= front.bytes;
+                self.first_seq = front.seq + 1;
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Even when empty, remember the floor.
+        if self.first_seq < below {
+            self.first_seq = below;
+        }
+    }
+
+    /// Total retained bytes (drives restart-time fetch costs).
+    pub fn retained_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    pub fn retained_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes of the entries in `(lo, hi]` — the replay fetch volume.
+    pub fn range_bytes(&self, lo: u64, hi: u64) -> usize {
+        self.range(lo, hi).iter().map(|e| e.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkmate_dataflow::Value;
+
+    fn rec(v: u64) -> Record {
+        Record::new(v, Value::U64(v), 0)
+    }
+
+    fn filled(n: u64) -> ChannelLog {
+        let mut l = ChannelLog::new();
+        for s in 1..=n {
+            l.append(s, rec(s));
+        }
+        l
+    }
+
+    #[test]
+    fn append_and_last_seq() {
+        let l = filled(5);
+        assert_eq!(l.last_seq(), 5);
+        assert_eq!(l.retained_len(), 5);
+    }
+
+    #[test]
+    fn empty_log_last_seq_zero() {
+        let l = ChannelLog::new();
+        assert_eq!(l.last_seq(), 0);
+        assert!(l.range(0, 10).is_empty());
+    }
+
+    #[test]
+    fn range_is_exclusive_inclusive() {
+        let l = filled(10);
+        let r = l.range(3, 7);
+        assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert!(l.range(7, 7).is_empty());
+        assert!(l.range(9, 3).is_empty());
+    }
+
+    #[test]
+    fn range_clamps_hi_to_logged() {
+        let l = filled(5);
+        let r = l.range(3, 100);
+        assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn duplicate_append_ignored() {
+        let mut l = filled(5);
+        l.append(3, rec(999)); // regeneration after rollback
+        assert_eq!(l.retained_len(), 5);
+        assert_eq!(l.range(2, 3)[0].record.key, 3); // original kept
+        l.append(6, rec(6));
+        assert_eq!(l.last_seq(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn gap_append_panics() {
+        let mut l = filled(2);
+        l.append(5, rec(5));
+    }
+
+    #[test]
+    fn truncate_frees_bytes_and_protects_range() {
+        let mut l = filled(10);
+        let total = l.retained_bytes();
+        l.truncate_below(5);
+        assert_eq!(l.retained_len(), 6); // seqs 5..=10
+        assert!(l.retained_bytes() < total);
+        let r = l.range(4, 6);
+        assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below retained")]
+    fn range_below_truncation_panics() {
+        let mut l = filled(10);
+        l.truncate_below(5);
+        l.range(2, 7);
+    }
+
+    #[test]
+    fn truncate_then_append_continues() {
+        let mut l = filled(4);
+        l.truncate_below(5); // empties the log
+        assert_eq!(l.retained_len(), 0);
+        assert_eq!(l.last_seq(), 4);
+        l.append(5, rec(5));
+        assert_eq!(l.last_seq(), 5);
+    }
+
+    #[test]
+    fn range_bytes_accounts_payload() {
+        let l = filled(3);
+        assert_eq!(l.range_bytes(0, 3), l.range(0, 3).iter().map(|e| e.bytes).sum());
+        assert!(l.range_bytes(0, 3) > 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # checkmate-wal
+//!
+//! Replayable log substrates standing in for the paper's external systems:
+//!
+//! - [`source::SourceLog`] — the Kafka substitute: a partitioned,
+//!   offset-addressed, deterministic event stream with per-offset
+//!   availability times. Source operators checkpoint their cursor and seek
+//!   back to it on recovery.
+//! - [`channel_log::ChannelLog`] — sender-side in-flight message logs
+//!   (upstream backup) required by the uncoordinated and
+//!   communication-induced protocols to capture channel state.
+
+pub mod channel_log;
+pub mod source;
+
+pub use channel_log::{ChannelLog, LogEntry};
+pub use source::{EventStream, Schedule, SourceCursor, SourceEntry, SourceLog};

@@ -1,0 +1,65 @@
+//! The cyclic reachability query (paper Fig. 6): streaming links and
+//! source nodes, with derived reach records feeding back into the join.
+//!
+//! Uncoordinated and communication-induced checkpointing handle the
+//! cycle; the aligned coordinated protocol deadlocks waiting for a marker
+//! that must pass through itself — this example shows both outcomes.
+//!
+//! ```text
+//! cargo run --release --example cyclic_reachability
+//! ```
+
+use checkmate::core::ProtocolKind;
+use checkmate::cyclic::reachability;
+use checkmate::dataflow::WorkerId;
+use checkmate::engine::report::Outcome;
+use checkmate::engine::{Engine, EngineConfig, FailureSpec};
+
+const SEC: u64 = 1_000_000_000;
+
+fn main() {
+    let parallelism = 3;
+    println!("Reachability over a 1M-node universe, {parallelism} workers, failure at t=9s\n");
+    for protocol in [
+        ProtocolKind::Uncoordinated,
+        ProtocolKind::CommunicationInduced,
+        ProtocolKind::Coordinated,
+    ] {
+        let workload = reachability(parallelism, 13, 1_000_000);
+        let cfg = EngineConfig {
+            parallelism,
+            protocol,
+            total_rate: 180.0 * parallelism as f64,
+            checkpoint_interval: 2 * SEC,
+            duration: 14 * SEC,
+            warmup: 4 * SEC,
+            failure: (protocol != ProtocolKind::Coordinated).then_some(FailureSpec {
+                at: 9 * SEC,
+                worker: WorkerId(1),
+            }),
+            ..EngineConfig::default()
+        };
+        let r = Engine::new(&workload, cfg).run();
+        match r.outcome {
+            Outcome::CoordinatedDeadlock { at } => {
+                println!(
+                    "{protocol:8}  DEADLOCK at t={:.1}s — alignment waits on the feedback channel;",
+                    at as f64 / 1e9
+                );
+                println!("          the marker it needs originates from itself (paper §VII-B).");
+            }
+            _ => {
+                println!(
+                    "{protocol:8}  {:5} reach records   ckpts {:3} (forced {:2}, invalid {:.1}%)   restart {:6.1} ms",
+                    r.sink_records,
+                    r.checkpoints_total,
+                    r.checkpoints_forced,
+                    r.invalid_pct(),
+                    r.restart_time_ns.map(|t| t as f64 / 1e6).unwrap_or(f64::NAN),
+                );
+            }
+        }
+    }
+    println!("\nNo domino effect for UNC on this sparse graph — the paper's empirical");
+    println!("surprise. Re-run with a dense universe (3k nodes) and watch it appear.");
+}

@@ -1,0 +1,57 @@
+//! # CheckMate-RS
+//!
+//! A from-scratch Rust reproduction of **"CheckMate: Evaluating
+//! Checkpointing Protocols for Streaming Dataflows"** (ICDE 2024):
+//! the three checkpointing protocol families — coordinated aligned
+//! (COOR), uncoordinated with message logging (UNC), and
+//! communication-induced (CIC/HMNR, plus a BCS ablation) — implemented as
+//! runtime-agnostic state machines and evaluated on a purpose-built
+//! streaming dataflow testbed.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`core`] | `checkmate-core` | protocol state machines + recovery theory (checkpoint graphs, rollback propagation, Z-paths) |
+//! | [`dataflow`] | `checkmate-dataflow` | records, logical/physical graphs, snapshotable operators |
+//! | [`sim`] | `checkmate-sim` | deterministic discrete-event kernel and the calibrated cost model |
+//! | [`engine`] | `checkmate-engine` | the virtual-time testbed engine (measurement instrument) |
+//! | [`runtime`] | `checkmate-runtime` | the threaded wall-clock engine (live playground) |
+//! | [`wal`] | `checkmate-wal` | replayable source log (Kafka substitute) + channel logs |
+//! | [`storage`] | `checkmate-storage` | durable checkpoint store (MinIO substitute) |
+//! | [`nexmark`] | `checkmate-nexmark` | NexMark generator and queries Q1/Q3/Q8/Q12 |
+//! | [`cyclic`] | `checkmate-cyclic` | the cyclic reachability query |
+//! | [`metrics`] | `checkmate-metrics` | MST search and statistics |
+//! | [`mod@bench`] | `checkmate-bench` | experiments regenerating every paper table/figure |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use checkmate::core::ProtocolKind;
+//! use checkmate::engine::{Engine, EngineConfig};
+//! use checkmate::nexmark::Query;
+//!
+//! let workload = Query::Q12.workload(2, 7, None);
+//! let cfg = EngineConfig {
+//!     parallelism: 2,
+//!     protocol: ProtocolKind::Uncoordinated,
+//!     total_rate: 800.0,
+//!     duration: 4_000_000_000,  // 4 virtual seconds
+//!     warmup: 1_000_000_000,
+//!     ..EngineConfig::default()
+//! };
+//! let report = Engine::new(&workload, cfg).run();
+//! assert!(report.sink_records > 0);
+//! ```
+
+pub use checkmate_bench as bench;
+pub use checkmate_core as core;
+pub use checkmate_cyclic as cyclic;
+pub use checkmate_dataflow as dataflow;
+pub use checkmate_engine as engine;
+pub use checkmate_metrics as metrics;
+pub use checkmate_nexmark as nexmark;
+pub use checkmate_runtime as runtime;
+pub use checkmate_sim as sim;
+pub use checkmate_storage as storage;
+pub use checkmate_wal as wal;
