@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin regen -- \
-//!     [--scale quick|paper|paper-full] [--exp fig7,tab2,...] [--out results/] [-v]
+//!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] [--out results/] [-v]
 //! ```
 //!
 //! Writes one JSON file per experiment under `--out` and prints the
@@ -43,7 +43,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper|paper-full] [--exp ids] [--out dir] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--out dir] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }

@@ -104,6 +104,12 @@ impl CheckpointMeta {
     pub fn received_on(&self, ch: ChannelIdx) -> u64 {
         self.recv_wm.get(&ch).copied().unwrap_or(0)
     }
+
+    /// Absolute position in the instance's determinant log at capture
+    /// time (see [`ChannelBook::total_received`]).
+    pub fn det_pos(&self) -> u64 {
+        self.recv_wm.values().sum()
+    }
 }
 
 /// Per-instance channel sequence bookkeeping: assigns send sequences,
@@ -158,6 +164,15 @@ impl ChannelBook {
 
     pub fn last_received(&self, ch: ChannelIdx) -> u64 {
         self.recv.get(&ch).copied().unwrap_or(0)
+    }
+
+    /// Total deliveries across all channels. Because sequences are
+    /// contiguous per channel, this equals the instance's absolute
+    /// position in its delivery-order (determinant) log — which is how
+    /// checkpoints anchor determinant replay without storing an extra
+    /// field.
+    pub fn total_received(&self) -> u64 {
+        self.recv.values().sum()
     }
 
     /// Snapshot watermarks for a checkpoint.

@@ -10,7 +10,7 @@
 use crate::config::EngineConfig;
 use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 use crate::report::{LatencySeries, Outcome, RunReport};
-use crate::state::{build_worker_instances, Coordinator, Worker};
+use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
 use checkmate_core::{
     coordinated_line, rollback_propagation, ChannelTriple, CheckpointGraph, CheckpointId,
@@ -21,7 +21,7 @@ use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{OpCtx, OpId, OpRole, PhysicalGraph, PortId, Record};
 use checkmate_sim::{derive_seed, EventQueue, SimRng, SimTime, MILLIS};
 use checkmate_storage::ObjectStore;
-use checkmate_wal::{ChannelLog, EventStream, Schedule, SourceLog};
+use checkmate_wal::{ChannelLog, DeterminantLog, EventStream, Schedule, SourceLog, DET_ENTRY_BYTES};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -102,6 +102,8 @@ pub struct Engine {
     arrivals_inflight: u64,
     chan_floor: Vec<SimTime>,
     chan_logs: Vec<ChannelLog>,
+    /// Per-instance delivery-order logs (UNC/CIC); empty under COOR/None.
+    det_logs: Vec<DeterminantLog>,
     workers: Vec<Worker>,
     coord: Coordinator,
     rng: SimRng,
@@ -147,6 +149,7 @@ impl Engine {
             })
             .collect();
         let n_channels = pg.n_channels();
+        let n_instances = pg.n_instances();
         let logging = cfg.protocol.logs_messages();
         let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
         Self {
@@ -165,6 +168,11 @@ impl Engine {
             chan_floor: vec![0; n_channels],
             chan_logs: if logging {
                 (0..n_channels).map(|_| ChannelLog::new()).collect()
+            } else {
+                Vec::new()
+            },
+            det_logs: if logging {
+                (0..n_instances).map(|_| DeterminantLog::new()).collect()
             } else {
                 Vec::new()
             },
@@ -461,20 +469,144 @@ impl Engine {
 
     /// Process the oldest deliverable inbound message (stashing blocked
     /// channels on the way). Returns true when a task was started.
+    ///
+    /// During determinant replay an instance must consume messages in
+    /// its recorded pre-failure order. A message that arrives ahead of
+    /// its turn is moved to the instance's parking map the first time
+    /// the scan meets it, so each backlog message is skipped at most
+    /// once instead of rescanned per delivery; parked messages come
+    /// back when they reach the determinant front (or when replay
+    /// drains).
     fn try_message(&mut self, w: usize) -> bool {
-        loop {
-            let Some((&key, _)) = self.workers[w].queue.first_key_value() else {
-                return false;
-            };
-            let ch = self.workers[w].queue[&key].channel;
-            if self.workers[w].blocked.contains(&ch) {
-                let (k, m) = self.workers[w].queue.pop_first().expect("checked");
-                self.workers[w].stash.entry(ch).or_default().push((k, m));
+        // Fast path: no determinant replay in progress on this worker
+        // (always the case under COOR/None, and under UNC/CIC outside
+        // the recovery window) — deliver strictly in arrival order.
+        let det_active = !self.det_logs.is_empty()
+            && self.workers[w]
+                .instances
+                .iter()
+                .any(|i| !i.det_replay.is_empty() || !i.det_parked.is_empty());
+        if !det_active {
+            loop {
+                let Some((&key, _)) = self.workers[w].queue.first_key_value() else {
+                    return false;
+                };
+                let ch = self.workers[w].queue[&key].channel;
+                if self.workers[w].blocked.contains(&ch) {
+                    let (k, m) = self.workers[w].queue.pop_first().expect("checked");
+                    self.workers[w].stash.entry(ch).or_default().push((k, m));
+                    continue;
+                }
+                let (_, msg) = self.workers[w].queue.pop_first().expect("checked");
+                self.exec_deliver(w, msg);
+                return true;
+            }
+        }
+        // Candidate parked messages: for each replaying instance, the
+        // message matching its determinant front (if it already
+        // arrived). An instance whose replay just drained returns its
+        // whole parking map to the queue.
+        let mut best_parked: Option<(QueueKey, usize, (ChannelIdx, u64))> = None;
+        for op_i in 0..self.workers[w].instances.len() {
+            if self.workers[w].instances[op_i].det_parked.is_empty() {
                 continue;
             }
-            let (_, msg) = self.workers[w].queue.pop_first().expect("checked");
-            self.exec_deliver(w, msg);
-            return true;
+            match self.workers[w].instances[op_i].det_replay.front().copied() {
+                None => {
+                    let parked =
+                        std::mem::take(&mut self.workers[w].instances[op_i].det_parked);
+                    for (_, (key, msg)) in parked {
+                        self.workers[w].queue.insert(key, msg);
+                    }
+                }
+                Some(front) => {
+                    if let Some(entry) = self.workers[w].instances[op_i].det_parked.get(&front)
+                    {
+                        let key = entry.0;
+                        if best_parked.is_none_or(|(bk, _, _)| key < bk) {
+                            best_parked = Some((key, op_i, front));
+                        }
+                    }
+                }
+            }
+        }
+        // First deliverable message still in the arrival queue.
+        let replaying = self.workers[w]
+            .instances
+            .iter()
+            .any(|i| !i.det_replay.is_empty());
+        let mut queue_candidate: Option<QueueKey> = None;
+        let mut cursor: Option<QueueKey> = None;
+        loop {
+            let key = match cursor {
+                None => self.workers[w].queue.first_key_value().map(|(&k, _)| k),
+                Some(prev) => self
+                    .workers[w]
+                    .queue
+                    .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
+                    .next()
+                    .map(|(&k, _)| k),
+            };
+            let Some(key) = key else { break };
+            let ch = self.workers[w].queue[&key].channel;
+            if self.workers[w].blocked.contains(&ch) {
+                let m = self.workers[w].queue.remove(&key).expect("checked");
+                self.workers[w].stash.entry(ch).or_default().push((key, m));
+                cursor = Some(key);
+                continue;
+            }
+            if replaying {
+                if let Some(held) = self.det_held_as(w, key) {
+                    let msg = self.workers[w].queue.remove(&key).expect("checked");
+                    let op = self.pg.instance_id(self.pg.channel(msg.channel).to).op;
+                    self.workers[w]
+                        .instance_mut(op)
+                        .det_parked
+                        .insert(held, (key, msg));
+                    cursor = Some(key);
+                    continue;
+                }
+            }
+            queue_candidate = Some(key);
+            break;
+        }
+        // Deliver whichever candidate arrived first.
+        let msg = match (best_parked, queue_candidate) {
+            (Some((pk, op_i, front)), qc) if qc.is_none_or(|qk| pk < qk) => {
+                let (_, msg) = self.workers[w].instances[op_i]
+                    .det_parked
+                    .remove(&front)
+                    .expect("candidate parked");
+                msg
+            }
+            (_, Some(qk)) => self.workers[w].queue.remove(&qk).expect("checked"),
+            (None, None) => return false,
+            (Some(_), None) => unreachable!("guard holds when queue has no candidate"),
+        };
+        self.exec_deliver(w, msg);
+        true
+    }
+
+    /// Under determinant replay, the `(channel, seq)` identity of the
+    /// queued message at `key` if it must be held for a later turn, or
+    /// `None` when it may be delivered now. Duplicates at or below the
+    /// restored receive watermark pass (they dedup-drop without
+    /// touching state), and markers are unaffected (COOR never logs
+    /// determinants).
+    fn det_held_as(&self, w: usize, key: QueueKey) -> Option<(ChannelIdx, u64)> {
+        let msg = &self.workers[w].queue[&key];
+        let MsgKind::Data { seq, .. } = &msg.kind else {
+            return None;
+        };
+        let op = self.pg.instance_id(self.pg.channel(msg.channel).to).op;
+        let inst = self.workers[w].instance(op);
+        match inst.det_replay.front() {
+            None => None,
+            Some(&(next_ch, next_seq)) => {
+                let deliverable = *seq <= inst.book.last_received(msg.channel)
+                    || (msg.channel == next_ch && *seq == next_seq);
+                (!deliverable).then_some((msg.channel, *seq))
+            }
         }
     }
 
@@ -555,9 +687,27 @@ impl Engine {
                     let inst = self.workers[w].instance_mut(op);
                     let fresh = inst.book.deliver(msg.channel, seq);
                     assert!(fresh, "post-dedup delivery must be fresh");
+                    if let Some(&(next_ch, next_seq)) = inst.det_replay.front() {
+                        assert_eq!(
+                            (next_ch, next_seq),
+                            (msg.channel, seq),
+                            "delivery out of determinant order at {:?}",
+                            inst.idx
+                        );
+                        inst.det_replay.pop_front();
+                    }
                     if let (Some(cic), Some(pb)) = (inst.cic.as_mut(), &msg.piggyback) {
                         cic.on_deliver(from_inst.0 as usize, pb);
                     }
+                }
+                if !self.det_logs.is_empty() {
+                    // Persist the delivery determinant (receiver-side
+                    // message-logging requirement for deterministic
+                    // replay); re-deliveries during replay are no-ops.
+                    let inst = self.workers[w].instance(op);
+                    let pos = inst.book.total_received() - 1;
+                    self.det_logs[inst.idx.0 as usize].append(pos, msg.channel, seq);
+                    service += self.cfg.cost.log_append_ns(DET_ENTRY_BYTES);
                 }
                 service += self.pg.logical().op(op).work_ns;
                 let is_sink = matches!(self.pg.logical().op(op).role, OpRole::Sink);
@@ -881,6 +1031,7 @@ impl Engine {
             return;
         }
         if let Some(oldest) = self.coord.metas.get(&(meta.id.instance, old_index)) {
+            let det_floor = oldest.det_pos();
             let in_channels: Vec<ChannelIdx> =
                 self.pg.in_channels_of(meta.id.instance).to_vec();
             for ch in in_channels {
@@ -888,6 +1039,9 @@ impl Engine {
                 if wm > 0 {
                     self.chan_logs[ch.0 as usize].truncate_below(wm + 1);
                 }
+            }
+            if !self.det_logs.is_empty() {
+                self.det_logs[meta.id.instance.0 as usize].truncate_below(det_floor);
             }
         }
     }
@@ -982,6 +1136,11 @@ impl Engine {
                         bytes += self.chan_logs[c.idx.0 as usize].range_bytes(lo, hi);
                     }
                 }
+                // Determinant suffixes this worker's instances replay.
+                for inst in &self.workers[w].instances {
+                    let meta = &self.coord.metas[&(inst.idx, line[&inst.idx].index)];
+                    bytes += self.det_logs[inst.idx.0 as usize].suffix_bytes(meta.det_pos());
+                }
                 if bytes > 0 {
                     ready += self.cfg.cost.store_get_ns(bytes);
                 }
@@ -1013,6 +1172,20 @@ impl Engine {
                 };
                 let meta = self.coord.metas[&(idx, index)].clone();
                 self.restore_instance(w, op_i, &meta);
+            }
+        }
+        // Arm determinant replay: each instance must re-consume the
+        // deliveries recorded past its restored checkpoint in their
+        // original cross-channel order, so post-rollback re-execution
+        // reproduces the pre-failure computation exactly even for
+        // operators sensitive to arrival interleaving.
+        if !self.det_logs.is_empty() {
+            for w in 0..self.workers.len() {
+                for op_i in 0..self.workers[w].instances.len() {
+                    let inst = &mut self.workers[w].instances[op_i];
+                    let pos = inst.book.total_received();
+                    inst.det_replay = self.det_logs[inst.idx.0 as usize].suffix_from(pos);
+                }
             }
         }
         // Replay in-flight messages from the channel logs (UNC/CIC).
@@ -1198,6 +1371,9 @@ impl Engine {
                 && w.stash.is_empty()
                 && w.pending_triggers.is_empty()
                 && w.pending_ckpts.is_empty()
+                && w.instances
+                    .iter()
+                    .all(|i| i.det_parked.is_empty() && i.det_replay.is_empty())
                 && w.instances.iter().all(|i| {
                     i.stream.is_none()
                         || self.logs[i.stream.unwrap() as usize]

@@ -29,6 +29,18 @@ pub struct LocalInstance {
     pub stream: Option<u32>,
     /// Timer instants already requested from the scheduler (dedup).
     pub scheduled_timers: BTreeSet<SimTime>,
+    /// Pending determinant replay (UNC/CIC recovery): deliveries must
+    /// follow this recorded cross-channel order until it drains, at
+    /// which point the instance is caught up to its pre-failure state
+    /// and resumes free-order processing. Volatile — rebuilt from the
+    /// durable determinant log at restart.
+    pub det_replay: VecDeque<(ChannelIdx, u64)>,
+    /// Messages that arrived ahead of their determinant turn, parked
+    /// here (keyed by `(channel, seq)`, with their original queue key)
+    /// so the worker's dispatch scan skips each at most once instead of
+    /// rescanning the whole backlog per delivery. Returned to the
+    /// worker queue when replay drains. Volatile.
+    pub det_parked: BTreeMap<(ChannelIdx, u64), (QueueKey, NetMsg)>,
 }
 
 impl LocalInstance {
@@ -79,6 +91,8 @@ impl LocalInstance {
         }
         dec.finish().expect("snapshot: trailing bytes");
         self.scheduled_timers.clear();
+        self.det_replay.clear();
+        self.det_parked.clear();
     }
 
     pub fn is_source(&self) -> bool {
@@ -149,6 +163,10 @@ impl Worker {
         self.due_timers.clear();
         self.wake_at = None;
         self.running = false;
+        for inst in &mut self.instances {
+            inst.det_replay.clear();
+            inst.det_parked.clear();
+        }
     }
 
     /// Move stashed messages of `ch` back into the queue (alignment
@@ -285,6 +303,8 @@ pub fn build_worker_instances(pg: &PhysicalGraph, worker: u32, protocol: Protoco
                 cursor: is_source.then(SourceCursor::default),
                 stream,
                 scheduled_timers: BTreeSet::new(),
+                det_replay: VecDeque::new(),
+                det_parked: BTreeMap::new(),
             }
         })
         .collect()

@@ -14,6 +14,13 @@
 //! line, restores every instance from the durable store, replays logged
 //! in-flight messages, and resumes. Exactly-once processing is asserted
 //! by the same digest technique as the virtual-time engine.
+//!
+//! Unlike the virtual-time engine, this runtime does not yet log
+//! delivery-order determinants (`checkmate_wal::DeterminantLog`), so its
+//! replay reproduces per-channel contents but not cross-channel
+//! interleaving. That is sufficient for the confluent workloads driven
+//! here; order-sensitive operators (e.g. the cyclic reachability join
+//! with deletions) are only exercised on the virtual-time engine.
 
 use checkmate_core::{
     coordinated_line, rollback_propagation, ChannelBook, ChannelTriple, CheckpointGraph,

@@ -9,9 +9,14 @@
 //! - [`channel_log::ChannelLog`] — sender-side in-flight message logs
 //!   (upstream backup) required by the uncoordinated and
 //!   communication-induced protocols to capture channel state.
+//! - [`determinant::DeterminantLog`] — receiver-side delivery-order
+//!   logs, the determinants that make log-based replay deterministic
+//!   for operators whose output depends on cross-channel arrival order.
 
 pub mod channel_log;
+pub mod determinant;
 pub mod source;
 
 pub use channel_log::{ChannelLog, LogEntry};
+pub use determinant::{DeterminantLog, DET_ENTRY_BYTES};
 pub use source::{EventStream, Schedule, SourceCursor, SourceEntry, SourceLog};

@@ -1,0 +1,319 @@
+//! Strategies: composable deterministic value generators.
+//!
+//! The real proptest pairs generation with shrinking; the stand-in
+//! generates only. Failing cases still reproduce exactly (seeds are
+//! per test-name/case), they just aren't minimized.
+
+use crate::string::StringPattern;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Recursive strategies: after `depth` wrapping steps the generator
+    /// bottoms out at `self` (the leaf), so generation always
+    /// terminates. `desired_size`/`expected_branch_size` shape sizes in
+    /// the real proptest; here the per-level leaf/branch coin plus the
+    /// bounded depth keeps values small.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            cur = Union::new(vec![(1, leaf.clone()), (1, deeper)]).boxed();
+        }
+        cur
+    }
+}
+
+/// A clonable, type-erased strategy (proptest's `BoxedStrategy`, over
+/// `Arc` so recursive constructions can reuse branches).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between strategies of one value type (backs
+/// `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum covered above")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex strategies in proptest; the stand-in
+/// supports the character-class/repetition subset the workspace uses
+/// (see [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::parse(self).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric spread; NaN/inf are opted into
+        // explicitly via range strategies when a test wants them.
+        (rng.next_f64() - 0.5) * 2e18
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(11)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = rng();
+        let s = (1u32..5).prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!([10, 20, 30, 40].contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut r = rng();
+        let s = Union::new(vec![(1, Just(0u8).boxed()), (9, Just(1u8).boxed())]);
+        let ones = (0..1000).filter(|_| s.generate(&mut r) == 1).count();
+        assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        impl Tree {
+            /// Depth, asserting every leaf stayed within its strategy's range.
+            fn depth(&self) -> usize {
+                match self {
+                    Tree::Leaf(v) => {
+                        assert!(*v < 10);
+                        0
+                    }
+                    Tree::Node(kids) => 1 + kids.iter().map(Tree::depth).max().unwrap_or(0),
+                }
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(s.generate(&mut r).depth() <= 3);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u8..2, 10u8..12, Just(7u8)).generate(&mut r);
+        assert!(a < 2);
+        assert!((10..12).contains(&b));
+        assert_eq!(c, 7);
+    }
+}

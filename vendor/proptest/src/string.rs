@@ -1,0 +1,152 @@
+//! Regex-subset string generation.
+//!
+//! Proptest treats string literals as regexes. The stand-in supports
+//! the subset this workspace's tests use — sequences of literal
+//! characters and character classes (`[a-z0-9]`, ranges and singletons,
+//! no negation) with `{m}`/`{m,n}` repetition — and rejects anything
+//! else loudly so an unsupported pattern can't silently generate wrong
+//! data.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened class members.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    pieces: Vec<Piece>,
+}
+
+impl StringPattern {
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range needs a start");
+                                let hi = chars.next().expect("unterminated class range");
+                                assert!(lo <= hi, "descending class range in {pattern:?}");
+                                // `lo` was already pushed as a singleton.
+                                members.pop();
+                                members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            }
+                            Some(m) => {
+                                assert!(
+                                    m != '^',
+                                    "negated classes unsupported in pattern {pattern:?}"
+                                );
+                                members.push(m);
+                                prev = Some(m);
+                            }
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                        }
+                    }
+                    assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                    Atom::Class(members)
+                }
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => panic!(
+                    "regex feature {c:?} unsupported by the proptest stand-in (pattern {pattern:?}); \
+                     extend vendor/proptest/src/string.rs if a test needs it"
+                ),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => panic!("unterminated repetition in pattern {pattern:?}"),
+                    }
+                }
+                match spec.split_once(',') {
+                    Some((m, "")) => {
+                        let m: u32 = m.trim().parse().expect("bad repetition bound");
+                        (m, m + 8)
+                    }
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition bound"),
+                        n.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let m: u32 = spec.trim().parse().expect("bad repetition bound");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "descending repetition in pattern {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        Self { pieces }
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        out.push(members[rng.below(members.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let p = StringPattern::parse("[a-z0-9]{0,24}");
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let p = StringPattern::parse("ab[01]{3}");
+        let mut rng = TestRng::new(4);
+        let s = p.generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn unsupported_features_panic() {
+        StringPattern::parse("a|b");
+    }
+}

@@ -1,0 +1,126 @@
+//! Config and RNG for the vendored proptest.
+
+/// Per-suite configuration. Only the knobs this workspace touches.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+/// Default number of cases when a suite does not ask for a specific
+/// count. The real proptest defaults to 256; the stand-in defaults
+/// lower so the three proptest suites stay interactive in CI. Raise or
+/// lower per run with `PROPTEST_CASES`.
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count actually run: `PROPTEST_CASES`, when set, *caps*
+    /// the configured count, so CI can bound even suites that ask for
+    /// many cases without ballooning the expensive suites that ask for
+    /// few.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(env_cap) => self.cases.min(env_cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+/// Deterministic splitmix64 stream, seeded per test function and case
+/// index so every case draws independent values and reruns reproduce
+/// failures exactly. `PROPTEST_SEED` perturbs all streams at once.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut rng = Self::new(h ^ env_seed ^ ((case as u64) << 32));
+        // Warm up so nearby seeds decorrelate.
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` without modulo bias; `n` must be > 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn config_env_caps() {
+        // No env set in unit tests: resolved == configured.
+        assert_eq!(ProptestConfig::with_cases(10).resolved_cases(), 10);
+        assert_eq!(ProptestConfig::default().cases, DEFAULT_CASES);
+    }
+}

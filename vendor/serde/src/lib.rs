@@ -1,0 +1,258 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde models serialization through a generic `Serializer`
+//! visitor; this workspace only ever serializes experiment rows to
+//! JSON files, so the stand-in collapses the abstraction: [`Serialize`]
+//! writes directly into a [`ser::JsonWriter`], and the derive macro
+//! (re-exported from the vendored `serde_derive`) emits field-by-field
+//! writes for plain structs. [`Deserialize`] is a marker trait — the
+//! workspace derives it on identifier types but never reads anything
+//! back through serde (the wire codec is hand-rolled in
+//! `checkmate-dataflow::codec`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be written as JSON. Implemented by the derive macro
+/// and, below, for the primitive/container types used in experiment
+/// rows.
+pub trait Serialize {
+    fn write_json(&self, w: &mut ser::JsonWriter);
+}
+
+/// Marker counterpart of [`Serialize`]; no data is ever deserialized
+/// through this shim.
+pub trait Deserialize {}
+
+pub mod ser {
+    use super::Serialize;
+
+    /// A pretty-printing JSON emitter (2-space indent, `serde_json`
+    /// `to_string_pretty` style).
+    #[derive(Debug, Default)]
+    pub struct JsonWriter {
+        out: String,
+        indent: usize,
+        /// Whether the current aggregate already has an element (and so
+        /// needs a comma before the next one).
+        needs_comma: bool,
+    }
+
+    impl JsonWriter {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        fn newline_indent(&mut self) {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+
+        fn element_prefix(&mut self) {
+            if self.needs_comma {
+                self.out.push(',');
+            }
+            self.newline_indent();
+            self.needs_comma = false;
+        }
+
+        pub fn begin_object(&mut self) {
+            self.out.push('{');
+            self.indent += 1;
+            self.needs_comma = false;
+        }
+
+        pub fn end_object(&mut self) {
+            self.indent -= 1;
+            if self.needs_comma {
+                self.newline_indent();
+            }
+            self.out.push('}');
+            self.needs_comma = true;
+        }
+
+        pub fn begin_array(&mut self) {
+            self.out.push('[');
+            self.indent += 1;
+            self.needs_comma = false;
+        }
+
+        pub fn end_array(&mut self) {
+            self.indent -= 1;
+            if self.needs_comma {
+                self.newline_indent();
+            }
+            self.out.push(']');
+            self.needs_comma = true;
+        }
+
+        /// Start an object entry: emits `"key": ` and leaves the writer
+        /// ready for the value.
+        pub fn key(&mut self, key: &str) {
+            self.element_prefix();
+            self.string(key);
+            self.out.push_str(": ");
+            self.needs_comma = false;
+        }
+
+        /// Start an array element.
+        pub fn element(&mut self) {
+            self.element_prefix();
+        }
+
+        pub fn string(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+            self.needs_comma = true;
+        }
+
+        pub fn raw(&mut self, s: &str) {
+            self.out.push_str(s);
+            self.needs_comma = true;
+        }
+
+        /// Serialize one object field (used by the derive).
+        pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+            self.key(key);
+            value.write_json(self);
+        }
+    }
+}
+
+use ser::JsonWriter;
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.raw(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                if self.is_finite() {
+                    let s = self.to_string();
+                    w.raw(&s);
+                } else {
+                    // serde_json maps non-finite floats to null.
+                    w.raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_serialize!(f32, f64);
+
+impl Serialize for str {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, w: &mut JsonWriter) {
+        (**self).write_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.write_json(w),
+            None => w.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for item in self {
+            w.element();
+            item.write_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        self.as_slice().write_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        (**self).write_json(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::JsonWriter;
+
+    #[test]
+    fn scalars_and_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field("n", &3u32);
+        w.field("s", &"a\"b");
+        w.field("none", &Option::<u64>::None);
+        w.field("xs", &vec![1u8, 2]);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"n\": 3,\n  \"s\": \"a\\\"b\",\n  \"none\": null,\n  \"xs\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.end_array();
+        assert_eq!(w.finish(), "[]");
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.end_object();
+        assert_eq!(w.finish(), "{}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A hand-rolled derive (no `syn`/`quote` — crates.io is unreachable in
+//! this build environment) covering exactly the shapes this workspace
+//! derives on: plain structs with named fields, tuple structs, and unit
+//! structs, with optional generic parameters whose bounds are written
+//! on the struct declaration (e.g. `Experiment<R: Serialize>`).
+//! `#[derive(Serialize)]` emits field-by-field JSON writes against the
+//! vendored `serde::ser::JsonWriter`; `#[derive(Deserialize)]` emits a
+//! marker impl only, since nothing in the workspace deserializes
+//! through serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let body = match &s.kind {
+        Kind::Named(fields) => {
+            let mut b = String::from("w.begin_object();");
+            for f in fields {
+                b.push_str(&format!("w.field(\"{f}\", &self.{f});"));
+            }
+            b.push_str("w.end_object();");
+            b
+        }
+        Kind::Tuple(1) => "::serde::Serialize::write_json(&self.0, w);".to_string(),
+        Kind::Tuple(n) => {
+            let mut b = String::from("w.begin_array();");
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "w.element(); ::serde::Serialize::write_json(&self.{i}, w);"
+                ));
+            }
+            b.push_str("w.end_array();");
+            b
+        }
+        Kind::Unit => "w.raw(\"null\");".to_string(),
+    };
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{ \
+             fn write_json(&self, w: &mut ::serde::ser::JsonWriter) {{ {body} }} \
+         }}",
+        ig = s.impl_generics,
+        name = s.name,
+        tg = s.type_generics,
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{}}",
+        ig = s.impl_generics,
+        name = s.name,
+        tg = s.type_generics,
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    /// Generics verbatim from the declaration, bounds included.
+    impl_generics: String,
+    /// Parameter names only, for the type position.
+    type_generics: String,
+    kind: Kind,
+}
+
+/// Net change in angle-bracket depth contributed by a punct token.
+fn angle_delta(p: &proc_macro::Punct) -> i32 {
+    match p.as_char() {
+        '<' => 1,
+        '>' => -1,
+        _ => 0,
+    }
+}
+
+fn parse_struct(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility up to the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(_) => continue,
+            None => panic!("serde_derive: only structs are supported"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct name, got {other:?}"),
+    };
+
+    // Generics, if any.
+    let mut impl_generics = String::new();
+    let mut type_generics = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1i32;
+            let mut toks: Vec<TokenTree> = Vec::new();
+            for tok in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    depth += angle_delta(p);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                toks.push(tok);
+            }
+            let inner: String = toks.iter().map(|t| format!("{t} ")).collect();
+            impl_generics = format!("<{inner}>");
+            // Extract parameter names: the first token of each
+            // top-level comma-separated entry (with a leading `'` for
+            // lifetimes).
+            let mut params = Vec::new();
+            let mut depth = 0i32;
+            let mut at_param_start = true;
+            let mut pending_lifetime = false;
+            for tok in &toks {
+                match tok {
+                    TokenTree::Punct(p) => {
+                        depth += angle_delta(p);
+                        if p.as_char() == ',' && depth == 0 {
+                            at_param_start = true;
+                        } else if p.as_char() == '\'' && at_param_start {
+                            pending_lifetime = true;
+                        }
+                    }
+                    TokenTree::Ident(id) if at_param_start => {
+                        let id = id.to_string();
+                        if id == "const" {
+                            continue;
+                        }
+                        params.push(if pending_lifetime {
+                            format!("'{id}")
+                        } else {
+                            id
+                        });
+                        at_param_start = false;
+                        pending_lifetime = false;
+                    }
+                    _ => {}
+                }
+            }
+            type_generics = format!("<{}>", params.join(", "));
+        }
+    }
+
+    // Body: braces (named), parens (tuple), or a bare `;` (unit). A
+    // `where` clause would sit in between, but no derived struct in
+    // this workspace uses one.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break Kind::Named(named_fields(g.stream()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Kind::Tuple(count_tuple_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Kind::Unit,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                panic!("serde_derive: where clauses are not supported; put bounds on the parameters")
+            }
+            Some(_) => continue,
+            None => break Kind::Unit,
+        }
+    };
+
+    Parsed {
+        name,
+        impl_generics,
+        type_generics,
+        kind,
+    }
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        fields.push(name);
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                depth += angle_delta(p);
+                if p.as_char() == ',' && depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tok in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            depth += angle_delta(p);
+            if p.as_char() == ',' && depth == 0 {
+                count += 1;
+            }
+        }
+    }
+    // `(A, B)` has one top-level comma but two fields; a trailing comma
+    // would overcount, but none of the derived structs here use one.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for `serde_json`: the `to_string_pretty` entry
+//! point over the vendored `serde::Serialize`, matching serde_json's
+//! 2-space pretty format for the subset of types the workspace emits.
+
+use serde::ser::JsonWriter;
+use serde::Serialize;
+
+/// Error type kept for signature compatibility; serialization through
+/// the vendored writer is infallible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new();
+    value.write_json(&mut w);
+    Ok(w.finish())
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // The pretty form is the only one the workspace writes; keeping the
+    // compact entry point avoids a needless API divergence.
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        a: u32,
+        b: String,
+        c: Option<u64>,
+    }
+
+    #[derive(Serialize)]
+    struct Wrap(u64);
+
+    #[derive(Serialize)]
+    struct Outer<R: Serialize> {
+        id: String,
+        rows: Vec<R>,
+    }
+
+    #[test]
+    fn derived_struct_pretty() {
+        let r = Row {
+            a: 1,
+            b: "x".into(),
+            c: None,
+        };
+        let s = to_string_pretty(&r).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": \"x\",\n  \"c\": null\n}");
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string_pretty(&Wrap(7)).unwrap(), "7");
+    }
+
+    #[test]
+    fn generic_struct_with_rows() {
+        let o = Outer {
+            id: "t".into(),
+            rows: vec![Wrap(1), Wrap(2)],
+        };
+        let s = to_string_pretty(&o).unwrap();
+        assert!(s.contains("\"id\": \"t\""));
+        assert!(s.contains("\"rows\": [\n    1,\n    2\n  ]"));
+    }
+}
