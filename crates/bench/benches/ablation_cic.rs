@@ -16,7 +16,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("representative_run", |b| {
         b.iter(|| {
-            h.run_at_rate(checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q1), checkmate_core::ProtocolKind::CommunicationInduced, 4, 2_000.0, false, None).sink_records
+            h.run_at_rate(
+                checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q1),
+                checkmate_core::ProtocolKind::CommunicationInduced,
+                4,
+                2_000.0,
+                false,
+                None,
+            )
+            .sink_records
         })
     });
     group.finish();

@@ -16,7 +16,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("representative_run", |b| {
         b.iter(|| {
-            h.run_at_rate(checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q12), checkmate_core::ProtocolKind::Coordinated, 4, 2_000.0, false, checkmate_nexmark::Skew::hot(0.2)).sink_records
+            h.run_at_rate(
+                checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q12),
+                checkmate_core::ProtocolKind::Coordinated,
+                4,
+                2_000.0,
+                false,
+                checkmate_nexmark::Skew::hot(0.2),
+            )
+            .sink_records
         })
     });
     group.finish();

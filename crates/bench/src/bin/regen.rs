@@ -95,4 +95,5 @@ fn main() {
     run_exp!("fig13", fig13);
     run_exp!("tab4", tab4);
     run_exp!("ablation", ablation);
+    run_exp!("storage_sweep", storage_sweep);
 }

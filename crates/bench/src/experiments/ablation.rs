@@ -65,7 +65,17 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
 pub fn render(e: &Experiment<Row>) -> String {
     text_table(
         &e.title,
-        &["query", "workers", "variant", "mst rec/s", "overhead", "ckpts", "forced", "forced %", "avg ct (ms)"],
+        &[
+            "query",
+            "workers",
+            "variant",
+            "mst rec/s",
+            "overhead",
+            "ckpts",
+            "forced",
+            "forced %",
+            "avg ct (ms)",
+        ],
         &e.rows
             .iter()
             .map(|r| {

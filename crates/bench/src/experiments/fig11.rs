@@ -46,7 +46,13 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
 pub fn render(e: &Experiment<Row>) -> String {
     text_table(
         &e.title,
-        &["query", "workers", "protocol", "restart (ms)", "recovery (ms)"],
+        &[
+            "query",
+            "workers",
+            "protocol",
+            "restart (ms)",
+            "recovery (ms)",
+        ],
         &e.rows
             .iter()
             .map(|r| {

@@ -66,7 +66,14 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
 pub fn render(e: &Experiment<Row>) -> String {
     text_table(
         &e.title,
-        &["mst %", "query", "hot %", "protocol", "p50 (ms)", "avg ct (ms)"],
+        &[
+            "mst %",
+            "query",
+            "hot %",
+            "protocol",
+            "p50 (ms)",
+            "avg ct (ms)",
+        ],
         &e.rows
             .iter()
             .map(|r| {

@@ -87,7 +87,14 @@ pub fn render(e: &Experiment<Row>) -> String {
     }
     text_table(
         &e.title,
-        &["query", "workers", "protocol", "p50 pre-fail (ms)", "p50 post (ms)", "peak p99 (ms)"],
+        &[
+            "query",
+            "workers",
+            "protocol",
+            "p50 pre-fail (ms)",
+            "p50 post (ms)",
+            "peak p99 (ms)",
+        ],
         &out_rows,
     )
 }

@@ -9,6 +9,7 @@ pub mod fig13;
 pub mod fig7;
 pub mod fig8;
 pub mod figs9_10;
+pub mod storage_sweep;
 pub mod tab2;
 pub mod tab3;
 pub mod tab4;
@@ -30,8 +31,19 @@ pub const WITH_BASELINE: [ProtocolKind; 4] = [
     ProtocolKind::CommunicationInduced,
 ];
 
-/// All experiment identifiers, in paper order (plus the ablation).
-pub const ALL_IDS: [&str; 11] = [
-    "fig7", "tab2", "fig8", "fig9", "fig10", "fig11", "tab3", "fig12", "fig13", "tab4",
+/// All experiment identifiers, in paper order (plus the ablation and
+/// the storage-sensitivity sweep, which go beyond the paper).
+pub const ALL_IDS: [&str; 12] = [
+    "fig7",
+    "tab2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "tab3",
+    "fig12",
+    "fig13",
+    "tab4",
     "ablation",
+    "storage_sweep",
 ];

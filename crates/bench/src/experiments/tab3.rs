@@ -50,7 +50,15 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
 pub fn render(e: &Experiment<Row>) -> String {
     text_table(
         &e.title,
-        &["workers", "query", "protocol", "total", "forced", "invalid", "invalid %"],
+        &[
+            "workers",
+            "query",
+            "protocol",
+            "total",
+            "forced",
+            "invalid",
+            "invalid %",
+        ],
         &e.rows
             .iter()
             .map(|r| {

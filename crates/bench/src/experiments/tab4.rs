@@ -73,7 +73,15 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
 pub fn render(e: &Experiment<Row>) -> String {
     text_table(
         &e.title,
-        &["workers", "protocol", "avg ct (ms)", "restart (ms)", "invalid %", "forced", "outcome"],
+        &[
+            "workers",
+            "protocol",
+            "avg ct (ms)",
+            "restart (ms)",
+            "invalid %",
+            "forced",
+            "outcome",
+        ],
         &e.rows
             .iter()
             .map(|r| {

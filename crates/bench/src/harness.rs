@@ -155,6 +155,25 @@ impl Harness {
         self.run_at_rate(wl, protocol, parallelism, rate, fail, None)
     }
 
+    /// Like [`Self::run_at_mst`], applying `tweak` to the engine config
+    /// before the run — how experiments vary the storage profile or the
+    /// checkpointing mode while keeping the standard methodology. The
+    /// rate stays pinned to the *default-config* MST, so config effects
+    /// (e.g. a slower store) show up in the metrics rather than being
+    /// absorbed by a different operating point.
+    pub fn run_at_mst_with(
+        &mut self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        mst_fraction: f64,
+        fail: bool,
+        tweak: impl FnOnce(&mut EngineConfig),
+    ) -> RunReport {
+        let rate = self.mst(wl, protocol, parallelism) * mst_fraction;
+        self.run_custom(wl, protocol, parallelism, rate, fail, None, tweak)
+    }
+
     /// Run at an explicit rate (used by the skew experiments, which pin
     /// the rate to fractions of the *non-skewed* MST).
     pub fn run_at_rate(
@@ -166,11 +185,25 @@ impl Harness {
         fail: bool,
         skew: Option<Skew>,
     ) -> RunReport {
+        self.run_custom(wl, protocol, parallelism, total_rate, fail, skew, |_| {})
+    }
+
+    #[allow(clippy::too_many_arguments)] // run-shape knobs, one call layer
+    fn run_custom(
+        &mut self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        total_rate: f64,
+        fail: bool,
+        skew: Option<Skew>,
+        tweak: impl FnOnce(&mut EngineConfig),
+    ) -> RunReport {
         let failure_at = match wl {
             Wl::Cyclic => self.scale.cyclic_failure_at,
             _ => self.scale.failure_at,
         };
-        let cfg = EngineConfig {
+        let mut cfg = EngineConfig {
             total_rate,
             failure: fail.then_some(FailureSpec {
                 at: failure_at,
@@ -178,6 +211,7 @@ impl Harness {
             }),
             ..self.base_cfg(wl, protocol, parallelism)
         };
+        tweak(&mut cfg);
         let workload = self.workload(wl, parallelism, skew);
         let report = Engine::new(&workload, cfg).run();
         if self.verbose {
@@ -203,7 +237,13 @@ mod tests {
     #[test]
     fn steady_run_at_80pct_is_sustainable() {
         let mut h = Harness::new(Scale::quick());
-        let r = h.run_at_mst(Wl::Nexmark(Query::Q12), ProtocolKind::Coordinated, 2, 0.8, false);
+        let r = h.run_at_mst(
+            Wl::Nexmark(Query::Q12),
+            ProtocolKind::Coordinated,
+            2,
+            0.8,
+            false,
+        );
         assert!(r.sustainable, "{}", r.summary());
         assert!(r.sink_records > 100);
     }

@@ -54,7 +54,10 @@ pub fn text_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String
         }
         let _ = writeln!(out, "{}", s.trim_end());
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),

@@ -79,9 +79,12 @@ impl CicState {
     /// Must a checkpoint be forced before delivering this message?
     pub fn should_force(&self, from: usize, pb: &CicPiggyback) -> bool {
         match (self, pb) {
-            (CicState::Hmnr(s), CicPiggyback::Hmnr { lc, ckpt, taken, .. }) => {
-                s.should_force(from, *lc, ckpt, taken)
-            }
+            (
+                CicState::Hmnr(s),
+                CicPiggyback::Hmnr {
+                    lc, ckpt, taken, ..
+                },
+            ) => s.should_force(from, *lc, ckpt, taken),
             (CicState::Bcs(s), CicPiggyback::Bcs { lc }) => s.should_force(*lc),
             _ => panic!("piggyback variant does not match protocol state"),
         }
@@ -172,7 +175,14 @@ impl HmnrState {
         c1 || c2
     }
 
-    fn on_deliver(&mut self, from: usize, m_lc: u64, m_ckpt: &[u32], m_taken: &[bool], m_greater: &[bool]) {
+    fn on_deliver(
+        &mut self,
+        from: usize,
+        m_lc: u64,
+        m_ckpt: &[u32],
+        m_taken: &[bool],
+        m_greater: &[bool],
+    ) {
         // Clock + greater maintenance.
         match m_lc.cmp(&self.lc) {
             std::cmp::Ordering::Greater => {
@@ -377,7 +387,9 @@ mod tests {
         let _ = a.on_send(1);
         let _ = a.on_send(2);
         a.on_checkpoint();
-        let CicState::Hmnr(s) = &a else { unreachable!() };
+        let CicState::Hmnr(s) = &a else {
+            unreachable!()
+        };
         assert!(s.sent_to.iter().all(|&x| !x));
         assert!(s.taken.iter().all(|&x| !x));
         assert_eq!(s.ckpt[0], 1);
@@ -398,7 +410,9 @@ mod tests {
         a.on_deliver(1, &pb);
         assert_eq!(a.lamport_clock(), 5);
         // a is not greater than b (clocks equal now)
-        let CicState::Hmnr(s) = &a else { unreachable!() };
+        let CicState::Hmnr(s) = &a else {
+            unreachable!()
+        };
         assert!(!s.greater[1]);
     }
 

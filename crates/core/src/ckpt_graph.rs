@@ -160,12 +160,7 @@ impl CheckpointGraph {
 mod tests {
     use super::*;
 
-    fn meta(
-        inst: u32,
-        index: u64,
-        sent: &[(u32, u64)],
-        recv: &[(u32, u64)],
-    ) -> CheckpointMeta {
+    fn meta(inst: u32, index: u64, sent: &[(u32, u64)], recv: &[(u32, u64)]) -> CheckpointMeta {
         let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
         m.id = CheckpointId::new(InstanceIdx(inst), index);
         m.sent_wm = sent.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();

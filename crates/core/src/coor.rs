@@ -19,7 +19,10 @@ pub enum MarkerAction {
     Block,
     /// Alignment complete: snapshot now (round `round`), forward markers
     /// on all output channels, then unblock `unblock`.
-    Checkpoint { round: u64, unblock: Vec<ChannelIdx> },
+    Checkpoint {
+        round: u64,
+        unblock: Vec<ChannelIdx>,
+    },
 }
 
 /// Alignment state machine for one non-source operator instance.
@@ -70,7 +73,10 @@ impl CoorAligner {
             align.round
         );
         let newly = align.received.insert(ch);
-        assert!(newly, "duplicate marker on channel {ch:?} for round {round}");
+        assert!(
+            newly,
+            "duplicate marker on channel {ch:?} for round {round}"
+        );
 
         if align.received.len() == self.in_channels.len() {
             let unblock: Vec<ChannelIdx> = align.received.iter().copied().collect();

@@ -1,0 +1,222 @@
+//! Durable checkpoint I/O: the glue between checkpoint metadata and the
+//! storage subsystem.
+//!
+//! [`DurableCheckpoints`] wraps a [`SharedStore`] and owns the key
+//! conventions: whole snapshots under `ckpt/<inst>/<index>`, incremental
+//! chunks under `ckpt/<inst>/<owner>/c<slot>`, and metadata under
+//! `ckptmeta/<inst>/<index>`. The threaded runtime's background uploader
+//! writes through it; recovery — including a recovery in a *fresh
+//! process* over a file-backed store — reads back through it, resolving
+//! chunk chains via each manifest.
+
+use crate::meta::CheckpointMeta;
+use crate::snapshot::{
+    self, assemble, plan_snapshot, IncrementalPolicy, SnapshotManifest, UploadPlan,
+};
+use checkmate_dataflow::graph::InstanceIdx;
+use checkmate_dataflow::Codec;
+use checkmate_storage::SharedStore;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Checkpoint reader/writer over a shared durable store.
+#[derive(Debug, Clone)]
+pub struct DurableCheckpoints {
+    store: SharedStore,
+}
+
+impl DurableCheckpoints {
+    pub fn new(store: SharedStore) -> Self {
+        Self { store }
+    }
+
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Upload checkpoint state. With a policy, plans an incremental
+    /// upload against `prev` and PUTs only fresh chunks; without one,
+    /// PUTs the whole snapshot. Returns the meta fragments the caller
+    /// folds into its [`CheckpointMeta`]: `(state_key, manifest,
+    /// uploaded_bytes)`.
+    pub fn write_state(
+        &self,
+        inst: InstanceIdx,
+        index: u64,
+        state: &[u8],
+        prev: Option<&SnapshotManifest>,
+        policy: Option<&IncrementalPolicy>,
+    ) -> (String, Option<SnapshotManifest>, u64) {
+        match policy {
+            Some(policy) => {
+                let UploadPlan {
+                    manifest, objects, ..
+                } = plan_snapshot(inst, index, state, prev, policy);
+                let uploaded: u64 = objects.iter().map(|(_, b)| b.len() as u64).sum();
+                for (key, bytes) in objects {
+                    self.store.put(key, bytes);
+                }
+                (String::new(), Some(manifest), uploaded)
+            }
+            None => {
+                let key = snapshot::state_key(inst, index);
+                self.store.put(key.clone(), state.to_vec());
+                (key, None, state.len() as u64)
+            }
+        }
+    }
+
+    /// Persist checkpoint metadata so that recovery can start from the
+    /// store alone (no surviving coordinator memory).
+    pub fn persist_meta(&self, meta: &CheckpointMeta) {
+        self.store.put(
+            snapshot::meta_key(meta.id.instance, meta.id.index),
+            meta.to_bytes(),
+        );
+    }
+
+    /// Load every persisted checkpoint meta, keyed by `(instance,
+    /// index)` — what a restarted coordinator feeds the recovery-line
+    /// computation.
+    pub fn load_metas(&self) -> BTreeMap<(InstanceIdx, u64), CheckpointMeta> {
+        let mut out = BTreeMap::new();
+        for key in self.store.list("ckptmeta/") {
+            let Some(bytes) = self.store.get(&key) else {
+                continue;
+            };
+            let meta = CheckpointMeta::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("corrupt checkpoint meta {key}: {e}"));
+            out.insert((meta.id.instance, meta.id.index), meta);
+        }
+        out
+    }
+
+    /// Fetch and reassemble the state snapshot of `meta`. `None` for the
+    /// implicit initial checkpoint (no durable state). Panics loudly on
+    /// missing objects: recovery must never silently proceed from a
+    /// half-fetched snapshot.
+    pub fn read_state(&self, meta: &CheckpointMeta) -> Option<Vec<u8>> {
+        if let Some(manifest) = &meta.manifest {
+            let store = Arc::clone(&self.store);
+            let bytes = assemble(meta.id.instance, manifest, |key| store.get(key))
+                .unwrap_or_else(|e| panic!("recovery of {:?} failed: {e}", meta.id));
+            return Some(bytes);
+        }
+        if meta.state_key.is_empty() {
+            return None;
+        }
+        Some(
+            self.store
+                .get(&meta.state_key)
+                .unwrap_or_else(|| panic!("recovery needs GC'd checkpoint {}", meta.state_key))
+                .to_vec(),
+        )
+    }
+
+    /// Delete every durable object a discarded (post-recovery-line)
+    /// checkpoint owns: its whole-snapshot object, its chunk objects and
+    /// its metadata. Sound because chunk references only point backward
+    /// in time — no older checkpoint can reference a newer one's chunks.
+    pub fn delete_checkpoint(&self, meta: &CheckpointMeta) {
+        if !meta.state_key.is_empty() {
+            self.store.delete(&meta.state_key);
+        }
+        if meta.manifest.is_some() {
+            let prefix = format!("{}/", snapshot::state_key(meta.id.instance, meta.id.index));
+            self.store.delete_prefix(&prefix);
+        }
+        self.store
+            .delete(&snapshot::meta_key(meta.id.instance, meta.id.index));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{CheckpointId, CheckpointKind};
+    use checkmate_storage::ObjectStore;
+
+    fn meta_with(inst: u32, index: u64) -> CheckpointMeta {
+        let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
+        m.id = CheckpointId::new(InstanceIdx(inst), index);
+        m.kind = CheckpointKind::Local;
+        m
+    }
+
+    #[test]
+    fn full_snapshot_roundtrip() {
+        let d = DurableCheckpoints::new(ObjectStore::shared());
+        let state = vec![42u8; 300];
+        let (key, manifest, uploaded) = d.write_state(InstanceIdx(1), 5, &state, None, None);
+        assert_eq!(key, "ckpt/1/5");
+        assert!(manifest.is_none());
+        assert_eq!(uploaded, 300);
+        let mut m = meta_with(1, 5);
+        m.state_key = key;
+        m.state_bytes = 300;
+        assert_eq!(d.read_state(&m).unwrap(), state);
+    }
+
+    #[test]
+    fn incremental_roundtrip_and_meta_persistence() {
+        let d = DurableCheckpoints::new(ObjectStore::shared());
+        let policy = IncrementalPolicy {
+            chunking: crate::snapshot::ChunkerConfig::with_avg(64),
+            rebase_every: 100,
+        };
+        let state1: Vec<u8> = (0..4000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let (_, man1, up1) = d.write_state(InstanceIdx(0), 1, &state1, None, Some(&policy));
+        assert_eq!(up1, 4000);
+        let mut state2 = state1.clone();
+        state2.extend_from_slice(&[9u8; 200]);
+        let (_, man2, up2) =
+            d.write_state(InstanceIdx(0), 2, &state2, man1.as_ref(), Some(&policy));
+        assert!(up2 < 1000, "incremental upload was {up2}");
+
+        let mut m1 = meta_with(0, 1);
+        m1.manifest = man1;
+        m1.state_bytes = state1.len() as u64;
+        let mut m2 = meta_with(0, 2);
+        m2.manifest = man2;
+        m2.state_bytes = state2.len() as u64;
+        d.persist_meta(&m1);
+        d.persist_meta(&m2);
+
+        // A fresh handle over the same store recovers everything.
+        let d2 = DurableCheckpoints::new(Arc::clone(d.store()));
+        let metas = d2.load_metas();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(d2.read_state(&metas[&(InstanceIdx(0), 2)]).unwrap(), state2);
+        assert_eq!(d2.read_state(&metas[&(InstanceIdx(0), 1)]).unwrap(), state1);
+    }
+
+    #[test]
+    fn delete_checkpoint_removes_owned_objects_only() {
+        let d = DurableCheckpoints::new(ObjectStore::shared());
+        let policy = IncrementalPolicy::default();
+        let state: Vec<u8> = (0..3000u32).map(|i| (i % 256) as u8).collect();
+        let (_, man1, _) = d.write_state(InstanceIdx(2), 1, &state, None, Some(&policy));
+        let mut grown = state.clone();
+        grown.extend_from_slice(&[1u8; 100]);
+        let (_, man2, _) = d.write_state(InstanceIdx(2), 2, &grown, man1.as_ref(), Some(&policy));
+        let mut m2 = meta_with(2, 2);
+        m2.manifest = man2.clone();
+        d.persist_meta(&m2);
+        let before = d.store().object_count();
+        d.delete_checkpoint(&m2);
+        // Checkpoint 1's chunks survive; checkpoint 2's objects are gone.
+        assert!(d.store().object_count() < before);
+        let mut m1 = meta_with(2, 1);
+        m1.manifest = man1;
+        assert_eq!(d.read_state(&m1).unwrap(), state);
+        assert!(d.store().list("ckpt/2/2/").is_empty());
+    }
+
+    #[test]
+    fn initial_checkpoint_has_no_state() {
+        let d = DurableCheckpoints::new(ObjectStore::shared());
+        assert!(d
+            .read_state(&CheckpointMeta::initial(InstanceIdx(0), true))
+            .is_none());
+    }
+}

@@ -8,9 +8,9 @@
 //! *trace* view (ground truth for Z-path analysis).
 
 use crate::cic::{CicPiggyback, CicState};
+use crate::ckpt_graph::{ChannelTriple, CheckpointGraph};
 use crate::meta::{ChannelBook, CheckpointId, CheckpointKind, CheckpointMeta};
 use crate::zpath::TraceMsg;
-use crate::ckpt_graph::{ChannelTriple, CheckpointGraph};
 use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -98,11 +98,14 @@ impl AbstractExec {
         let ch = self.channel(i, j);
         let seq = self.books[i].next_send(ch);
         let pb = self.cic.as_mut().map(|states| states[i].on_send(j));
-        self.in_flight.entry((i, j)).or_default().push_back(InFlight {
-            seq,
-            send_interval: self.counts[i],
-            pb,
-        });
+        self.in_flight
+            .entry((i, j))
+            .or_default()
+            .push_back(InFlight {
+                seq,
+                send_interval: self.counts[i],
+                pb,
+            });
     }
 
     /// Deliver the oldest in-flight message on `i → j`; returns false when
@@ -156,6 +159,7 @@ impl AbstractExec {
             source_offset: None,
             state_key: String::new(),
             state_bytes: 0,
+            manifest: None,
         });
         if let Some(states) = &mut self.cic {
             states[p].on_checkpoint();
@@ -228,8 +232,8 @@ mod tests {
         e.send(0, 1);
         e.deliver(0, 1); // received in interval 0 of P1... then:
         e.checkpoint(1); // c(1,1) reflects the delivery
-        // c(0,1).sent = 0 but message sent after it; c(1,1).recv = 1 →
-        // orphan edge c(0,1) → c(1,1): roll P1 back.
+                         // c(0,1).sent = 0 but message sent after it; c(1,1).recv = 1 →
+                         // orphan edge c(0,1) → c(1,1): roll P1 back.
         let out = rollback_propagation(&e.graph());
         assert_eq!(out.line[&InstanceIdx(0)].index, 1);
         assert_eq!(out.line[&InstanceIdx(1)].index, 0);

@@ -13,6 +13,11 @@
 //!   watermarks;
 //! - [`recovery`] — rollback propagation (paper Algorithm 1) and the
 //!   coordinated recovery line;
+//! - [`snapshot`] — incremental (content-defined-chunked) snapshot
+//!   manifests: planning, reassembly, and the store key conventions;
+//! - [`durable`] — checkpoint I/O over the pluggable storage subsystem
+//!   (`checkmate-storage`), including durable metadata for
+//!   restart-from-store recovery;
 //! - [`zpath`] — ground-truth Z-path/Z-cycle analysis used to validate the
 //!   protocols;
 //! - [`exec`] — an abstract execution model for protocol-level testing
@@ -24,17 +29,26 @@
 pub mod cic;
 pub mod ckpt_graph;
 pub mod coor;
+pub mod durable;
 pub mod exec;
 pub mod meta;
 pub mod protocol;
 pub mod recovery;
+pub mod snapshot;
 pub mod zpath;
 
 pub use cic::{BcsState, CicPiggyback, CicState, HmnrState};
 pub use ckpt_graph::{ChannelTriple, CheckpointGraph};
 pub use coor::{CoorAligner, MarkerAction};
+pub use durable::DurableCheckpoints;
 pub use exec::{AbstractExec, AbstractProtocol};
 pub use meta::{ChannelBook, CheckpointId, CheckpointKind, CheckpointMeta};
 pub use protocol::ProtocolKind;
 pub use recovery::{coordinated_line, rollback_propagation, RecoveryOutcome};
-pub use zpath::{is_consistent, on_z_cycle, orphans, useless_checkpoints, z_path_exists, Ckpt, TraceMsg};
+pub use snapshot::{
+    assemble, plan_snapshot, split_chunks, ChunkRef, ChunkerConfig, IncrementalPolicy,
+    SnapshotManifest, UploadPlan,
+};
+pub use zpath::{
+    is_consistent, on_z_cycle, orphans, useless_checkpoints, z_path_exists, Ckpt, TraceMsg,
+};

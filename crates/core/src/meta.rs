@@ -8,6 +8,7 @@
 //! graph (paper Fig. 4) is built from and what replay/deduplication keys
 //! on.
 
+use crate::snapshot::SnapshotManifest;
 use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
 use checkmate_dataflow::{Codec, Dec, DecodeError, Enc, Time};
 use std::collections::BTreeMap;
@@ -74,10 +75,16 @@ pub struct CheckpointMeta {
     pub sent_wm: BTreeMap<ChannelIdx, u64>,
     /// Source cursor (next offset to read) for source instances.
     pub source_offset: Option<u64>,
-    /// Object-store key of the serialized state.
+    /// Object-store key of the serialized state — set for whole-object
+    /// (non-incremental) snapshots, empty otherwise.
     pub state_key: String,
-    /// Serialized state size in bytes.
+    /// Serialized state size in bytes (the full snapshot size, even when
+    /// only a fraction of it was uploaded incrementally).
     pub state_bytes: u64,
+    /// Chunk manifest of an incremental snapshot: where every chunk of
+    /// the state lives (possibly owned by an earlier checkpoint). `None`
+    /// for whole-object snapshots and the implicit initial checkpoint.
+    pub manifest: Option<SnapshotManifest>,
 }
 
 impl CheckpointMeta {
@@ -94,6 +101,22 @@ impl CheckpointMeta {
             source_offset: if is_source { Some(0) } else { None },
             state_key: String::new(),
             state_bytes: 0,
+            manifest: None,
+        }
+    }
+
+    /// Does this checkpoint have durable state to fetch at recovery?
+    /// (False only for the implicit initial checkpoint.)
+    pub fn has_state(&self) -> bool {
+        !self.state_key.is_empty() || self.manifest.is_some()
+    }
+
+    /// Objects a recovery GET must fetch for this checkpoint.
+    pub fn fetch_objects(&self) -> usize {
+        match &self.manifest {
+            Some(m) => m.chunks.len(),
+            None if self.state_key.is_empty() => 0,
+            None => 1,
         }
     }
 
@@ -109,6 +132,118 @@ impl CheckpointMeta {
     /// time (see [`ChannelBook::total_received`]).
     pub fn det_pos(&self) -> u64 {
         self.recv_wm.values().sum()
+    }
+}
+
+impl Codec for CheckpointKind {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            CheckpointKind::Initial => {
+                enc.u8(0);
+            }
+            CheckpointKind::Coordinated { round } => {
+                enc.u8(1).u64(*round);
+            }
+            CheckpointKind::Local => {
+                enc.u8(2);
+            }
+            CheckpointKind::Forced => {
+                enc.u8(3);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.u8()? {
+            0 => CheckpointKind::Initial,
+            1 => CheckpointKind::Coordinated { round: dec.u64()? },
+            2 => CheckpointKind::Local,
+            3 => CheckpointKind::Forced,
+            _ => {
+                return Err(DecodeError {
+                    context: "unknown checkpoint kind tag",
+                    offset: 0,
+                })
+            }
+        })
+    }
+}
+
+fn encode_wm(enc: &mut Enc, wm: &BTreeMap<ChannelIdx, u64>) {
+    enc.u32(wm.len() as u32);
+    for (ch, seq) in wm {
+        enc.u32(ch.0).u64(*seq);
+    }
+}
+
+fn decode_wm(dec: &mut Dec<'_>) -> Result<BTreeMap<ChannelIdx, u64>, DecodeError> {
+    let n = dec.u32()? as usize;
+    let mut wm = BTreeMap::new();
+    for _ in 0..n {
+        let ch = ChannelIdx(dec.u32()?);
+        wm.insert(ch, dec.u64()?);
+    }
+    Ok(wm)
+}
+
+/// Checkpoint metadata is itself durable when the store must survive a
+/// full process restart (the file-backed backend): the uploader persists
+/// each meta under `ckptmeta/<instance>/<index>`, and a restarted
+/// coordinator reloads the whole map before computing a recovery line.
+impl Codec for CheckpointMeta {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u32(self.id.instance.0).u64(self.id.index);
+        self.kind.encode(enc);
+        enc.u64(self.taken_at).u64(self.durable_at);
+        encode_wm(enc, &self.recv_wm);
+        encode_wm(enc, &self.sent_wm);
+        match self.source_offset {
+            Some(o) => {
+                enc.bool(true).u64(o);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+        enc.str(&self.state_key).u64(self.state_bytes);
+        match &self.manifest {
+            Some(m) => {
+                enc.bool(true);
+                m.encode(enc);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let id = CheckpointId::new(InstanceIdx(dec.u32()?), dec.u64()?);
+        let kind = CheckpointKind::decode(dec)?;
+        let taken_at = dec.u64()?;
+        let durable_at = dec.u64()?;
+        let recv_wm = decode_wm(dec)?;
+        let sent_wm = decode_wm(dec)?;
+        let source_offset = if dec.bool()? { Some(dec.u64()?) } else { None };
+        let state_key = dec.str()?.to_string();
+        let state_bytes = dec.u64()?;
+        let manifest = if dec.bool()? {
+            Some(SnapshotManifest::decode(dec)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            id,
+            kind,
+            taken_at,
+            durable_at,
+            recv_wm,
+            sent_wm,
+            source_offset,
+            state_key,
+            state_bytes,
+            manifest,
+        })
     }
 }
 

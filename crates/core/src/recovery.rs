@@ -100,7 +100,10 @@ pub fn coordinated_line(metas: &[CheckpointMeta]) -> BTreeMap<InstanceIdx, Check
             .kind
             .round()
             .expect("coordinated_line expects coordinated/initial checkpoints only");
-        per_inst.entry(m.id.instance).or_default().insert(round, m.id);
+        per_inst
+            .entry(m.id.instance)
+            .or_default()
+            .insert(round, m.id);
     }
     // Highest round present for all instances.
     let mut common: Option<BTreeSet<u64>> = None;
@@ -127,12 +130,7 @@ mod tests {
     use crate::meta::CheckpointKind;
     use checkmate_dataflow::graph::ChannelIdx;
 
-    fn meta(
-        inst: u32,
-        index: u64,
-        sent: &[(u32, u64)],
-        recv: &[(u32, u64)],
-    ) -> CheckpointMeta {
+    fn meta(inst: u32, index: u64, sent: &[(u32, u64)], recv: &[(u32, u64)]) -> CheckpointMeta {
         let mut m = CheckpointMeta::initial(InstanceIdx(inst), false);
         m.id = CheckpointId::new(InstanceIdx(inst), index);
         m.sent_wm = sent.iter().map(|(c, s)| (ChannelIdx(*c), *s)).collect();

@@ -1,0 +1,458 @@
+//! Incremental (chunked) checkpoint snapshots.
+//!
+//! A serialized operator snapshot is split into content-defined chunks
+//! (a gear rolling hash picks the boundaries, so inserting bytes in the
+//! middle of the state shifts at most the chunks around the edit, not
+//! every chunk after it). Each checkpoint uploads only the chunks whose
+//! content hash the previous checkpoint's manifest does not already
+//! carry; unchanged chunks are *referenced* — `(owner, slot)` points at
+//! the checkpoint that last uploaded the bytes. Reference chains are cut
+//! by periodic full **rebases** (every chunk re-uploaded under the new
+//! checkpoint), which bounds how far back recovery GETs and GC liveness
+//! analysis must walk.
+//!
+//! The manifest travels inside [`crate::meta::CheckpointMeta`]; planning
+//! ([`plan_snapshot`]) and reassembly ([`assemble`]) are pure so the
+//! virtual-time engine can price uploads without doing them, while the
+//! threaded runtime and [`crate::durable::DurableCheckpoints`] perform
+//! real PUTs/GETs.
+
+use checkmate_dataflow::graph::InstanceIdx;
+use checkmate_dataflow::{Codec, Dec, DecodeError, Enc};
+
+// ---------------------------------------------------------------------
+// keys
+// ---------------------------------------------------------------------
+
+/// Store key of a whole (non-incremental) snapshot object.
+pub fn state_key(inst: InstanceIdx, index: u64) -> String {
+    format!("ckpt/{}/{}", inst.0, index)
+}
+
+/// Store key of chunk `slot` uploaded by checkpoint `owner` of `inst`.
+pub fn chunk_key(inst: InstanceIdx, owner: u64, slot: u32) -> String {
+    format!("ckpt/{}/{}/c{}", inst.0, owner, slot)
+}
+
+/// Store key of the durable metadata object of a checkpoint.
+pub fn meta_key(inst: InstanceIdx, index: u64) -> String {
+    format!("ckptmeta/{}/{}", inst.0, index)
+}
+
+/// Store key prefix covering every object of one instance's checkpoints.
+pub fn instance_prefix(inst: InstanceIdx) -> String {
+    format!("ckpt/{}/", inst.0)
+}
+
+// ---------------------------------------------------------------------
+// manifest
+// ---------------------------------------------------------------------
+
+/// One chunk of a snapshot: where its bytes live and what they hash to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Checkpoint index whose upload owns the chunk object.
+    pub owner: u64,
+    /// Slot within the owner's upload (its chunk position at the time).
+    pub slot: u32,
+    pub len: u32,
+    /// FNV-1a 64 content hash — the dedup identity together with `len`.
+    pub hash: u64,
+}
+
+/// The chunk map of one checkpoint's state snapshot, in state order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotManifest {
+    pub total_len: u64,
+    pub chunks: Vec<ChunkRef>,
+}
+
+impl SnapshotManifest {
+    /// Bytes this manifest's checkpoint re-used from earlier uploads.
+    pub fn reused_bytes(&self, own_index: u64) -> u64 {
+        self.chunks
+            .iter()
+            .filter(|c| c.owner != own_index)
+            .map(|c| c.len as u64)
+            .sum()
+    }
+
+    /// Smallest owner index referenced (the tail of the chunk chain).
+    pub fn oldest_owner(&self) -> Option<u64> {
+        self.chunks.iter().map(|c| c.owner).min()
+    }
+}
+
+impl Codec for SnapshotManifest {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.total_len).u32(self.chunks.len() as u32);
+        for c in &self.chunks {
+            enc.u64(c.owner).u32(c.slot).u32(c.len).u64(c.hash);
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let total_len = dec.u64()?;
+        let n = dec.u32()? as usize;
+        let mut chunks = Vec::with_capacity(n);
+        for _ in 0..n {
+            chunks.push(ChunkRef {
+                owner: dec.u64()?,
+                slot: dec.u32()?,
+                len: dec.u32()?,
+                hash: dec.u64()?,
+            });
+        }
+        Ok(Self { total_len, chunks })
+    }
+}
+
+// ---------------------------------------------------------------------
+// chunking
+// ---------------------------------------------------------------------
+
+/// Content-defined chunking parameters. `avg` must be a power of two;
+/// boundaries are declared where the rolling hash's low `log2(avg)` bits
+/// are zero, clamped to `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    pub avg: usize,
+    pub min: usize,
+    pub max: usize,
+}
+
+impl ChunkerConfig {
+    pub fn with_avg(avg: usize) -> Self {
+        assert!(
+            avg.is_power_of_two(),
+            "avg chunk size must be a power of two"
+        );
+        Self {
+            avg,
+            min: (avg / 4).max(1),
+            max: avg * 4,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.avg.is_power_of_two());
+        assert!(0 < self.min && self.min <= self.avg && self.avg <= self.max);
+    }
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        Self::with_avg(1024)
+    }
+}
+
+/// Incremental-checkpoint policy: chunking parameters plus the rebase
+/// period. `rebase_every = n` re-uploads the full state on every n-th
+/// checkpoint index; `1` degenerates to full snapshots in chunked form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalPolicy {
+    pub chunking: ChunkerConfig,
+    pub rebase_every: u64,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> Self {
+        Self {
+            chunking: ChunkerConfig::default(),
+            rebase_every: 16,
+        }
+    }
+}
+
+impl IncrementalPolicy {
+    pub fn is_rebase(&self, index: u64) -> bool {
+        self.rebase_every <= 1 || index % self.rebase_every == 0
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Gear table entry for byte `b` (splitmix64 of a fixed seed).
+fn gear(b: u8) -> u64 {
+    let mut z = (b as u64).wrapping_add(0x9E37_79B9_7F4A_7C15 ^ 0xC4EC_C4EC);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Split `data` into content-defined chunks; returns `(offset, len,
+/// hash)` per chunk, covering `data` exactly. Deterministic.
+pub fn split_chunks(data: &[u8], cfg: ChunkerConfig) -> Vec<(usize, usize, u64)> {
+    cfg.validate();
+    let mask = (cfg.avg - 1) as u64;
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < data.len() {
+        let mut h: u64 = 0;
+        let mut end = (start + cfg.max).min(data.len());
+        for (i, &b) in data[start..end].iter().enumerate() {
+            h = (h << 1).wrapping_add(gear(b));
+            if i + 1 >= cfg.min && h & mask == 0 {
+                end = start + i + 1;
+                break;
+            }
+        }
+        out.push((start, end - start, fnv1a(&data[start..end])));
+        start = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// planning & assembly
+// ---------------------------------------------------------------------
+
+/// What a checkpoint must upload, and the manifest describing the whole
+/// snapshot afterwards.
+#[derive(Debug, Clone)]
+pub struct UploadPlan {
+    pub manifest: SnapshotManifest,
+    /// Chunk objects to upload: `(store key, bytes)`.
+    pub objects: Vec<(String, Vec<u8>)>,
+    /// Bytes referenced from earlier checkpoints instead of re-uploaded.
+    pub reused_bytes: u64,
+}
+
+impl UploadPlan {
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.objects.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+}
+
+/// Plan the upload of checkpoint `index` of `inst` holding `state`.
+///
+/// With `prev = Some(manifest of the previous durable checkpoint)` and
+/// no rebase due, chunks whose `(hash, len)` appear in `prev` are
+/// referenced rather than re-uploaded; everything else (and everything,
+/// on a rebase or first checkpoint) is uploaded under this checkpoint's
+/// ownership.
+pub fn plan_snapshot(
+    inst: InstanceIdx,
+    index: u64,
+    state: &[u8],
+    prev: Option<&SnapshotManifest>,
+    policy: &IncrementalPolicy,
+) -> UploadPlan {
+    let rebase = policy.is_rebase(index) || prev.is_none();
+    let chunks = split_chunks(state, policy.chunking);
+    let prev_by_hash: std::collections::BTreeMap<(u64, u32), ChunkRef> = match (rebase, prev) {
+        (false, Some(p)) => p.chunks.iter().map(|c| ((c.hash, c.len), *c)).collect(),
+        _ => Default::default(),
+    };
+    let mut manifest = SnapshotManifest {
+        total_len: state.len() as u64,
+        chunks: Vec::with_capacity(chunks.len()),
+    };
+    let mut objects = Vec::new();
+    let mut reused_bytes = 0u64;
+    for (slot, (off, len, hash)) in chunks.into_iter().enumerate() {
+        if let Some(old) = prev_by_hash.get(&(hash, len as u32)) {
+            manifest.chunks.push(*old);
+            reused_bytes += len as u64;
+        } else {
+            let r = ChunkRef {
+                owner: index,
+                slot: slot as u32,
+                len: len as u32,
+                hash,
+            };
+            manifest.chunks.push(r);
+            objects.push((
+                chunk_key(inst, index, slot as u32),
+                state[off..off + len].to_vec(),
+            ));
+        }
+    }
+    UploadPlan {
+        manifest,
+        objects,
+        reused_bytes,
+    }
+}
+
+/// Reassemble a snapshot from its manifest, fetching chunk objects with
+/// `fetch` (chunk chains resolve through the `owner` in each ref).
+pub fn assemble(
+    inst: InstanceIdx,
+    manifest: &SnapshotManifest,
+    mut fetch: impl FnMut(&str) -> Option<bytes::Bytes>,
+) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(manifest.total_len as usize);
+    for c in &manifest.chunks {
+        let key = chunk_key(inst, c.owner, c.slot);
+        let bytes = fetch(&key).ok_or_else(|| format!("missing chunk object {key}"))?;
+        if bytes.len() != c.len as usize {
+            return Err(format!(
+                "chunk {key}: stored {} bytes, manifest says {}",
+                bytes.len(),
+                c.len
+            ));
+        }
+        out.extend_from_slice(&bytes);
+    }
+    if out.len() != manifest.total_len as usize {
+        return Err(format!(
+            "assembled {} bytes, manifest says {}",
+            out.len(),
+            manifest.total_len
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const INST: InstanceIdx = InstanceIdx(4);
+
+    fn cfg() -> ChunkerConfig {
+        ChunkerConfig::with_avg(64)
+    }
+
+    fn policy() -> IncrementalPolicy {
+        IncrementalPolicy {
+            chunking: cfg(),
+            rebase_every: 1000,
+        }
+    }
+
+    fn test_data(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .map(|i| (gear((i as u64 ^ seed) as u8) >> 5) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly_and_deterministically() {
+        let data = test_data(10_000, 1);
+        let a = split_chunks(&data, cfg());
+        let b = split_chunks(&data, cfg());
+        assert_eq!(a, b);
+        let mut off = 0;
+        for (o, l, _) in &a {
+            assert_eq!(*o, off);
+            assert!(*l >= 1 && *l <= cfg().max);
+            off += l;
+        }
+        assert_eq!(off, data.len());
+        // Average chunk size should be in the right ballpark.
+        assert!(a.len() > 10_000 / (cfg().max + 1));
+    }
+
+    #[test]
+    fn middle_insert_dirties_few_chunks() {
+        let base = test_data(20_000, 2);
+        let mut edited = base.clone();
+        edited.splice(9_000..9_000, [7u8; 13]); // insert 13 bytes mid-state
+        let a: std::collections::BTreeSet<u64> = split_chunks(&base, cfg())
+            .into_iter()
+            .map(|(_, _, h)| h)
+            .collect();
+        let b: Vec<(usize, usize, u64)> = split_chunks(&edited, cfg());
+        let fresh = b.iter().filter(|(_, _, h)| !a.contains(h)).count();
+        assert!(
+            fresh <= 4,
+            "insert should dirty a handful of chunks, got {fresh}/{}",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn plan_dedups_against_previous_manifest() {
+        let state1 = test_data(8_000, 3);
+        let p1 = plan_snapshot(INST, 1, &state1, None, &policy());
+        assert_eq!(p1.reused_bytes, 0);
+        assert_eq!(p1.uploaded_bytes(), 8_000);
+
+        // Unchanged state: everything referenced, nothing uploaded.
+        let p2 = plan_snapshot(INST, 2, &state1, Some(&p1.manifest), &policy());
+        assert!(p2.objects.is_empty());
+        assert_eq!(p2.reused_bytes, 8_000);
+        assert!(p2.manifest.chunks.iter().all(|c| c.owner == 1));
+
+        // Append: only the tail chunks upload.
+        let mut state3 = state1.clone();
+        state3.extend_from_slice(&test_data(500, 4));
+        let p3 = plan_snapshot(INST, 3, &state3, Some(&p2.manifest), &policy());
+        assert!(
+            p3.uploaded_bytes() < 2_000,
+            "uploaded {}",
+            p3.uploaded_bytes()
+        );
+        assert!(p3.reused_bytes > 6_000);
+    }
+
+    #[test]
+    fn rebase_reuploads_everything() {
+        let pol = IncrementalPolicy {
+            chunking: cfg(),
+            rebase_every: 4,
+        };
+        let state = test_data(4_000, 5);
+        let p1 = plan_snapshot(INST, 1, &state, None, &pol);
+        let p2 = plan_snapshot(INST, 2, &state, Some(&p1.manifest), &pol);
+        assert_eq!(p2.uploaded_bytes(), 0);
+        let p4 = plan_snapshot(INST, 4, &state, Some(&p2.manifest), &pol);
+        assert_eq!(p4.uploaded_bytes(), 4_000, "index 4 is a rebase");
+        assert!(p4.manifest.chunks.iter().all(|c| c.owner == 4));
+    }
+
+    #[test]
+    fn assemble_roundtrips_through_a_store_map() {
+        let pol = policy();
+        let mut store: BTreeMap<String, bytes::Bytes> = BTreeMap::new();
+        let state1 = test_data(6_000, 6);
+        let p1 = plan_snapshot(INST, 1, &state1, None, &pol);
+        for (k, v) in &p1.objects {
+            store.insert(k.clone(), bytes::Bytes::from(v.clone()));
+        }
+        let mut state2 = state1.clone();
+        state2.truncate(5_500);
+        state2.extend_from_slice(&test_data(900, 7));
+        let p2 = plan_snapshot(INST, 2, &state2, Some(&p1.manifest), &pol);
+        for (k, v) in &p2.objects {
+            store.insert(k.clone(), bytes::Bytes::from(v.clone()));
+        }
+        // Chunk chain: checkpoint 2 references checkpoint 1's objects.
+        assert!(p2.manifest.chunks.iter().any(|c| c.owner == 1));
+        let got1 = assemble(INST, &p1.manifest, |k| store.get(k).cloned()).unwrap();
+        assert_eq!(got1, state1);
+        let got2 = assemble(INST, &p2.manifest, |k| store.get(k).cloned()).unwrap();
+        assert_eq!(got2, state2);
+        // Missing chunk is a loud error.
+        store.clear();
+        assert!(assemble(INST, &p2.manifest, |k| store.get(k).cloned()).is_err());
+    }
+
+    #[test]
+    fn manifest_codec_roundtrip() {
+        let state = test_data(3_000, 8);
+        let m = plan_snapshot(INST, 9, &state, None, &policy()).manifest;
+        let bytes = m.to_bytes();
+        assert_eq!(SnapshotManifest::from_bytes(&bytes).unwrap(), m);
+        assert_eq!(m.oldest_owner(), Some(9));
+        assert_eq!(m.reused_bytes(9), 0);
+    }
+
+    #[test]
+    fn keys_are_namespaced() {
+        assert_eq!(state_key(INST, 3), "ckpt/4/3");
+        assert_eq!(chunk_key(INST, 3, 2), "ckpt/4/3/c2");
+        assert_eq!(meta_key(INST, 3), "ckptmeta/4/3");
+        assert!(state_key(INST, 3).starts_with(&instance_prefix(INST)));
+    }
+}

@@ -174,6 +174,71 @@ proptest! {
         }
     }
 
+    /// GC safety: the engine reclaims a checkpoint only when it is both
+    /// outside the retention window and strictly older than the current
+    /// recovery line (`Engine::gc_after`). This property is what makes
+    /// that sound: recovery lines are monotone — a line member remains
+    /// pairwise-consistent with every other member forever, and rollback
+    /// propagation returns the maximal consistent line — so the line
+    /// computed at *any* later failure point never needs a checkpoint the
+    /// policy already reclaimed. The test replays the engine's GC
+    /// decisions over random executions and checks every subsequent
+    /// step's line against the reclaimed floor (every step is a possible
+    /// failure point).
+    #[test]
+    fn gc_never_deletes_checkpoints_a_later_line_needs(
+        ops in proptest::collection::vec(op_strategy(3), 0..150),
+        retention in 1u64..4,
+        proto in prop_oneof![
+            Just(AbstractProtocol::Uncoordinated),
+            Just(AbstractProtocol::CicHmnr),
+        ],
+    ) {
+        let mut e = AbstractExec::new(3, proto);
+        // Per instance: lowest checkpoint index NOT reclaimed yet.
+        let mut gc_floor = [0u64; 3];
+        for op in ops {
+            let ckpt_step = matches!(op, Op::Checkpoint { .. });
+            match op {
+                Op::Send { from, to } => {
+                    let (f, t) = (from as usize % 3, to as usize % 3);
+                    if f != t {
+                        e.send(f, t);
+                    }
+                }
+                Op::Deliver { from, to } => {
+                    let (f, t) = (from as usize % 3, to as usize % 3);
+                    if f != t {
+                        e.deliver(f, t);
+                    }
+                }
+                Op::Checkpoint { p } => e.checkpoint(p as usize % 3),
+            }
+            let line = line_vec(&e);
+            // Every step is a potential failure point: the line must
+            // never reach below what GC already reclaimed.
+            for p in 0..3 {
+                prop_assert!(
+                    line[p] >= gc_floor[p],
+                    "line {line:?} needs instance {p} index {} but GC reclaimed below {}",
+                    line[p],
+                    gc_floor[p]
+                );
+            }
+            // After a checkpoint, run the engine's GC policy: reclaim
+            // up to min(retention window, current line).
+            if ckpt_step {
+                for p in 0..3 {
+                    let latest = e.counts()[p];
+                    if latest > retention {
+                        let floor = (latest - retention).min(line[p]);
+                        gc_floor[p] = gc_floor[p].max(floor);
+                    }
+                }
+            }
+        }
+    }
+
     /// Abstract executions are deterministic: same ops → same trace,
     /// same checkpoint metadata, same recovery line.
     #[test]

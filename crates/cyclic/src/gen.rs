@@ -47,7 +47,12 @@ impl LinkStream {
     }
 
     fn is_add(&self, partition: u32, offset: u64) -> bool {
-        h(self.seed, offset * self.partitions as u64 + partition as u64, 10) % 100 < 75
+        h(
+            self.seed,
+            offset * self.partitions as u64 + partition as u64,
+            10,
+        ) % 100
+            < 75
     }
 
     /// The link endpoints introduced by an *add* at `offset`.
@@ -113,7 +118,12 @@ impl SourceNodeStream {
     }
 
     fn is_add(&self, partition: u32, offset: u64) -> bool {
-        h(self.seed, offset * self.partitions as u64 + partition as u64, 20) % 100 < 75
+        h(
+            self.seed,
+            offset * self.partitions as u64 + partition as u64,
+            20,
+        ) % 100
+            < 75
     }
 
     fn node_of(&self, partition: u32, offset: u64) -> u64 {

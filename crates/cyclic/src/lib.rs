@@ -14,5 +14,7 @@ pub mod ops;
 pub mod query;
 
 pub use gen::{LinkStream, SourceNodeStream, LINK_SHARE, SOURCE_SHARE, TAG_ADD, TAG_DEL};
-pub use ops::{ReachJoinOp, ReachProjectOp, ReachSelectOp, MAX_PATH, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES};
+pub use ops::{
+    ReachJoinOp, ReachProjectOp, ReachSelectOp, MAX_PATH, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES,
+};
 pub use query::{reachability, DEFAULT_NODES};

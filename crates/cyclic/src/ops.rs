@@ -201,9 +201,7 @@ impl Operator for ReachProjectOp {
             return;
         }
         path.push(Value::U64(v));
-        let reach = Value::Tuple(
-            vec![Value::U64(source), Value::U64(v), Value::List(path)].into(),
-        );
+        let reach = Value::Tuple(vec![Value::U64(source), Value::U64(v), Value::List(path)].into());
         // Output to the sink...
         ctx.emit_to(0, rec.derive(v, reach.clone()));
         // ...and recursively back into the join, keyed by the new node.
@@ -240,7 +238,11 @@ mod tests {
     }
 
     fn source(tag: u64, s: u64) -> Record {
-        Record::new(s, Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()), 0)
+        Record::new(
+            s,
+            Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()),
+            0,
+        )
     }
 
     fn drive(op: &mut dyn Operator, port: PortId, rec: Record) -> Vec<(usize, Record)> {
@@ -345,7 +347,12 @@ mod tests {
         let pair = Record::new(
             9,
             Value::Tuple(
-                vec![Value::U64(9), Value::U64(5), Value::List(vec![Value::U64(5)])].into(),
+                vec![
+                    Value::U64(9),
+                    Value::U64(5),
+                    Value::List(vec![Value::U64(5)]),
+                ]
+                .into(),
             ),
             0,
         );

@@ -3,7 +3,9 @@
 //! select → project → feedback.
 
 use crate::gen::{LinkStream, SourceNodeStream, LINK_SHARE, SOURCE_SHARE};
-use crate::ops::{ReachJoinOp, ReachProjectOp, ReachSelectOp, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES};
+use crate::ops::{
+    ReachJoinOp, ReachProjectOp, ReachSelectOp, PORT_FEEDBACK, PORT_LINKS, PORT_SOURCES,
+};
 use checkmate_dataflow::ops::{DigestSinkOp, PassThroughOp};
 use checkmate_dataflow::{EdgeKind, GraphBuilder};
 use checkmate_engine::workload::{StreamSpec, Workload};
@@ -18,8 +20,16 @@ pub fn reachability(parallelism: u32, seed: u64, nodes: u64) -> Workload {
     let links = b.source("links", 0, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
     let sources = b.source("sources", 1, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
     let join = b.op("join", 320_000, Arc::new(|_| Box::new(ReachJoinOp::new())));
-    let select = b.op("select", 140_000, Arc::new(|_| Box::<ReachSelectOp>::default()));
-    let project = b.op("project", 160_000, Arc::new(|_| Box::<ReachProjectOp>::default()));
+    let select = b.op(
+        "select",
+        140_000,
+        Arc::new(|_| Box::<ReachSelectOp>::default()),
+    );
+    let project = b.op(
+        "project",
+        160_000,
+        Arc::new(|_| Box::<ReachProjectOp>::default()),
+    );
     let sink = b.sink("sink", 90_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
     b.connect_port(links, join, EdgeKind::Shuffle, PORT_LINKS);
     b.connect_port(sources, join, EdgeKind::Shuffle, PORT_SOURCES);

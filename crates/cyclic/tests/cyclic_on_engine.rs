@@ -37,7 +37,11 @@ fn unc_and_cic_run_the_cyclic_query() {
         let wl = reachability(3, 13, 50_000);
         let r = Engine::new(&wl, cfg(3, p)).run();
         assert_eq!(r.outcome, Outcome::Completed, "{p}: {}", r.summary());
-        assert!(r.sink_records > 20, "{p}: no reach outputs ({})", r.summary());
+        assert!(
+            r.sink_records > 20,
+            "{p}: no reach outputs ({})",
+            r.summary()
+        );
         assert!(r.checkpoints_total > 0, "{p}: no checkpoints");
     }
 }
@@ -76,9 +80,15 @@ fn cyclic_exactly_once_under_failure_unc_and_cic() {
         let clean = Engine::new(&wl(), bounded(false)).run();
         let failed = Engine::new(&wl(), bounded(true)).run();
         assert_eq!(clean.outcome, Outcome::Drained, "{p}: {}", clean.summary());
-        assert_eq!(failed.outcome, Outcome::Drained, "{p}: {}", failed.summary());
         assert_eq!(
-            failed.sink_digest, clean.sink_digest,
+            failed.outcome,
+            Outcome::Drained,
+            "{p}: {}",
+            failed.summary()
+        );
+        assert_eq!(
+            failed.sink_digest,
+            clean.sink_digest,
             "{p}: cyclic exactly-once violated\nclean:  {}\nfailed: {}",
             clean.summary(),
             failed.summary()
@@ -101,7 +111,11 @@ fn no_domino_effect_on_the_cyclic_query() {
         at: 9 * SECONDS,
         worker: WorkerId(1),
     });
-    let r = Engine::new(&reachability(3, 13, checkmate_cyclic::DEFAULT_NODES), config).run();
+    let r = Engine::new(
+        &reachability(3, 13, checkmate_cyclic::DEFAULT_NODES),
+        config,
+    )
+    .run();
     assert!(
         r.checkpoints_total > 0,
         "need checkpoints to judge: {}",

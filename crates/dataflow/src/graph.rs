@@ -45,7 +45,9 @@ impl EdgeKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpRole {
     /// Reads an external stream (identified by workload stream id).
-    Source { stream: u32 },
+    Source {
+        stream: u32,
+    },
     Transform,
     /// Terminal operator; the engine measures end-to-end latency here.
     Sink,
@@ -109,7 +111,9 @@ impl fmt::Display for GraphError {
             GraphError::UnknownOp(id) => write!(f, "edge references unknown operator {id}"),
             GraphError::SourceHasInput(id) => write!(f, "source {id} has an input edge"),
             GraphError::SinkHasOutput(id) => write!(f, "sink {id} has an output edge"),
-            GraphError::UndeclaredCycle => write!(f, "graph has a cycle not closed by a Feedback edge"),
+            GraphError::UndeclaredCycle => {
+                write!(f, "graph has a cycle not closed by a Feedback edge")
+            }
             GraphError::SpuriousFeedback => write!(f, "feedback edge declared on an acyclic path"),
             GraphError::NoSources => write!(f, "graph has no source operators"),
             GraphError::NoSink => write!(f, "graph has no sink operator"),
@@ -159,7 +163,13 @@ impl GraphBuilder {
         self.connect_port(from, to, kind, PortId(0))
     }
 
-    pub fn connect_port(&mut self, from: OpId, to: OpId, kind: EdgeKind, port: PortId) -> &mut Self {
+    pub fn connect_port(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        kind: EdgeKind,
+        port: PortId,
+    ) -> &mut Self {
         self.edges.push(LogicalEdge {
             from,
             to,
@@ -372,10 +382,7 @@ impl PhysicalGraph {
                     let idx = ChannelIdx(channels.len() as u32);
                     channels.push(ChannelMeta {
                         idx,
-                        id: ChannelId::new(
-                            InstanceId::new(e.from, i),
-                            InstanceId::new(e.to, j),
-                        ),
+                        id: ChannelId::new(InstanceId::new(e.from, i), InstanceId::new(e.to, j)),
                         from,
                         to,
                         port: e.to_port,

@@ -161,8 +161,14 @@ mod tests {
     #[test]
     fn filter_drops() {
         let mut op = FilterOp::new(|r| r.key % 2 == 0);
-        assert_eq!(drive_once(&mut op, PortId(0), Record::new(1, Value::Unit, 0), 0).len(), 0);
-        assert_eq!(drive_once(&mut op, PortId(0), Record::new(2, Value::Unit, 0), 0).len(), 1);
+        assert_eq!(
+            drive_once(&mut op, PortId(0), Record::new(1, Value::Unit, 0), 0).len(),
+            0
+        );
+        assert_eq!(
+            drive_once(&mut op, PortId(0), Record::new(2, Value::Unit, 0), 0).len(),
+            1
+        );
     }
 
     #[test]

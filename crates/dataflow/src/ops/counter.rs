@@ -31,10 +31,14 @@ impl KeyedCounterOp {
 
 impl Operator for KeyedCounterOp {
     fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
-        let n = self.counts.upsert(rec.key, || 0, |c| {
-            *c += 1;
-            *c
-        });
+        let n = self.counts.upsert(
+            rec.key,
+            || 0,
+            |c| {
+                *c += 1;
+                *c
+            },
+        );
         ctx.emit(rec.derive(
             rec.key,
             Value::Tuple(vec![Value::U64(rec.key), Value::U64(n)].into()),

@@ -47,7 +47,8 @@ impl Operator for IncrementalJoinOp {
     fn on_record(&mut self, port: PortId, rec: Record, ctx: &mut OpCtx) {
         let key = rec.key;
         if port == PortId::LEFT {
-            self.left.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.left
+                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
             if let Some(matches) = self.right.get(key) {
                 for rv in matches {
                     ctx.emit(rec.derive(
@@ -57,7 +58,8 @@ impl Operator for IncrementalJoinOp {
                 }
             }
         } else {
-            self.right.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.right
+                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
             if let Some(matches) = self.left.get(key) {
                 for lv in matches {
                     ctx.emit(rec.derive(

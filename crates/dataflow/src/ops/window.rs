@@ -50,7 +50,8 @@ impl Operator for WindowJoinOp {
         self.roll(ctx.now);
         let key = rec.key;
         if port == PortId::LEFT {
-            self.left.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.left
+                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
             if let Some(matches) = self.right.get(key) {
                 for rv in matches {
                     ctx.emit(rec.derive(
@@ -60,7 +61,8 @@ impl Operator for WindowJoinOp {
                 }
             }
         } else {
-            self.right.upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.right
+                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
             if let Some(matches) = self.left.get(key) {
                 for lv in matches {
                     ctx.emit(rec.derive(
@@ -136,14 +138,27 @@ impl WindowedCountOp {
 impl Operator for WindowedCountOp {
     fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
         self.roll(ctx.now);
-        let n = self.counts.upsert(rec.key, || 0, |c| {
-            *c += 1;
-            *c
-        });
-        ctx.emit(rec.derive(
+        let n = self.counts.upsert(
             rec.key,
-            Value::Tuple(vec![Value::U64(rec.key), Value::U64(n), Value::U64(self.current_window)].into()),
-        ));
+            || 0,
+            |c| {
+                *c += 1;
+                *c
+            },
+        );
+        ctx.emit(
+            rec.derive(
+                rec.key,
+                Value::Tuple(
+                    vec![
+                        Value::U64(rec.key),
+                        Value::U64(n),
+                        Value::U64(self.current_window),
+                    ]
+                    .into(),
+                ),
+            ),
+        );
         ctx.set_timer((self.current_window + 1) * self.window_ns);
     }
 

@@ -122,7 +122,12 @@ impl<V: ByteSized> KeyedState<V> {
 impl<V: ByteSized> KeyedState<V> {
     /// `update` requires the default to be pre-counted; this entry-style
     /// helper inserts the default with correct accounting, then mutates.
-    pub fn upsert<R>(&mut self, key: u64, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+    pub fn upsert<R>(
+        &mut self,
+        key: u64,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
         if !self.map.contains_key(&key) {
             self.insert(key, default());
         }

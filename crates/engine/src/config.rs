@@ -1,8 +1,9 @@
 //! Engine run configuration.
 
-use checkmate_core::ProtocolKind;
+use checkmate_core::{IncrementalPolicy, ProtocolKind};
 use checkmate_dataflow::WorkerId;
 use checkmate_sim::{CostModel, SimTime, MILLIS, SECONDS};
+use checkmate_storage::StorageProfile;
 
 /// A failure to inject: kill `worker` at `at` (virtual time). The paper
 /// introduces a failure on the 18th second of each 60-second run (§VII-A).
@@ -19,8 +20,20 @@ pub struct EngineConfig {
     pub parallelism: u32,
     /// Checkpointing protocol under evaluation.
     pub protocol: ProtocolKind,
-    /// Calibrated resource costs.
+    /// Calibrated resource costs (CPU, network, control plane).
     pub cost: CostModel,
+    /// Declared performance of the durable checkpoint store. The engine
+    /// prices every checkpoint PUT and recovery GET from this profile —
+    /// storage-sensitivity sweeps swap it for `StorageProfile::ram()`,
+    /// `local_ssd()`, `s3_wan()`, … The default matches the cost-model
+    /// constants the engine historically used (MinIO over the LAN).
+    pub storage: StorageProfile,
+    /// Incremental (chunked) checkpoints: `Some(policy)` splits each
+    /// snapshot into content-defined chunks and uploads only the chunks
+    /// changed since the instance's previous checkpoint, with periodic
+    /// full rebases. `None` uploads whole snapshots (the paper's
+    /// behaviour).
+    pub incremental: Option<IncrementalPolicy>,
     /// Total input rate in records/second, split across source streams by
     /// their `rate_share` and then across partitions.
     pub total_rate: f64,
@@ -66,6 +79,8 @@ impl Default for EngineConfig {
             parallelism: 2,
             protocol: ProtocolKind::Coordinated,
             cost: CostModel::default(),
+            storage: StorageProfile::minio_lan(),
+            incremental: None,
             total_rate: 1_000.0,
             checkpoint_interval: 5 * SECONDS,
             checkpoint_jitter: 0.2,

@@ -13,15 +13,17 @@ use crate::report::{LatencySeries, Outcome, RunReport};
 use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
 use checkmate_core::{
-    coordinated_line, rollback_propagation, ChannelTriple, CheckpointGraph, CheckpointId,
-    CheckpointKind, CheckpointMeta, CoorAligner, MarkerAction, ProtocolKind,
+    coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
+    CheckpointKind, CheckpointMeta, CoorAligner, DurableCheckpoints, MarkerAction, ProtocolKind,
 };
 use checkmate_dataflow::graph::{ChannelIdx, EdgeKind, InstanceIdx};
 use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{OpCtx, OpId, OpRole, PhysicalGraph, PortId, Record};
 use checkmate_sim::{derive_seed, EventQueue, SimRng, SimTime, MILLIS};
-use checkmate_storage::ObjectStore;
-use checkmate_wal::{ChannelLog, DeterminantLog, EventStream, Schedule, SourceLog, DET_ENTRY_BYTES};
+use checkmate_storage::{MemBackend, ObjectStore, SharedStore};
+use checkmate_wal::{
+    ChannelLog, DeterminantLog, EventStream, Schedule, SourceLog, DET_ENTRY_BYTES,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -64,7 +66,9 @@ enum Ev {
     UploadDone {
         winc: u32,
         meta: CheckpointMeta,
-        state: Vec<u8>,
+        /// Objects the upload ships: the whole snapshot, or only the
+        /// fresh chunks of an incremental checkpoint.
+        objects: Vec<(String, Vec<u8>)>,
     },
     Fail,
     Detect,
@@ -94,7 +98,7 @@ pub struct Engine {
     name: String,
     logs: Vec<SourceLog<Arc<dyn EventStream>>>,
     rates_pp: Vec<f64>,
-    store: ObjectStore,
+    store: SharedStore,
     queue: EventQueue<(u32, Ev)>,
     now: SimTime,
     epoch: u32,
@@ -110,6 +114,24 @@ pub struct Engine {
     metrics: Metrics,
     halted: Option<Outcome>,
     events: u64,
+    /// Checkpoint-GC bookkeeping: per instance, the lowest index whose
+    /// durable objects have not been reclaimed yet.
+    gc_low: BTreeMap<InstanceIdx, u64>,
+    /// Uploads captured but not durable yet: per instance, checkpoint
+    /// index → oldest chunk owner its manifest references. GC must not
+    /// reclaim past these — a durable sibling's sweep cannot see an
+    /// in-flight manifest's references. Entries clear when the upload
+    /// lands; dropped uploads (worker death) clear at recovery.
+    inflight_floors: BTreeMap<InstanceIdx, BTreeMap<u64, u64>>,
+    /// Chunk objects whose owner checkpoint was reclaimed but which a
+    /// retained manifest still referenced at sweep time (per instance,
+    /// as `(owner, slot)`), reconsidered on later sweeps.
+    gc_deferred: BTreeMap<InstanceIdx, BTreeSet<(u64, u32)>>,
+    /// Cached recovery-line indices bounding what GC may delete, and
+    /// when they were computed (refreshed at checkpoint-interval
+    /// granularity; invalidated at recovery).
+    safe_line: BTreeMap<InstanceIdx, u64>,
+    safe_line_at: Option<SimTime>,
 }
 
 impl Engine {
@@ -152,6 +174,7 @@ impl Engine {
         let n_instances = pg.n_instances();
         let logging = cfg.protocol.logs_messages();
         let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
+        let storage_profile = cfg.storage;
         Self {
             coord: Coordinator::new(cfg.protocol),
             cfg,
@@ -159,7 +182,7 @@ impl Engine {
             name: workload.name.clone(),
             logs,
             rates_pp,
-            store: ObjectStore::new(),
+            store: ObjectStore::shared_with(Arc::new(MemBackend::with_profile(storage_profile))),
             queue: EventQueue::new(),
             now: 0,
             epoch: 0,
@@ -181,6 +204,11 @@ impl Engine {
             metrics: Metrics::default(),
             halted: None,
             events: 0,
+            gc_low: BTreeMap::new(),
+            inflight_floors: BTreeMap::new(),
+            gc_deferred: BTreeMap::new(),
+            safe_line: BTreeMap::new(),
+            safe_line_at: None,
         }
     }
 
@@ -271,10 +299,7 @@ impl Engine {
                     return;
                 }
                 let ch = self.pg.channel(msg.channel);
-                let (from_w, to_w) = (
-                    self.worker_of_inst(ch.from),
-                    self.worker_of_inst(ch.to),
-                );
+                let (from_w, to_w) = (self.worker_of_inst(ch.from), self.worker_of_inst(ch.to));
                 if self.workers[from_w].incarnation != src_winc
                     || self.workers[to_w].incarnation != dst_winc
                     || self.workers[to_w].down
@@ -317,7 +342,10 @@ impl Engine {
                 let w = self.worker_of_inst(inst);
                 let op = self.pg.instance_id(inst).op;
                 // Re-arm first (jittered period), then queue the work.
-                let next = self.now + self.rng.jitter(self.cfg.checkpoint_interval, self.cfg.checkpoint_jitter);
+                let next = self.now
+                    + self
+                        .rng
+                        .jitter(self.cfg.checkpoint_interval, self.cfg.checkpoint_jitter);
                 self.push_at(next, Ev::CkptTimer { inst });
                 if self.workers[w].down || self.workers[w].paused {
                     return;
@@ -330,25 +358,26 @@ impl Engine {
                     return;
                 }
                 let w = worker as usize;
-                self.workers[w].instance_mut(op).scheduled_timers.remove(&self.now);
+                self.workers[w]
+                    .instance_mut(op)
+                    .scheduled_timers
+                    .remove(&self.now);
                 self.workers[w].due_timers.insert((self.now, op));
                 self.try_dispatch(w);
             }
             Ev::RoundStart { round } => {
                 // Rounds are coordinator-driven and survive epochs; skip
                 // while recovering.
-                self.push_at(self.now + self.cfg.checkpoint_interval, Ev::RoundStart { round: round + 1 });
+                self.push_at(
+                    self.now + self.cfg.checkpoint_interval,
+                    Ev::RoundStart { round: round + 1 },
+                );
                 if self.workers.iter().any(|w| w.paused) {
                     return;
                 }
                 self.coord.round = round;
                 self.coord.round_started_at.insert(round, self.now);
-                let sources: Vec<OpId> = self
-                    .pg
-                    .logical()
-                    .sources()
-                    .map(|o| o.id)
-                    .collect();
+                let sources: Vec<OpId> = self.pg.logical().sources().map(|o| o.id).collect();
                 for w in 0..self.workers.len() {
                     for &op in &sources {
                         let winc = self.workers[w].incarnation;
@@ -363,7 +392,10 @@ impl Engine {
                         );
                     }
                 }
-                self.push_at(self.now + self.cfg.deadlock_timeout, Ev::DeadlockCheck { round });
+                self.push_at(
+                    self.now + self.cfg.deadlock_timeout,
+                    Ev::DeadlockCheck { round },
+                );
             }
             Ev::TriggerArrive {
                 worker,
@@ -387,7 +419,11 @@ impl Engine {
                 }
                 self.check_deadlock(round);
             }
-            Ev::UploadDone { winc, meta, state } => {
+            Ev::UploadDone {
+                winc,
+                meta,
+                objects,
+            } => {
                 if epoch != self.epoch {
                     return;
                 }
@@ -395,7 +431,7 @@ impl Engine {
                 if self.workers[w].incarnation != winc {
                     return; // upload died with the worker
                 }
-                self.finish_upload(meta, state);
+                self.finish_upload(meta, objects);
             }
             Ev::Fail => self.on_fail(),
             Ev::Detect => self.on_detect(),
@@ -513,15 +549,13 @@ impl Engine {
             }
             match self.workers[w].instances[op_i].det_replay.front().copied() {
                 None => {
-                    let parked =
-                        std::mem::take(&mut self.workers[w].instances[op_i].det_parked);
+                    let parked = std::mem::take(&mut self.workers[w].instances[op_i].det_parked);
                     for (_, (key, msg)) in parked {
                         self.workers[w].queue.insert(key, msg);
                     }
                 }
                 Some(front) => {
-                    if let Some(entry) = self.workers[w].instances[op_i].det_parked.get(&front)
-                    {
+                    if let Some(entry) = self.workers[w].instances[op_i].det_parked.get(&front) {
                         let key = entry.0;
                         if best_parked.is_none_or(|(bk, _, _)| key < bk) {
                             best_parked = Some((key, op_i, front));
@@ -540,8 +574,7 @@ impl Engine {
         loop {
             let key = match cursor {
                 None => self.workers[w].queue.first_key_value().map(|(&k, _)| k),
-                Some(prev) => self
-                    .workers[w]
+                Some(prev) => self.workers[w]
                     .queue
                     .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
                     .next()
@@ -619,7 +652,10 @@ impl Engine {
             let (stream, offset) = {
                 let inst = &self.workers[w].instances[op_i];
                 let Some(stream) = inst.stream else { continue };
-                (stream as usize, inst.cursor.expect("source has cursor").next_offset)
+                (
+                    stream as usize,
+                    inst.cursor.expect("source has cursor").next_offset,
+                )
             };
             if self.logs[stream].poll(w as u32, offset, self.now).is_some() {
                 self.workers[w].src_rr = (op_i + 1) % n_ops;
@@ -638,7 +674,13 @@ impl Engine {
         worker.running = true;
         worker.busy_until = t_done;
         let winc = worker.incarnation;
-        self.push_at(t_done, Ev::TaskDone { worker: w as u32, winc });
+        self.push_at(
+            t_done,
+            Ev::TaskDone {
+                worker: w as u32,
+                winc,
+            },
+        );
         t_done
     }
 
@@ -805,7 +847,10 @@ impl Engine {
         record: Record,
     ) -> (Vec<(usize, Record)>, Vec<SimTime>) {
         let mut ctx = OpCtx::new(self.now);
-        self.workers[w].instance_mut(op).op.on_record(port, record, &mut ctx);
+        self.workers[w]
+            .instance_mut(op)
+            .op
+            .on_record(port, record, &mut ctx);
         ctx.take()
     }
 
@@ -822,7 +867,14 @@ impl Engine {
             }
         }
         for t in to_schedule {
-            self.push_at(t, Ev::OpTimer { worker: w as u32, winc, op });
+            self.push_at(
+                t,
+                Ev::OpTimer {
+                    worker: w as u32,
+                    winc,
+                    op,
+                },
+            );
         }
     }
 
@@ -888,7 +940,11 @@ impl Engine {
         }
         self.metrics.payload_bytes += msg.payload_bytes() as u64;
         self.metrics.protocol_bytes += msg.overhead_bytes() as u64;
-        self.ship(w, msg, self.workers[w].busy_until.max(self.now) /* placeholder */);
+        self.ship(
+            w,
+            msg,
+            self.workers[w].busy_until.max(self.now), /* placeholder */
+        );
         service
     }
 
@@ -942,14 +998,36 @@ impl Engine {
     }
 
     /// Capture a checkpoint of instance `(w, op)`; returns the CPU cost of
-    /// serializing the snapshot. The upload completes asynchronously.
+    /// serializing the snapshot. The upload completes asynchronously, its
+    /// duration priced from the store backend's declared profile: one
+    /// pipelined PUT of the uploaded bytes (whole snapshot, or only the
+    /// fresh chunks of an incremental checkpoint).
     fn take_checkpoint(&mut self, w: usize, op: OpId, kind: CheckpointKind) -> SimTime {
         let winc = self.workers[w].incarnation;
-        let (meta, state) = {
+        let incremental = self.cfg.incremental;
+        let (meta, objects, state_len) = {
             let inst = self.workers[w].instance_mut(op);
             inst.ckpt_index += 1;
             let state = inst.snapshot_bytes();
+            let state_len = state.len();
             let (recv_wm, sent_wm) = inst.book.watermarks();
+            let (state_key, manifest, objects) = match &incremental {
+                Some(policy) => {
+                    let plan = snapshot::plan_snapshot(
+                        inst.idx,
+                        inst.ckpt_index,
+                        &state,
+                        inst.last_manifest.as_ref(),
+                        policy,
+                    );
+                    inst.last_manifest = Some(plan.manifest.clone());
+                    (String::new(), Some(plan.manifest), plan.objects)
+                }
+                None => {
+                    let key = snapshot::state_key(inst.idx, inst.ckpt_index);
+                    (key.clone(), None, vec![(key, state)])
+                }
+            };
             let meta = CheckpointMeta {
                 id: CheckpointId::new(inst.idx, inst.ckpt_index),
                 kind,
@@ -958,27 +1036,56 @@ impl Engine {
                 recv_wm,
                 sent_wm,
                 source_offset: inst.cursor.map(|c| c.next_offset),
-                state_key: format!("ckpt/{}/{}", inst.idx.0, inst.ckpt_index),
-                state_bytes: state.len() as u64,
+                state_key,
+                state_bytes: state_len as u64,
+                manifest,
             };
             if let Some(cic) = inst.cic.as_mut() {
                 cic.on_checkpoint();
             }
-            (meta, state)
+            (meta, objects, state_len)
         };
-        let service = self.cfg.cost.snapshot_ns(state.len());
-        let durable =
-            self.now + service + self.cfg.cost.store_put_ns(state.len()) + self.cfg.cost.control_latency_ns;
+        // Until this upload lands, GC must not reclaim past the oldest
+        // chunk owner its manifest references (the manifest is invisible
+        // to the liveness scan, which only sees durable metas).
+        let needs_floor = meta
+            .manifest
+            .as_ref()
+            .and_then(|m| m.oldest_owner())
+            .unwrap_or(meta.id.index);
+        self.inflight_floors
+            .entry(meta.id.instance)
+            .or_default()
+            .insert(meta.id.index, needs_floor);
+        let service = self.cfg.cost.snapshot_ns(state_len);
+        let uploaded: usize = objects.iter().map(|(_, b)| b.len()).sum();
+        let profile = self.store.profile();
+        let durable = self.now
+            + service
+            + profile.put_many_ns(objects.len().max(1), uploaded)
+            + self.cfg.cost.control_latency_ns;
         // Metadata traffic to the coordinator is protocol overhead.
         self.metrics.protocol_bytes += 64;
-        self.push_at(durable, Ev::UploadDone { winc, meta, state });
+        self.push_at(
+            durable,
+            Ev::UploadDone {
+                winc,
+                meta,
+                objects,
+            },
+        );
         service
     }
 
-    fn finish_upload(&mut self, mut meta: CheckpointMeta, state: Vec<u8>) {
+    fn finish_upload(&mut self, mut meta: CheckpointMeta, objects: Vec<(String, Vec<u8>)>) {
         meta.durable_at = self.now;
-        self.store.put(meta.state_key.clone(), state);
+        for (key, bytes) in objects {
+            self.store.put(key, bytes);
+        }
         let inst = meta.id.instance;
+        if let Some(pending) = self.inflight_floors.get_mut(&inst) {
+            pending.remove(&meta.id.index);
+        }
         let round = match meta.kind {
             CheckpointKind::Coordinated { round } => Some(round),
             _ => None,
@@ -991,9 +1098,7 @@ impl Engine {
                     if meta.kind.is_forced() {
                         self.metrics.checkpoints_forced += 1;
                     }
-                    self.coord
-                        .ckpt_durations
-                        .push(self.now - meta.taken_at);
+                    self.coord.ckpt_durations.push(self.now - meta.taken_at);
                 }
             }
         }
@@ -1014,26 +1119,92 @@ impl Engine {
     /// Checkpoint space reclamation: drop state objects beyond the
     /// retention window and truncate channel logs below what retained
     /// checkpoints can still need.
+    ///
+    /// Reclamation is bounded by the *current recovery line*: a
+    /// checkpoint is deleted only once it is both outside the retention
+    /// window and strictly older than what the protocol's recovery-line
+    /// computation would pick today. Lines are monotone — a line member
+    /// stays consistent with every other member forever, and rollback
+    /// propagation returns the maximal consistent line — so nothing a
+    /// *future* failure needs is ever deleted (property-tested in
+    /// `checkmate-core`). Incremental checkpoints add chunk liveness on
+    /// top: a reclaimed checkpoint's chunk objects survive as long as
+    /// any retained manifest still references them, and are reconsidered
+    /// on later sweeps (compaction).
     fn gc_after(&mut self, meta: &CheckpointMeta) {
         let retention = self.cfg.checkpoint_retention;
         if meta.id.index <= retention {
             return;
         }
-        let old_index = meta.id.index - retention;
-        if let Some(old) = self.coord.metas.get(&(meta.id.instance, old_index)) {
+        let inst = meta.id.instance;
+        let window_floor = meta.id.index - retention;
+        let low = self.gc_low.get(&inst).copied().unwrap_or(0);
+        if low >= window_floor {
+            return;
+        }
+        // Never reclaim past the oldest chunk owner an in-flight upload
+        // of this instance still references: its manifest is not in
+        // `coord.metas` yet, so the liveness scan below cannot see it.
+        let inflight_floor = self
+            .inflight_floors
+            .get(&inst)
+            .and_then(|pending| pending.values().min().copied())
+            .unwrap_or(u64::MAX);
+        let floor = window_floor.min(self.safe_floor(inst)).min(inflight_floor);
+        if floor <= low {
+            return;
+        }
+        // Chunks owned by reclaimed checkpoints but still referenced by
+        // a retained manifest of this instance.
+        let live: BTreeSet<(u64, u32)> = self
+            .coord
+            .metas
+            .range((inst, floor)..=(inst, u64::MAX))
+            .filter_map(|(_, m)| m.manifest.as_ref())
+            .flat_map(|man| {
+                man.chunks
+                    .iter()
+                    .filter(|c| c.owner < floor)
+                    .map(|c| (c.owner, c.slot))
+            })
+            .collect();
+        let deferred = self.gc_deferred.entry(inst).or_default();
+        for idx in low..floor {
+            let Some(old) = self.coord.metas.get(&(inst, idx)) else {
+                continue;
+            };
             if !old.state_key.is_empty() {
+                // Whole snapshots are never referenced by other
+                // checkpoints; delete immediately.
                 self.store.delete(&old.state_key);
             }
+            if let Some(man) = &old.manifest {
+                deferred.extend(
+                    man.chunks
+                        .iter()
+                        .filter(|c| c.owner == idx)
+                        .map(|c| (c.owner, c.slot)),
+                );
+            }
         }
+        let dead: Vec<(u64, u32)> = deferred
+            .iter()
+            .filter(|p| !live.contains(p))
+            .copied()
+            .collect();
+        for (owner, slot) in dead {
+            deferred.remove(&(owner, slot));
+            self.store.delete(&snapshot::chunk_key(inst, owner, slot));
+        }
+        self.gc_low.insert(inst, floor);
         // Truncate in-channel logs below the oldest retained receive
         // watermark of this instance.
         if self.chan_logs.is_empty() {
             return;
         }
-        if let Some(oldest) = self.coord.metas.get(&(meta.id.instance, old_index)) {
+        if let Some(oldest) = self.coord.metas.get(&(inst, floor)) {
             let det_floor = oldest.det_pos();
-            let in_channels: Vec<ChannelIdx> =
-                self.pg.in_channels_of(meta.id.instance).to_vec();
+            let in_channels: Vec<ChannelIdx> = self.pg.in_channels_of(inst).to_vec();
             for ch in in_channels {
                 let wm = oldest.received_on(ch);
                 if wm > 0 {
@@ -1041,34 +1212,34 @@ impl Engine {
                 }
             }
             if !self.det_logs.is_empty() {
-                self.det_logs[meta.id.instance.0 as usize].truncate_below(det_floor);
+                self.det_logs[inst.0 as usize].truncate_below(det_floor);
             }
         }
     }
 
-    // ------------------------------------------------------------------
-    // failure & recovery
-    // ------------------------------------------------------------------
-
-    fn on_fail(&mut self) {
-        let w = self.cfg.failure.expect("Fail event requires spec").worker.0 as usize;
-        let worker = &mut self.workers[w];
-        worker.down = true;
-        worker.incarnation += 1;
-        worker.clear_volatile();
-        self.coord.failed_worker = Some(w as u32);
-        self.push_at(self.now + self.cfg.cost.failure_detect_ns, Ev::Detect);
+    /// Per-instance index of the current recovery line, cached and
+    /// refreshed at checkpoint-interval granularity — the floor below
+    /// which checkpoint GC may reclaim.
+    fn safe_floor(&mut self, inst: InstanceIdx) -> u64 {
+        let stale = match self.safe_line_at {
+            None => true,
+            Some(at) => self.now.saturating_sub(at) >= self.cfg.checkpoint_interval,
+        };
+        if stale {
+            self.safe_line = self
+                .current_line()
+                .into_iter()
+                .map(|(i, id)| (i, id.index))
+                .collect();
+            self.safe_line_at = Some(self.now);
+        }
+        self.safe_line.get(&inst).copied().unwrap_or(0)
     }
 
-    fn on_detect(&mut self) {
-        self.coord.detected_at = Some(self.now);
-        self.epoch += 1;
-        for w in &mut self.workers {
-            w.paused = true;
-            w.running = false;
-        }
-        // --- recovery line ---
-        let line = match self.cfg.protocol {
+    /// The recovery line a failure *right now* would roll back to —
+    /// exactly the computation [`Engine::on_detect`] performs.
+    fn current_line(&self) -> BTreeMap<InstanceIdx, CheckpointId> {
+        match self.cfg.protocol {
             ProtocolKind::Coordinated | ProtocolKind::None => {
                 let metas: Vec<CheckpointMeta> = self
                     .coord
@@ -1099,6 +1270,46 @@ impl Engine {
                         to: c.to,
                     })
                     .collect();
+                rollback_propagation(&CheckpointGraph::build(self.coord.metas_vec(), &triples)).line
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // failure & recovery
+    // ------------------------------------------------------------------
+
+    fn on_fail(&mut self) {
+        let w = self.cfg.failure.expect("Fail event requires spec").worker.0 as usize;
+        let worker = &mut self.workers[w];
+        worker.down = true;
+        worker.incarnation += 1;
+        worker.clear_volatile();
+        self.coord.failed_worker = Some(w as u32);
+        self.push_at(self.now + self.cfg.cost.failure_detect_ns, Ev::Detect);
+    }
+
+    fn on_detect(&mut self) {
+        self.coord.detected_at = Some(self.now);
+        self.epoch += 1;
+        for w in &mut self.workers {
+            w.paused = true;
+            w.running = false;
+        }
+        // --- recovery line ---
+        let line = match self.cfg.protocol {
+            ProtocolKind::Coordinated | ProtocolKind::None => self.current_line(),
+            _ => {
+                let triples: Vec<ChannelTriple> = self
+                    .pg
+                    .channels()
+                    .iter()
+                    .map(|c| ChannelTriple {
+                        ch: c.idx,
+                        from: c.from,
+                        to: c.to,
+                    })
+                    .collect();
                 let graph = CheckpointGraph::build(self.coord.metas_vec(), &triples);
                 let out = rollback_propagation(&graph);
                 self.coord.invalid_checkpoints = out.invalid_count() as u64;
@@ -1107,18 +1318,20 @@ impl Engine {
         };
         // --- restart cost per worker ---
         let failed = self.coord.failed_worker.expect("detect after fail");
+        let profile = self.store.profile();
         let mut restart_done = self.now;
         for w in 0..self.workers.len() {
             let mut ready = self.now + self.cfg.cost.control_latency_ns;
             if w as u32 == failed {
                 ready += self.cfg.cost.worker_respawn_ns;
             }
-            // State fetches, one GET per instance.
+            // State fetches per instance: one GET for a whole snapshot,
+            // a pipelined chunk fetch for an incremental one.
             for inst in &self.workers[w].instances {
                 let id = line[&inst.idx];
                 let meta = &self.coord.metas[&(inst.idx, id.index)];
-                if !meta.state_key.is_empty() {
-                    ready += self.cfg.cost.store_get_ns(meta.state_bytes as usize);
+                if meta.has_state() {
+                    ready += profile.get_many_ns(meta.fetch_objects(), meta.state_bytes as usize);
                 }
             }
             // Replay preparation: fetch the in-flight log ranges this
@@ -1142,21 +1355,30 @@ impl Engine {
                     bytes += self.det_logs[inst.idx.0 as usize].suffix_bytes(meta.det_pos());
                 }
                 if bytes > 0 {
-                    ready += self.cfg.cost.store_get_ns(bytes);
+                    ready += profile.get_ns(bytes);
                 }
             }
             restart_done = restart_done.max(ready);
         }
-        self.queue.push(restart_done, (self.epoch, Ev::RestartDone { line }));
+        self.queue
+            .push(restart_done, (self.epoch, Ev::RestartDone { line }));
     }
 
     fn on_restart(&mut self, line: BTreeMap<InstanceIdx, CheckpointId>) {
         self.coord.restart_done_at = Some(self.now);
-        // Discard post-line checkpoints (the "invalid" ones).
-        let stale_keys = self.coord.discard_after_line(&line);
-        for k in stale_keys {
-            self.store.delete(&k);
+        // Discard post-line checkpoints (the "invalid" ones): whole
+        // snapshots and any chunk objects they own. Sound because chunk
+        // references only point backward — nothing at or below the line
+        // can reference a discarded checkpoint's chunks.
+        let durable = DurableCheckpoints::new(Arc::clone(&self.store));
+        for stale in self.coord.discard_after_line(&line) {
+            durable.delete_checkpoint(&stale);
         }
+        // The cached GC floor may now be ahead of reality; recompute on
+        // next use. In-flight uploads died with the epoch bump.
+        self.safe_line_at = None;
+        self.safe_line.clear();
+        self.inflight_floors.clear();
         // Reset all workers & instances to the line.
         for w in 0..self.workers.len() {
             self.workers[w].down = false;
@@ -1221,9 +1443,7 @@ impl Engine {
             .filter(|(_, a)| a.len() == self.pg.n_instances())
             .map(|(r, _)| *r)
             .collect();
-        self.coord
-            .round_acks
-            .retain(|r, _| completed.contains(r));
+        self.coord.round_acks.retain(|r, _| completed.contains(r));
         // Re-arm UNC/CIC timers.
         if self.cfg.protocol.independent_checkpoints() {
             for w in 0..self.workers.len() {
@@ -1245,11 +1465,7 @@ impl Engine {
         let protocol = self.cfg.protocol;
         let n_inst = self.pg.n_instances();
         let parallelism = self.cfg.parallelism;
-        let state = (!meta.state_key.is_empty()).then(|| {
-            self.store
-                .get(&meta.state_key)
-                .unwrap_or_else(|| panic!("recovery needs GC'd checkpoint {}", meta.state_key))
-        });
+        let state = DurableCheckpoints::new(Arc::clone(&self.store)).read_state(meta);
         let (in_channels, factory, role) = {
             let inst = &self.workers[w].instances[op_i];
             let lop = self.pg.logical().op(inst.op_id);
@@ -1272,15 +1488,14 @@ impl Engine {
                     ProtocolKind::CommunicationInduced => {
                         Some(checkmate_core::CicState::hmnr(inst.idx.0 as usize, n_inst))
                     }
-                    ProtocolKind::CommunicationInducedBcs => {
-                        Some(checkmate_core::CicState::bcs())
-                    }
+                    ProtocolKind::CommunicationInducedBcs => Some(checkmate_core::CicState::bcs()),
                     _ => None,
                 };
                 inst.scheduled_timers.clear();
             }
         }
         inst.ckpt_index = meta.id.index;
+        inst.last_manifest = meta.manifest.clone();
         // Rebuild alignment state at the line's round.
         if protocol == ProtocolKind::Coordinated && !matches!(role, OpRole::Source { .. }) {
             let mut aligner = CoorAligner::new(in_channels);
@@ -1337,7 +1552,9 @@ impl Engine {
         }
         for w in &self.workers {
             for inst in &w.instances {
-                let Some(aligner) = &inst.aligner else { continue };
+                let Some(aligner) = &inst.aligner else {
+                    continue;
+                };
                 if aligner.aligning_round() != Some(round) {
                     continue;
                 }
@@ -1462,11 +1679,12 @@ impl Engine {
             },
             payload_bytes: self.metrics.payload_bytes,
             protocol_bytes: self.metrics.protocol_bytes,
+            store: self.store.stats(),
+            store_profile: self.store.profile().name,
+            store_objects_live: self.store.object_count() as u64,
+            store_bytes_live: self.store.total_bytes(),
             sink_digest: digest,
-            output_duplicates: self
-                .metrics
-                .sink_outputs_total
-                .saturating_sub(digest.count),
+            output_duplicates: self.metrics.sink_outputs_total.saturating_sub(digest.count),
             events: self.events,
         }
     }

@@ -3,6 +3,7 @@
 use checkmate_core::ProtocolKind;
 use checkmate_dataflow::ops::Digest;
 use checkmate_sim::{to_secs, SimTime};
+use checkmate_storage::StoreStats;
 
 /// Latency percentiles of one one-second bucket (paper Figs. 9–10 plot
 /// these per second).
@@ -88,6 +89,18 @@ pub struct RunReport {
     /// Protocol bytes: markers, piggybacks, checkpoint metadata traffic.
     pub protocol_bytes: u64,
 
+    // ---- durable store traffic ----
+    /// Checkpoint-store traffic of the whole run: uploads, recovery
+    /// fetches, GC deletions. `bytes_put` is what incremental
+    /// checkpointing shrinks; `net_bytes()` is the durable footprint.
+    pub store: StoreStats,
+    /// Which storage profile the store declared (`minio-lan`, `s3-wan`…).
+    pub store_profile: &'static str,
+    /// Objects alive in the store at run end.
+    pub store_objects_live: u64,
+    /// Bytes alive in the store at run end.
+    pub store_bytes_live: u64,
+
     // ---- exactly-once verification ----
     /// Order-independent digest of everything the sinks processed
     /// (rolled back and replayed with the state — equal to a failure-free
@@ -126,7 +139,7 @@ impl RunReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} {} p={} rate={:.0}/s: p50={:.1}ms p99={:.1}ms sink={} ckpts={} (forced={}, invalid={}) ct={:.2}ms overhead={:.2}x restart={:?}ms recovery={:?}ms lag={:.2}s {:?}",
+            "{} {} p={} rate={:.0}/s: p50={:.1}ms p99={:.1}ms sink={} ckpts={} (forced={}, invalid={}) ct={:.2}ms overhead={:.2}x restart={:?}ms recovery={:?}ms lag={:.2}s store[{}]={:.1}MB put/{:.1}MB live {:?}",
             self.workload,
             self.protocol,
             self.parallelism,
@@ -142,6 +155,9 @@ impl RunReport {
             self.restart_time_ns.map(|t| t / 1_000_000),
             self.recovery_time_ns.map(|t| t / 1_000_000),
             self.final_lag_secs,
+            self.store_profile,
+            self.store.bytes_put as f64 / 1e6,
+            self.store_bytes_live as f64 / 1e6,
             self.outcome,
         )
     }

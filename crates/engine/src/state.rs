@@ -4,6 +4,7 @@
 use crate::msg::NetMsg;
 use checkmate_core::{
     ChannelBook, CheckpointId, CheckpointMeta, CicState, CoorAligner, ProtocolKind,
+    SnapshotManifest,
 };
 use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
 use checkmate_dataflow::{Codec, Dec, Enc, OpId, Operator, PhysicalGraph};
@@ -41,6 +42,11 @@ pub struct LocalInstance {
     /// rescanning the whole backlog per delivery. Returned to the
     /// worker queue when replay drains. Volatile.
     pub det_parked: BTreeMap<(ChannelIdx, u64), (QueueKey, NetMsg)>,
+    /// Manifest of this instance's most recent checkpoint (incremental
+    /// checkpointing only) — the dedup baseline the next checkpoint
+    /// plans against. Reset from the restored meta at recovery, so
+    /// post-rollback checkpoints never reference discarded chunks.
+    pub last_manifest: Option<SnapshotManifest>,
 }
 
 impl LocalInstance {
@@ -244,12 +250,12 @@ impl Coordinator {
     }
 
     /// Remove metadata newer than the recovery line (those checkpoints are
-    /// consumed as invalid); returns the removed state keys so the caller
-    /// can delete the store objects.
+    /// consumed as invalid); returns the removed metas so the caller can
+    /// delete their durable objects (whole snapshots and owned chunks).
     pub fn discard_after_line(
         &mut self,
         line: &BTreeMap<InstanceIdx, CheckpointId>,
-    ) -> Vec<String> {
+    ) -> Vec<CheckpointMeta> {
         let mut removed = Vec::new();
         let keys: Vec<(InstanceIdx, u64)> = self
             .metas
@@ -259,8 +265,8 @@ impl Coordinator {
             .collect();
         for k in keys {
             if let Some(m) = self.metas.remove(&k) {
-                if !m.state_key.is_empty() {
-                    removed.push(m.state_key);
+                if m.has_state() {
+                    removed.push(m);
                 }
             }
         }
@@ -269,7 +275,11 @@ impl Coordinator {
 }
 
 /// Helper: operator instances for a worker from the physical graph.
-pub fn build_worker_instances(pg: &PhysicalGraph, worker: u32, protocol: ProtocolKind) -> Vec<LocalInstance> {
+pub fn build_worker_instances(
+    pg: &PhysicalGraph,
+    worker: u32,
+    protocol: ProtocolKind,
+) -> Vec<LocalInstance> {
     use checkmate_dataflow::OpRole;
     let p = pg.parallelism();
     let n_inst = pg.n_instances();
@@ -286,9 +296,7 @@ pub fn build_worker_instances(pg: &PhysicalGraph, worker: u32, protocol: Protoco
             let aligner = (protocol == ProtocolKind::Coordinated && !is_source)
                 .then(|| CoorAligner::new(pg.in_channels_of(idx).to_vec()));
             let cic = match protocol {
-                ProtocolKind::CommunicationInduced => {
-                    Some(CicState::hmnr(idx.0 as usize, n_inst))
-                }
+                ProtocolKind::CommunicationInduced => Some(CicState::hmnr(idx.0 as usize, n_inst)),
                 ProtocolKind::CommunicationInducedBcs => Some(CicState::bcs()),
                 _ => None,
             };
@@ -305,6 +313,7 @@ pub fn build_worker_instances(pg: &PhysicalGraph, worker: u32, protocol: Protoco
                 scheduled_timers: BTreeSet::new(),
                 det_replay: VecDeque::new(),
                 det_parked: BTreeMap::new(),
+                last_manifest: None,
             }
         })
         .collect()
@@ -401,7 +410,8 @@ mod tests {
             instances: build_worker_instances(&pg, 0, ProtocolKind::None),
         };
         let r = Record::new(1, Value::Unit, 0);
-        w.queue.insert((10, 1), NetMsg::data(ChannelIdx(5), 1, r.clone()));
+        w.queue
+            .insert((10, 1), NetMsg::data(ChannelIdx(5), 1, r.clone()));
         w.blocked.insert(ChannelIdx(5));
         // engine stashes blocked head
         let (k, m) = w.queue.pop_first().unwrap();
@@ -423,7 +433,11 @@ mod tests {
         }
         assert_eq!(c.latest_index(InstanceIdx(0)), 3);
         let line: BTreeMap<_, _> = [(InstanceIdx(0), CheckpointId::new(InstanceIdx(0), 1))].into();
-        let removed = c.discard_after_line(&line);
+        let removed: Vec<String> = c
+            .discard_after_line(&line)
+            .into_iter()
+            .map(|m| m.state_key)
+            .collect();
         assert_eq!(removed, vec!["ckpt/0/2", "ckpt/0/3"]);
         assert_eq!(c.latest_index(InstanceIdx(0)), 1);
     }

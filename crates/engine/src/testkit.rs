@@ -37,7 +37,11 @@ impl EventStream for SyntheticStream {
 pub fn counting_pipeline(parallelism: u32) -> Workload {
     let mut b = GraphBuilder::new();
     let src = b.source("src", 0, 150_000, Arc::new(|_| Box::new(PassThroughOp)));
-    let cnt = b.op("count", 250_000, Arc::new(|_| Box::new(KeyedCounterOp::new())));
+    let cnt = b.op(
+        "count",
+        250_000,
+        Arc::new(|_| Box::new(KeyedCounterOp::new())),
+    );
     let sink = b.sink("sink", 100_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
     b.connect(src, cnt, EdgeKind::Shuffle);
     b.connect(cnt, sink, EdgeKind::Forward);

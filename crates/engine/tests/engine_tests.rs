@@ -46,8 +46,15 @@ fn failure_free_run_processes_records() {
             "{protocol}: too few sink records: {}",
             report.sink_records
         );
-        assert_eq!(report.output_duplicates, 0, "{protocol}: dupes without failure");
-        assert!(report.sustainable, "{protocol}: lag {}", report.final_lag_secs);
+        assert_eq!(
+            report.output_duplicates, 0,
+            "{protocol}: dupes without failure"
+        );
+        assert!(
+            report.sustainable,
+            "{protocol}: lag {}",
+            report.final_lag_secs
+        );
         if protocol != ProtocolKind::None {
             assert!(report.checkpoints_total > 0, "{protocol}: no checkpoints");
             assert!(report.avg_checkpoint_time_ns > 0, "{protocol}: zero CT");
@@ -72,7 +79,11 @@ fn different_seeds_diverge_slightly_but_stay_sane() {
     let mut cfg = base_cfg(3, ProtocolKind::Uncoordinated);
     cfg.seed = 99;
     let a = Engine::new(&counting_pipeline(3), cfg).run();
-    let b = Engine::new(&counting_pipeline(3), base_cfg(3, ProtocolKind::Uncoordinated)).run();
+    let b = Engine::new(
+        &counting_pipeline(3),
+        base_cfg(3, ProtocolKind::Uncoordinated),
+    )
+    .run();
     // Jittered checkpoint timers differ; processing results don't.
     assert!(a.sink_records > 500 && b.sink_records > 500);
 }
@@ -125,14 +136,21 @@ fn exactly_once_under_failure(protocol: ProtocolKind) {
     );
     // Exactly-once processing: identical final sink state.
     assert_eq!(
-        failed.sink_digest, clean.sink_digest,
+        failed.sink_digest,
+        clean.sink_digest,
         "{protocol}: digest mismatch — lost or duplicated records\nclean:  {}\nfailed: {}",
         clean.summary(),
         failed.summary()
     );
     // The failure actually happened and was recovered from.
-    assert!(failed.detected_at.is_some(), "{protocol}: failure not detected");
-    assert!(failed.restart_time_ns.is_some(), "{protocol}: no restart recorded");
+    assert!(
+        failed.detected_at.is_some(),
+        "{protocol}: failure not detected"
+    );
+    assert!(
+        failed.restart_time_ns.is_some(),
+        "{protocol}: no restart recorded"
+    );
     // Output duplicates are allowed (exactly-once processing, not output),
     // and expected for a failure that rolls back past emitted results.
     assert!(
@@ -146,8 +164,16 @@ fn failure_without_checkpoints_reprocesses_everything() {
     // Under ProtocolKind::None the recovery line is the initial state:
     // recovery still converges and stays exactly-once (sources rewind to
     // offset 0 and everything is recomputed).
-    let clean = Engine::new(&counting_pipeline(2), bounded_cfg(2, ProtocolKind::None, false)).run();
-    let failed = Engine::new(&counting_pipeline(2), bounded_cfg(2, ProtocolKind::None, true)).run();
+    let clean = Engine::new(
+        &counting_pipeline(2),
+        bounded_cfg(2, ProtocolKind::None, false),
+    )
+    .run();
+    let failed = Engine::new(
+        &counting_pipeline(2),
+        bounded_cfg(2, ProtocolKind::None, true),
+    )
+    .run();
     assert_eq!(failed.sink_digest, clean.sink_digest);
 }
 
@@ -192,7 +218,9 @@ fn coordinated_rounds_complete_and_have_higher_ct_with_shuffle() {
 #[test]
 fn cic_has_message_overhead_and_others_do_not() {
     let overhead = |p| {
-        Engine::new(&counting_pipeline(4), base_cfg(4, p)).run().overhead_ratio()
+        Engine::new(&counting_pipeline(4), base_cfg(4, p))
+            .run()
+            .overhead_ratio()
     };
     let coor = overhead(ProtocolKind::Coordinated);
     let unc = overhead(ProtocolKind::Uncoordinated);
@@ -201,7 +229,10 @@ fn cic_has_message_overhead_and_others_do_not() {
     assert!(coor < 1.05, "COOR overhead {coor}");
     assert!(unc < 1.05, "UNC overhead {unc}");
     assert!(cic > 1.2, "CIC overhead {cic} should be substantial");
-    assert!(bcs < cic, "BCS piggyback {bcs} must be cheaper than HMNR {cic}");
+    assert!(
+        bcs < cic,
+        "BCS piggyback {bcs} must be cheaper than HMNR {cic}"
+    );
 }
 
 #[test]
@@ -228,7 +259,10 @@ fn restart_time_grows_with_logs_for_unc_vs_coor() {
     let coor = run(ProtocolKind::Coordinated);
     let unc = run(ProtocolKind::Uncoordinated);
     let (Some(rc), Some(ru)) = (coor.restart_time_ns, unc.restart_time_ns) else {
-        panic!("restart missing: {:?} {:?}", coor.restart_time_ns, unc.restart_time_ns);
+        panic!(
+            "restart missing: {:?} {:?}",
+            coor.restart_time_ns, unc.restart_time_ns
+        );
     };
     // UNC must additionally fetch and prepare replay messages (Fig. 11).
     assert!(ru > rc, "UNC restart {ru} should exceed COOR {rc}");
@@ -259,7 +293,11 @@ fn event_budget_guard_fires() {
 
 #[test]
 fn latency_series_covers_run_duration() {
-    let report = Engine::new(&counting_pipeline(2), base_cfg(2, ProtocolKind::Coordinated)).run();
+    let report = Engine::new(
+        &counting_pipeline(2),
+        base_cfg(2, ProtocolKind::Coordinated),
+    )
+    .run();
     assert!(!report.latency_series.is_empty());
     let last = report.latency_series.last().unwrap();
     assert!(last.second >= 8, "series ends at {}s", last.second);
@@ -273,7 +311,11 @@ fn latency_series_covers_run_duration() {
 fn checkpoint_time_sanity_milliseconds() {
     // UNC checkpoint times should be on the order of milliseconds
     // (serialize + upload), as in the paper's Fig. 8.
-    let report = Engine::new(&counting_pipeline(3), base_cfg(3, ProtocolKind::Uncoordinated)).run();
+    let report = Engine::new(
+        &counting_pipeline(3),
+        base_cfg(3, ProtocolKind::Uncoordinated),
+    )
+    .run();
     let ct = report.avg_checkpoint_time_ns;
     assert!(
         ct > MILLIS && ct < 500 * MILLIS,

@@ -229,7 +229,10 @@ mod tests {
 
     #[test]
     fn streams_are_pure() {
-        let p = PersonStream { partitions: 4, seed: 7 };
+        let p = PersonStream {
+            partitions: 4,
+            seed: 7,
+        };
         let a = AuctionStream::new(4, 7, None);
         let b = BidStream::new(4, 7, None);
         for off in [0u64, 5, 100] {
@@ -241,7 +244,10 @@ mod tests {
 
     #[test]
     fn ids_are_dense_and_disjoint_across_partitions() {
-        let p = PersonStream { partitions: 3, seed: 7 };
+        let p = PersonStream {
+            partitions: 3,
+            seed: 7,
+        };
         let mut seen = std::collections::HashSet::new();
         for part in 0..3 {
             for off in 0..100 {
@@ -296,8 +302,7 @@ mod tests {
         let s = BidStream::new(1, 1, Skew::hot(0.2));
         let mut hot = 0;
         let n = 5_000;
-        let hot_keys: std::collections::HashSet<u64> =
-            (0..2).map(|i| HOT_KEY_BASE ^ i).collect();
+        let hot_keys: std::collections::HashSet<u64> = (0..2).map(|i| HOT_KEY_BASE ^ i).collect();
         for off in 0..n {
             if hot_keys.contains(&s.record(0, off).key) {
                 hot += 1;

@@ -9,5 +9,8 @@
 pub mod gen;
 pub mod queries;
 
-pub use gen::{AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, HOT_KEY_BASE, PERSON_SHARE};
+pub use gen::{
+    AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, HOT_KEY_BASE,
+    PERSON_SHARE,
+};
 pub use queries::{q1, q12, q3, q8, Query, WINDOW_NS};

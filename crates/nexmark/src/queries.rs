@@ -8,8 +8,12 @@
 //!   new auctions (running semantics).
 //! - **Q12** — windowed count of bids per bidder (running semantics).
 
-use crate::gen::{AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, PERSON_SHARE};
-use checkmate_dataflow::ops::{DigestSinkOp, FilterOp, IncrementalJoinOp, MapOp, PassThroughOp, WindowJoinOp, WindowedCountOp};
+use crate::gen::{
+    AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, PERSON_SHARE,
+};
+use checkmate_dataflow::ops::{
+    DigestSinkOp, FilterOp, IncrementalJoinOp, MapOp, PassThroughOp, WindowJoinOp, WindowedCountOp,
+};
 use checkmate_dataflow::{EdgeKind, GraphBuilder, PortId, Value};
 use checkmate_engine::workload::{StreamSpec, Workload};
 use std::sync::Arc;
@@ -99,7 +103,12 @@ pub fn q1(parallelism: u32, seed: u64) -> Workload {
 pub fn q3(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
     let mut b = GraphBuilder::new();
     let persons = b.source("persons", 0, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
-    let auctions = b.source("auctions", 1, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let auctions = b.source(
+        "auctions",
+        1,
+        120_000,
+        Arc::new(|_| Box::new(PassThroughOp)),
+    );
     let p_filter = b.op(
         "filter_state",
         110_000,
@@ -118,7 +127,11 @@ pub fn q3(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
             }))
         }),
     );
-    let join = b.op("join", 320_000, Arc::new(|_| Box::new(IncrementalJoinOp::new())));
+    let join = b.op(
+        "join",
+        320_000,
+        Arc::new(|_| Box::new(IncrementalJoinOp::new())),
+    );
     let sink = b.sink("sink", 90_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
     b.connect(persons, p_filter, EdgeKind::Forward);
     b.connect(auctions, a_filter, EdgeKind::Forward);
@@ -131,7 +144,10 @@ pub fn q3(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
         graph: b.build().expect("Q3 graph"),
         streams: vec![
             StreamSpec {
-                stream: Arc::new(PersonStream { partitions: parallelism, seed }),
+                stream: Arc::new(PersonStream {
+                    partitions: parallelism,
+                    seed,
+                }),
                 rate_share: PERSON_SHARE / total,
             },
             StreamSpec {
@@ -148,7 +164,12 @@ pub fn q3(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
 pub fn q8(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
     let mut b = GraphBuilder::new();
     let persons = b.source("persons", 0, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
-    let auctions = b.source("auctions", 1, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let auctions = b.source(
+        "auctions",
+        1,
+        120_000,
+        Arc::new(|_| Box::new(PassThroughOp)),
+    );
     let join = b.op(
         "window_join",
         320_000,
@@ -164,7 +185,10 @@ pub fn q8(parallelism: u32, seed: u64, skew: Option<Skew>) -> Workload {
         graph: b.build().expect("Q8 graph"),
         streams: vec![
             StreamSpec {
-                stream: Arc::new(PersonStream { partitions: parallelism, seed }),
+                stream: Arc::new(PersonStream {
+                    partitions: parallelism,
+                    seed,
+                }),
                 rate_share: PERSON_SHARE / total,
             },
             StreamSpec {
@@ -231,11 +255,7 @@ mod tests {
     #[test]
     fn q1_is_forward_only() {
         let wl = q1(2, 7);
-        assert!(wl
-            .graph
-            .edges()
-            .iter()
-            .all(|e| e.kind == EdgeKind::Forward));
+        assert!(wl.graph.edges().iter().all(|e| e.kind == EdgeKind::Forward));
     }
 
     #[test]

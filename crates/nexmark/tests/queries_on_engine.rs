@@ -58,9 +58,15 @@ fn q3_exactly_once_under_failure_all_protocols() {
         let clean = Engine::new(&Query::Q3.workload(3, 11, None), bounded(false)).run();
         let failed = Engine::new(&Query::Q3.workload(3, 11, None), bounded(true)).run();
         assert_eq!(clean.outcome, Outcome::Drained);
-        assert_eq!(failed.outcome, Outcome::Drained, "{p}: {}", failed.summary());
         assert_eq!(
-            failed.sink_digest, clean.sink_digest,
+            failed.outcome,
+            Outcome::Drained,
+            "{p}: {}",
+            failed.summary()
+        );
+        assert_eq!(
+            failed.sink_digest,
+            clean.sink_digest,
             "{p}: Q3 exactly-once violated\nclean:  {}\nfailed: {}",
             clean.summary(),
             failed.summary()
@@ -106,12 +112,9 @@ fn skew_makes_coordinated_checkpoints_slow() {
         ..cfg(4, p)
     };
     let wl = |s| Query::Q12.workload(4, 11, s);
-    let coor_uniform =
-        Engine::new(&wl(None), skewed_cfg(ProtocolKind::Coordinated)).run();
-    let coor_skew =
-        Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Coordinated)).run();
-    let unc_skew =
-        Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Uncoordinated)).run();
+    let coor_uniform = Engine::new(&wl(None), skewed_cfg(ProtocolKind::Coordinated)).run();
+    let coor_skew = Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Coordinated)).run();
+    let unc_skew = Engine::new(&wl(Skew::hot(0.3)), skewed_cfg(ProtocolKind::Uncoordinated)).run();
     assert!(
         coor_skew.avg_checkpoint_time_ns > 3 * coor_uniform.avg_checkpoint_time_ns,
         "skew should inflate COOR CT: uniform {}ms vs skew {}ms",

@@ -1,17 +1,32 @@
 //! The threaded real-time engine.
 //!
-//! One OS thread per worker plus a coordinator thread, crossbeam channels
-//! as the network, wall-clock time, a shared durable object store and
+//! One OS thread per worker plus a coordinator thread and a background
+//! **uploader** thread, crossbeam channels as the network, wall-clock
+//! time, a pluggable durable object store (`checkmate-storage`) and
 //! shared durable channel logs. The same protocol state machines from
 //! `checkmate-core` drive checkpointing here as in the virtual-time
 //! engine — this crate exists to demonstrate that the protocol layer is
 //! runtime-agnostic and to provide a live playground (see the
 //! `quickstart` example).
 //!
+//! **Checkpoint uploads are asynchronous.** A worker taking a checkpoint
+//! serializes the snapshot (optionally planning an incremental chunk
+//! upload against its previous manifest) and hands the resulting objects
+//! to the uploader thread, then resumes processing immediately. The
+//! uploader PUTs the objects — absorbing whatever latency, bandwidth cap
+//! or transient faults the configured backend injects — persists the
+//! checkpoint metadata, and only then acks the now-durable checkpoint to
+//! the coordinator, exactly as the workers themselves used to. A
+//! checkpoint the coordinator knows about is therefore always fully
+//! durable, which recovery relies on. Uploads already handed over
+//! survive a worker kill (the uploader models a separate service, like
+//! the store itself).
+//!
 //! Failure handling is scripted: the harness kills a worker (its
 //! in-memory state and queued messages are discarded), then the
 //! coordinator pauses the pipeline, computes the protocol's recovery
-//! line, restores every instance from the durable store, replays logged
+//! line, restores every instance from the durable store — reassembling
+//! incremental snapshots through their chunk manifests — replays logged
 //! in-flight messages, and resumes. Exactly-once processing is asserted
 //! by the same digest technique as the virtual-time engine.
 //!
@@ -23,15 +38,15 @@
 //! with deletions) are only exercised on the virtual-time engine.
 
 use checkmate_core::{
-    coordinated_line, rollback_propagation, ChannelBook, ChannelTriple, CheckpointGraph,
+    coordinated_line, rollback_propagation, snapshot, ChannelBook, ChannelTriple, CheckpointGraph,
     CheckpointId, CheckpointKind, CheckpointMeta, CicPiggyback, CicState, CoorAligner,
-    MarkerAction, ProtocolKind,
+    DurableCheckpoints, IncrementalPolicy, MarkerAction, ProtocolKind, SnapshotManifest,
 };
 use checkmate_dataflow::graph::{ChannelIdx, EdgeKind, InstanceIdx};
 use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{
-    Codec, Dec, Enc, LogicalGraph, OpCtx, OpId, OpRole, Operator, PhysicalGraph, PortId, Record,
-    shuffle_target,
+    shuffle_target, Codec, Dec, Enc, LogicalGraph, OpCtx, OpId, OpRole, Operator, PhysicalGraph,
+    PortId, Record,
 };
 use checkmate_storage::{ObjectStore, SharedStore};
 use checkmate_wal::{ChannelLog, EventStream, Schedule, SourceCursor, SourceLog};
@@ -56,6 +71,13 @@ pub struct LiveConfig {
     pub kill_worker: Option<u32>,
     /// Hard wall-clock cap.
     pub timeout: Duration,
+    /// Durable store to checkpoint into. `None` = a fresh in-memory
+    /// store; pass a `FileBackend`-backed store for durability across
+    /// process restarts, or a `PerturbedBackend` for storage-stress
+    /// scenarios.
+    pub store: Option<SharedStore>,
+    /// Incremental (chunked) checkpoints; `None` = whole snapshots.
+    pub incremental: Option<IncrementalPolicy>,
 }
 
 impl Default for LiveConfig {
@@ -68,6 +90,8 @@ impl Default for LiveConfig {
             checkpoint_interval: Duration::from_millis(150),
             kill_worker: None,
             timeout: Duration::from_secs(30),
+            store: None,
+            incremental: None,
         }
     }
 }
@@ -128,10 +152,63 @@ enum Ctrl {
 /// for debuggability even where the coordinator only counts them.
 #[allow(dead_code)]
 enum Note {
-    Meta(CheckpointMeta),
+    /// A checkpoint became durable (sent by the uploader thread). The
+    /// epoch is the one the snapshot was captured in, so the coordinator
+    /// can discard acks of checkpoints that raced a recovery.
+    Meta(u32, CheckpointMeta),
     Paused(u32),
     Restored(u32),
     Done(u32, WorkerEnd),
+}
+
+/// A serialized snapshot handed to the background uploader: the worker
+/// resumes processing the moment this is enqueued.
+struct UploadJob {
+    epoch: u32,
+    meta: CheckpointMeta,
+    objects: Vec<(String, Vec<u8>)>,
+}
+
+/// Messages to the background uploader.
+enum UploadMsg {
+    Job(UploadJob),
+    /// Drain barrier: acked once every job enqueued before it is
+    /// durable. Recovery uses this to quiesce the upload pipeline before
+    /// computing the recovery line, so no upload is ever in flight
+    /// across a rollback (and no discarded-timeline object can appear in
+    /// the store afterwards).
+    Flush(Sender<()>),
+}
+
+/// The background uploader: PUTs snapshot objects, persists the meta,
+/// then acks the durable checkpoint to the coordinator. Exits when every
+/// job sender has hung up.
+fn uploader_main(
+    store: SharedStore,
+    jobs: Receiver<UploadMsg>,
+    note: Sender<Note>,
+    start: Instant,
+) {
+    let durable = DurableCheckpoints::new(store);
+    while let Ok(msg) = jobs.recv() {
+        match msg {
+            UploadMsg::Job(UploadJob {
+                epoch,
+                mut meta,
+                objects,
+            }) => {
+                for (key, bytes) in objects {
+                    durable.store().put(key, bytes);
+                }
+                meta.durable_at = start.elapsed().as_nanos() as u64;
+                durable.persist_meta(&meta);
+                let _ = note.send(Note::Meta(epoch, meta));
+            }
+            UploadMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
 }
 
 struct WorkerEnd {
@@ -157,6 +234,10 @@ struct LiveInstance {
     ckpt_index: u64,
     cursor: Option<SourceCursor>,
     stream: Option<u32>,
+    /// Manifest of the previous checkpoint (incremental mode): the
+    /// dedup baseline for the next snapshot plan. Reset from the
+    /// restored meta at recovery.
+    last_manifest: Option<SnapshotManifest>,
 }
 
 impl LiveInstance {
@@ -214,8 +295,10 @@ pub fn run_live(
     let pg = graph.expand(cfg.parallelism);
     let n_channels = pg.n_channels();
     let shared = Arc::new(Shared {
-        store: ObjectStore::shared(),
-        logs: (0..n_channels).map(|_| Mutex::new(ChannelLog::new())).collect(),
+        store: cfg.store.clone().unwrap_or_else(ObjectStore::shared),
+        logs: (0..n_channels)
+            .map(|_| Mutex::new(ChannelLog::new()))
+            .collect(),
         pg,
     });
 
@@ -234,8 +317,14 @@ pub fn run_live(
         ctrl_rx.push(rx);
     }
     let (note_tx, note_rx) = unbounded::<Note>();
+    let (up_tx, up_rx) = unbounded::<UploadMsg>();
 
     let start = Instant::now();
+    let uploader = {
+        let store = Arc::clone(&shared.store);
+        let note = note_tx.clone();
+        std::thread::spawn(move || uploader_main(store, up_rx, note, start))
+    };
     let mut handles = Vec::new();
     for w in 0..cfg.parallelism {
         let shared = Arc::clone(&shared);
@@ -244,16 +333,19 @@ pub fn run_live(
         let rx = data_rx[w as usize].clone();
         let crx = ctrl_rx[w as usize].clone();
         let note = note_tx.clone();
+        let up = up_tx.clone();
         let streams = streams.clone();
         handles.push(std::thread::spawn(move || {
-            worker_main(w, shared, cfg, streams, data_tx, rx, crx, note, start)
+            worker_main(w, shared, cfg, streams, data_tx, rx, crx, note, up, start)
         }));
     }
 
-    let report = coordinate(&cfg, &shared, &ctrl_tx, &data_tx, &note_rx, start);
+    let report = coordinate(&cfg, &shared, &ctrl_tx, &data_tx, &note_rx, &up_tx, start);
     for h in handles {
         h.join().expect("worker thread");
     }
+    drop(up_tx); // last sender gone → uploader drains its queue and exits
+    uploader.join().expect("uploader thread");
     report
 }
 
@@ -267,6 +359,7 @@ fn worker_main(
     rx: Receiver<Wire>,
     crx: Receiver<Ctrl>,
     note: Sender<Note>,
+    up_tx: Sender<UploadMsg>,
     start: Instant,
 ) {
     let pg = &shared.pg;
@@ -306,6 +399,7 @@ fn worker_main(
                         OpRole::Source { stream } => Some(stream),
                         _ => None,
                     },
+                    last_manifest: None,
                 }
             })
             .collect()
@@ -370,28 +464,56 @@ fn worker_main(
         }};
     }
 
+    // Serialize the snapshot, plan what to upload (whole object, or only
+    // the chunks that changed since the previous manifest), and hand the
+    // objects to the background uploader — the worker resumes
+    // immediately; the durable-checkpoint ack reaches the coordinator
+    // from the uploader once the PUTs complete.
     macro_rules! take_checkpoint {
         ($inst_i:expr, $kind:expr) => {{
             instances[$inst_i].ckpt_index += 1;
+            let index = instances[$inst_i].ckpt_index;
+            let idx = instances[$inst_i].idx;
             let state = instances[$inst_i].snapshot_bytes();
+            let state_len = state.len();
             let (recv_wm, sent_wm) = instances[$inst_i].book.watermarks();
-            let key = format!("ckpt/{}/{}", instances[$inst_i].idx.0, instances[$inst_i].ckpt_index);
-            shared.store.put(key.clone(), state);
+            let (state_key, manifest, objects) = match &cfg.incremental {
+                Some(policy) => {
+                    let plan = snapshot::plan_snapshot(
+                        idx,
+                        index,
+                        &state,
+                        instances[$inst_i].last_manifest.as_ref(),
+                        policy,
+                    );
+                    instances[$inst_i].last_manifest = Some(plan.manifest.clone());
+                    (String::new(), Some(plan.manifest), plan.objects)
+                }
+                None => {
+                    let key = snapshot::state_key(idx, index);
+                    (key.clone(), None, vec![(key, state)])
+                }
+            };
             let meta = CheckpointMeta {
-                id: CheckpointId::new(instances[$inst_i].idx, instances[$inst_i].ckpt_index),
+                id: CheckpointId::new(idx, index),
                 kind: $kind,
                 taken_at: now_ns(&start),
-                durable_at: now_ns(&start),
+                durable_at: 0,
                 recv_wm,
                 sent_wm,
                 source_offset: instances[$inst_i].cursor.map(|c| c.next_offset),
-                state_key: key,
-                state_bytes: 0,
+                state_key,
+                state_bytes: state_len as u64,
+                manifest,
             };
             if let Some(cic) = instances[$inst_i].cic.as_mut() {
                 cic.on_checkpoint();
             }
-            let _ = note.send(Note::Meta(meta));
+            let _ = up_tx.send(UploadMsg::Job(UploadJob {
+                epoch,
+                meta,
+                objects,
+            }));
         }};
     }
 
@@ -488,8 +610,7 @@ fn worker_main(
                                 {
                                     cic.on_deliver(pg.channel(channel).from.0 as usize, pb);
                                 }
-                                let is_sink =
-                                    matches!(pg.logical().ops()[op_i].role, OpRole::Sink);
+                                let is_sink = matches!(pg.logical().ops()[op_i].role, OpRole::Sink);
                                 if is_sink {
                                     sink_records += 1;
                                     let lat = now_ns(&start).saturating_sub(record.ingest_time);
@@ -533,13 +654,14 @@ fn worker_main(
                 }
                 Ctrl::Restore(line) => {
                     instances = build_instances(cfg.protocol);
+                    let durable = DurableCheckpoints::new(Arc::clone(&shared.store));
                     for inst in instances.iter_mut() {
                         let meta = &line[&pg.instance_id(inst.idx).op];
-                        if !meta.state_key.is_empty() {
-                            let bytes = shared.store.get(&meta.state_key).expect("durable state");
+                        if let Some(bytes) = durable.read_state(meta) {
                             inst.restore_from(&bytes);
                         }
                         inst.ckpt_index = meta.id.index;
+                        inst.last_manifest = meta.manifest.clone();
                         if let Some(aligner) = inst.aligner.as_mut() {
                             aligner.reset_to_round(meta.kind.round().unwrap_or(0));
                         }
@@ -645,6 +767,7 @@ fn coordinate(
     ctrl_tx: &[Sender<Ctrl>],
     data_tx: &[Sender<Wire>],
     note_rx: &Receiver<Note>,
+    up_tx: &Sender<UploadMsg>,
     start: Instant,
 ) -> LiveReport {
     let pg = &shared.pg;
@@ -660,8 +783,10 @@ fn coordinate(
     let mut next_round = start.elapsed() + cfg.checkpoint_interval;
     let mut checkpoints = 0u64;
     let mut recovered = false;
+    let mut cur_epoch = 0u32;
     // Kill roughly 40 % into the expected run.
-    let expected = Duration::from_secs_f64(cfg.records_per_partition as f64 / cfg.rate_per_partition);
+    let expected =
+        Duration::from_secs_f64(cfg.records_per_partition as f64 / cfg.rate_per_partition);
     let kill_at = cfg.kill_worker.map(|_| expected.mul_f64(0.4));
     let mut killed = false;
     let run_deadline = start + cfg.timeout;
@@ -671,7 +796,13 @@ fn coordinate(
     let drain_deadline = start + expected + Duration::from_secs(2).max(expected);
     loop {
         while let Ok(n) = note_rx.try_recv() {
-            if let Note::Meta(m) = n {
+            if let Note::Meta(epoch, m) = n {
+                // A checkpoint captured before a recovery but durable
+                // only after it lost the race: its index may already be
+                // reused post-rollback. Drop the stale ack.
+                if epoch != cur_epoch {
+                    continue;
+                }
                 if m.id.index > 0 {
                     checkpoints += 1;
                 }
@@ -690,7 +821,9 @@ fn coordinate(
                 killed = true;
                 let _ = ctrl_tx[victim as usize].send(Ctrl::Kill);
                 std::thread::sleep(Duration::from_millis(30));
-                recover(cfg, shared, ctrl_tx, data_tx, note_rx, &mut metas);
+                cur_epoch = recover(
+                    cfg, shared, ctrl_tx, data_tx, note_rx, up_tx, &mut metas, cur_epoch,
+                );
                 recovered = true;
             }
         }
@@ -735,16 +868,23 @@ fn coordinate(
     }
 }
 
+/// Pause, compute the recovery line, restore, replay, resume. Returns
+/// the post-recovery epoch.
+#[allow(clippy::too_many_arguments)] // the coordinator's full wiring
 fn recover(
     cfg: &LiveConfig,
     shared: &Arc<Shared>,
     ctrl_tx: &[Sender<Ctrl>],
     data_tx: &[Sender<Wire>],
     note_rx: &Receiver<Note>,
+    up_tx: &Sender<UploadMsg>,
     metas: &mut BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
-) {
+    cur_epoch: u32,
+) -> u32 {
     let pg = &shared.pg;
-    // Pause everyone and wait for acks.
+    // Pause everyone and wait for acks. Uploads already handed to the
+    // uploader keep draining meanwhile; their acks still count (they are
+    // durable checkpoints of the current epoch).
     for tx in ctrl_tx {
         let _ = tx.send(Ctrl::Pause);
     }
@@ -752,11 +892,29 @@ fn recover(
     while paused < cfg.parallelism {
         match note_rx.recv_timeout(Duration::from_secs(10)) {
             Ok(Note::Paused(_)) => paused += 1,
-            Ok(Note::Meta(m)) => {
-                metas.insert((m.id.instance, m.id.index), m);
+            Ok(Note::Meta(epoch, m)) => {
+                if epoch == cur_epoch {
+                    metas.insert((m.id.instance, m.id.index), m);
+                }
             }
             Ok(_) => {}
             Err(_) => panic!("pause ack timeout"),
+        }
+    }
+    // Quiesce the upload pipeline: workers are paused (no new jobs), so
+    // after this barrier nothing is in flight. Checkpoints that were
+    // mid-upload at the failure are now durable — fold their acks in
+    // before computing the line; they are legitimate restore points.
+    {
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        let _ = up_tx.send(UploadMsg::Flush(ack_tx));
+        let _ = ack_rx.recv_timeout(Duration::from_secs(10));
+        while let Ok(n) = note_rx.try_recv() {
+            if let Note::Meta(epoch, m) = n {
+                if epoch == cur_epoch {
+                    metas.insert((m.id.instance, m.id.index), m);
+                }
+            }
         }
     }
 
@@ -784,7 +942,18 @@ fn recover(
             rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
         }
     };
-    // Discard post-line metadata.
+    // Discard post-line metadata and the durable objects it owns (the
+    // indices will be reused post-rollback; stale chunk objects must not
+    // linger under the same keys).
+    let durable = DurableCheckpoints::new(Arc::clone(&shared.store));
+    let discarded: Vec<CheckpointMeta> = metas
+        .iter()
+        .filter(|((inst, idx), _)| line.get(inst).is_none_or(|l| *idx > l.index))
+        .map(|(_, m)| m.clone())
+        .collect();
+    for m in discarded {
+        durable.delete_checkpoint(&m);
+    }
     metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
 
     // Restore every worker.
@@ -801,7 +970,7 @@ fn recover(
     while restored < cfg.parallelism {
         match note_rx.recv_timeout(Duration::from_secs(10)) {
             Ok(Note::Restored(_)) => restored += 1,
-            Ok(Note::Meta(_)) => {}
+            Ok(Note::Meta(..)) => {}
             Ok(_) => {}
             Err(_) => panic!("restore ack timeout"),
         }
@@ -812,12 +981,8 @@ fn recover(
     // paused while we enqueue, so every replay precedes any regenerated
     // message on the same channel — the receivers' in-order dedup relies
     // on that.
-    let new_epoch = metas
-        .values()
-        .map(|m| m.id.index as u32)
-        .max()
-        .unwrap_or(0)
-        + 1;
+    let new_epoch =
+        (metas.values().map(|m| m.id.index as u32).max().unwrap_or(0) + 1).max(cur_epoch + 1);
     if cfg.protocol.logs_messages() {
         for c in pg.channels() {
             let lo = metas[&(c.to, line[&c.to].index)].received_on(c.idx);
@@ -860,4 +1025,5 @@ fn recover(
     for tx in ctrl_tx {
         let _ = tx.send(Ctrl::Resume(new_epoch));
     }
+    new_epoch
 }

@@ -42,6 +42,7 @@ fn cfg(protocol: ProtocolKind, kill: Option<u32>) -> LiveConfig {
         checkpoint_interval: Duration::from_millis(120),
         kill_worker: kill,
         timeout: Duration::from_secs(60),
+        ..LiveConfig::default()
     }
 }
 

@@ -1,0 +1,177 @@
+//! The storage backend abstraction and the in-memory reference backend.
+//!
+//! A [`StorageBackend`] is a keyed blob store: the durable service every
+//! checkpoint PUT lands in and every recovery GET reads from. Backends
+//! differ in durability (memory vs. disk) and in behaviour under load
+//! (see [`crate::perturb::PerturbedBackend`]); the [`crate::ObjectStore`]
+//! facade in front of them adds traffic accounting and transient-failure
+//! retries so call sites keep the simple infallible API.
+
+use crate::profile::StorageProfile;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Key of a stored object. Checkpoint state keys follow the convention
+/// `ckpt/<instance>/<index>` (whole snapshots) and
+/// `ckpt/<instance>/<owner>/c<slot>` (incremental chunks); checkpoint
+/// metadata lives under `ckptmeta/<instance>/<index>`.
+pub type ObjectKey = String;
+
+/// Backend operation failure. All failures are transient by contract —
+/// an object store either eventually accepts the request or the operator
+/// pages someone; the facade retries with accounting and treats retry
+/// exhaustion as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    pub op: &'static str,
+    pub key: String,
+    pub reason: String,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage {} {:?}: {}", self.op, self.key, self.reason)
+    }
+}
+
+/// A durable keyed blob store (the MinIO substitute).
+///
+/// `delete`/`delete_prefix` are idempotent and infallible: deleting is a
+/// local metadata operation in every modelled backend. `delete_prefix`
+/// must scan and remove under a single critical section so that a PUT
+/// racing with "delete all under prefix" can never leave a half-deleted
+/// range behind.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError>;
+    fn get(&self, key: &str) -> Result<Option<Bytes>, StorageError>;
+    /// Remove `key`; returns the freed byte count when it existed.
+    fn delete(&self, key: &str) -> Option<usize>;
+    /// Atomically remove every key under `prefix`; returns `(objects,
+    /// bytes)` removed.
+    fn delete_prefix(&self, prefix: &str) -> (usize, u64);
+    /// Keys under `prefix`, in lexicographic order.
+    fn list(&self, prefix: &str) -> Vec<ObjectKey>;
+    fn size_of(&self, key: &str) -> Option<usize>;
+    fn object_count(&self) -> usize;
+    fn total_bytes(&self) -> u64;
+    /// The backend's declared latency/bandwidth profile.
+    fn profile(&self) -> StorageProfile;
+}
+
+/// The in-memory backend: an ordered blob map behind one mutex. Contents
+/// survive *worker* failures by construction (the store models a
+/// separate storage service) but not process restarts — use
+/// [`crate::file::FileBackend`] for that.
+#[derive(Debug)]
+pub struct MemBackend {
+    objects: Mutex<BTreeMap<ObjectKey, Bytes>>,
+    profile: StorageProfile,
+}
+
+impl MemBackend {
+    pub fn new() -> Self {
+        Self::with_profile(StorageProfile::minio_lan())
+    }
+
+    /// An in-memory backend declaring `profile` — how the virtual-time
+    /// engine runs storage-sensitivity sweeps without leaving RAM.
+    pub fn with_profile(profile: StorageProfile) -> Self {
+        Self {
+            objects: Mutex::new(BTreeMap::new()),
+            profile,
+        }
+    }
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Range-scan keys under `prefix` from an ordered map.
+pub(crate) fn scan_prefix(map: &BTreeMap<ObjectKey, Bytes>, prefix: &str) -> Vec<ObjectKey> {
+    map.range(prefix.to_string()..)
+        .take_while(|(k, _)| k.starts_with(prefix))
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+impl StorageBackend for MemBackend {
+    fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        self.objects.lock().insert(key.to_string(), bytes);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        Ok(self.objects.lock().get(key).cloned())
+    }
+
+    fn delete(&self, key: &str) -> Option<usize> {
+        self.objects.lock().remove(key).map(|b| b.len())
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> (usize, u64) {
+        // Scan and remove under one lock: a concurrent put under the
+        // prefix either lands before the scan (and is removed) or after
+        // the whole removal (and survives as a new object) — never in
+        // between.
+        let mut map = self.objects.lock();
+        let keys = scan_prefix(&map, prefix);
+        let mut bytes = 0u64;
+        for k in &keys {
+            if let Some(b) = map.remove(k) {
+                bytes += b.len() as u64;
+            }
+        }
+        (keys.len(), bytes)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<ObjectKey> {
+        scan_prefix(&self.objects.lock(), prefix)
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        self.objects.lock().get(key).map(Bytes::len)
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.lock().values().map(|b| b.len() as u64).sum()
+    }
+
+    fn profile(&self) -> StorageProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        let b = MemBackend::new();
+        b.put("k", Bytes::from(vec![1u8, 2, 3])).unwrap();
+        assert_eq!(b.get("k").unwrap().unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(b.size_of("k"), Some(3));
+        assert_eq!(b.delete("k"), Some(3));
+        assert_eq!(b.delete("k"), None);
+        assert!(b.get("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn mem_backend_delete_prefix_counts_bytes() {
+        let b = MemBackend::new();
+        b.put("a/1", Bytes::from(vec![0u8; 10])).unwrap();
+        b.put("a/2", Bytes::from(vec![0u8; 5])).unwrap();
+        b.put("b/1", Bytes::from(vec![0u8; 7])).unwrap();
+        assert_eq!(b.delete_prefix("a/"), (2, 15));
+        assert_eq!(b.object_count(), 1);
+        assert_eq!(b.total_bytes(), 7);
+    }
+}

@@ -1,16 +1,34 @@
 //! # checkmate-storage
 //!
-//! The durable checkpoint store — our MinIO substitute.
+//! The durable checkpoint store — our MinIO substitute — as a pluggable
+//! subsystem.
 //!
 //! Checkpoints only count once they are durable (paper §III-A: "the
 //! checkpoints are stored in durable storage"), so every protocol's
-//! checkpoint path ends in a PUT here, and every recovery starts with GETs.
-//! The store itself is an in-memory keyed blob map; *when* a PUT/GET
-//! completes is the engine's job, priced by
-//! `checkmate_sim::CostModel::{store_put_ns, store_get_ns}` so that state
-//! size drives checkpoint and restart durations exactly as a remote object
-//! store would.
+//! checkpoint path ends in a PUT here, and every recovery starts with
+//! GETs. The subsystem has three layers:
+//!
+//! - [`StorageBackend`] — the keyed blob-store contract, with three
+//!   implementations: [`MemBackend`] (ordered in-memory map),
+//!   [`FileBackend`] (objects as files on disk; survives process
+//!   restarts), and [`PerturbedBackend`] (decorator injecting latency
+//!   distributions, bandwidth caps and transient failures);
+//! - [`StorageProfile`] — each backend's declared latency/bandwidth
+//!   figures, which the virtual-time engine prices checkpoint uploads
+//!   and recovery fetches from (state size drives checkpoint and restart
+//!   durations exactly as a remote object store would);
+//! - [`ObjectStore`] — the facade handle in front of a backend, adding
+//!   per-operation traffic accounting ([`StoreStats`]) and
+//!   transient-failure retries with retry accounting.
 
+pub mod backend;
+pub mod file;
+pub mod perturb;
+pub mod profile;
 pub mod store;
 
-pub use store::{ObjectKey, ObjectStore, SharedStore, StoreStats};
+pub use backend::{MemBackend, ObjectKey, StorageBackend, StorageError};
+pub use file::FileBackend;
+pub use perturb::{Perturbation, PerturbedBackend};
+pub use profile::StorageProfile;
+pub use store::{ObjectStore, SharedStore, StoreStats, MAX_ATTEMPTS};

@@ -1,0 +1,226 @@
+//! Latency / bandwidth / fault perturbation decorator.
+//!
+//! Wraps any [`StorageBackend`] and makes it behave like a store under
+//! stress: every PUT/GET pays extra (uniformly jittered) latency and a
+//! bandwidth cap as *real* sleeps, and a configurable fraction of
+//! operations fail transiently. The [`crate::ObjectStore`] facade
+//! retries transient failures with accounting, so callers observe a slow
+//! store, not a broken one.
+//!
+//! The decorator is for wall-clock consumers (the threaded runtime and
+//! tests); the virtual-time engine does not sleep — it prices storage
+//! from the declared [`StorageProfile`], which this decorator adjusts to
+//! reflect its own perturbation (added latency, capped bandwidth).
+
+use crate::backend::{ObjectKey, StorageBackend, StorageError};
+use crate::profile::StorageProfile;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to inject. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Mean extra latency added to every PUT and GET.
+    pub extra_latency_ns: u64,
+    /// Uniform jitter applied to the extra latency: each operation pays
+    /// `extra × U(1 − jitter, 1 + jitter)`.
+    pub jitter: f64,
+    /// Cap on transfer throughput; transfers sleep `bytes / cap` on top
+    /// of the latency. `None` = uncapped.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Probability that a PUT fails transiently (nothing written).
+    pub put_fail_p: f64,
+    /// Probability that a GET fails transiently.
+    pub get_fail_p: f64,
+    /// Seed of the decorator's private RNG — same seed, same fault and
+    /// jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for Perturbation {
+    fn default() -> Self {
+        Self {
+            extra_latency_ns: 0,
+            jitter: 0.0,
+            bandwidth_bytes_per_sec: None,
+            put_fail_p: 0.0,
+            get_fail_p: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A [`StorageBackend`] decorator injecting latency, bandwidth caps and
+/// transient failures into an inner backend.
+#[derive(Debug)]
+pub struct PerturbedBackend {
+    inner: Arc<dyn StorageBackend>,
+    cfg: Perturbation,
+    rng: Mutex<u64>,
+}
+
+impl PerturbedBackend {
+    pub fn new(inner: Arc<dyn StorageBackend>, cfg: Perturbation) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.put_fail_p));
+        assert!((0.0..=1.0).contains(&cfg.get_fail_p));
+        assert!((0.0..=1.0).contains(&cfg.jitter));
+        let rng = Mutex::new(cfg.seed | 1);
+        Self { inner, cfg, rng }
+    }
+
+    /// Next uniform draw in `[0, 1)` (splitmix64).
+    fn draw(&self) -> f64 {
+        let mut s = self.rng.lock();
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn sleep_for(&self, bytes: usize) {
+        let jitter = 1.0 + self.cfg.jitter * (2.0 * self.draw() - 1.0);
+        let mut ns = (self.cfg.extra_latency_ns as f64 * jitter) as u64;
+        if let Some(cap) = self.cfg.bandwidth_bytes_per_sec {
+            ns += (bytes as u64).saturating_mul(1_000_000_000) / cap.max(1);
+        }
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+
+    fn fail(&self, p: f64, op: &'static str, key: &str) -> Result<(), StorageError> {
+        if p > 0.0 && self.draw() < p {
+            Err(StorageError {
+                op,
+                key: key.to_string(),
+                reason: "injected transient failure".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl StorageBackend for PerturbedBackend {
+    fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        self.fail(self.cfg.put_fail_p, "put", key)?;
+        self.sleep_for(bytes.len());
+        self.inner.put(key, bytes)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        self.fail(self.cfg.get_fail_p, "get", key)?;
+        let got = self.inner.get(key)?;
+        self.sleep_for(got.as_ref().map_or(0, Bytes::len));
+        Ok(got)
+    }
+
+    fn delete(&self, key: &str) -> Option<usize> {
+        self.inner.delete(key)
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> (usize, u64) {
+        self.inner.delete_prefix(prefix)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<ObjectKey> {
+        self.inner.list(prefix)
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        self.inner.size_of(key)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn profile(&self) -> StorageProfile {
+        let inner = self.inner.profile();
+        StorageProfile {
+            name: "perturbed",
+            put_latency_ns: inner.put_latency_ns + self.cfg.extra_latency_ns,
+            get_latency_ns: inner.get_latency_ns + self.cfg.extra_latency_ns,
+            bytes_per_sec: self
+                .cfg
+                .bandwidth_bytes_per_sec
+                .map_or(inner.bytes_per_sec, |cap| cap.min(inner.bytes_per_sec)),
+            per_object_ns: inner.per_object_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn perturbed(cfg: Perturbation) -> PerturbedBackend {
+        PerturbedBackend::new(Arc::new(MemBackend::new()), cfg)
+    }
+
+    #[test]
+    fn passthrough_when_unperturbed() {
+        let b = perturbed(Perturbation::default());
+        b.put("k", Bytes::from(vec![1u8])).unwrap();
+        assert_eq!(b.get("k").unwrap().unwrap().as_ref(), &[1]);
+        assert_eq!(b.object_count(), 1);
+    }
+
+    #[test]
+    fn failures_are_injected_and_transient() {
+        let b = perturbed(Perturbation {
+            put_fail_p: 0.5,
+            seed: 7,
+            ..Perturbation::default()
+        });
+        let mut failures = 0;
+        for i in 0..50 {
+            if b.put(&format!("k{i}"), Bytes::from(vec![0u8])).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 5 && failures < 45, "failures = {failures}");
+        // Failed puts wrote nothing; successful ones are all there.
+        assert_eq!(b.object_count(), 50 - failures);
+    }
+
+    #[test]
+    fn profile_reflects_perturbation() {
+        let b = perturbed(Perturbation {
+            extra_latency_ns: 1_000_000,
+            bandwidth_bytes_per_sec: Some(1_000),
+            ..Perturbation::default()
+        });
+        let p = b.profile();
+        assert_eq!(p.name, "perturbed");
+        assert_eq!(
+            p.put_latency_ns,
+            StorageProfile::minio_lan().put_latency_ns + 1_000_000
+        );
+        assert_eq!(p.bytes_per_sec, 1_000);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let run = || {
+            let b = perturbed(Perturbation {
+                get_fail_p: 0.3,
+                seed: 42,
+                ..Perturbation::default()
+            });
+            (0..32)
+                .map(|_| b.get("missing").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

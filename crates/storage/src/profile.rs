@@ -1,0 +1,159 @@
+//! Declared performance profiles of storage backends.
+//!
+//! Every backend declares how expensive its PUTs and GETs are; the
+//! virtual-time engine prices checkpoint uploads and recovery fetches
+//! from this declaration instead of from flat cost-model constants, so a
+//! run against an "S3-over-WAN-like" store and one against a
+//! "local-SSD-like" store differ exactly where the paper says they
+//! should: in checkpoint duration, restart time, and the protocol
+//! rankings that follow from them.
+
+/// Latency/bandwidth declaration of a storage backend. All `*_ns`
+/// figures are nanoseconds (virtual or wall, depending on the consumer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageProfile {
+    pub name: &'static str,
+    /// Fixed round-trip latency of a PUT.
+    pub put_latency_ns: u64,
+    /// Fixed round-trip latency of a GET.
+    pub get_latency_ns: u64,
+    /// Sustained transfer throughput, bytes per second (direction-less).
+    pub bytes_per_sec: u64,
+    /// Extra fixed cost per *additional* object in a batched transfer
+    /// (request pipelining amortizes the full round trip).
+    pub per_object_ns: u64,
+}
+
+const MICROS: u64 = 1_000;
+const MILLIS: u64 = 1_000_000;
+
+impl StorageProfile {
+    /// The calibration the cost model always used: a MinIO-like object
+    /// store on the testbed LAN (2 ms round trips, 250 MB/s). This is
+    /// the default profile, so runs that never touch the storage
+    /// configuration behave exactly as before.
+    pub fn minio_lan() -> Self {
+        Self {
+            name: "minio-lan",
+            put_latency_ns: 2 * MILLIS,
+            get_latency_ns: 2 * MILLIS,
+            bytes_per_sec: 250_000_000,
+            per_object_ns: 150 * MICROS,
+        }
+    }
+
+    /// In-memory store: checkpointing to the RAM of a storage service on
+    /// the same rack.
+    pub fn ram() -> Self {
+        Self {
+            name: "ram",
+            put_latency_ns: 60 * MICROS,
+            get_latency_ns: 60 * MICROS,
+            bytes_per_sec: 12_500_000_000,
+            per_object_ns: 10 * MICROS,
+        }
+    }
+
+    /// Local NVMe-class durable storage.
+    pub fn local_ssd() -> Self {
+        Self {
+            name: "local-ssd",
+            put_latency_ns: 250 * MICROS,
+            get_latency_ns: 180 * MICROS,
+            bytes_per_sec: 2_000_000_000,
+            per_object_ns: 30 * MICROS,
+        }
+    }
+
+    /// A cloud object store reached over a WAN: tens of milliseconds of
+    /// latency, modest bandwidth, real per-request overhead.
+    pub fn s3_wan() -> Self {
+        Self {
+            name: "s3-wan",
+            put_latency_ns: 15 * MILLIS,
+            get_latency_ns: 12 * MILLIS,
+            bytes_per_sec: 80_000_000,
+            per_object_ns: 4 * MILLIS,
+        }
+    }
+
+    /// The file-backed backend's own declaration (local disk).
+    pub fn file() -> Self {
+        Self {
+            name: "file",
+            put_latency_ns: 500 * MICROS,
+            get_latency_ns: 300 * MICROS,
+            bytes_per_sec: 1_000_000_000,
+            per_object_ns: 50 * MICROS,
+        }
+    }
+
+    fn xfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64).saturating_mul(1_000_000_000) / self.bytes_per_sec.max(1)
+    }
+
+    /// Wall time of one PUT of `bytes`.
+    pub fn put_ns(&self, bytes: usize) -> u64 {
+        self.put_latency_ns + self.xfer_ns(bytes)
+    }
+
+    /// Wall time of one GET of `bytes`.
+    pub fn get_ns(&self, bytes: usize) -> u64 {
+        self.get_latency_ns + self.xfer_ns(bytes)
+    }
+
+    /// Wall time of a pipelined PUT of `objects` objects totalling
+    /// `bytes`: one full round trip plus per-object overhead beyond the
+    /// first. Equals [`Self::put_ns`] for a single object.
+    pub fn put_many_ns(&self, objects: usize, bytes: usize) -> u64 {
+        self.put_ns(bytes) + self.per_object_ns * (objects.max(1) as u64 - 1)
+    }
+
+    /// Wall time of a pipelined GET of `objects` objects totalling
+    /// `bytes`.
+    pub fn get_many_ns(&self, objects: usize, bytes: usize) -> u64 {
+        self.get_ns(bytes) + self.per_object_ns * (objects.max(1) as u64 - 1)
+    }
+}
+
+impl Default for StorageProfile {
+    fn default() -> Self {
+        Self::minio_lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_historical_cost_model() {
+        let p = StorageProfile::default();
+        assert_eq!(p.put_latency_ns, 2 * MILLIS);
+        assert_eq!(p.get_latency_ns, 2 * MILLIS);
+        assert_eq!(p.bytes_per_sec, 250_000_000);
+        // 1 MB at 250 MB/s = 4 ms of transfer on top of latency.
+        assert_eq!(p.put_ns(1_000_000), 2 * MILLIS + 4 * MILLIS);
+        assert_eq!(p.get_ns(0), p.get_latency_ns);
+    }
+
+    #[test]
+    fn batched_transfers_amortize_the_round_trip() {
+        let p = StorageProfile::minio_lan();
+        assert_eq!(p.put_many_ns(1, 1000), p.put_ns(1000));
+        assert_eq!(
+            p.put_many_ns(10, 1000),
+            p.put_ns(1000) + 9 * p.per_object_ns
+        );
+        assert!(p.get_many_ns(10, 1000) < 10 * p.get_ns(100));
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let ram = StorageProfile::ram();
+        let lan = StorageProfile::minio_lan();
+        let wan = StorageProfile::s3_wan();
+        assert!(ram.put_ns(100_000) < lan.put_ns(100_000));
+        assert!(lan.put_ns(100_000) < wan.put_ns(100_000));
+    }
+}

@@ -1,13 +1,26 @@
-//! In-memory object store with byte accounting.
+//! The [`ObjectStore`] facade: accounting + retries over any backend.
+//!
+//! Call sites keep the simple infallible API the engine and runtime have
+//! always used; the facade layers two behaviours on top of the chosen
+//! [`StorageBackend`]:
+//!
+//! - **traffic accounting** ([`StoreStats`]) for every operation class,
+//!   including deleted bytes, so benches can report the *net* durable
+//!   footprint over time;
+//! - **transient-failure retries** with retry accounting, so a
+//!   [`crate::perturb::PerturbedBackend`] injecting faults degrades
+//!   throughput instead of crashing the pipeline. Retry exhaustion
+//!   panics: a store that rejects the same request
+//!   [`MAX_ATTEMPTS`] times is an outage, not a perturbation.
 
+use crate::backend::{MemBackend, ObjectKey, StorageBackend};
+use crate::profile::StorageProfile;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Key of a stored object. Checkpoint state keys follow the convention
-/// `ckpt/<instance>/<index>`; channel log segments use `log/<channel>/…`.
-pub type ObjectKey = String;
+/// Attempts per operation before the facade declares the store down.
+pub const MAX_ATTEMPTS: u32 = 16;
 
 /// Aggregate store statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -15,119 +28,175 @@ pub struct StoreStats {
     pub puts: u64,
     pub gets: u64,
     pub deletes: u64,
+    /// `list` calls (prefix scans).
+    pub lists: u64,
+    /// `size_of` calls (HEAD-style metadata reads).
+    pub size_ofs: u64,
     pub bytes_put: u64,
     pub bytes_got: u64,
+    /// Bytes freed by `delete`/`delete_prefix` — `bytes_put −
+    /// bytes_deleted` is the net durable footprint written by this store
+    /// handle.
+    pub bytes_deleted: u64,
+    /// Transiently failed PUT attempts that were retried.
+    pub put_retries: u64,
+    /// Transiently failed GET attempts that were retried.
+    pub get_retries: u64,
 }
 
-/// A simple durable object store (MinIO substitute).
-///
-/// Contents survive worker failures by construction — the store models a
-/// separate storage service. Thread-safe for the threaded runtime.
-#[derive(Debug, Default)]
+impl StoreStats {
+    /// Net durable bytes (written minus deleted) accounted so far.
+    pub fn net_bytes(&self) -> i64 {
+        self.bytes_put as i64 - self.bytes_deleted as i64
+    }
+}
+
+/// The durable object store handle (MinIO substitute) the engines write
+/// checkpoints through. Thread-safe; share via [`ObjectStore::shared`].
+#[derive(Debug)]
 pub struct ObjectStore {
-    inner: Mutex<Inner>,
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    objects: BTreeMap<ObjectKey, Bytes>,
-    stats: StoreStats,
+    backend: Arc<dyn StorageBackend>,
+    stats: Mutex<StoreStats>,
 }
 
 /// Shared handle.
 pub type SharedStore = Arc<ObjectStore>;
 
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ObjectStore {
+    /// An in-memory store with the default (MinIO-like) profile.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(Arc::new(MemBackend::new()))
+    }
+
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
+        Self {
+            backend,
+            stats: Mutex::new(StoreStats::default()),
+        }
     }
 
     pub fn shared() -> SharedStore {
         Arc::new(Self::new())
     }
 
+    pub fn shared_with(backend: Arc<dyn StorageBackend>) -> SharedStore {
+        Arc::new(Self::with_backend(backend))
+    }
+
+    /// The backend's declared latency/bandwidth profile.
+    pub fn profile(&self) -> StorageProfile {
+        self.backend.profile()
+    }
+
     /// Store `bytes` under `key`, replacing any existing object.
+    /// Transient backend failures are retried (and accounted).
     pub fn put(&self, key: impl Into<ObjectKey>, bytes: impl Into<Bytes>) {
         let key = key.into();
         let bytes = bytes.into();
-        let mut inner = self.inner.lock();
-        inner.stats.puts += 1;
-        inner.stats.bytes_put += bytes.len() as u64;
-        inner.objects.insert(key, bytes);
+        let len = bytes.len() as u64;
+        for attempt in 1..=MAX_ATTEMPTS {
+            match self.backend.put(&key, bytes.clone()) {
+                Ok(()) => {
+                    let mut st = self.stats.lock();
+                    st.puts += 1;
+                    st.bytes_put += len;
+                    return;
+                }
+                Err(e) => {
+                    self.stats.lock().put_retries += 1;
+                    if attempt == MAX_ATTEMPTS {
+                        panic!("store unavailable after {MAX_ATTEMPTS} attempts: {e}");
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns or panics");
     }
 
-    /// Fetch the object under `key`.
+    /// Fetch the object under `key`. Transient backend failures are
+    /// retried (and accounted); `None` means the object does not exist.
     pub fn get(&self, key: &str) -> Option<Bytes> {
-        let mut inner = self.inner.lock();
-        let got = inner.objects.get(key).cloned();
-        if let Some(ref b) = got {
-            inner.stats.gets += 1;
-            inner.stats.bytes_got += b.len() as u64;
+        for attempt in 1..=MAX_ATTEMPTS {
+            match self.backend.get(key) {
+                Ok(got) => {
+                    if let Some(ref b) = got {
+                        let mut st = self.stats.lock();
+                        st.gets += 1;
+                        st.bytes_got += b.len() as u64;
+                    }
+                    return got;
+                }
+                Err(e) => {
+                    self.stats.lock().get_retries += 1;
+                    if attempt == MAX_ATTEMPTS {
+                        panic!("store unavailable after {MAX_ATTEMPTS} attempts: {e}");
+                    }
+                }
+            }
         }
-        got
+        unreachable!("loop returns or panics");
     }
 
     /// Size of the object under `key` without fetching it.
     pub fn size_of(&self, key: &str) -> Option<usize> {
-        self.inner.lock().objects.get(key).map(Bytes::len)
+        self.stats.lock().size_ofs += 1;
+        self.backend.size_of(key)
     }
 
     pub fn delete(&self, key: &str) -> bool {
-        let mut inner = self.inner.lock();
-        let removed = inner.objects.remove(key).is_some();
-        if removed {
-            inner.stats.deletes += 1;
+        match self.backend.delete(key) {
+            Some(len) => {
+                let mut st = self.stats.lock();
+                st.deletes += 1;
+                st.bytes_deleted += len as u64;
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Keys under a prefix, in lexicographic order.
     pub fn list(&self, prefix: &str) -> Vec<ObjectKey> {
-        let inner = self.inner.lock();
-        inner
-            .objects
-            .range(prefix.to_string()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, _)| k.clone())
-            .collect()
+        self.stats.lock().lists += 1;
+        self.backend.list(prefix)
     }
 
     /// Delete all keys under a prefix; returns how many were removed.
+    /// The scan and the removal happen under one backend critical
+    /// section, so a concurrent `put` under the prefix either dies with
+    /// the range or fully survives it — never half of each.
     pub fn delete_prefix(&self, prefix: &str) -> usize {
-        let keys = self.list(prefix);
-        let mut inner = self.inner.lock();
-        let mut n = 0;
-        for k in keys {
-            if inner.objects.remove(&k).is_some() {
-                inner.stats.deletes += 1;
-                n += 1;
-            }
-        }
+        let (n, bytes) = self.backend.delete_prefix(prefix);
+        let mut st = self.stats.lock();
+        st.deletes += n as u64;
+        st.bytes_deleted += bytes;
         n
     }
 
     pub fn object_count(&self) -> usize {
-        self.inner.lock().objects.len()
+        self.backend.object_count()
     }
 
     /// Total stored bytes right now.
     pub fn total_bytes(&self) -> u64 {
-        self.inner
-            .lock()
-            .objects
-            .values()
-            .map(|b| b.len() as u64)
-            .sum()
+        self.backend.total_bytes()
     }
 
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().stats
+        *self.stats.lock()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::perturb::{Perturbation, PerturbedBackend};
 
     #[test]
     fn put_get_roundtrip() {
@@ -178,12 +247,20 @@ mod tests {
         s.get("k");
         s.get("k");
         s.get("missing");
+        s.size_of("k");
+        s.list("k");
+        s.delete("k");
         let st = s.stats();
         assert_eq!(st.puts, 1);
         assert_eq!(st.gets, 2); // missing get not counted
         assert_eq!(st.bytes_put, 100);
         assert_eq!(st.bytes_got, 200);
-        assert_eq!(s.total_bytes(), 100);
+        assert_eq!(st.size_ofs, 1);
+        assert_eq!(st.lists, 1);
+        assert_eq!(st.deletes, 1);
+        assert_eq!(st.bytes_deleted, 100);
+        assert_eq!(st.net_bytes(), 0);
+        assert_eq!(s.total_bytes(), 0);
     }
 
     #[test]
@@ -195,5 +272,54 @@ mod tests {
         });
         h.join().unwrap();
         assert!(s.get("from-thread").is_some());
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_accounting() {
+        let backend = PerturbedBackend::new(
+            Arc::new(MemBackend::new()),
+            Perturbation {
+                put_fail_p: 0.4,
+                get_fail_p: 0.4,
+                seed: 3,
+                ..Perturbation::default()
+            },
+        );
+        let s = ObjectStore::with_backend(Arc::new(backend));
+        for i in 0..40 {
+            s.put(format!("k{i}"), vec![0u8; 8]);
+        }
+        for i in 0..40 {
+            assert!(s.get(&format!("k{i}")).is_some());
+        }
+        let st = s.stats();
+        assert_eq!(st.puts, 40, "every put eventually succeeded");
+        assert_eq!(st.gets, 40);
+        assert!(st.put_retries > 0, "expected some injected put failures");
+        assert!(st.get_retries > 0, "expected some injected get failures");
+    }
+
+    #[test]
+    fn delete_prefix_is_atomic_under_concurrent_puts() {
+        // A put racing with delete_prefix("p/") must either be deleted
+        // with the range or fully survive: afterwards, any surviving key
+        // must still hold its complete object (no torn state), and a
+        // second delete_prefix with no concurrent writers always ends
+        // empty.
+        let s = ObjectStore::shared();
+        for round in 0..50 {
+            s.put(format!("p/seed{round}"), vec![0u8; 16]);
+            let s2 = Arc::clone(&s);
+            let writer = std::thread::spawn(move || {
+                s2.put(format!("p/racer{round}"), vec![7u8; 16]);
+            });
+            s.delete_prefix("p/");
+            writer.join().unwrap();
+            for key in s.list("p/") {
+                assert_eq!(s.get(&key).unwrap().len(), 16, "torn object at {key}");
+            }
+            s.delete_prefix("p/");
+            assert!(s.list("p/").is_empty());
+        }
     }
 }

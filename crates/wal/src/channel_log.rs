@@ -81,7 +81,11 @@ impl ChannelLog {
         );
         let start = (lo + 1 - self.first_seq) as usize;
         let end = ((hi + 1).saturating_sub(self.first_seq) as usize).min(self.entries.len());
-        self.entries.iter().skip(start).take(end.saturating_sub(start)).collect()
+        self.entries
+            .iter()
+            .skip(start)
+            .take(end.saturating_sub(start))
+            .collect()
     }
 
     /// Drop entries with `seq < below`. Called when checkpoint retention
@@ -152,7 +156,10 @@ mod tests {
     fn range_is_exclusive_inclusive() {
         let l = filled(10);
         let r = l.range(3, 7);
-        assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(
+            r.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
         assert!(l.range(7, 7).is_empty());
         assert!(l.range(9, 3).is_empty());
     }
@@ -213,7 +220,10 @@ mod tests {
     #[test]
     fn range_bytes_accounts_payload() {
         let l = filled(3);
-        assert_eq!(l.range_bytes(0, 3), l.range(0, 3).iter().map(|e| e.bytes).sum());
+        assert_eq!(
+            l.range_bytes(0, 3),
+            l.range(0, 3).iter().map(|e| e.bytes).sum()
+        );
         assert!(l.range_bytes(0, 3) > 0);
     }
 }

@@ -143,7 +143,10 @@ impl<S: EventStream> SourceLog<S> {
         if self.schedule.readable_at(offset)? > now {
             return None;
         }
-        let at = self.schedule.available_at(offset).expect("readable ⇒ available");
+        let at = self
+            .schedule
+            .available_at(offset)
+            .expect("readable ⇒ available");
         let mut record = self.stream.record(partition, offset);
         record.ingest_time = at;
         Some(SourceEntry {
@@ -204,11 +207,7 @@ mod tests {
             self.parts
         }
         fn record(&self, partition: u32, offset: u64) -> Record {
-            Record::new(
-                partition as u64 * 1_000_000 + offset,
-                Value::U64(offset),
-                0,
-            )
+            Record::new(partition as u64 * 1_000_000 + offset, Value::U64(offset), 0)
         }
     }
 

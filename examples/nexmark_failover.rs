@@ -48,7 +48,9 @@ fn main() {
         println!();
         println!(
             "restart {:>7.1} ms   recovery {}   invalid checkpoints {}/{}   duplicates to sink {}",
-            r.restart_time_ns.map(|t| t as f64 / 1e6).unwrap_or(f64::NAN),
+            r.restart_time_ns
+                .map(|t| t as f64 / 1e6)
+                .unwrap_or(f64::NAN),
             r.recovery_time_ns
                 .map(|t| format!("{:7.1} ms", t as f64 / 1e6))
                 .unwrap_or_else(|| "   (not within run)".into()),

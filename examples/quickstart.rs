@@ -64,6 +64,7 @@ fn main() {
                 checkpoint_interval: Duration::from_millis(100),
                 kill_worker: kill,
                 timeout: Duration::from_secs(30),
+                ..LiveConfig::default()
             },
         );
         println!(

@@ -19,10 +19,11 @@ const SEC: u64 = 1_000_000_000;
 fn main() {
     let parallelism = 4;
     let rate = 1_150.0 * parallelism as f64;
+    println!("NexMark Q12, {parallelism} workers, {rate:.0} rec/s — hot items hash to 2 keys\n");
     println!(
-        "NexMark Q12, {parallelism} workers, {rate:.0} rec/s — hot items hash to 2 keys\n"
+        "{:>8}  {:>10}  {:>12}  {:>14}",
+        "hot %", "protocol", "p50 (ms)", "avg ct (ms)"
     );
-    println!("{:>8}  {:>10}  {:>12}  {:>14}", "hot %", "protocol", "p50 (ms)", "avg ct (ms)");
     for hot in [0.0, 0.10, 0.20, 0.30] {
         for protocol in [ProtocolKind::Coordinated, ProtocolKind::Uncoordinated] {
             let skew = if hot > 0.0 { Skew::hot(hot) } else { None };

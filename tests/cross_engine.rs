@@ -20,7 +20,11 @@ const LIMIT: u64 = 1_200;
 fn graph() -> LogicalGraph {
     let mut b = GraphBuilder::new();
     let src = b.source("src", 0, 120_000, Arc::new(|_| Box::new(PassThroughOp)));
-    let cnt = b.op("count", 220_000, Arc::new(|_| Box::new(KeyedCounterOp::new())));
+    let cnt = b.op(
+        "count",
+        220_000,
+        Arc::new(|_| Box::new(KeyedCounterOp::new())),
+    );
     let sink = b.sink("sink", 90_000, Arc::new(|_| Box::new(DigestSinkOp::new())));
     b.connect(src, cnt, EdgeKind::Shuffle);
     b.connect(cnt, sink, EdgeKind::Forward);
@@ -76,6 +80,7 @@ fn live_digest(protocol: ProtocolKind, kill: Option<u32>) -> checkmate::dataflow
             checkpoint_interval: Duration::from_millis(120),
             kill_worker: kill,
             timeout: Duration::from_secs(60),
+            ..LiveConfig::default()
         },
     );
     assert_eq!(r.sink_digest.count, LIMIT * PARALLELISM as u64);

@@ -8,7 +8,13 @@ use checkmate::nexmark::{Query, Skew};
 
 const SEC: u64 = 1_000_000_000;
 
-fn steady(q: Query, protocol: ProtocolKind, parallelism: u32, rate_pw: f64, skew: Option<Skew>) -> checkmate::engine::RunReport {
+fn steady(
+    q: Query,
+    protocol: ProtocolKind,
+    parallelism: u32,
+    rate_pw: f64,
+    skew: Option<Skew>,
+) -> checkmate::engine::RunReport {
     let workload = q.workload(parallelism, 11, skew);
     let cfg = EngineConfig {
         parallelism,
@@ -36,7 +42,11 @@ fn claim_coordinated_wins_uniform_workloads() {
         assert!(coor >= unc, "{}: COOR {coor} < UNC {unc}", q.name());
         assert!(unc > cic, "{}: UNC {unc} ≤ CIC {cic}", q.name());
         // "the uncoordinated approach … remains competitive": within ~15 %.
-        assert!(unc >= 0.85 * coor, "{}: UNC {unc} not competitive with {coor}", q.name());
+        assert!(
+            unc >= 0.85 * coor,
+            "{}: UNC {unc} not competitive with {coor}",
+            q.name()
+        );
     }
 }
 
@@ -47,8 +57,20 @@ fn claim_coordinated_wins_uniform_workloads() {
 fn claim_uncoordinated_wins_under_skew() {
     let rate = 1_150.0;
     let coor_uniform = steady(Query::Q12, ProtocolKind::Coordinated, 4, rate, None);
-    let coor_skew = steady(Query::Q12, ProtocolKind::Coordinated, 4, rate, Skew::hot(0.3));
-    let unc_skew = steady(Query::Q12, ProtocolKind::Uncoordinated, 4, rate, Skew::hot(0.3));
+    let coor_skew = steady(
+        Query::Q12,
+        ProtocolKind::Coordinated,
+        4,
+        rate,
+        Skew::hot(0.3),
+    );
+    let unc_skew = steady(
+        Query::Q12,
+        ProtocolKind::Uncoordinated,
+        4,
+        rate,
+        Skew::hot(0.3),
+    );
     assert!(
         coor_skew.avg_checkpoint_time_ns > 10 * coor_uniform.avg_checkpoint_time_ns,
         "COOR CT under skew {}ms vs uniform {}ms",
@@ -67,10 +89,24 @@ fn claim_uncoordinated_wins_under_skew() {
 /// due to its large message overhead."
 #[test]
 fn claim_cic_pays_for_piggybacks() {
-    let cic = steady(Query::Q1, ProtocolKind::CommunicationInduced, 4, 900.0, None);
+    let cic = steady(
+        Query::Q1,
+        ProtocolKind::CommunicationInduced,
+        4,
+        900.0,
+        None,
+    );
     let unc = steady(Query::Q1, ProtocolKind::Uncoordinated, 4, 900.0, None);
-    assert!(cic.overhead_ratio() > 1.3, "CIC overhead {}", cic.overhead_ratio());
-    assert!(unc.overhead_ratio() < 1.05, "UNC overhead {}", unc.overhead_ratio());
+    assert!(
+        cic.overhead_ratio() > 1.3,
+        "CIC overhead {}",
+        cic.overhead_ratio()
+    );
+    assert!(
+        unc.overhead_ratio() < 1.05,
+        "UNC overhead {}",
+        unc.overhead_ratio()
+    );
 }
 
 /// "The uncoordinated approach in practice does not suffer from the
@@ -130,7 +166,10 @@ fn claim_exactly_once_processing_not_output() {
     };
     let clean = run(false);
     let failed = run(true);
-    assert_eq!(clean.sink_digest, failed.sink_digest, "processing not exactly-once");
+    assert_eq!(
+        clean.sink_digest, failed.sink_digest,
+        "processing not exactly-once"
+    );
     assert_eq!(clean.output_duplicates, 0);
     assert!(
         failed.output_duplicates > 0,

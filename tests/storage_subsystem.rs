@@ -1,0 +1,161 @@
+//! Storage-subsystem acceptance tests on the virtual-time engine:
+//! incremental checkpoints cut uploaded bytes without changing what is
+//! computed, recovery works from chunked snapshots, and the declared
+//! storage profile — not a flat constant — drives checkpoint durations.
+
+use checkmate::core::{ChunkerConfig, IncrementalPolicy, ProtocolKind};
+use checkmate::dataflow::WorkerId;
+use checkmate::engine::config::FailureSpec;
+use checkmate::engine::report::Outcome;
+use checkmate::engine::{Engine, EngineConfig, RunReport};
+use checkmate::nexmark::Query;
+use checkmate::storage::StorageProfile;
+
+const SECONDS: u64 = 1_000_000_000;
+const MILLIS: u64 = 1_000_000;
+
+/// Bounded windowed NexMark run (Q8: tumbling-window join, the workload
+/// with real per-instance state). Both variants process the exact same
+/// record multiset, so sink digests must be equal.
+fn q8_cfg(incremental: Option<IncrementalPolicy>, fail: bool) -> EngineConfig {
+    EngineConfig {
+        parallelism: 2,
+        protocol: ProtocolKind::Uncoordinated,
+        total_rate: 1_600.0,
+        checkpoint_interval: 500 * MILLIS,
+        duration: 120 * SECONDS,
+        warmup: 2 * SECONDS,
+        input_limit: Some(3_000),
+        incremental,
+        failure: fail.then_some(FailureSpec {
+            at: 6 * SECONDS,
+            worker: WorkerId(0),
+        }),
+        ..EngineConfig::default()
+    }
+}
+
+fn fine_grained() -> IncrementalPolicy {
+    IncrementalPolicy {
+        chunking: ChunkerConfig::with_avg(256),
+        rebase_every: 32,
+    }
+}
+
+fn run_q8(incremental: Option<IncrementalPolicy>, fail: bool) -> RunReport {
+    let wl = Query::Q8.workload(2, 7, None);
+    Engine::new(&wl, q8_cfg(incremental, fail)).run()
+}
+
+/// ISSUE 2 acceptance: incremental checkpoints reduce `bytes_put` by
+/// ≥ 40 % versus full snapshots on a windowed NexMark workload, with
+/// identical sink digests.
+#[test]
+fn incremental_checkpoints_cut_uploaded_bytes_by_40_pct() {
+    let full = run_q8(None, false);
+    let incr = run_q8(Some(fine_grained()), false);
+    assert_eq!(full.outcome, Outcome::Drained, "{}", full.summary());
+    assert_eq!(incr.outcome, Outcome::Drained, "{}", incr.summary());
+    assert_eq!(
+        full.sink_digest,
+        incr.sink_digest,
+        "checkpoint mode changed WHAT was computed\nfull: {}\nincr: {}",
+        full.summary(),
+        incr.summary()
+    );
+    assert!(incr.checkpoints_total > 10, "{}", incr.summary());
+    let (fb, ib) = (full.store.bytes_put, incr.store.bytes_put);
+    assert!(
+        (ib as f64) <= 0.60 * fb as f64,
+        "incremental uploads not small enough: {ib} vs {fb} bytes ({:.1}% reduction)",
+        100.0 * (1.0 - ib as f64 / fb as f64)
+    );
+}
+
+/// Exactly-once under failure with incremental checkpoints: recovery
+/// reassembles chunked snapshots (resolving chunk chains across owner
+/// checkpoints) and replays to the same digest as a failure-free run.
+#[test]
+fn incremental_checkpoints_recover_exactly_once() {
+    let clean = run_q8(Some(fine_grained()), false);
+    let failed = run_q8(Some(fine_grained()), true);
+    assert_eq!(clean.outcome, Outcome::Drained);
+    assert_eq!(failed.outcome, Outcome::Drained, "{}", failed.summary());
+    assert!(failed.detected_at.is_some() && failed.restart_time_ns.is_some());
+    assert_eq!(
+        failed.sink_digest,
+        clean.sink_digest,
+        "incremental recovery lost or duplicated records\nclean:  {}\nfailed: {}",
+        clean.summary(),
+        failed.summary()
+    );
+}
+
+/// Incremental mode keeps the engine deterministic: same config + seed,
+/// bit-identical run.
+#[test]
+fn incremental_runs_are_deterministic() {
+    let a = run_q8(Some(fine_grained()), true);
+    let b = run_q8(Some(fine_grained()), true);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.sink_digest, b.sink_digest);
+    assert_eq!(a.store.bytes_put, b.store.bytes_put);
+    assert_eq!(a.store.puts, b.store.puts);
+}
+
+/// The engine prices storage from the backend's declared profile: a
+/// WAN-class store must stretch checkpoint durations and restart time
+/// versus a RAM-class one, with identical computation results.
+#[test]
+fn storage_profile_drives_checkpoint_and_restart_costs() {
+    let run_with = |profile: StorageProfile| {
+        let wl = Query::Q8.workload(2, 7, None);
+        let cfg = EngineConfig {
+            storage: profile,
+            ..q8_cfg(None, true)
+        };
+        Engine::new(&wl, cfg).run()
+    };
+    let ram = run_with(StorageProfile::ram());
+    let wan = run_with(StorageProfile::s3_wan());
+    assert_eq!(ram.sink_digest, wan.sink_digest);
+    assert!(
+        wan.avg_checkpoint_time_ns > ram.avg_checkpoint_time_ns,
+        "wan ckpt {} ≤ ram ckpt {}",
+        wan.avg_checkpoint_time_ns,
+        ram.avg_checkpoint_time_ns
+    );
+    assert!(
+        wan.restart_time_ns.unwrap() > ram.restart_time_ns.unwrap(),
+        "wan restart {:?} ≤ ram restart {:?}",
+        wan.restart_time_ns,
+        ram.restart_time_ns
+    );
+    assert_eq!(ram.store_profile, "ram");
+    assert_eq!(wan.store_profile, "s3-wan");
+}
+
+/// GC keeps the durable footprint bounded in incremental mode: chunks of
+/// reclaimed checkpoints disappear unless a retained manifest still
+/// references them, so live bytes stay near a few retained snapshots,
+/// not the whole upload history.
+#[test]
+fn incremental_gc_bounds_live_footprint() {
+    let r = run_q8(Some(fine_grained()), false);
+    assert!(
+        r.store.bytes_deleted > 0,
+        "GC never deleted: {}",
+        r.summary()
+    );
+    assert!(
+        r.store_bytes_live <= r.store.bytes_put,
+        "live {} > put {}",
+        r.store_bytes_live,
+        r.store.bytes_put
+    );
+    let accounted = r.store.net_bytes();
+    assert_eq!(
+        accounted, r.store_bytes_live as i64,
+        "put − deleted must equal live bytes (accounting drift)"
+    );
+}

@@ -109,11 +109,7 @@ pub mod channel {
         }
 
         pub fn len(&self) -> usize {
-            self.0
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .len()
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {

@@ -130,7 +130,9 @@ mod tests {
         for _ in 0..200 {
             let s = p.generate(&mut rng);
             assert!(s.len() <= 24);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

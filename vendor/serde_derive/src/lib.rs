@@ -173,7 +173,9 @@ fn parse_struct(input: TokenStream) -> Parsed {
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Kind::Unit,
             Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
-                panic!("serde_derive: where clauses are not supported; put bounds on the parameters")
+                panic!(
+                    "serde_derive: where clauses are not supported; put bounds on the parameters"
+                )
             }
             Some(_) => continue,
             None => break Kind::Unit,
