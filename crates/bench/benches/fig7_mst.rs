@@ -8,15 +8,15 @@ use checkmate_bench::{experiments as exp, Harness, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut h = Harness::new(Scale::quick());
-    let e = exp::fig7::run(&mut h);
+    let h = Harness::new(Scale::quick());
+    let e = exp::fig7::run(&h);
     println!("{}", exp::fig7::render(&e));
 
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.bench_function("representative_run", |b| {
         b.iter(|| {
-            h.run_at_rate(
+            h.run_at_rate_uncached(
                 checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q3),
                 checkmate_core::ProtocolKind::Coordinated,
                 4,

@@ -1,0 +1,108 @@
+//! Data-plane microbenchmark: events/second and records/second of the
+//! virtual-time engine, per protocol, on a fixed NexMark Q1 + cyclic
+//! configuration.
+//!
+//! ```text
+//! cargo run --release -p checkmate-bench --bin microbench [-- --json]
+//! ```
+//!
+//! This is the machine-readable source of the `events_per_sec` numbers
+//! tracked in BENCH_PR*.json: one steady run per protocol at a fixed
+//! rate (no MST search), wall-clock timed.
+
+use checkmate_bench::{Harness, Scale, Wl};
+use checkmate_core::ProtocolKind;
+use checkmate_engine::config::EngineConfig;
+use checkmate_engine::engine::Engine;
+use checkmate_nexmark::Query;
+use checkmate_sim::SECONDS;
+
+struct Cell {
+    workload: &'static str,
+    protocol: ProtocolKind,
+    events: u64,
+    sink_records: u64,
+    wall_secs: f64,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let scale = Scale::quick();
+    let h = Harness::new(scale);
+    let mut cells = Vec::new();
+    for (wl, rate) in [(Wl::Nexmark(Query::Q1), 8_000.0), (Wl::Cyclic, 2_000.0)] {
+        for protocol in [
+            ProtocolKind::None,
+            ProtocolKind::Coordinated,
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::CommunicationInduced,
+        ] {
+            // COOR deadlocks on cyclic graphs; skip that cell like the
+            // paper does (Table IV).
+            if wl == Wl::Cyclic && protocol == ProtocolKind::Coordinated {
+                continue;
+            }
+            let workload = h.workload(wl, 4, None);
+            let cfg = EngineConfig {
+                parallelism: 4,
+                protocol,
+                total_rate: rate,
+                duration: 10 * SECONDS,
+                warmup: 2 * SECONDS,
+                checkpoint_interval: 2 * SECONDS,
+                ..EngineConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let report = Engine::new(&workload, cfg).run();
+            let wall = start.elapsed().as_secs_f64();
+            cells.push(Cell {
+                workload: wl.name(),
+                protocol,
+                events: report.events,
+                sink_records: report.sink_records,
+                wall_secs: wall,
+            });
+        }
+    }
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+    if json {
+        println!("{{");
+        println!("  \"cells\": [");
+        for (i, c) in cells.iter().enumerate() {
+            println!(
+                "    {{\"workload\": \"{}\", \"protocol\": \"{}\", \"events\": {}, \"sink_records\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}}}{}",
+                c.workload,
+                c.protocol,
+                c.events,
+                c.sink_records,
+                c.wall_secs,
+                c.events as f64 / c.wall_secs,
+                if i + 1 == cells.len() { "" } else { "," }
+            );
+        }
+        println!("  ],");
+        println!(
+            "  \"total_events_per_sec\": {:.0}",
+            total_events as f64 / total_wall
+        );
+        println!("}}");
+    } else {
+        for c in &cells {
+            println!(
+                "{:8} {:24} {:>12} events {:>9} sinks {:>8.2}s {:>12.0} ev/s",
+                c.workload,
+                c.protocol.to_string(),
+                c.events,
+                c.sink_records,
+                c.wall_secs,
+                c.events as f64 / c.wall_secs
+            );
+        }
+        println!(
+            "TOTAL {:.0} events/sec over {:.1}s",
+            total_events as f64 / total_wall,
+            total_wall
+        );
+    }
+}

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin regen -- \
-//!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] [--out results/] [-v]
+//!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] \
+//!     [--jobs N] [--out results/] [-v]
 //! ```
 //!
 //! Writes one JSON file per experiment under `--out` and prints the
-//! rendered tables.
+//! rendered tables. `--jobs N` fans the sweep points of each experiment
+//! out over N worker threads (default: all cores). Sweep points are pure
+//! functions of their inputs and results are re-assembled in input
+//! order, so the output JSON is identical for every N (asserted by
+//! `jobs_equivalence.rs`); `--jobs 1` runs fully sequentially.
 
 use checkmate_bench::experiments as exp;
 use checkmate_bench::{Harness, Scale};
@@ -17,10 +22,19 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut only: Option<Vec<String>> = None;
     let mut verbose = false;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("--jobs must be a positive integer");
+                assert!(jobs >= 1, "--jobs must be at least 1");
+            }
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
                 scale = match v.as_str() {
@@ -43,7 +57,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--out dir] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }
@@ -54,14 +68,20 @@ fn main() {
     let wanted = |id: &str| only.as_ref().is_none_or(|l| l.iter().any(|x| x == id));
     let mut h = Harness::new(scale.clone());
     h.verbose = verbose;
-    eprintln!("# scale = {}, output = {}", scale.name, out.display());
+    h.jobs = jobs;
+    eprintln!(
+        "# scale = {}, jobs = {}, output = {}",
+        scale.name,
+        jobs,
+        out.display()
+    );
 
     macro_rules! run_exp {
         ($id:literal, $module:ident) => {
             if wanted($id) {
                 eprintln!("# running {} ...", $id);
                 let start = std::time::Instant::now();
-                let e = exp::$module::run(&mut h);
+                let e = exp::$module::run(&h);
                 let path = e.write_json(&out).expect("write results");
                 println!("{}", exp::$module::render(&e));
                 eprintln!(
@@ -80,7 +100,7 @@ fn main() {
     if wanted("fig9") || wanted("fig10") {
         eprintln!("# running figs9_10 ...");
         let start = std::time::Instant::now();
-        let e = exp::figs9_10::run(&mut h);
+        let e = exp::figs9_10::run(&h);
         let path = e.write_json(&out).expect("write results");
         println!("{}", exp::figs9_10::render(&e));
         eprintln!(

@@ -26,34 +26,37 @@ pub struct Row {
     pub avg_checkpoint_ms: f64,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
+pub fn run(h: &Harness) -> Experiment<Row> {
     let workers = h.scale.table_parallelisms[0];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for q in [Query::Q1, Query::Q3] {
         for proto in [
             ProtocolKind::CommunicationInduced,
             ProtocolKind::CommunicationInducedBcs,
         ] {
-            let mst = h.mst(Wl::Nexmark(q), proto, workers);
-            let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
-            let forced_pct = if r.checkpoints_total > 0 {
-                100.0 * r.checkpoints_forced as f64 / r.checkpoints_total as f64
-            } else {
-                0.0
-            };
-            rows.push(Row {
-                query: q.name(),
-                workers,
-                variant: proto.to_string(),
-                mst,
-                overhead_ratio: r.overhead_ratio(),
-                checkpoints_total: r.checkpoints_total,
-                forced: r.checkpoints_forced,
-                forced_pct,
-                avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
-            });
+            points.push((q, proto));
         }
     }
+    let rows = h.par_map(points, |h, (q, proto)| {
+        let mst = h.mst(Wl::Nexmark(q), proto, workers);
+        let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+        let forced_pct = if r.checkpoints_total > 0 {
+            100.0 * r.checkpoints_forced as f64 / r.checkpoints_total as f64
+        } else {
+            0.0
+        };
+        Row {
+            query: q.name(),
+            workers,
+            variant: proto.to_string(),
+            mst,
+            overhead_ratio: r.overhead_ratio(),
+            checkpoints_total: r.checkpoints_total,
+            forced: r.checkpoints_forced,
+            forced_pct,
+            avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+        }
+    });
     Experiment::new(
         "ablation_cic",
         "CIC variant ablation: HMNR vs BCS (beyond the paper, §III-C remark)",

@@ -19,22 +19,25 @@ pub struct Row {
     pub recovery_ms: Option<f64>,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.parallelisms.clone() {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.parallelisms {
         for q in Query::ALL {
             for proto in super::PROTOCOLS {
-                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
-                rows.push(Row {
-                    query: q.name(),
-                    workers,
-                    protocol: proto.to_string(),
-                    restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
-                    recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
-                });
+                points.push((workers, q, proto));
             }
         }
     }
+    let rows = h.par_map(points, |h, (workers, q, proto)| {
+        let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+        Row {
+            query: q.name(),
+            workers,
+            protocol: proto.to_string(),
+            restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+            recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
+        }
+    });
     Experiment::new(
         "fig11",
         "Restart time after failure (Fig. 11); recovery time also reported (§VII-B)",

@@ -25,36 +25,39 @@ pub struct Row {
 /// The paper's hot-item ratios.
 pub const HOT_RATIOS: [f64; 3] = [0.10, 0.20, 0.30];
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
+pub fn run(h: &Harness) -> Experiment<Row> {
     let workers = h.scale.table_parallelisms[0]; // paper: 10 workers
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for q in Query::SKEWED {
         for proto in super::WITH_BASELINE {
-            // Rate pinned to fractions of the protocol's own *non-skewed*
-            // MST (paper §VII-B, Skewed NexMark).
-            let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
             for &mst_pct in &[0.5, 0.8] {
                 for &hot in &HOT_RATIOS {
-                    let r = h.run_at_rate(
-                        Wl::Nexmark(q),
-                        proto,
-                        workers,
-                        base_mst * mst_pct,
-                        false,
-                        Skew::hot(hot),
-                    );
-                    rows.push(Row {
-                        mst_pct: (mst_pct * 100.0) as u32,
-                        query: q.name(),
-                        hot_pct: (hot * 100.0) as u32,
-                        protocol: proto.to_string(),
-                        p50_ms: r.p50_ns as f64 / 1e6,
-                        avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
-                    });
+                    points.push((q, proto, mst_pct, hot));
                 }
             }
         }
     }
+    let rows = h.par_map(points, |h, (q, proto, mst_pct, hot)| {
+        // Rate pinned to fractions of the protocol's own *non-skewed*
+        // MST (paper §VII-B, Skewed NexMark); the cell is cached.
+        let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
+        let r = h.run_at_rate(
+            Wl::Nexmark(q),
+            proto,
+            workers,
+            base_mst * mst_pct,
+            false,
+            Skew::hot(hot),
+        );
+        Row {
+            mst_pct: (mst_pct * 100.0) as u32,
+            query: q.name(),
+            hot_pct: (hot * 100.0) as u32,
+            protocol: proto.to_string(),
+            p50_ms: r.p50_ns as f64 / 1e6,
+            avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+        }
+    });
     Experiment::new(
         "fig12",
         "p50 latency and checkpointing time under hot-item skew (Fig. 12)",

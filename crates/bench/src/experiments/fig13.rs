@@ -18,30 +18,33 @@ pub struct Row {
     pub restart_ms: Option<f64>,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
+pub fn run(h: &Harness) -> Experiment<Row> {
     let workers = h.scale.table_parallelisms[0];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for q in Query::SKEWED {
         for proto in super::PROTOCOLS {
-            let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
             for &hot in &super::fig12::HOT_RATIOS {
-                let r = h.run_at_rate(
-                    Wl::Nexmark(q),
-                    proto,
-                    workers,
-                    base_mst * 0.5,
-                    true,
-                    Skew::hot(hot),
-                );
-                rows.push(Row {
-                    query: q.name(),
-                    hot_pct: (hot * 100.0) as u32,
-                    protocol: proto.to_string(),
-                    restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
-                });
+                points.push((q, proto, hot));
             }
         }
     }
+    let rows = h.par_map(points, |h, (q, proto, hot)| {
+        let base_mst = h.mst(Wl::Nexmark(q), proto, workers);
+        let r = h.run_at_rate(
+            Wl::Nexmark(q),
+            proto,
+            workers,
+            base_mst * 0.5,
+            true,
+            Skew::hot(hot),
+        );
+        Row {
+            query: q.name(),
+            hot_pct: (hot * 100.0) as u32,
+            protocol: proto.to_string(),
+            restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+        }
+    });
     Experiment::new(
         "fig13",
         "Restart time after failure in the presence of skew (Fig. 13)",

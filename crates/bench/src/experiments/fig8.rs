@@ -20,22 +20,25 @@ pub struct Row {
     pub checkpoints: u64,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.parallelisms.clone() {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.parallelisms {
         for q in Query::ALL {
             for proto in super::PROTOCOLS {
-                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
-                rows.push(Row {
-                    query: q.name(),
-                    workers,
-                    protocol: proto.to_string(),
-                    avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
-                    checkpoints: r.checkpoints_total,
-                });
+                points.push((workers, q, proto));
             }
         }
     }
+    let rows = h.par_map(points, |h, (workers, q, proto)| {
+        let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+        Row {
+            query: q.name(),
+            workers,
+            protocol: proto.to_string(),
+            avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+            checkpoints: r.checkpoints_total,
+        }
+    });
     Experiment::new(
         "fig8",
         "Average checkpointing time (Fig. 8)",

@@ -23,26 +23,34 @@ pub struct Row {
     pub count: u64,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.series_parallelisms.clone() {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.series_parallelisms {
         for q in Query::ALL {
             for proto in super::WITH_BASELINE {
-                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
-                for s in &r.latency_series {
-                    rows.push(Row {
-                        query: q.name(),
-                        workers,
-                        protocol: proto.to_string(),
-                        second: s.second,
-                        p50_ms: s.p50_ns as f64 / 1e6,
-                        p99_ms: s.p99_ns as f64 / 1e6,
-                        count: s.count,
-                    });
-                }
+                points.push((workers, q, proto));
             }
         }
     }
+    let rows = h
+        .par_map(points, |h, (workers, q, proto)| {
+            let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+            r.latency_series
+                .iter()
+                .map(|s| Row {
+                    query: q.name(),
+                    workers,
+                    protocol: proto.to_string(),
+                    second: s.second,
+                    p50_ms: s.p50_ns as f64 / 1e6,
+                    p99_ms: s.p99_ns as f64 / 1e6,
+                    count: s.count,
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     Experiment::new(
         "figs9_10",
         "Per-second p50/p99 latency with failure (Figs. 9–10)",

@@ -1,6 +1,6 @@
 //! One module per table/figure of the paper's evaluation (§VII), plus
 //! ablations beyond the paper. Every module exposes
-//! `run(&mut Harness) -> Experiment<Row>` and `render(&Experiment<Row>)`.
+//! `run(&Harness) -> Experiment<Row>` and `render(&Experiment<Row>)`.
 
 pub mod ablation;
 pub mod fig11;

@@ -44,38 +44,41 @@ fn profiles() -> [StorageProfile; 4] {
     ]
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
+pub fn run(h: &Harness) -> Experiment<Row> {
     let workers = h.scale.table_parallelisms[0];
     let q = Query::Q12; // windowed count: real per-instance state
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for profile in profiles() {
         for proto in super::PROTOCOLS {
             for (mode, incremental) in [
                 ("full", None),
                 ("incremental", Some(IncrementalPolicy::default())),
             ] {
-                let r = h.run_at_mst_with(Wl::Nexmark(q), proto, workers, 0.8, true, |cfg| {
-                    cfg.storage = profile;
-                    cfg.incremental = incremental;
-                });
-                rows.push(Row {
-                    query: q.name(),
-                    workers,
-                    protocol: proto.to_string(),
-                    storage: profile.name,
-                    mode,
-                    avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
-                    checkpoints: r.checkpoints_total,
-                    store_puts: r.store.puts,
-                    bytes_put_mb: r.store.bytes_put as f64 / 1e6,
-                    bytes_live_mb: r.store_bytes_live as f64 / 1e6,
-                    restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
-                    recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
-                    sustainable: r.sustainable,
-                });
+                points.push((profile, proto, mode, incremental));
             }
         }
     }
+    let rows = h.par_map(points, |h, (profile, proto, mode, incremental)| {
+        let r = h.run_at_mst_with(Wl::Nexmark(q), proto, workers, 0.8, true, |cfg| {
+            cfg.storage = profile;
+            cfg.incremental = incremental;
+        });
+        Row {
+            query: q.name(),
+            workers,
+            protocol: proto.to_string(),
+            storage: profile.name,
+            mode,
+            avg_checkpoint_ms: r.avg_checkpoint_time_ns as f64 / 1e6,
+            checkpoints: r.checkpoints_total,
+            store_puts: r.store.puts,
+            bytes_put_mb: r.store.bytes_put as f64 / 1e6,
+            bytes_live_mb: r.store_bytes_live as f64 / 1e6,
+            restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+            recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
+            sustainable: r.sustainable,
+        }
+    });
     Experiment::new(
         "storage_sweep",
         "Checkpoint-storage sensitivity: protocol × backend profile × snapshot mode (beyond the paper)",

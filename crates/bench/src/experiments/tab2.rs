@@ -18,21 +18,24 @@ pub struct Row {
     pub ratio: f64,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.table_parallelisms.clone() {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.table_parallelisms {
         for q in Query::ALL {
             for proto in super::PROTOCOLS {
-                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
-                rows.push(Row {
-                    workers,
-                    query: q.name(),
-                    protocol: proto.to_string(),
-                    ratio: r.overhead_ratio(),
-                });
+                points.push((workers, q, proto));
             }
         }
     }
+    let rows = h.par_map(points, |h, (workers, q, proto)| {
+        let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, false);
+        Row {
+            workers,
+            query: q.name(),
+            protocol: proto.to_string(),
+            ratio: r.overhead_ratio(),
+        }
+    });
     Experiment::new(
         "tab2",
         "Message overhead ratio vs checkpoint-free execution (Table II)",

@@ -21,24 +21,27 @@ pub struct Row {
     pub invalid_pct: f64,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.table_parallelisms.clone() {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.table_parallelisms {
         for q in Query::ALL {
             for proto in super::PROTOCOLS {
-                let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
-                rows.push(Row {
-                    workers,
-                    query: q.name(),
-                    protocol: proto.to_string(),
-                    total: r.checkpoints_total,
-                    forced: r.checkpoints_forced,
-                    invalid: r.checkpoints_invalid,
-                    invalid_pct: r.invalid_pct(),
-                });
+                points.push((workers, q, proto));
             }
         }
     }
+    let rows = h.par_map(points, |h, (workers, q, proto)| {
+        let r = h.run_at_mst(Wl::Nexmark(q), proto, workers, 0.8, true);
+        Row {
+            workers,
+            query: q.name(),
+            protocol: proto.to_string(),
+            total: r.checkpoints_total,
+            forced: r.checkpoints_forced,
+            invalid: r.checkpoints_invalid,
+            invalid_pct: r.invalid_pct(),
+        }
+    });
     Experiment::new(
         "tab3",
         "Total checkpoints and invalid percentage at recovery (Table III)",

@@ -23,16 +23,21 @@ pub struct Row {
     pub outcome: String,
 }
 
-pub fn run(h: &mut Harness) -> Experiment<Row> {
-    let mut rows = Vec::new();
-    for &workers in &h.scale.cyclic_parallelisms.clone() {
-        for proto in [
-            ProtocolKind::Uncoordinated,
-            ProtocolKind::CommunicationInduced,
-        ] {
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let mut points = Vec::new();
+    for &workers in &h.scale.cyclic_parallelisms {
+        points.push((workers, Some(ProtocolKind::Uncoordinated)));
+        points.push((workers, Some(ProtocolKind::CommunicationInduced)));
+        // The aligned coordinated protocol cannot handle the cycle: show
+        // the deadlock instead of numbers (paper §VII-B). `None` marks
+        // that probe.
+        points.push((workers, None));
+    }
+    let rows = h.par_map(points, |h, (workers, proto)| match proto {
+        Some(proto) => {
             // Paper: 75–80 % of MST for the cyclic query.
             let r = h.run_at_mst(Wl::Cyclic, proto, workers, 0.78, true);
-            rows.push(Row {
+            Row {
                 workers,
                 protocol: proto.to_string(),
                 avg_checkpoint_ms: Some(r.avg_checkpoint_time_ns as f64 / 1e6),
@@ -40,28 +45,28 @@ pub fn run(h: &mut Harness) -> Experiment<Row> {
                 invalid_pct: Some(r.invalid_pct()),
                 forced: r.checkpoints_forced,
                 outcome: format!("{:?}", r.outcome),
-            });
+            }
         }
-        // The aligned coordinated protocol cannot handle the cycle: show
-        // the deadlock instead of numbers (paper §VII-B).
-        let r = h.run_at_rate(
-            Wl::Cyclic,
-            ProtocolKind::Coordinated,
-            workers,
-            100.0 * workers as f64,
-            false,
-            None,
-        );
-        rows.push(Row {
-            workers,
-            protocol: ProtocolKind::Coordinated.to_string(),
-            avg_checkpoint_ms: None,
-            restart_ms: None,
-            invalid_pct: None,
-            forced: 0,
-            outcome: format!("{:?}", r.outcome),
-        });
-    }
+        None => {
+            let r = h.run_at_rate(
+                Wl::Cyclic,
+                ProtocolKind::Coordinated,
+                workers,
+                100.0 * workers as f64,
+                false,
+                None,
+            );
+            Row {
+                workers,
+                protocol: ProtocolKind::Coordinated.to_string(),
+                avg_checkpoint_ms: None,
+                restart_ms: None,
+                invalid_pct: None,
+                forced: 0,
+                outcome: format!("{:?}", r.outcome),
+            }
+        }
+    });
     Experiment::new(
         "tab4",
         "Cyclic reachability query: CT, restart, invalid checkpoints (Table IV)",

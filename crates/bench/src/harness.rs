@@ -3,6 +3,15 @@
 //! the methodology of §VII-A ("we run all queries at 80 % of the maximum
 //! sustainable throughput that each protocol achieves for each query and
 //! parallelism").
+//!
+//! Every sweep point is a pure function of its inputs (workload,
+//! protocol, parallelism, rate, seed), so the harness fans points out
+//! over scoped worker threads ([`Harness::par_map`], `regen --jobs N`)
+//! while keeping output ordering — and therefore the result JSON —
+//! bit-identical to a sequential run. The MST cache is shared across
+//! threads with once-per-key semantics: the first thread to need a cell
+//! computes it, concurrent readers block on that computation instead of
+//! duplicating the bisection.
 
 use crate::scale::Scale;
 use checkmate_core::ProtocolKind;
@@ -15,6 +24,8 @@ use checkmate_engine::workload::Workload;
 use checkmate_metrics::{find_max_sustainable, MstSearch};
 use checkmate_nexmark::{Query, Skew};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// What to run: a NexMark query or the cyclic reachability query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,10 +56,24 @@ impl Wl {
     }
 }
 
-/// Experiment harness with an MST cache shared across experiments.
+type MstKey = ((u8, u8), ProtocolKind, u32);
+
+/// Experiment harness with an MST cache shared across experiments (and
+/// across the worker threads of a parallel sweep).
 pub struct Harness {
     pub scale: Scale,
-    mst_cache: BTreeMap<((u8, u8), ProtocolKind, u32), f64>,
+    /// Per-key once cells: concurrent requests for the same cell share
+    /// one bisection; distinct cells compute in parallel.
+    mst_cache: Mutex<BTreeMap<MstKey, Arc<OnceLock<f64>>>>,
+    /// Completed steady/failure runs, keyed by the *full* run identity
+    /// (workload + skew + every engine-config field). Runs are
+    /// deterministic pure functions of that identity, so experiments
+    /// that measure different metrics of the same operating point (e.g.
+    /// Table II and Fig. 8, or Fig. 11 and Table III) share one
+    /// simulation instead of recomputing it.
+    run_cache: Mutex<BTreeMap<String, Arc<OnceLock<RunReport>>>>,
+    /// Worker threads used by [`Harness::par_map`] (1 = sequential).
+    pub jobs: usize,
     /// Verbose progress to stderr.
     pub verbose: bool,
 }
@@ -57,9 +82,51 @@ impl Harness {
     pub fn new(scale: Scale) -> Self {
         Self {
             scale,
-            mst_cache: BTreeMap::new(),
+            mst_cache: Mutex::new(BTreeMap::new()),
+            run_cache: Mutex::new(BTreeMap::new()),
+            jobs: 1,
             verbose: false,
         }
+    }
+
+    /// Run `f` over `items`, fanning out over `self.jobs` scoped threads.
+    /// Results come back in input order regardless of completion order,
+    /// so parallel sweeps serialize identically to sequential ones.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&Self, T) -> R + Sync,
+    {
+        let jobs = self.jobs.max(1).min(items.len().max(1));
+        if jobs <= 1 {
+            return items.into_iter().map(|it| f(self, it)).collect();
+        }
+        let n = items.len();
+        let work: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+        let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot")
+                        .take()
+                        .expect("taken once");
+                    let r = f(self, item);
+                    *out[i].lock().expect("result slot") = Some(r);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().expect("poisoned result").expect("filled"))
+            .collect()
     }
 
     pub fn workload(&self, wl: Wl, parallelism: u32, skew: Option<Skew>) -> Workload {
@@ -93,12 +160,19 @@ impl Harness {
     }
 
     /// Maximum sustainable throughput of `(wl, protocol, parallelism)`,
-    /// cached. Total records/second across the whole pipeline.
-    pub fn mst(&mut self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> f64 {
+    /// cached. Total records/second across the whole pipeline. The first
+    /// caller of a cell runs the bisection; concurrent callers of the
+    /// same cell block on it (no duplicated probes).
+    pub fn mst(&self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> f64 {
         let key = (wl.key(), protocol, parallelism);
-        if let Some(&v) = self.mst_cache.get(&key) {
-            return v;
-        }
+        let cell = {
+            let mut cache = self.mst_cache.lock().expect("mst cache");
+            Arc::clone(cache.entry(key).or_default())
+        };
+        *cell.get_or_init(|| self.measure_mst(wl, protocol, parallelism))
+    }
+
+    fn measure_mst(&self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> f64 {
         let per_worker_hi = match wl {
             Wl::Nexmark(_) => 4_000.0,
             // The feedback loop amplifies records; the envelope is lower.
@@ -137,14 +211,13 @@ impl Harness {
                 mst / parallelism as f64
             );
         }
-        self.mst_cache.insert(key, mst);
         mst
     }
 
     /// Run a steady-state experiment at `mst_fraction` of the protocol's
     /// own MST, optionally injecting the scale's standard failure.
     pub fn run_at_mst(
-        &mut self,
+        &self,
         wl: Wl,
         protocol: ProtocolKind,
         parallelism: u32,
@@ -162,7 +235,7 @@ impl Harness {
     /// (e.g. a slower store) show up in the metrics rather than being
     /// absorbed by a different operating point.
     pub fn run_at_mst_with(
-        &mut self,
+        &self,
         wl: Wl,
         protocol: ProtocolKind,
         parallelism: u32,
@@ -177,7 +250,7 @@ impl Harness {
     /// Run at an explicit rate (used by the skew experiments, which pin
     /// the rate to fractions of the *non-skewed* MST).
     pub fn run_at_rate(
-        &mut self,
+        &self,
         wl: Wl,
         protocol: ProtocolKind,
         parallelism: u32,
@@ -188,9 +261,50 @@ impl Harness {
         self.run_custom(wl, protocol, parallelism, total_rate, fail, skew, |_| {})
     }
 
+    /// [`Self::run_at_rate`] without the run cache: every call executes
+    /// the simulation. This is what wall-clock benchmarks must use —
+    /// repeated identical runs would otherwise measure a cache hit.
+    pub fn run_at_rate_uncached(
+        &self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        total_rate: f64,
+        fail: bool,
+        skew: Option<Skew>,
+    ) -> RunReport {
+        let cfg = self.run_cfg(wl, protocol, parallelism, total_rate, fail);
+        Engine::new(&self.workload(wl, parallelism, skew), cfg).run()
+    }
+
+    /// The engine configuration of a steady/failure run — the single
+    /// source of the run shape for both the cached experiment path and
+    /// the uncached benchmark path.
+    fn run_cfg(
+        &self,
+        wl: Wl,
+        protocol: ProtocolKind,
+        parallelism: u32,
+        total_rate: f64,
+        fail: bool,
+    ) -> EngineConfig {
+        let failure_at = match wl {
+            Wl::Cyclic => self.scale.cyclic_failure_at,
+            _ => self.scale.failure_at,
+        };
+        EngineConfig {
+            total_rate,
+            failure: fail.then_some(FailureSpec {
+                at: failure_at,
+                worker: WorkerId(0),
+            }),
+            ..self.base_cfg(wl, protocol, parallelism)
+        }
+    }
+
     #[allow(clippy::too_many_arguments)] // run-shape knobs, one call layer
     fn run_custom(
-        &mut self,
+        &self,
         wl: Wl,
         protocol: ProtocolKind,
         parallelism: u32,
@@ -199,25 +313,32 @@ impl Harness {
         skew: Option<Skew>,
         tweak: impl FnOnce(&mut EngineConfig),
     ) -> RunReport {
-        let failure_at = match wl {
-            Wl::Cyclic => self.scale.cyclic_failure_at,
-            _ => self.scale.failure_at,
-        };
-        let mut cfg = EngineConfig {
-            total_rate,
-            failure: fail.then_some(FailureSpec {
-                at: failure_at,
-                worker: WorkerId(0),
-            }),
-            ..self.base_cfg(wl, protocol, parallelism)
-        };
+        let mut cfg = self.run_cfg(wl, protocol, parallelism, total_rate, fail);
         tweak(&mut cfg);
-        let workload = self.workload(wl, parallelism, skew);
-        let report = Engine::new(&workload, cfg).run();
-        if self.verbose {
-            eprintln!("    {}", report.summary());
-        }
-        report
+        // Full run identity: workload + skew + every config field (the
+        // Debug rendering covers them all — cost model, storage profile,
+        // intervals, seed, rate bits). Identical identity ⇒ identical
+        // deterministic run ⇒ share one execution.
+        let key = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            wl.key(),
+            skew,
+            total_rate.to_bits(),
+            cfg
+        );
+        let cell = {
+            let mut cache = self.run_cache.lock().expect("run cache");
+            Arc::clone(cache.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            let workload = self.workload(wl, parallelism, skew);
+            let report = Engine::new(&workload, cfg).run();
+            if self.verbose {
+                eprintln!("    {}", report.summary());
+            }
+            report
+        })
+        .clone()
     }
 }
 
@@ -227,7 +348,7 @@ mod tests {
 
     #[test]
     fn mst_is_cached_and_positive() {
-        let mut h = Harness::new(Scale::quick());
+        let h = Harness::new(Scale::quick());
         let a = h.mst(Wl::Nexmark(Query::Q1), ProtocolKind::None, 2);
         let b = h.mst(Wl::Nexmark(Query::Q1), ProtocolKind::None, 2);
         assert_eq!(a, b);
@@ -236,7 +357,7 @@ mod tests {
 
     #[test]
     fn steady_run_at_80pct_is_sustainable() {
-        let mut h = Harness::new(Scale::quick());
+        let h = Harness::new(Scale::quick());
         let r = h.run_at_mst(
             Wl::Nexmark(Query::Q12),
             ProtocolKind::Coordinated,

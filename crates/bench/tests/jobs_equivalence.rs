@@ -1,0 +1,62 @@
+//! `regen --jobs N` must produce byte-identical result JSON to
+//! `--jobs 1`: sweep points are pure functions of their inputs, the MST
+//! cache has once-per-key semantics, and `par_map` reassembles results
+//! in input order. Run at a miniature scale so the property stays
+//! testable in CI.
+
+use checkmate_bench::experiments::{ablation, fig7};
+use checkmate_bench::{Harness, Scale};
+use checkmate_sim::SECONDS;
+use serde::Serialize;
+
+fn tiny() -> Scale {
+    Scale {
+        name: "tiny",
+        parallelisms: vec![2],
+        table_parallelisms: [2, 2],
+        cyclic_parallelisms: [2, 2],
+        duration: 3 * SECONDS,
+        warmup: SECONDS,
+        failure_at: 2 * SECONDS,
+        cyclic_failure_at: 2 * SECONDS,
+        probe_duration: 2 * SECONDS,
+        probe_warmup: SECONDS,
+        mst_probes: 3,
+        series_parallelisms: vec![2],
+        checkpoint_interval: SECONDS,
+        seed: 0xC4EC,
+    }
+}
+
+fn json<R: Serialize>(e: &checkmate_bench::Experiment<R>) -> String {
+    serde_json::to_string(e).expect("serializable experiment")
+}
+
+#[test]
+fn parallel_jobs_produce_identical_results() {
+    let mut sequential = Harness::new(tiny());
+    sequential.jobs = 1;
+    let mut parallel = Harness::new(tiny());
+    parallel.jobs = 4;
+
+    // fig7 exercises the MST cache (baseline shared across rows);
+    // the ablation exercises MST + steady runs in one point.
+    assert_eq!(
+        json(&fig7::run(&sequential)),
+        json(&fig7::run(&parallel)),
+        "fig7 rows diverged between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        json(&ablation::run(&sequential)),
+        json(&ablation::run(&parallel)),
+        "ablation rows diverged between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn par_map_preserves_input_order() {
+    let mut h = Harness::new(tiny());
+    h.jobs = 8;
+    let out = h.par_map((0..64).collect::<Vec<u32>>(), |_, i| i * 2);
+    assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<u32>>());
+}

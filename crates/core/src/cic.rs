@@ -20,19 +20,25 @@
 //!   ([`crate::ProtocolKind::CommunicationInducedBcs`]).
 
 use checkmate_dataflow::codec::{Codec, Dec, DecodeError, Enc};
+use std::sync::Arc;
+
+/// The HMNR piggyback payload: a snapshot of the sender's protocol
+/// vectors. Shared behind an `Arc` — the sender state caches one and
+/// hands out clones until its next mutation, so a burst of sends costs
+/// refcount bumps instead of three vector copies per message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmnrPiggyback {
+    pub lc: u64,
+    pub ckpt: Vec<u32>,
+    pub taken: Vec<bool>,
+    pub greater: Vec<bool>,
+}
 
 /// Piggybacked protocol data attached to every payload message under CIC.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CicPiggyback {
-    Hmnr {
-        lc: u64,
-        ckpt: Vec<u32>,
-        taken: Vec<bool>,
-        greater: Vec<bool>,
-    },
-    Bcs {
-        lc: u64,
-    },
+    Hmnr(Arc<HmnrPiggyback>),
+    Bcs { lc: u64 },
 }
 
 impl CicPiggyback {
@@ -42,8 +48,8 @@ impl CicPiggyback {
     /// each); BCS ships the clock only.
     pub fn encoded_len(&self) -> usize {
         match self {
-            CicPiggyback::Hmnr { ckpt, .. } => {
-                let n = ckpt.len();
+            CicPiggyback::Hmnr(pb) => {
+                let n = pb.ckpt.len();
                 8 + 4 * n + 2 * n.div_ceil(8)
             }
             CicPiggyback::Bcs { .. } => 8,
@@ -79,12 +85,9 @@ impl CicState {
     /// Must a checkpoint be forced before delivering this message?
     pub fn should_force(&self, from: usize, pb: &CicPiggyback) -> bool {
         match (self, pb) {
-            (
-                CicState::Hmnr(s),
-                CicPiggyback::Hmnr {
-                    lc, ckpt, taken, ..
-                },
-            ) => s.should_force(from, *lc, ckpt, taken),
+            (CicState::Hmnr(s), CicPiggyback::Hmnr(pb)) => {
+                s.should_force(from, pb.lc, &pb.ckpt, &pb.taken)
+            }
             (CicState::Bcs(s), CicPiggyback::Bcs { lc }) => s.should_force(*lc),
             _ => panic!("piggyback variant does not match protocol state"),
         }
@@ -93,15 +96,9 @@ impl CicState {
     /// Merge piggybacked knowledge after delivering a message from `from`.
     pub fn on_deliver(&mut self, from: usize, pb: &CicPiggyback) {
         match (self, pb) {
-            (
-                CicState::Hmnr(s),
-                CicPiggyback::Hmnr {
-                    lc,
-                    ckpt,
-                    taken,
-                    greater,
-                },
-            ) => s.on_deliver(from, *lc, ckpt, taken, greater),
+            (CicState::Hmnr(s), CicPiggyback::Hmnr(pb)) => {
+                s.on_deliver(from, pb.lc, &pb.ckpt, &pb.taken, &pb.greater)
+            }
             (CicState::Bcs(s), CicPiggyback::Bcs { lc }) => s.on_deliver(*lc),
             _ => panic!("piggyback variant does not match protocol state"),
         }
@@ -139,6 +136,9 @@ pub struct HmnrState {
     pub greater: Vec<bool>,
     /// `sent_to[k]`: we sent a message to `k` since our last checkpoint.
     pub sent_to: Vec<bool>,
+    /// Piggyback snapshot valid until the next state mutation; sends
+    /// while it is valid are refcount bumps.
+    pb_cache: Option<Arc<HmnrPiggyback>>,
 }
 
 impl HmnrState {
@@ -151,17 +151,23 @@ impl HmnrState {
             taken: vec![false; n],
             greater: vec![false; n],
             sent_to: vec![false; n],
+            pb_cache: None,
         }
     }
 
     fn on_send(&mut self, to: usize) -> CicPiggyback {
+        // `sent_to` is local bookkeeping only — it never travels in the
+        // piggyback, so mutating it keeps the cache valid.
         self.sent_to[to] = true;
-        CicPiggyback::Hmnr {
-            lc: self.lc,
-            ckpt: self.ckpt.clone(),
-            taken: self.taken.clone(),
-            greater: self.greater.clone(),
+        if self.pb_cache.is_none() {
+            self.pb_cache = Some(Arc::new(HmnrPiggyback {
+                lc: self.lc,
+                ckpt: self.ckpt.clone(),
+                taken: self.taken.clone(),
+                greater: self.greater.clone(),
+            }));
         }
+        CicPiggyback::Hmnr(self.pb_cache.clone().expect("just filled"))
     }
 
     fn should_force(&self, _from: usize, m_lc: u64, m_ckpt: &[u32], m_taken: &[bool]) -> bool {
@@ -183,6 +189,7 @@ impl HmnrState {
         m_taken: &[bool],
         m_greater: &[bool],
     ) {
+        self.pb_cache = None;
         // Clock + greater maintenance.
         match m_lc.cmp(&self.lc) {
             std::cmp::Ordering::Greater => {
@@ -216,6 +223,7 @@ impl HmnrState {
     }
 
     fn on_checkpoint(&mut self) {
+        self.pb_cache = None;
         self.ckpt[self.me] += 1;
         // lc was maxed with every clock we ever received, so lc+1 is
         // strictly greater than all known clocks.
@@ -304,6 +312,7 @@ impl Codec for CicState {
                     taken,
                     greater,
                     sent_to,
+                    pb_cache: None,
                 }))
             }
             1 => Ok(CicState::Bcs(BcsState { lc: dec.u64()? })),

@@ -37,7 +37,7 @@ pub mod recovery;
 pub mod snapshot;
 pub mod zpath;
 
-pub use cic::{BcsState, CicPiggyback, CicState, HmnrState};
+pub use cic::{BcsState, CicPiggyback, CicState, HmnrPiggyback, HmnrState};
 pub use ckpt_graph::{ChannelTriple, CheckpointGraph};
 pub use coor::{CoorAligner, MarkerAction};
 pub use durable::DurableCheckpoints;

@@ -191,6 +191,17 @@ fn decode_wm(dec: &mut Dec<'_>) -> Result<BTreeMap<ChannelIdx, u64>, DecodeError
 /// each meta under `ckptmeta/<instance>/<index>`, and a restarted
 /// coordinator reloads the whole map before computing a recovery line.
 impl Codec for CheckpointMeta {
+    fn encoded_len_hint(&self) -> usize {
+        // Fixed header + watermark maps + key + manifest chunks; a close
+        // lower bound is enough to avoid re-allocation during encode.
+        64 + 16 * (self.recv_wm.len() + self.sent_wm.len())
+            + self.state_key.len()
+            + self
+                .manifest
+                .as_ref()
+                .map_or(0, |m| 16 + 24 * m.chunks.len())
+    }
+
     fn encode(&self, enc: &mut Enc) {
         enc.u32(self.id.instance.0).u64(self.id.index);
         self.kind.encode(enc);

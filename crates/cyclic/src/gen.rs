@@ -94,7 +94,7 @@ impl EventStream for LinkStream {
         };
         Record::new(
             u,
-            Value::Tuple(vec![Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
+            Value::Tuple([Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
             0,
         )
     }
@@ -157,11 +157,7 @@ impl EventStream for SourceNodeStream {
                 None => (TAG_ADD, self.node_of(partition, offset)),
             }
         };
-        Record::new(
-            s,
-            Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()),
-            0,
-        )
+        Record::new(s, Value::Tuple([Value::U64(tag), Value::U64(s)].into()), 0)
     }
 }
 

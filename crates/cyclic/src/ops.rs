@@ -50,7 +50,7 @@ impl ReachJoinOp {
     fn emit_pair(ctx: &mut OpCtx, base: &Record, v: u64, source: u64, path: &Value) {
         ctx.emit(base.derive(
             v,
-            Value::Tuple(vec![Value::U64(v), Value::U64(source), path.clone()].into()),
+            Value::Tuple([Value::U64(v), Value::U64(source), path.clone()].into()),
         ));
     }
 }
@@ -64,7 +64,7 @@ impl Operator for ReachJoinOp {
                 let u = t[1].as_u64().expect("u");
                 let v = t[2].as_u64().expect("v");
                 if tag == TAG_ADD {
-                    self.links.upsert(u, Vec::new, |l| l.push(Value::U64(v)));
+                    self.links.append(u, Value::U64(v));
                     if let Some(records) = self.reach.get(u) {
                         for r in records.clone() {
                             let rt = r.as_tuple().expect("reach tuple");
@@ -86,10 +86,9 @@ impl Operator for ReachJoinOp {
                 let tag = t[0].as_u64().expect("tag");
                 let s = t[1].as_u64().expect("s");
                 if tag == TAG_ADD {
-                    let path = Value::List(vec![Value::U64(s)]);
-                    self.reach.upsert(s, Vec::new, |r| {
-                        r.push(Value::Tuple(vec![Value::U64(s), path.clone()].into()))
-                    });
+                    let path = Value::list(vec![Value::U64(s)]);
+                    self.reach
+                        .append(s, Value::Tuple([Value::U64(s), path.clone()].into()));
                     if let Some(ends) = self.links.get(s) {
                         for v in ends.clone() {
                             let v = v.as_u64().expect("end node");
@@ -116,9 +115,10 @@ impl Operator for ReachJoinOp {
                 let source = t[0].as_u64().expect("source");
                 let node = t[1].as_u64().expect("node");
                 let path = t[2].clone();
-                self.reach.upsert(node, Vec::new, |r| {
-                    r.push(Value::Tuple(vec![Value::U64(source), path.clone()].into()))
-                });
+                self.reach.append(
+                    node,
+                    Value::Tuple([Value::U64(source), path.clone()].into()),
+                );
                 if let Some(ends) = self.links.get(node) {
                     for v in ends.clone() {
                         let v = v.as_u64().expect("end node");
@@ -196,12 +196,14 @@ impl Operator for ReachProjectOp {
         let t = rec.value.as_tuple().expect("pair tuple");
         let v = t[0].as_u64().expect("end node");
         let source = t[1].as_u64().expect("source");
-        let mut path = t[2].as_list().expect("path").to_vec();
-        if path.len() >= MAX_PATH {
+        let old_path = t[2].as_list().expect("path");
+        if old_path.len() >= MAX_PATH {
             return;
         }
+        let mut path = Vec::with_capacity(old_path.len() + 1);
+        path.extend_from_slice(old_path);
         path.push(Value::U64(v));
-        let reach = Value::Tuple(vec![Value::U64(source), Value::U64(v), Value::List(path)].into());
+        let reach = Value::Tuple([Value::U64(source), Value::U64(v), Value::list(path)].into());
         // Output to the sink...
         ctx.emit_to(0, rec.derive(v, reach.clone()));
         // ...and recursively back into the join, keyed by the new node.
@@ -232,17 +234,13 @@ mod tests {
     fn link(tag: u64, u: u64, v: u64) -> Record {
         Record::new(
             u,
-            Value::Tuple(vec![Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
+            Value::Tuple([Value::U64(tag), Value::U64(u), Value::U64(v)].into()),
             0,
         )
     }
 
     fn source(tag: u64, s: u64) -> Record {
-        Record::new(
-            s,
-            Value::Tuple(vec![Value::U64(tag), Value::U64(s)].into()),
-            0,
-        )
+        Record::new(s, Value::Tuple([Value::U64(tag), Value::U64(s)].into()), 0)
     }
 
     fn drive(op: &mut dyn Operator, port: PortId, rec: Record) -> Vec<(usize, Record)> {
@@ -295,10 +293,10 @@ mod tests {
         let fb = Record::new(
             9,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(5),
                     Value::U64(9),
-                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                    Value::list(vec![Value::U64(5), Value::U64(9)]),
                 ]
                 .into(),
             ),
@@ -316,10 +314,10 @@ mod tests {
         let pair_cyclic = Record::new(
             5,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(5),
                     Value::U64(5),
-                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                    Value::list(vec![Value::U64(5), Value::U64(9)]),
                 ]
                 .into(),
             ),
@@ -329,10 +327,10 @@ mod tests {
         let pair_ok = Record::new(
             7,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(7),
                     Value::U64(5),
-                    Value::List(vec![Value::U64(5), Value::U64(9)]),
+                    Value::list(vec![Value::U64(5), Value::U64(9)]),
                 ]
                 .into(),
             ),
@@ -347,10 +345,10 @@ mod tests {
         let pair = Record::new(
             9,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(9),
                     Value::U64(5),
-                    Value::List(vec![Value::U64(5)]),
+                    Value::list(vec![Value::U64(5)]),
                 ]
                 .into(),
             ),
@@ -369,10 +367,10 @@ mod tests {
     #[test]
     fn project_caps_path_length() {
         let mut p = ReachProjectOp;
-        let long_path = Value::List((0..MAX_PATH as u64).map(Value::U64).collect());
+        let long_path = Value::list((0..MAX_PATH as u64).map(Value::U64).collect::<Vec<_>>());
         let pair = Record::new(
             99,
-            Value::Tuple(vec![Value::U64(99), Value::U64(5), long_path].into()),
+            Value::Tuple([Value::U64(99), Value::U64(5), long_path].into()),
             0,
         );
         assert!(drive(&mut p, PortId(0), pair).is_empty());

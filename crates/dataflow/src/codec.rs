@@ -183,8 +183,16 @@ pub trait Codec: Sized {
     fn encode(&self, enc: &mut Enc);
     fn decode(dec: &mut Dec<'_>) -> Result<Self, DecodeError>;
 
+    /// Exact (or lower-bound) encoded size, used by [`Codec::to_bytes`]
+    /// to allocate the output buffer once instead of growing it per
+    /// field. 0 (the default) means "unknown" and falls back to an empty
+    /// buffer that grows on demand.
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+
     fn to_bytes(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
+        let mut enc = Enc::with_capacity(self.encoded_len_hint());
         self.encode(&mut enc);
         enc.finish()
     }

@@ -55,6 +55,16 @@ impl OpCtx {
         )
     }
 
+    /// Return a drained output buffer so its capacity is reused by the
+    /// next invocation (hot engines call operators millions of times;
+    /// this keeps the per-record path allocation-free).
+    pub fn put_back_outputs(&mut self, mut outputs: Vec<(usize, Record)>) {
+        if outputs.capacity() > self.outputs.capacity() {
+            outputs.clear();
+            self.outputs = outputs;
+        }
+    }
+
     pub fn output_count(&self) -> usize {
         self.outputs.len()
     }

@@ -41,7 +41,7 @@ impl Operator for KeyedCounterOp {
         );
         ctx.emit(rec.derive(
             rec.key,
-            Value::Tuple(vec![Value::U64(rec.key), Value::U64(n)].into()),
+            Value::Tuple([Value::U64(rec.key), Value::U64(n)].into()),
         ));
     }
 

@@ -47,25 +47,17 @@ impl Operator for IncrementalJoinOp {
     fn on_record(&mut self, port: PortId, rec: Record, ctx: &mut OpCtx) {
         let key = rec.key;
         if port == PortId::LEFT {
-            self.left
-                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.left.append(key, rec.value.clone());
             if let Some(matches) = self.right.get(key) {
                 for rv in matches {
-                    ctx.emit(rec.derive(
-                        key,
-                        Value::Tuple(vec![rec.value.clone(), rv.clone()].into()),
-                    ));
+                    ctx.emit(rec.derive(key, Value::Tuple([rec.value.clone(), rv.clone()].into())));
                 }
             }
         } else {
-            self.right
-                .upsert(key, Vec::new, |v| v.push(rec.value.clone()));
+            self.right.append(key, rec.value.clone());
             if let Some(matches) = self.left.get(key) {
                 for lv in matches {
-                    ctx.emit(rec.derive(
-                        key,
-                        Value::Tuple(vec![lv.clone(), rec.value.clone()].into()),
-                    ));
+                    ctx.emit(rec.derive(key, Value::Tuple([lv.clone(), rec.value.clone()].into())));
                 }
             }
         }

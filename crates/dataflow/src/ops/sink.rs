@@ -9,9 +9,9 @@ use crate::codec::{Dec, DecodeError, Enc};
 use crate::ids::PortId;
 use crate::operator::{OpCtx, Operator};
 use crate::record::Record;
-use crate::value::fnv1a;
 #[cfg(test)]
 use crate::value::Value;
+use crate::value::{fnv1a_update, FNV_OFFSET};
 
 /// Order-independent digest over `(key, value)` pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,10 +25,12 @@ pub struct Digest {
 
 impl Digest {
     pub fn add(&mut self, rec: &Record) {
-        let mut enc = Enc::with_capacity(rec.value.encoded_len() + 8);
-        enc.u64(rec.key);
-        crate::codec::Codec::encode(&rec.value, &mut enc);
-        let h = fnv1a(&enc.finish());
+        // Streamed FNV over (key, canonical value encoding) — the same
+        // bytes (and therefore the same digest) as encoding into a
+        // buffer first, without the per-record allocation.
+        let mut h = FNV_OFFSET;
+        fnv1a_update(&mut h, &rec.key.to_le_bytes());
+        rec.value.hash_update(&mut h);
         self.count = self.count.wrapping_add(1);
         self.acc = self.acc.wrapping_add(h);
     }

@@ -45,6 +45,10 @@ impl Record {
 }
 
 impl Codec for Record {
+    fn encoded_len_hint(&self) -> usize {
+        self.encoded_len()
+    }
+
     fn encode(&self, enc: &mut Enc) {
         enc.u64(self.key).u64(self.ingest_time);
         self.value.encode(enc);

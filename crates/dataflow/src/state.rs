@@ -122,6 +122,11 @@ impl<V: ByteSized> KeyedState<V> {
 impl<V: ByteSized> KeyedState<V> {
     /// `update` requires the default to be pre-counted; this entry-style
     /// helper inserts the default with correct accounting, then mutates.
+    ///
+    /// Note the size delta is computed by encoding-size walks of the
+    /// whole entry before and after `f` — O(entry) per call. Join-style
+    /// states appending one element to a growing vector should use
+    /// [`KeyedState::append`], which accounts the delta in O(1).
     pub fn upsert<R>(
         &mut self,
         key: u64,
@@ -140,7 +145,33 @@ impl<V: ByteSized> KeyedState<V> {
     }
 }
 
+impl<T: ByteSized> KeyedState<Vec<T>> {
+    /// Push `item` onto the vector at `key` (creating it when absent),
+    /// with O(item) size accounting instead of [`KeyedState::upsert`]'s
+    /// O(whole entry) re-walk — the hot path of every streaming join.
+    pub fn append(&mut self, key: u64, item: T) {
+        let add = item.byte_size();
+        match self.map.get_mut(&key) {
+            Some(v) => {
+                v.push(item);
+                self.bytes += add;
+            }
+            None => {
+                // A fresh entry costs the key (8) plus the empty Vec
+                // envelope (4) plus the item — the same accounting
+                // `insert` would produce.
+                self.map.insert(key, vec![item]);
+                self.bytes += 8 + 4 + add;
+            }
+        }
+    }
+}
+
 impl<V: Codec + ByteSized> Codec for KeyedState<V> {
+    fn encoded_len_hint(&self) -> usize {
+        4 + self.bytes
+    }
+
     fn encode(&self, enc: &mut Enc) {
         enc.u32(self.map.len() as u32);
         for (k, v) in &self.map {

@@ -20,8 +20,10 @@ pub enum Value {
     Str(Arc<str>),
     /// Fixed-arity composite (used for tuples/structs like a NexMark bid).
     Tuple(Arc<[Value]>),
-    /// Variable-length list (used for reachability paths).
-    List(Vec<Value>),
+    /// Variable-length list (used for reachability paths). Shared, so a
+    /// record fan-out clones an `Arc` instead of deep-copying the list —
+    /// payloads are immutable once built, which makes every hop O(1).
+    List(Arc<[Value]>),
 }
 
 impl Value {
@@ -31,6 +33,10 @@ impl Value {
 
     pub fn tuple(items: impl Into<Arc<[Value]>>) -> Self {
         Value::Tuple(items.into())
+    }
+
+    pub fn list(items: impl Into<Arc<[Value]>>) -> Self {
+        Value::List(items.into())
     }
 
     pub fn as_u64(&self) -> Option<u64> {
@@ -97,19 +103,73 @@ impl Value {
     }
 
     /// A deterministic 64-bit hash of the value, used for sink digests in
-    /// exactly-once verification. FNV-1a over the encoded bytes.
+    /// exactly-once verification. FNV-1a over the encoded bytes, streamed
+    /// without materializing the encoding (bit-identical to
+    /// `fnv1a(&self.to_bytes())`).
     pub fn stable_hash(&self) -> u64 {
-        fnv1a(&self.to_bytes())
+        let mut h = FNV_OFFSET;
+        self.hash_update(&mut h);
+        h
     }
+
+    /// Fold this value's canonical encoding into a running FNV-1a state,
+    /// byte-for-byte identical to hashing [`Codec::to_bytes`] output.
+    pub fn hash_update(&self, h: &mut u64) {
+        match self {
+            Value::Unit => fnv1a_update(h, &[TAG_UNIT]),
+            Value::U64(v) => {
+                fnv1a_update(h, &[TAG_U64]);
+                fnv1a_update(h, &v.to_le_bytes());
+            }
+            Value::I64(v) => {
+                fnv1a_update(h, &[TAG_I64]);
+                fnv1a_update(h, &v.to_le_bytes());
+            }
+            Value::F64(v) => {
+                fnv1a_update(h, &[TAG_F64]);
+                fnv1a_update(h, &v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                fnv1a_update(h, &[TAG_STR]);
+                fnv1a_update(h, &(s.len() as u32).to_le_bytes());
+                fnv1a_update(h, s.as_bytes());
+            }
+            Value::Tuple(t) => {
+                fnv1a_update(h, &[TAG_TUPLE]);
+                fnv1a_update(h, &(t.len() as u32).to_le_bytes());
+                for v in t.iter() {
+                    v.hash_update(h);
+                }
+            }
+            Value::List(l) => {
+                fnv1a_update(h, &[TAG_LIST]);
+                fnv1a_update(h, &(l.len() as u32).to_le_bytes());
+                for v in l.iter() {
+                    v.hash_update(h);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a offset basis (the running-state seed for [`fnv1a_update`]).
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Fold `bytes` into a running FNV-1a state.
+#[inline]
+pub fn fnv1a_update(h: &mut u64, bytes: &[u8]) {
+    let mut acc = *h;
+    for &b in bytes {
+        acc ^= b as u64;
+        acc = acc.wrapping_mul(0x100000001b3);
+    }
+    *h = acc;
 }
 
 /// FNV-1a hash; stable across platforms and runs.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
+    let mut h = FNV_OFFSET;
+    fnv1a_update(&mut h, bytes);
     h
 }
 
@@ -122,6 +182,10 @@ const TAG_TUPLE: u8 = 5;
 const TAG_LIST: u8 = 6;
 
 impl Codec for Value {
+    fn encoded_len_hint(&self) -> usize {
+        self.encoded_len()
+    }
+
     fn encode(&self, enc: &mut Enc) {
         match self {
             Value::Unit => {
@@ -147,7 +211,7 @@ impl Codec for Value {
             }
             Value::List(l) => {
                 enc.u8(TAG_LIST).u32(l.len() as u32);
-                for v in l {
+                for v in l.iter() {
                     v.encode(enc);
                 }
             }
@@ -176,7 +240,7 @@ impl Codec for Value {
                 for _ in 0..n {
                     items.push(Value::decode(dec)?);
                 }
-                Value::List(items)
+                Value::List(items.into())
             }
             _ => {
                 return Err(DecodeError {
@@ -252,7 +316,7 @@ mod tests {
         Value::tuple(vec![
             Value::U64(42),
             Value::str("auction"),
-            Value::List(vec![Value::I64(-1), Value::F64(2.5)]),
+            Value::list(vec![Value::I64(-1), Value::F64(2.5)]),
             Value::Unit,
         ])
     }
@@ -271,7 +335,7 @@ mod tests {
             Value::U64(7),
             Value::str("hello world"),
             sample(),
-            Value::List(vec![]),
+            Value::list(vec![]),
         ] {
             assert_eq!(v.encoded_len(), v.to_bytes().len(), "{v}");
         }

@@ -17,7 +17,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 48, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(|v| Value::Tuple(v.into())),
-            proptest::collection::vec(inner, 0..6).prop_map(Value::List),
+            proptest::collection::vec(inner, 0..6).prop_map(Value::list),
         ]
     })
 }

@@ -71,6 +71,13 @@ pub struct EngineConfig {
     pub deadlock_timeout: SimTime,
     /// Safety valve: abort after this many simulation events.
     pub max_events: u64,
+    /// Deliver same-task sends to a worker as one batched arrival event
+    /// instead of one event per message. Purely a host-side optimization:
+    /// every message keeps its own arrival instant and queue position, so
+    /// the simulated timeline is identical either way (property-tested in
+    /// `engine/tests/batching_equivalence.rs`). Off = the historical
+    /// one-event-per-message data plane, kept as the equivalence oracle.
+    pub data_batching: bool,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +101,7 @@ impl Default for EngineConfig {
             recovery_lag_factor: 1.5,
             deadlock_timeout: 5 * SECONDS,
             max_events: 500_000_000,
+            data_batching: true,
         }
     }
 }

@@ -10,7 +10,7 @@
 use crate::config::EngineConfig;
 use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 use crate::report::{LatencySeries, Outcome, RunReport};
-use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
+use crate::state::{build_worker_instances, ArrivalQueue, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
 use checkmate_core::{
     coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
@@ -27,14 +27,31 @@ use checkmate_wal::{
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+/// One shipped message: its fixed queue position `(arrival time, ship
+/// sequence)` plus the sender incarnation it left under. Queue keys are
+/// assigned at ship time — the event queue pops ties in push order, so
+/// this is the same total order the historical assign-at-arrival scheme
+/// produced, and it lets one event carry many messages.
+type ShipItem = (QueueKey, u32, NetMsg);
+
 /// Simulation events. Events carry worker incarnations where staleness
 /// after a failure must invalidate them; the whole tuple is additionally
 /// guarded by a global epoch bumped at recovery.
 enum Ev {
+    /// A single message arriving at its queue-key instant.
     Arrive {
-        src_winc: u32,
         dst_winc: u32,
-        msg: NetMsg,
+        item: ShipItem,
+    },
+    /// All messages one task shipped to one destination worker, as one
+    /// event fired at the earliest arrival. Later messages are already
+    /// sitting in the worker's queue but stay invisible to dispatch
+    /// until their own arrival instant (delivery is gated on the queue
+    /// key's time), so the simulated timeline is identical to the
+    /// one-event-per-message plane.
+    ArriveBatch {
+        dst_winc: u32,
+        batch: Vec<ShipItem>,
     },
     TaskDone {
         worker: u32,
@@ -63,12 +80,11 @@ enum Ev {
     DeadlockCheck {
         round: u64,
     },
+    /// Boxed so the big checkpoint payload does not inflate every event
+    /// moved through the queue.
     UploadDone {
         winc: u32,
-        meta: CheckpointMeta,
-        /// Objects the upload ships: the whole snapshot, or only the
-        /// fresh chunks of an incremental checkpoint.
-        objects: Vec<(String, Vec<u8>)>,
+        job: Box<UploadJob>,
     },
     Fail,
     Detect,
@@ -76,6 +92,14 @@ enum Ev {
         line: BTreeMap<InstanceIdx, CheckpointId>,
     },
     LagProbe,
+}
+
+/// A captured checkpoint travelling to durability: metadata plus the
+/// objects the upload ships (the whole snapshot, or only the fresh
+/// chunks of an incremental checkpoint).
+struct UploadJob {
+    meta: CheckpointMeta,
+    objects: Vec<(String, Vec<u8>)>,
 }
 
 #[derive(Default)]
@@ -104,6 +128,15 @@ pub struct Engine {
     epoch: u32,
     arrival_seq: u64,
     arrivals_inflight: u64,
+    /// Messages shipped by the currently executing task, grouped by
+    /// destination worker, flushed as one arrival event per destination
+    /// at `begin_task` (and after recovery replay).
+    pending_ship: Vec<Vec<ShipItem>>,
+    /// Destination workers touched by the current task, in first-touch
+    /// order (deterministic flush order).
+    pending_dsts: Vec<u32>,
+    /// Reusable operator invocation context (allocation-free hot path).
+    ctx: OpCtx,
     chan_floor: Vec<SimTime>,
     chan_logs: Vec<ChannelLog>,
     /// Per-instance delivery-order logs (UNC/CIC); empty under COOR/None.
@@ -151,27 +184,37 @@ impl Engine {
             rates_pp.push(rate_pp);
         }
         let workers = (0..cfg.parallelism)
-            .map(|w| Worker {
-                id: w,
-                down: false,
-                paused: false,
-                incarnation: 0,
-                running: false,
-                busy_until: 0,
-                queue: BTreeMap::new(),
-                stash: BTreeMap::new(),
-                blocked: BTreeSet::new(),
-                pending_triggers: VecDeque::new(),
-                pending_ckpts: VecDeque::new(),
-                due_timers: BTreeSet::new(),
-                src_rr: 0,
-                prefer_source: false,
-                wake_at: None,
-                instances: build_worker_instances(&pg, w, cfg.protocol),
+            .map(|w| {
+                let instances = build_worker_instances(&pg, w, cfg.protocol);
+                let src_ops = instances
+                    .iter()
+                    .filter(|i| i.is_source())
+                    .map(|i| i.op_id)
+                    .collect();
+                Worker {
+                    id: w,
+                    down: false,
+                    paused: false,
+                    incarnation: 0,
+                    running: false,
+                    busy_until: 0,
+                    queue: ArrivalQueue::new(),
+                    stash: BTreeMap::new(),
+                    blocked: BTreeSet::new(),
+                    pending_triggers: VecDeque::new(),
+                    pending_ckpts: VecDeque::new(),
+                    due_timers: BTreeSet::new(),
+                    src_rr: 0,
+                    src_ops,
+                    prefer_source: false,
+                    wake_at: None,
+                    instances,
+                }
             })
             .collect();
         let n_channels = pg.n_channels();
         let n_instances = pg.n_instances();
+        let parallelism = cfg.parallelism;
         let logging = cfg.protocol.logs_messages();
         let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
         let storage_profile = cfg.storage;
@@ -188,6 +231,9 @@ impl Engine {
             epoch: 0,
             arrival_seq: 0,
             arrivals_inflight: 0,
+            pending_ship: (0..parallelism).map(|_| Vec::new()).collect(),
+            pending_dsts: Vec::new(),
+            ctx: OpCtx::new(0),
             chan_floor: vec![0; n_channels],
             chan_logs: if logging {
                 (0..n_channels).map(|_| ChannelLog::new()).collect()
@@ -279,6 +325,20 @@ impl Engine {
         self.queue.push(t, (self.epoch, ev));
     }
 
+    /// Insert one shipped message into its destination worker's queue,
+    /// dropping it when its sender's incarnation went stale in flight.
+    /// Blocked-channel messages are stashed lazily by the dispatch scan
+    /// exactly when they become due, which observes the blocked set at
+    /// the same instants the per-message plane did.
+    fn enqueue_arrival(&mut self, to_w: usize, item: ShipItem) {
+        let (key, src_winc, msg) = item;
+        let from_w = self.worker_of_inst(self.pg.channel(msg.channel).from);
+        if self.workers[from_w].incarnation != src_winc {
+            return; // lost with the failed sender
+        }
+        self.workers[to_w].queue.insert(key, msg);
+    }
+
     fn worker_of_inst(&self, inst: InstanceIdx) -> usize {
         (inst.0 % self.cfg.parallelism) as usize
     }
@@ -289,30 +349,32 @@ impl Engine {
 
     fn handle(&mut self, epoch: u32, ev: Ev) {
         match ev {
-            Ev::Arrive {
-                src_winc,
-                dst_winc,
-                msg,
-            } => {
+            Ev::Arrive { dst_winc, item } => {
                 self.arrivals_inflight -= 1;
                 if epoch != self.epoch {
                     return;
                 }
-                let ch = self.pg.channel(msg.channel);
-                let (from_w, to_w) = (self.worker_of_inst(ch.from), self.worker_of_inst(ch.to));
-                if self.workers[from_w].incarnation != src_winc
-                    || self.workers[to_w].incarnation != dst_winc
-                    || self.workers[to_w].down
-                {
+                let to_w = self.worker_of_inst(self.pg.channel(item.2.channel).to);
+                if self.workers[to_w].incarnation != dst_winc || self.workers[to_w].down {
                     return; // lost with the failed worker / stale epoch
                 }
-                let key = (self.now, self.arrival_seq);
-                self.arrival_seq += 1;
-                let w = &mut self.workers[to_w];
-                if w.blocked.contains(&msg.channel) {
-                    w.stash.entry(msg.channel).or_default().push((key, msg));
-                } else {
-                    w.queue.insert(key, msg);
+                self.enqueue_arrival(to_w, item);
+                self.try_dispatch(to_w);
+            }
+            Ev::ArriveBatch { dst_winc, batch } => {
+                self.arrivals_inflight -= batch.len() as u64;
+                // Count the whole batch against the event budget so the
+                // safety valve keeps measuring logical message traffic.
+                self.events += batch.len() as u64 - 1;
+                if epoch != self.epoch {
+                    return;
+                }
+                let to_w = self.worker_of_inst(self.pg.channel(batch[0].2.channel).to);
+                if self.workers[to_w].incarnation != dst_winc || self.workers[to_w].down {
+                    return;
+                }
+                for item in batch {
+                    self.enqueue_arrival(to_w, item);
                 }
                 self.try_dispatch(to_w);
             }
@@ -419,19 +481,15 @@ impl Engine {
                 }
                 self.check_deadlock(round);
             }
-            Ev::UploadDone {
-                winc,
-                meta,
-                objects,
-            } => {
+            Ev::UploadDone { winc, job } => {
                 if epoch != self.epoch {
                     return;
                 }
-                let w = self.worker_of_inst(meta.id.instance);
+                let w = self.worker_of_inst(job.meta.id.instance);
                 if self.workers[w].incarnation != winc {
                     return; // upload died with the worker
                 }
-                self.finish_upload(meta, objects);
+                self.finish_upload(job.meta, job.objects);
             }
             Ev::Fail => self.on_fail(),
             Ev::Detect => self.on_detect(),
@@ -481,10 +539,19 @@ impl Engine {
         } else if self.try_message(w) || self.try_source_poll(w) {
             return;
         }
-        // 6) Idle: wake at the next source availability.
+        // 6) Idle: wake at the next source availability, or when the
+        // earliest future-gated queued message arrives (batched ship
+        // events insert messages ahead of their arrival instants).
         let mut next: Option<SimTime> = None;
-        for inst in &self.workers[w].instances {
-            let Some(stream) = inst.stream else { continue };
+        if let Some((at, _)) = self.workers[w].queue.first_key() {
+            if at > self.now {
+                next = Some(at);
+            }
+        }
+        for k in 0..self.workers[w].src_ops.len() {
+            let op = self.workers[w].src_ops[k];
+            let inst = self.workers[w].instance(op);
+            let stream = inst.stream.expect("src_ops holds sources");
             let offset = inst.cursor.expect("source has cursor").next_offset;
             if let Some(at) = self.logs[stream as usize].available_at(offset) {
                 next = Some(next.map_or(at, |n: SimTime| n.min(at)));
@@ -524,10 +591,13 @@ impl Engine {
                 .any(|i| !i.det_replay.is_empty() || !i.det_parked.is_empty());
         if !det_active {
             loop {
-                let Some((&key, _)) = self.workers[w].queue.first_key_value() else {
+                let Some((key, msg)) = self.workers[w].queue.first() else {
                     return false;
                 };
-                let ch = self.workers[w].queue[&key].channel;
+                if key.0 > self.now {
+                    return false; // earliest message has not arrived yet
+                }
+                let ch = msg.channel;
                 if self.workers[w].blocked.contains(&ch) {
                     let (k, m) = self.workers[w].queue.pop_first().expect("checked");
                     self.workers[w].stash.entry(ch).or_default().push((k, m));
@@ -573,15 +643,14 @@ impl Engine {
         let mut cursor: Option<QueueKey> = None;
         loop {
             let key = match cursor {
-                None => self.workers[w].queue.first_key_value().map(|(&k, _)| k),
-                Some(prev) => self.workers[w]
-                    .queue
-                    .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
-                    .next()
-                    .map(|(&k, _)| k),
+                None => self.workers[w].queue.first_key(),
+                Some(prev) => self.workers[w].queue.next_key_after(prev),
             };
             let Some(key) = key else { break };
-            let ch = self.workers[w].queue[&key].channel;
+            if key.0 > self.now {
+                break; // everything further is future-gated
+            }
+            let ch = self.workers[w].queue.get(&key).expect("cursor key").channel;
             if self.workers[w].blocked.contains(&ch) {
                 let m = self.workers[w].queue.remove(&key).expect("checked");
                 self.workers[w].stash.entry(ch).or_default().push((key, m));
@@ -627,7 +696,7 @@ impl Engine {
     /// touching state), and markers are unaffected (COOR never logs
     /// determinants).
     fn det_held_as(&self, w: usize, key: QueueKey) -> Option<(ChannelIdx, u64)> {
-        let msg = &self.workers[w].queue[&key];
+        let msg = self.workers[w].queue.get(&key).expect("held key");
         let MsgKind::Data { seq, .. } = &msg.kind else {
             return None;
         };
@@ -643,23 +712,23 @@ impl Engine {
         }
     }
 
-    /// Poll one readable source record (round-robin across source
-    /// instances). Returns true when a task was started.
+    /// Poll one readable source record (round-robin across this
+    /// worker's source instances). Returns true when a task was started.
     fn try_source_poll(&mut self, w: usize) -> bool {
-        let n_ops = self.workers[w].instances.len();
-        for step in 0..n_ops {
-            let op_i = (self.workers[w].src_rr + step) % n_ops;
+        let n_src = self.workers[w].src_ops.len();
+        for step in 0..n_src {
+            let k = (self.workers[w].src_rr + step) % n_src;
+            let op = self.workers[w].src_ops[k];
             let (stream, offset) = {
-                let inst = &self.workers[w].instances[op_i];
-                let Some(stream) = inst.stream else { continue };
+                let inst = self.workers[w].instance(op);
                 (
-                    stream as usize,
+                    inst.stream.expect("src_ops holds sources") as usize,
                     inst.cursor.expect("source has cursor").next_offset,
                 )
             };
-            if self.logs[stream].poll(w as u32, offset, self.now).is_some() {
-                self.workers[w].src_rr = (op_i + 1) % n_ops;
-                self.exec_source_poll(w, OpId(op_i as u32));
+            if self.logs[stream].readable(offset, self.now) {
+                self.workers[w].src_rr = (k + 1) % n_src;
+                self.exec_source_poll(w, op);
                 return true;
             }
         }
@@ -667,8 +736,10 @@ impl Engine {
     }
 
     /// Begin a task on worker `w`: occupy the CPU for `service` ns and
-    /// schedule completion.
+    /// schedule completion. Flushes the task's shipped messages first —
+    /// one arrival event per destination worker.
     fn begin_task(&mut self, w: usize, service: SimTime) -> SimTime {
+        self.flush_ship();
         let t_done = self.now + service.max(1);
         let worker = &mut self.workers[w];
         worker.running = true;
@@ -695,10 +766,10 @@ impl Engine {
             ch_meta.port,
             ch_meta.from,
         );
+        let wire = msg.payload_bytes() + msg.wire_overhead;
         match msg.kind {
             MsgKind::Marker { round } => self.exec_marker(w, op, msg.channel, round),
             MsgKind::Data { seq, record } => {
-                let wire = 8 + record.encoded_len() + msg.wire_overhead;
                 let mut service = self.cfg.cost.deser_ns(wire);
                 // Duplicate? (replayed message already reflected in the
                 // restored receiver state)
@@ -753,13 +824,14 @@ impl Engine {
                 }
                 service += self.pg.logical().op(op).work_ns;
                 let is_sink = matches!(self.pg.logical().op(op).role, OpRole::Sink);
-                let (outputs, timers) = self.run_operator(w, op, port, record.clone());
-                service += self.route_outputs(w, op, outputs, &mut 0);
+                let ingest_time = record.ingest_time;
+                let (outputs, timers) = self.run_operator(w, op, port, record);
+                service += self.route_outputs(w, op, outputs);
                 let t_done = self.begin_task(w, service);
                 self.schedule_op_timers(w, op, timers);
                 if is_sink {
                     self.metrics.sink_outputs_total += 1;
-                    let latency = t_done.saturating_sub(record.ingest_time);
+                    let latency = t_done.saturating_sub(ingest_time);
                     self.metrics.series.record(t_done, latency);
                     if t_done >= self.cfg.warmup {
                         self.metrics.sink_records_postwarmup += 1;
@@ -805,11 +877,14 @@ impl Engine {
     }
 
     fn exec_op_timer(&mut self, w: usize, op: OpId, at: SimTime) {
-        let mut ctx = OpCtx::new(at);
-        self.workers[w].instance_mut(op).op.on_timer(at, &mut ctx);
-        let (outputs, timers) = ctx.take();
+        self.ctx.now = at;
+        self.workers[w]
+            .instance_mut(op)
+            .op
+            .on_timer(at, &mut self.ctx);
+        let (outputs, timers) = self.ctx.take();
         let mut service = self.cfg.cost.marker_handle_ns; // timer bookkeeping cost
-        service += self.route_outputs(w, op, outputs, &mut 0);
+        service += self.route_outputs(w, op, outputs);
         self.begin_task(w, service);
         self.schedule_op_timers(w, op, timers);
     }
@@ -833,12 +908,14 @@ impl Engine {
             .advance();
         let mut service = self.pg.logical().op(op).work_ns;
         let (outputs, timers) = self.run_operator(w, op, PortId(0), entry.record);
-        service += self.route_outputs(w, op, outputs, &mut 0);
+        service += self.route_outputs(w, op, outputs);
         self.begin_task(w, service);
         self.schedule_op_timers(w, op, timers);
     }
 
-    /// Run the operator body; returns (outputs, timer requests).
+    /// Run the operator body; returns (outputs, timer requests). The
+    /// invocation context is engine-owned so its output buffer's
+    /// capacity is reused across records.
     fn run_operator(
         &mut self,
         w: usize,
@@ -846,12 +923,12 @@ impl Engine {
         port: PortId,
         record: Record,
     ) -> (Vec<(usize, Record)>, Vec<SimTime>) {
-        let mut ctx = OpCtx::new(self.now);
+        self.ctx.now = self.now;
         self.workers[w]
             .instance_mut(op)
             .op
-            .on_record(port, record, &mut ctx);
-        ctx.take()
+            .on_record(port, record, &mut self.ctx);
+        self.ctx.take()
     }
 
     fn schedule_op_timers(&mut self, w: usize, op: OpId, timers: Vec<SimTime>) {
@@ -879,37 +956,36 @@ impl Engine {
     }
 
     /// Route operator outputs to their target instances; returns the CPU
-    /// cost of serializing (and logging) them. `marker_extra` is unused
-    /// padding for signature symmetry.
-    fn route_outputs(
-        &mut self,
-        w: usize,
-        op: OpId,
-        outputs: Vec<(usize, Record)>,
-        _marker_extra: &mut u64,
-    ) -> SimTime {
+    /// cost of serializing (and logging) them. The drained buffer is
+    /// handed back to the engine context so its capacity is reused.
+    fn route_outputs(&mut self, w: usize, op: OpId, mut outputs: Vec<(usize, Record)>) -> SimTime {
         let mut service = 0;
         let p = self.cfg.parallelism;
         let inst_idx = self.workers[w].instance(op).idx;
-        for (edge_i, rec) in outputs {
-            let channels: Vec<ChannelIdx> = {
-                let oe = &self.pg.out_edges_of(inst_idx)[edge_i];
-                let targets: Vec<u32> = match oe.kind {
-                    EdgeKind::Forward => vec![w as u32],
-                    EdgeKind::Broadcast => (0..p).collect(),
-                    EdgeKind::Shuffle | EdgeKind::Feedback => {
-                        vec![checkmate_dataflow::shuffle_target(rec.key, p)]
+        for (edge_i, rec) in outputs.drain(..) {
+            let kind = self.pg.out_edges_of(inst_idx)[edge_i].kind;
+            match kind {
+                EdgeKind::Forward => {
+                    let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[w]
+                        .expect("edge connects target");
+                    service += self.send_data(w, op, ch, rec);
+                }
+                EdgeKind::Shuffle | EdgeKind::Feedback => {
+                    let j = checkmate_dataflow::shuffle_target(rec.key, p) as usize;
+                    let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[j]
+                        .expect("edge connects target");
+                    service += self.send_data(w, op, ch, rec);
+                }
+                EdgeKind::Broadcast => {
+                    for j in 0..p as usize {
+                        let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[j]
+                            .expect("edge connects target");
+                        service += self.send_data(w, op, ch, rec.clone());
                     }
-                };
-                targets
-                    .into_iter()
-                    .map(|j| oe.targets[j as usize].expect("edge connects target"))
-                    .collect()
-            };
-            for ch in channels {
-                service += self.send_data(w, op, ch, rec.clone());
+                }
             }
         }
+        self.ctx.put_back_outputs(outputs);
         service
     }
 
@@ -935,27 +1011,26 @@ impl Engine {
         }
         let mut service = self.cfg.cost.ser_ns(msg.wire_bytes());
         if !self.chan_logs.is_empty() {
-            self.chan_logs[ch.0 as usize].append(seq, rec);
+            self.chan_logs[ch.0 as usize].append_sized(seq, rec, msg.payload_bytes() - 8);
             service += self.cfg.cost.log_append_ns(msg.payload_bytes());
         }
         self.metrics.payload_bytes += msg.payload_bytes() as u64;
         self.metrics.protocol_bytes += msg.overhead_bytes() as u64;
-        self.ship(
-            w,
-            msg,
-            self.workers[w].busy_until.max(self.now), /* placeholder */
-        );
+        self.ship(msg);
         service
     }
 
-    /// Schedule the network arrival of `msg`, enforcing per-channel FIFO.
-    /// `t_send` is when the sender's task completes (the message leaves).
-    fn ship(&mut self, w: usize, msg: NetMsg, _t_send_hint: SimTime) {
+    /// Stage the network arrival of `msg`, enforcing per-channel FIFO.
+    /// The message's queue position `(arrival, ship seq)` is fixed here;
+    /// delivery happens via the per-destination batch flushed at
+    /// `begin_task` (or immediately, with batching disabled).
+    fn ship(&mut self, msg: NetMsg) {
         // Tasks call route/send during dispatch, before begin_task fixes
         // busy_until; use `now` + a conservative bound: the arrival floor
         // guarantees FIFO regardless, and service times dominate.
         let ch = self.pg.channel(msg.channel);
-        let local = self.worker_of_inst(ch.from) == self.worker_of_inst(ch.to);
+        let (from_w, to_w) = (self.worker_of_inst(ch.from), self.worker_of_inst(ch.to));
+        let local = from_w == to_w;
         let xfer = if local {
             self.cfg.cost.local_xfer_ns
         } else {
@@ -964,18 +1039,51 @@ impl Engine {
         let floor = self.chan_floor[msg.channel.0 as usize];
         let arrival = (self.now + xfer).max(floor + 1);
         self.chan_floor[msg.channel.0 as usize] = arrival;
-        let src_winc = self.workers[self.worker_of_inst(ch.from)].incarnation;
-        let dst_winc = self.workers[self.worker_of_inst(ch.to)].incarnation;
+        let key = (arrival, self.arrival_seq);
+        self.arrival_seq += 1;
+        let src_winc = self.workers[from_w].incarnation;
         self.arrivals_inflight += 1;
-        self.push_at(
-            arrival,
-            Ev::Arrive {
-                src_winc,
-                dst_winc,
-                msg,
-            },
-        );
-        let _ = w;
+        if self.pending_ship[to_w].is_empty() {
+            self.pending_dsts.push(to_w as u32);
+        }
+        self.pending_ship[to_w].push((key, src_winc, msg));
+        if !self.cfg.data_batching {
+            self.flush_ship();
+        }
+    }
+
+    /// Emit the staged messages: one event per destination worker, fired
+    /// at that destination's earliest arrival. Singleton groups reuse
+    /// the staging buffer (no allocation).
+    fn flush_ship(&mut self) {
+        if self.pending_dsts.is_empty() {
+            return;
+        }
+        for i in 0..self.pending_dsts.len() {
+            let dst = self.pending_dsts[i] as usize;
+            let dst_winc = self.workers[dst].incarnation;
+            // Fire at the group's earliest arrival: push order is not
+            // arrival order across channels (transfer times are
+            // size-dependent and each channel carries its own FIFO
+            // floor), and every message must be in the destination's
+            // queue by its own arrival instant.
+            let first_at = self.pending_ship[dst]
+                .iter()
+                .map(|(k, _, _)| k.0)
+                .min()
+                .expect("non-empty ship group");
+            let ev = if self.pending_ship[dst].len() == 1 {
+                let item = self.pending_ship[dst].pop().expect("checked len");
+                Ev::Arrive { dst_winc, item }
+            } else {
+                Ev::ArriveBatch {
+                    dst_winc,
+                    batch: std::mem::take(&mut self.pending_ship[dst]),
+                }
+            };
+            self.push_at(first_at, ev);
+        }
+        self.pending_dsts.clear();
     }
 
     /// Forward COOR markers on every outgoing channel; returns CPU cost.
@@ -992,7 +1100,7 @@ impl Engine {
             service += self.cfg.cost.ser_ns(MARKER_BYTES);
             let msg = NetMsg::marker(ch, round);
             self.metrics.protocol_bytes += msg.overhead_bytes() as u64;
-            self.ship(w, msg, self.now);
+            self.ship(msg);
         }
         service
     }
@@ -1070,8 +1178,7 @@ impl Engine {
             durable,
             Ev::UploadDone {
                 winc,
-                meta,
-                objects,
+                job: Box::new(UploadJob { meta, objects }),
             },
         );
         service
@@ -1285,6 +1392,25 @@ impl Engine {
         worker.down = true;
         worker.incarnation += 1;
         worker.clear_volatile();
+        // Messages this worker shipped that have not yet arrived die with
+        // it. Batched ship events pre-inserted them into healthy workers'
+        // queues after validating the sender incarnation at the batch's
+        // first arrival; entries gated to at-or-after this instant must
+        // be dropped now, exactly as their individual arrival events
+        // would have dropped them on the stale-incarnation check. (The
+        // Fail event was pushed at bootstrap, so among same-instant
+        // events it pops first — an entry due exactly now has not been
+        // delivered yet.)
+        let pg = &self.pg;
+        let p = self.cfg.parallelism;
+        let now = self.now;
+        for (dst, dw) in self.workers.iter_mut().enumerate() {
+            if dst == w {
+                continue; // cleared wholesale above
+            }
+            dw.queue
+                .purge_not_arrived(now, |msg| pg.channel(msg.channel).from.0 % p == w as u32);
+        }
         self.coord.failed_worker = Some(w as u32);
         self.push_at(self.now + self.cfg.cost.failure_detect_ns, Ev::Detect);
     }
@@ -1431,9 +1557,12 @@ impl Engine {
                     .collect();
                 for (seq, rec) in entries {
                     let msg = NetMsg::data(ch, seq, rec).replay();
-                    self.ship(self.worker_of_inst(from), msg, self.now);
+                    self.ship(msg);
                 }
             }
+            // Replayed in-flight messages go out as batched arrivals too
+            // (their queue keys already carry per-message arrivals).
+            self.flush_ship();
         }
         // Clear acks of rounds that died with the failure.
         let completed: Vec<u64> = self

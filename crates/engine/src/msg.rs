@@ -41,6 +41,10 @@ pub struct NetMsg {
     /// CIC piggyback attached to data messages (None for other protocols
     /// and for markers).
     pub piggyback: Option<CicPiggyback>,
+    /// Payload bytes (seq + record encoding), computed once at
+    /// construction — `Record::encoded_len` walks the whole payload
+    /// tree, and the engine needs the size at several points per hop.
+    payload: u32,
     /// Protocol bytes this message adds to the wire (piggyback for data,
     /// the whole body for markers).
     pub wire_overhead: usize,
@@ -52,10 +56,12 @@ pub struct NetMsg {
 
 impl NetMsg {
     pub fn data(channel: ChannelIdx, seq: u64, record: Record) -> Self {
+        let payload = (8 + record.encoded_len()) as u32;
         Self {
             channel,
             kind: MsgKind::Data { seq, record },
             piggyback: None,
+            payload,
             wire_overhead: 0,
             replayed: false,
         }
@@ -66,6 +72,7 @@ impl NetMsg {
             channel,
             kind: MsgKind::Marker { round },
             piggyback: None,
+            payload: 0,
             wire_overhead: MARKER_BYTES,
             replayed: false,
         }
@@ -85,10 +92,7 @@ impl NetMsg {
     /// Payload bytes: what a checkpoint-free execution would also carry
     /// (markers carry no payload).
     pub fn payload_bytes(&self) -> usize {
-        match &self.kind {
-            MsgKind::Data { record, .. } => 8 + record.encoded_len(), // seq + record
-            MsgKind::Marker { .. } => 0,
-        }
+        self.payload as usize
     }
 
     /// Protocol overhead bytes.

@@ -167,11 +167,13 @@ impl RunReport {
     }
 }
 
-/// Builds per-second percentile series from raw samples.
+/// Builds per-second percentile series from raw samples. Samples arrive
+/// in (nearly) increasing time, so buckets live in a sorted vector with
+/// a from-the-back insertion scan — effectively O(1) per sample.
 #[derive(Debug, Default)]
 pub struct LatencySeries {
-    /// Sorted insertion not required; sorted at build time.
-    buckets: std::collections::BTreeMap<u64, Vec<u64>>,
+    /// `(second, samples)`, sorted by second.
+    buckets: Vec<(u64, Vec<u64>)>,
 }
 
 impl LatencySeries {
@@ -180,20 +182,35 @@ impl LatencySeries {
     }
 
     pub fn record(&mut self, at: SimTime, latency_ns: u64) {
-        self.buckets
-            .entry(at / 1_000_000_000)
-            .or_default()
-            .push(latency_ns);
+        let sec = at / 1_000_000_000;
+        // Hot path: the sample lands in the newest bucket (or opens one).
+        match self.buckets.last_mut() {
+            Some((s, v)) if *s == sec => v.push(latency_ns),
+            Some((s, _)) if *s < sec => self.buckets.push((sec, vec![latency_ns])),
+            None => self.buckets.push((sec, vec![latency_ns])),
+            _ => {
+                // Rare out-of-order sample (task-completion skew): find
+                // its bucket from the back.
+                match self.buckets.binary_search_by_key(&sec, |(s, _)| *s) {
+                    Ok(i) => self.buckets[i].1.push(latency_ns),
+                    Err(i) => self.buckets.insert(i, (sec, vec![latency_ns])),
+                }
+            }
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
     }
 
+    fn bucket_start(&self, from_sec: u64) -> usize {
+        self.buckets.partition_point(|(s, _)| *s < from_sec)
+    }
+
     /// Per-second p50 values at or after `from_sec`, as `(second, p50)`.
     pub fn clone_series_after(&self, from_sec: u64) -> Vec<(u64, u64)> {
-        self.buckets
-            .range(from_sec..)
+        self.buckets[self.bucket_start(from_sec)..]
+            .iter()
             .map(|(s, v)| {
                 let mut copy = v.clone();
                 (*s, percentile_of(&mut copy, 0.50))
@@ -203,9 +220,8 @@ impl LatencySeries {
 
     /// Percentile over all samples at or after `from_sec`.
     pub fn percentile_from(&self, from_sec: u64, p: f64) -> u64 {
-        let mut all: Vec<u64> = self
-            .buckets
-            .range(from_sec..)
+        let mut all: Vec<u64> = self.buckets[self.bucket_start(from_sec)..]
+            .iter()
             .flat_map(|(_, v)| v.iter().copied())
             .collect();
         percentile_of(&mut all, p)

@@ -3,7 +3,9 @@
 
 use crate::workload::{StreamSpec, Workload};
 use checkmate_dataflow::ops::{DigestSinkOp, KeyedCounterOp, MapOp, PassThroughOp};
-use checkmate_dataflow::{EdgeKind, GraphBuilder, Record, Value};
+use checkmate_dataflow::{
+    DecodeError, EdgeKind, GraphBuilder, OpCtx, Operator, PortId, Record, Value,
+};
 use checkmate_wal::EventStream;
 use std::sync::Arc;
 
@@ -47,6 +49,70 @@ pub fn counting_pipeline(parallelism: u32) -> Workload {
     b.connect(cnt, sink, EdgeKind::Forward);
     Workload {
         name: "counting".into(),
+        graph: b.build().expect("valid graph"),
+        streams: vec![StreamSpec {
+            stream: Arc::new(SyntheticStream {
+                partitions: parallelism,
+                keys: 64,
+                pad: 40,
+            }),
+            rate_share: 1.0,
+        }],
+    }
+}
+
+/// Emits a *large* record on edge 0 and then a *small* record on edge 1
+/// per input, same key. With both edges shuffled to the same target
+/// worker, the second send's network transfer finishes before the
+/// first's — same-task sends whose arrival order inverts their send
+/// order, the adversarial shape for batched arrival delivery.
+struct SkewedFanoutOp;
+
+impl Operator for SkewedFanoutOp {
+    fn on_record(&mut self, _port: PortId, rec: Record, ctx: &mut OpCtx) {
+        let g = rec.value.field(0).as_u64().unwrap_or(0);
+        ctx.emit_to(0, rec.derive(rec.key, Value::str("y".repeat(400))));
+        ctx.emit_to(1, rec.derive(rec.key, Value::U64(g)));
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), DecodeError> {
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+}
+
+/// `source → fanout (two shuffle edges, big-then-small) → two sinks`:
+/// same-task multi-channel sends with non-monotone arrival order.
+pub fn skewed_fanout_pipeline(parallelism: u32) -> Workload {
+    let mut b = GraphBuilder::new();
+    let src = b.source("src", 0, 150_000, Arc::new(|_| Box::new(PassThroughOp)));
+    let split = b.op("fanout", 150_000, Arc::new(|_| Box::new(SkewedFanoutOp)));
+    let sink_big = b.sink(
+        "sink_big",
+        100_000,
+        Arc::new(|_| Box::new(DigestSinkOp::new())),
+    );
+    let sink_small = b.sink(
+        "sink_small",
+        100_000,
+        Arc::new(|_| Box::new(DigestSinkOp::new())),
+    );
+    b.connect(src, split, EdgeKind::Shuffle);
+    b.connect(split, sink_big, EdgeKind::Shuffle);
+    b.connect(split, sink_small, EdgeKind::Shuffle);
+    Workload {
+        name: "skewed_fanout".into(),
         graph: b.build().expect("valid graph"),
         streams: vec![StreamSpec {
             stream: Arc::new(SyntheticStream {

@@ -1,0 +1,130 @@
+//! The batched data plane is a host-side optimization only: with
+//! `data_batching` on, N same-task messages ride one arrival event, but
+//! every message keeps its own arrival instant and queue position. These
+//! properties pin that down — a batched run must be *bit-identical* to
+//! the one-event-per-message run at the level of everything the engine
+//! reports: sink digests, event-level delivery order (visible through
+//! digests + latency series + end time), checkpoints, recovery, bytes.
+//!
+//! The only intentionally differing field is `events` (the popped-event
+//! count: batching exists precisely to pop fewer events).
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::RunReport;
+use checkmate_engine::testkit::{counting_pipeline, skewed_fanout_pipeline};
+use checkmate_sim::{MILLIS, SECONDS};
+use proptest::prelude::*;
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+    ProtocolKind::CommunicationInducedBcs,
+];
+
+fn cfg(protocol: ProtocolKind, seed: u64, failure: Option<FailureSpec>) -> EngineConfig {
+    EngineConfig {
+        parallelism: 3,
+        protocol,
+        total_rate: 1_500.0,
+        checkpoint_interval: SECONDS,
+        duration: 120 * SECONDS,
+        warmup: SECONDS,
+        input_limit: Some(800),
+        seed,
+        failure,
+        ..EngineConfig::default()
+    }
+}
+
+/// Everything in the report except the popped-event count, as a
+/// comparable string (RunReport fields are all Debug + deterministic).
+fn fingerprint(mut r: RunReport) -> String {
+    r.events = 0;
+    format!("{r:?}")
+}
+
+fn run(
+    protocol: ProtocolKind,
+    seed: u64,
+    failure: Option<FailureSpec>,
+    batched: bool,
+) -> RunReport {
+    let config = EngineConfig {
+        data_batching: batched,
+        ..cfg(protocol, seed, failure)
+    };
+    Engine::new(&counting_pipeline(3), config).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Clean runs: batched == unbatched for every protocol.
+    #[test]
+    fn batched_plane_is_bit_identical_clean(
+        proto_i in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let batched = run(protocol, seed, None, true);
+        let plain = run(protocol, seed, None, false);
+        prop_assert!(batched.events <= plain.events,
+            "batching must not pop more events ({} vs {})", batched.events, plain.events);
+        prop_assert_eq!(fingerprint(batched), fingerprint(plain), "protocol {}", protocol);
+    }
+
+    /// Failure runs: recovery (replay batches, invalidations, restarts)
+    /// is equally bit-identical.
+    #[test]
+    fn batched_plane_is_bit_identical_with_failure(
+        proto_i in 0usize..4,
+        at_ms in 200u64..2_500,
+        victim in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let failure = Some(FailureSpec { at: at_ms * MILLIS, worker: WorkerId(victim) });
+        let batched = run(protocol, seed, failure, true);
+        let plain = run(protocol, seed, failure, false);
+        prop_assert_eq!(
+            fingerprint(batched),
+            fingerprint(plain),
+            "protocol {} failure at {}ms on w{}",
+            protocol, at_ms, victim
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The adversarial fan-out shape: one task sends a big record and
+    /// then a small record on two shuffle channels to the same worker,
+    /// so the arrival order inverts the send order within one ship
+    /// group. The batch must still make every message visible at its
+    /// own arrival instant (the group event fires at the *minimum*
+    /// arrival).
+    #[test]
+    fn batched_plane_handles_inverted_arrival_order(
+        proto_i in 0usize..4,
+        fail in any::<bool>(),
+        at_ms in 200u64..2_500,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let failure = fail.then_some(FailureSpec { at: at_ms * MILLIS, worker: WorkerId(1) });
+        let mk = |batched: bool| {
+            let config = EngineConfig {
+                data_batching: batched,
+                ..cfg(protocol, seed, failure)
+            };
+            Engine::new(&skewed_fanout_pipeline(3), config).run()
+        };
+        prop_assert_eq!(fingerprint(mk(true)), fingerprint(mk(false)),
+            "protocol {} fail={:?}", protocol, failure.map(|f| f.at));
+    }
+}

@@ -93,7 +93,7 @@ impl EventStream for PersonStream {
         Record::new(
             id,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(id),
                     Value::str(name),
                     Value::str(city),
@@ -156,7 +156,7 @@ impl EventStream for AuctionStream {
         Record::new(
             seller,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(id),
                     Value::U64(seller),
                     Value::U64(category),
@@ -210,7 +210,7 @@ impl EventStream for BidStream {
         Record::new(
             bidder,
             Value::Tuple(
-                vec![
+                [
                     Value::U64(auction),
                     Value::U64(bidder),
                     Value::U64(price),

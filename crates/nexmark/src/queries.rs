@@ -74,7 +74,7 @@ pub fn q1(parallelism: u32, seed: u64) -> Workload {
                 r.derive(
                     r.key,
                     Value::Tuple(
-                        vec![t[0].clone(), t[1].clone(), Value::U64(euros), t[3].clone()].into(),
+                        [t[0].clone(), t[1].clone(), Value::U64(euros), t[3].clone()].into(),
                     ),
                 )
             }))

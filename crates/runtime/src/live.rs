@@ -40,7 +40,8 @@
 use checkmate_core::{
     coordinated_line, rollback_propagation, snapshot, ChannelBook, ChannelTriple, CheckpointGraph,
     CheckpointId, CheckpointKind, CheckpointMeta, CicPiggyback, CicState, CoorAligner,
-    DurableCheckpoints, IncrementalPolicy, MarkerAction, ProtocolKind, SnapshotManifest,
+    DurableCheckpoints, HmnrPiggyback, IncrementalPolicy, MarkerAction, ProtocolKind,
+    SnapshotManifest,
 };
 use checkmate_dataflow::graph::{ChannelIdx, EdgeKind, InstanceIdx};
 use checkmate_dataflow::ops::Digest;
@@ -117,6 +118,19 @@ enum Wire {
         piggyback: Option<CicPiggyback>,
         replayed: bool,
     },
+    /// A run of consecutive records on one channel (`seq = start_seq + i`),
+    /// sent as one crossbeam message. Senders coalesce same-channel sends
+    /// between flush points; flushes happen before any marker leaves (so
+    /// markers never overtake data on a channel) and before every
+    /// checkpoint capture (so the durable channel log always covers the
+    /// snapshot's sent watermarks).
+    DataBatch {
+        epoch: u32,
+        channel: ChannelIdx,
+        start_seq: u64,
+        items: Vec<(Record, Option<CicPiggyback>)>,
+        replayed: bool,
+    },
     Marker {
         epoch: u32,
         channel: ChannelIdx,
@@ -127,15 +141,28 @@ enum Wire {
 impl Wire {
     fn epoch(&self) -> u32 {
         match self {
-            Wire::Data { epoch, .. } | Wire::Marker { epoch, .. } => *epoch,
+            Wire::Data { epoch, .. }
+            | Wire::DataBatch { epoch, .. }
+            | Wire::Marker { epoch, .. } => *epoch,
         }
     }
 
     fn channel(&self) -> ChannelIdx {
         match self {
-            Wire::Data { channel, .. } | Wire::Marker { channel, .. } => *channel,
+            Wire::Data { channel, .. }
+            | Wire::DataBatch { channel, .. }
+            | Wire::Marker { channel, .. } => *channel,
         }
     }
+}
+
+/// Sender-side staging for one `Wire::DataBatch` in flight.
+struct PendingBatch {
+    dest: usize,
+    channel: ChannelIdx,
+    epoch: u32,
+    start_seq: u64,
+    items: Vec<(Record, Option<CicPiggyback>)>,
 }
 
 /// Coordinator → worker control messages.
@@ -242,7 +269,7 @@ struct LiveInstance {
 
 impl LiveInstance {
     fn snapshot_bytes(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
+        let mut enc = Enc::with_capacity(self.op.state_size() + 64);
         enc.bytes(&self.op.snapshot());
         self.book.encode(&mut enc);
         match &self.cic {
@@ -419,6 +446,44 @@ fn worker_main(
 
     let now_ns = |start: &Instant| start.elapsed().as_nanos() as u64;
 
+    // Outbound sends staged between flush points: consecutive sends on a
+    // channel coalesce into one crossbeam message, and the channel-log
+    // appends of a batch happen under a single lock acquisition.
+    let mut out_buf: Vec<PendingBatch> = Vec::new();
+
+    macro_rules! flush_sends {
+        () => {{
+            for batch in out_buf.drain(..) {
+                if cfg.protocol.logs_messages() {
+                    let mut log = shared.logs[batch.channel.0 as usize].lock();
+                    for (i, (rec, _)) in batch.items.iter().enumerate() {
+                        log.append(batch.start_seq + i as u64, rec.clone());
+                    }
+                }
+                let wire = if batch.items.len() == 1 {
+                    let (record, piggyback) = batch.items.into_iter().next().expect("len 1");
+                    Wire::Data {
+                        epoch: batch.epoch,
+                        channel: batch.channel,
+                        seq: batch.start_seq,
+                        record,
+                        piggyback,
+                        replayed: false,
+                    }
+                } else {
+                    Wire::DataBatch {
+                        epoch: batch.epoch,
+                        channel: batch.channel,
+                        start_seq: batch.start_seq,
+                        items: batch.items,
+                        replayed: false,
+                    }
+                };
+                let _ = data_tx[batch.dest].send(wire);
+            }
+        }};
+    }
+
     // Sending a record out of an instance, routing per edge kind.
     // Defined as a macro to borrow locals freely.
     macro_rules! route {
@@ -437,18 +502,27 @@ fn worker_main(
                 let seq = instances[$inst_i].book.next_send(ch);
                 let dest = pg.channel(ch).to.0 as usize;
                 let pb = instances[$inst_i].cic.as_mut().map(|c| c.on_send(dest));
-                if cfg.protocol.logs_messages() {
-                    shared.logs[ch.0 as usize].lock().append(seq, $rec.clone());
-                }
                 let dest_worker = (pg.channel(ch).to.0 % cfg.parallelism) as usize;
-                let _ = data_tx[dest_worker].send(Wire::Data {
-                    epoch,
-                    channel: ch,
-                    seq,
-                    record: $rec.clone(),
-                    piggyback: pb,
-                    replayed: false,
-                });
+                // Coalesce with the newest staged batch when this send
+                // extends its channel run; never reach further back, so
+                // the per-destination send order stays the route order.
+                match out_buf.last_mut() {
+                    Some(b)
+                        if b.dest == dest_worker
+                            && b.channel == ch
+                            && b.epoch == epoch
+                            && b.start_seq + b.items.len() as u64 == seq =>
+                    {
+                        b.items.push(($rec.clone(), pb));
+                    }
+                    _ => out_buf.push(PendingBatch {
+                        dest: dest_worker,
+                        channel: ch,
+                        epoch,
+                        start_seq: seq,
+                        items: vec![($rec.clone(), pb)],
+                    }),
+                }
             }
         }};
     }
@@ -469,8 +543,13 @@ fn worker_main(
     // objects to the background uploader — the worker resumes
     // immediately; the durable-checkpoint ack reaches the coordinator
     // from the uploader once the PUTs complete.
+    //
+    // Staged sends flush first: the snapshot's sent watermarks must
+    // already be covered by the durable channel logs when the meta
+    // becomes restorable, or a post-kill replay would come up short.
     macro_rules! take_checkpoint {
         ($inst_i:expr, $kind:expr) => {{
+            flush_sends!();
             instances[$inst_i].ckpt_index += 1;
             let index = instances[$inst_i].ckpt_index;
             let idx = instances[$inst_i].idx;
@@ -517,8 +596,11 @@ fn worker_main(
         }};
     }
 
+    // Markers must never overtake staged data on their channel (the
+    // alignment protocol relies on per-channel FIFO), so flush first.
     macro_rules! forward_markers {
         ($inst_i:expr, $round:expr) => {{
+            flush_sends!();
             let inst_idx = instances[$inst_i].idx;
             let chans: Vec<ChannelIdx> = pg
                 .out_edges_of(inst_idx)
@@ -539,6 +621,46 @@ fn worker_main(
     // Wires unblocked by alignment completion get queued here and are
     // processed before anything new from the inbox.
     let mut pending: VecDeque<Wire> = VecDeque::new();
+
+    // One data record's delivery: dedup, CIC force/merge, operator run.
+    macro_rules! handle_data {
+        ($channel:expr, $seq:expr, $record:expr, $piggyback:expr, $replayed:expr) => {{
+            let channel = $channel;
+            let seq = $seq;
+            let record = $record;
+            let piggyback = $piggyback;
+            let to = pg.channel(channel).to;
+            let op_i = pg.instance_id(to).op.0 as usize;
+            let port = pg.channel(channel).port;
+            let last = instances[op_i].book.last_received(channel);
+            if seq <= last {
+                assert!($replayed, "non-replay duplicate");
+            } else {
+                if let Some(pb) = &piggyback {
+                    let force = instances[op_i]
+                        .cic
+                        .as_ref()
+                        .expect("cic")
+                        .should_force(pg.channel(channel).from.0 as usize, pb);
+                    if force {
+                        take_checkpoint!(op_i, CheckpointKind::Forced);
+                    }
+                }
+                let fresh = instances[op_i].book.deliver(channel, seq);
+                assert!(fresh);
+                if let (Some(cic), Some(pb)) = (instances[op_i].cic.as_mut(), &piggyback) {
+                    cic.on_deliver(pg.channel(channel).from.0 as usize, pb);
+                }
+                let is_sink = matches!(pg.logical().ops()[op_i].role, OpRole::Sink);
+                if is_sink {
+                    sink_records += 1;
+                    let lat = now_ns(&start).saturating_sub(record.ingest_time);
+                    latencies.push(Duration::from_nanos(lat));
+                }
+                run_and_route!(op_i, port, record);
+            }
+        }};
+    }
 
     macro_rules! handle_wire {
         ($wire:expr) => {{
@@ -586,37 +708,23 @@ fn worker_main(
                             replayed,
                             ..
                         } => {
-                            let to = pg.channel(channel).to;
-                            let op_i = pg.instance_id(to).op.0 as usize;
-                            let port = pg.channel(channel).port;
-                            let last = instances[op_i].book.last_received(channel);
-                            if seq <= last {
-                                assert!(replayed, "non-replay duplicate");
-                            } else {
-                                if let Some(pb) = &piggyback {
-                                    let force = instances[op_i]
-                                        .cic
-                                        .as_ref()
-                                        .expect("cic")
-                                        .should_force(pg.channel(channel).from.0 as usize, pb);
-                                    if force {
-                                        take_checkpoint!(op_i, CheckpointKind::Forced);
-                                    }
-                                }
-                                let fresh = instances[op_i].book.deliver(channel, seq);
-                                assert!(fresh);
-                                if let (Some(cic), Some(pb)) =
-                                    (instances[op_i].cic.as_mut(), &piggyback)
-                                {
-                                    cic.on_deliver(pg.channel(channel).from.0 as usize, pb);
-                                }
-                                let is_sink = matches!(pg.logical().ops()[op_i].role, OpRole::Sink);
-                                if is_sink {
-                                    sink_records += 1;
-                                    let lat = now_ns(&start).saturating_sub(record.ingest_time);
-                                    latencies.push(Duration::from_nanos(lat));
-                                }
-                                run_and_route!(op_i, port, record);
+                            handle_data!(channel, seq, record, piggyback, replayed);
+                        }
+                        Wire::DataBatch {
+                            channel,
+                            start_seq,
+                            items,
+                            replayed,
+                            ..
+                        } => {
+                            for (i, (record, piggyback)) in items.into_iter().enumerate() {
+                                handle_data!(
+                                    channel,
+                                    start_seq + i as u64,
+                                    record,
+                                    piggyback,
+                                    replayed
+                                );
                             }
                         }
                     }
@@ -641,12 +749,15 @@ fn worker_main(
                 }
                 Ctrl::Kill => {
                     dead = true;
-                    // crash: lose in-memory state and queued input
+                    // crash: lose in-memory state, queued input and any
+                    // staged (not yet sent) outbound records — exactly
+                    // what dies with a real process.
                     instances = build_instances(cfg.protocol);
                     while rx.try_recv().is_ok() {}
                     blocked.clear();
                     stash.clear();
                     pending.clear();
+                    out_buf.clear();
                 }
                 Ctrl::Pause => {
                     paused = true;
@@ -669,6 +780,7 @@ fn worker_main(
                     blocked.clear();
                     stash.clear();
                     pending.clear();
+                    out_buf.clear();
                     while rx.try_recv().is_ok() {}
                     let _ = note.send(Note::Restored(w));
                 }
@@ -734,6 +846,10 @@ fn worker_main(
             }
             next_local_ckpt = start.elapsed() + cfg.checkpoint_interval;
         }
+
+        // Everything staged this iteration goes out before we sleep or
+        // hand control back — the buffer is always empty at loop top.
+        flush_sends!();
 
         if drained && !any && rx.is_empty() {
             // Everything read and processed here; wait for Stop (other
@@ -991,35 +1107,35 @@ fn recover(
                 continue;
             }
             // The coordinator replays from the durable logs directly into
-            // the receiver's inbox (acting as the log service). Replayed
-            // messages carry a neutral piggyback: old news never forces.
-            let entries: Vec<(u64, Record)> = shared.logs[c.idx.0 as usize]
-                .lock()
-                .range(lo, hi)
-                .into_iter()
-                .map(|e| (e.seq, e.record.clone()))
-                .collect();
-            let dest_worker = (c.to.0 % cfg.parallelism) as usize;
-            for (seq, record) in entries {
-                let piggyback = match cfg.protocol {
-                    ProtocolKind::CommunicationInduced => Some(CicPiggyback::Hmnr {
+            // the receiver's inbox (acting as the log service), as one
+            // batch per channel. Replayed messages carry a neutral
+            // piggyback (one shared allocation): old news never forces.
+            let piggyback = match cfg.protocol {
+                ProtocolKind::CommunicationInduced => {
+                    Some(CicPiggyback::Hmnr(std::sync::Arc::new(HmnrPiggyback {
                         lc: 0,
                         ckpt: vec![0; pg.n_instances()],
                         taken: vec![false; pg.n_instances()],
                         greater: vec![false; pg.n_instances()],
-                    }),
-                    ProtocolKind::CommunicationInducedBcs => Some(CicPiggyback::Bcs { lc: 0 }),
-                    _ => None,
-                };
-                let _ = data_tx[dest_worker].send(Wire::Data {
-                    epoch: new_epoch,
-                    channel: c.idx,
-                    seq,
-                    record,
-                    piggyback,
-                    replayed: true,
-                });
-            }
+                    })))
+                }
+                ProtocolKind::CommunicationInducedBcs => Some(CicPiggyback::Bcs { lc: 0 }),
+                _ => None,
+            };
+            let items: Vec<(Record, Option<CicPiggyback>)> = shared.logs[c.idx.0 as usize]
+                .lock()
+                .range(lo, hi)
+                .into_iter()
+                .map(|e| (e.record.clone(), piggyback.clone()))
+                .collect();
+            let dest_worker = (c.to.0 % cfg.parallelism) as usize;
+            let _ = data_tx[dest_worker].send(Wire::DataBatch {
+                epoch: new_epoch,
+                channel: c.idx,
+                start_seq: lo + 1,
+                items,
+                replayed: true,
+            });
         }
     }
     for tx in ctrl_tx {

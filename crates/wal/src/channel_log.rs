@@ -48,6 +48,14 @@ impl ChannelLog {
     /// their original sequence numbers and are ignored here (the log
     /// already has them).
     pub fn append(&mut self, seq: u64, record: Record) {
+        let bytes = record.encoded_len();
+        self.append_sized(seq, record, bytes);
+    }
+
+    /// [`Self::append`] with the encoded size already known — senders
+    /// that computed the wire size anyway skip a second payload walk.
+    pub fn append_sized(&mut self, seq: u64, record: Record, bytes: usize) {
+        debug_assert_eq!(bytes, record.encoded_len());
         let expected = self.first_seq + self.entries.len() as u64;
         if seq < expected {
             // Re-send of an already-logged message (post-rollback
@@ -58,7 +66,6 @@ impl ChannelLog {
             seq, expected,
             "channel log gap: appended seq {seq}, expected {expected}"
         );
-        let bytes = record.encoded_len();
         self.total_bytes += bytes;
         self.entries.push_back(LogEntry { seq, record, bytes });
     }

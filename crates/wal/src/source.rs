@@ -162,6 +162,13 @@ impl<S: EventStream> SourceLog<S> {
         self.schedule.readable_at(offset)
     }
 
+    /// Is `offset` readable at `now`? Unlike [`Self::poll`] this does not
+    /// construct the record, so schedulers can probe availability without
+    /// paying record generation twice.
+    pub fn readable(&self, offset: u64, now: Time) -> bool {
+        self.schedule.readable_at(offset).is_some_and(|t| t <= now)
+    }
+
     /// Has the partition's bounded input been fully consumed at `offset`?
     pub fn exhausted(&self, offset: u64) -> bool {
         self.schedule.limit.is_some_and(|l| offset >= l)

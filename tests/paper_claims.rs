@@ -34,7 +34,7 @@ fn steady(
 #[test]
 fn claim_coordinated_wins_uniform_workloads() {
     use checkmate::bench::{Harness, Scale, Wl};
-    let mut h = Harness::new(Scale::quick());
+    let h = Harness::new(Scale::quick());
     for q in [Query::Q1, Query::Q12] {
         let coor = h.mst(Wl::Nexmark(q), ProtocolKind::Coordinated, 4);
         let unc = h.mst(Wl::Nexmark(q), ProtocolKind::Uncoordinated, 4);
