@@ -1,6 +1,8 @@
 //! Data-plane microbenchmark: events/second and records/second of the
 //! virtual-time engine, per protocol, on a fixed NexMark Q1 + cyclic
-//! configuration.
+//! configuration — plus an isolated event-queue cell (push/pop
+//! throughput per backend at several pending-set sizes), so a queue
+//! change is measurable without the rest of the engine around it.
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin microbench [-- --json]
@@ -8,14 +10,15 @@
 //!
 //! This is the machine-readable source of the `events_per_sec` numbers
 //! tracked in BENCH_PR*.json: one steady run per protocol at a fixed
-//! rate (no MST search), wall-clock timed.
+//! rate (no MST search), wall-clock timed. The engine cells use the
+//! default (ladder) event queue; the queue cells time both backends.
 
 use checkmate_bench::{Harness, Scale, Wl};
 use checkmate_core::ProtocolKind;
 use checkmate_engine::config::EngineConfig;
 use checkmate_engine::engine::Engine;
 use checkmate_nexmark::Query;
-use checkmate_sim::SECONDS;
+use checkmate_sim::{EventQueue, QueueBackend, SimRng, SECONDS};
 
 struct Cell {
     workload: &'static str,
@@ -23,6 +26,39 @@ struct Cell {
     events: u64,
     sink_records: u64,
     wall_secs: f64,
+}
+
+struct QueueCell {
+    backend: &'static str,
+    pending: usize,
+    ops_per_sec: f64,
+}
+
+/// Classic hold-model queue benchmark: keep `pending` events in flight,
+/// each iteration pops the minimum and pushes a successor at a
+/// near-future-skewed offset (ties, near, occasional far outliers —
+/// the engine's insert distribution). Returns (push+pop) ops/second.
+fn bench_queue(backend: QueueBackend, pending: usize) -> f64 {
+    let mut q = EventQueue::with_backend(backend);
+    let mut rng = SimRng::new(0xBEEF + pending as u64);
+    let mut now = 0u64;
+    for i in 0..pending {
+        q.push(now + rng.below(1_000_000), i as u64);
+    }
+    let ops = 2_000_000u64;
+    let start = std::time::Instant::now();
+    for i in 0..ops {
+        let (t, _) = q.pop().expect("hold model keeps the queue non-empty");
+        now = t;
+        let delta = match rng.below(16) {
+            0 => 0,                                  // same-instant tie
+            1..=13 => rng.below(1_000_000),          // near future
+            _ => 10_000_000 + rng.below(10_000_000), // far outlier
+        };
+        q.push(now + delta, i);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (ops * 2) as f64 / wall
 }
 
 fn main() {
@@ -64,6 +100,19 @@ fn main() {
             });
         }
     }
+    let mut queue_cells = Vec::new();
+    for pending in [64usize, 1024, 16384] {
+        for (backend, name) in [
+            (QueueBackend::Ladder, "ladder"),
+            (QueueBackend::Heap, "heap"),
+        ] {
+            queue_cells.push(QueueCell {
+                backend: name,
+                pending,
+                ops_per_sec: bench_queue(backend, pending),
+            });
+        }
+    }
     let total_events: u64 = cells.iter().map(|c| c.events).sum();
     let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
     if json {
@@ -82,6 +131,17 @@ fn main() {
             );
         }
         println!("  ],");
+        println!("  \"queue_cells\": [");
+        for (i, c) in queue_cells.iter().enumerate() {
+            println!(
+                "    {{\"backend\": \"{}\", \"pending\": {}, \"ops_per_sec\": {:.0}}}{}",
+                c.backend,
+                c.pending,
+                c.ops_per_sec,
+                if i + 1 == queue_cells.len() { "" } else { "," }
+            );
+        }
+        println!("  ],");
         println!(
             "  \"total_events_per_sec\": {:.0}",
             total_events as f64 / total_wall
@@ -97,6 +157,12 @@ fn main() {
                 c.sink_records,
                 c.wall_secs,
                 c.events as f64 / c.wall_secs
+            );
+        }
+        for c in &queue_cells {
+            println!(
+                "queue    {:8} pending={:<6} {:>38.0} ops/s",
+                c.backend, c.pending, c.ops_per_sec
             );
         }
         println!(

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p checkmate-bench --bin regen -- \
 //!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] \
-//!     [--jobs N] [--out results/] [-v]
+//!     [--jobs N] [--out results/] [--cache-dir DIR] [--queue ladder|heap] [-v]
 //! ```
 //!
 //! Writes one JSON file per experiment under `--out` and prints the
@@ -12,9 +12,18 @@
 //! functions of their inputs and results are re-assembled in input
 //! order, so the output JSON is identical for every N (asserted by
 //! `jobs_equivalence.rs`); `--jobs 1` runs fully sequentially.
+//!
+//! `--cache-dir DIR` persists every completed run and MST cell under
+//! `DIR` keyed by its config fingerprint, making reruns (e.g. `--exp`
+//! subsets after a full pass) nearly free across invocations — with
+//! byte-identical output (asserted by `cache_persistence.rs`).
+//! `--queue heap` switches every simulation to the binary-heap event
+//! queue (the ladder queue's equivalence oracle); output is identical
+//! either way.
 
 use checkmate_bench::experiments as exp;
 use checkmate_bench::{Harness, Scale};
+use checkmate_sim::QueueBackend;
 use std::path::PathBuf;
 
 fn main() {
@@ -23,10 +32,25 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut verbose = false;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut queue = QueueBackend::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().expect("--cache-dir needs a value"),
+                ));
+            }
+            "--queue" => {
+                let v = args.next().expect("--queue needs a value");
+                queue = match v.as_str() {
+                    "ladder" => QueueBackend::Ladder,
+                    "heap" => QueueBackend::Heap,
+                    other => panic!("unknown queue backend {other}; use ladder|heap"),
+                };
+            }
             "--jobs" => {
                 jobs = args
                     .next()
@@ -57,7 +81,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }
@@ -69,11 +93,19 @@ fn main() {
     let mut h = Harness::new(scale.clone());
     h.verbose = verbose;
     h.jobs = jobs;
+    h.queue = queue;
+    if let Some(dir) = &cache_dir {
+        h.set_cache_dir(dir.clone());
+    }
     eprintln!(
-        "# scale = {}, jobs = {}, output = {}",
+        "# scale = {}, jobs = {}, output = {}{}",
         scale.name,
         jobs,
-        out.display()
+        out.display(),
+        match &cache_dir {
+            Some(d) => format!(", cache = {}", d.display()),
+            None => String::new(),
+        }
     );
 
     macro_rules! run_exp {
@@ -116,4 +148,12 @@ fn main() {
     run_exp!("tab4", tab4);
     run_exp!("ablation", ablation);
     run_exp!("storage_sweep", storage_sweep);
+    if let Some(dc) = h.disk_cache() {
+        eprintln!(
+            "# cache: {} hits, {} misses → {}",
+            dc.hits(),
+            dc.misses(),
+            dc.dir().display()
+        );
+    }
 }

@@ -13,19 +13,45 @@
 //! computes it, concurrent readers block on that computation instead of
 //! duplicating the bisection.
 
+use crate::cache::DiskCache;
 use crate::scale::Scale;
 use checkmate_core::ProtocolKind;
 use checkmate_cyclic::{reachability, DEFAULT_NODES};
 use checkmate_dataflow::WorkerId;
+use checkmate_engine::arena::SimArena;
 use checkmate_engine::config::{EngineConfig, FailureSpec};
 use checkmate_engine::engine::Engine;
 use checkmate_engine::report::RunReport;
 use checkmate_engine::workload::Workload;
-use checkmate_metrics::{find_max_sustainable, MstSearch};
+use checkmate_metrics::{find_max_sustainable_ctx, find_max_sustainable_par, MstSearch};
 use checkmate_nexmark::{Query, Skew};
+use checkmate_sim::QueueBackend;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// One recycled engine arena per harness thread: sequential runs on
+    /// the main thread and each `par_map` worker reuse one allocation
+    /// footprint across every run they execute.
+    static ARENA: RefCell<SimArena> = RefCell::new(SimArena::new());
+    /// Second arena per harness thread, lent to the overlapped lo-bound
+    /// probe of parallel MST searches so it stays warm across cells too.
+    static BOUND_ARENA: RefCell<SimArena> = RefCell::new(SimArena::new());
+}
+
+/// Run `f` with this thread's recycled engine arena.
+fn with_arena<R>(f: impl FnOnce(&mut SimArena) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Run `f` with both of this thread's recycled arenas (parallel bound
+/// probes need two, one per concurrent engine).
+fn with_arena_pair<R>(f: impl FnOnce(&mut SimArena, &mut SimArena) -> R) -> R {
+    ARENA.with(|a| BOUND_ARENA.with(|b| f(&mut a.borrow_mut(), &mut b.borrow_mut())))
+}
 
 /// What to run: a NexMark query or the cyclic reachability query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,6 +102,14 @@ pub struct Harness {
     pub jobs: usize,
     /// Verbose progress to stderr.
     pub verbose: bool,
+    /// Event-queue backend every engine run uses (`regen --queue`);
+    /// results are backend-independent (ladder vs heap is property-
+    /// tested bit-identical), so this is an oracle/benchmarking knob.
+    pub queue: QueueBackend,
+    /// Persistent result cache (`regen --cache-dir`): completed
+    /// [`RunReport`]s and MST cells keyed by their full config
+    /// fingerprint survive across invocations.
+    disk: Option<DiskCache>,
 }
 
 impl Harness {
@@ -86,7 +120,21 @@ impl Harness {
             run_cache: Mutex::new(BTreeMap::new()),
             jobs: 1,
             verbose: false,
+            queue: QueueBackend::default(),
+            disk: None,
         }
+    }
+
+    /// Enable the persistent cache under `dir` (created if missing; on
+    /// failure the harness silently stays uncached).
+    pub fn set_cache_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.disk = DiskCache::open(dir);
+    }
+
+    /// The persistent cache, when enabled (its hit/miss counters drive
+    /// the cache-persistence integration test).
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// Run `f` over `items`, fanning out over `self.jobs` scoped threads.
@@ -155,6 +203,7 @@ impl Harness {
                 Wl::Cyclic => u64::MAX,
                 _ => EngineConfig::default().checkpoint_retention,
             },
+            event_queue: self.queue,
             ..EngineConfig::default()
         }
     }
@@ -184,23 +233,47 @@ impl Harness {
             warmup: scale.probe_warmup,
             ..self.base_cfg(wl, protocol, parallelism)
         };
+        let search = MstSearch {
+            lo: 20.0 * parallelism as f64,
+            hi: per_worker_hi * parallelism as f64,
+            rel_tol: 0.04,
+            max_probes: scale.mst_probes,
+        };
+        // Persistent cell: the whole bisection is a pure function of the
+        // probe config + workload identity + search parameters (the rate
+        // is the searched variable, so the `total_rate` inside
+        // `probe_cfg`'s rendering is the irrelevant default for every
+        // cell — the search bounds carry the real envelope).
+        let disk_key = format!("mst|{:?}|{search:?}|{probe_cfg:?}", wl.key());
+        if let Some(dc) = &self.disk {
+            if let Some(mst) = dc.load_f64(&disk_key) {
+                return mst;
+            }
+        }
         let workload = self.workload(wl, parallelism, None);
-        let mst = find_max_sustainable(
-            MstSearch {
-                lo: 20.0 * parallelism as f64,
-                hi: per_worker_hi * parallelism as f64,
-                rel_tol: 0.04,
-                max_probes: scale.mst_probes,
-            },
-            |rate| {
-                let cfg = EngineConfig {
-                    total_rate: rate,
-                    ..probe_cfg.clone()
-                };
-                let r = Engine::new(&workload, cfg).run();
-                r.sustainable && !r.deadlocked()
-            },
-        );
+        // One physical graph shared across every probe of the bisection
+        // (pure function of workload + parallelism, read-only in runs).
+        let pg = Arc::new(workload.graph.expand(parallelism));
+        let probe = |rate: f64, arena: &mut SimArena| {
+            let cfg = EngineConfig {
+                total_rate: rate,
+                ..probe_cfg.clone()
+            };
+            let r = Engine::new_shared(&workload, cfg, Arc::clone(&pg), arena).run_into(arena);
+            r.sustainable && !r.deadlocked()
+        };
+        let mst = if self.jobs > 1 {
+            // Overlap the independent hi/lo bound probes on two scoped
+            // threads (each with its own recycled arena); the bisection
+            // then continues on this thread. Identical result to the
+            // sequential search (asserted in checkmate-metrics).
+            with_arena_pair(|arena, bound| find_max_sustainable_par(search, [arena, bound], probe))
+        } else {
+            with_arena(|arena| find_max_sustainable_ctx(search, arena, &probe))
+        };
+        if let Some(dc) = &self.disk {
+            dc.store_f64(&disk_key, mst);
+        }
         if self.verbose {
             eprintln!(
                 "    mst[{} {} p={}] = {:.0} rec/s ({:.0}/worker)",
@@ -274,7 +347,8 @@ impl Harness {
         skew: Option<Skew>,
     ) -> RunReport {
         let cfg = self.run_cfg(wl, protocol, parallelism, total_rate, fail);
-        Engine::new(&self.workload(wl, parallelism, skew), cfg).run()
+        let workload = self.workload(wl, parallelism, skew);
+        with_arena(|arena| Engine::new_in(&workload, cfg, arena).run_into(arena))
     }
 
     /// The engine configuration of a steady/failure run — the single
@@ -328,11 +402,22 @@ impl Harness {
         );
         let cell = {
             let mut cache = self.run_cache.lock().expect("run cache");
-            Arc::clone(cache.entry(key).or_default())
+            Arc::clone(cache.entry(key.clone()).or_default())
         };
         cell.get_or_init(|| {
+            if let Some(dc) = &self.disk {
+                if let Some(report) = dc.load_report(&key) {
+                    if self.verbose {
+                        eprintln!("    [disk] {}", report.summary());
+                    }
+                    return report;
+                }
+            }
             let workload = self.workload(wl, parallelism, skew);
-            let report = Engine::new(&workload, cfg).run();
+            let report = with_arena(|arena| Engine::new_in(&workload, cfg, arena).run_into(arena));
+            if let Some(dc) = &self.disk {
+                dc.store_report(&key, &report);
+            }
             if self.verbose {
                 eprintln!("    {}", report.summary());
             }

@@ -7,6 +7,8 @@
 //!   the full grid);
 //! - [`harness`] — MST measurement with caching and steady/failure runs
 //!   at fractions of MST (the paper's methodology);
+//! - [`cache`] — the persistent (on-disk) result cache behind
+//!   `regen --cache-dir`;
 //! - [`experiments`] — one module per table/figure: fig7 (normalized
 //!   MST), tab2 (message overhead), fig8 (checkpoint time), figs9_10
 //!   (latency timelines), fig11 (restart), tab3 (invalid checkpoints),
@@ -16,11 +18,13 @@
 //! Regenerate everything with the `regen` binary:
 //! `cargo run --release -p checkmate-bench --bin regen -- --scale paper`.
 
+pub mod cache;
 pub mod experiments;
 pub mod harness;
 pub mod results;
 pub mod scale;
 
+pub use cache::DiskCache;
 pub use harness::{Harness, Wl};
 pub use results::{text_table, Experiment};
 pub use scale::Scale;

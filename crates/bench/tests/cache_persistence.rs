@@ -1,0 +1,88 @@
+//! A second regen invocation sharing a `--cache-dir` must (a) serve
+//! every run and MST cell from disk — no simulation executes — and
+//! (b) emit byte-identical result JSON. Harnesses are rebuilt between
+//! passes, so nothing survives in memory; only the disk cache carries
+//! the results across "invocations".
+
+use checkmate_bench::experiments::{ablation, tab2};
+use checkmate_bench::{Harness, Scale};
+use checkmate_sim::SECONDS;
+use serde::Serialize;
+use std::path::PathBuf;
+
+fn tiny() -> Scale {
+    Scale {
+        name: "tiny",
+        parallelisms: vec![2],
+        table_parallelisms: [2, 2],
+        cyclic_parallelisms: [2, 2],
+        duration: 3 * SECONDS,
+        warmup: SECONDS,
+        failure_at: 2 * SECONDS,
+        cyclic_failure_at: 2 * SECONDS,
+        probe_duration: 2 * SECONDS,
+        probe_warmup: SECONDS,
+        mst_probes: 3,
+        series_parallelisms: vec![2],
+        checkpoint_interval: SECONDS,
+        seed: 0xC4EC,
+    }
+}
+
+fn json<R: Serialize>(e: &checkmate_bench::Experiment<R>) -> String {
+    serde_json::to_string(e).expect("serializable experiment")
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "checkmate-cache-persistence-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn second_invocation_hits_the_cache_and_is_byte_identical() {
+    let dir = cache_dir();
+
+    // First "invocation": computes everything, populates the cache.
+    let mut first = Harness::new(tiny());
+    first.set_cache_dir(dir.clone());
+    let tab2_first = json(&tab2::run(&first));
+    let ablation_first = json(&ablation::run(&first));
+    let dc = first.disk_cache().expect("cache enabled");
+    assert_eq!(dc.hits(), 0, "a cold cache cannot hit");
+    let entries_written = dc.misses();
+    assert!(entries_written > 0, "experiments must populate the cache");
+
+    // Second "invocation": a fresh harness (empty in-memory caches)
+    // sharing only the directory.
+    let mut second = Harness::new(tiny());
+    second.set_cache_dir(dir.clone());
+    let tab2_second = json(&tab2::run(&second));
+    let ablation_second = json(&ablation::run(&second));
+    let dc = second.disk_cache().expect("cache enabled");
+    assert_eq!(
+        dc.misses(),
+        0,
+        "every run and MST cell must come from disk on the rerun"
+    );
+    assert!(dc.hits() > 0);
+
+    assert_eq!(
+        tab2_first, tab2_second,
+        "cached tab2 JSON diverged from the computed one"
+    );
+    assert_eq!(
+        ablation_first, ablation_second,
+        "cached ablation JSON diverged from the computed one"
+    );
+
+    // And an uncached harness agrees with both: the cache changes cost,
+    // never results.
+    let uncached = Harness::new(tiny());
+    assert_eq!(json(&tab2::run(&uncached)), tab2_first);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -267,8 +267,34 @@ impl Codec for CheckpointMeta {
 /// against the restored receive watermarks.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChannelBook {
-    sent: BTreeMap<ChannelIdx, u64>,
-    recv: BTreeMap<ChannelIdx, u64>,
+    /// Sorted by channel. An instance talks on a handful of channels,
+    /// so flat sorted arrays beat tree nodes on the per-message lookup
+    /// paths (`next_send`, `deliver`, `last_received`) while keeping
+    /// the iteration order — and therefore the snapshot encoding —
+    /// identical to the original `BTreeMap` layout.
+    sent: Vec<(ChannelIdx, u64)>,
+    recv: Vec<(ChannelIdx, u64)>,
+    /// Cached sum of `recv` — the determinant-log position, read per
+    /// delivery under the message-logging protocols.
+    recv_total: u64,
+}
+
+/// The watermark slot for `ch`, inserted at 0 if absent (sorted).
+fn wm_slot(v: &mut Vec<(ChannelIdx, u64)>, ch: ChannelIdx) -> &mut u64 {
+    match v.binary_search_by_key(&ch, |e| e.0) {
+        Ok(i) => &mut v[i].1,
+        Err(i) => {
+            v.insert(i, (ch, 0));
+            &mut v[i].1
+        }
+    }
+}
+
+fn wm_get(v: &[(ChannelIdx, u64)], ch: ChannelIdx) -> u64 {
+    match v.binary_search_by_key(&ch, |e| e.0) {
+        Ok(i) => v[i].1,
+        Err(_) => 0,
+    }
 }
 
 impl ChannelBook {
@@ -278,7 +304,7 @@ impl ChannelBook {
 
     /// Allocate the next send sequence for `ch` (1-based).
     pub fn next_send(&mut self, ch: ChannelIdx) -> u64 {
-        let e = self.sent.entry(ch).or_insert(0);
+        let e = wm_slot(&mut self.sent, ch);
         *e += 1;
         *e
     }
@@ -290,7 +316,7 @@ impl ChannelBook {
     /// sequence must be exactly `watermark + 1`; anything beyond indicates
     /// an engine bug and panics loudly.
     pub fn deliver(&mut self, ch: ChannelIdx, seq: u64) -> bool {
-        let e = self.recv.entry(ch).or_insert(0);
+        let e = wm_slot(&mut self.recv, ch);
         if seq <= *e {
             return false;
         }
@@ -301,15 +327,16 @@ impl ChannelBook {
             *e
         );
         *e = seq;
+        self.recv_total += 1;
         true
     }
 
     pub fn last_sent(&self, ch: ChannelIdx) -> u64 {
-        self.sent.get(&ch).copied().unwrap_or(0)
+        wm_get(&self.sent, ch)
     }
 
     pub fn last_received(&self, ch: ChannelIdx) -> u64 {
-        self.recv.get(&ch).copied().unwrap_or(0)
+        wm_get(&self.recv, ch)
     }
 
     /// Total deliveries across all channels. Because sequences are
@@ -318,17 +345,26 @@ impl ChannelBook {
     /// checkpoints anchor determinant replay without storing an extra
     /// field.
     pub fn total_received(&self) -> u64 {
-        self.recv.values().sum()
+        self.recv_total
     }
 
     /// Snapshot watermarks for a checkpoint.
     pub fn watermarks(&self) -> (BTreeMap<ChannelIdx, u64>, BTreeMap<ChannelIdx, u64>) {
-        (self.recv.clone(), self.sent.clone())
+        (
+            self.recv.iter().copied().collect(),
+            self.sent.iter().copied().collect(),
+        )
     }
 
     /// Restore from checkpoint watermarks.
     pub fn restore(recv: BTreeMap<ChannelIdx, u64>, sent: BTreeMap<ChannelIdx, u64>) -> Self {
-        Self { sent, recv }
+        let recv: Vec<(ChannelIdx, u64)> = recv.into_iter().collect();
+        let recv_total = recv.iter().map(|(_, s)| s).sum();
+        Self {
+            sent: sent.into_iter().collect(),
+            recv,
+            recv_total,
+        }
     }
 
     /// Encoded size contribution to the state snapshot.
@@ -355,13 +391,14 @@ impl Codec for ChannelBook {
         for _ in 0..n {
             let ch = ChannelIdx(dec.u32()?);
             let seq = dec.u64()?;
-            book.sent.insert(ch, seq);
+            *wm_slot(&mut book.sent, ch) = seq;
         }
         let n = dec.u32()? as usize;
         for _ in 0..n {
             let ch = ChannelIdx(dec.u32()?);
             let seq = dec.u64()?;
-            book.recv.insert(ch, seq);
+            *wm_slot(&mut book.recv, ch) = seq;
+            book.recv_total += seq;
         }
         Ok(book)
     }

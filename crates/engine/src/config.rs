@@ -2,7 +2,7 @@
 
 use checkmate_core::{IncrementalPolicy, ProtocolKind};
 use checkmate_dataflow::WorkerId;
-use checkmate_sim::{CostModel, SimTime, MILLIS, SECONDS};
+use checkmate_sim::{CostModel, QueueBackend, SimTime, MILLIS, SECONDS};
 use checkmate_storage::StorageProfile;
 
 /// A failure to inject: kill `worker` at `at` (virtual time). The paper
@@ -78,6 +78,12 @@ pub struct EngineConfig {
     /// `engine/tests/batching_equivalence.rs`). Off = the historical
     /// one-event-per-message data plane, kept as the equivalence oracle.
     pub data_batching: bool,
+    /// Event-queue implementation. `Ladder` (default) is the O(1)-amortized
+    /// ladder/calendar queue; `Heap` is the original binary heap, kept as
+    /// the equivalence oracle (the pop order — and therefore the whole
+    /// simulated timeline — is identical; property-tested in
+    /// `engine/tests/queue_equivalence.rs`).
+    pub event_queue: QueueBackend,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +108,7 @@ impl Default for EngineConfig {
             deadlock_timeout: 5 * SECONDS,
             max_events: 500_000_000,
             data_batching: true,
+            event_queue: QueueBackend::Ladder,
         }
     }
 }

@@ -7,10 +7,11 @@
 //! logs, and a durable checkpoint store. The checkpointing protocols from
 //! `checkmate-core` run unmodified inside.
 
+use crate::arena::SimArena;
 use crate::config::EngineConfig;
 use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 use crate::report::{LatencySeries, Outcome, RunReport};
-use crate::state::{build_worker_instances, ArrivalQueue, Coordinator, QueueKey, Worker};
+use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
 use checkmate_core::{
     coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
@@ -32,23 +33,21 @@ use std::sync::Arc;
 /// assigned at ship time — the event queue pops ties in push order, so
 /// this is the same total order the historical assign-at-arrival scheme
 /// produced, and it lets one event carry many messages.
-type ShipItem = (QueueKey, u32, NetMsg);
+pub(crate) type ShipItem = (QueueKey, u32, NetMsg);
 
 /// Simulation events. Events carry worker incarnations where staleness
 /// after a failure must invalidate them; the whole tuple is additionally
 /// guarded by a global epoch bumped at recovery.
-enum Ev {
-    /// A single message arriving at its queue-key instant.
-    Arrive {
-        dst_winc: u32,
-        item: ShipItem,
-    },
+pub(crate) enum Ev {
     /// All messages one task shipped to one destination worker, as one
-    /// event fired at the earliest arrival. Later messages are already
-    /// sitting in the worker's queue but stay invisible to dispatch
-    /// until their own arrival instant (delivery is gated on the queue
-    /// key's time), so the simulated timeline is identical to the
-    /// one-event-per-message plane.
+    /// event fired at the earliest arrival (a lone message rides a
+    /// pooled one-element batch, so this variant keeps the event enum
+    /// pointer-sized instead of inlining a whole `NetMsg` — every
+    /// event the queue moves would pay for the fattest variant). Later
+    /// messages are already sitting in the worker's queue but stay
+    /// invisible to dispatch until their own arrival instant (delivery
+    /// is gated on the queue key's time), so the simulated timeline is
+    /// identical to the one-event-per-message plane.
     ArriveBatch {
         dst_winc: u32,
         batch: Vec<ShipItem>,
@@ -97,7 +96,7 @@ enum Ev {
 /// A captured checkpoint travelling to durability: metadata plus the
 /// objects the upload ships (the whole snapshot, or only the fresh
 /// chunks of an incremental checkpoint).
-struct UploadJob {
+pub(crate) struct UploadJob {
     meta: CheckpointMeta,
     objects: Vec<(String, Vec<u8>)>,
 }
@@ -118,7 +117,7 @@ struct Metrics {
 /// [`Engine::run`].
 pub struct Engine {
     cfg: EngineConfig,
-    pg: PhysicalGraph,
+    pg: Arc<PhysicalGraph>,
     name: String,
     logs: Vec<SourceLog<Arc<dyn EventStream>>>,
     rates_pp: Vec<f64>,
@@ -135,6 +134,10 @@ pub struct Engine {
     /// Destination workers touched by the current task, in first-touch
     /// order (deterministic flush order).
     pending_dsts: Vec<u32>,
+    /// Recycled batch payload buffers: emptied `ArriveBatch` vectors come
+    /// back here and the next multi-message flush draws from them, so the
+    /// hottest event kind stops allocating in the steady state.
+    batch_pool: Vec<Vec<ShipItem>>,
     /// Reusable operator invocation context (allocation-free hot path).
     ctx: OpCtx,
     chan_floor: Vec<SimTime>,
@@ -168,10 +171,42 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// Build an engine with a fresh allocation footprint. Equivalent to
+    /// [`Engine::new_in`] with an empty arena.
     pub fn new(workload: &Workload, cfg: EngineConfig) -> Self {
+        Self::new_in(workload, cfg, &mut SimArena::new())
+    }
+
+    /// Build an engine, drawing its allocation footprint (event-queue
+    /// slot slab, per-worker arrival-queue slabs, ship staging and
+    /// scratch buffers) from `arena` instead of the allocator. Pair with
+    /// [`Engine::run_into`] to hand the footprint back after the run —
+    /// an MST bisection's probe loop then reuses one footprint across
+    /// thousands of runs. Recycled storage is logically empty, so the
+    /// run is bit-identical to one built with [`Engine::new`].
+    pub fn new_in(workload: &Workload, cfg: EngineConfig, arena: &mut SimArena) -> Self {
+        let pg = Arc::new(workload.graph.expand(cfg.parallelism));
+        Self::new_shared(workload, cfg, pg, arena)
+    }
+
+    /// [`Engine::new_in`] with a pre-expanded physical graph. The graph
+    /// is a pure function of `(workload, parallelism)` and read-only
+    /// during a run, so a probe loop expands it once and shares one
+    /// `Arc` across every probe instead of rebuilding (and dropping)
+    /// it per run.
+    pub fn new_shared(
+        workload: &Workload,
+        cfg: EngineConfig,
+        pg: Arc<PhysicalGraph>,
+        arena: &mut SimArena,
+    ) -> Self {
         cfg.validate();
         workload.validate(cfg.parallelism);
-        let pg = workload.graph.expand(cfg.parallelism);
+        assert_eq!(
+            pg.parallelism(),
+            cfg.parallelism,
+            "shared physical graph expanded at a different parallelism"
+        );
         let mut logs = Vec::new();
         let mut rates_pp = Vec::new();
         for s in &workload.streams {
@@ -183,41 +218,58 @@ impl Engine {
             logs.push(SourceLog::new(Arc::clone(&s.stream), sched));
             rates_pp.push(rate_pp);
         }
-        let workers = (0..cfg.parallelism)
-            .map(|w| {
-                let instances = build_worker_instances(&pg, w, cfg.protocol);
-                let src_ops = instances
-                    .iter()
-                    .filter(|i| i.is_source())
-                    .map(|i| i.op_id)
-                    .collect();
-                Worker {
-                    id: w,
-                    down: false,
-                    paused: false,
-                    incarnation: 0,
-                    running: false,
-                    busy_until: 0,
-                    queue: ArrivalQueue::new(),
-                    stash: BTreeMap::new(),
-                    blocked: BTreeSet::new(),
-                    pending_triggers: VecDeque::new(),
-                    pending_ckpts: VecDeque::new(),
-                    due_timers: BTreeSet::new(),
-                    src_rr: 0,
-                    src_ops,
-                    prefer_source: false,
-                    wake_at: None,
-                    instances,
-                }
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(cfg.parallelism as usize);
+        for w in 0..cfg.parallelism {
+            let instances = build_worker_instances(&pg, w, cfg.protocol);
+            let src_ops = instances
+                .iter()
+                .filter(|i| i.is_source())
+                .map(|i| i.op_id)
+                .collect();
+            workers.push(Worker {
+                id: w,
+                down: false,
+                paused: false,
+                incarnation: 0,
+                running: false,
+                busy_until: 0,
+                queue: arena.arrivals.pop().unwrap_or_default(),
+                stash: BTreeMap::new(),
+                blocked: BTreeSet::new(),
+                pending_triggers: VecDeque::new(),
+                pending_ckpts: VecDeque::new(),
+                due_timers: BTreeSet::new(),
+                src_rr: 0,
+                src_ops,
+                prefer_source: false,
+                wake_at: None,
+                instances,
+            });
+        }
         let n_channels = pg.n_channels();
         let n_instances = pg.n_instances();
         let parallelism = cfg.parallelism;
         let logging = cfg.protocol.logs_messages();
+        let replayable = cfg.failure.is_some();
         let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
         let storage_profile = cfg.storage;
+        let mut queue = std::mem::take(&mut arena.queue);
+        if queue.backend() != cfg.event_queue {
+            queue = EventQueue::with_backend(cfg.event_queue);
+        }
+        let mut pending_ship = std::mem::take(&mut arena.ship);
+        let mut batch_pool = std::mem::take(&mut arena.batch_pool);
+        // Surplus staging buffers (a previous run at higher parallelism)
+        // are the same shape as batch payloads — keep them working.
+        if pending_ship.len() > parallelism as usize {
+            batch_pool.extend(pending_ship.drain(parallelism as usize..));
+        }
+        pending_ship.resize_with(parallelism as usize, Vec::new);
+        let mut chan_floor = std::mem::take(&mut arena.chan_floor);
+        chan_floor.clear();
+        chan_floor.resize(n_channels, 0);
+        let mut ctx = std::mem::replace(&mut arena.ctx, OpCtx::new(0));
+        ctx.now = 0;
         Self {
             coord: Coordinator::new(cfg.protocol),
             cfg,
@@ -226,17 +278,31 @@ impl Engine {
             logs,
             rates_pp,
             store: ObjectStore::shared_with(Arc::new(MemBackend::with_profile(storage_profile))),
-            queue: EventQueue::new(),
+            queue,
             now: 0,
             epoch: 0,
             arrival_seq: 0,
             arrivals_inflight: 0,
-            pending_ship: (0..parallelism).map(|_| Vec::new()).collect(),
+            pending_ship,
             pending_dsts: Vec::new(),
-            ctx: OpCtx::new(0),
-            chan_floor: vec![0; n_channels],
+            batch_pool,
+            ctx,
+            chan_floor,
+            // Replay only ever reads the logs after a failure; a run
+            // with no failure injected keeps the logs' full cost and
+            // byte accounting (append costs, GC, restart-fetch sizing
+            // all behave identically) without materializing payloads
+            // the host provably never reads back.
             chan_logs: if logging {
-                (0..n_channels).map(|_| ChannelLog::new()).collect()
+                (0..n_channels)
+                    .map(|_| {
+                        if replayable {
+                            ChannelLog::new()
+                        } else {
+                            ChannelLog::sized_only()
+                        }
+                    })
+                    .collect()
             } else {
                 Vec::new()
             },
@@ -301,7 +367,13 @@ impl Engine {
     }
 
     /// Execute the run to completion and produce the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_into(&mut SimArena::new())
+    }
+
+    /// Like [`Engine::run`], returning the engine's allocation footprint
+    /// to `arena` (emptied, capacity intact) for the next run.
+    pub fn run_into(mut self, arena: &mut SimArena) -> RunReport {
         self.bootstrap();
         while let Some((t, (epoch, ev))) = self.queue.pop() {
             if t > self.cfg.duration {
@@ -318,7 +390,7 @@ impl Engine {
             }
             self.handle(epoch, ev);
         }
-        self.finish()
+        self.finish(arena)
     }
 
     fn push_at(&mut self, t: SimTime, ev: Ev) {
@@ -349,34 +421,29 @@ impl Engine {
 
     fn handle(&mut self, epoch: u32, ev: Ev) {
         match ev {
-            Ev::Arrive { dst_winc, item } => {
-                self.arrivals_inflight -= 1;
-                if epoch != self.epoch {
-                    return;
-                }
-                let to_w = self.worker_of_inst(self.pg.channel(item.2.channel).to);
-                if self.workers[to_w].incarnation != dst_winc || self.workers[to_w].down {
-                    return; // lost with the failed worker / stale epoch
-                }
-                self.enqueue_arrival(to_w, item);
-                self.try_dispatch(to_w);
-            }
-            Ev::ArriveBatch { dst_winc, batch } => {
+            Ev::ArriveBatch {
+                dst_winc,
+                mut batch,
+            } => {
                 self.arrivals_inflight -= batch.len() as u64;
                 // Count the whole batch against the event budget so the
                 // safety valve keeps measuring logical message traffic.
                 self.events += batch.len() as u64 - 1;
-                if epoch != self.epoch {
-                    return;
+                if epoch == self.epoch {
+                    let to_w = self.worker_of_inst(self.pg.channel(batch[0].2.channel).to);
+                    if self.workers[to_w].incarnation == dst_winc && !self.workers[to_w].down {
+                        for item in batch.drain(..) {
+                            self.enqueue_arrival(to_w, item);
+                        }
+                        self.batch_pool.push(batch);
+                        self.try_dispatch(to_w);
+                        return;
+                    }
                 }
-                let to_w = self.worker_of_inst(self.pg.channel(batch[0].2.channel).to);
-                if self.workers[to_w].incarnation != dst_winc || self.workers[to_w].down {
-                    return;
-                }
-                for item in batch {
-                    self.enqueue_arrival(to_w, item);
-                }
-                self.try_dispatch(to_w);
+                // Stale epoch/incarnation: the messages die, the buffer
+                // doesn't.
+                batch.clear();
+                self.batch_pool.push(batch);
             }
             Ev::TaskDone { worker, winc } => {
                 if epoch != self.epoch || self.workers[worker as usize].incarnation != winc {
@@ -591,19 +658,18 @@ impl Engine {
                 .any(|i| !i.det_replay.is_empty() || !i.det_parked.is_empty());
         if !det_active {
             loop {
-                let Some((key, msg)) = self.workers[w].queue.first() else {
-                    return false;
+                let Some((key, msg)) = self.workers[w].queue.pop_first_due(self.now) else {
+                    return false; // empty, or earliest not arrived yet
                 };
-                if key.0 > self.now {
-                    return false; // earliest message has not arrived yet
-                }
                 let ch = msg.channel;
                 if self.workers[w].blocked.contains(&ch) {
-                    let (k, m) = self.workers[w].queue.pop_first().expect("checked");
-                    self.workers[w].stash.entry(ch).or_default().push((k, m));
+                    self.workers[w]
+                        .stash
+                        .entry(ch)
+                        .or_default()
+                        .push((key, msg));
                     continue;
                 }
-                let (_, msg) = self.workers[w].queue.pop_first().expect("checked");
                 self.exec_deliver(w, msg);
                 return true;
             }
@@ -817,9 +883,16 @@ impl Engine {
                     // Persist the delivery determinant (receiver-side
                     // message-logging requirement for deterministic
                     // replay); re-deliveries during replay are no-ops.
-                    let inst = self.workers[w].instance(op);
-                    let pos = inst.book.total_received() - 1;
-                    self.det_logs[inst.idx.0 as usize].append(pos, msg.channel, seq);
+                    // The append cost is always charged, but the entry
+                    // is materialized only when a failure is scheduled —
+                    // determinant replay is the log's only reader, and
+                    // it can never run in a failure-free run (same
+                    // reasoning as the sized-only channel logs).
+                    if self.cfg.failure.is_some() {
+                        let inst = self.workers[w].instance(op);
+                        let pos = inst.book.total_received() - 1;
+                        self.det_logs[inst.idx.0 as usize].append(pos, msg.channel, seq);
+                    }
                     service += self.cfg.cost.log_append_ns(DET_ENTRY_BYTES);
                 }
                 service += self.pg.logical().op(op).work_ns;
@@ -1000,7 +1073,14 @@ impl Engine {
             let pb = inst.cic.as_mut().map(|c| c.on_send(dest_inst.0 as usize));
             (seq, pb)
         };
-        let mut msg = NetMsg::data(ch, seq, rec.clone());
+        // Clone the record for the log only when the log materializes
+        // payloads (a failure is scheduled, so replay can happen);
+        // sized-only logs take accounting and leave the record to the
+        // message.
+        let logged = (!self.chan_logs.is_empty()
+            && self.chan_logs[ch.0 as usize].is_materialized())
+        .then(|| rec.clone());
+        let mut msg = NetMsg::data(ch, seq, rec);
         if let Some(pb) = pb {
             let wire = match self.cfg.protocol {
                 ProtocolKind::CommunicationInduced => hmnr_wire_bytes(self.cfg.parallelism),
@@ -1011,7 +1091,11 @@ impl Engine {
         }
         let mut service = self.cfg.cost.ser_ns(msg.wire_bytes());
         if !self.chan_logs.is_empty() {
-            self.chan_logs[ch.0 as usize].append_sized(seq, rec, msg.payload_bytes() - 8);
+            let bytes = msg.payload_bytes() - 8;
+            match logged {
+                Some(r) => self.chan_logs[ch.0 as usize].append_sized(seq, r, bytes),
+                None => self.chan_logs[ch.0 as usize].append_size_only(seq, bytes),
+            }
             service += self.cfg.cost.log_append_ns(msg.payload_bytes());
         }
         self.metrics.payload_bytes += msg.payload_bytes() as u64;
@@ -1072,15 +1156,13 @@ impl Engine {
                 .map(|(k, _, _)| k.0)
                 .min()
                 .expect("non-empty ship group");
-            let ev = if self.pending_ship[dst].len() == 1 {
-                let item = self.pending_ship[dst].pop().expect("checked len");
-                Ev::Arrive { dst_winc, item }
-            } else {
-                Ev::ArriveBatch {
-                    dst_winc,
-                    batch: std::mem::take(&mut self.pending_ship[dst]),
-                }
-            };
+            // Swap in a recycled payload buffer so the staging slot
+            // keeps a capacity and the batch rides a pooled one.
+            let batch = std::mem::replace(
+                &mut self.pending_ship[dst],
+                self.batch_pool.pop().unwrap_or_default(),
+            );
+            let ev = Ev::ArriveBatch { dst_winc, batch };
             self.push_at(first_at, ev);
         }
         self.pending_dsts.clear();
@@ -1731,7 +1813,7 @@ impl Engine {
         }
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self, arena: &mut SimArena) -> RunReport {
         let outcome = self.halted.clone().unwrap_or(Outcome::Completed);
         let warmup_sec = self.cfg.warmup / 1_000_000_000;
         let p50 = self.metrics.series.percentile_from(warmup_sec, 0.50);
@@ -1771,7 +1853,7 @@ impl Engine {
         } else {
             durations.iter().sum::<u64>() / durations.len() as u64
         };
-        RunReport {
+        let report = RunReport {
             workload: self.name.clone(),
             protocol: self.cfg.protocol,
             parallelism: self.cfg.parallelism,
@@ -1815,6 +1897,25 @@ impl Engine {
             sink_digest: digest,
             output_duplicates: self.metrics.sink_outputs_total.saturating_sub(digest.count),
             events: self.events,
+        };
+        // Hand the allocation footprint back for the next run: every
+        // container emptied, every capacity kept.
+        self.queue.clear();
+        arena.queue = self.queue;
+        for w in &mut self.workers {
+            let mut q = std::mem::take(&mut w.queue);
+            q.clear();
+            arena.arrivals.push(q);
         }
+        for mut v in self.pending_ship {
+            v.clear();
+            arena.ship.push(v);
+        }
+        arena.batch_pool.append(&mut self.batch_pool);
+        self.chan_floor.clear();
+        arena.chan_floor = self.chan_floor;
+        self.ctx.now = 0;
+        arena.ctx = self.ctx;
+        report
     }
 }

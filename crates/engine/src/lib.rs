@@ -13,6 +13,7 @@
 //! catch-up) executes in full. Every run is a pure function of its
 //! [`config::EngineConfig`] — same seed, same report, bit for bit.
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod msg;
@@ -21,6 +22,7 @@ pub mod state;
 pub mod testkit;
 pub mod workload;
 
+pub use arena::SimArena;
 pub use config::{EngineConfig, FailureSpec};
 pub use engine::Engine;
 pub use msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};

@@ -2,8 +2,9 @@
 
 use checkmate_core::ProtocolKind;
 use checkmate_dataflow::ops::Digest;
+use checkmate_dataflow::{Dec, Enc};
 use checkmate_sim::{to_secs, SimTime};
-use checkmate_storage::StoreStats;
+use checkmate_storage::{StorageProfile, StoreStats};
 
 /// Latency percentiles of one one-second bucket (paper Figs. 9–10 plot
 /// these per second).
@@ -165,6 +166,224 @@ impl RunReport {
     pub fn end_secs(&self) -> f64 {
         to_secs(self.end_time)
     }
+
+    /// Serialize every field for the bench harness's persistent run
+    /// cache. The format is a workspace-internal detail: the harness
+    /// versions the surrounding file and treats any decode failure as a
+    /// cache miss, so it never needs to be forward-compatible.
+    pub fn to_cache_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::with_capacity(256 + self.latency_series.len() * 32);
+        enc.str(&self.workload);
+        enc.u8(protocol_tag(self.protocol));
+        enc.u32(self.parallelism);
+        enc.f64(self.total_rate);
+        match &self.outcome {
+            Outcome::Completed => {
+                enc.u8(0);
+            }
+            Outcome::Drained => {
+                enc.u8(1);
+            }
+            Outcome::CoordinatedDeadlock { at } => {
+                enc.u8(2);
+                enc.u64(*at);
+            }
+            Outcome::EventBudgetExhausted => {
+                enc.u8(3);
+            }
+        }
+        enc.u64(self.end_time);
+        enc.u64(self.latency_series.len() as u64);
+        for s in &self.latency_series {
+            enc.u64(s.second);
+            enc.u64(s.count);
+            enc.u64(s.p50_ns);
+            enc.u64(s.p99_ns);
+        }
+        enc.u64(self.p50_ns);
+        enc.u64(self.p99_ns);
+        enc.u64(self.sink_records);
+        enc.bool(self.sustainable);
+        enc.f64(self.final_lag_secs);
+        enc.u64(self.checkpoints_total);
+        enc.u64(self.checkpoints_forced);
+        enc.u64(self.checkpoints_invalid);
+        enc.u64(self.avg_checkpoint_time_ns);
+        enc.u64(self.rounds_completed);
+        opt_u64(&mut enc, self.detected_at);
+        opt_u64(&mut enc, self.restart_time_ns);
+        opt_u64(&mut enc, self.recovery_time_ns);
+        enc.u64(self.payload_bytes);
+        enc.u64(self.protocol_bytes);
+        for v in [
+            self.store.puts,
+            self.store.gets,
+            self.store.deletes,
+            self.store.lists,
+            self.store.size_ofs,
+            self.store.bytes_put,
+            self.store.bytes_got,
+            self.store.bytes_deleted,
+            self.store.put_retries,
+            self.store.get_retries,
+        ] {
+            enc.u64(v);
+        }
+        enc.str(self.store_profile);
+        enc.u64(self.store_objects_live);
+        enc.u64(self.store_bytes_live);
+        enc.u64(self.sink_digest.count);
+        enc.u64(self.sink_digest.acc);
+        enc.u64(self.output_duplicates);
+        enc.u64(self.events);
+        enc.finish()
+    }
+
+    /// Inverse of [`Self::to_cache_bytes`]; `None` on any mismatch
+    /// (truncated file, unknown tag or profile name) — callers treat
+    /// that as a cache miss and recompute.
+    pub fn from_cache_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut dec = Dec::new(bytes);
+        let workload = dec.str().ok()?.to_string();
+        let protocol = protocol_from_tag(dec.u8().ok()?)?;
+        let parallelism = dec.u32().ok()?;
+        let total_rate = dec.f64().ok()?;
+        let outcome = match dec.u8().ok()? {
+            0 => Outcome::Completed,
+            1 => Outcome::Drained,
+            2 => Outcome::CoordinatedDeadlock {
+                at: dec.u64().ok()?,
+            },
+            3 => Outcome::EventBudgetExhausted,
+            _ => return None,
+        };
+        let end_time = dec.u64().ok()?;
+        let n = dec.u64().ok()? as usize;
+        // A series can't outnumber the remaining bytes; rejects garbage
+        // lengths before the allocation.
+        if n > dec.remaining() / 32 {
+            return None;
+        }
+        let mut latency_series = Vec::with_capacity(n);
+        for _ in 0..n {
+            latency_series.push(SecondStats {
+                second: dec.u64().ok()?,
+                count: dec.u64().ok()?,
+                p50_ns: dec.u64().ok()?,
+                p99_ns: dec.u64().ok()?,
+            });
+        }
+        let p50_ns = dec.u64().ok()?;
+        let p99_ns = dec.u64().ok()?;
+        let sink_records = dec.u64().ok()?;
+        let sustainable = dec.bool().ok()?;
+        let final_lag_secs = dec.f64().ok()?;
+        let checkpoints_total = dec.u64().ok()?;
+        let checkpoints_forced = dec.u64().ok()?;
+        let checkpoints_invalid = dec.u64().ok()?;
+        let avg_checkpoint_time_ns = dec.u64().ok()?;
+        let rounds_completed = dec.u64().ok()?;
+        let detected_at = opt_u64_dec(&mut dec)?;
+        let restart_time_ns = opt_u64_dec(&mut dec)?;
+        let recovery_time_ns = opt_u64_dec(&mut dec)?;
+        let payload_bytes = dec.u64().ok()?;
+        let protocol_bytes = dec.u64().ok()?;
+        let store = StoreStats {
+            puts: dec.u64().ok()?,
+            gets: dec.u64().ok()?,
+            deletes: dec.u64().ok()?,
+            lists: dec.u64().ok()?,
+            size_ofs: dec.u64().ok()?,
+            bytes_put: dec.u64().ok()?,
+            bytes_got: dec.u64().ok()?,
+            bytes_deleted: dec.u64().ok()?,
+            put_retries: dec.u64().ok()?,
+            get_retries: dec.u64().ok()?,
+        };
+        let store_profile = StorageProfile::by_name(dec.str().ok()?)?.name;
+        let store_objects_live = dec.u64().ok()?;
+        let store_bytes_live = dec.u64().ok()?;
+        let sink_digest = Digest {
+            count: dec.u64().ok()?,
+            acc: dec.u64().ok()?,
+        };
+        let output_duplicates = dec.u64().ok()?;
+        let events = dec.u64().ok()?;
+        dec.finish().ok()?;
+        Some(Self {
+            workload,
+            protocol,
+            parallelism,
+            total_rate,
+            outcome,
+            end_time,
+            latency_series,
+            p50_ns,
+            p99_ns,
+            sink_records,
+            sustainable,
+            final_lag_secs,
+            checkpoints_total,
+            checkpoints_forced,
+            checkpoints_invalid,
+            avg_checkpoint_time_ns,
+            rounds_completed,
+            detected_at,
+            restart_time_ns,
+            recovery_time_ns,
+            payload_bytes,
+            protocol_bytes,
+            store,
+            store_profile,
+            store_objects_live,
+            store_bytes_live,
+            sink_digest,
+            output_duplicates,
+            events,
+        })
+    }
+}
+
+fn protocol_tag(p: ProtocolKind) -> u8 {
+    match p {
+        ProtocolKind::None => 0,
+        ProtocolKind::Coordinated => 1,
+        ProtocolKind::Uncoordinated => 2,
+        ProtocolKind::CommunicationInduced => 3,
+        ProtocolKind::CommunicationInducedBcs => 4,
+    }
+}
+
+fn protocol_from_tag(tag: u8) -> Option<ProtocolKind> {
+    Some(match tag {
+        0 => ProtocolKind::None,
+        1 => ProtocolKind::Coordinated,
+        2 => ProtocolKind::Uncoordinated,
+        3 => ProtocolKind::CommunicationInduced,
+        4 => ProtocolKind::CommunicationInducedBcs,
+        _ => return None,
+    })
+}
+
+fn opt_u64(enc: &mut Enc, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            enc.bool(true);
+            enc.u64(x);
+        }
+        None => {
+            enc.bool(false);
+        }
+    }
+}
+
+/// `Some(Some(x))`/`Some(None)` on success, `None` on decode failure.
+fn opt_u64_dec(dec: &mut Dec) -> Option<Option<u64>> {
+    if dec.bool().ok()? {
+        Some(Some(dec.u64().ok()?))
+    } else {
+        Some(None)
+    }
 }
 
 /// Builds per-second percentile series from raw samples. Samples arrive
@@ -282,6 +501,71 @@ mod tests {
         assert_eq!(built[0].count, 2);
         assert_eq!(built[1].second, 1);
         assert_eq!(built[1].p50_ns, 30);
+    }
+
+    #[test]
+    fn cache_bytes_round_trip() {
+        let report = RunReport {
+            workload: "q8".into(),
+            protocol: ProtocolKind::CommunicationInduced,
+            parallelism: 7,
+            total_rate: 1234.5,
+            outcome: Outcome::CoordinatedDeadlock { at: 42 },
+            end_time: 60_000_000_000,
+            latency_series: vec![
+                SecondStats {
+                    second: 3,
+                    count: 10,
+                    p50_ns: 100,
+                    p99_ns: 900,
+                },
+                SecondStats {
+                    second: 4,
+                    count: 11,
+                    p50_ns: 110,
+                    p99_ns: 910,
+                },
+            ],
+            p50_ns: 105,
+            p99_ns: 905,
+            sink_records: 99,
+            sustainable: true,
+            final_lag_secs: 0.25,
+            checkpoints_total: 12,
+            checkpoints_forced: 3,
+            checkpoints_invalid: 2,
+            avg_checkpoint_time_ns: 5_000,
+            rounds_completed: 6,
+            detected_at: Some(18_000_000_000),
+            restart_time_ns: None,
+            recovery_time_ns: Some(2_000_000_000),
+            payload_bytes: 1 << 30,
+            protocol_bytes: 1 << 20,
+            store: StoreStats {
+                puts: 1,
+                gets: 2,
+                deletes: 3,
+                lists: 4,
+                size_ofs: 5,
+                bytes_put: 6,
+                bytes_got: 7,
+                bytes_deleted: 8,
+                put_retries: 9,
+                get_retries: 10,
+            },
+            store_profile: StorageProfile::s3_wan().name,
+            store_objects_live: 21,
+            store_bytes_live: 22,
+            sink_digest: Digest { count: 23, acc: 24 },
+            output_duplicates: 1,
+            events: 1_000_000,
+        };
+        let bytes = report.to_cache_bytes();
+        let back = RunReport::from_cache_bytes(&bytes).expect("round trip");
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
+        // Corruption → miss, not garbage.
+        assert!(RunReport::from_cache_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(RunReport::from_cache_bytes(b"junk").is_none());
     }
 
     #[test]

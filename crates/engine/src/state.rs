@@ -160,6 +160,20 @@ impl ArrivalQueue {
         Some((key, self.slots[slot as usize].take().expect("live slot")))
     }
 
+    /// Pop the earliest entry only if it has arrived by `now` — the
+    /// dispatch fast path's peek-then-pop collapsed into one tree
+    /// descent and one slab access.
+    pub fn pop_first_due(&mut self, now: SimTime) -> Option<(QueueKey, NetMsg)> {
+        let entry = self.index.first_entry()?;
+        if entry.key().0 > now {
+            return None; // earliest message has not arrived yet
+        }
+        let key = *entry.key();
+        let slot = entry.remove();
+        self.free.push(slot);
+        Some((key, self.slots[slot as usize].take().expect("live slot")))
+    }
+
     pub fn remove(&mut self, key: &QueueKey) -> Option<NetMsg> {
         let slot = self.index.remove(key)?;
         self.free.push(slot);

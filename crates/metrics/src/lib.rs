@@ -7,5 +7,7 @@
 pub mod mst;
 pub mod stats;
 
-pub use mst::{find_max_sustainable, MstSearch};
+pub use mst::{
+    find_max_sustainable, find_max_sustainable_ctx, find_max_sustainable_par, MstSearch,
+};
 pub use stats::{geomean, mean, normalize, Summary};

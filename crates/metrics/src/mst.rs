@@ -37,6 +37,19 @@ impl Default for MstSearch {
 /// if `hi` is sustainable it is returned as-is; if `lo` is unsustainable,
 /// `lo` is returned (caller should widen).
 pub fn find_max_sustainable(search: MstSearch, mut probe: impl FnMut(f64) -> bool) -> f64 {
+    find_max_sustainable_ctx(search, &mut (), |rate, ()| probe(rate))
+}
+
+/// [`find_max_sustainable`] threading a caller-owned context (an engine
+/// arena, a scratch allocator, a counter) through every probe. The probe
+/// loop is the hottest consumer of engine runs — at paper scale one
+/// figure is thousands of probes — so the context lets every probe of a
+/// bisection reuse one allocation footprint.
+pub fn find_max_sustainable_ctx<C>(
+    search: MstSearch,
+    ctx: &mut C,
+    mut probe: impl FnMut(f64, &mut C) -> bool,
+) -> f64 {
     let MstSearch {
         mut lo,
         mut hi,
@@ -46,17 +59,17 @@ pub fn find_max_sustainable(search: MstSearch, mut probe: impl FnMut(f64) -> boo
     assert!(lo > 0.0 && hi > lo);
     let mut probes = 0;
     // Bound checks count against the budget.
-    if probe(hi) {
+    if probe(hi, ctx) {
         return hi;
     }
     probes += 1;
-    if !probe(lo) {
+    if !probe(lo, ctx) {
         return lo;
     }
     probes += 1;
     while probes < max_probes && (hi - lo) > rel_tol * hi {
         let mid = (lo + hi) / 2.0;
-        if probe(mid) {
+        if probe(mid, ctx) {
             lo = mid;
         } else {
             hi = mid;
@@ -64,6 +77,54 @@ pub fn find_max_sustainable(search: MstSearch, mut probe: impl FnMut(f64) -> boo
         probes += 1;
     }
     lo
+}
+
+/// [`find_max_sustainable_ctx`] with the two *bound* probes overlapped:
+/// `hi` and `lo` are independent runs, so they execute on two scoped
+/// threads (each with its own context) before the inherently sequential
+/// bisection begins — one probe latency saved per MST cell. The result
+/// is identical to the sequential search: the bisection sees the same
+/// bound outcomes and charges the same two probes against `max_probes`.
+/// (When `hi` turns out sustainable the sequential search skips the `lo`
+/// probe entirely; here it was already running speculatively — its
+/// outcome is discarded and, as in the sequential path, the budget never
+/// matters because the search returns immediately.)
+pub fn find_max_sustainable_par<C: Send>(
+    search: MstSearch,
+    ctxs: [&mut C; 2],
+    probe: impl Fn(f64, &mut C) -> bool + Sync,
+) -> f64 {
+    let MstSearch {
+        mut lo,
+        mut hi,
+        rel_tol,
+        max_probes,
+    } = search;
+    assert!(lo > 0.0 && hi > lo);
+    let [ctx_a, ctx_b] = ctxs;
+    std::thread::scope(|s| {
+        let probe = &probe;
+        let hi_handle = s.spawn(move || (probe(hi, ctx_a), ctx_a));
+        let lo_ok = probe(lo, ctx_b);
+        let (hi_ok, ctx) = hi_handle.join().expect("hi bound probe panicked");
+        if hi_ok {
+            return hi;
+        }
+        if !lo_ok {
+            return lo;
+        }
+        let mut probes = 2; // both bound probes count against the budget
+        while probes < max_probes && (hi - lo) > rel_tol * hi {
+            let mid = (lo + hi) / 2.0;
+            if probe(mid, ctx) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            probes += 1;
+        }
+        lo
+    })
 }
 
 #[cfg(test)]
@@ -110,6 +171,62 @@ mod tests {
     fn unsustainable_lo_returns_lo() {
         let found = find_max_sustainable(MstSearch::default(), |_| false);
         assert_eq!(found, MstSearch::default().lo);
+    }
+
+    #[test]
+    fn parallel_bounds_match_sequential_search() {
+        for true_mst in [77.0, 1234.0, 9_999.0, 60_000.0] {
+            let search = MstSearch {
+                lo: 10.0,
+                hi: 50_000.0,
+                rel_tol: 0.01,
+                max_probes: 24,
+            };
+            let sequential = find_max_sustainable(search, |r| r <= true_mst);
+            let parallel =
+                find_max_sustainable_par(search, [&mut (), &mut ()], |r, ()| r <= true_mst);
+            assert_eq!(sequential, parallel, "diverged at true MST {true_mst}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_threads_contexts_and_counts_probes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let bisection_probes = AtomicU32::new(0);
+        let mut ctx_a = 0u32;
+        let mut ctx_b = 0u32;
+        let found = find_max_sustainable_par(
+            MstSearch {
+                lo: 1.0,
+                hi: 1e9,
+                rel_tol: 1e-12,
+                max_probes: 10,
+            },
+            [&mut ctx_a, &mut ctx_b],
+            |r, calls| {
+                *calls += 1;
+                bisection_probes.fetch_add(1, Ordering::Relaxed);
+                r < 5.0
+            },
+        );
+        assert!(found < 5.0);
+        // Both bound probes ran (one per context), and the bisection
+        // stayed within budget: 2 bounds + at most 8 more.
+        assert_eq!(ctx_b, 1, "lo bound probes its own context once");
+        assert!(ctx_a >= 1, "hi bound + bisection share a context");
+        assert!(bisection_probes.load(Ordering::Relaxed) <= 10);
+    }
+
+    #[test]
+    fn ctx_variant_matches_plain_search() {
+        let mut runs = 0u32;
+        let a = find_max_sustainable(MstSearch::default(), |r| r <= 700.0);
+        let b = find_max_sustainable_ctx(MstSearch::default(), &mut runs, |r, c| {
+            *c += 1;
+            r <= 700.0
+        });
+        assert_eq!(a, b);
+        assert!(runs > 2);
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod rng;
 pub mod time;
 
 pub use cost::CostModel;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
 pub use rng::{derive_seed, SimRng};
 pub use time::{fmt_secs, from_secs, to_secs, SimTime, MICROS, MILLIS, NANOS, SECONDS};

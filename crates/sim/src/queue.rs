@@ -5,10 +5,42 @@
 //! simulation a pure function of its inputs — a property the determinism
 //! property tests rely on, and what lets two protocol runs be compared
 //! event-for-event.
+//!
+//! Two backends implement that contract:
+//!
+//! * [`QueueBackend::Ladder`] (default) — a ladder/calendar queue (Tang &
+//!   Goh's ladder queue, adapted): O(1) amortized push/pop for the
+//!   engine's mostly-near-future insert pattern. Far-future inserts
+//!   accumulate unsorted in *Top*; when needed, Top is spread over a rung
+//!   of time buckets, over-full buckets are recursively re-bucketed into
+//!   finer rungs, and the front bucket is sorted into a small *Bottom*
+//!   array that serves pops. Sorting happens on tiny chunks, and ties
+//!   are broken by the full `(time, seq)` key, so the pop order is
+//!   exactly the heap's.
+//! * [`QueueBackend::Heap`] — the historical `BinaryHeap` implementation,
+//!   kept as the equivalence oracle (property-tested against the ladder
+//!   in `tests/queue_equivalence.rs`, and runnable end-to-end through the
+//!   engine via `EngineConfig::event_queue`).
+//!
+//! Both store events once in a slot slab and move only 24-byte
+//! `(key, slot)` entries through the ordering structure, so rebucketing
+//! never copies event payloads.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Which data structure orders the events. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Ladder/calendar queue: O(1) amortized for near-future-skewed
+    /// inserts (the simulation's pattern).
+    #[default]
+    Ladder,
+    /// Binary heap: O(log n), the original implementation and the
+    /// equivalence oracle.
+    Heap,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
@@ -16,14 +48,23 @@ struct Key {
     seq: u64,
 }
 
+/// `(key, slot)` — what the ordering structures shuffle around.
+type Entry = (Key, u32);
+
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    core: Core,
     slots: Vec<Option<E>>,
-    free: Vec<usize>,
+    free: Vec<u32>,
     next_seq: u64,
     len: usize,
+}
+
+#[derive(Debug)]
+enum Core {
+    Heap(BinaryHeap<Reverse<Entry>>),
+    Ladder(Ladder),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -33,9 +74,17 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// A queue with the default (ladder) backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            core: match backend {
+                QueueBackend::Heap => Core::Heap(BinaryHeap::new()),
+                QueueBackend::Ladder => Core::Ladder(Ladder::new()),
+            },
             slots: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
@@ -43,16 +92,23 @@ impl<E> EventQueue<E> {
         }
     }
 
+    pub fn backend(&self) -> QueueBackend {
+        match self.core {
+            Core::Heap(_) => QueueBackend::Heap,
+            Core::Ladder(_) => QueueBackend::Ladder,
+        }
+    }
+
     /// Schedule `event` at absolute virtual time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let slot = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Some(event);
+                self.slots[i as usize] = Some(event);
                 i
             }
             None => {
                 self.slots.push(Some(event));
-                self.slots.len() - 1
+                (self.slots.len() - 1) as u32
             }
         };
         let key = Key {
@@ -60,14 +116,22 @@ impl<E> EventQueue<E> {
             seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.heap.push(Reverse((key, slot)));
+        match &mut self.core {
+            Core::Heap(h) => h.push(Reverse((key, slot))),
+            Core::Ladder(l) => l.push(key, slot),
+        }
         self.len += 1;
     }
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        let ev = self.slots[slot].take().expect("slot must be filled");
+        let (key, slot) = match &mut self.core {
+            Core::Heap(h) => h.pop().map(|Reverse(e)| e)?,
+            Core::Ladder(l) => l.pop()?,
+        };
+        let ev = self.slots[slot as usize]
+            .take()
+            .expect("slot must be filled");
         self.free.push(slot);
         self.len -= 1;
         Some((key.time, ev))
@@ -75,7 +139,25 @@ impl<E> EventQueue<E> {
 
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse((k, _))| k.time)
+        match &self.core {
+            Core::Heap(h) => h.peek().map(|Reverse((k, _))| k.time),
+            Core::Ladder(l) => l.peek_time(),
+        }
+    }
+
+    /// Drop all pending events, keeping every allocation (slot slab,
+    /// bucket vectors, bottom/top arrays) for reuse by the next run.
+    /// The insertion sequence restarts at zero — the emptied queue is
+    /// indistinguishable from a fresh one.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.len = 0;
+        match &mut self.core {
+            Core::Heap(h) => h.clear(),
+            Core::Ladder(l) => l.clear(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -87,70 +169,462 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Bucket chunks at or below this size are sorted straight into Bottom
+/// instead of being re-bucketed; Bottom inserts stay O(this).
+const BOTTOM_THRESH: usize = 48;
+/// Bottom size beyond which pushes re-bucket the near-now region into a
+/// fresh innermost rung (Tang's Bottom-overflow rule). Without it the
+/// engine's dominant pattern — pushes a few microseconds past `now`
+/// under a rung whose buckets span milliseconds (timers stretch the
+/// ladder) — degenerates into O(|Bottom|) sorted-vector inserts.
+const BOTTOM_SPAWN: usize = 96;
+/// Cap on the bucket count of one rung (bounds per-rung memory).
+const MAX_BUCKETS: usize = 1024;
+
+/// The ladder core. Ranges, earliest to latest:
+/// `bottom` (a small min-heap, serves pops) < innermost rung < … <
+/// outermost rung < `top` (unsorted, times ≥ `top_floor`).
+///
+/// Invariants:
+/// * every Bottom key precedes every rung/Top key;
+/// * each inner rung covers a range strictly before the next outer
+///   rung's remaining (`cur`-onward) range — either one consumed bucket
+///   of its parent, or a Bottom-overflow region;
+/// * all times ≥ `top_floor` live in Top.
+///
+/// Bottom is a bounded binary heap rather than a sorted array: the
+/// simulation's dominant insert — an event a few microseconds past
+/// `now`, which lands below every rung's `cur` front — then costs
+/// O(log BOTTOM_SPAWN) instead of an O(|Bottom|) memmove, and Bottom
+/// overflow re-buckets the near region into a fresh rung.
+#[derive(Debug)]
+struct Ladder {
+    bottom: BinaryHeap<Reverse<Entry>>,
+    rungs: Vec<Rung>, // outermost first, innermost last
+    top: Vec<Entry>,  // unsorted
+    top_floor: SimTime,
+    top_min: SimTime,
+    top_max: SimTime,
+    count: usize,
+    /// Recycled bucket vectors (capacity reuse across spawns and runs).
+    pool: Vec<Vec<Entry>>,
+}
+
+#[derive(Debug)]
+struct Rung {
+    start: SimTime,
+    width: SimTime, // ≥ 1
+    cur: usize,     // buckets before this are consumed
+    count: usize,
+    buckets: Vec<Vec<Entry>>,
+}
+
+impl Rung {
+    fn cur_start(&self) -> SimTime {
+        self.start + self.cur as SimTime * self.width
+    }
+
+    fn insert(&mut self, key: Key, slot: u32) {
+        let idx = (((key.time - self.start) / self.width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx].push((key, slot));
+        self.count += 1;
+    }
+}
+
+impl Ladder {
+    fn new() -> Self {
+        Self {
+            bottom: BinaryHeap::new(),
+            rungs: Vec::new(),
+            top: Vec::new(),
+            top_floor: 0,
+            top_min: SimTime::MAX,
+            top_max: 0,
+            count: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bottom.clear();
+        self.top.clear();
+        self.top_floor = 0;
+        self.top_min = SimTime::MAX;
+        self.top_max = 0;
+        self.count = 0;
+        let rungs = std::mem::take(&mut self.rungs);
+        for r in rungs {
+            self.recycle(r.buckets);
+        }
+    }
+
+    fn recycle(&mut self, buckets: Vec<Vec<Entry>>) {
+        for mut b in buckets {
+            if self.pool.len() >= MAX_BUCKETS * 4 {
+                break;
+            }
+            b.clear();
+            self.pool.push(b);
+        }
+    }
+
+    fn push(&mut self, key: Key, slot: u32) {
+        self.count += 1;
+        if self.count == 1 {
+            // Empty queue: restart the ladder at this event's time so the
+            // steady drain-refill cycle never leaves pushes stranded in a
+            // stale range (everything funnels through Top again).
+            self.top_floor = key.time;
+            self.top_min = key.time;
+            self.top_max = key.time;
+            self.top.push((key, slot));
+            return;
+        }
+        if key.time >= self.top_floor {
+            self.top_min = self.top_min.min(key.time);
+            self.top_max = self.top_max.max(key.time);
+            self.top.push((key, slot));
+            return;
+        }
+        for r in &mut self.rungs {
+            if key.time >= r.cur_start() {
+                r.insert(key, slot);
+                return;
+            }
+        }
+        // Below every structured range: into the Bottom heap.
+        self.bottom.push(Reverse((key, slot)));
+        if self.bottom.len() > BOTTOM_SPAWN {
+            self.spawn_from_bottom();
+        }
+    }
+
+    /// Bottom overflow: re-bucket the whole Bottom into a fresh innermost
+    /// rung so subsequent near-now pushes become O(1) bucket appends
+    /// again. Skipped when the events are too dense to split (average
+    /// spacing under 2 ns) — a sorted array is already optimal there.
+    fn spawn_from_bottom(&mut self) {
+        let end = match self.rungs.last() {
+            Some(r) => r.cur_start(),
+            None => self.top_floor,
+        };
+        let start = self.bottom.peek().expect("overflowing Bottom").0 .0.time;
+        if end <= start || (end - start) < 2 * self.bottom.len() as SimTime {
+            return;
+        }
+        let n = self.bottom.len();
+        let mut rung = self.new_rung(start, end - start, n);
+        for Reverse((key, slot)) in self.bottom.drain() {
+            rung.insert(key, slot);
+        }
+        self.rungs.push(rung);
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if let Some(Reverse(e)) = self.bottom.pop() {
+            self.count -= 1;
+            return Some(e);
+        }
+        if self.count == 0 {
+            return None;
+        }
+        self.refill();
+        let Reverse(e) = self.bottom.pop().expect("refill yields events");
+        self.count -= 1;
+        Some(e)
+    }
+
+    /// Move the earliest chunk of events into the Bottom heap. Called
+    /// with Bottom empty and `count > 0`.
+    fn refill(&mut self) {
+        loop {
+            // Innermost rung first.
+            while let Some(i) = self.rungs.len().checked_sub(1) {
+                {
+                    let r = &mut self.rungs[i];
+                    while r.cur < r.buckets.len() && r.buckets[r.cur].is_empty() {
+                        r.cur += 1;
+                    }
+                    if r.count > 0 && r.cur < r.buckets.len() {
+                        break;
+                    }
+                }
+                let r = self.rungs.pop().expect("indexed above");
+                self.recycle(r.buckets);
+            }
+            if let Some(i) = self.rungs.len().checked_sub(1) {
+                let (len, width) = {
+                    let r = &self.rungs[i];
+                    (r.buckets[r.cur].len(), r.width)
+                };
+                if len <= BOTTOM_THRESH || width <= 1 {
+                    // Heapify this bucket into Bottom and consume it
+                    // (the bucket vector keeps its capacity).
+                    let r = &mut self.rungs[i];
+                    self.bottom.extend(r.buckets[r.cur].drain(..).map(Reverse));
+                    r.cur += 1;
+                    r.count -= len;
+                    return;
+                }
+                // Over-full bucket: spawn a finer rung covering its span.
+                let (start, span, mut items) = {
+                    let r = &mut self.rungs[i];
+                    let start = r.cur_start();
+                    let items = std::mem::replace(
+                        &mut r.buckets[r.cur],
+                        self.pool.pop().unwrap_or_default(),
+                    );
+                    r.cur += 1;
+                    r.count -= len;
+                    (start, r.width, items)
+                };
+                let mut child = self.new_rung(start, span, len);
+                for (key, slot) in items.drain(..) {
+                    child.insert(key, slot);
+                }
+                if self.pool.len() < MAX_BUCKETS * 4 {
+                    self.pool.push(items);
+                }
+                self.rungs.push(child);
+                continue;
+            }
+            // No rungs left: everything pending sits in Top.
+            debug_assert!(!self.top.is_empty(), "count > 0 with empty structures");
+            self.top_floor = self.top_max + 1;
+            if self.top.len() <= BOTTOM_THRESH {
+                self.bottom.extend(self.top.drain(..).map(Reverse));
+                self.top_min = SimTime::MAX;
+                self.top_max = 0;
+                return;
+            }
+            let start = self.top_min;
+            let span = self.top_max - self.top_min + 1;
+            let n = self.top.len();
+            let mut rung = self.new_rung(start, span, n);
+            let mut top = std::mem::take(&mut self.top);
+            for (key, slot) in top.drain(..) {
+                rung.insert(key, slot);
+            }
+            self.top = top; // keep the capacity
+            self.top_min = SimTime::MAX;
+            self.top_max = 0;
+            debug_assert!(self.rungs.is_empty());
+            self.rungs.push(rung);
+        }
+    }
+
+    /// A rung of ~`events` buckets covering `[start, start + span)`,
+    /// drawing bucket vectors from the pool.
+    fn new_rung(&mut self, start: SimTime, span: SimTime, events: usize) -> Rung {
+        let nb = events.clamp(2, MAX_BUCKETS) as SimTime;
+        // Ceil so nb buckets always cover the span — flooring here would
+        // overshoot the MAX_BUCKETS cap when the recount divides span up.
+        let width = span.div_ceil(nb).max(1);
+        let nb = (span.div_ceil(width)) as usize;
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            buckets.push(self.pool.pop().unwrap_or_default());
+        }
+        Rung {
+            start,
+            width,
+            cur: 0,
+            count: 0,
+            buckets,
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if let Some(&Reverse((k, _))) = self.bottom.peek() {
+            return Some(k.time);
+        }
+        // Innermost non-empty rung holds the earliest structured events.
+        for r in self.rungs.iter().rev() {
+            if r.count == 0 {
+                continue;
+            }
+            for b in &r.buckets[r.cur..] {
+                if !b.is_empty() {
+                    return b.iter().map(|(k, _)| k.time).min();
+                }
+            }
+        }
+        (self.count > 0).then_some(self.top_min)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::Ladder),
+            EventQueue::with_backend(QueueBackend::Heap),
+        ]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(30, "c");
-        q.push(10, "a");
-        q.push(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.push(30, 2);
+            q.push(10, 0);
+            q.push(20, 1);
+            assert_eq!(q.pop(), Some((10, 0)));
+            assert_eq!(q.pop(), Some((20, 1)));
+            assert_eq!(q.pop(), Some((30, 2)));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn fifo_tie_break() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(5, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        for mut q in both() {
+            for i in 0..100 {
+                q.push(5, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)));
+            }
         }
     }
 
     #[test]
     fn interleaved_push_pop_keeps_order() {
-        let mut q = EventQueue::new();
-        q.push(10, 1);
-        q.push(5, 0);
-        assert_eq!(q.pop(), Some((5, 0)));
-        q.push(7, 2);
-        q.push(7, 3);
-        assert_eq!(q.pop(), Some((7, 2)));
-        assert_eq!(q.pop(), Some((7, 3)));
-        assert_eq!(q.pop(), Some((10, 1)));
+        for mut q in both() {
+            q.push(10, 1);
+            q.push(5, 0);
+            assert_eq!(q.pop(), Some((5, 0)));
+            q.push(7, 2);
+            q.push(7, 3);
+            assert_eq!(q.pop(), Some((7, 2)));
+            assert_eq!(q.pop(), Some((7, 3)));
+            assert_eq!(q.pop(), Some((10, 1)));
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(42, ());
-        assert_eq!(q.peek_time(), Some(42));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        for mut q in both() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(42, 0);
+            assert_eq!(q.peek_time(), Some(42));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn peek_sees_through_every_layer() {
+        let mut q = EventQueue::with_backend(QueueBackend::Ladder);
+        // Spread far enough apart that a rung forms on refill.
+        for i in 0..200u64 {
+            q.push(1_000 + i * 97, i);
+        }
+        assert_eq!(q.peek_time(), Some(1_000));
+        assert_eq!(q.pop(), Some((1_000, 0)));
+        // Bottom now holds the front chunk; peek reads it directly.
+        assert_eq!(q.peek_time(), Some(1_097));
+        // Push below everything: lands in Bottom, peek still correct.
+        q.push(1_001, 999);
+        assert_eq!(q.peek_time(), Some(1_001));
+        assert_eq!(q.pop(), Some((1_001, 999)));
     }
 
     #[test]
     fn slot_reuse_many_cycles() {
-        let mut q = EventQueue::new();
-        for round in 0..10u64 {
-            for i in 0..50u64 {
-                q.push(round * 100 + i, i);
+        for mut q in both() {
+            for round in 0..10u64 {
+                for i in 0..50u64 {
+                    q.push(round * 100 + i, i);
+                }
+                for i in 0..50u64 {
+                    assert_eq!(q.pop(), Some((round * 100 + i, i)));
+                }
             }
-            for i in 0..50u64 {
-                assert_eq!(q.pop(), Some((round * 100 + i, i)));
+            // slots were recycled, not grown without bound
+            assert!(q.slots.len() <= 50);
+        }
+    }
+
+    #[test]
+    fn same_instant_burst_far_future_outlier() {
+        for mut q in both() {
+            // A far-future outlier followed by a dense same-instant burst
+            // forces rung spawning with a degenerate (width 1) range.
+            q.push(1_000_000_000, 0);
+            for i in 1..500u64 {
+                q.push(500, i);
+            }
+            for i in 1..500u64 {
+                assert_eq!(q.pop(), Some((500, i)), "backend {:?}", q.backend());
+            }
+            assert_eq!(q.pop(), Some((1_000_000_000, 0)));
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_sequence() {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..1000 {
+            q.push(i * 3, i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        let cap = q.slots.capacity();
+        assert!(cap >= 999);
+        // Behaves exactly like a fresh queue.
+        q.push(7, 1);
+        q.push(7, 2);
+        assert_eq!(q.pop(), Some((7, 1)));
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.slots.capacity(), cap);
+    }
+
+    #[test]
+    fn mixed_push_pop_against_oracle() {
+        // Deterministic pseudo-random interleaving, heavy ties.
+        let mut ladder = EventQueue::with_backend(QueueBackend::Ladder);
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for step in 0..20_000u64 {
+            if rng() % 3 != 0 {
+                let delta = match rng() % 10 {
+                    0 => 0,                             // same-instant tie
+                    1..=7 => rng() % 1_000,             // near future
+                    8 => rng() % 100_000,               // mid future
+                    _ => 1_000_000 + rng() % 1_000_000, // far outlier
+                };
+                ladder.push(now + delta, step);
+                heap.push(now + delta, step);
+            } else {
+                let a = ladder.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "diverged at step {step}");
+                if let Some((t, _)) = a {
+                    now = t;
+                }
             }
         }
-        // slots were recycled, not grown without bound
-        assert!(q.slots.len() <= 50);
+        loop {
+            let a = ladder.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

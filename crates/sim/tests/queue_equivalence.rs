@@ -1,0 +1,101 @@
+//! Property: the ladder queue pops in *exactly* the order of the
+//! `BinaryHeap` oracle — the `(time, insertion seq)` FIFO total order the
+//! engine's determinism contract (ship-time queue keys, batched arrival
+//! gating) is built on. Randomized interleaved push/pop sequences with
+//! heavy same-instant ties and far-future outliers exercise ladder
+//! spawning, recursive rebucketing, and the Bottom insertion path.
+
+use checkmate_sim::{EventQueue, QueueBackend};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Drive both backends through one op sequence, asserting identical pop
+/// results at every step and on the final drain.
+fn check(ops: &[(u8, u16)]) -> Result<(), String> {
+    let mut ladder = EventQueue::with_backend(QueueBackend::Ladder);
+    let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+    let mut now: u64 = 0;
+    for (step, &(sel, raw)) in ops.iter().enumerate() {
+        match sel % 8 {
+            // Pops: ~3/8 of ops, so the queue cycles through
+            // drain/refill transitions rather than only growing.
+            0..=2 => {
+                let a = ladder.pop();
+                let b = heap.pop();
+                if a != b {
+                    return Err(format!("pop diverged at step {step}: {a:?} vs {b:?}"));
+                }
+                if let Some((t, _)) = a {
+                    now = t; // the simulation clock follows pops
+                }
+            }
+            sel_push => {
+                // Push-time classes, biased like the engine: mostly
+                // near-future, heavy ties, occasional far outliers that
+                // land in Top and force spawning on transfer.
+                let delta = match (sel_push, raw % 10) {
+                    (_, 0..=3) => 0,                     // same-instant tie
+                    (_, 4..=7) => raw as u64 % 257,      // near future
+                    (_, 8) => raw as u64 * 97,           // mid future
+                    _ => 1_000_000 + raw as u64 * 1_009, // far outlier
+                };
+                ladder.push(now + delta, step as u64);
+                heap.push(now + delta, step as u64);
+            }
+        }
+    }
+    loop {
+        let a = ladder.pop();
+        let b = heap.pop();
+        if a != b {
+            return Err(format!("drain diverged: {a:?} vs {b:?}"));
+        }
+        if a.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Randomized interleavings match the oracle exactly.
+    #[test]
+    fn ladder_matches_heap_oracle(ops in vec((any::<u8>(), any::<u16>()), 0..1_500)) {
+        if let Err(msg) = check(&ops) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// Adversarial tie storm: long runs at a single instant interleaved
+    /// with outliers, then full drains (width-1 rung degeneracy and the
+    /// empty-queue ladder reset).
+    #[test]
+    fn tie_storms_and_resets_match(
+        bursts in vec((1u16..400, any::<u8>()), 1..8),
+    ) {
+        let mut ladder = EventQueue::with_backend(QueueBackend::Ladder);
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut now = 0u64;
+        for (i, &(n, kind)) in bursts.iter().enumerate() {
+            for j in 0..n as u64 {
+                ladder.push(now + 10, j);
+                heap.push(now + 10, j);
+                if kind % 3 == 0 {
+                    // outlier riding every tie burst
+                    ladder.push(now + 10 + 5_000_000 + j, j);
+                    heap.push(now + 10 + 5_000_000 + j, j);
+                }
+            }
+            loop {
+                let a = ladder.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b, "burst {} diverged", i);
+                match a {
+                    Some((t, _)) => now = t,
+                    None => break,
+                }
+            }
+        }
+    }
+}

@@ -88,6 +88,21 @@ impl StorageProfile {
         }
     }
 
+    /// Look a declared profile up by its name — the inverse of `.name`,
+    /// used when a profile reference round-trips through a serialized
+    /// form (e.g. the bench harness's persistent run cache).
+    pub fn by_name(name: &str) -> Option<Self> {
+        [
+            Self::minio_lan(),
+            Self::ram(),
+            Self::local_ssd(),
+            Self::s3_wan(),
+            Self::file(),
+        ]
+        .into_iter()
+        .find(|p| p.name == name)
+    }
+
     fn xfer_ns(&self, bytes: usize) -> u64 {
         (bytes as u64).saturating_mul(1_000_000_000) / self.bytes_per_sec.max(1)
     }
@@ -146,6 +161,20 @@ mod tests {
             p.put_ns(1000) + 9 * p.per_object_ns
         );
         assert!(p.get_many_ns(10, 1000) < 10 * p.get_ns(100));
+    }
+
+    #[test]
+    fn by_name_round_trips_every_declared_profile() {
+        for p in [
+            StorageProfile::minio_lan(),
+            StorageProfile::ram(),
+            StorageProfile::local_ssd(),
+            StorageProfile::s3_wan(),
+            StorageProfile::file(),
+        ] {
+            assert_eq!(StorageProfile::by_name(p.name), Some(p));
+        }
+        assert_eq!(StorageProfile::by_name("floppy-disk"), None);
     }
 
     #[test]

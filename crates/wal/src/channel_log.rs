@@ -26,20 +26,65 @@ pub struct LogEntry {
 }
 
 /// Append-only log for a single channel.
-#[derive(Debug, Default)]
+///
+/// Two storage modes, same accounting:
+///
+/// * **materialized** ([`ChannelLog::new`]) — every entry keeps its
+///   [`Record`], so [`ChannelLog::range`] can replay it after a failure;
+/// * **sized-only** ([`ChannelLog::sized_only`]) — entries keep only
+///   their sequence/byte accounting. A run that provably never recovers
+///   (no failure is injected) never reads a record back out of the log,
+///   so the host needn't materialize them; every *modeled* quantity —
+///   append costs, retained bytes, truncation — is identical, because
+///   it derives from sizes, not payloads. Replay (`range`) from a
+///   sized-only log panics loudly.
+#[derive(Debug)]
 pub struct ChannelLog {
     entries: VecDeque<LogEntry>,
+    /// Per-entry byte sizes (sized-only mode; `entries` stays empty).
+    sizes: VecDeque<u32>,
+    materialized: bool,
     /// Sequence of the first retained entry (everything below is GC'd).
     first_seq: u64,
     total_bytes: usize,
+}
+
+impl Default for ChannelLog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ChannelLog {
     pub fn new() -> Self {
         Self {
             entries: VecDeque::new(),
+            sizes: VecDeque::new(),
+            materialized: true,
             first_seq: 1,
             total_bytes: 0,
+        }
+    }
+
+    /// A log that keeps accounting but not payloads — for runs that can
+    /// never replay (see the type docs).
+    pub fn sized_only() -> Self {
+        Self {
+            materialized: false,
+            ..Self::new()
+        }
+    }
+
+    /// Does this log keep records (and therefore support [`Self::range`])?
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    fn len(&self) -> usize {
+        if self.materialized {
+            self.entries.len()
+        } else {
+            self.sizes.len()
         }
     }
 
@@ -56,23 +101,49 @@ impl ChannelLog {
     /// that computed the wire size anyway skip a second payload walk.
     pub fn append_sized(&mut self, seq: u64, record: Record, bytes: usize) {
         debug_assert_eq!(bytes, record.encoded_len());
-        let expected = self.first_seq + self.entries.len() as u64;
-        if seq < expected {
-            // Re-send of an already-logged message (post-rollback
-            // regeneration); the original entry stands.
+        if !self.accept(seq) {
             return;
+        }
+        self.total_bytes += bytes;
+        if self.materialized {
+            self.entries.push_back(LogEntry { seq, record, bytes });
+        } else {
+            self.sizes.push_back(bytes as u32);
+        }
+    }
+
+    /// Append accounting only — the sized-only fast path, where the
+    /// caller skips cloning the record altogether.
+    pub fn append_size_only(&mut self, seq: u64, bytes: usize) {
+        assert!(
+            !self.materialized,
+            "size-only append into a materialized (replayable) log"
+        );
+        if !self.accept(seq) {
+            return;
+        }
+        self.total_bytes += bytes;
+        self.sizes.push_back(bytes as u32);
+    }
+
+    /// Contiguity check shared by the append paths: `false` for re-sends
+    /// of already-logged messages (post-rollback regeneration; the
+    /// original entry stands), panic on gaps.
+    fn accept(&self, seq: u64) -> bool {
+        let expected = self.first_seq + self.len() as u64;
+        if seq < expected {
+            return false;
         }
         assert_eq!(
             seq, expected,
             "channel log gap: appended seq {seq}, expected {expected}"
         );
-        self.total_bytes += bytes;
-        self.entries.push_back(LogEntry { seq, record, bytes });
+        true
     }
 
     /// Highest appended sequence (0 if empty since birth).
     pub fn last_seq(&self) -> u64 {
-        self.first_seq + self.entries.len() as u64 - 1
+        self.first_seq + self.len() as u64 - 1
     }
 
     /// Entries with `lo < seq ≤ hi`, in order. Panics if part of the range
@@ -81,6 +152,11 @@ impl ChannelLog {
         if hi <= lo {
             return Vec::new();
         }
+        assert!(
+            self.materialized,
+            "replay range ({lo}, {hi}] from a sized-only log — \
+             sized-only is reserved for runs that never recover"
+        );
         assert!(
             lo + 1 >= self.first_seq,
             "replay range ({lo}, {hi}] reaches below retained seq {}",
@@ -98,13 +174,23 @@ impl ChannelLog {
     /// Drop entries with `seq < below`. Called when checkpoint retention
     /// guarantees no recovery line can need them.
     pub fn truncate_below(&mut self, below: u64) {
-        while let Some(front) = self.entries.front() {
-            if front.seq < below {
-                self.total_bytes -= front.bytes;
-                self.first_seq = front.seq + 1;
-                self.entries.pop_front();
-            } else {
-                break;
+        if self.materialized {
+            while let Some(front) = self.entries.front() {
+                if front.seq < below {
+                    self.total_bytes -= front.bytes;
+                    self.first_seq = front.seq + 1;
+                    self.entries.pop_front();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while self.first_seq < below {
+                let Some(bytes) = self.sizes.pop_front() else {
+                    break;
+                };
+                self.total_bytes -= bytes as usize;
+                self.first_seq += 1;
             }
         }
         // Even when empty, remember the floor.
@@ -119,12 +205,31 @@ impl ChannelLog {
     }
 
     pub fn retained_len(&self) -> usize {
-        self.entries.len()
+        self.len()
     }
 
     /// Bytes of the entries in `(lo, hi]` — the replay fetch volume.
+    /// Works in both modes (sizes are always retained).
     pub fn range_bytes(&self, lo: u64, hi: u64) -> usize {
-        self.range(lo, hi).iter().map(|e| e.bytes).sum()
+        if self.materialized {
+            return self.range(lo, hi).iter().map(|e| e.bytes).sum();
+        }
+        if hi <= lo {
+            return 0;
+        }
+        assert!(
+            lo + 1 >= self.first_seq,
+            "replay range ({lo}, {hi}] reaches below retained seq {}",
+            self.first_seq
+        );
+        let start = (lo + 1 - self.first_seq) as usize;
+        let end = ((hi + 1).saturating_sub(self.first_seq) as usize).min(self.sizes.len());
+        self.sizes
+            .iter()
+            .skip(start)
+            .take(end.saturating_sub(start))
+            .map(|&b| b as usize)
+            .sum()
     }
 }
 
@@ -222,6 +327,38 @@ mod tests {
         assert_eq!(l.last_seq(), 4);
         l.append(5, rec(5));
         assert_eq!(l.last_seq(), 5);
+    }
+
+    #[test]
+    fn sized_only_matches_materialized_accounting() {
+        let full = filled(10);
+        let mut sized = ChannelLog::sized_only();
+        for s in 1..=10u64 {
+            sized.append_size_only(s, rec(s).encoded_len());
+        }
+        assert_eq!(sized.last_seq(), full.last_seq());
+        assert_eq!(sized.retained_len(), full.retained_len());
+        assert_eq!(sized.retained_bytes(), full.retained_bytes());
+        assert_eq!(sized.range_bytes(3, 7), full.range_bytes(3, 7));
+        // Duplicate re-sends ignored in both modes.
+        sized.append_size_only(4, 999);
+        assert_eq!(sized.retained_len(), 10);
+        // Truncation keeps the accounting aligned.
+        let mut full = full;
+        sized.truncate_below(5);
+        full.truncate_below(5);
+        assert_eq!(sized.retained_len(), full.retained_len());
+        assert_eq!(sized.retained_bytes(), full.retained_bytes());
+        assert_eq!(sized.range_bytes(4, 9), full.range_bytes(4, 9));
+        assert_eq!(sized.last_seq(), full.last_seq());
+    }
+
+    #[test]
+    #[should_panic(expected = "sized-only")]
+    fn replay_from_sized_only_log_panics() {
+        let mut l = ChannelLog::sized_only();
+        l.append_size_only(1, 16);
+        l.range(0, 1);
     }
 
     #[test]
