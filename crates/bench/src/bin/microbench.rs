@@ -1,8 +1,17 @@
 //! Data-plane microbenchmark: events/second and records/second of the
 //! virtual-time engine, per protocol, on a fixed NexMark Q1 + cyclic
-//! configuration — plus an isolated event-queue cell (push/pop
-//! throughput per backend at several pending-set sizes), so a queue
-//! change is measurable without the rest of the engine around it.
+//! configuration — plus isolated cells for the pieces the engine cells
+//! can't separate:
+//!
+//! - **queue cells**: push/pop throughput per event-queue backend at
+//!   several pending-set sizes;
+//! - **session cells**: the same short probe-shaped run executed N
+//!   times cold (fresh engine world per run — graph expand, operator
+//!   builds, fresh store) vs. through one reused `RunSession`, so the
+//!   per-probe setup/teardown cost is measurable on its own;
+//! - **snapshot cells**: a checkpoint-heavy stateful run under the
+//!   full-encode oracle vs. sized-only accounting, isolating what
+//!   snapshot serialization costs a failure-free run.
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin microbench [-- --json]
@@ -15,10 +24,11 @@
 
 use checkmate_bench::{Harness, Scale, Wl};
 use checkmate_core::ProtocolKind;
-use checkmate_engine::config::EngineConfig;
+use checkmate_engine::config::{EngineConfig, SnapshotMode};
 use checkmate_engine::engine::Engine;
+use checkmate_engine::session::RunSession;
 use checkmate_nexmark::Query;
-use checkmate_sim::{EventQueue, QueueBackend, SimRng, SECONDS};
+use checkmate_sim::{EventQueue, QueueBackend, SimRng, MILLIS, SECONDS};
 
 struct Cell {
     workload: &'static str,
@@ -32,6 +42,82 @@ struct QueueCell {
     backend: &'static str,
     pending: usize,
     ops_per_sec: f64,
+}
+
+struct SessionCell {
+    mode: &'static str,
+    runs: u32,
+    runs_per_sec: f64,
+}
+
+struct SnapshotCell {
+    mode: &'static str,
+    events_per_sec: f64,
+    wall_secs: f64,
+}
+
+/// Session-reuse cell: `runs` *short* runs on a wide world (p=8, the
+/// quick grid's widest), either each paying the full world
+/// build/teardown — graph expand, 48 operator builds, fresh store,
+/// full drop — ("cold") or sharing one [`RunSession`] ("session").
+/// The run itself is kept tiny so the cell isolates the lifecycle
+/// cost the way the queue cells isolate the queue; every run is
+/// bit-identical either way (property-tested in
+/// `engine/tests/session_equivalence.rs`).
+fn bench_session(h: &Harness, reuse: bool, runs: u32) -> SessionCell {
+    let workload = h.workload(Wl::Nexmark(Query::Q3), 8, None);
+    let cfg = EngineConfig {
+        parallelism: 8,
+        protocol: ProtocolKind::Uncoordinated,
+        total_rate: 2_000.0,
+        duration: 250 * MILLIS,
+        warmup: 50 * MILLIS,
+        checkpoint_interval: 100 * MILLIS,
+        ..EngineConfig::default()
+    };
+    let mut session = RunSession::new();
+    let start = std::time::Instant::now();
+    let mut events = 0u64;
+    for _ in 0..runs {
+        let r = if reuse {
+            session.run(&workload, cfg.clone())
+        } else {
+            Engine::new(&workload, cfg.clone()).run()
+        };
+        events += r.events;
+    }
+    assert!(events > 0);
+    let wall = start.elapsed().as_secs_f64();
+    SessionCell {
+        mode: if reuse { "session" } else { "cold" },
+        runs,
+        runs_per_sec: runs as f64 / wall,
+    }
+}
+
+/// Snapshot-accounting cell: a checkpoint-heavy run (growing Q3 join
+/// state, tight checkpoint interval) under the full-encode oracle vs.
+/// sized-only accounting. Identical reports, different wall-clock.
+fn bench_snapshot(h: &Harness, mode: SnapshotMode, name: &'static str) -> SnapshotCell {
+    let workload = h.workload(Wl::Nexmark(Query::Q3), 4, None);
+    let cfg = EngineConfig {
+        parallelism: 4,
+        protocol: ProtocolKind::Uncoordinated,
+        total_rate: 6_000.0,
+        duration: 10 * SECONDS,
+        warmup: 2 * SECONDS,
+        checkpoint_interval: 250 * MILLIS,
+        snapshot_mode: mode,
+        ..EngineConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = Engine::new(&workload, cfg).run();
+    let wall = start.elapsed().as_secs_f64();
+    SnapshotCell {
+        mode: name,
+        events_per_sec: report.events as f64 / wall,
+        wall_secs: wall,
+    }
 }
 
 /// Classic hold-model queue benchmark: keep `pending` events in flight,
@@ -113,6 +199,11 @@ fn main() {
             });
         }
     }
+    let session_cells = [bench_session(&h, false, 200), bench_session(&h, true, 200)];
+    let snapshot_cells = [
+        bench_snapshot(&h, SnapshotMode::Full, "full"),
+        bench_snapshot(&h, SnapshotMode::Auto, "sized"),
+    ];
     let total_events: u64 = cells.iter().map(|c| c.events).sum();
     let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
     if json {
@@ -142,6 +233,36 @@ fn main() {
             );
         }
         println!("  ],");
+        println!("  \"session_cells\": [");
+        for (i, c) in session_cells.iter().enumerate() {
+            println!(
+                "    {{\"mode\": \"{}\", \"runs\": {}, \"runs_per_sec\": {:.2}}}{}",
+                c.mode,
+                c.runs,
+                c.runs_per_sec,
+                if i + 1 == session_cells.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        println!("  ],");
+        println!("  \"snapshot_cells\": [");
+        for (i, c) in snapshot_cells.iter().enumerate() {
+            println!(
+                "    {{\"mode\": \"{}\", \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}}}{}",
+                c.mode,
+                c.wall_secs,
+                c.events_per_sec,
+                if i + 1 == snapshot_cells.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        println!("  ],");
         println!(
             "  \"total_events_per_sec\": {:.0}",
             total_events as f64 / total_wall
@@ -163,6 +284,18 @@ fn main() {
             println!(
                 "queue    {:8} pending={:<6} {:>38.0} ops/s",
                 c.backend, c.pending, c.ops_per_sec
+            );
+        }
+        for c in &session_cells {
+            println!(
+                "probe    {:8} runs={:<8} {:>38.2} runs/s",
+                c.mode, c.runs, c.runs_per_sec
+            );
+        }
+        for c in &snapshot_cells {
+            println!(
+                "snapshot {:8} wall={:<8.3} {:>36.0} ev/s",
+                c.mode, c.wall_secs, c.events_per_sec
             );
         }
         println!(

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p checkmate-bench --bin regen -- \
 //!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] \
-//!     [--jobs N] [--out results/] [--cache-dir DIR] [--queue ladder|heap] [-v]
+//!     [--jobs N] [--out results/] [--cache-dir DIR] [--queue ladder|heap] \
+//!     [--snapshot auto|full|sized] [-v]
 //! ```
 //!
 //! Writes one JSON file per experiment under `--out` and prints the
@@ -19,10 +20,13 @@
 //! byte-identical output (asserted by `cache_persistence.rs`).
 //! `--queue heap` switches every simulation to the binary-heap event
 //! queue (the ladder queue's equivalence oracle); output is identical
-//! either way.
+//! either way. `--snapshot full` switches every simulation to the
+//! materializing snapshot path (the sized-only accounting's oracle);
+//! output is likewise identical either way.
 
 use checkmate_bench::experiments as exp;
 use checkmate_bench::{Harness, Scale};
+use checkmate_engine::config::SnapshotMode;
 use checkmate_sim::QueueBackend;
 use std::path::PathBuf;
 
@@ -34,6 +38,7 @@ fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut cache_dir: Option<PathBuf> = None;
     let mut queue = QueueBackend::default();
+    let mut snapshot = SnapshotMode::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,6 +54,15 @@ fn main() {
                     "ladder" => QueueBackend::Ladder,
                     "heap" => QueueBackend::Heap,
                     other => panic!("unknown queue backend {other}; use ladder|heap"),
+                };
+            }
+            "--snapshot" => {
+                let v = args.next().expect("--snapshot needs a value");
+                snapshot = match v.as_str() {
+                    "auto" => SnapshotMode::Auto,
+                    "full" => SnapshotMode::Full,
+                    "sized" => SnapshotMode::SizedOnly,
+                    other => panic!("unknown snapshot mode {other}; use auto|full|sized"),
                 };
             }
             "--jobs" => {
@@ -81,7 +95,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [--snapshot auto|full|sized] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }
@@ -94,6 +108,7 @@ fn main() {
     h.verbose = verbose;
     h.jobs = jobs;
     h.queue = queue;
+    h.snapshot = snapshot;
     if let Some(dir) = &cache_dir {
         h.set_cache_dir(dir.clone());
     }

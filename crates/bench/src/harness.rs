@@ -18,10 +18,9 @@ use crate::scale::Scale;
 use checkmate_core::ProtocolKind;
 use checkmate_cyclic::{reachability, DEFAULT_NODES};
 use checkmate_dataflow::WorkerId;
-use checkmate_engine::arena::SimArena;
-use checkmate_engine::config::{EngineConfig, FailureSpec};
-use checkmate_engine::engine::Engine;
+use checkmate_engine::config::{EngineConfig, FailureSpec, SnapshotMode};
 use checkmate_engine::report::RunReport;
+use checkmate_engine::session::RunSession;
 use checkmate_engine::workload::Workload;
 use checkmate_metrics::{find_max_sustainable_ctx, find_max_sustainable_par, MstSearch};
 use checkmate_nexmark::{Query, Skew};
@@ -33,24 +32,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 thread_local! {
-    /// One recycled engine arena per harness thread: sequential runs on
+    /// One recycled run session per harness thread: sequential runs on
     /// the main thread and each `par_map` worker reuse one allocation
-    /// footprint across every run they execute.
-    static ARENA: RefCell<SimArena> = RefCell::new(SimArena::new());
-    /// Second arena per harness thread, lent to the overlapped lo-bound
-    /// probe of parallel MST searches so it stays warm across cells too.
-    static BOUND_ARENA: RefCell<SimArena> = RefCell::new(SimArena::new());
+    /// footprint, one pooled store, and — across matching consecutive
+    /// runs — one expanded graph and operator set.
+    static SESSION: RefCell<RunSession> = RefCell::new(RunSession::new());
+    /// Second session per harness thread, lent to the overlapped
+    /// lo-bound probe of parallel MST searches so it stays warm across
+    /// cells too.
+    static BOUND_SESSION: RefCell<RunSession> = RefCell::new(RunSession::new());
 }
 
-/// Run `f` with this thread's recycled engine arena.
-fn with_arena<R>(f: impl FnOnce(&mut SimArena) -> R) -> R {
-    ARENA.with(|a| f(&mut a.borrow_mut()))
+/// Run `f` with this thread's recycled run session.
+fn with_session<R>(f: impl FnOnce(&mut RunSession) -> R) -> R {
+    SESSION.with(|s| f(&mut s.borrow_mut()))
 }
 
-/// Run `f` with both of this thread's recycled arenas (parallel bound
+/// Run `f` with both of this thread's recycled sessions (parallel bound
 /// probes need two, one per concurrent engine).
-fn with_arena_pair<R>(f: impl FnOnce(&mut SimArena, &mut SimArena) -> R) -> R {
-    ARENA.with(|a| BOUND_ARENA.with(|b| f(&mut a.borrow_mut(), &mut b.borrow_mut())))
+fn with_session_pair<R>(f: impl FnOnce(&mut RunSession, &mut RunSession) -> R) -> R {
+    SESSION.with(|a| BOUND_SESSION.with(|b| f(&mut a.borrow_mut(), &mut b.borrow_mut())))
 }
 
 /// What to run: a NexMark query or the cyclic reachability query.
@@ -84,6 +85,9 @@ impl Wl {
 
 type MstKey = ((u8, u8), ProtocolKind, u32);
 
+/// Workload-cache key: workload id + parallelism + skew rendering.
+type WorkloadKey = (u8, u8, u32, String);
+
 /// Experiment harness with an MST cache shared across experiments (and
 /// across the worker threads of a parallel sweep).
 pub struct Harness {
@@ -106,10 +110,21 @@ pub struct Harness {
     /// results are backend-independent (ladder vs heap is property-
     /// tested bit-identical), so this is an oracle/benchmarking knob.
     pub queue: QueueBackend,
+    /// Snapshot production mode every engine run uses
+    /// (`regen --snapshot`); results are mode-independent (sized-only
+    /// accounting is property-tested bit-identical against the
+    /// full-encode oracle), so this too is an oracle/benchmarking knob.
+    pub snapshot: SnapshotMode,
     /// Persistent result cache (`regen --cache-dir`): completed
     /// [`RunReport`]s and MST cells keyed by their full config
     /// fingerprint survive across invocations.
     disk: Option<DiskCache>,
+    /// Built workloads, shared across runs and threads. Reusing the
+    /// *same* `Workload` object (factory `Arc`s and all) is what lets a
+    /// thread's `RunSession` recognize consecutive runs of one sweep
+    /// cell and keep its expanded graph + operator set alive — and it
+    /// drops the per-run workload construction itself.
+    workloads: Mutex<BTreeMap<WorkloadKey, Arc<Workload>>>,
 }
 
 impl Harness {
@@ -121,7 +136,9 @@ impl Harness {
             jobs: 1,
             verbose: false,
             queue: QueueBackend::default(),
+            snapshot: SnapshotMode::default(),
             disk: None,
+            workloads: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -177,11 +194,23 @@ impl Harness {
             .collect()
     }
 
-    pub fn workload(&self, wl: Wl, parallelism: u32, skew: Option<Skew>) -> Workload {
-        match wl {
-            Wl::Nexmark(q) => q.workload(parallelism, self.scale.seed, skew),
-            Wl::Cyclic => reachability(parallelism, self.scale.seed, DEFAULT_NODES),
-        }
+    /// The workload of `(wl, parallelism, skew)`, built once and shared:
+    /// workload construction is deterministic, and handing every caller
+    /// the same object keeps run sessions warm (see `workloads` field).
+    pub fn workload(&self, wl: Wl, parallelism: u32, skew: Option<Skew>) -> Arc<Workload> {
+        let key = (wl.key().0, wl.key().1, parallelism, format!("{skew:?}"));
+        Arc::clone(
+            self.workloads
+                .lock()
+                .expect("workload cache")
+                .entry(key)
+                .or_insert_with(|| {
+                    Arc::new(match wl {
+                        Wl::Nexmark(q) => q.workload(parallelism, self.scale.seed, skew),
+                        Wl::Cyclic => reachability(parallelism, self.scale.seed, DEFAULT_NODES),
+                    })
+                }),
+        )
     }
 
     fn base_cfg(&self, wl: Wl, protocol: ProtocolKind, parallelism: u32) -> EngineConfig {
@@ -204,6 +233,7 @@ impl Harness {
                 _ => EngineConfig::default().checkpoint_retention,
             },
             event_queue: self.queue,
+            snapshot_mode: self.snapshot,
             ..EngineConfig::default()
         }
     }
@@ -251,25 +281,28 @@ impl Harness {
             }
         }
         let workload = self.workload(wl, parallelism, None);
-        // One physical graph shared across every probe of the bisection
-        // (pure function of workload + parallelism, read-only in runs).
-        let pg = Arc::new(workload.graph.expand(parallelism));
-        let probe = |rate: f64, arena: &mut SimArena| {
+        // Probes run through this thread's session: the first expands
+        // the physical graph and builds the operator set, every later
+        // probe of the bisection resets and reuses both (plus the
+        // arena footprint and the pooled store) instead of rebuilding.
+        let probe = |rate: f64, session: &mut RunSession| {
             let cfg = EngineConfig {
                 total_rate: rate,
                 ..probe_cfg.clone()
             };
-            let r = Engine::new_shared(&workload, cfg, Arc::clone(&pg), arena).run_into(arena);
+            let r = session.run(&workload, cfg);
             r.sustainable && !r.deadlocked()
         };
         let mst = if self.jobs > 1 {
             // Overlap the independent hi/lo bound probes on two scoped
-            // threads (each with its own recycled arena); the bisection
-            // then continues on this thread. Identical result to the
-            // sequential search (asserted in checkmate-metrics).
-            with_arena_pair(|arena, bound| find_max_sustainable_par(search, [arena, bound], probe))
+            // threads (each with its own recycled session); the
+            // bisection then continues on this thread. Identical result
+            // to the sequential search (asserted in checkmate-metrics).
+            with_session_pair(|session, bound| {
+                find_max_sustainable_par(search, [session, bound], probe)
+            })
         } else {
-            with_arena(|arena| find_max_sustainable_ctx(search, arena, &probe))
+            with_session(|session| find_max_sustainable_ctx(search, session, &probe))
         };
         if let Some(dc) = &self.disk {
             dc.store_f64(&disk_key, mst);
@@ -348,7 +381,7 @@ impl Harness {
     ) -> RunReport {
         let cfg = self.run_cfg(wl, protocol, parallelism, total_rate, fail);
         let workload = self.workload(wl, parallelism, skew);
-        with_arena(|arena| Engine::new_in(&workload, cfg, arena).run_into(arena))
+        with_session(|session| session.run(&workload, cfg))
     }
 
     /// The engine configuration of a steady/failure run — the single
@@ -414,7 +447,7 @@ impl Harness {
                 }
             }
             let workload = self.workload(wl, parallelism, skew);
-            let report = with_arena(|arena| Engine::new_in(&workload, cfg, arena).run_into(arena));
+            let report = with_session(|session| session.run(&workload, cfg));
             if let Some(dc) = &self.disk {
                 dc.store_report(&key, &report);
             }

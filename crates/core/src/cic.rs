@@ -264,6 +264,50 @@ impl BcsState {
     }
 }
 
+impl CicState {
+    /// In-place return to the birth state of [`CicState::hmnr`]`(me, n)`
+    /// when this value already has that shape, keeping the vector
+    /// allocations — run-session reuse resets CIC state per run instead
+    /// of rebuilding it. Returns `false` (value untouched) on a shape
+    /// mismatch; the caller then constructs fresh.
+    pub fn reset_hmnr(&mut self, me: usize, n: usize) -> bool {
+        match self {
+            CicState::Hmnr(s) if s.me == me && s.ckpt.len() == n => {
+                s.lc = 0;
+                s.ckpt.fill(0);
+                s.taken.fill(false);
+                s.greater.fill(false);
+                s.sent_to.fill(false);
+                s.pb_cache = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// In-place return to the birth state of [`CicState::bcs`]; `false`
+    /// when this value is not the BCS variant.
+    pub fn reset_bcs(&mut self) -> bool {
+        match self {
+            CicState::Bcs(s) => {
+                s.lc = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Exact byte length of the [`Codec::encode`] output below —
+    /// sized-only snapshot accounting sums this without encoding.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            // tag + me + lc + count + n×u32 ckpt + 3 bool vectors.
+            CicState::Hmnr(s) => 1 + 4 + 8 + 4 + s.ckpt.len() * 4 + 3 * s.ckpt.len(),
+            CicState::Bcs(_) => 1 + 8,
+        }
+    }
+}
+
 // The CIC protocol state is part of an instance's checkpointed state: the
 // clocks and vectors must survive a rollback exactly as they were at
 // snapshot time, or post-recovery force decisions would diverge.

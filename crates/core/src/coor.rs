@@ -123,6 +123,14 @@ impl CoorAligner {
         self.pending = None;
         self.last_completed_round = round;
     }
+
+    /// Return to the birth state ([`CoorAligner::new`] with the same
+    /// input channels), keeping the channel-list allocation — run-
+    /// session reuse resets aligners in place instead of rebuilding
+    /// them per run.
+    pub fn reset(&mut self) {
+        self.reset_to_round(0);
+    }
 }
 
 #[cfg(test)]

@@ -371,6 +371,15 @@ impl ChannelBook {
     pub fn encoded_len(&self) -> usize {
         8 + (self.sent.len() + self.recv.len()) * 12
     }
+
+    /// Return to the birth state (no sends, no receives), keeping the
+    /// watermark arrays' capacity — run-session reuse resets books in
+    /// place instead of dropping and reallocating them per run.
+    pub fn reset(&mut self) {
+        self.sent.clear();
+        self.recv.clear();
+        self.recv_total = 0;
+    }
 }
 
 impl Codec for ChannelBook {

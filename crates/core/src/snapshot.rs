@@ -211,6 +211,39 @@ pub fn split_chunks(data: &[u8], cfg: ChunkerConfig) -> Vec<(usize, usize, u64)>
 }
 
 // ---------------------------------------------------------------------
+// sized-only placeholders
+// ---------------------------------------------------------------------
+
+/// A pool of zero bytes backing *sized-only* snapshot objects.
+///
+/// Failure-free runs never read checkpoint state back (recovery is the
+/// only reader), so their hosts can skip serializing operator state and
+/// upload a placeholder of the exact encoded length instead — every
+/// byte-accounted quantity (`state_bytes`, PUT sizes, GC reclaim
+/// counts, live-store footprints) is then identical to a full encode.
+/// Slices share one refcounted buffer, so a placeholder costs O(1)
+/// after the pool has grown to the largest requested length (it grows
+/// by power-of-two doubling, amortizing across a session's runs).
+#[derive(Debug, Default)]
+pub struct ZeroBytes {
+    buf: bytes::Bytes,
+}
+
+impl ZeroBytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled `Bytes` of exactly `len` bytes.
+    pub fn slice(&mut self, len: usize) -> bytes::Bytes {
+        if self.buf.len() < len {
+            self.buf = bytes::Bytes::from(vec![0u8; len.next_power_of_two()]);
+        }
+        self.buf.slice(0..len)
+    }
+}
+
+// ---------------------------------------------------------------------
 // planning & assembly
 // ---------------------------------------------------------------------
 

@@ -147,6 +147,15 @@ impl Operator for ReachJoinOp {
     fn state_size(&self) -> usize {
         self.links.byte_size() + self.reach.byte_size()
     }
+
+    fn reset(&mut self) {
+        self.links.clear();
+        self.reach.clear();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.links.encoded_len() + self.reach.encoded_len()
+    }
 }
 
 /// σ — drop pairs whose end node already appears in the path (cycle
@@ -178,6 +187,12 @@ impl Operator for ReachSelectOp {
     }
 
     fn state_size(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
         0
     }
 
@@ -219,6 +234,12 @@ impl Operator for ReachProjectOp {
     }
 
     fn state_size(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
         0
     }
 

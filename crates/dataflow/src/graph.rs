@@ -516,6 +516,7 @@ mod tests {
         fn state_size(&self) -> usize {
             0
         }
+        fn reset(&mut self) {}
         fn is_stateless(&self) -> bool {
             true
         }

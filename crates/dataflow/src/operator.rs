@@ -91,6 +91,25 @@ pub trait Operator: Send {
     /// Restore state from a snapshot produced by [`Operator::snapshot`].
     fn restore(&mut self, bytes: &[u8]) -> Result<(), DecodeError>;
 
+    /// Return the operator to its freshly-constructed state (exactly as
+    /// the graph's factory built it), keeping allocations where
+    /// practical. Run-session reuse calls this between runs so a probe
+    /// loop keeps one boxed instance alive instead of rebuilding and
+    /// dropping every operator per run; a reset operator must be
+    /// indistinguishable from a factory-fresh one (property-tested
+    /// end-to-end in `engine/tests/session_equivalence.rs`).
+    fn reset(&mut self);
+
+    /// Exact byte length of the [`Operator::snapshot`] encoding, computed
+    /// without building it. Sized-only snapshot accounting prices
+    /// checkpoints from this on failure-free runs, so it must equal
+    /// `self.snapshot().len()` bit-for-bit (the default does exactly
+    /// that, at full encoding cost; stateful operators override it with
+    /// an O(1) formula derived from their tracked state sizes).
+    fn snapshot_len(&self) -> usize {
+        self.snapshot().len()
+    }
+
     /// Approximate in-memory state size in bytes. The cost model charges
     /// snapshot serialization proportional to this, so it should track the
     /// encoded size closely (exactness is not required).

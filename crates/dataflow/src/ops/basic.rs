@@ -38,6 +38,12 @@ impl Operator for MapOp {
         0
     }
 
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
+        0
+    }
+
     fn is_stateless(&self) -> bool {
         true
     }
@@ -70,6 +76,12 @@ impl Operator for FilterOp {
     }
 
     fn state_size(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
         0
     }
 
@@ -108,6 +120,12 @@ impl Operator for FlatMapOp {
         0
     }
 
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
+        0
+    }
+
     fn is_stateless(&self) -> bool {
         true
     }
@@ -132,6 +150,12 @@ impl Operator for PassThroughOp {
     }
 
     fn state_size(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
         0
     }
 

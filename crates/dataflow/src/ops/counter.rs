@@ -60,6 +60,14 @@ impl Operator for KeyedCounterOp {
     fn state_size(&self) -> usize {
         self.counts.byte_size()
     }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.counts.encoded_len()
+    }
 }
 
 #[cfg(test)]

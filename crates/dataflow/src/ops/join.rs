@@ -80,6 +80,15 @@ impl Operator for IncrementalJoinOp {
     fn state_size(&self) -> usize {
         self.left.byte_size() + self.right.byte_size()
     }
+
+    fn reset(&mut self) {
+        self.left.clear();
+        self.right.clear();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.left.encoded_len() + self.right.encoded_len()
+    }
 }
 
 #[cfg(test)]

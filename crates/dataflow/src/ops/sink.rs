@@ -74,6 +74,14 @@ impl Operator for DigestSinkOp {
         16
     }
 
+    fn reset(&mut self) {
+        self.digest = Digest::default();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        16
+    }
+
     fn sink_digest(&self) -> Option<Digest> {
         Some(self.digest)
     }

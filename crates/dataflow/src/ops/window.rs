@@ -93,6 +93,17 @@ impl Operator for WindowJoinOp {
     fn state_size(&self) -> usize {
         16 + self.left.byte_size() + self.right.byte_size()
     }
+
+    fn reset(&mut self) {
+        // `window_ns` is a construction parameter, not state.
+        self.current_window = 0;
+        self.left.clear();
+        self.right.clear();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        16 + self.left.encoded_len() + self.right.encoded_len()
+    }
 }
 
 /// Windowed count per key over processing-time tumbling windows
@@ -175,6 +186,15 @@ impl Operator for WindowedCountOp {
 
     fn state_size(&self) -> usize {
         16 + self.counts.byte_size()
+    }
+
+    fn reset(&mut self) {
+        self.current_window = 0;
+        self.counts.clear();
+    }
+
+    fn snapshot_len(&self) -> usize {
+        16 + self.counts.encoded_len()
     }
 }
 

@@ -79,6 +79,15 @@ impl<V: ByteSized> KeyedState<V> {
         self.bytes
     }
 
+    /// Exact encoded length of [`Codec::encode`]'s output: the u32 entry
+    /// count plus the tracked per-entry bytes. Exact because `ByteSized`
+    /// sizes are definitionally the encoded sizes (8-byte keys, value
+    /// encodings, 4-byte vector envelopes) — this is what lets operators
+    /// report `snapshot_len` without encoding.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.bytes
+    }
+
     pub fn get(&self, key: u64) -> Option<&V> {
         self.map.get(&key)
     }
@@ -169,7 +178,7 @@ impl<T: ByteSized> KeyedState<Vec<T>> {
 
 impl<V: Codec + ByteSized> Codec for KeyedState<V> {
     fn encoded_len_hint(&self) -> usize {
-        4 + self.bytes
+        self.encoded_len()
     }
 
     fn encode(&self, enc: &mut Enc) {

@@ -106,4 +106,42 @@ proptest! {
         recs.push(recs[0].clone());
         prop_assert_ne!(digest_of(&recs), base);
     }
+
+    /// `Operator::snapshot_len` is the *exact* length of the encoded
+    /// snapshot for every stateful operator, at any driven state —
+    /// sized-only checkpoint accounting prices checkpoints from it, so
+    /// any drift would break the oracle equivalence bit-for-bit.
+    #[test]
+    fn operator_snapshot_len_is_exact(
+        recs in proptest::collection::vec(
+            (any::<u64>(), arb_value(), any::<bool>()), 0..40
+        ),
+        window_ns in 1u64..1_000_000,
+    ) {
+        use checkmate_dataflow::ops::{
+            DigestSinkOp, IncrementalJoinOp, KeyedCounterOp, WindowJoinOp, WindowedCountOp,
+        };
+        use checkmate_dataflow::operator::{OpCtx, Operator};
+        use checkmate_dataflow::PortId;
+        let mut ops: Vec<Box<dyn Operator>> = vec![
+            Box::new(KeyedCounterOp::new()),
+            Box::new(IncrementalJoinOp::new()),
+            Box::new(WindowJoinOp::new(window_ns)),
+            Box::new(WindowedCountOp::new(window_ns)),
+            Box::new(DigestSinkOp::new()),
+        ];
+        let mut ctx = OpCtx::new(0);
+        for op in &mut ops {
+            for (i, (k, v, left)) in recs.iter().enumerate() {
+                let port = if *left { PortId::LEFT } else { PortId::RIGHT };
+                op.on_record(port, Record::new(*k, v.clone(), 0), &mut ctx);
+                ctx.now = i as u64 * 1_000;
+                let _ = ctx.take();
+            }
+            prop_assert_eq!(op.snapshot_len(), op.snapshot().len());
+            // A reset operator reports the fresh snapshot again.
+            op.reset();
+            prop_assert_eq!(op.snapshot_len(), op.snapshot().len());
+        }
+    }
 }

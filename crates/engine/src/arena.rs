@@ -20,8 +20,10 @@
 
 use crate::engine::{Ev, ShipItem};
 use crate::state::ArrivalQueue;
+use checkmate_core::snapshot::ZeroBytes;
 use checkmate_dataflow::OpCtx;
 use checkmate_sim::{EventQueue, SimTime};
+use checkmate_storage::SharedStore;
 
 /// Recyclable storage for one engine at a time. Holding one per worker
 /// thread (the bench harness does) keeps probe runs allocation-free in
@@ -36,6 +38,13 @@ pub struct SimArena {
     pub(crate) batch_pool: Vec<Vec<ShipItem>>,
     pub(crate) chan_floor: Vec<SimTime>,
     pub(crate) ctx: OpCtx,
+    /// Recycled checkpoint store: the next engine resets it in place
+    /// (objects cleared, key-string and map allocations pooled, stats
+    /// zeroed, profile re-adopted) instead of constructing a fresh
+    /// `ObjectStore` + `MemBackend` per run.
+    pub(crate) store: Option<SharedStore>,
+    /// Shared zero buffer backing sized-only snapshot placeholders.
+    pub(crate) zeros: ZeroBytes,
 }
 
 impl SimArena {
@@ -47,6 +56,8 @@ impl SimArena {
             batch_pool: Vec::new(),
             chan_floor: Vec::new(),
             ctx: OpCtx::new(0),
+            store: None,
+            zeros: ZeroBytes::new(),
         }
     }
 }

@@ -13,6 +13,44 @@ pub struct FailureSpec {
     pub worker: WorkerId,
 }
 
+/// How checkpoint snapshots are produced on this run.
+///
+/// Recovery is the only reader of checkpoint state, so a run that
+/// provably never recovers (no failure injected) can charge every
+/// snapshot's *exact* encoded size — `Operator::snapshot_len` plus the
+/// instance envelope — without serializing operator state at all, and
+/// upload a same-length placeholder so every store-side quantity
+/// (`state_bytes`, PUT/GC byte accounting, live footprint) is identical
+/// bit-for-bit. This mirrors the sized-only channel logs: a host-side
+/// optimization with no modeled effect, property-tested against the
+/// full-encode oracle in `engine/tests/session_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Sized-only accounting when safe (no failure injected and no
+    /// incremental policy), full encoding otherwise.
+    #[default]
+    Auto,
+    /// Always serialize and upload real snapshot bytes — the
+    /// equivalence oracle (and the paper's literal behaviour).
+    Full,
+    /// Request sized-only accounting. Runs that inject failures or use
+    /// incremental (chunked) checkpoints are demoted to full encoding —
+    /// recovery and content-defined chunking must read real bytes — so
+    /// this can never corrupt a recovery.
+    SizedOnly,
+}
+
+impl SnapshotMode {
+    /// Resolve the mode for a concrete run: may this run skip
+    /// materializing snapshot bytes?
+    pub fn sized_for(self, failure_injected: bool, incremental: bool) -> bool {
+        match self {
+            SnapshotMode::Full => false,
+            SnapshotMode::Auto | SnapshotMode::SizedOnly => !failure_injected && !incremental,
+        }
+    }
+}
+
 /// Full configuration of one engine run.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -84,6 +122,10 @@ pub struct EngineConfig {
     /// simulated timeline — is identical; property-tested in
     /// `engine/tests/queue_equivalence.rs`).
     pub event_queue: QueueBackend,
+    /// Snapshot production mode (see [`SnapshotMode`]): `Auto` skips
+    /// snapshot encoding on failure-free runs with exact-size
+    /// accounting; `Full` keeps the materializing path as the oracle.
+    pub snapshot_mode: SnapshotMode,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +151,7 @@ impl Default for EngineConfig {
             max_events: 500_000_000,
             data_batching: true,
             event_queue: QueueBackend::Ladder,
+            snapshot_mode: SnapshotMode::Auto,
         }
     }
 }
@@ -174,6 +217,22 @@ mod tests {
         assert!(EngineConfig::paper_run(10, ProtocolKind::None, false)
             .failure
             .is_none());
+    }
+
+    #[test]
+    fn snapshot_mode_resolution() {
+        // Auto and SizedOnly are sized only when nothing can read the
+        // bytes back: no failure (recovery) and no incremental policy
+        // (chunking).
+        for mode in [SnapshotMode::Auto, SnapshotMode::SizedOnly] {
+            assert!(mode.sized_for(false, false));
+            assert!(!mode.sized_for(true, false));
+            assert!(!mode.sized_for(false, true));
+            assert!(!mode.sized_for(true, true));
+        }
+        // The oracle never skips the encode.
+        assert!(!SnapshotMode::Full.sized_for(false, false));
+        assert_eq!(SnapshotMode::default(), SnapshotMode::Auto);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES}
 use crate::report::{LatencySeries, Outcome, RunReport};
 use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
+use bytes::Bytes;
+use checkmate_core::snapshot::ZeroBytes;
 use checkmate_core::{
     coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
     CheckpointKind, CheckpointMeta, CoorAligner, DurableCheckpoints, MarkerAction, ProtocolKind,
@@ -94,11 +96,12 @@ pub(crate) enum Ev {
 }
 
 /// A captured checkpoint travelling to durability: metadata plus the
-/// objects the upload ships (the whole snapshot, or only the fresh
-/// chunks of an incremental checkpoint).
+/// objects the upload ships (the whole snapshot, only the fresh chunks
+/// of an incremental checkpoint, or — under sized-only accounting — a
+/// zero placeholder of the exact encoded length).
 pub(crate) struct UploadJob {
     meta: CheckpointMeta,
-    objects: Vec<(String, Vec<u8>)>,
+    objects: Vec<(String, Bytes)>,
 }
 
 #[derive(Default)]
@@ -140,6 +143,12 @@ pub struct Engine {
     batch_pool: Vec<Vec<ShipItem>>,
     /// Reusable operator invocation context (allocation-free hot path).
     ctx: OpCtx,
+    /// Resolved snapshot mode for this run: checkpoints skip serializing
+    /// operator state and upload exact-length zero placeholders
+    /// (`SnapshotMode`, failure-free non-incremental runs only).
+    snap_sized: bool,
+    /// Zero buffer backing sized-only placeholders (arena-recycled).
+    zeros: ZeroBytes,
     chan_floor: Vec<SimTime>,
     chan_logs: Vec<ChannelLog>,
     /// Per-instance delivery-order logs (UNC/CIC); empty under COOR/None.
@@ -200,24 +209,6 @@ impl Engine {
         pg: Arc<PhysicalGraph>,
         arena: &mut SimArena,
     ) -> Self {
-        cfg.validate();
-        workload.validate(cfg.parallelism);
-        assert_eq!(
-            pg.parallelism(),
-            cfg.parallelism,
-            "shared physical graph expanded at a different parallelism"
-        );
-        let mut logs = Vec::new();
-        let mut rates_pp = Vec::new();
-        for s in &workload.streams {
-            let rate_pp = cfg.total_rate * s.rate_share / cfg.parallelism as f64;
-            let mut sched = Schedule::new(rate_pp).with_batch(cfg.source_batch);
-            if let Some(limit) = cfg.input_limit {
-                sched = sched.with_limit(limit);
-            }
-            logs.push(SourceLog::new(Arc::clone(&s.stream), sched));
-            rates_pp.push(rate_pp);
-        }
         let mut workers = Vec::with_capacity(cfg.parallelism as usize);
         for w in 0..cfg.parallelism {
             let instances = build_worker_instances(&pg, w, cfg.protocol);
@@ -246,6 +237,41 @@ impl Engine {
                 instances,
             });
         }
+        Self::new_with_workers(workload, cfg, pg, workers, arena)
+    }
+
+    /// Construction core shared by the fresh path ([`Engine::new_shared`]
+    /// builds `workers` from the graph's factories) and the session path
+    /// (`crate::session::RunSession` hands back last run's workers,
+    /// reset in place). The workers must be exactly what
+    /// [`build_worker_instances`] produces for `(pg, cfg.protocol)` —
+    /// `Worker::reset_for_run` guarantees that for recycled ones.
+    pub(crate) fn new_with_workers(
+        workload: &Workload,
+        cfg: EngineConfig,
+        pg: Arc<PhysicalGraph>,
+        workers: Vec<Worker>,
+        arena: &mut SimArena,
+    ) -> Self {
+        cfg.validate();
+        workload.validate(cfg.parallelism);
+        assert_eq!(
+            pg.parallelism(),
+            cfg.parallelism,
+            "shared physical graph expanded at a different parallelism"
+        );
+        assert_eq!(workers.len(), cfg.parallelism as usize);
+        let mut logs = Vec::new();
+        let mut rates_pp = Vec::new();
+        for s in &workload.streams {
+            let rate_pp = cfg.total_rate * s.rate_share / cfg.parallelism as f64;
+            let mut sched = Schedule::new(rate_pp).with_batch(cfg.source_batch);
+            if let Some(limit) = cfg.input_limit {
+                sched = sched.with_limit(limit);
+            }
+            logs.push(SourceLog::new(Arc::clone(&s.stream), sched));
+            rates_pp.push(rate_pp);
+        }
         let n_channels = pg.n_channels();
         let n_instances = pg.n_instances();
         let parallelism = cfg.parallelism;
@@ -270,6 +296,17 @@ impl Engine {
         chan_floor.resize(n_channels, 0);
         let mut ctx = std::mem::replace(&mut arena.ctx, OpCtx::new(0));
         ctx.now = 0;
+        // Recycle the previous run's store when its backend supports an
+        // in-place reset (objects cleared, key allocations pooled, stats
+        // zeroed, profile adopted); otherwise construct fresh. Either
+        // way the run starts from an observationally empty store.
+        let store = match arena.store.take() {
+            Some(s) if s.reset(storage_profile) => s,
+            _ => ObjectStore::shared_with(Arc::new(MemBackend::with_profile(storage_profile))),
+        };
+        let snap_sized = cfg
+            .snapshot_mode
+            .sized_for(cfg.failure.is_some(), cfg.incremental.is_some());
         Self {
             coord: Coordinator::new(cfg.protocol),
             cfg,
@@ -277,7 +314,9 @@ impl Engine {
             name: workload.name.clone(),
             logs,
             rates_pp,
-            store: ObjectStore::shared_with(Arc::new(MemBackend::with_profile(storage_profile))),
+            store,
+            snap_sized,
+            zeros: std::mem::take(&mut arena.zeros),
             queue,
             now: 0,
             epoch: 0,
@@ -374,6 +413,24 @@ impl Engine {
     /// Like [`Engine::run`], returning the engine's allocation footprint
     /// to `arena` (emptied, capacity intact) for the next run.
     pub fn run_into(mut self, arena: &mut SimArena) -> RunReport {
+        self.drive();
+        self.finish(arena, None)
+    }
+
+    /// [`Engine::run_into`] for session reuse: the workers — operator
+    /// boxes, state maps, queue slabs — survive the run and land in
+    /// `workers_out` for `crate::session::RunSession` to reset and
+    /// reuse, instead of being torn down.
+    pub(crate) fn run_into_keeping(
+        mut self,
+        arena: &mut SimArena,
+        workers_out: &mut Vec<Worker>,
+    ) -> RunReport {
+        self.drive();
+        self.finish(arena, Some(workers_out))
+    }
+
+    fn drive(&mut self) {
         self.bootstrap();
         while let Some((t, (epoch, ev))) = self.queue.pop() {
             if t > self.cfg.duration {
@@ -390,7 +447,6 @@ impl Engine {
             }
             self.handle(epoch, ev);
         }
-        self.finish(arena)
     }
 
     fn push_at(&mut self, t: SimTime, ev: Ev) {
@@ -1195,27 +1251,57 @@ impl Engine {
     fn take_checkpoint(&mut self, w: usize, op: OpId, kind: CheckpointKind) -> SimTime {
         let winc = self.workers[w].incarnation;
         let incremental = self.cfg.incremental;
+        let snap_sized = self.snap_sized;
+        let zeros = &mut self.zeros;
         let (meta, objects, state_len) = {
             let inst = self.workers[w].instance_mut(op);
             inst.ckpt_index += 1;
-            let state = inst.snapshot_bytes();
-            let state_len = state.len();
             let (recv_wm, sent_wm) = inst.book.watermarks();
-            let (state_key, manifest, objects) = match &incremental {
-                Some(policy) => {
-                    let plan = snapshot::plan_snapshot(
-                        inst.idx,
-                        inst.ckpt_index,
-                        &state,
-                        inst.last_manifest.as_ref(),
-                        policy,
-                    );
-                    inst.last_manifest = Some(plan.manifest.clone());
-                    (String::new(), Some(plan.manifest), plan.objects)
-                }
-                None => {
-                    let key = snapshot::state_key(inst.idx, inst.ckpt_index);
-                    (key.clone(), None, vec![(key, state)])
+            // Sized-only accounting: recovery provably never reads this
+            // state back (mode resolution requires a failure-free,
+            // non-incremental run), so charge the exact encoded length
+            // and upload a same-length zero placeholder instead of
+            // serializing operator state. Every modeled quantity —
+            // snapshot CPU, upload duration, `state_bytes`, store
+            // PUT/GC byte accounting — is identical to a full encode.
+            let (state_len, state_key, manifest, objects): (
+                usize,
+                String,
+                Option<checkmate_core::SnapshotManifest>,
+                Vec<(String, Bytes)>,
+            ) = if snap_sized {
+                let len = inst.snapshot_len();
+                let key = snapshot::state_key(inst.idx, inst.ckpt_index);
+                (len, key.clone(), None, vec![(key, zeros.slice(len))])
+            } else {
+                let state = inst.snapshot_bytes();
+                let state_len = state.len();
+                match &incremental {
+                    Some(policy) => {
+                        let plan = snapshot::plan_snapshot(
+                            inst.idx,
+                            inst.ckpt_index,
+                            &state,
+                            inst.last_manifest.as_ref(),
+                            policy,
+                        );
+                        inst.last_manifest = Some(plan.manifest.clone());
+                        let objects = plan
+                            .objects
+                            .into_iter()
+                            .map(|(k, v)| (k, Bytes::from(v)))
+                            .collect();
+                        (state_len, String::new(), Some(plan.manifest), objects)
+                    }
+                    None => {
+                        let key = snapshot::state_key(inst.idx, inst.ckpt_index);
+                        (
+                            state_len,
+                            key.clone(),
+                            None,
+                            vec![(key, Bytes::from(state))],
+                        )
+                    }
                 }
             };
             let meta = CheckpointMeta {
@@ -1266,7 +1352,7 @@ impl Engine {
         service
     }
 
-    fn finish_upload(&mut self, mut meta: CheckpointMeta, objects: Vec<(String, Vec<u8>)>) {
+    fn finish_upload(&mut self, mut meta: CheckpointMeta, objects: Vec<(String, Bytes)>) {
         meta.durable_at = self.now;
         for (key, bytes) in objects {
             self.store.put(key, bytes);
@@ -1632,11 +1718,25 @@ impl Engine {
                 if hi <= lo {
                     continue;
                 }
-                let entries: Vec<(u64, Record)> = self.chan_logs[ch.0 as usize]
-                    .range(lo, hi)
-                    .into_iter()
-                    .map(|e| (e.seq, e.record.clone()))
-                    .collect();
+                // The engine materializes channel logs whenever the run
+                // config injects a failure, so sized-only logs can only
+                // be met here through a host misconfiguration — surface
+                // it as a structured outcome instead of unwinding.
+                let entries: Vec<(u64, Record)> = match self.chan_logs[ch.0 as usize].range(lo, hi)
+                {
+                    Ok(entries) => entries
+                        .into_iter()
+                        .map(|e| (e.seq, e.record.clone()))
+                        .collect(),
+                    Err(err) => {
+                        self.halted = Some(Outcome::ReplayUnavailable {
+                            channel: ch.0,
+                            lo: err.lo,
+                            hi: err.hi,
+                        });
+                        return;
+                    }
+                };
                 for (seq, rec) in entries {
                     let msg = NetMsg::data(ch, seq, rec).replay();
                     self.ship(msg);
@@ -1813,7 +1913,7 @@ impl Engine {
         }
     }
 
-    fn finish(mut self, arena: &mut SimArena) -> RunReport {
+    fn finish(mut self, arena: &mut SimArena, workers_out: Option<&mut Vec<Worker>>) -> RunReport {
         let outcome = self.halted.clone().unwrap_or(Outcome::Completed);
         let warmup_sec = self.cfg.warmup / 1_000_000_000;
         let p50 = self.metrics.series.percentile_from(warmup_sec, 0.50);
@@ -1902,10 +2002,25 @@ impl Engine {
         // container emptied, every capacity kept.
         self.queue.clear();
         arena.queue = self.queue;
-        for w in &mut self.workers {
-            let mut q = std::mem::take(&mut w.queue);
-            q.clear();
-            arena.arrivals.push(q);
+        match workers_out {
+            // Session reuse: workers survive whole (operator instances,
+            // state maps, queue slabs); residual in-flight payloads —
+            // queued, stashed (a run cut off mid-alignment), or parked
+            // for determinant replay — are dropped now so no record
+            // memory lingers between runs.
+            Some(out) => {
+                for mut w in self.workers {
+                    w.clear_volatile();
+                    out.push(w);
+                }
+            }
+            None => {
+                for w in &mut self.workers {
+                    let mut q = std::mem::take(&mut w.queue);
+                    q.clear();
+                    arena.arrivals.push(q);
+                }
+            }
         }
         for mut v in self.pending_ship {
             v.clear();
@@ -1916,6 +2031,8 @@ impl Engine {
         arena.chan_floor = self.chan_floor;
         self.ctx.now = 0;
         arena.ctx = self.ctx;
+        arena.store = Some(self.store);
+        arena.zeros = self.zeros;
         report
     }
 }

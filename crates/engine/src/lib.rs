@@ -18,13 +18,15 @@ pub mod config;
 pub mod engine;
 pub mod msg;
 pub mod report;
+pub mod session;
 pub mod state;
 pub mod testkit;
 pub mod workload;
 
 pub use arena::SimArena;
-pub use config::{EngineConfig, FailureSpec};
+pub use config::{EngineConfig, FailureSpec, SnapshotMode};
 pub use engine::Engine;
 pub use msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 pub use report::{percentile_of, LatencySeries, Outcome, RunReport, SecondStats};
+pub use session::RunSession;
 pub use workload::{StreamSpec, Workload};

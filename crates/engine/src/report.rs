@@ -32,6 +32,19 @@ pub enum Outcome {
     },
     /// Event budget exhausted (indicates a configuration problem).
     EventBudgetExhausted,
+    /// Recovery needed to replay in-flight messages, but the channel
+    /// log only retained size accounting (`ChannelLog::sized_only`).
+    /// The engine auto-selects materialized logs whenever the run
+    /// config injects a failure, so this outcome indicates a host
+    /// misconfiguration — surfaced structurally instead of panicking
+    /// inside the log.
+    ReplayUnavailable {
+        /// Channel whose replay was requested.
+        channel: u32,
+        /// The requested replay range `(lo, hi]`.
+        lo: u64,
+        hi: u64,
+    },
 }
 
 /// Everything measured in one run.
@@ -191,6 +204,12 @@ impl RunReport {
             Outcome::EventBudgetExhausted => {
                 enc.u8(3);
             }
+            Outcome::ReplayUnavailable { channel, lo, hi } => {
+                enc.u8(4);
+                enc.u32(*channel);
+                enc.u64(*lo);
+                enc.u64(*hi);
+            }
         }
         enc.u64(self.end_time);
         enc.u64(self.latency_series.len() as u64);
@@ -255,6 +274,11 @@ impl RunReport {
                 at: dec.u64().ok()?,
             },
             3 => Outcome::EventBudgetExhausted,
+            4 => Outcome::ReplayUnavailable {
+                channel: dec.u32().ok()?,
+                lo: dec.u64().ok()?,
+                hi: dec.u64().ok()?,
+            },
             _ => return None,
         };
         let end_time = dec.u64().ok()?;

@@ -1,0 +1,209 @@
+//! Run sessions: probe runs reuse, not rebuild, their world.
+//!
+//! The MST-bisection methodology executes thousands of short runs per
+//! figure, and after PR 4's arena work the dominant per-probe setup and
+//! teardown left was the *world*: every run re-expanded the physical
+//! graph (on the non-shared paths), re-ran every operator factory into
+//! fresh `Box<dyn Operator>` instances, dropped every state map, and
+//! constructed a fresh `ObjectStore` + `MemBackend`. A [`RunSession`]
+//! owns all of that *between* runs:
+//!
+//! - the [`SimArena`] (event-queue slab, arrival-queue slabs, staging
+//!   buffers, the pooled checkpoint store, the sized-snapshot zero
+//!   buffer);
+//! - one expanded [`PhysicalGraph`], cached per `(workload,
+//!   parallelism)` — steady runs and examples stop paying the per-run
+//!   `expand`;
+//! - the worker set itself: operator boxes and their state maps stay
+//!   alive across runs and are [`Worker::reset_for_run`] in place
+//!   (protocol state is rebuilt per run, so one session serves all
+//!   four protocols of a sweep cell).
+//!
+//! Reuse is invisible to the simulation: a session-run is bit-identical
+//! to a fresh-build run (property-tested end-to-end, across protocols
+//! and failure injection, in `engine/tests/session_equivalence.rs`).
+//!
+//! Workload identity is checked by pointer equality of the logical
+//! graph's operator-factory `Arc`s. The session holds clones of the
+//! factories it built the pooled world from, which pins their
+//! allocations — so equal pointers can only mean the same factories
+//! (no address reuse while the clones live), and a rebuilt workload
+//! object simply misses the pool and rebuilds the world.
+
+use crate::arena::SimArena;
+use crate::config::EngineConfig;
+use crate::engine::Engine;
+use crate::report::RunReport;
+use crate::state::Worker;
+use crate::workload::Workload;
+use checkmate_dataflow::graph::OpFactory;
+use checkmate_dataflow::PhysicalGraph;
+use std::sync::Arc;
+
+/// The pooled world of the most recent run shape.
+struct World {
+    /// Factory handles cloned from the workload this world was built
+    /// for — the identity the next run is matched against (see module
+    /// docs for why pointer equality is sound here).
+    factories: Vec<OpFactory>,
+    pg: Arc<PhysicalGraph>,
+    /// Last run's workers (empty until a run completes). Reset in
+    /// place and handed to the next matching run.
+    workers: Vec<Worker>,
+}
+
+/// A reusable engine-run context. Construct once per thread (the bench
+/// harness keeps one per worker thread) and call [`RunSession::run`]
+/// for every probe; matching consecutive runs share one allocation
+/// footprint, one expanded graph, one operator set and one store.
+#[derive(Default)]
+pub struct RunSession {
+    arena: SimArena,
+    pooled: Option<World>,
+}
+
+impl RunSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The session's arena, for callers that drive [`Engine::new_in`]
+    /// themselves (mixing such runs with [`RunSession::run`] is fine —
+    /// they share the recycled footprint, not the pooled world).
+    pub fn arena(&mut self) -> &mut SimArena {
+        &mut self.arena
+    }
+
+    /// Execute one run to completion. Reuses the pooled world when
+    /// `workload`'s factories and `cfg.parallelism` match the previous
+    /// run's (any protocol); otherwise the world is rebuilt — so the
+    /// session is always correct and merely fastest when consecutive
+    /// runs share a shape, which is exactly the probe-loop pattern.
+    pub fn run(&mut self, workload: &Workload, cfg: EngineConfig) -> RunReport {
+        let matches = self.pooled.as_ref().is_some_and(|w| {
+            w.pg.parallelism() == cfg.parallelism && factories_match(&w.factories, workload)
+        });
+        if !matches {
+            let pg = Arc::new(workload.graph.expand(cfg.parallelism));
+            self.pooled = Some(World {
+                factories: workload
+                    .graph
+                    .ops()
+                    .iter()
+                    .map(|o| Arc::clone(&o.factory))
+                    .collect(),
+                pg,
+                workers: Vec::new(),
+            });
+        }
+        let world = self.pooled.as_mut().expect("pooled world just ensured");
+        let engine = if world.workers.len() == cfg.parallelism as usize {
+            for w in &mut world.workers {
+                w.reset_for_run(&world.pg, cfg.protocol);
+            }
+            let workers = std::mem::take(&mut world.workers);
+            Engine::new_with_workers(
+                workload,
+                cfg,
+                Arc::clone(&world.pg),
+                workers,
+                &mut self.arena,
+            )
+        } else {
+            // First run of this world (or a stale worker set after a
+            // rebuild): build workers from the factories once.
+            world.workers.clear();
+            Engine::new_shared(workload, cfg, Arc::clone(&world.pg), &mut self.arena)
+        };
+        engine.run_into_keeping(&mut self.arena, &mut world.workers)
+    }
+}
+
+fn factories_match(held: &[OpFactory], workload: &Workload) -> bool {
+    let ops = workload.graph.ops();
+    held.len() == ops.len()
+        && held
+            .iter()
+            .zip(ops)
+            .all(|(h, o)| Arc::ptr_eq(h, &o.factory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SnapshotMode;
+    use crate::testkit::{counting_pipeline, map_pipeline};
+    use checkmate_core::ProtocolKind;
+    use checkmate_sim::SECONDS;
+
+    fn cfg(protocol: ProtocolKind) -> EngineConfig {
+        EngineConfig {
+            parallelism: 2,
+            protocol,
+            total_rate: 800.0,
+            duration: 4 * SECONDS,
+            warmup: SECONDS,
+            checkpoint_interval: SECONDS,
+            input_limit: Some(300),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_run() {
+        let wl = counting_pipeline(2);
+        let fresh = format!(
+            "{:?}",
+            Engine::new(&wl, cfg(ProtocolKind::Uncoordinated)).run()
+        );
+        let mut session = RunSession::new();
+        for round in 0..3 {
+            let r = session.run(&wl, cfg(ProtocolKind::Uncoordinated));
+            assert_eq!(format!("{r:?}"), fresh, "round {round} diverged");
+        }
+    }
+
+    #[test]
+    fn session_survives_protocol_and_workload_switches() {
+        let count = counting_pipeline(2);
+        let map = map_pipeline(2);
+        let mut session = RunSession::new();
+        let expect_coor = format!(
+            "{:?}",
+            Engine::new(&count, cfg(ProtocolKind::Coordinated)).run()
+        );
+        let expect_map = format!("{:?}", Engine::new(&map, cfg(ProtocolKind::None)).run());
+        // Interleave shapes: each switch rebuilds, each repeat reuses.
+        for _ in 0..2 {
+            let a = session.run(&count, cfg(ProtocolKind::Coordinated));
+            assert_eq!(format!("{a:?}"), expect_coor);
+            let b = session.run(&map, cfg(ProtocolKind::None));
+            assert_eq!(format!("{b:?}"), expect_map);
+        }
+        // Same workload, different protocol: workers reused, protocol
+        // state rebuilt by the reset.
+        let unc = session.run(&count, cfg(ProtocolKind::Uncoordinated));
+        let expect_unc = format!(
+            "{:?}",
+            Engine::new(&count, cfg(ProtocolKind::Uncoordinated)).run()
+        );
+        assert_eq!(format!("{unc:?}"), expect_unc);
+    }
+
+    #[test]
+    fn sized_only_oracle_equivalence_smoke() {
+        let wl = counting_pipeline(2);
+        let full = EngineConfig {
+            snapshot_mode: SnapshotMode::Full,
+            ..cfg(ProtocolKind::Uncoordinated)
+        };
+        let sized = EngineConfig {
+            snapshot_mode: SnapshotMode::SizedOnly,
+            ..cfg(ProtocolKind::Uncoordinated)
+        };
+        let a = Engine::new(&wl, full).run();
+        let mut session = RunSession::new();
+        let b = session.run(&wl, sized);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -77,6 +77,64 @@ impl LocalInstance {
         enc.finish()
     }
 
+    /// Exact byte length of [`Self::snapshot_bytes`]'s output, computed
+    /// without encoding: the operator's exact `snapshot_len` behind its
+    /// 4-byte length prefix, the channel book, the flagged CIC state and
+    /// the flagged source cursor. Sized-only snapshot accounting prices
+    /// checkpoints from this on failure-free runs; equality with the
+    /// encoder is asserted in tests and (end-to-end, bit-for-bit)
+    /// against the full-encode oracle in `session_equivalence.rs`.
+    pub fn snapshot_len(&self) -> usize {
+        4 + self.op.snapshot_len()
+            + self.book.encoded_len()
+            + 1
+            + self.cic.as_ref().map_or(0, |c| c.encoded_len())
+            + 1
+            + if self.cursor.is_some() { 8 } else { 0 }
+    }
+
+    /// Return the instance to the state [`build_worker_instances`]
+    /// creates, reusing the boxed operator (and whatever allocations its
+    /// `Operator::reset` keeps) instead of rebuilding it from the
+    /// factory. Run sessions call this between runs.
+    pub fn reset(&mut self, pg: &PhysicalGraph, protocol: ProtocolKind) {
+        self.op.reset();
+        self.book.reset();
+        let is_source = self.is_source();
+        // Protocol state resets in place when last run's value has the
+        // right shape (same pg + idx ⇒ same in-channels / same (me, n)),
+        // and is rebuilt only across protocol switches — probe loops
+        // then stop re-allocating the per-instance vectors each run.
+        if protocol == ProtocolKind::Coordinated && !is_source {
+            match self.aligner.as_mut() {
+                Some(a) => a.reset(),
+                None => self.aligner = Some(CoorAligner::new(pg.in_channels_of(self.idx).to_vec())),
+            }
+        } else {
+            self.aligner = None;
+        }
+        match protocol {
+            ProtocolKind::CommunicationInduced => {
+                let (me, n) = (self.idx.0 as usize, pg.n_instances());
+                if !self.cic.as_mut().is_some_and(|c| c.reset_hmnr(me, n)) {
+                    self.cic = Some(CicState::hmnr(me, n));
+                }
+            }
+            ProtocolKind::CommunicationInducedBcs => {
+                if !self.cic.as_mut().is_some_and(|c| c.reset_bcs()) {
+                    self.cic = Some(CicState::bcs());
+                }
+            }
+            _ => self.cic = None,
+        }
+        self.ckpt_index = 0;
+        self.cursor = is_source.then(SourceCursor::default);
+        self.scheduled_timers.clear();
+        self.det_replay.clear();
+        self.det_parked.clear();
+        self.last_manifest = None;
+    }
+
     /// Restore from [`Self::snapshot_bytes`] output.
     pub fn restore_from(&mut self, bytes: &[u8]) {
         let mut dec = Dec::new(bytes);
@@ -289,6 +347,33 @@ impl Worker {
         }
     }
 
+    /// Return the worker to its birth state for a new run, keeping the
+    /// arrival-queue slabs and every operator instance (reset in place)
+    /// alive. After this the worker is indistinguishable from one built
+    /// by a fresh [`build_worker_instances`] + `Engine` construction —
+    /// the protocol may differ from the previous run's (aligner/CIC
+    /// state is rebuilt from `protocol`), only the physical graph and
+    /// parallelism must match.
+    pub fn reset_for_run(&mut self, pg: &PhysicalGraph, protocol: ProtocolKind) {
+        self.down = false;
+        self.paused = false;
+        self.incarnation = 0;
+        self.running = false;
+        self.busy_until = 0;
+        self.queue.clear();
+        self.stash.clear();
+        self.blocked.clear();
+        self.pending_triggers.clear();
+        self.pending_ckpts.clear();
+        self.due_timers.clear();
+        self.src_rr = 0;
+        self.prefer_source = false;
+        self.wake_at = None;
+        for inst in &mut self.instances {
+            inst.reset(pg, protocol);
+        }
+    }
+
     /// Move stashed messages of `ch` back into the queue (alignment
     /// unblock); original keys restore original processing order.
     pub fn unstash(&mut self, ch: ChannelIdx) {
@@ -463,6 +548,82 @@ mod tests {
         let insts = build_worker_instances(&pg, 0, ProtocolKind::CommunicationInduced);
         assert!(insts[2].cic.is_some());
         assert!(insts[2].aligner.is_none());
+    }
+
+    #[test]
+    fn snapshot_len_is_exact_across_protocols_and_state() {
+        let pg = graph();
+        for protocol in [
+            ProtocolKind::None,
+            ProtocolKind::Coordinated,
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::CommunicationInduced,
+            ProtocolKind::CommunicationInducedBcs,
+        ] {
+            let mut insts = build_worker_instances(&pg, 0, protocol);
+            for inst in &mut insts {
+                assert_eq!(
+                    inst.snapshot_len(),
+                    inst.snapshot_bytes().len(),
+                    "fresh instance {:?} under {protocol}",
+                    inst.idx
+                );
+            }
+            // Drive some state into the counter and the books.
+            let mut ctx = checkmate_dataflow::OpCtx::new(0);
+            for k in 0..50 {
+                insts[1]
+                    .op
+                    .on_record(PortId(0), Record::new(k, Value::str("abcdef"), 0), &mut ctx);
+            }
+            insts[1].book.next_send(ChannelIdx(2));
+            insts[1].book.deliver(ChannelIdx(0), 1);
+            if let Some(c) = insts[1].cic.as_mut() {
+                c.on_send(1);
+            }
+            insts[0].cursor.as_mut().unwrap().seek(99);
+            for inst in &insts {
+                assert_eq!(
+                    inst.snapshot_len(),
+                    inst.snapshot_bytes().len(),
+                    "stateful instance {:?} under {protocol}",
+                    inst.idx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_instance_matches_fresh_build() {
+        let pg = graph();
+        for protocol in [
+            ProtocolKind::Coordinated,
+            ProtocolKind::CommunicationInduced,
+            ProtocolKind::None,
+        ] {
+            let fresh = build_worker_instances(&pg, 1, protocol);
+            // Dirty a freshly built set, then reset it back.
+            let mut used = build_worker_instances(&pg, 1, ProtocolKind::Uncoordinated);
+            let mut ctx = checkmate_dataflow::OpCtx::new(0);
+            used[1]
+                .op
+                .on_record(PortId(0), Record::new(7, Value::Unit, 0), &mut ctx);
+            used[1].book.next_send(ChannelIdx(0));
+            used[1].ckpt_index = 5;
+            used[0].cursor.as_mut().unwrap().seek(42);
+            used[1].scheduled_timers.insert(123);
+            for inst in &mut used {
+                inst.reset(&pg, protocol);
+            }
+            for (f, u) in fresh.iter().zip(&used) {
+                assert_eq!(f.snapshot_bytes(), u.snapshot_bytes(), "under {protocol}");
+                assert_eq!(f.ckpt_index, u.ckpt_index);
+                assert_eq!(f.aligner.is_some(), u.aligner.is_some());
+                assert_eq!(f.cic.is_some(), u.cic.is_some());
+                assert!(u.scheduled_timers.is_empty());
+                assert!(u.last_manifest.is_none());
+            }
+        }
     }
 
     #[test]

@@ -87,6 +87,12 @@ impl Operator for SkewedFanoutOp {
         0
     }
 
+    fn reset(&mut self) {}
+
+    fn snapshot_len(&self) -> usize {
+        0
+    }
+
     fn is_stateless(&self) -> bool {
         true
     }

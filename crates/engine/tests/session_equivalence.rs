@@ -1,0 +1,115 @@
+//! Run-session reuse and sized-only snapshot accounting are host-side
+//! optimizations with no modeled effect: a run executed through a
+//! *warm* `RunSession` (recycled workers, operator state maps, pooled
+//! store, cached graph) with `SnapshotMode::Auto`/`SizedOnly` must be
+//! *bit-identical* — same digests, same latency series, same
+//! `state_bytes` and store traffic/footprint, same recovery instants —
+//! to a fresh-build run on the materializing `SnapshotMode::Full`
+//! oracle. Exercised across all four protocols, with and without
+//! failure injection (failure runs demote sized-only to full encoding,
+//! which must itself be invisible).
+
+use checkmate_core::ProtocolKind;
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec, SnapshotMode};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::RunReport;
+use checkmate_engine::session::RunSession;
+use checkmate_engine::testkit::{counting_pipeline, skewed_fanout_pipeline};
+use checkmate_sim::{MILLIS, SECONDS};
+use proptest::prelude::*;
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+    ProtocolKind::CommunicationInducedBcs,
+];
+
+fn cfg(protocol: ProtocolKind, seed: u64, failure: Option<FailureSpec>) -> EngineConfig {
+    EngineConfig {
+        parallelism: 3,
+        protocol,
+        total_rate: 1_500.0,
+        checkpoint_interval: SECONDS,
+        duration: 120 * SECONDS,
+        warmup: SECONDS,
+        input_limit: Some(800),
+        seed,
+        failure,
+        ..EngineConfig::default()
+    }
+}
+
+fn fingerprint(r: &RunReport) -> String {
+    format!("{r:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reused-session + sized-only runs equal fresh-build + full-encode
+    /// oracle runs, for every protocol, with and without failure.
+    /// Three session runs in a row (after warming the session on a
+    /// *different* shape) all match, so reuse is idempotent.
+    #[test]
+    fn warm_session_sized_only_equals_fresh_full_encode(
+        proto_i in 0usize..4,
+        fail in any::<bool>(),
+        at_ms in 200u64..2_500,
+        victim in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let failure = fail.then_some(FailureSpec { at: at_ms * MILLIS, worker: WorkerId(victim) });
+        let wl = counting_pipeline(3);
+        // Oracle: fresh build, forced full snapshot encoding.
+        let oracle = EngineConfig {
+            snapshot_mode: SnapshotMode::Full,
+            ..cfg(protocol, seed, failure)
+        };
+        let expect = fingerprint(&Engine::new(&wl, oracle).run());
+        // Candidate: one session, warmed on a different workload shape
+        // and a different protocol, then reused for three identical
+        // runs under sized-only accounting.
+        let mut session = RunSession::new();
+        let warm = cfg(PROTOCOLS[(proto_i + 1) % 4], seed ^ 1, None);
+        session.run(&skewed_fanout_pipeline(3), warm);
+        for round in 0..3 {
+            let candidate = EngineConfig {
+                snapshot_mode: SnapshotMode::SizedOnly,
+                ..cfg(protocol, seed, failure)
+            };
+            let got = fingerprint(&session.run(&wl, candidate));
+            prop_assert_eq!(
+                &got, &expect,
+                "round {} diverged ({} failure at {}ms on w{})",
+                round, protocol, at_ms, victim
+            );
+        }
+    }
+
+    /// Protocol switches inside one session (the sweep-cell pattern:
+    /// same workload, all four protocols in turn) keep every run equal
+    /// to its fresh-build oracle — worker reset rebuilds protocol state
+    /// correctly in place.
+    #[test]
+    fn session_protocol_sweep_matches_oracles(
+        fail in any::<bool>(),
+        at_ms in 200u64..2_500,
+        seed in any::<u64>(),
+    ) {
+        let failure = fail.then_some(FailureSpec { at: at_ms * MILLIS, worker: WorkerId(1) });
+        let wl = counting_pipeline(3);
+        let mut session = RunSession::new();
+        for protocol in PROTOCOLS {
+            let oracle = EngineConfig {
+                snapshot_mode: SnapshotMode::Full,
+                ..cfg(protocol, seed, failure)
+            };
+            let expect = fingerprint(&Engine::new(&wl, oracle).run());
+            let got = fingerprint(&session.run(&wl, cfg(protocol, seed, failure)));
+            prop_assert_eq!(&got, &expect, "{} diverged mid-sweep", protocol);
+        }
+    }
+}

@@ -40,11 +40,15 @@ pub fn find_max_sustainable(search: MstSearch, mut probe: impl FnMut(f64) -> boo
     find_max_sustainable_ctx(search, &mut (), |rate, ()| probe(rate))
 }
 
-/// [`find_max_sustainable`] threading a caller-owned context (an engine
-/// arena, a scratch allocator, a counter) through every probe. The probe
-/// loop is the hottest consumer of engine runs — at paper scale one
-/// figure is thousands of probes — so the context lets every probe of a
-/// bisection reuse one allocation footprint.
+/// [`find_max_sustainable`] threading a caller-owned context (a run
+/// session, an engine arena, a scratch allocator, a counter) through
+/// every probe. The probe loop is the hottest consumer of engine runs —
+/// at paper scale one figure is thousands of probes — so the context
+/// lets every probe of a bisection reuse one world: the bench harness
+/// passes a `checkmate-engine` `RunSession`, which keeps the expanded
+/// graph, the operator instances and their state maps, the pooled
+/// store, and the allocation footprint alive across the whole
+/// bisection.
 pub fn find_max_sustainable_ctx<C>(
     search: MstSearch,
     ctx: &mut C,
@@ -81,8 +85,9 @@ pub fn find_max_sustainable_ctx<C>(
 
 /// [`find_max_sustainable_ctx`] with the two *bound* probes overlapped:
 /// `hi` and `lo` are independent runs, so they execute on two scoped
-/// threads (each with its own context) before the inherently sequential
-/// bisection begins — one probe latency saved per MST cell. The result
+/// threads (each with its own context — its own run session, in the
+/// harness) before the inherently sequential bisection begins — one
+/// probe latency saved per MST cell. The result
 /// is identical to the sequential search: the bisection sees the same
 /// bound outcomes and charges the same two probes against `max_probes`.
 /// (When `hi` turns out sustainable the sequential search skips the `lo`

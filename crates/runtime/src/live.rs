@@ -1125,6 +1125,7 @@ fn recover(
             let items: Vec<(Record, Option<CicPiggyback>)> = shared.logs[c.idx.0 as usize]
                 .lock()
                 .range(lo, hi)
+                .expect("live runtime always materializes its channel logs")
                 .into_iter()
                 .map(|e| (e.record.clone(), piggyback.clone()))
                 .collect();

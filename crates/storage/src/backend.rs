@@ -57,17 +57,38 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     fn total_bytes(&self) -> u64;
     /// The backend's declared latency/bandwidth profile.
     fn profile(&self) -> StorageProfile;
+
+    /// Empty the backend for a fresh run, adopting `profile`, while
+    /// pooling reusable allocations. Returns `false` (the default) when
+    /// the backend cannot be recycled in place — durable backends keep
+    /// their contents and perturbed backends their fault state; callers
+    /// then construct a fresh store instead.
+    fn reset(&self, _profile: StorageProfile) -> bool {
+        false
+    }
 }
 
 /// The in-memory backend: an ordered blob map behind one mutex. Contents
 /// survive *worker* failures by construction (the store models a
 /// separate storage service) but not process restarts — use
 /// [`crate::file::FileBackend`] for that.
+///
+/// Supports in-place [`StorageBackend::reset`]: the object map empties
+/// but its key `String` allocations return to a bounded pool that the
+/// next run's PUTs draw from, so a probe loop reusing one backend
+/// across thousands of short runs stops allocating checkpoint keys.
 #[derive(Debug)]
 pub struct MemBackend {
     objects: Mutex<BTreeMap<ObjectKey, Bytes>>,
-    profile: StorageProfile,
+    /// Recycled key strings from previous runs (see [`Self::reset`]).
+    key_pool: Mutex<Vec<String>>,
+    profile: Mutex<StorageProfile>,
 }
+
+/// Keys retained by the pool across resets; checkpoint key sets per run
+/// are far smaller (instances × retention), so this never truncates a
+/// realistic run's worth while bounding pathological ones.
+const KEY_POOL_CAP: usize = 4096;
 
 impl MemBackend {
     pub fn new() -> Self {
@@ -79,7 +100,21 @@ impl MemBackend {
     pub fn with_profile(profile: StorageProfile) -> Self {
         Self {
             objects: Mutex::new(BTreeMap::new()),
-            profile,
+            key_pool: Mutex::new(Vec::new()),
+            profile: Mutex::new(profile),
+        }
+    }
+
+    /// An owned key equal to `key`, reusing a pooled allocation when one
+    /// is available.
+    fn owned_key(&self, key: &str) -> String {
+        match self.key_pool.lock().pop() {
+            Some(mut s) => {
+                s.clear();
+                s.push_str(key);
+                s
+            }
+            None => key.to_string(),
         }
     }
 }
@@ -100,7 +135,16 @@ pub(crate) fn scan_prefix(map: &BTreeMap<ObjectKey, Bytes>, prefix: &str) -> Vec
 
 impl StorageBackend for MemBackend {
     fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
-        self.objects.lock().insert(key.to_string(), bytes);
+        let mut map = self.objects.lock();
+        // Overwrites keep the resident key; only fresh keys draw from
+        // the pool (or allocate).
+        match map.get_mut(key) {
+            Some(slot) => *slot = bytes,
+            None => {
+                let owned = self.owned_key(key);
+                map.insert(owned, bytes);
+            }
+        }
         Ok(())
     }
 
@@ -145,7 +189,20 @@ impl StorageBackend for MemBackend {
     }
 
     fn profile(&self) -> StorageProfile {
-        self.profile
+        *self.profile.lock()
+    }
+
+    fn reset(&self, profile: StorageProfile) -> bool {
+        let drained = std::mem::take(&mut *self.objects.lock());
+        let mut pool = self.key_pool.lock();
+        for key in drained.into_keys() {
+            if pool.len() >= KEY_POOL_CAP {
+                break;
+            }
+            pool.push(key);
+        }
+        *self.profile.lock() = profile;
+        true
     }
 }
 
@@ -162,6 +219,29 @@ mod tests {
         assert_eq!(b.delete("k"), Some(3));
         assert_eq!(b.delete("k"), None);
         assert!(b.get("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn mem_backend_reset_empties_and_pools_keys() {
+        let b = MemBackend::new();
+        b.put("ckpt/0/1", Bytes::from(vec![1u8; 8])).unwrap();
+        b.put("ckpt/0/2", Bytes::from(vec![2u8; 8])).unwrap();
+        let fast = StorageProfile::ram();
+        assert!(b.reset(fast));
+        assert_eq!(b.object_count(), 0);
+        assert_eq!(b.total_bytes(), 0);
+        assert!(b.get("ckpt/0/1").unwrap().is_none());
+        assert_eq!(b.profile().name, fast.name);
+        // The next run's puts reuse the pooled key strings and behave
+        // exactly like a fresh backend.
+        assert_eq!(b.key_pool.lock().len(), 2);
+        b.put("ckpt/0/1", Bytes::from(vec![9u8; 4])).unwrap();
+        assert_eq!(b.get("ckpt/0/1").unwrap().unwrap().len(), 4);
+        assert_eq!(b.key_pool.lock().len(), 1);
+        // Overwrites keep the resident key (no pool draw).
+        b.put("ckpt/0/1", Bytes::from(vec![7u8; 2])).unwrap();
+        assert_eq!(b.get("ckpt/0/1").unwrap().unwrap().len(), 2);
+        assert_eq!(b.key_pool.lock().len(), 1);
     }
 
     #[test]

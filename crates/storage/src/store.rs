@@ -191,6 +191,21 @@ impl ObjectStore {
     pub fn stats(&self) -> StoreStats {
         *self.stats.lock()
     }
+
+    /// Recycle this store for a fresh run: empty the backend in place
+    /// (pooling its allocations), adopt `profile`, and zero the traffic
+    /// stats. Returns `false` — leaving the store untouched — when the
+    /// backend does not support in-place reset (durable or perturbed
+    /// backends); the caller then constructs a fresh store. After a
+    /// successful reset the handle is observationally identical to a
+    /// newly constructed in-memory store with that profile.
+    pub fn reset(&self, profile: StorageProfile) -> bool {
+        if !self.backend.reset(profile) {
+            return false;
+        }
+        *self.stats.lock() = StoreStats::default();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +276,28 @@ mod tests {
         assert_eq!(st.bytes_deleted, 100);
         assert_eq!(st.net_bytes(), 0);
         assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_recycles_in_memory_stores_only() {
+        let s = ObjectStore::new();
+        s.put("k", vec![1u8; 32]);
+        s.get("k");
+        assert!(s.reset(StorageProfile::ram()));
+        assert_eq!(s.stats(), StoreStats::default());
+        assert_eq!(s.object_count(), 0);
+        assert!(s.get("k").is_none());
+        assert_eq!(s.profile().name, StorageProfile::ram().name);
+        // A perturbed backend refuses (fault state is not recyclable);
+        // store contents and stats stay untouched.
+        let p = ObjectStore::with_backend(Arc::new(PerturbedBackend::new(
+            Arc::new(MemBackend::new()),
+            Perturbation::default(),
+        )));
+        p.put("k", vec![2u8; 8]);
+        assert!(!p.reset(StorageProfile::ram()));
+        assert!(p.get("k").is_some());
+        assert_eq!(p.stats().puts, 1);
     }
 
     #[test]

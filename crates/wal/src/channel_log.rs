@@ -15,6 +15,35 @@
 use checkmate_dataflow::Record;
 use std::collections::VecDeque;
 
+/// Replay was requested from a log that only retained size accounting.
+///
+/// Sized-only logs are reserved for runs that provably never recover
+/// (no failure injected); hosts auto-select materialized logs whenever
+/// the run config schedules a failure, so hitting this in production is
+/// a host bug — but it surfaces as a structured error the recovery path
+/// can report (`Outcome::ReplayUnavailable`) instead of a panic deep in
+/// the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayUnavailable {
+    /// The requested replay range `(lo, hi]`.
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl std::fmt::Display for ReplayUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay range ({}, {}] requested from a sized-only channel log \
+             (payloads were never materialized; sized-only is reserved for \
+             runs that never recover)",
+            self.lo, self.hi
+        )
+    }
+}
+
+impl std::error::Error for ReplayUnavailable {}
+
 /// One logged in-flight message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEntry {
@@ -37,7 +66,8 @@ pub struct LogEntry {
 ///   so the host needn't materialize them; every *modeled* quantity —
 ///   append costs, retained bytes, truncation — is identical, because
 ///   it derives from sizes, not payloads. Replay (`range`) from a
-///   sized-only log panics loudly.
+///   sized-only log returns a structured [`ReplayUnavailable`] error
+///   that hosts surface through their recovery reporting.
 #[derive(Debug)]
 pub struct ChannelLog {
     entries: VecDeque<LogEntry>,
@@ -146,17 +176,18 @@ impl ChannelLog {
         self.first_seq + self.len() as u64 - 1
     }
 
-    /// Entries with `lo < seq ≤ hi`, in order. Panics if part of the range
-    /// was already truncated — recovery must never need GC'd messages.
-    pub fn range(&self, lo: u64, hi: u64) -> Vec<&LogEntry> {
+    /// Entries with `lo < seq ≤ hi`, in order. Returns
+    /// [`ReplayUnavailable`] when the log is sized-only (payloads were
+    /// never kept); panics if part of the range was already truncated —
+    /// that would mean GC reclaimed messages a recovery line still
+    /// needed, which is a soundness bug, not a mode mismatch.
+    pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<&LogEntry>, ReplayUnavailable> {
         if hi <= lo {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        assert!(
-            self.materialized,
-            "replay range ({lo}, {hi}] from a sized-only log — \
-             sized-only is reserved for runs that never recover"
-        );
+        if !self.materialized {
+            return Err(ReplayUnavailable { lo, hi });
+        }
         assert!(
             lo + 1 >= self.first_seq,
             "replay range ({lo}, {hi}] reaches below retained seq {}",
@@ -164,11 +195,12 @@ impl ChannelLog {
         );
         let start = (lo + 1 - self.first_seq) as usize;
         let end = ((hi + 1).saturating_sub(self.first_seq) as usize).min(self.entries.len());
-        self.entries
+        Ok(self
+            .entries
             .iter()
             .skip(start)
             .take(end.saturating_sub(start))
-            .collect()
+            .collect())
     }
 
     /// Drop entries with `seq < below`. Called when checkpoint retention
@@ -212,7 +244,12 @@ impl ChannelLog {
     /// Works in both modes (sizes are always retained).
     pub fn range_bytes(&self, lo: u64, hi: u64) -> usize {
         if self.materialized {
-            return self.range(lo, hi).iter().map(|e| e.bytes).sum();
+            return self
+                .range(lo, hi)
+                .expect("materialized log supports range")
+                .iter()
+                .map(|e| e.bytes)
+                .sum();
         }
         if hi <= lo {
             return 0;
@@ -261,25 +298,25 @@ mod tests {
     fn empty_log_last_seq_zero() {
         let l = ChannelLog::new();
         assert_eq!(l.last_seq(), 0);
-        assert!(l.range(0, 10).is_empty());
+        assert!(l.range(0, 10).unwrap().is_empty());
     }
 
     #[test]
     fn range_is_exclusive_inclusive() {
         let l = filled(10);
-        let r = l.range(3, 7);
+        let r = l.range(3, 7).unwrap();
         assert_eq!(
             r.iter().map(|e| e.seq).collect::<Vec<_>>(),
             vec![4, 5, 6, 7]
         );
-        assert!(l.range(7, 7).is_empty());
-        assert!(l.range(9, 3).is_empty());
+        assert!(l.range(7, 7).unwrap().is_empty());
+        assert!(l.range(9, 3).unwrap().is_empty());
     }
 
     #[test]
     fn range_clamps_hi_to_logged() {
         let l = filled(5);
-        let r = l.range(3, 100);
+        let r = l.range(3, 100).unwrap();
         assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
     }
 
@@ -288,7 +325,7 @@ mod tests {
         let mut l = filled(5);
         l.append(3, rec(999)); // regeneration after rollback
         assert_eq!(l.retained_len(), 5);
-        assert_eq!(l.range(2, 3)[0].record.key, 3); // original kept
+        assert_eq!(l.range(2, 3).unwrap()[0].record.key, 3); // original kept
         l.append(6, rec(6));
         assert_eq!(l.last_seq(), 6);
     }
@@ -307,7 +344,7 @@ mod tests {
         l.truncate_below(5);
         assert_eq!(l.retained_len(), 6); // seqs 5..=10
         assert!(l.retained_bytes() < total);
-        let r = l.range(4, 6);
+        let r = l.range(4, 6).unwrap();
         assert_eq!(r.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 6]);
     }
 
@@ -316,7 +353,7 @@ mod tests {
     fn range_below_truncation_panics() {
         let mut l = filled(10);
         l.truncate_below(5);
-        l.range(2, 7);
+        let _ = l.range(2, 7);
     }
 
     #[test]
@@ -354,11 +391,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sized-only")]
-    fn replay_from_sized_only_log_panics() {
+    fn replay_from_sized_only_log_is_structured_error() {
         let mut l = ChannelLog::sized_only();
         l.append_size_only(1, 16);
-        l.range(0, 1);
+        let err = l.range(0, 1).unwrap_err();
+        assert_eq!(err, ReplayUnavailable { lo: 0, hi: 1 });
+        assert!(err.to_string().contains("sized-only"));
+        // An empty range needs no payloads and succeeds in either mode.
+        assert!(l.range(1, 1).unwrap().is_empty());
     }
 
     #[test]
@@ -366,7 +406,7 @@ mod tests {
         let l = filled(3);
         assert_eq!(
             l.range_bytes(0, 3),
-            l.range(0, 3).iter().map(|e| e.bytes).sum()
+            l.range(0, 3).unwrap().iter().map(|e| e.bytes).sum()
         );
         assert!(l.range_bytes(0, 3) > 0);
     }

@@ -17,6 +17,6 @@ pub mod channel_log;
 pub mod determinant;
 pub mod source;
 
-pub use channel_log::{ChannelLog, LogEntry};
+pub use channel_log::{ChannelLog, LogEntry, ReplayUnavailable};
 pub use determinant::{DeterminantLog, DET_ENTRY_BYTES};
 pub use source::{EventStream, Schedule, SourceCursor, SourceEntry, SourceLog};

@@ -106,7 +106,7 @@ proptest! {
                         let lo = floor - 1 + x % (next_seq - floor + 1);
                         let hi = next_seq - 1;
                         let got: Vec<u64> =
-                            log.range(lo, hi).iter().map(|e| e.seq).collect();
+                            log.range(lo, hi).unwrap().iter().map(|e| e.seq).collect();
                         let want: Vec<u64> =
                             model.iter().copied().filter(|&s| s > lo && s <= hi).collect();
                         prop_assert_eq!(got, want);

@@ -2,14 +2,21 @@
 //!
 //! [`Bytes`] is an immutable byte buffer whose clones share one
 //! allocation — the property the object store relies on so that
-//! `get()` does not copy checkpoint payloads.
+//! `get()` does not copy checkpoint payloads. Like the real crate,
+//! [`Bytes::slice`] produces a zero-copy view into the same allocation
+//! (sized-only checkpoint placeholders are slices of one shared zero
+//! buffer).
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     pub fn new() -> Self {
@@ -17,19 +24,49 @@ impl Bytes {
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self(Arc::from(data))
+        Self::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(buf: Arc<[u8]>) -> Self {
+        let end = buf.len();
+        Self { buf, start: 0, end }
     }
 
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A view of `range` (indices relative to this view) sharing the
+    /// same allocation — no bytes are copied.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds for {} bytes",
+            self.len()
+        );
+        Self {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            end: self.start + end,
+        }
     }
 }
 
@@ -37,19 +74,48 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+// Equality/ordering/hashing follow the visible byte content (two
+// equal-content views of different allocations are equal), matching
+// the real crate.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self(Arc::from(v))
+        Self::from_arc(Arc::from(v))
     }
 }
 
@@ -88,5 +154,33 @@ mod tests {
         assert_eq!(&a[..], &b[..]);
         assert_eq!(a.len(), 3);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = a.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        // Nested slicing is relative to the view.
+        let t = s.slice(1..);
+        assert_eq!(&t[..], &[2, 3]);
+        assert_eq!(a.slice(..0).len(), 0);
+        assert_eq!(a.slice(..), a);
+    }
+
+    #[test]
+    fn equality_follows_content_not_allocation() {
+        let a = Bytes::from(vec![7, 8]);
+        let b = Bytes::from(vec![0, 7, 8]).slice(1..);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        let a = Bytes::from(vec![1]);
+        let _ = a.slice(0..2);
     }
 }
