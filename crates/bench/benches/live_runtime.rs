@@ -1,0 +1,39 @@
+//! Criterion bench for the live (threaded, wall-clock) runtime.
+//!
+//! Times a complete NEXMark Q1 run on the sharded worker engine —
+//! thread spawn, flood-schedule source polling, batched wire delivery,
+//! determinant logging (UNC), and quiescence detection — so data-plane
+//! regressions in the runtime crate show up in bench history alongside
+//! the virtual-time cells. The run is short (10k records/partition) to
+//! keep the sample budget honest; `live_bench` is the throughput-grade
+//! harness.
+
+use checkmate_core::ProtocolKind;
+use checkmate_nexmark::{run_query_live, Query};
+use checkmate_runtime::LiveConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = LiveConfig {
+        parallelism: 2,
+        protocol: ProtocolKind::Uncoordinated,
+        records_per_partition: 10_000,
+        checkpoint_interval: Duration::from_millis(500),
+        timeout: Duration::from_secs(60),
+        ..LiveConfig::default()
+    };
+    let mut group = c.benchmark_group("live_runtime");
+    group.sample_size(10);
+    group.bench_function("q1_unc_p2_flood", |b| {
+        b.iter(|| {
+            let r = run_query_live(Query::Q1, 7, None, 1e9, cfg.clone());
+            assert_eq!(r.sink_records, 20_000);
+            r.events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

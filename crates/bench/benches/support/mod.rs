@@ -1,0 +1,56 @@
+//! Shared scaffolding for the per-figure Criterion wrappers.
+//!
+//! Every wrapper does the same dance: regenerate its experiment at
+//! quick scale (printing the rows), then time one representative engine
+//! run so regressions in the simulator or protocol hot paths show up in
+//! bench history. The timed closure goes through
+//! [`Harness::run_at_rate_uncached`], which routes each run through the
+//! calling thread's persistent `RunSession` — the same recycled session
+//! the MST probe loop uses — so the regression numbers track the real
+//! probe path (cached graph expansion, pooled store, reset-in-place
+//! operators) rather than per-iteration world construction. One
+//! warm-up run before sampling keeps the first sample off the
+//! session's cold path.
+
+use checkmate_bench::{Harness, Scale, Wl};
+use checkmate_core::ProtocolKind;
+use checkmate_nexmark::Skew;
+use criterion::Criterion;
+
+/// The representative engine run a wrapper times.
+pub struct Rep {
+    pub wl: Wl,
+    pub protocol: ProtocolKind,
+    pub parallelism: u32,
+    pub total_rate: f64,
+    pub fail: bool,
+    pub skew: Option<Skew>,
+}
+
+/// Regenerate an experiment (printing its rendered rows) and time its
+/// representative run, session-warm, under `group`.
+pub fn regen_and_time(
+    c: &mut Criterion,
+    group: &str,
+    regen: impl FnOnce(&Harness) -> String,
+    rep: Rep,
+) {
+    let h = Harness::new(Scale::quick());
+    println!("{}", regen(&h));
+    let run = |h: &Harness| {
+        h.run_at_rate_uncached(
+            rep.wl,
+            rep.protocol,
+            rep.parallelism,
+            rep.total_rate,
+            rep.fail,
+            rep.skew,
+        )
+        .sink_records
+    };
+    assert!(run(&h) > 0, "representative run produced no output");
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("representative_run", |b| b.iter(|| run(&h)));
+    g.finish();
+}

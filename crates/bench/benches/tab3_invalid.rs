@@ -1,33 +1,34 @@
 //! Criterion bench for Table III (invalid checkpoints).
 //!
-//! Setup regenerates the experiment at quick scale and prints its rows;
-//! the timed section measures a representative engine run so regressions
-//! in the simulator or protocol hot paths show up in bench history.
+//! Regenerates the experiment at quick scale (printing its rows) and
+//! times a representative engine run through the shared session-backed
+//! scaffold in `support` (persistent `RunSession`, warm probe path).
 
-use checkmate_bench::{experiments as exp, Harness, Scale};
+mod support;
+
+use checkmate_bench::{experiments as exp, Wl};
+use checkmate_core::ProtocolKind;
+use checkmate_nexmark::Query;
 use criterion::{criterion_group, criterion_main, Criterion};
+use support::Rep;
 
 fn bench(c: &mut Criterion) {
-    let h = Harness::new(Scale::quick());
-    let e = exp::tab3::run(&h);
-    println!("{}", exp::tab3::render(&e));
-
-    let mut group = c.benchmark_group("tab3");
-    group.sample_size(10);
-    group.bench_function("representative_run", |b| {
-        b.iter(|| {
-            h.run_at_rate_uncached(
-                checkmate_bench::Wl::Nexmark(checkmate_nexmark::Query::Q3),
-                checkmate_core::ProtocolKind::Uncoordinated,
-                4,
-                2_000.0,
-                true,
-                None,
-            )
-            .sink_records
-        })
-    });
-    group.finish();
+    support::regen_and_time(
+        c,
+        "tab3",
+        |h| {
+            let e = exp::tab3::run(h);
+            exp::tab3::render(&e)
+        },
+        Rep {
+            wl: Wl::Nexmark(Query::Q3),
+            protocol: ProtocolKind::Uncoordinated,
+            parallelism: 4,
+            total_rate: 2_000.0,
+            fail: true,
+            skew: None,
+        },
+    );
 }
 
 criterion_group!(benches, bench);

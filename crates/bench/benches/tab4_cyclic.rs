@@ -1,33 +1,33 @@
 //! Criterion bench for Table IV (cyclic query).
 //!
-//! Setup regenerates the experiment at quick scale and prints its rows;
-//! the timed section measures a representative engine run so regressions
-//! in the simulator or protocol hot paths show up in bench history.
+//! Regenerates the experiment at quick scale (printing its rows) and
+//! times a representative engine run through the shared session-backed
+//! scaffold in `support` (persistent `RunSession`, warm probe path).
 
-use checkmate_bench::{experiments as exp, Harness, Scale};
+mod support;
+
+use checkmate_bench::{experiments as exp, Wl};
+use checkmate_core::ProtocolKind;
 use criterion::{criterion_group, criterion_main, Criterion};
+use support::Rep;
 
 fn bench(c: &mut Criterion) {
-    let h = Harness::new(Scale::quick());
-    let e = exp::tab4::run(&h);
-    println!("{}", exp::tab4::render(&e));
-
-    let mut group = c.benchmark_group("tab4");
-    group.sample_size(10);
-    group.bench_function("representative_run", |b| {
-        b.iter(|| {
-            h.run_at_rate_uncached(
-                checkmate_bench::Wl::Cyclic,
-                checkmate_core::ProtocolKind::Uncoordinated,
-                2,
-                300.0,
-                false,
-                None,
-            )
-            .sink_records
-        })
-    });
-    group.finish();
+    support::regen_and_time(
+        c,
+        "tab4",
+        |h| {
+            let e = exp::tab4::run(h);
+            exp::tab4::render(&e)
+        },
+        Rep {
+            wl: Wl::Cyclic,
+            protocol: ProtocolKind::Uncoordinated,
+            parallelism: 2,
+            total_rate: 300.0,
+            fail: false,
+            skew: None,
+        },
+    );
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,147 @@
+//! The order-sensitive cyclic reachability query, live, with a worker
+//! kill — digest-checked against the virtual-time engine oracle.
+//!
+//! The workload is non-confluent: a link DELETE racing a source ADD (or
+//! a feedback reach record) changes what gets emitted, so digest
+//! equality is only meaningful when both executions deliver records in
+//! the same order. The test pins that order:
+//!
+//! - `parallelism = 1`: no cross-worker races; every channel is local.
+//! - tie-free schedule: stream rate shares 103/150 and 47/150 are
+//!   coprime, so no two records (past the commuting ADD/ADD pair at
+//!   t = 0) are ever due at the same instant, and the live runtime's
+//!   schedule-order merge polling reproduces the engine's virtual-time
+//!   order.
+//! - `strict_source_order`: each record's cascade — feedback loop
+//!   included — drains completely before the next record is admitted,
+//!   even when the post-recovery wall-clock backlog collapses the
+//!   inter-arrival spacing.
+//! - `source_batch = 0` on the engine so records become readable at
+//!   their exact schedule instants rather than in 100 ms batches.
+//!
+//! Under message-logging protocols the killed run replays the channel
+//! logs in determinant order, so the pre-crash interleaving — including
+//! DELETE/ADD races already decided — is reproduced bit-for-bit, and
+//! the sink digest (a commutative multiset hash) must match the clean
+//! live run and the engine oracle exactly.
+
+use checkmate_core::ProtocolKind;
+use checkmate_cyclic::gen::{LinkStream, SourceNodeStream};
+use checkmate_cyclic::reachability;
+use checkmate_dataflow::ops::Digest;
+use checkmate_engine::config::EngineConfig;
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::Outcome;
+use checkmate_engine::workload::{StreamSpec, Workload};
+use checkmate_runtime::{run_live, LiveConfig};
+use checkmate_sim::SECONDS;
+use checkmate_wal::EventStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 21;
+const NODES: u64 = 500;
+const LIMIT: u64 = 64;
+const TOTAL_RATE: f64 = 75.0;
+// Coprime-share split (103 + 47 = 150): cross-stream due-times first
+// coincide at link offset 103 > LIMIT, so the merged order is tie-free.
+const LINK_SHARE: f64 = 103.0 / 150.0;
+const SOURCE_SHARE: f64 = 47.0 / 150.0;
+
+/// The reachability graph with the tie-free rate split.
+fn workload() -> Workload {
+    let base = reachability(1, SEED, NODES);
+    Workload {
+        name: "reach-oracle".into(),
+        graph: base.graph,
+        streams: vec![
+            StreamSpec {
+                stream: Arc::new(LinkStream::new(1, SEED, NODES)),
+                rate_share: LINK_SHARE,
+            },
+            StreamSpec {
+                stream: Arc::new(SourceNodeStream::new(1, SEED, NODES)),
+                rate_share: SOURCE_SHARE,
+            },
+        ],
+    }
+}
+
+fn engine_digest(protocol: ProtocolKind) -> Digest {
+    let wl = workload();
+    let r = Engine::new(
+        &wl,
+        EngineConfig {
+            parallelism: 1,
+            protocol,
+            total_rate: TOTAL_RATE,
+            checkpoint_interval: SECONDS,
+            duration: 60 * SECONDS,
+            warmup: SECONDS,
+            input_limit: Some(LIMIT),
+            source_batch: 0,
+            checkpoint_retention: u64::MAX,
+            ..EngineConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(r.outcome, Outcome::Drained, "engine: {}", r.summary());
+    assert!(r.sink_records > 0, "engine produced no output");
+    r.sink_digest
+}
+
+fn live_digest(protocol: ProtocolKind, kill: Option<u32>) -> Digest {
+    let wl = workload();
+    let streams: Vec<Arc<dyn EventStream>> =
+        wl.streams.iter().map(|s| Arc::clone(&s.stream)).collect();
+    let r = run_live(
+        &wl.graph,
+        streams,
+        LiveConfig {
+            parallelism: 1,
+            protocol,
+            // The engine's per-partition rate formula, verbatim.
+            stream_rates: vec![TOTAL_RATE * LINK_SHARE, TOTAL_RATE * SOURCE_SHARE],
+            records_per_partition: LIMIT,
+            checkpoint_interval: Duration::from_millis(300),
+            kill_worker: kill,
+            timeout: Duration::from_secs(60),
+            strict_source_order: true,
+            ..LiveConfig::default()
+        },
+    );
+    if kill.is_some() {
+        assert!(r.recovered, "{protocol:?}: kill was scripted");
+    }
+    assert!(
+        r.determinants > 0,
+        "{protocol:?}: message-logging protocols record delivery order"
+    );
+    assert!(
+        r.sink_records > 0,
+        "{protocol:?}: no output ({})",
+        r.summary()
+    );
+    r.sink_digest
+}
+
+#[test]
+fn cyclic_live_kill_recovery_matches_engine_oracle() {
+    for protocol in [
+        ProtocolKind::Uncoordinated,
+        ProtocolKind::CommunicationInduced,
+        ProtocolKind::CommunicationInducedBcs,
+    ] {
+        let oracle = engine_digest(protocol);
+        let clean = live_digest(protocol, None);
+        assert_eq!(
+            oracle, clean,
+            "{protocol:?}: clean live run diverged from the engine oracle"
+        );
+        let killed = live_digest(protocol, Some(0));
+        assert_eq!(
+            oracle, killed,
+            "{protocol:?}: killed live run diverged from the engine oracle"
+        );
+    }
+}

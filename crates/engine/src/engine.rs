@@ -453,18 +453,31 @@ impl Engine {
         self.queue.push(t, (self.epoch, ev));
     }
 
-    /// Insert one shipped message into its destination worker's queue,
-    /// dropping it when its sender's incarnation went stale in flight.
+    /// Insert shipped messages into their destination worker's queue,
+    /// dropping any whose sender's incarnation went stale in flight.
     /// Blocked-channel messages are stashed lazily by the dispatch scan
     /// exactly when they become due, which observes the blocked set at
     /// the same instants the per-message plane did.
-    fn enqueue_arrival(&mut self, to_w: usize, item: ShipItem) {
-        let (key, src_winc, msg) = item;
-        let from_w = self.worker_of_inst(self.pg.channel(msg.channel).from);
-        if self.workers[from_w].incarnation != src_winc {
-            return; // lost with the failed sender
+    ///
+    /// Batches are usually runs of one channel, so the channel → sender
+    /// worker resolution is memoized across consecutive items instead of
+    /// re-walking the channel table per record.
+    fn enqueue_arrivals(&mut self, to_w: usize, batch: &mut Vec<ShipItem>) {
+        let mut memo: Option<(ChannelIdx, usize)> = None;
+        for (key, src_winc, msg) in batch.drain(..) {
+            let from_w = match memo {
+                Some((ch, from_w)) if ch == msg.channel => from_w,
+                _ => {
+                    let from_w = self.worker_of_inst(self.pg.channel(msg.channel).from);
+                    memo = Some((msg.channel, from_w));
+                    from_w
+                }
+            };
+            if self.workers[from_w].incarnation != src_winc {
+                continue; // lost with the failed sender
+            }
+            self.workers[to_w].queue.insert(key, msg);
         }
-        self.workers[to_w].queue.insert(key, msg);
     }
 
     fn worker_of_inst(&self, inst: InstanceIdx) -> usize {
@@ -488,9 +501,7 @@ impl Engine {
                 if epoch == self.epoch {
                     let to_w = self.worker_of_inst(self.pg.channel(batch[0].2.channel).to);
                     if self.workers[to_w].incarnation == dst_winc && !self.workers[to_w].down {
-                        for item in batch.drain(..) {
-                            self.enqueue_arrival(to_w, item);
-                        }
+                        self.enqueue_arrivals(to_w, &mut batch);
                         self.batch_pool.push(batch);
                         self.try_dispatch(to_w);
                         return;
@@ -1092,17 +1103,17 @@ impl Engine {
         let p = self.cfg.parallelism;
         let inst_idx = self.workers[w].instance(op).idx;
         for (edge_i, rec) in outputs.drain(..) {
-            let kind = self.pg.out_edges_of(inst_idx)[edge_i].kind;
-            match kind {
+            // One edge-table walk per record: resolve kind and channel in
+            // a single immutable borrow, then send (which needs `&mut`).
+            let edge = &self.pg.out_edges_of(inst_idx)[edge_i];
+            match edge.kind {
                 EdgeKind::Forward => {
-                    let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[w]
-                        .expect("edge connects target");
+                    let ch = edge.targets[w].expect("edge connects target");
                     service += self.send_data(w, op, ch, rec);
                 }
                 EdgeKind::Shuffle | EdgeKind::Feedback => {
                     let j = checkmate_dataflow::shuffle_target(rec.key, p) as usize;
-                    let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[j]
-                        .expect("edge connects target");
+                    let ch = edge.targets[j].expect("edge connects target");
                     service += self.send_data(w, op, ch, rec);
                 }
                 EdgeKind::Broadcast => {
@@ -1120,9 +1131,10 @@ impl Engine {
 
     /// Send one data record on `ch`; returns the sender CPU cost.
     fn send_data(&mut self, w: usize, op: OpId, ch: ChannelIdx, rec: Record) -> SimTime {
-        let to_inst = self.pg.channel(ch).from; // (sanity: from == our inst)
-        debug_assert_eq!(self.worker_of_inst(to_inst), w);
-        let dest_inst = self.pg.channel(ch).to;
+        // One channel-table walk: copy both endpoints out of the borrow.
+        let cmeta = self.pg.channel(ch);
+        let (from_inst, dest_inst) = (cmeta.from, cmeta.to);
+        debug_assert_eq!(self.worker_of_inst(from_inst), w); // from == our inst
         let (seq, pb) = {
             let inst = self.workers[w].instance_mut(op);
             let seq = inst.book.next_send(ch);

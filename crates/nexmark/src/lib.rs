@@ -7,10 +7,12 @@
 //! deployable workloads.
 
 pub mod gen;
+pub mod live;
 pub mod queries;
 
 pub use gen::{
     AuctionStream, BidStream, PersonStream, Skew, AUCTION_SHARE, BID_SHARE, HOT_KEY_BASE,
     PERSON_SHARE,
 };
+pub use live::{run_query_live, run_workload_live};
 pub use queries::{q1, q12, q3, q8, Query, WINDOW_NS};

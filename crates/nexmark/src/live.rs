@@ -1,0 +1,48 @@
+//! Live (threaded, wall-clock) NEXMark driver.
+//!
+//! Bridges the engine-facing [`Workload`] description to the live
+//! runtime: the same graph, the same bound event streams, and the same
+//! per-partition rate formula the virtual-time engine uses
+//! (`total_rate × rate_share / parallelism`), so a live run and an
+//! engine run of one query consume identical inputs on identical
+//! schedules. Multi-stream queries (Q3, Q8) map each stream's rate share
+//! onto [`LiveConfig::stream_rates`]; the digest sink, protocol state
+//! machines and recovery choreography are the ones every other run uses.
+
+use crate::queries::Query;
+use crate::Skew;
+use checkmate_engine::workload::Workload;
+use checkmate_runtime::{run_live, LiveConfig, LiveReport};
+use checkmate_wal::EventStream;
+use std::sync::Arc;
+
+/// Run a workload on the live runtime at `total_rate` events/sec spread
+/// across its streams by their rate shares (the engine's formula).
+/// `cfg.records_per_partition` bounds each stream partition, mirroring
+/// the engine's `input_limit`.
+pub fn run_workload_live(workload: &Workload, total_rate: f64, mut cfg: LiveConfig) -> LiveReport {
+    workload.validate(cfg.parallelism);
+    cfg.stream_rates = workload
+        .streams
+        .iter()
+        .map(|s| total_rate * s.rate_share / cfg.parallelism as f64)
+        .collect();
+    let streams: Vec<Arc<dyn EventStream>> = workload
+        .streams
+        .iter()
+        .map(|s| Arc::clone(&s.stream))
+        .collect();
+    run_live(&workload.graph, streams, cfg)
+}
+
+/// Run one of the paper's NEXMark queries on the live runtime.
+pub fn run_query_live(
+    query: Query,
+    seed: u64,
+    skew: Option<Skew>,
+    total_rate: f64,
+    cfg: LiveConfig,
+) -> LiveReport {
+    let workload = query.workload(cfg.parallelism, seed, skew);
+    run_workload_live(&workload, total_rate, cfg)
+}

@@ -1,0 +1,461 @@
+//! The coordinator thread: run lifecycle, checkpoint bookkeeping,
+//! scripted failure injection, and recovery.
+//!
+//! The coordinator owns the control channels ([`Ctrl`] out, [`Note`]
+//! back), triggers COOR rounds, records durable-checkpoint acks from the
+//! uploader, kills the scripted victim and drives the recovery
+//! choreography: pause all → quiesce uploads → compute the protocol's
+//! recovery line → discard post-line checkpoints → restore every worker
+//! → replay logged in-flight messages → resume under a fresh epoch.
+//! Replay is force-pushed into the receivers' inboxes while every worker
+//! is paused, so replayed wires always precede regenerated traffic on
+//! their channel; receivers re-establish cross-channel order against
+//! their determinant logs (see `worker.rs`).
+//!
+//! The run ends when every worker reports quiescence (input exhausted,
+//! inboxes empty, nothing parked) for a grace window — not on a fixed
+//! drain timer — so throughput figures measure processing, not sleep.
+
+use crate::config::LiveConfig;
+use crate::inbox::Inbox;
+use crate::uploader::{uploader_main, UploadMsg};
+use crate::wire::Wire;
+use crate::worker::worker_main;
+use crate::{report::LiveReport, Shared};
+use checkmate_core::{
+    coordinated_line, rollback_propagation, ChannelTriple, CheckpointGraph, CheckpointId,
+    CheckpointMeta, CicPiggyback, DurableCheckpoints, HmnrPiggyback, ProtocolKind,
+};
+use checkmate_dataflow::graph::InstanceIdx;
+use checkmate_dataflow::ops::Digest;
+use checkmate_dataflow::{LogicalGraph, OpId, OpRole, Record};
+use checkmate_storage::ObjectStore;
+use checkmate_wal::{ChannelLog, DeterminantLog, EventStream};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Coordinator → worker control messages.
+pub(crate) enum Ctrl {
+    TriggerRound(u64),
+    Kill,
+    Pause,
+    Restore(BTreeMap<OpId, CheckpointMeta>),
+    Resume(u32),
+    Stop,
+}
+
+/// Worker → coordinator notifications. Worker ids travel with the acks
+/// for debuggability even where the coordinator only counts them.
+#[allow(dead_code)]
+pub(crate) enum Note {
+    /// A checkpoint became durable (sent by the uploader thread). The
+    /// epoch is the one the snapshot was captured in, so the coordinator
+    /// can discard acks of checkpoints that raced a recovery.
+    Meta(u32, CheckpointMeta),
+    Paused(u32),
+    Restored(u32),
+    Done(u32, WorkerEnd),
+}
+
+/// A worker's final accounting, sent with its `Note::Done`.
+pub(crate) struct WorkerEnd {
+    pub digest: Digest,
+    pub sink_records: u64,
+    pub latencies: Vec<Duration>,
+    pub events: u64,
+    pub max_out_pending: usize,
+    pub determinants: u64,
+    pub replayed: u64,
+}
+
+/// Run a workload on real threads. `streams[i]` backs source stream `i`.
+pub fn run_live(
+    graph: &LogicalGraph,
+    streams: Vec<Arc<dyn EventStream>>,
+    cfg: LiveConfig,
+) -> LiveReport {
+    assert!(
+        !graph.is_cyclic() || cfg.protocol.supports_cycles(),
+        "the aligned coordinated protocol deadlocks on cyclic graphs"
+    );
+    assert!(
+        cfg.parallelism >= 1 && cfg.parallelism <= 64,
+        "live parallelism must be in 1..=64 (quiescence mask is a u64)"
+    );
+    let pg = graph.expand(cfg.parallelism);
+    let n_channels = pg.n_channels();
+    let n_instances = pg.n_instances();
+    let shared = Arc::new(Shared {
+        store: cfg.store.clone().unwrap_or_else(ObjectStore::shared),
+        logs: (0..n_channels)
+            .map(|_| Mutex::new(ChannelLog::new()))
+            .collect(),
+        dets: (0..n_instances)
+            .map(|_| Mutex::new(DeterminantLog::new()))
+            .collect(),
+        pg,
+    });
+
+    // Wiring: one bounded data inbox + one control channel per worker;
+    // one note channel back to the coordinator.
+    let inboxes: Arc<Vec<Inbox>> = Arc::new(
+        (0..cfg.parallelism)
+            .map(|_| Inbox::new(cfg.inbox_capacity))
+            .collect(),
+    );
+    let mut ctrl_tx = Vec::new();
+    let mut ctrl_rx = Vec::new();
+    for _ in 0..cfg.parallelism {
+        let (tx, rx) = unbounded::<Ctrl>();
+        ctrl_tx.push(tx);
+        ctrl_rx.push(rx);
+    }
+    let (note_tx, note_rx) = unbounded::<Note>();
+    let (up_tx, up_rx) = unbounded::<UploadMsg>();
+    let quiet = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let uploader = {
+        let store = Arc::clone(&shared.store);
+        let note = note_tx.clone();
+        std::thread::spawn(move || uploader_main(store, up_rx, note, start))
+    };
+    let mut handles = Vec::new();
+    for w in 0..cfg.parallelism {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        let inboxes = Arc::clone(&inboxes);
+        let crx = ctrl_rx[w as usize].clone();
+        let note = note_tx.clone();
+        let up = up_tx.clone();
+        let streams = streams.clone();
+        let quiet = Arc::clone(&quiet);
+        handles.push(std::thread::spawn(move || {
+            worker_main(
+                w, shared, cfg, streams, inboxes, crx, note, up, start, quiet,
+            )
+        }));
+    }
+
+    let report = coordinate(
+        &cfg, &shared, &ctrl_tx, &inboxes, &note_rx, &up_tx, &quiet, start,
+    );
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    drop(up_tx); // last sender gone → uploader drains its queue and exits
+    uploader.join().expect("uploader thread");
+    report
+}
+
+#[allow(clippy::too_many_arguments)] // the run's full wiring
+fn coordinate(
+    cfg: &LiveConfig,
+    shared: &Arc<Shared>,
+    ctrl_tx: &[Sender<Ctrl>],
+    inboxes: &Arc<Vec<Inbox>>,
+    note_rx: &Receiver<Note>,
+    up_tx: &Sender<UploadMsg>,
+    quiet: &Arc<AtomicU64>,
+    start: Instant,
+) -> LiveReport {
+    let pg = &shared.pg;
+    let mut metas: BTreeMap<(InstanceIdx, u64), CheckpointMeta> = BTreeMap::new();
+    for op in pg.logical().ops() {
+        for i in 0..cfg.parallelism {
+            let idx = InstanceIdx(op.id.0 * cfg.parallelism + i);
+            let is_source = matches!(op.role, OpRole::Source { .. });
+            metas.insert((idx, 0), CheckpointMeta::initial(idx, is_source));
+        }
+    }
+    let mut round = 0u64;
+    let mut next_round = start.elapsed() + cfg.checkpoint_interval;
+    let mut checkpoints = 0u64;
+    let mut recovered = false;
+    let mut cur_epoch = 0u32;
+    // Kill roughly 40 % into the expected input window.
+    let expected = cfg.expected_input_window();
+    let kill_at = cfg.kill_worker.map(|_| expected.mul_f64(0.4));
+    let mut killed = false;
+    let run_deadline = start + cfg.timeout;
+    let all_quiet = (1u64 << cfg.parallelism) - 1;
+    let mut quiet_since: Option<Instant> = None;
+
+    // Run phase: wait for global quiescence (every worker idle with an
+    // exhausted input for a grace window), handling kill/recovery in the
+    // middle. The hard timeout stays as the safety net.
+    loop {
+        while let Ok(n) = note_rx.try_recv() {
+            if let Note::Meta(epoch, m) = n {
+                // A checkpoint captured before a recovery but durable
+                // only after it lost the race: its index may already be
+                // reused post-rollback. Drop the stale ack.
+                if epoch != cur_epoch {
+                    continue;
+                }
+                if m.id.index > 0 {
+                    checkpoints += 1;
+                }
+                metas.insert((m.id.instance, m.id.index), m);
+            }
+        }
+        if cfg.protocol == ProtocolKind::Coordinated && start.elapsed() >= next_round {
+            round += 1;
+            for tx in ctrl_tx {
+                let _ = tx.send(Ctrl::TriggerRound(round));
+            }
+            next_round = start.elapsed() + cfg.checkpoint_interval;
+        }
+        if let (Some(at), Some(victim)) = (kill_at, cfg.kill_worker) {
+            if !killed && start.elapsed() >= at {
+                killed = true;
+                let _ = ctrl_tx[victim as usize].send(Ctrl::Kill);
+                std::thread::sleep(Duration::from_millis(30));
+                cur_epoch = recover(
+                    cfg, shared, ctrl_tx, inboxes, note_rx, up_tx, &mut metas, cur_epoch,
+                );
+                recovered = true;
+                quiet_since = None;
+            }
+        }
+        // Quiescence: all workers idle, nothing in any inbox, and — for
+        // kill runs — the scripted failure already played out.
+        let quiesced = quiet.load(Ordering::Relaxed) == all_quiet
+            && inboxes.iter().all(|ib| ib.is_empty())
+            && (cfg.kill_worker.is_none() || killed);
+        if quiesced {
+            let since = *quiet_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= Duration::from_millis(50) {
+                break;
+            }
+        } else {
+            quiet_since = None;
+        }
+        if Instant::now() >= run_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Stop);
+    }
+    let mut digest = Digest::default();
+    let mut sink_records = 0u64;
+    let mut events = 0u64;
+    let mut determinants = 0u64;
+    let mut replayed = 0u64;
+    let mut max_out_pending = 0usize;
+    let mut latencies = Vec::new();
+    let mut done = 0;
+    while done < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Done(_, end)) => {
+                done += 1;
+                digest.count = digest.count.wrapping_add(end.digest.count);
+                digest.acc = digest.acc.wrapping_add(end.digest.acc);
+                sink_records += end.sink_records;
+                events += end.events;
+                determinants += end.determinants;
+                replayed += end.replayed;
+                max_out_pending = max_out_pending.max(end.max_out_pending);
+                latencies.extend(end.latencies);
+            }
+            Ok(Note::Meta(epoch, m)) => {
+                // Late uploads racing Stop still count: they are durable
+                // checkpoints of the current epoch.
+                if epoch == cur_epoch && m.id.index > 0 {
+                    checkpoints += 1;
+                }
+            }
+            Ok(_) => {}
+            Err(_) => panic!("worker did not stop in time"),
+        }
+    }
+    latencies.sort();
+    let p50 = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let elapsed = start.elapsed();
+    LiveReport {
+        sink_digest: digest,
+        sink_records,
+        checkpoints,
+        recovered,
+        p50_latency: p50,
+        elapsed,
+        events,
+        throughput: events as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        max_inbox_depth: inboxes.iter().map(|ib| ib.high_water()).max().unwrap_or(0),
+        max_out_pending,
+        determinants,
+        replayed,
+    }
+}
+
+/// Pause, compute the recovery line, restore, replay, resume. Returns
+/// the post-recovery epoch.
+#[allow(clippy::too_many_arguments)] // the coordinator's full wiring
+fn recover(
+    cfg: &LiveConfig,
+    shared: &Arc<Shared>,
+    ctrl_tx: &[Sender<Ctrl>],
+    inboxes: &Arc<Vec<Inbox>>,
+    note_rx: &Receiver<Note>,
+    up_tx: &Sender<UploadMsg>,
+    metas: &mut BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
+    cur_epoch: u32,
+) -> u32 {
+    let pg = &shared.pg;
+    // Pause everyone and wait for acks. Uploads already handed to the
+    // uploader keep draining meanwhile; their acks still count (they are
+    // durable checkpoints of the current epoch).
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Pause);
+    }
+    let mut paused = 0;
+    while paused < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Paused(_)) => paused += 1,
+            Ok(Note::Meta(epoch, m)) => {
+                if epoch == cur_epoch {
+                    metas.insert((m.id.instance, m.id.index), m);
+                }
+            }
+            Ok(_) => {}
+            Err(_) => panic!("pause ack timeout"),
+        }
+    }
+    // Quiesce the upload pipeline: workers are paused (no new jobs), so
+    // after this barrier nothing is in flight. Checkpoints that were
+    // mid-upload at the failure are now durable — fold their acks in
+    // before computing the line; they are legitimate restore points.
+    {
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        let _ = up_tx.send(UploadMsg::Flush(ack_tx));
+        let _ = ack_rx.recv_timeout(Duration::from_secs(10));
+        while let Ok(n) = note_rx.try_recv() {
+            if let Note::Meta(epoch, m) = n {
+                if epoch == cur_epoch {
+                    metas.insert((m.id.instance, m.id.index), m);
+                }
+            }
+        }
+    }
+
+    // Recovery line.
+    let line: BTreeMap<InstanceIdx, CheckpointId> = match cfg.protocol {
+        ProtocolKind::Coordinated | ProtocolKind::None => {
+            let ms: Vec<CheckpointMeta> = metas
+                .values()
+                .filter(|m| m.kind.round().is_some())
+                .cloned()
+                .collect();
+            coordinated_line(&ms)
+        }
+        _ => {
+            let triples: Vec<ChannelTriple> = pg
+                .channels()
+                .iter()
+                .map(|c| ChannelTriple {
+                    ch: c.idx,
+                    from: c.from,
+                    to: c.to,
+                })
+                .collect();
+            let ms: Vec<CheckpointMeta> = metas.values().cloned().collect();
+            rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
+        }
+    };
+    // Discard post-line metadata and the durable objects it owns (the
+    // indices will be reused post-rollback; stale chunk objects must not
+    // linger under the same keys).
+    let durable = DurableCheckpoints::new(Arc::clone(&shared.store));
+    let discarded: Vec<CheckpointMeta> = metas
+        .iter()
+        .filter(|((inst, idx), _)| line.get(inst).is_none_or(|l| *idx > l.index))
+        .map(|(_, m)| m.clone())
+        .collect();
+    for m in discarded {
+        durable.delete_checkpoint(&m);
+    }
+    metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
+
+    // Restore every worker. Workers arm their determinant-ordered replay
+    // themselves from the shared logs (`meta.det_pos()` onward).
+    for w in 0..cfg.parallelism {
+        let mut per_op = BTreeMap::new();
+        for op in pg.logical().ops() {
+            let idx = InstanceIdx(op.id.0 * cfg.parallelism + w);
+            let id = line[&idx];
+            per_op.insert(op.id, metas[&(idx, id.index)].clone());
+        }
+        let _ = ctrl_tx[w as usize].send(Ctrl::Restore(per_op));
+    }
+    let mut restored = 0;
+    while restored < cfg.parallelism {
+        match note_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(Note::Restored(_)) => restored += 1,
+            Ok(Note::Meta(..)) => {}
+            Ok(_) => {}
+            Err(_) => panic!("restore ack timeout"),
+        }
+    }
+
+    // Replay logged in-flight messages with the fresh epoch, then resume.
+    // Inboxes dequeue in push order and workers are still paused while we
+    // push, so every replay precedes any regenerated message on the same
+    // channel — the receivers' in-order dedup relies on that. Pushes are
+    // forced: nobody is draining yet, a bounded push would wedge here.
+    let new_epoch =
+        (metas.values().map(|m| m.id.index as u32).max().unwrap_or(0) + 1).max(cur_epoch + 1);
+    if cfg.protocol.logs_messages() {
+        for c in pg.channels() {
+            let lo = metas[&(c.to, line[&c.to].index)].received_on(c.idx);
+            let hi = metas[&(c.from, line[&c.from].index)].sent_on(c.idx);
+            if hi <= lo {
+                continue;
+            }
+            // The coordinator replays from the durable logs directly into
+            // the receiver's inbox (acting as the log service), as one
+            // batch per channel. Replayed messages carry a neutral
+            // piggyback (one shared allocation): old news never forces.
+            let piggyback = match cfg.protocol {
+                ProtocolKind::CommunicationInduced => {
+                    Some(CicPiggyback::Hmnr(std::sync::Arc::new(HmnrPiggyback {
+                        lc: 0,
+                        ckpt: vec![0; pg.n_instances()],
+                        taken: vec![false; pg.n_instances()],
+                        greater: vec![false; pg.n_instances()],
+                    })))
+                }
+                ProtocolKind::CommunicationInducedBcs => Some(CicPiggyback::Bcs { lc: 0 }),
+                _ => None,
+            };
+            let items: Vec<(Record, Option<CicPiggyback>)> = shared.logs[c.idx.0 as usize]
+                .lock()
+                .range(lo, hi)
+                .expect("live runtime always materializes its channel logs")
+                .into_iter()
+                .map(|e| (e.record.clone(), piggyback.clone()))
+                .collect();
+            let dest_worker = (c.to.0 % cfg.parallelism) as usize;
+            inboxes[dest_worker].force_push(Wire::DataBatch {
+                epoch: new_epoch,
+                channel: c.idx,
+                start_seq: lo + 1,
+                items,
+                replayed: true,
+            });
+        }
+    }
+    for tx in ctrl_tx {
+        let _ = tx.send(Ctrl::Resume(new_epoch));
+    }
+    new_epoch
+}

@@ -1,0 +1,167 @@
+//! Bounded per-worker inboxes with backpressure.
+//!
+//! Each worker owns one [`Inbox`]; peers deliver wires with
+//! [`Inbox::try_push`], which fails when the inbox is at capacity. The
+//! sender then parks the wire in its own `out_pending` queue and stops
+//! *admitting* new input (source polls) until the backlog clears — so a
+//! slow worker transitively throttles the sources instead of ballooning
+//! memory. Senders keep draining their own inboxes while backpressured:
+//! stalling consumption too would deadlock the moment two workers'
+//! inboxes fill simultaneously (each parked on the other, nobody
+//! moving). Draining-always keeps the system deadlock-free; admission
+//! control at the sources is what bounds total in-flight volume.
+//!
+//! [`Inbox::force_push`] bypasses the bound for traffic that must never
+//! block or the system deadlocks:
+//!
+//! - **recovery replay**: the coordinator replays logged messages while
+//!   every worker is paused — nobody is draining, a bounded push would
+//!   wedge recovery;
+//! - **self-sends**: a worker waiting for space in its *own* inbox
+//!   would wait forever once it stops draining it;
+//! - **feedback-cycle wires**: bounded queues on a dataflow cycle can
+//!   deadlock (every participant full, nobody able to drain); cyclic
+//!   dataflows conventionally exempt the feedback path and bound it
+//!   indirectly by the loop's amplification.
+//!
+//! The high-water mark records the deepest the queue ever got —
+//! including forced overshoot — which is how tests prove boundedness
+//! under a deliberately slow consumer.
+
+use crate::wire::Wire;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded MPSC queue of wires with a recorded high-water mark.
+pub(crate) struct Inbox {
+    q: Mutex<VecDeque<Wire>>,
+    cap: usize,
+    high: AtomicUsize,
+}
+
+impl Inbox {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "inbox capacity must be positive");
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cap,
+            high: AtomicUsize::new(0),
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.high.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Deliver a wire, failing (and handing the wire back) when the
+    /// inbox is at capacity.
+    pub fn try_push(&self, wire: Wire) -> Result<(), Wire> {
+        let mut q = self.q.lock();
+        if q.len() >= self.cap {
+            return Err(wire);
+        }
+        q.push_back(wire);
+        let depth = q.len();
+        drop(q);
+        self.note_depth(depth);
+        Ok(())
+    }
+
+    /// Deliver a wire regardless of capacity (control-plane traffic,
+    /// recovery replay, self-sends, feedback cycles — see module docs).
+    pub fn force_push(&self, wire: Wire) {
+        let mut q = self.q.lock();
+        q.push_back(wire);
+        let depth = q.len();
+        drop(q);
+        self.note_depth(depth);
+    }
+
+    /// Drain up to `max` wires into `out` (one lock acquisition);
+    /// returns how many were taken.
+    pub fn pop_into(&self, max: usize, out: &mut VecDeque<Wire>) -> usize {
+        let mut q = self.q.lock();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.lock().len()
+    }
+
+    /// Discard everything queued (a worker crash loses its inbox).
+    pub fn clear(&self) {
+        self.q.lock().clear();
+    }
+
+    /// Deepest the queue ever got (messages), forced pushes included.
+    pub fn high_water(&self) -> usize {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkmate_dataflow::graph::ChannelIdx;
+
+    fn marker(seq: u64) -> Wire {
+        Wire::Marker {
+            epoch: 0,
+            channel: ChannelIdx(0),
+            round: seq,
+        }
+    }
+
+    #[test]
+    fn bounded_push_fails_at_capacity() {
+        let inbox = Inbox::new(2);
+        assert!(inbox.try_push(marker(0)).is_ok());
+        assert!(inbox.try_push(marker(1)).is_ok());
+        let rejected = inbox.try_push(marker(2));
+        assert!(rejected.is_err(), "third push must bounce");
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox.high_water(), 2);
+    }
+
+    #[test]
+    fn force_push_overshoots_and_is_recorded() {
+        let inbox = Inbox::new(1);
+        inbox.force_push(marker(0));
+        inbox.force_push(marker(1));
+        inbox.force_push(marker(2));
+        assert_eq!(inbox.len(), 3);
+        assert_eq!(inbox.high_water(), 3);
+        let mut out = VecDeque::new();
+        assert_eq!(inbox.pop_into(2, &mut out), 2);
+        assert_eq!(inbox.len(), 1);
+        // Freed capacity admits bounded pushes again.
+        assert!(inbox.try_push(marker(3)).is_err()); // 1 >= cap 1
+        inbox.clear();
+        assert!(inbox.try_push(marker(3)).is_ok());
+    }
+
+    #[test]
+    fn pop_preserves_fifo() {
+        let inbox = Inbox::new(8);
+        for i in 0..5 {
+            inbox.force_push(marker(i));
+        }
+        let mut out = VecDeque::new();
+        inbox.pop_into(8, &mut out);
+        let rounds: Vec<u64> = out
+            .iter()
+            .map(|w| match w {
+                Wire::Marker { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, [0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Live-run results.
+//!
+//! [`LiveReport`] carries the exactly-once evidence (commutative sink
+//! digest + record count), checkpoint/recovery bookkeeping, latency and
+//! throughput, and the data-plane health counters the bounded-inbox
+//! design is judged by: the deepest any inbox ever got and the deepest
+//! any sender's backpressure queue ever got. A slow consumer must show
+//! up as a *bounded* `max_inbox_depth` and throttled upstream progress,
+//! never as unbounded queue growth.
+
+use checkmate_dataflow::ops::Digest;
+use std::time::Duration;
+
+/// Result of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    pub sink_digest: Digest,
+    pub sink_records: u64,
+    pub checkpoints: u64,
+    pub recovered: bool,
+    pub p50_latency: Duration,
+    pub elapsed: Duration,
+    /// Total events processed across all workers: source reads plus
+    /// operator deliveries (the unit of the throughput figure).
+    pub events: u64,
+    /// `events / elapsed`, events per second.
+    pub throughput: f64,
+    /// High-water mark over every worker inbox (messages). Bounded-inbox
+    /// runs keep this near `LiveConfig::inbox_capacity` plus the forced
+    /// traffic (control, replay, self-sends, feedback) even under a
+    /// deliberately slow consumer.
+    pub max_inbox_depth: usize,
+    /// High-water mark over every sender's parked-output queue: wires
+    /// that could not be pushed to a full inbox and are throttling their
+    /// producer.
+    pub max_out_pending: usize,
+    /// Delivery-order determinants appended to the shared logs
+    /// (UNC/CIC protocols only; 0 under COOR/None).
+    pub determinants: u64,
+    /// Records re-delivered from the durable channel logs during
+    /// recovery.
+    pub replayed: u64,
+}
+
+impl LiveReport {
+    /// One-line human summary (bench/CI output).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sink records (digest {:016x}/{}), {} ckpts, recovered={}, \
+             p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, pending≤{}, dets={}, replayed={}",
+            self.sink_records,
+            self.sink_digest.acc,
+            self.sink_digest.count,
+            self.checkpoints,
+            self.recovered,
+            self.p50_latency,
+            self.throughput,
+            self.elapsed,
+            self.max_inbox_depth,
+            self.max_out_pending,
+            self.determinants,
+            self.replayed,
+        )
+    }
+}

@@ -256,6 +256,7 @@ fn live_runtime_recovers_incrementally_from_file_store() {
         timeout: Duration::from_secs(60),
         store: Some(file_store(&base.join(dir))),
         incremental: Some(policy()),
+        ..LiveConfig::default()
     };
     let streams = || -> Vec<Arc<dyn EventStream>> { vec![Arc::new(TestStream { partitions: 2 })] };
 
