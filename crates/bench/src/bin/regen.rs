@@ -22,7 +22,10 @@
 //! queue (the ladder queue's equivalence oracle); output is identical
 //! either way. `--snapshot full` switches every simulation to the
 //! materializing snapshot path (the sized-only accounting's oracle);
-//! output is likewise identical either way.
+//! output is likewise identical either way. `--profile tiered` routes
+//! every run without explicit tiering through the passthrough tiered
+//! store (the tiered backend's flat-pricing oracle); output is likewise
+//! identical either way (CI diffs the `storage_sweep` JSON).
 
 use checkmate_bench::experiments as exp;
 use checkmate_bench::{Harness, Scale};
@@ -39,6 +42,7 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut queue = QueueBackend::default();
     let mut snapshot = SnapshotMode::default();
+    let mut tier_oracle = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -63,6 +67,14 @@ fn main() {
                     "full" => SnapshotMode::Full,
                     "sized" => SnapshotMode::SizedOnly,
                     other => panic!("unknown snapshot mode {other}; use auto|full|sized"),
+                };
+            }
+            "--profile" => {
+                let v = args.next().expect("--profile needs a value");
+                tier_oracle = match v.as_str() {
+                    "flat" => false,
+                    "tiered" => true,
+                    other => panic!("unknown storage profile {other}; use flat|tiered"),
                 };
             }
             "--jobs" => {
@@ -95,7 +107,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [--snapshot auto|full|sized] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [--snapshot auto|full|sized] [--profile flat|tiered] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }
@@ -109,6 +121,7 @@ fn main() {
     h.jobs = jobs;
     h.queue = queue;
     h.snapshot = snapshot;
+    h.tier_oracle = tier_oracle;
     if let Some(dir) = &cache_dir {
         h.set_cache_dir(dir.clone());
     }

@@ -29,7 +29,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump to invalidate every existing cache entry (format *or* simulated
 /// timeline-semantics change).
-pub const CACHE_FORMAT: u32 = 1;
+/// 2: `RunReport` gained the tiered-storage stats block.
+pub const CACHE_FORMAT: u32 = 2;
 
 /// A directory of fingerprint-keyed entries with hit/miss counters.
 pub struct DiskCache {

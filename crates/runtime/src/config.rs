@@ -10,8 +10,40 @@
 //! single-file runtime so existing callers behave identically.
 
 use checkmate_core::{IncrementalPolicy, ProtocolKind};
-use checkmate_storage::SharedStore;
+use checkmate_storage::{SharedStore, TierPolicy, TieredProfile};
 use std::time::Duration;
+
+/// Tiered checkpoint storage for a live run: the durable store becomes
+/// a [`checkmate_storage::TieredBackend`] and the background uploader
+/// thread doubles as the compactor, running seal/vacuum/demote every
+/// `maintain_every` of wall time between upload jobs — the same passes
+/// the virtual-time engine schedules as `TierMaintain` events, against
+/// the same recovery-line pins (maintained by the coordinator), so both
+/// planes agree on tier state.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveTiering {
+    /// Per-tier profiles. Live PUT/GET calls go through these backends'
+    /// declared profiles only for accounting — wall-clock cost is the
+    /// real work — but the tier layout (what seals, demotes, stays hot)
+    /// is identical to the engine's.
+    pub tiers: TieredProfile,
+    /// Compaction policy (seal capacity, warm retention, vacuum
+    /// threshold).
+    pub policy: TierPolicy,
+    /// Wall-clock period between compactor passes in the uploader
+    /// thread.
+    pub maintain_every: Duration,
+}
+
+impl Default for LiveTiering {
+    fn default() -> Self {
+        Self {
+            tiers: TieredProfile::standard(),
+            policy: TierPolicy::default(),
+            maintain_every: Duration::from_millis(50),
+        }
+    }
+}
 
 /// Wall-clock run configuration.
 #[derive(Clone)]
@@ -38,8 +70,12 @@ pub struct LiveConfig {
     /// Durable store to checkpoint into. `None` = a fresh in-memory
     /// store; pass a `FileBackend`-backed store for durability across
     /// process restarts, or a `PerturbedBackend` for storage-stress
-    /// scenarios.
+    /// scenarios. Mutually exclusive with [`LiveConfig::tiering`],
+    /// which constructs its own tiered store.
     pub store: Option<SharedStore>,
+    /// Tiered checkpoint storage (see [`LiveTiering`]); `None` keeps
+    /// the flat store.
+    pub tiering: Option<LiveTiering>,
     /// Incremental (chunked) checkpoints; `None` = whole snapshots.
     pub incremental: Option<IncrementalPolicy>,
     /// Bounded per-worker inbox capacity (messages). A full inbox makes
@@ -83,6 +119,7 @@ impl Default for LiveConfig {
             kill_worker: None,
             timeout: Duration::from_secs(30),
             store: None,
+            tiering: None,
             incremental: None,
             inbox_capacity: 4_096,
             batch_max: 256,

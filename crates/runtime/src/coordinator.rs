@@ -23,17 +23,17 @@ use crate::wire::Wire;
 use crate::worker::worker_main;
 use crate::{report::LiveReport, Shared};
 use checkmate_core::{
-    coordinated_line, rollback_propagation, ChannelTriple, CheckpointGraph, CheckpointId,
+    coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
     CheckpointMeta, CicPiggyback, DurableCheckpoints, HmnrPiggyback, ProtocolKind,
 };
-use checkmate_dataflow::graph::InstanceIdx;
+use checkmate_dataflow::graph::{InstanceIdx, PhysicalGraph};
 use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{LogicalGraph, OpId, OpRole, Record};
-use checkmate_storage::ObjectStore;
+use checkmate_storage::{ObjectStore, TieredBackend};
 use checkmate_wal::{ChannelLog, DeterminantLog, EventStream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -86,11 +86,22 @@ pub fn run_live(
         cfg.parallelism >= 1 && cfg.parallelism <= 64,
         "live parallelism must be in 1..=64 (quiescence mask is a u64)"
     );
+    assert!(
+        cfg.store.is_none() || cfg.tiering.is_none(),
+        "LiveConfig::store and LiveConfig::tiering are mutually exclusive: \
+         tiering constructs its own tiered store"
+    );
     let pg = graph.expand(cfg.parallelism);
     let n_channels = pg.n_channels();
     let n_instances = pg.n_instances();
+    let tiered = cfg
+        .tiering
+        .map(|t| Arc::new(TieredBackend::new(t.tiers, t.policy)));
     let shared = Arc::new(Shared {
-        store: cfg.store.clone().unwrap_or_else(ObjectStore::shared),
+        store: match &tiered {
+            Some(b) => ObjectStore::shared_with(Arc::clone(b) as _),
+            None => cfg.store.clone().unwrap_or_else(ObjectStore::shared),
+        },
         logs: (0..n_channels)
             .map(|_| Mutex::new(ChannelLog::new()))
             .collect(),
@@ -122,7 +133,8 @@ pub fn run_live(
     let uploader = {
         let store = Arc::clone(&shared.store);
         let note = note_tx.clone();
-        std::thread::spawn(move || uploader_main(store, up_rx, note, start))
+        let tier = tiered.clone().zip(cfg.tiering.map(|t| t.maintain_every));
+        std::thread::spawn(move || uploader_main(store, up_rx, note, start, tier))
     };
     let mut handles = Vec::new();
     for w in 0..cfg.parallelism {
@@ -142,7 +154,7 @@ pub fn run_live(
     }
 
     let report = coordinate(
-        &cfg, &shared, &ctrl_tx, &inboxes, &note_rx, &up_tx, &quiet, start,
+        &cfg, &shared, &ctrl_tx, &inboxes, &note_rx, &up_tx, &quiet, start, &tiered,
     );
     for h in handles {
         h.join().expect("worker thread");
@@ -150,6 +162,69 @@ pub fn run_live(
     drop(up_tx); // last sender gone → uploader drains its queue and exits
     uploader.join().expect("uploader thread");
     report
+}
+
+/// Compute the protocol's recovery line over the durable checkpoints.
+/// Shared between [`recover`] (the actual rollback) and the tiered
+/// store's pin refresh, so eviction protects exactly the checkpoints a
+/// failure right now would restore from.
+fn recovery_line(
+    protocol: ProtocolKind,
+    pg: &PhysicalGraph,
+    metas: &BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
+) -> BTreeMap<InstanceIdx, CheckpointId> {
+    match protocol {
+        ProtocolKind::Coordinated | ProtocolKind::None => {
+            let ms: Vec<CheckpointMeta> = metas
+                .values()
+                .filter(|m| m.kind.round().is_some())
+                .cloned()
+                .collect();
+            coordinated_line(&ms)
+        }
+        _ => {
+            let triples: Vec<ChannelTriple> = pg
+                .channels()
+                .iter()
+                .map(|c| ChannelTriple {
+                    ch: c.idx,
+                    from: c.from,
+                    to: c.to,
+                })
+                .collect();
+            let ms: Vec<CheckpointMeta> = metas.values().cloned().collect();
+            rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
+        }
+    }
+}
+
+/// Re-pin every object the current recovery line can read — each line
+/// member's whole-state key plus all its manifest chunks — so the
+/// compactor (in the uploader thread) never demotes a chunk a failure
+/// right now would need, below its read-cost budget. Mirrors the
+/// engine's `on_tier_maintain` pin set exactly.
+fn refresh_pins(
+    tiered: &Option<Arc<TieredBackend>>,
+    protocol: ProtocolKind,
+    pg: &PhysicalGraph,
+    metas: &BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
+) {
+    let Some(backend) = tiered else { return };
+    let mut pins = BTreeSet::new();
+    for (inst, id) in recovery_line(protocol, pg, metas) {
+        let Some(meta) = metas.get(&(inst, id.index)) else {
+            continue;
+        };
+        if !meta.state_key.is_empty() {
+            pins.insert(meta.state_key.clone());
+        }
+        if let Some(man) = &meta.manifest {
+            for c in &man.chunks {
+                pins.insert(snapshot::chunk_key(inst, c.owner, c.slot));
+            }
+        }
+    }
+    backend.set_pins(pins);
 }
 
 #[allow(clippy::too_many_arguments)] // the run's full wiring
@@ -162,6 +237,7 @@ fn coordinate(
     up_tx: &Sender<UploadMsg>,
     quiet: &Arc<AtomicU64>,
     start: Instant,
+    tiered: &Option<Arc<TieredBackend>>,
 ) -> LiveReport {
     let pg = &shared.pg;
     let mut metas: BTreeMap<(InstanceIdx, u64), CheckpointMeta> = BTreeMap::new();
@@ -189,6 +265,7 @@ fn coordinate(
     // exhausted input for a grace window), handling kill/recovery in the
     // middle. The hard timeout stays as the safety net.
     loop {
+        let mut metas_dirty = false;
         while let Ok(n) = note_rx.try_recv() {
             if let Note::Meta(epoch, m) = n {
                 // A checkpoint captured before a recovery but durable
@@ -201,7 +278,13 @@ fn coordinate(
                     checkpoints += 1;
                 }
                 metas.insert((m.id.instance, m.id.index), m);
+                metas_dirty = true;
             }
+        }
+        // The recovery line only moves when a checkpoint lands, so the
+        // pin set only needs recomputing then.
+        if metas_dirty {
+            refresh_pins(tiered, cfg.protocol, pg, &metas);
         }
         if cfg.protocol == ProtocolKind::Coordinated && start.elapsed() >= next_round {
             round += 1;
@@ -216,7 +299,7 @@ fn coordinate(
                 let _ = ctrl_tx[victim as usize].send(Ctrl::Kill);
                 std::thread::sleep(Duration::from_millis(30));
                 cur_epoch = recover(
-                    cfg, shared, ctrl_tx, inboxes, note_rx, up_tx, &mut metas, cur_epoch,
+                    cfg, shared, ctrl_tx, inboxes, note_rx, up_tx, &mut metas, cur_epoch, tiered,
                 );
                 recovered = true;
                 quiet_since = None;
@@ -295,6 +378,7 @@ fn coordinate(
         max_out_pending,
         determinants,
         replayed,
+        tier: tiered.as_ref().map(|b| b.stats()),
     }
 }
 
@@ -310,6 +394,7 @@ fn recover(
     up_tx: &Sender<UploadMsg>,
     metas: &mut BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
     cur_epoch: u32,
+    tiered: &Option<Arc<TieredBackend>>,
 ) -> u32 {
     let pg = &shared.pg;
     // Pause everyone and wait for acks. Uploads already handed to the
@@ -349,29 +434,7 @@ fn recover(
     }
 
     // Recovery line.
-    let line: BTreeMap<InstanceIdx, CheckpointId> = match cfg.protocol {
-        ProtocolKind::Coordinated | ProtocolKind::None => {
-            let ms: Vec<CheckpointMeta> = metas
-                .values()
-                .filter(|m| m.kind.round().is_some())
-                .cloned()
-                .collect();
-            coordinated_line(&ms)
-        }
-        _ => {
-            let triples: Vec<ChannelTriple> = pg
-                .channels()
-                .iter()
-                .map(|c| ChannelTriple {
-                    ch: c.idx,
-                    from: c.from,
-                    to: c.to,
-                })
-                .collect();
-            let ms: Vec<CheckpointMeta> = metas.values().cloned().collect();
-            rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
-        }
-    };
+    let line = recovery_line(cfg.protocol, pg, metas);
     // Discard post-line metadata and the durable objects it owns (the
     // indices will be reused post-rollback; stale chunk objects must not
     // linger under the same keys).
@@ -385,6 +448,11 @@ fn recover(
         durable.delete_checkpoint(&m);
     }
     metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
+    // The surviving metas ARE the restore set: pin them before the
+    // compactor (still running in the uploader thread) gets another
+    // pass, so restore GETs below read cold objects only when the line
+    // genuinely lives there.
+    refresh_pins(tiered, cfg.protocol, pg, metas);
 
     // Restore every worker. Workers arm their determinant-ordered replay
     // themselves from the shared logs (`meta.det_pos()` onward).

@@ -9,6 +9,7 @@
 //! never as unbounded queue growth.
 
 use checkmate_dataflow::ops::Digest;
+use checkmate_storage::TieredStats;
 use std::time::Duration;
 
 /// Result of a live run.
@@ -40,14 +41,25 @@ pub struct LiveReport {
     /// Records re-delivered from the durable channel logs during
     /// recovery.
     pub replayed: u64,
+    /// Tiered-store accounting (residency per tier, compaction
+    /// counters) when the run used [`crate::LiveTiering`]; `None` for
+    /// flat stores.
+    pub tier: Option<TieredStats>,
 }
 
 impl LiveReport {
     /// One-line human summary (bench/CI output).
     pub fn summary(&self) -> String {
+        let tier = match &self.tier {
+            Some(t) => format!(
+                ", tiers h/w/c {}/{}/{} obj ({} seals, {} demotions)",
+                t.hot.objects, t.warm.objects, t.cold.objects, t.seals, t.demotions
+            ),
+            None => String::new(),
+        };
         format!(
             "{} sink records (digest {:016x}/{}), {} ckpts, recovered={}, \
-             p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, pending≤{}, dets={}, replayed={}",
+             p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, pending≤{}, dets={}, replayed={}{}",
             self.sink_records,
             self.sink_digest.acc,
             self.sink_digest.count,
@@ -60,6 +72,7 @@ impl LiveReport {
             self.max_out_pending,
             self.determinants,
             self.replayed,
+            tier,
         )
     }
 }

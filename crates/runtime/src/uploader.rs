@@ -16,12 +16,23 @@
 //! worker is paused (no new jobs), an acked flush proves nothing is in
 //! flight, so no discarded-timeline object can appear in the store after
 //! the rollback.
+//!
+//! Under tiered storage this thread also hosts the **compactor**:
+//! between upload jobs it runs one seal/vacuum/demote pass every
+//! `LiveTiering::maintain_every` of wall time — the live counterpart of
+//! the engine's `TierMaintain` events, against the same recovery-line
+//! pins (the coordinator refreshes them as checkpoints complete).
+//! Running compaction here, not on a worker, keeps it off the data
+//! path — the same "background scavenging" placement as the upload
+//! itself — and serializes it with PUTs so a seal never races a job's
+//! objects into a half-sealed hot tier.
 
 use crate::coordinator::Note;
 use checkmate_core::{CheckpointMeta, DurableCheckpoints};
-use checkmate_storage::SharedStore;
-use crossbeam::channel::{Receiver, Sender};
-use std::time::Instant;
+use checkmate_storage::{SharedStore, TieredBackend};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A serialized snapshot handed to the background uploader: the worker
 /// resumes processing the moment this is enqueued.
@@ -40,16 +51,39 @@ pub(crate) enum UploadMsg {
 }
 
 /// The uploader thread body: PUTs snapshot objects, persists the meta,
-/// then acks the durable checkpoint to the coordinator. Exits when every
-/// job sender has hung up.
+/// then acks the durable checkpoint to the coordinator; with `tier`
+/// set, runs a compaction pass whenever `maintain_every` elapses with
+/// no job in the queue. Exits when every job sender has hung up.
 pub(crate) fn uploader_main(
     store: SharedStore,
     jobs: Receiver<UploadMsg>,
     note: Sender<Note>,
     start: Instant,
+    tier: Option<(Arc<TieredBackend>, Duration)>,
 ) {
     let durable = DurableCheckpoints::new(store);
-    while let Ok(msg) = jobs.recv() {
+    let mut next_maintain = tier.as_ref().map(|(_, every)| Instant::now() + *every);
+    loop {
+        let msg = if let (Some((backend, every)), Some(at)) = (&tier, next_maintain) {
+            match jobs.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    let t0 = Instant::now();
+                    let rep = backend.maintain();
+                    if !rep.is_noop() {
+                        backend.note_io_ns(t0.elapsed().as_nanos() as u64);
+                    }
+                    next_maintain = Some(Instant::now() + *every);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match jobs.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
         match msg {
             UploadMsg::Job(UploadJob {
                 epoch,

@@ -60,9 +60,11 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
 
     /// Empty the backend for a fresh run, adopting `profile`, while
     /// pooling reusable allocations. Returns `false` (the default) when
-    /// the backend cannot be recycled in place — durable backends keep
-    /// their contents and perturbed backends their fault state; callers
-    /// then construct a fresh store instead.
+    /// the backend cannot be recycled in place — perturbed backends
+    /// keep their fault state and tiered backends their layer history;
+    /// callers then construct a fresh store instead. `MemBackend` and
+    /// `FileBackend` both reset in place (the file backend wipes its
+    /// root's contents).
     fn reset(&self, _profile: StorageProfile) -> bool {
         false
     }

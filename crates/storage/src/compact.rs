@@ -1,0 +1,262 @@
+//! Background compaction of the tiered store: seal, vacuum, demote.
+//!
+//! One maintenance run is three passes over the tier state, all under
+//! the backend's single lock (maintenance moves metadata and `Bytes`
+//! handles, never copies payloads, so holding the lock is cheap):
+//!
+//! 1. **seal** — when the hot tier exceeds its capacity, every resident
+//!    object moves into one immutable deduplicated [`Layer`] in the
+//!    warm tier (write-optimized ingest stays cheap because draining is
+//!    batched and off the PUT path);
+//! 2. **vacuum** — warm/cold layers whose dead fraction crossed the
+//!    policy threshold are rewritten from their live survivors
+//!    (immutable files reclaim space by rewrite, so the debt is paid
+//!    here, priced as a read+write at the layer's tier);
+//! 3. **demote** — the oldest warm layers beyond the retained count
+//!    move wholesale to the cold tier, *except* layers holding a pinned
+//!    key: pins are the keys reachable from the live recovery line, so
+//!    recovery-critical data is never pushed below its read-cost budget.
+//!
+//! The same passes run on both planes — a real thread in the live
+//! runtime's uploader, modeled events in the virtual-time engine — and
+//! [`maintenance_io_ns`] turns a pass's [`MaintenanceReport`] into the
+//! modeled IO cost so the engine can charge virtual time for the work
+//! the thread does in wall time.
+
+use crate::backend::ObjectKey;
+use crate::layer::Layer;
+use crate::tier::{Loc, TierInner, TieredProfile};
+use std::collections::BTreeMap;
+
+/// When the compactor seals, demotes and vacuums.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierPolicy {
+    /// Seal the hot tier into a warm layer once it holds more than this
+    /// many bytes.
+    pub hot_capacity_bytes: u64,
+    /// Warm layers retained before the oldest unpinned ones demote to
+    /// cold.
+    pub warm_retain_layers: usize,
+    /// Rewrite a layer once more than this fraction of its sealed
+    /// footprint is dead.
+    pub vacuum_dead_fraction: f64,
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        Self {
+            hot_capacity_bytes: 1 << 20,
+            warm_retain_layers: 4,
+            vacuum_dead_fraction: 0.5,
+        }
+    }
+}
+
+/// What one maintenance run did — the input to [`maintenance_io_ns`]
+/// and the increments behind [`crate::tier::TieredStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    pub sealed_layers: u64,
+    /// Logical objects sealed out of the hot tier.
+    pub sealed_objects: u64,
+    /// Unique blobs the seal wrote (after dedup).
+    pub sealed_blobs: u64,
+    /// Unique bytes the seal wrote (after dedup).
+    pub sealed_bytes: u64,
+    /// Logical minus stored bytes at seal/rewrite time.
+    pub dedup_saved_bytes: u64,
+    pub demoted_layers: u64,
+    pub demoted_objects: u64,
+    pub demoted_bytes: u64,
+    pub vacuumed_layers: u64,
+    pub warm_rewritten_objects: u64,
+    pub warm_rewritten_bytes: u64,
+    pub cold_rewritten_objects: u64,
+    pub cold_rewritten_bytes: u64,
+    /// Dead bytes reclaimed by vacuum rewrites.
+    pub reclaimed_bytes: u64,
+}
+
+impl MaintenanceReport {
+    /// True when the run moved nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Modeled IO cost of one maintenance run: each pass reads from its
+/// source tier and writes to its destination tier at the declared
+/// profiles, with pipelined batching. No-op passes cost nothing.
+pub fn maintenance_io_ns(tiers: &TieredProfile, rep: &MaintenanceReport) -> u64 {
+    let mut ns = 0u64;
+    if rep.sealed_objects > 0 {
+        let logical = rep.sealed_bytes + rep.dedup_saved_bytes;
+        ns += tiers
+            .hot
+            .get_many_ns(rep.sealed_objects as usize, logical as usize);
+        ns += tiers
+            .warm
+            .put_many_ns(rep.sealed_blobs as usize, rep.sealed_bytes as usize);
+    }
+    if rep.demoted_objects > 0 {
+        ns += tiers
+            .warm
+            .get_many_ns(rep.demoted_objects as usize, rep.demoted_bytes as usize);
+        ns += tiers
+            .cold
+            .put_many_ns(rep.demoted_objects as usize, rep.demoted_bytes as usize);
+    }
+    if rep.warm_rewritten_objects > 0 {
+        let (o, b) = (
+            rep.warm_rewritten_objects as usize,
+            rep.warm_rewritten_bytes as usize,
+        );
+        ns += tiers.warm.get_many_ns(o, b) + tiers.warm.put_many_ns(o, b);
+    }
+    if rep.cold_rewritten_objects > 0 {
+        let (o, b) = (
+            rep.cold_rewritten_objects as usize,
+            rep.cold_rewritten_bytes as usize,
+        );
+        ns += tiers.cold.get_many_ns(o, b) + tiers.cold.put_many_ns(o, b);
+    }
+    ns
+}
+
+/// Seal the hot tier into one warm layer when it is over capacity.
+pub(crate) fn seal_pass(inner: &mut TierInner, policy: &TierPolicy, rep: &mut MaintenanceReport) {
+    if inner.hot_bytes <= policy.hot_capacity_bytes || inner.hot.is_empty() {
+        return;
+    }
+    let items: Vec<(ObjectKey, bytes::Bytes)> =
+        std::mem::take(&mut inner.hot).into_iter().collect();
+    let logical = inner.hot_bytes;
+    inner.hot_bytes = 0;
+    let id = inner.next_layer;
+    inner.next_layer += 1;
+    rep.sealed_objects += items.len() as u64;
+    let (layer, saved) = Layer::seal(id, items);
+    for k in layer.keys() {
+        if let Some(loc) = inner.locs.get_mut(k) {
+            *loc = Loc::Warm(id);
+        }
+    }
+    rep.sealed_layers += 1;
+    rep.sealed_blobs += layer.unique_blobs() as u64;
+    rep.sealed_bytes += layer.stored_bytes();
+    rep.dedup_saved_bytes += saved;
+    debug_assert_eq!(layer.stored_bytes() + saved, logical);
+    inner.warm.insert(id, layer);
+}
+
+/// Rewrite layers whose dead fraction crossed the policy threshold.
+pub(crate) fn vacuum_pass(inner: &mut TierInner, policy: &TierPolicy, rep: &mut MaintenanceReport) {
+    let TierInner {
+        warm,
+        cold,
+        locs,
+        next_layer,
+        ..
+    } = inner;
+    let w = vacuum_tier(
+        warm,
+        locs,
+        next_layer,
+        policy.vacuum_dead_fraction,
+        Loc::Warm,
+    );
+    rep.vacuumed_layers += w.layers;
+    rep.warm_rewritten_objects += w.objects;
+    rep.warm_rewritten_bytes += w.bytes;
+    rep.reclaimed_bytes += w.reclaimed;
+    rep.dedup_saved_bytes += w.saved;
+    let c = vacuum_tier(
+        cold,
+        locs,
+        next_layer,
+        policy.vacuum_dead_fraction,
+        Loc::Cold,
+    );
+    rep.vacuumed_layers += c.layers;
+    rep.cold_rewritten_objects += c.objects;
+    rep.cold_rewritten_bytes += c.bytes;
+    rep.reclaimed_bytes += c.reclaimed;
+    rep.dedup_saved_bytes += c.saved;
+}
+
+#[derive(Default)]
+struct VacuumTally {
+    layers: u64,
+    objects: u64,
+    bytes: u64,
+    reclaimed: u64,
+    saved: u64,
+}
+
+fn vacuum_tier(
+    map: &mut BTreeMap<u64, Layer>,
+    locs: &mut BTreeMap<ObjectKey, Loc>,
+    next_layer: &mut u64,
+    dead_fraction: f64,
+    loc_of: fn(u64) -> Loc,
+) -> VacuumTally {
+    let mut tally = VacuumTally::default();
+    let ids: Vec<u64> = map
+        .iter()
+        .filter(|(_, l)| l.dead_bytes() > 0 && l.dead_fraction() > dead_fraction)
+        .map(|(id, _)| *id)
+        .collect();
+    for id in ids {
+        let old = map.remove(&id).expect("vacuum candidate id just listed");
+        tally.layers += 1;
+        tally.reclaimed += old.dead_bytes();
+        let items = old.into_live_items();
+        if items.is_empty() {
+            continue; // fully dead layer: dropping it is the rewrite
+        }
+        let new_id = *next_layer;
+        *next_layer += 1;
+        let (layer, saved) = Layer::seal(new_id, items);
+        for k in layer.keys() {
+            if let Some(loc) = locs.get_mut(k) {
+                *loc = loc_of(new_id);
+            }
+        }
+        tally.objects += layer.live_objects() as u64;
+        tally.bytes += layer.stored_bytes();
+        tally.saved += saved;
+        map.insert(new_id, layer);
+    }
+    tally
+}
+
+/// Move the oldest unpinned warm layers beyond the retained count to
+/// cold. A layer holding any pinned key — one reachable from the live
+/// recovery line — is skipped, so a recovery never reads its critical
+/// chunks at cold-tier cost.
+pub(crate) fn demote_pass(inner: &mut TierInner, policy: &TierPolicy, rep: &mut MaintenanceReport) {
+    let excess = inner.warm.len().saturating_sub(policy.warm_retain_layers);
+    // Only the oldest `excess` layers are demotion candidates — the
+    // newest `warm_retain_layers` stay warm regardless — and a pinned
+    // candidate simply stays too (the warm tier runs over its retained
+    // count until the recovery line moves on).
+    let victims: Vec<u64> = inner
+        .warm
+        .iter()
+        .take(excess)
+        .filter(|(_, l)| !l.keys().any(|k| inner.pins.contains(k)))
+        .map(|(id, _)| *id)
+        .collect();
+    for id in victims {
+        let layer = inner.warm.remove(&id).expect("victim id just listed");
+        for k in layer.keys() {
+            if let Some(loc) = inner.locs.get_mut(k) {
+                *loc = Loc::Cold(id);
+            }
+        }
+        rep.demoted_layers += 1;
+        rep.demoted_objects += layer.live_objects() as u64;
+        rep.demoted_bytes += layer.stored_bytes();
+        inner.cold.insert(id, layer);
+    }
+}

@@ -28,8 +28,15 @@ pub struct FileBackend {
     root: PathBuf,
     index: Mutex<BTreeMap<ObjectKey, u64>>,
     tmp_seq: Mutex<u64>,
-    profile: StorageProfile,
+    /// Recycled key strings from previous runs (see
+    /// [`StorageBackend::reset`]).
+    key_pool: Mutex<Vec<String>>,
+    profile: Mutex<StorageProfile>,
 }
+
+/// Keys retained by the pool across resets (same bound as
+/// `MemBackend`'s).
+const KEY_POOL_CAP: usize = 4096;
 
 fn escape_component(c: &str) -> String {
     let mut out = String::with_capacity(c.len());
@@ -97,12 +104,26 @@ impl FileBackend {
             root,
             index: Mutex::new(index),
             tmp_seq: Mutex::new(0),
-            profile: StorageProfile::file(),
+            key_pool: Mutex::new(Vec::new()),
+            profile: Mutex::new(StorageProfile::file()),
         })
     }
 
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// An owned key equal to `key`, reusing a pooled allocation when one
+    /// is available.
+    fn owned_key(&self, key: &str) -> String {
+        match self.key_pool.lock().pop() {
+            Some(mut s) => {
+                s.clear();
+                s.push_str(key);
+                s
+            }
+            None => key.to_string(),
+        }
     }
 
     fn path_of(&self, key: &str) -> PathBuf {
@@ -153,7 +174,15 @@ impl StorageBackend for FileBackend {
         }
         std::fs::write(&tmp, &bytes).map_err(|e| Self::io_err("put", key, e))?;
         std::fs::rename(&tmp, &path).map_err(|e| Self::io_err("put", key, e))?;
-        index.insert(key.to_string(), bytes.len() as u64);
+        // Overwrites keep the resident key; only fresh keys draw from
+        // the pool (or allocate).
+        match index.get_mut(key) {
+            Some(slot) => *slot = bytes.len() as u64,
+            None => {
+                let owned = self.owned_key(key);
+                index.insert(owned, bytes.len() as u64);
+            }
+        }
         Ok(())
     }
 
@@ -216,7 +245,40 @@ impl StorageBackend for FileBackend {
     }
 
     fn profile(&self) -> StorageProfile {
-        self.profile
+        *self.profile.lock()
+    }
+
+    /// In-place empty with key-string recycling, like `MemBackend`: the
+    /// on-disk objects are removed (the root directory itself stays),
+    /// the index drains its key allocations into the pool, and the
+    /// backend adopts `profile`. A reset store is observationally a
+    /// freshly opened empty root — pooled sessions can keep one durable
+    /// backend across runs instead of reopening per run.
+    fn reset(&self, profile: StorageProfile) -> bool {
+        let mut index = self.index.lock();
+        // Remove everything under the root in one sweep (cheaper than
+        // per-key removal + directory pruning for a full wipe), keeping
+        // the root itself so the backend stays open.
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let _ = if entry.file_type().is_ok_and(|t| t.is_dir()) {
+                    std::fs::remove_dir_all(&path)
+                } else {
+                    std::fs::remove_file(&path)
+                };
+            }
+        }
+        let drained = std::mem::take(&mut *index);
+        let mut pool = self.key_pool.lock();
+        for key in drained.into_keys() {
+            if pool.len() >= KEY_POOL_CAP {
+                break;
+            }
+            pool.push(key);
+        }
+        *self.profile.lock() = profile;
+        true
     }
 }
 
@@ -271,6 +333,35 @@ mod tests {
                 "key {key:?}"
             );
         }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reset_empties_in_place_and_survives_restart() {
+        let root = tmp_root("reset");
+        let b = FileBackend::open(&root).unwrap();
+        b.put("ckpt/0/1", Bytes::from(vec![1u8; 16])).unwrap();
+        b.put("ckpt/0/2", Bytes::from(vec![2u8; 16])).unwrap();
+        let fast = StorageProfile::ram();
+        assert!(b.reset(fast));
+        assert_eq!(b.object_count(), 0);
+        assert_eq!(b.total_bytes(), 0);
+        assert!(b.get("ckpt/0/1").unwrap().is_none());
+        assert_eq!(b.profile().name, fast.name);
+        // The next run's puts reuse the pooled key strings and the
+        // objects are durable again.
+        assert_eq!(b.key_pool.lock().len(), 2);
+        b.put("ckpt/0/1", Bytes::from(vec![9u8; 4])).unwrap();
+        assert_eq!(b.key_pool.lock().len(), 1);
+        // Overwrites keep the resident key (no pool draw).
+        b.put("ckpt/0/1", Bytes::from(vec![7u8; 8])).unwrap();
+        assert_eq!(b.key_pool.lock().len(), 1);
+        // "Restart": a fresh backend over the same root sees exactly the
+        // post-reset world — reset wiped the disk, later puts persisted.
+        let b2 = FileBackend::open(&root).unwrap();
+        assert_eq!(b2.object_count(), 1);
+        assert_eq!(b2.get("ckpt/0/1").unwrap().unwrap().len(), 8);
+        assert!(b2.get("ckpt/0/2").unwrap().is_none());
         let _ = std::fs::remove_dir_all(&root);
     }
 

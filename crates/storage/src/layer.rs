@@ -1,0 +1,235 @@
+//! Immutable sealed layers: the unit of the warm and cold tiers.
+//!
+//! A layer is born when the hot tier seals — every resident object is
+//! moved into one immutable, content-deduplicated bundle (the shape of
+//! an LSM sorted run or a Neon image layer: written once, never updated
+//! in place). Identical blobs inside one seal share storage — a refcount
+//! per blob tracks how many keys still point at it — so re-uploaded
+//! incremental chunks and identical snapshots across instances are
+//! stored once. Deletes are logical: the key leaves the layer's index
+//! and the blob's refcount drops; bytes whose refcount reaches zero are
+//! freed immediately but stay *accounted* as `dead_bytes` until a
+//! vacuum rewrites the layer, because in the modeled world (and the real
+//! systems this mirrors) reclaiming space in an immutable file costs a
+//! rewrite, not a metadata update.
+
+use crate::backend::ObjectKey;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// FNV-1a over a blob's contents — only used to bucket candidate
+/// duplicates at seal time; equality is always confirmed by a byte
+/// compare, so collisions cost time, never correctness.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One immutable sealed layer: an ordered key index over a deduplicated
+/// blob table.
+#[derive(Debug)]
+pub struct Layer {
+    id: u64,
+    /// Key → slot in `blobs`.
+    entries: BTreeMap<ObjectKey, u32>,
+    /// Deduplicated blob table; a slot is `None` once its refcount hit
+    /// zero (memory is returned eagerly, accounting stays in
+    /// `dead_bytes` until vacuum).
+    blobs: Vec<Option<Bytes>>,
+    /// Live keys per blob slot.
+    refs: Vec<u32>,
+    /// Unique live blob bytes stored by this layer.
+    stored_bytes: u64,
+    /// Blob bytes whose last key was deleted since the layer was sealed
+    /// — the rewrite debt a vacuum clears.
+    dead_bytes: u64,
+}
+
+impl Layer {
+    /// Seal `items` into an immutable layer, deduplicating identical
+    /// blobs. Returns the layer and the logical bytes dedup saved
+    /// (`sum(len) − stored_bytes`).
+    pub fn seal(id: u64, items: Vec<(ObjectKey, Bytes)>) -> (Self, u64) {
+        let mut entries = BTreeMap::new();
+        let mut blobs: Vec<Option<Bytes>> = Vec::new();
+        let mut refs: Vec<u32> = Vec::new();
+        let mut by_hash: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let mut stored = 0u64;
+        let mut logical = 0u64;
+        for (key, bytes) in items {
+            logical += bytes.len() as u64;
+            let h = content_hash(&bytes);
+            let candidates = by_hash.entry(h).or_default();
+            let slot = candidates
+                .iter()
+                .copied()
+                .find(|&s| blobs[s as usize].as_deref() == Some(bytes.as_ref()));
+            let slot = match slot {
+                Some(s) => {
+                    refs[s as usize] += 1;
+                    s
+                }
+                None => {
+                    let s = blobs.len() as u32;
+                    stored += bytes.len() as u64;
+                    blobs.push(Some(bytes));
+                    refs.push(1);
+                    candidates.push(s);
+                    s
+                }
+            };
+            // Seal input never repeats a key (the hot tier is a map),
+            // so this insert cannot displace an existing entry.
+            entries.insert(key, slot);
+        }
+        (
+            Self {
+                id,
+                entries,
+                blobs,
+                refs,
+                stored_bytes: stored,
+                dead_bytes: 0,
+            },
+            logical - stored,
+        )
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let slot = *self.entries.get(key)?;
+        self.blobs[slot as usize].clone()
+    }
+
+    pub fn size_of(&self, key: &str) -> Option<usize> {
+        let slot = *self.entries.get(key)?;
+        self.blobs[slot as usize].as_ref().map(Bytes::len)
+    }
+
+    /// Logically delete `key`: the index entry leaves, and when the
+    /// blob's last reference drops its bytes move from stored to dead.
+    /// Returns the object's length when the key was present.
+    pub fn remove(&mut self, key: &str) -> Option<usize> {
+        let slot = self.entries.remove(key)? as usize;
+        let len = self.blobs[slot].as_ref().map(Bytes::len).unwrap_or(0);
+        self.refs[slot] -= 1;
+        if self.refs[slot] == 0 {
+            self.blobs[slot] = None;
+            self.stored_bytes -= len as u64;
+            self.dead_bytes += len as u64;
+        }
+        Some(len)
+    }
+
+    /// Live keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &ObjectKey> {
+        self.entries.keys()
+    }
+
+    pub fn live_objects(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Live unique blobs — what a seal physically wrote, net of dedup.
+    pub fn unique_blobs(&self) -> usize {
+        self.blobs.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Unique live blob bytes this layer stores.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Rewrite debt: bytes dead since seal.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    /// Fraction of the layer's sealed footprint that is dead — the
+    /// vacuum trigger.
+    pub fn dead_fraction(&self) -> f64 {
+        let total = self.stored_bytes + self.dead_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_bytes as f64 / total as f64
+        }
+    }
+
+    /// Consume the layer into its live `(key, blob)` pairs — the vacuum
+    /// rewrite input.
+    pub fn into_live_items(self) -> Vec<(ObjectKey, Bytes)> {
+        let blobs = self.blobs;
+        self.entries
+            .into_iter()
+            .map(|(k, slot)| {
+                let bytes = blobs[slot as usize]
+                    .clone()
+                    .expect("live entry points at a live blob");
+                (k, bytes)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(pairs: &[(&str, &[u8])]) -> Vec<(ObjectKey, Bytes)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Bytes::from(v.to_vec())))
+            .collect()
+    }
+
+    #[test]
+    fn seal_deduplicates_identical_blobs() {
+        let (layer, saved) = Layer::seal(
+            1,
+            items(&[("a", b"hello"), ("b", b"hello"), ("c", b"world!")]),
+        );
+        assert_eq!(layer.live_objects(), 3);
+        assert_eq!(layer.stored_bytes(), 5 + 6);
+        assert_eq!(saved, 5, "second hello shares the first's blob");
+        assert_eq!(layer.get("a").unwrap().as_ref(), b"hello");
+        assert_eq!(layer.get("b").unwrap().as_ref(), b"hello");
+        assert_eq!(layer.size_of("c"), Some(6));
+    }
+
+    #[test]
+    fn remove_tracks_dead_bytes_through_shared_blobs() {
+        let (mut layer, _) = Layer::seal(7, items(&[("a", b"xxxx"), ("b", b"xxxx")]));
+        // First remove drops a reference but the blob stays live.
+        assert_eq!(layer.remove("a"), Some(4));
+        assert_eq!(layer.stored_bytes(), 4);
+        assert_eq!(layer.dead_bytes(), 0);
+        assert_eq!(layer.get("b").unwrap().as_ref(), b"xxxx");
+        // Last reference gone: bytes move from stored to dead.
+        assert_eq!(layer.remove("b"), Some(4));
+        assert_eq!(layer.stored_bytes(), 0);
+        assert_eq!(layer.dead_bytes(), 4);
+        assert_eq!(layer.dead_fraction(), 1.0);
+        assert_eq!(layer.remove("b"), None);
+    }
+
+    #[test]
+    fn into_live_items_round_trips_the_survivors() {
+        let (mut layer, _) = Layer::seal(3, items(&[("a", b"1"), ("b", b"22"), ("c", b"333")]));
+        layer.remove("b");
+        let live = layer.into_live_items();
+        assert_eq!(
+            live.iter()
+                .map(|(k, v)| (k.as_str(), v.as_ref()))
+                .collect::<Vec<_>>(),
+            vec![("a", b"1".as_ref()), ("c", b"333".as_ref())]
+        );
+    }
+}

@@ -20,15 +20,27 @@
 //! - [`ObjectStore`] — the facade handle in front of a backend, adding
 //!   per-operation traffic accounting ([`StoreStats`]) and
 //!   transient-failure retries with retry accounting.
+//!
+//! On top of the flat backends sits the tiered checkpoint store
+//! ([`TieredBackend`], `tier`/`layer`/`compact` modules): hot ingest →
+//! immutable deduplicated warm layers → modeled cold offload, each tier
+//! priced by its own [`StorageProfile`], with background compaction
+//! that honors recovery-line pins.
 
 pub mod backend;
+pub mod compact;
 pub mod file;
+pub mod layer;
 pub mod perturb;
 pub mod profile;
 pub mod store;
+pub mod tier;
 
 pub use backend::{MemBackend, ObjectKey, StorageBackend, StorageError};
+pub use compact::{maintenance_io_ns, MaintenanceReport, TierPolicy};
 pub use file::FileBackend;
+pub use layer::Layer;
 pub use perturb::{Perturbation, PerturbedBackend};
 pub use profile::StorageProfile;
 pub use store::{ObjectStore, SharedStore, StoreStats, MAX_ATTEMPTS};
+pub use tier::{Tier, TierStats, TieredBackend, TieredProfile, TieredStats};

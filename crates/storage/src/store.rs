@@ -195,10 +195,11 @@ impl ObjectStore {
     /// Recycle this store for a fresh run: empty the backend in place
     /// (pooling its allocations), adopt `profile`, and zero the traffic
     /// stats. Returns `false` — leaving the store untouched — when the
-    /// backend does not support in-place reset (durable or perturbed
+    /// backend does not support in-place reset (perturbed or tiered
     /// backends); the caller then constructs a fresh store. After a
     /// successful reset the handle is observationally identical to a
-    /// newly constructed in-memory store with that profile.
+    /// newly constructed empty store with that profile (in-memory and
+    /// file backends both reset in place).
     pub fn reset(&self, profile: StorageProfile) -> bool {
         if !self.backend.reset(profile) {
             return false;

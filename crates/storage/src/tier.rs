@@ -1,0 +1,519 @@
+//! The tiered checkpoint store: hot ingest, warm layers, cold offload.
+//!
+//! A [`TieredBackend`] is one logical keyed blob store (it implements
+//! [`StorageBackend`], so the [`crate::ObjectStore`] facade, the
+//! engine's GC and the live runtime's recovery readers all work
+//! unchanged) whose objects physically live in one of three tiers:
+//!
+//! ```text
+//!   PUT ──▶ hot   (mutable map: fresh checkpoint chunks, cheap writes)
+//!            │ seal (over capacity: dedup into an immutable Layer)
+//!            ▼
+//!          warm  (immutable sealed layers, vacuum rewrites dead ones)
+//!            │ demote (oldest unpinned layers beyond the retained set)
+//!            ▼
+//!          cold  (modeled remote offload; recovery can still read it)
+//! ```
+//!
+//! Each tier is priced by its own [`StorageProfile`] (typically
+//! local-ssd → minio-lan → s3-wan); reads are transparent — a GET
+//! resolves wherever the key currently lives — but *where* it lives
+//! decides what the virtual-time engine charges for the read. The
+//! external accounting (`object_count`, `total_bytes`, `size_of`) is
+//! **logical**: it reports live objects and their byte sizes exactly
+//! like a flat backend would, so GC bookkeeping, store stats and the
+//! flat-store oracle all agree — dedup and layering change where bytes
+//! sit and what IO costs, never what the store appears to contain.
+//!
+//! Compaction ([`TieredBackend::maintain`]) runs off the PUT path — a
+//! real thread in the live runtime's uploader, modeled events in the
+//! virtual-time engine — and honors *pins* ([`TieredBackend::set_pins`]):
+//! the keys reachable from the current recovery line, which never
+//! demote below the warm tier.
+
+use crate::backend::{ObjectKey, StorageBackend, StorageError};
+use crate::compact::{self, MaintenanceReport, TierPolicy};
+use crate::layer::Layer;
+use crate::profile::StorageProfile;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which tier currently serves a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    Hot,
+    Warm,
+    Cold,
+}
+
+/// Per-tier latency/bandwidth declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredProfile {
+    pub hot: StorageProfile,
+    pub warm: StorageProfile,
+    pub cold: StorageProfile,
+}
+
+impl TieredProfile {
+    /// The canonical production-shaped ladder: local SSD ingest, a
+    /// MinIO-like warm store on the LAN, S3-over-WAN cold offload.
+    pub fn standard() -> Self {
+        Self {
+            hot: StorageProfile::local_ssd(),
+            warm: StorageProfile::minio_lan(),
+            cold: StorageProfile::s3_wan(),
+        }
+    }
+
+    /// Every tier priced as `profile` — the passthrough oracle: a
+    /// tiered store that costs exactly what the flat store costs.
+    pub fn flat(profile: StorageProfile) -> Self {
+        Self {
+            hot: profile,
+            warm: profile,
+            cold: profile,
+        }
+    }
+
+    pub fn profile_of(&self, tier: Tier) -> StorageProfile {
+        match tier {
+            Tier::Hot => self.hot,
+            Tier::Warm => self.warm,
+            Tier::Cold => self.cold,
+        }
+    }
+}
+
+/// Residency and read traffic of one tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Live objects currently served from this tier.
+    pub objects: u64,
+    /// Physically stored bytes in this tier (post-dedup for layers).
+    pub bytes: u64,
+    /// GETs served from this tier.
+    pub gets: u64,
+    /// Bytes read from this tier.
+    pub bytes_got: u64,
+}
+
+/// Aggregate statistics of a [`TieredBackend`]: per-tier residency and
+/// reads plus the compactor's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieredStats {
+    pub hot: TierStats,
+    pub warm: TierStats,
+    pub cold: TierStats,
+    /// High-water mark of hot-tier resident bytes.
+    pub hot_peak_bytes: u64,
+    pub seals: u64,
+    pub sealed_objects: u64,
+    pub sealed_bytes: u64,
+    pub dedup_saved_bytes: u64,
+    pub demotions: u64,
+    pub demoted_objects: u64,
+    pub demoted_bytes: u64,
+    pub vacuums: u64,
+    pub rewritten_bytes: u64,
+    pub reclaimed_bytes: u64,
+    pub maintenance_runs: u64,
+    /// Modeled (engine) or measured (live) compaction IO time.
+    pub maintenance_io_ns: u64,
+}
+
+/// Where a live key's bytes sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Loc {
+    Hot,
+    Warm(u64),
+    Cold(u64),
+}
+
+/// Read-traffic and compaction counters accumulated across the
+/// backend's lifetime (residency is derived from the maps at
+/// [`TieredBackend::stats`] time).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TierCounters {
+    pub(crate) gets: [u64; 3],
+    pub(crate) bytes_got: [u64; 3],
+    pub(crate) seals: u64,
+    pub(crate) sealed_objects: u64,
+    pub(crate) sealed_bytes: u64,
+    pub(crate) dedup_saved_bytes: u64,
+    pub(crate) demotions: u64,
+    pub(crate) demoted_objects: u64,
+    pub(crate) demoted_bytes: u64,
+    pub(crate) vacuums: u64,
+    pub(crate) rewritten_bytes: u64,
+    pub(crate) reclaimed_bytes: u64,
+    pub(crate) maintenance_runs: u64,
+    pub(crate) maintenance_io_ns: u64,
+}
+
+/// The mutable tier state, all behind one lock so `delete_prefix` keeps
+/// its single-critical-section guarantee and maintenance observes a
+/// consistent world.
+#[derive(Debug, Default)]
+pub(crate) struct TierInner {
+    pub(crate) hot: BTreeMap<ObjectKey, Bytes>,
+    pub(crate) hot_bytes: u64,
+    pub(crate) hot_peak_bytes: u64,
+    /// Logical live bytes across all tiers (what a flat store's
+    /// `total_bytes` would report).
+    pub(crate) logical_bytes: u64,
+    pub(crate) warm: BTreeMap<u64, Layer>,
+    pub(crate) cold: BTreeMap<u64, Layer>,
+    pub(crate) next_layer: u64,
+    /// Key → current tier location; the source of truth for existence.
+    pub(crate) locs: BTreeMap<ObjectKey, Loc>,
+    /// Keys reachable from the live recovery line; never demoted cold.
+    pub(crate) pins: BTreeSet<ObjectKey>,
+    pub(crate) counters: TierCounters,
+}
+
+impl TierInner {
+    /// Remove `key` wherever it lives; returns its logical length.
+    fn remove(&mut self, key: &str) -> Option<usize> {
+        let len = match self.locs.remove(key)? {
+            Loc::Hot => {
+                let b = self.hot.remove(key).expect("hot loc implies hot entry");
+                self.hot_bytes -= b.len() as u64;
+                b.len()
+            }
+            Loc::Warm(id) => self
+                .warm
+                .get_mut(&id)
+                .expect("warm loc implies layer")
+                .remove(key)
+                .expect("layer loc implies layer entry"),
+            Loc::Cold(id) => self
+                .cold
+                .get_mut(&id)
+                .expect("cold loc implies layer")
+                .remove(key)
+                .expect("layer loc implies layer entry"),
+        };
+        self.logical_bytes -= len as u64;
+        Some(len)
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        match self.locs.get(key)? {
+            Loc::Hot => self.hot.get(key).map(Bytes::len),
+            Loc::Warm(id) => self.warm.get(id).and_then(|l| l.size_of(key)),
+            Loc::Cold(id) => self.cold.get(id).and_then(|l| l.size_of(key)),
+        }
+    }
+}
+
+/// The tiered storage backend. See the module docs for the data flow;
+/// see [`TierPolicy`] for the compaction knobs.
+#[derive(Debug)]
+pub struct TieredBackend {
+    tiers: TieredProfile,
+    policy: TierPolicy,
+    inner: Mutex<TierInner>,
+}
+
+impl TieredBackend {
+    pub fn new(tiers: TieredProfile, policy: TierPolicy) -> Self {
+        Self {
+            tiers,
+            policy,
+            inner: Mutex::new(TierInner::default()),
+        }
+    }
+
+    pub fn tiers(&self) -> TieredProfile {
+        self.tiers
+    }
+
+    pub fn policy(&self) -> TierPolicy {
+        self.policy
+    }
+
+    /// The tier currently serving `key` (`None` when absent).
+    pub fn tier_of(&self, key: &str) -> Option<Tier> {
+        Some(match self.inner.lock().locs.get(key)? {
+            Loc::Hot => Tier::Hot,
+            Loc::Warm(_) => Tier::Warm,
+            Loc::Cold(_) => Tier::Cold,
+        })
+    }
+
+    /// The profile a read of `key` is priced at right now. Missing keys
+    /// price as hot — the caller is about to observe the miss anyway.
+    pub fn read_profile(&self, key: &str) -> StorageProfile {
+        self.tiers
+            .profile_of(self.tier_of(key).unwrap_or(Tier::Hot))
+    }
+
+    /// Replace the pin set: the keys reachable from the current
+    /// recovery line. Pinned keys may seal into warm layers but those
+    /// layers never demote to cold, bounding every live line member's
+    /// read cost at the warm profile.
+    pub fn set_pins(&self, pins: BTreeSet<ObjectKey>) {
+        self.inner.lock().pins = pins;
+    }
+
+    /// Run one maintenance cycle (seal → vacuum → demote) and report
+    /// what moved. Safe to call from any thread at any time.
+    pub fn maintain(&self) -> MaintenanceReport {
+        let mut inner = self.inner.lock();
+        let mut rep = MaintenanceReport::default();
+        compact::seal_pass(&mut inner, &self.policy, &mut rep);
+        compact::vacuum_pass(&mut inner, &self.policy, &mut rep);
+        compact::demote_pass(&mut inner, &self.policy, &mut rep);
+        let c = &mut inner.counters;
+        c.maintenance_runs += 1;
+        c.seals += rep.sealed_layers;
+        c.sealed_objects += rep.sealed_objects;
+        c.sealed_bytes += rep.sealed_bytes;
+        c.dedup_saved_bytes += rep.dedup_saved_bytes;
+        c.demotions += rep.demoted_layers;
+        c.demoted_objects += rep.demoted_objects;
+        c.demoted_bytes += rep.demoted_bytes;
+        c.vacuums += rep.vacuumed_layers;
+        c.rewritten_bytes += rep.warm_rewritten_bytes + rep.cold_rewritten_bytes;
+        c.reclaimed_bytes += rep.reclaimed_bytes;
+        rep
+    }
+
+    /// Account compaction IO time — virtual ns from the engine's model,
+    /// wall ns from the live uploader thread.
+    pub fn note_io_ns(&self, ns: u64) {
+        self.inner.lock().counters.maintenance_io_ns += ns;
+    }
+
+    pub fn stats(&self) -> TieredStats {
+        let inner = self.inner.lock();
+        let c = &inner.counters;
+        let layer_stats = |map: &BTreeMap<u64, Layer>, t: usize| TierStats {
+            objects: map.values().map(|l| l.live_objects() as u64).sum(),
+            bytes: map.values().map(Layer::stored_bytes).sum(),
+            gets: c.gets[t],
+            bytes_got: c.bytes_got[t],
+        };
+        TieredStats {
+            hot: TierStats {
+                objects: inner.hot.len() as u64,
+                bytes: inner.hot_bytes,
+                gets: c.gets[0],
+                bytes_got: c.bytes_got[0],
+            },
+            warm: layer_stats(&inner.warm, 1),
+            cold: layer_stats(&inner.cold, 2),
+            hot_peak_bytes: inner.hot_peak_bytes,
+            seals: c.seals,
+            sealed_objects: c.sealed_objects,
+            sealed_bytes: c.sealed_bytes,
+            dedup_saved_bytes: c.dedup_saved_bytes,
+            demotions: c.demotions,
+            demoted_objects: c.demoted_objects,
+            demoted_bytes: c.demoted_bytes,
+            vacuums: c.vacuums,
+            rewritten_bytes: c.rewritten_bytes,
+            reclaimed_bytes: c.reclaimed_bytes,
+            maintenance_runs: c.maintenance_runs,
+            maintenance_io_ns: c.maintenance_io_ns,
+        }
+    }
+}
+
+impl StorageBackend for TieredBackend {
+    fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        // Replace semantics match a flat store: the old version dies
+        // wherever it lives (a layer-resident old version becomes
+        // vacuum debt), the new version is hot.
+        inner.remove(key);
+        let len = bytes.len() as u64;
+        inner.hot.insert(key.to_string(), bytes);
+        inner.hot_bytes += len;
+        inner.hot_peak_bytes = inner.hot_peak_bytes.max(inner.hot_bytes);
+        inner.logical_bytes += len;
+        inner.locs.insert(key.to_string(), Loc::Hot);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        let mut inner = self.inner.lock();
+        let Some(loc) = inner.locs.get(key).copied() else {
+            return Ok(None);
+        };
+        let (tier, got) = match loc {
+            Loc::Hot => (0, inner.hot.get(key).cloned()),
+            Loc::Warm(id) => (1, inner.warm.get(&id).and_then(|l| l.get(key))),
+            Loc::Cold(id) => (2, inner.cold.get(&id).and_then(|l| l.get(key))),
+        };
+        if let Some(b) = &got {
+            inner.counters.gets[tier] += 1;
+            inner.counters.bytes_got[tier] += b.len() as u64;
+        }
+        Ok(got)
+    }
+
+    fn delete(&self, key: &str) -> Option<usize> {
+        self.inner.lock().remove(key)
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> (usize, u64) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<ObjectKey> = inner
+            .locs
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut bytes = 0u64;
+        for k in &keys {
+            if let Some(len) = inner.remove(k) {
+                bytes += len as u64;
+            }
+        }
+        (keys.len(), bytes)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<ObjectKey> {
+        let inner = self.inner.lock();
+        inner
+            .locs
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        self.inner.lock().size_of(key)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.lock().locs.len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.lock().logical_bytes
+    }
+
+    /// The ingest tier's profile: what a PUT costs. Reads are priced
+    /// per-tier by the engine via [`TieredBackend::read_profile`].
+    fn profile(&self) -> StorageProfile {
+        self.tiers.hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_policy() -> TierPolicy {
+        TierPolicy {
+            hot_capacity_bytes: 64,
+            warm_retain_layers: 1,
+            vacuum_dead_fraction: 0.5,
+        }
+    }
+
+    fn backend() -> TieredBackend {
+        TieredBackend::new(TieredProfile::standard(), tight_policy())
+    }
+
+    fn put(b: &TieredBackend, key: &str, len: usize, fill: u8) {
+        b.put(key, Bytes::from(vec![fill; len])).unwrap();
+    }
+
+    #[test]
+    fn gets_resolve_transparently_across_tiers() {
+        let b = backend();
+        put(&b, "ckpt/0/1", 40, 1);
+        put(&b, "ckpt/0/2", 40, 2);
+        assert_eq!(b.tier_of("ckpt/0/1"), Some(Tier::Hot));
+        // Over capacity: first maintain seals both into a warm layer.
+        b.maintain();
+        assert_eq!(b.tier_of("ckpt/0/1"), Some(Tier::Warm));
+        assert_eq!(b.get("ckpt/0/1").unwrap().unwrap().len(), 40);
+        // Second sealed layer pushes the first beyond the retained
+        // count: it demotes to cold, and reads still resolve.
+        put(&b, "ckpt/0/3", 80, 3);
+        b.maintain();
+        assert_eq!(b.tier_of("ckpt/0/1"), Some(Tier::Cold));
+        assert_eq!(b.tier_of("ckpt/0/3"), Some(Tier::Warm));
+        assert_eq!(b.get("ckpt/0/1").unwrap().unwrap().as_ref(), &[1u8; 40][..]);
+        let st = b.stats();
+        assert_eq!(st.cold.gets, 1);
+        assert_eq!(st.cold.bytes_got, 40);
+        assert!(st.hot_peak_bytes >= 80);
+    }
+
+    #[test]
+    fn logical_accounting_matches_a_flat_store() {
+        let b = backend();
+        // Identical contents dedup physically but not logically.
+        put(&b, "a", 50, 9);
+        put(&b, "b", 50, 9);
+        b.maintain();
+        assert_eq!(b.object_count(), 2);
+        assert_eq!(b.total_bytes(), 100, "logical bytes ignore dedup");
+        assert_eq!(b.size_of("a"), Some(50));
+        let st = b.stats();
+        assert_eq!(st.warm.bytes, 50, "physically stored once");
+        assert_eq!(st.dedup_saved_bytes, 50);
+        // Overwrite replaces logically wherever the old version lives.
+        put(&b, "a", 10, 1);
+        assert_eq!(b.total_bytes(), 60);
+        assert_eq!(b.tier_of("a"), Some(Tier::Hot));
+        assert_eq!(b.list(""), vec!["a".to_string(), "b".to_string()]);
+        // Deleting the layered copy leaves vacuum debt, then vacuum
+        // reclaims it.
+        assert_eq!(b.delete("b"), Some(50));
+        assert_eq!(b.total_bytes(), 10);
+        let rep = b.maintain();
+        assert!(rep.reclaimed_bytes >= 50);
+        assert_eq!(b.stats().warm.bytes + b.stats().cold.bytes, 0);
+    }
+
+    #[test]
+    fn pinned_layers_never_demote_to_cold() {
+        let b = backend();
+        put(&b, "ckpt/0/1", 80, 1);
+        b.maintain(); // layer 0 (warm) holds the pinned key
+        b.set_pins(["ckpt/0/1".to_string()].into_iter().collect());
+        put(&b, "ckpt/0/2", 80, 2);
+        b.maintain(); // layer 1 seals; layer 0 would demote but is pinned
+        assert_eq!(b.tier_of("ckpt/0/1"), Some(Tier::Warm));
+        assert_eq!(b.stats().demotions, 0);
+        // Dropping the pin lets the next cycle demote it.
+        b.set_pins(BTreeSet::new());
+        put(&b, "ckpt/0/3", 80, 3);
+        b.maintain();
+        assert_eq!(b.tier_of("ckpt/0/1"), Some(Tier::Cold));
+        assert!(b.stats().demotions >= 1);
+    }
+
+    #[test]
+    fn delete_prefix_spans_tiers_atomically() {
+        let b = backend();
+        put(&b, "ckpt/3/1", 80, 1);
+        b.maintain(); // → warm
+        put(&b, "ckpt/3/2", 10, 2); // stays hot (under capacity)
+        put(&b, "other/1", 10, 3);
+        let (n, bytes) = b.delete_prefix("ckpt/3/");
+        assert_eq!((n, bytes), (2, 90));
+        assert_eq!(b.object_count(), 1);
+        assert_eq!(b.total_bytes(), 10);
+        assert!(b.get("ckpt/3/1").unwrap().is_none());
+    }
+
+    #[test]
+    fn passthrough_profile_prices_every_tier_identically() {
+        let p = StorageProfile::ram();
+        let t = TieredProfile::flat(p);
+        for tier in [Tier::Hot, Tier::Warm, Tier::Cold] {
+            assert_eq!(t.profile_of(tier), p);
+        }
+        let b = TieredBackend::new(t, TierPolicy::default());
+        assert_eq!(b.profile(), p);
+    }
+}

@@ -1,0 +1,83 @@
+//! The tiered checkpoint store on a checkpoint-heavy NexMark cell:
+//! run Q12 with a short checkpoint interval against (a) the flat
+//! in-memory store and (b) the hot → warm → cold ladder with an
+//! aggressive compaction policy, then compare what each keeps resident
+//! in its fastest tier. The tiered run must reproduce the flat run's
+//! sink digest exactly — compaction moves bytes, never output — while
+//! holding a fraction of the flat store's live bytes hot.
+//!
+//! ```text
+//! cargo run --release --example tiered_storage
+//! ```
+//!
+//! The numbers in `BENCH_PR7.json` come from this binary.
+
+use checkmate::core::{IncrementalPolicy, ProtocolKind};
+use checkmate::engine::{Engine, EngineConfig, TierConfig};
+use checkmate::nexmark::Query;
+use checkmate::storage::TierPolicy;
+
+const SEC: u64 = 1_000_000_000;
+const MB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    let parallelism = 4;
+    println!("NexMark Q12, {parallelism} workers, checkpoint every 250 ms for 60 virtual seconds");
+    println!("flat local-ssd store vs hot/warm/cold ladder (seal at 64 KiB, retain 2 layers)\n");
+    for protocol in [ProtocolKind::Coordinated, ProtocolKind::Uncoordinated] {
+        let cfg = EngineConfig {
+            parallelism,
+            protocol,
+            total_rate: 4_000.0,
+            checkpoint_interval: SEC / 4,
+            duration: 60 * SEC,
+            warmup: 2 * SEC,
+            incremental: Some(IncrementalPolicy::default()),
+            ..EngineConfig::default()
+        };
+
+        let workload = Query::Q12.workload(parallelism, 7, None);
+        let flat = Engine::new(&workload, cfg.clone()).run();
+
+        let mut tiered_cfg = cfg.clone();
+        let mut tc = TierConfig::standard(SEC / 4);
+        tc.policy = TierPolicy {
+            hot_capacity_bytes: 64 << 10,
+            warm_retain_layers: 2,
+            vacuum_dead_fraction: 0.3,
+        };
+        tiered_cfg.storage = tc.tiers.hot;
+        tiered_cfg.tiering = Some(tc);
+        let tiered = Engine::new(&workload, tiered_cfg).run();
+
+        assert_eq!(
+            flat.sink_digest, tiered.sink_digest,
+            "{protocol}: tiering changed the output"
+        );
+        let t = tiered.tier.expect("tiered run reports tier stats");
+        let flat_live = flat.store_bytes_live as f64 / MB;
+        let hot = t.hot.bytes as f64 / MB;
+        println!("--- {protocol} ---");
+        println!(
+            "flat store live {flat_live:8.2} MB   (all of it in the fast tier, {} objects)",
+            flat.store_objects_live
+        );
+        println!(
+            "tiered hot      {hot:8.2} MB   warm {:.2} MB   cold {:.2} MB   (peak hot {:.2} MB)",
+            t.warm.bytes as f64 / MB,
+            t.cold.bytes as f64 / MB,
+            t.hot_peak_bytes as f64 / MB,
+        );
+        println!(
+            "hot-tier bytes: {:.1}% of flat   ({} seals, {} demotions, {} vacuums, dedup saved {:.2} MB)",
+            100.0 * hot / flat_live.max(f64::MIN_POSITIVE),
+            t.seals,
+            t.demotions,
+            t.vacuums,
+            t.dedup_saved_bytes as f64 / MB,
+        );
+        println!("sink digest identical: {:016x}\n", flat.sink_digest.acc);
+    }
+    println!("Compaction relocates checkpoint bytes down the ladder without touching");
+    println!("the output; recovery reads pay each tier's own price (see README).");
+}
