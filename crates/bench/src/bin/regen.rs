@@ -176,6 +176,7 @@ fn main() {
     run_exp!("tab4", tab4);
     run_exp!("ablation", ablation);
     run_exp!("storage_sweep", storage_sweep);
+    run_exp!("failure_storm", failure_storm);
     if let Some(dc) = h.disk_cache() {
         eprintln!(
             "# cache: {} hits, {} misses → {}",

@@ -30,7 +30,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Bump to invalidate every existing cache entry (format *or* simulated
 /// timeline-semantics change).
 /// 2: `RunReport` gained the tiered-storage stats block.
-pub const CACHE_FORMAT: u32 = 2;
+/// 3: `RunReport` gained storm counters (recoveries, unavailability,
+///    deferral) and `StoreStats` the retry/backoff/deferral fields.
+pub const CACHE_FORMAT: u32 = 3;
 
 /// A directory of fingerprint-keyed entries with hit/miss counters.
 pub struct DiskCache {

@@ -1,0 +1,146 @@
+//! Failure storms: protocol × storm intensity (beyond the paper).
+//!
+//! The paper's failure experiments inject exactly one kill per run
+//! (§VII-A). This sweep drives each protocol through escalating
+//! deterministic [`FaultPlan::storm`] schedules — intensity 1 is a lone
+//! kill, 2 adds a mid-recovery repeat kill and a straggler window, 3
+//! adds a storage brownout — and reports the robustness metrics the
+//! single-kill runs cannot show: recovery count, unavailability-seconds
+//! accumulated across *all* outages, wasted work (replayed records),
+//! checkpoint deferrals, and the store's retry/backoff pressure. The
+//! rate stays pinned to each protocol's clean MST so the storm cost is
+//! isolated, not absorbed into a different operating point.
+
+use crate::harness::{Harness, Wl};
+use crate::results::{ms_opt, text_table, Experiment};
+use checkmate_core::FaultPlan;
+use checkmate_nexmark::Query;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub query: &'static str,
+    pub workers: u32,
+    pub protocol: String,
+    /// 0 = clean baseline; 1..=3 per [`FaultPlan::storm`] escalation.
+    pub intensity: u32,
+    /// Planned fault counts of the generated schedule.
+    pub kills: u64,
+    pub stragglers: u64,
+    pub brownouts: u64,
+    /// Completed recovery episodes (overlapping kills can fold).
+    pub recoveries: u64,
+    /// Total seconds the pipeline spent down or replaying, across every
+    /// outage of the run.
+    pub unavailability_s: f64,
+    /// Wasted work: records reprocessed between restored checkpoint
+    /// state and the pre-failure frontier.
+    pub replayed_records: u64,
+    /// Checkpoints abandoned after bounded retries during brownouts.
+    pub ckpts_deferred: u64,
+    /// Store-level transient-failure pressure under the brownouts.
+    pub put_retries: u64,
+    pub get_retries: u64,
+    pub puts_deferred: u64,
+    pub restart_ms: Option<f64>,
+    pub recovery_ms: Option<f64>,
+    pub sustainable: bool,
+}
+
+pub fn run(h: &Harness) -> Experiment<Row> {
+    let workers = h.scale.table_parallelisms[0];
+    let q = Query::Q12; // windowed count: real state to lose and replay
+    let mut points = Vec::new();
+    for proto in super::PROTOCOLS {
+        for intensity in 0..=3u32 {
+            points.push((proto, intensity));
+        }
+    }
+    let rows = h.par_map(points, |h, (proto, intensity)| {
+        // The plan is a pure function of (scale seed, intensity,
+        // parallelism, duration): every protocol faces the *same*
+        // schedule at a given intensity, and reruns are bit-identical.
+        let plan = (intensity > 0).then(|| {
+            FaultPlan::storm(
+                h.scale.seed ^ intensity as u64,
+                intensity,
+                workers,
+                h.scale.duration,
+            )
+        });
+        let (kills, stragglers, brownouts) = plan.as_ref().map_or((0, 0, 0), |p| {
+            (
+                p.kills.len() as u64,
+                p.stragglers.len() as u64,
+                p.brownouts.len() as u64,
+            )
+        });
+        let r = h.run_at_mst_with(Wl::Nexmark(q), proto, workers, 0.8, false, |cfg| {
+            cfg.storm = plan.clone();
+        });
+        Row {
+            query: q.name(),
+            workers,
+            protocol: proto.to_string(),
+            intensity,
+            kills,
+            stragglers,
+            brownouts,
+            recoveries: r.recoveries,
+            unavailability_s: r.unavailability_ns as f64 / 1e9,
+            replayed_records: r.replayed_records,
+            ckpts_deferred: r.ckpts_deferred,
+            put_retries: r.store.put_retries,
+            get_retries: r.store.get_retries,
+            puts_deferred: r.store.puts_deferred,
+            restart_ms: r.restart_time_ns.map(|t| t as f64 / 1e6),
+            recovery_ms: r.recovery_time_ns.map(|t| t as f64 / 1e6),
+            sustainable: r.sustainable,
+        }
+    });
+    Experiment::new(
+        "failure_storm",
+        "Failure storms: protocol × storm intensity — recoveries, unavailability, wasted work (beyond the paper)",
+        h.scale.name,
+        rows,
+    )
+}
+
+pub fn render(e: &Experiment<Row>) -> String {
+    text_table(
+        &e.title,
+        &[
+            "query",
+            "workers",
+            "protocol",
+            "storm",
+            "k/s/b",
+            "recov",
+            "unavail (s)",
+            "replayed",
+            "ckpt defer",
+            "put/get retries",
+            "restart (ms)",
+            "recovery (ms)",
+        ],
+        &e.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.to_string(),
+                    r.workers.to_string(),
+                    r.protocol.clone(),
+                    r.intensity.to_string(),
+                    format!("{}/{}/{}", r.kills, r.stragglers, r.brownouts),
+                    r.recoveries.to_string(),
+                    format!("{:.3}", r.unavailability_s),
+                    r.replayed_records.to_string(),
+                    r.ckpts_deferred.to_string(),
+                    format!("{}/{}", r.put_retries, r.get_retries),
+                    ms_opt(r.restart_ms.map(|v| (v * 1e6) as u64)),
+                    ms_opt(r.recovery_ms.map(|v| (v * 1e6) as u64)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

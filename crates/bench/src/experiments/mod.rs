@@ -3,6 +3,7 @@
 //! `run(&Harness) -> Experiment<Row>` and `render(&Experiment<Row>)`.
 
 pub mod ablation;
+pub mod failure_storm;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -31,9 +32,10 @@ pub const WITH_BASELINE: [ProtocolKind; 4] = [
     ProtocolKind::CommunicationInduced,
 ];
 
-/// All experiment identifiers, in paper order (plus the ablation and
-/// the storage-sensitivity sweep, which go beyond the paper).
-pub const ALL_IDS: [&str; 12] = [
+/// All experiment identifiers, in paper order (plus the ablation, the
+/// storage-sensitivity sweep, and the failure-storm sweep, which go
+/// beyond the paper).
+pub const ALL_IDS: [&str; 13] = [
     "fig7",
     "tab2",
     "fig8",
@@ -46,4 +48,5 @@ pub const ALL_IDS: [&str; 12] = [
     "tab4",
     "ablation",
     "storage_sweep",
+    "failure_storm",
 ];

@@ -1,0 +1,356 @@
+//! Deterministic multi-fault schedules.
+//!
+//! A [`FaultPlan`] is a seeded, fully materialized schedule of fault
+//! events — worker kills (possibly correlated or overlapping a
+//! recovery in progress), per-worker straggler slowdown windows, and
+//! storage brownout windows — consumed identically by the virtual-time
+//! engine (as modeled events) and the live runtime (as a plan-driven
+//! injector). All times are nanoseconds since run start: the engine
+//! reads them as `SimTime`, the live runtime as elapsed wall time.
+//!
+//! The determinism contract: a plan is plain data. Building a plan from
+//! the same `(seed, intensity, parallelism, window)` always yields the
+//! same schedule, and every consumer derives its behaviour only from
+//! the plan contents — never from wall-clock entropy — so the same plan
+//! produces the same fault sequence on every run.
+
+/// One scheduled worker kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillEvent {
+    /// Nanoseconds since run start.
+    pub at_ns: u64,
+    /// Victim worker index (`0..parallelism`).
+    pub worker: u32,
+}
+
+/// A time window during which one worker runs slow by a multiplicative
+/// factor (modeled service-time inflation in the engine; a real
+/// per-event sleep in the live runtime).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerWindow {
+    pub worker: u32,
+    pub from_ns: u64,
+    pub until_ns: u64,
+    /// Service-time multiplier, `>= 1.0`.
+    pub slowdown: f64,
+}
+
+/// A time window during which the checkpoint store browns out:
+/// elevated transient failure rates and extra latency on PUTs/GETs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutWindow {
+    pub from_ns: u64,
+    pub until_ns: u64,
+    /// Transient PUT failure probability inside the window.
+    pub put_fail_p: f64,
+    /// Transient GET failure probability inside the window.
+    pub get_fail_p: f64,
+    /// Extra per-op latency inside the window (modeled in the engine,
+    /// real sleep in `PerturbedBackend`).
+    pub extra_latency_ns: u64,
+}
+
+impl BrownoutWindow {
+    /// Whether `now_ns` falls inside the window (`[from, until)`).
+    pub fn contains(&self, now_ns: u64) -> bool {
+        now_ns >= self.from_ns && now_ns < self.until_ns
+    }
+}
+
+impl StragglerWindow {
+    /// Whether `now_ns` falls inside the window (`[from, until)`).
+    pub fn contains(&self, now_ns: u64) -> bool {
+        now_ns >= self.from_ns && now_ns < self.until_ns
+    }
+}
+
+/// A deterministic schedule of fault events for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-built plans).
+    /// Recorded so reports can name the schedule.
+    pub seed: u64,
+    /// Worker kills, sorted by `at_ns`.
+    pub kills: Vec<KillEvent>,
+    /// Straggler slowdown windows.
+    pub stragglers: Vec<StragglerWindow>,
+    /// Storage brownout windows.
+    pub brownouts: Vec<BrownoutWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with a single kill — the legacy `fail_at`/`kill_worker`
+    /// shape expressed as a plan.
+    pub fn single_kill(at_ns: u64, worker: u32) -> Self {
+        FaultPlan {
+            seed: 0,
+            kills: vec![KillEvent { at_ns, worker }],
+            stragglers: Vec::new(),
+            brownouts: Vec::new(),
+        }
+    }
+
+    /// Generate a deterministic failure storm.
+    ///
+    /// `intensity` scales the number of kills (1 kill per intensity
+    /// step, minimum 1), `window_ns` is the span the storm plays out
+    /// over. Intensity ≥ 2 always includes a *repeated* kill pair — a
+    /// second kill scheduled shortly after another so it lands while
+    /// the first recovery is still in flight — plus one straggler
+    /// window; intensity ≥ 3 adds a storage brownout window.
+    ///
+    /// Same `(seed, intensity, parallelism, window_ns)` ⇒ identical
+    /// plan, always.
+    pub fn storm(seed: u64, intensity: u32, parallelism: u32, window_ns: u64) -> Self {
+        assert!(parallelism > 0, "storm needs at least one worker");
+        let mut rng = SplitMix::new(seed ^ 0x5707_3A11_F417_B01B);
+        let kills_n = intensity.max(1) as usize;
+        // Kills land in the middle 60% of the window so warmup and
+        // drain stay clean.
+        let lo = window_ns / 5;
+        let hi = window_ns - window_ns / 5;
+        let mut kills: Vec<KillEvent> = (0..kills_n)
+            .map(|_| KillEvent {
+                at_ns: lo + rng.below(hi - lo),
+                worker: rng.below(parallelism as u64) as u32,
+            })
+            .collect();
+        kills.sort_by_key(|k| (k.at_ns, k.worker));
+        if intensity >= 2 && kills.len() >= 2 {
+            // Force a mid-recovery double: move the second kill to
+            // 450–600 ms after the first — past the default 400 ms
+            // detection timeout, inside the restart window — on a
+            // different worker when parallelism allows.
+            let first = kills[0];
+            kills[1].at_ns = first.at_ns + 450_000_000 + rng.below(150_000_000);
+            if parallelism > 1 && kills[1].worker == first.worker {
+                kills[1].worker = (first.worker + 1) % parallelism;
+            }
+            kills.sort_by_key(|k| (k.at_ns, k.worker));
+        }
+        let mut stragglers = Vec::new();
+        if intensity >= 2 {
+            let from = lo + rng.below((hi - lo) / 2);
+            stragglers.push(StragglerWindow {
+                worker: rng.below(parallelism as u64) as u32,
+                from_ns: from,
+                until_ns: from + window_ns / 5,
+                slowdown: 1.5 + rng.unit() * 2.0,
+            });
+        }
+        let mut brownouts = Vec::new();
+        if intensity >= 3 {
+            let from = lo + rng.below((hi - lo) / 2);
+            brownouts.push(BrownoutWindow {
+                from_ns: from,
+                until_ns: from + window_ns / 4,
+                put_fail_p: 0.3 + rng.unit() * 0.3,
+                get_fail_p: 0.2 + rng.unit() * 0.3,
+                extra_latency_ns: 2_000_000 + rng.below(8_000_000),
+            });
+        }
+        FaultPlan {
+            seed,
+            kills,
+            stragglers,
+            brownouts,
+        }
+    }
+
+    /// Whether the plan schedules any kill.
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
+
+    /// Straggler slowdown factor for `worker` at `now_ns` (1.0 when no
+    /// window applies; overlapping windows multiply).
+    pub fn slowdown_at(&self, worker: u32, now_ns: u64) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.worker == worker && s.contains(now_ns))
+            .map(|s| s.slowdown)
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// The brownout window active at `now_ns`, if any (first match).
+    pub fn brownout_at(&self, now_ns: u64) -> Option<&BrownoutWindow> {
+        self.brownouts.iter().find(|b| b.contains(now_ns))
+    }
+
+    /// Sanity-check against a run's parallelism. Panics on a malformed
+    /// plan — plan bugs are programming errors, not runtime conditions.
+    pub fn validate(&self, parallelism: u32) {
+        for k in &self.kills {
+            assert!(
+                k.worker < parallelism,
+                "FaultPlan kill targets worker {} but parallelism is {parallelism}",
+                k.worker
+            );
+        }
+        for s in &self.stragglers {
+            assert!(
+                s.worker < parallelism,
+                "straggler window targets missing worker"
+            );
+            assert!(s.slowdown >= 1.0, "straggler slowdown must be >= 1.0");
+            assert!(
+                s.from_ns < s.until_ns,
+                "straggler window is empty or inverted"
+            );
+        }
+        for b in &self.brownouts {
+            assert!(
+                b.from_ns < b.until_ns,
+                "brownout window is empty or inverted"
+            );
+            assert!(
+                (0.0..=1.0).contains(&b.put_fail_p) && (0.0..=1.0).contains(&b.get_fail_p),
+                "brownout probabilities must be in [0, 1]"
+            );
+        }
+        let mut sorted = self.kills.clone();
+        sorted.sort_by_key(|k| (k.at_ns, k.worker));
+        assert!(
+            sorted == self.kills,
+            "FaultPlan kills must be sorted by time"
+        );
+    }
+
+    /// A compact human label for reports (`storm(seed=7, kills=3, ...)`).
+    pub fn label(&self) -> String {
+        format!(
+            "storm(seed={}, kills={}, stragglers={}, brownouts={})",
+            self.seed,
+            self.kills.len(),
+            self.stragglers.len(),
+            self.brownouts.len()
+        )
+    }
+}
+
+/// Private splitmix64 — core carries no rand dependency, and plan
+/// generation must not depend on one.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECOND: u64 = 1_000_000_000;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::storm(42, 3, 4, 60 * SECOND);
+        let b = FaultPlan::storm(42, 3, 4, 60 * SECOND);
+        assert_eq!(a, b);
+        let c = FaultPlan::storm(43, 3, 4, 60 * SECOND);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn storm_scales_with_intensity() {
+        let quiet = FaultPlan::storm(7, 1, 3, 60 * SECOND);
+        assert_eq!(quiet.kills.len(), 1);
+        assert!(quiet.brownouts.is_empty());
+        let heavy = FaultPlan::storm(7, 3, 3, 60 * SECOND);
+        assert_eq!(heavy.kills.len(), 3);
+        assert_eq!(heavy.brownouts.len(), 1);
+        assert_eq!(heavy.stragglers.len(), 1);
+        heavy.validate(3);
+    }
+
+    #[test]
+    fn intensity_two_includes_mid_recovery_double() {
+        for seed in 0..20 {
+            let p = FaultPlan::storm(seed, 2, 3, 60 * SECOND);
+            let gap = p.kills[1].at_ns - p.kills[0].at_ns;
+            assert!(
+                (400_000_000..700_000_000).contains(&gap),
+                "second kill should land mid-recovery (past 400ms detection, \
+                 inside the restart window), gap {gap}ns"
+            );
+            p.validate(3);
+        }
+    }
+
+    #[test]
+    fn kills_stay_in_run_window() {
+        let w = 30 * SECOND;
+        for seed in 0..10 {
+            for k in &FaultPlan::storm(seed, 4, 5, w).kills {
+                assert!(k.at_ns >= w / 5 && k.at_ns < w, "kill outside window");
+            }
+        }
+    }
+
+    #[test]
+    fn single_kill_round_trips_legacy_shape() {
+        let p = FaultPlan::single_kill(18 * SECOND, 2);
+        assert!(p.has_kills());
+        assert_eq!(
+            p.kills,
+            vec![KillEvent {
+                at_ns: 18 * SECOND,
+                worker: 2
+            }]
+        );
+        p.validate(3);
+    }
+
+    #[test]
+    fn slowdown_and_brownout_lookup() {
+        let p = FaultPlan {
+            seed: 0,
+            kills: vec![],
+            stragglers: vec![StragglerWindow {
+                worker: 1,
+                from_ns: 10,
+                until_ns: 20,
+                slowdown: 2.0,
+            }],
+            brownouts: vec![BrownoutWindow {
+                from_ns: 5,
+                until_ns: 15,
+                put_fail_p: 0.5,
+                get_fail_p: 0.25,
+                extra_latency_ns: 100,
+            }],
+        };
+        assert_eq!(p.slowdown_at(1, 15), 2.0);
+        assert_eq!(p.slowdown_at(1, 25), 1.0);
+        assert_eq!(p.slowdown_at(0, 15), 1.0);
+        assert!(p.brownout_at(6).is_some());
+        assert!(p.brownout_at(16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets worker")]
+    fn validate_rejects_out_of_range_victim() {
+        FaultPlan::single_kill(SECOND, 9).validate(3);
+    }
+}

@@ -18,6 +18,9 @@
 //! - [`durable`] — checkpoint I/O over the pluggable storage subsystem
 //!   (`checkmate-storage`), including durable metadata for
 //!   restart-from-store recovery;
+//! - [`fault`] — deterministic multi-fault schedules ([`FaultPlan`]):
+//!   seeded storms of worker kills, stragglers, and storage brownouts
+//!   consumed identically by both engines;
 //! - [`zpath`] — ground-truth Z-path/Z-cycle analysis used to validate the
 //!   protocols;
 //! - [`exec`] — an abstract execution model for protocol-level testing
@@ -31,6 +34,7 @@ pub mod ckpt_graph;
 pub mod coor;
 pub mod durable;
 pub mod exec;
+pub mod fault;
 pub mod meta;
 pub mod protocol;
 pub mod recovery;
@@ -42,6 +46,7 @@ pub use ckpt_graph::{ChannelTriple, CheckpointGraph};
 pub use coor::{CoorAligner, MarkerAction};
 pub use durable::DurableCheckpoints;
 pub use exec::{AbstractExec, AbstractProtocol};
+pub use fault::{BrownoutWindow, FaultPlan, KillEvent, StragglerWindow};
 pub use meta::{ChannelBook, CheckpointId, CheckpointKind, CheckpointMeta};
 pub use protocol::ProtocolKind;
 pub use recovery::{coordinated_line, rollback_propagation, RecoveryOutcome};

@@ -1,6 +1,6 @@
 //! Engine run configuration.
 
-use checkmate_core::{IncrementalPolicy, ProtocolKind};
+use checkmate_core::{FaultPlan, IncrementalPolicy, ProtocolKind};
 use checkmate_dataflow::WorkerId;
 use checkmate_sim::{CostModel, QueueBackend, SimTime, MILLIS, SECONDS};
 use checkmate_storage::{StorageProfile, TierPolicy, TieredProfile};
@@ -130,8 +130,14 @@ pub struct EngineConfig {
     pub duration: SimTime,
     /// Metrics before this instant are discarded (warm-up).
     pub warmup: SimTime,
-    /// Optional injected failure.
+    /// Optional injected failure. The legacy single-kill knob (paper
+    /// §VII-A); runs alongside `storm` — both contribute kills.
     pub failure: Option<FailureSpec>,
+    /// Optional deterministic multi-fault schedule: correlated and
+    /// repeated worker kills, per-worker straggler windows, and storage
+    /// brownout windows, all modeled in virtual time. Same plan ⇒ same
+    /// simulated timeline, bit for bit.
+    pub storm: Option<FaultPlan>,
     /// Bound each source partition to this many records (None = unbounded).
     /// Bounded runs end early once everything is processed; used by the
     /// exactly-once verification tests.
@@ -192,6 +198,7 @@ impl Default for EngineConfig {
             duration: 20 * SECONDS,
             warmup: 5 * SECONDS,
             failure: None,
+            storm: None,
             input_limit: None,
             source_batch: 100 * MILLIS,
             seed: 0xC0FFEE,
@@ -234,6 +241,30 @@ impl EngineConfig {
         self
     }
 
+    /// Whether any failure will be injected on this run — the legacy
+    /// single kill or any storm kill. Gates replayable channel logs,
+    /// snapshot materialization, and determinant logging.
+    pub fn failure_injected(&self) -> bool {
+        self.failure.is_some() || self.storm.as_ref().is_some_and(FaultPlan::has_kills)
+    }
+
+    /// Every kill this run injects — the legacy `failure` spec plus the
+    /// storm plan's kills — as `(at, worker)` pairs sorted by time.
+    pub fn planned_kills(&self) -> Vec<(SimTime, u32)> {
+        let mut kills: Vec<(SimTime, u32)> = self
+            .failure
+            .iter()
+            .map(|f| (f.at, f.worker.0))
+            .chain(
+                self.storm
+                    .iter()
+                    .flat_map(|p| p.kills.iter().map(|k| (k.at_ns, k.worker))),
+            )
+            .collect();
+        kills.sort_unstable();
+        kills
+    }
+
     /// Validate invariants before a run.
     pub fn validate(&self) {
         assert!(self.parallelism > 0, "parallelism must be positive");
@@ -244,6 +275,9 @@ impl EngineConfig {
             self.checkpoint_interval >= 10 * MILLIS,
             "checkpoint interval below 10ms is not meaningful in this model"
         );
+        if let Some(storm) = &self.storm {
+            storm.validate(self.parallelism);
+        }
     }
 }
 
@@ -284,6 +318,60 @@ mod tests {
         // The oracle never skips the encode.
         assert!(!SnapshotMode::Full.sized_for(false, false));
         assert_eq!(SnapshotMode::default(), SnapshotMode::Auto);
+    }
+
+    #[test]
+    fn storm_contributes_kills_and_failure_gating() {
+        let clean = EngineConfig::default();
+        assert!(!clean.failure_injected());
+        assert!(clean.planned_kills().is_empty());
+
+        let legacy = EngineConfig::paper_run(3, ProtocolKind::Coordinated, true);
+        assert!(legacy.failure_injected());
+        assert_eq!(legacy.planned_kills(), vec![(18 * SECONDS, 0)]);
+
+        let storm = EngineConfig {
+            parallelism: 3,
+            storm: Some(FaultPlan::storm(9, 3, 3, 60 * SECONDS)),
+            ..EngineConfig::default()
+        };
+        storm.validate();
+        assert!(storm.failure_injected());
+        assert_eq!(storm.planned_kills().len(), 3);
+        let kills = storm.planned_kills();
+        assert!(
+            kills.windows(2).all(|w| w[0] <= w[1]),
+            "kills sorted by time"
+        );
+
+        // A storm with only brownouts injects no failure.
+        let brownout_only = EngineConfig {
+            storm: Some(FaultPlan {
+                seed: 0,
+                kills: vec![],
+                stragglers: vec![],
+                brownouts: vec![checkmate_core::BrownoutWindow {
+                    from_ns: SECONDS,
+                    until_ns: 2 * SECONDS,
+                    put_fail_p: 0.5,
+                    get_fail_p: 0.5,
+                    extra_latency_ns: 0,
+                }],
+            }),
+            ..EngineConfig::default()
+        };
+        assert!(!brownout_only.failure_injected());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets worker")]
+    fn storm_victims_validated_against_parallelism() {
+        let c = EngineConfig {
+            parallelism: 2,
+            storm: Some(FaultPlan::single_kill(SECONDS, 5)),
+            ..EngineConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{OpCtx, OpId, OpRole, PhysicalGraph, PortId, Record};
 use checkmate_sim::{derive_seed, EventQueue, SimRng, SimTime, MILLIS};
 use checkmate_storage::{
-    maintenance_io_ns, MemBackend, ObjectStore, SharedStore, Tier, TieredBackend,
+    maintenance_io_ns, MemBackend, ObjectStore, SharedStore, Tier, TieredBackend, TRY_ATTEMPTS,
 };
 use checkmate_wal::{
     ChannelLog, DeterminantLog, EventStream, Schedule, SourceLog, DET_ENTRY_BYTES,
@@ -89,8 +89,22 @@ pub(crate) enum Ev {
         winc: u32,
         job: Box<UploadJob>,
     },
-    Fail,
+    /// Kill `worker` now. Carries its victim (storm plans schedule many
+    /// kills) and deliberately ignores the epoch guard: kills are
+    /// injected faults, not worker-owned work — a recovery in progress
+    /// must not cancel a scheduled kill.
+    Fail {
+        worker: u32,
+    },
+    /// The coordinator noticed a failure. Epoch-guarded: a Detect
+    /// scheduled before a newer recovery round started is stale — the
+    /// newer round's line computation already covered every worker that
+    /// was down when it ran.
     Detect,
+    /// Epoch-guarded: a failure that lands mid-recovery re-enters
+    /// [`Engine::on_detect`], bumps the epoch, and thereby discards the
+    /// superseded restart — the recovery-line computation restarts
+    /// cleanly instead of racing two restarts.
     RestartDone {
         line: BTreeMap<InstanceIdx, CheckpointId>,
     },
@@ -158,6 +172,9 @@ pub struct Engine {
     /// operator state and upload exact-length zero placeholders
     /// (`SnapshotMode`, failure-free non-incremental runs only).
     snap_sized: bool,
+    /// Cached `cfg.failure_injected()` — read on the per-delivery hot
+    /// path to gate determinant-log materialization.
+    fail_injected: bool,
     /// Zero buffer backing sized-only placeholders (arena-recycled).
     zeros: ZeroBytes,
     chan_floor: Vec<SimTime>,
@@ -287,7 +304,7 @@ impl Engine {
         let n_instances = pg.n_instances();
         let parallelism = cfg.parallelism;
         let logging = cfg.protocol.logs_messages();
-        let replayable = cfg.failure.is_some();
+        let replayable = cfg.failure_injected();
         let rng = SimRng::new(derive_seed(cfg.seed, "engine"));
         let storage_profile = cfg.storage;
         let mut queue = std::mem::take(&mut arena.queue);
@@ -333,7 +350,7 @@ impl Engine {
         };
         let snap_sized = cfg
             .snapshot_mode
-            .sized_for(cfg.failure.is_some(), cfg.incremental.is_some());
+            .sized_for(replayable, cfg.incremental.is_some());
         Self {
             coord: Coordinator::new(cfg.protocol),
             cfg,
@@ -344,6 +361,7 @@ impl Engine {
             store,
             tiered,
             snap_sized,
+            fail_injected: replayable,
             zeros: std::mem::take(&mut arena.zeros),
             queue,
             now: 0,
@@ -420,12 +438,11 @@ impl Engine {
             }
             _ => {}
         }
-        if let Some(f) = self.cfg.failure {
-            assert!(
-                (f.worker.0) < self.cfg.parallelism,
-                "failure worker out of range"
-            );
-            self.push_at(f.at, Ev::Fail);
+        // One Fail event per planned kill — the legacy `failure` spec
+        // and every storm kill, in time order.
+        for (at, worker) in self.cfg.planned_kills() {
+            assert!(worker < self.cfg.parallelism, "failure worker out of range");
+            self.push_at(at, Ev::Fail { worker });
         }
         for w in 0..self.workers.len() {
             self.push_at(0, Ev::Wake { worker: w as u32 });
@@ -656,9 +673,19 @@ impl Engine {
                 }
                 self.finish_upload(job.meta, job.objects);
             }
-            Ev::Fail => self.on_fail(),
-            Ev::Detect => self.on_detect(),
-            Ev::RestartDone { line } => self.on_restart(line),
+            Ev::Fail { worker } => self.on_fail(worker as usize),
+            Ev::Detect => {
+                if epoch != self.epoch {
+                    return; // superseded by a newer recovery round
+                }
+                self.on_detect();
+            }
+            Ev::RestartDone { line } => {
+                if epoch != self.epoch {
+                    return; // a mid-recovery failure restarted the line
+                }
+                self.on_restart(line);
+            }
             Ev::LagProbe => self.on_lag_probe(),
             Ev::TierMaintain => self.on_tier_maintain(),
         }
@@ -905,6 +932,7 @@ impl Engine {
     /// one arrival event per destination worker.
     fn begin_task(&mut self, w: usize, service: SimTime) -> SimTime {
         self.flush_ship();
+        let service = self.straggled(w, service);
         let t_done = self.now + service.max(1);
         let worker = &mut self.workers[w];
         worker.running = true;
@@ -918,6 +946,23 @@ impl Engine {
             },
         );
         t_done
+    }
+
+    /// Service time for worker `w` after applying any storm straggler
+    /// window active right now (modeled slowdown: the same task costs
+    /// `slowdown ×` as much CPU on a straggling worker).
+    fn straggled(&self, w: usize, service: SimTime) -> SimTime {
+        match &self.cfg.storm {
+            Some(plan) if !plan.stragglers.is_empty() => {
+                let f = plan.slowdown_at(w as u32, self.now);
+                if f > 1.0 {
+                    (service as f64 * f) as SimTime
+                } else {
+                    service
+                }
+            }
+            _ => service,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -987,7 +1032,7 @@ impl Engine {
                     // determinant replay is the log's only reader, and
                     // it can never run in a failure-free run (same
                     // reasoning as the sized-only channel logs).
-                    if self.cfg.failure.is_some() {
+                    if self.fail_injected {
                         let inst = self.workers[w].instance(op);
                         let pos = inst.book.total_received() - 1;
                         self.det_logs[inst.idx.0 as usize].append(pos, msg.channel, seq);
@@ -1293,6 +1338,30 @@ impl Engine {
     /// pipelined PUT of the uploaded bytes (whole snapshot, or only the
     /// fresh chunks of an incremental checkpoint).
     fn take_checkpoint(&mut self, w: usize, op: OpId, kind: CheckpointKind) -> SimTime {
+        // Storage brownout degradation: the live path bounds checkpoint
+        // PUTs at `TRY_ATTEMPTS` tries and defers the checkpoint when
+        // all of them fail, so the model defers with the matching
+        // probability `put_fail_p ^ TRY_ATTEMPTS`. A deferred attempt
+        // mints no checkpoint id (indices stay contiguous — the next
+        // successful attempt takes the next index) and registers no GC
+        // floor, but still pays the snapshot CPU: the state was
+        // serialized before the store refused it. Only whole-snapshot
+        // runs may defer — skipping an incremental upload would leave
+        // later manifests referencing chunks that never landed.
+        let brownout = self
+            .cfg
+            .storm
+            .as_ref()
+            .and_then(|p| p.brownout_at(self.now))
+            .copied();
+        if let Some(b) = brownout {
+            let p_defer = b.put_fail_p.powi(TRY_ATTEMPTS as i32);
+            if self.cfg.incremental.is_none() && p_defer > 0.0 && self.rng.chance(p_defer) {
+                self.coord.ckpts_deferred += 1;
+                let len = self.workers[w].instance_mut(op).snapshot_len();
+                return self.cfg.cost.snapshot_ns(len);
+            }
+        }
         let winc = self.workers[w].incarnation;
         let incremental = self.cfg.incremental;
         let snap_sized = self.snap_sized;
@@ -1365,6 +1434,7 @@ impl Engine {
             }
             (meta, objects, state_len)
         };
+        let service = self.cfg.cost.snapshot_ns(state_len);
         // Until this upload lands, GC must not reclaim past the oldest
         // chunk owner its manifest references (the manifest is invisible
         // to the liveness scan, which only sees durable metas).
@@ -1377,13 +1447,13 @@ impl Engine {
             .entry(meta.id.instance)
             .or_default()
             .insert(meta.id.index, needs_floor);
-        let service = self.cfg.cost.snapshot_ns(state_len);
         let uploaded: usize = objects.iter().map(|(_, b)| b.len()).sum();
         let profile = self.store.profile();
         let durable = self.now
             + service
             + profile.put_many_ns(objects.len().max(1), uploaded)
-            + self.cfg.cost.control_latency_ns;
+            + self.cfg.cost.control_latency_ns
+            + brownout.map_or(0, |b| b.extra_latency_ns);
         // Metadata traffic to the coordinator is protocol overhead.
         self.metrics.protocol_bytes += 64;
         self.push_at(
@@ -1684,8 +1754,19 @@ impl Engine {
     // failure & recovery
     // ------------------------------------------------------------------
 
-    fn on_fail(&mut self) {
-        let w = self.cfg.failure.expect("Fail event requires spec").worker.0 as usize;
+    fn on_fail(&mut self, w: usize) {
+        if self.workers[w].down {
+            // Correlated storm kill on a worker that is already down:
+            // there is nothing left to kill, and its Detect is already
+            // in flight.
+            return;
+        }
+        // Unavailability accounting: a kill opens an outage episode if
+        // none is open (overlapping kills extend the same episode).
+        if self.coord.episode_started_at.is_none() {
+            self.coord.episode_started_at = Some(self.now);
+        }
+        self.coord.down_workers.insert(w as u32);
         let worker = &mut self.workers[w];
         worker.down = true;
         worker.incarnation += 1;
@@ -1714,7 +1795,15 @@ impl Engine {
     }
 
     fn on_detect(&mut self) {
-        self.coord.detected_at = Some(self.now);
+        if self.coord.down_workers.is_empty() {
+            // Spurious: every kill this Detect could be reporting was
+            // already covered by a completed restart (the restart
+            // revives all workers and restores a consistent line).
+            return;
+        }
+        if self.coord.detected_at.is_none() {
+            self.coord.detected_at = Some(self.now);
+        }
         self.epoch += 1;
         for w in &mut self.workers {
             w.paused = true;
@@ -1741,12 +1830,20 @@ impl Engine {
             }
         };
         // --- restart cost per worker ---
-        let failed = self.coord.failed_worker.expect("detect after fail");
         let profile = self.store.profile();
+        // A storage brownout active during recovery slows every durable
+        // fetch; model it as extra per-worker latency plus the bounded
+        // retry backoff the live store facade pays.
+        let brownout_extra = self
+            .cfg
+            .storm
+            .as_ref()
+            .and_then(|p| p.brownout_at(self.now))
+            .map_or(0, |b| b.extra_latency_ns);
         let mut restart_done = self.now;
         for w in 0..self.workers.len() {
-            let mut ready = self.now + self.cfg.cost.control_latency_ns;
-            if w as u32 == failed {
+            let mut ready = self.now + self.cfg.cost.control_latency_ns + brownout_extra;
+            if self.coord.down_workers.contains(&(w as u32)) {
                 ready += self.cfg.cost.worker_respawn_ns;
             }
             // State fetches per instance: one GET for a whole snapshot,
@@ -1791,6 +1888,17 @@ impl Engine {
 
     fn on_restart(&mut self, line: BTreeMap<InstanceIdx, CheckpointId>) {
         self.coord.restart_done_at = Some(self.now);
+        // Close the outage episode: everything that was down restarts
+        // now. Record the line's minimum index — the monotonicity
+        // witness for repeated-kill runs.
+        self.coord.recoveries += 1;
+        if let Some(started) = self.coord.episode_started_at.take() {
+            self.coord.unavailability_ns += self.now - started;
+        }
+        self.coord.down_workers.clear();
+        if let Some(min) = line.values().map(|id| id.index).min() {
+            self.coord.recovery_line_mins.push(min);
+        }
         // Discard post-line checkpoints (the "invalid" ones): whole
         // snapshots and any chunk objects they own. Sound because chunk
         // references only point backward — nothing at or below the line
@@ -1868,6 +1976,7 @@ impl Engine {
                         return;
                     }
                 };
+                self.coord.replayed_records += entries.len() as u64;
                 for (seq, rec) in entries {
                     let msg = NetMsg::data(ch, seq, rec).replay();
                     self.ship(msg);
@@ -2084,6 +2193,11 @@ impl Engine {
         } else {
             durations.iter().sum::<u64>() / durations.len() as u64
         };
+        // An outage still open at run end (kill scheduled too late for
+        // its recovery to complete) counts as unavailable to the end.
+        if let Some(started) = self.coord.episode_started_at.take() {
+            self.coord.unavailability_ns += self.now.saturating_sub(started);
+        }
         let report = RunReport {
             workload: self.name.clone(),
             protocol: self.cfg.protocol,
@@ -2119,6 +2233,11 @@ impl Engine {
                 (Some(d), Some(r)) => Some(r - d),
                 _ => None,
             },
+            recoveries: self.coord.recoveries,
+            unavailability_ns: self.coord.unavailability_ns,
+            replayed_records: self.coord.replayed_records,
+            ckpts_deferred: self.coord.ckpts_deferred,
+            recovery_line_mins: std::mem::take(&mut self.coord.recovery_line_mins),
             payload_bytes: self.metrics.payload_bytes,
             protocol_bytes: self.metrics.protocol_bytes,
             store: self.store.stats(),

@@ -96,6 +96,24 @@ pub struct RunReport {
     /// Detection → backlog back to steady state. None = never recovered
     /// within the run (reported as such in the paper's skew experiments).
     pub recovery_time_ns: Option<u64>,
+    /// Completed recovery episodes. A failure storm that kills a worker
+    /// mid-recovery restarts the episode rather than opening a second
+    /// one, so this counts recovery *completions*, not kills.
+    pub recoveries: u64,
+    /// Total virtual time with at least one worker down (first kill of
+    /// an episode → restart barrier done), summed over episodes; an
+    /// episode still open at run end counts to the end of the run.
+    pub unavailability_ns: u64,
+    /// In-flight records re-shipped from channel logs during recovery
+    /// (wasted work the protocol's recovery line could not avoid).
+    pub replayed_records: u64,
+    /// Checkpoints skipped because the store was unreachable through a
+    /// brownout (graceful degradation: bounded retries, then defer).
+    pub ckpts_deferred: u64,
+    /// Minimum checkpoint index of each computed recovery line, in
+    /// order. Witness for the line-monotonicity property: under repeated
+    /// kills the global line must never move backwards.
+    pub recovery_line_mins: Vec<u64>,
 
     // ---- message overhead (paper §V "Message Overhead", Table II) ----
     /// Bytes a checkpoint-free run would have moved (records).
@@ -236,6 +254,14 @@ impl RunReport {
         opt_u64(&mut enc, self.detected_at);
         opt_u64(&mut enc, self.restart_time_ns);
         opt_u64(&mut enc, self.recovery_time_ns);
+        enc.u64(self.recoveries);
+        enc.u64(self.unavailability_ns);
+        enc.u64(self.replayed_records);
+        enc.u64(self.ckpts_deferred);
+        enc.u64(self.recovery_line_mins.len() as u64);
+        for v in &self.recovery_line_mins {
+            enc.u64(*v);
+        }
         enc.u64(self.payload_bytes);
         enc.u64(self.protocol_bytes);
         for v in [
@@ -249,6 +275,9 @@ impl RunReport {
             self.store.bytes_deleted,
             self.store.put_retries,
             self.store.get_retries,
+            self.store.put_backoff_ns,
+            self.store.get_backoff_ns,
+            self.store.puts_deferred,
         ] {
             enc.u64(v);
         }
@@ -325,6 +354,18 @@ impl RunReport {
         let detected_at = opt_u64_dec(&mut dec)?;
         let restart_time_ns = opt_u64_dec(&mut dec)?;
         let recovery_time_ns = opt_u64_dec(&mut dec)?;
+        let recoveries = dec.u64().ok()?;
+        let unavailability_ns = dec.u64().ok()?;
+        let replayed_records = dec.u64().ok()?;
+        let ckpts_deferred = dec.u64().ok()?;
+        let lines = dec.u64().ok()? as usize;
+        if lines > dec.remaining() / 8 {
+            return None;
+        }
+        let mut recovery_line_mins = Vec::with_capacity(lines);
+        for _ in 0..lines {
+            recovery_line_mins.push(dec.u64().ok()?);
+        }
         let payload_bytes = dec.u64().ok()?;
         let protocol_bytes = dec.u64().ok()?;
         let store = StoreStats {
@@ -338,6 +379,9 @@ impl RunReport {
             bytes_deleted: dec.u64().ok()?,
             put_retries: dec.u64().ok()?,
             get_retries: dec.u64().ok()?,
+            put_backoff_ns: dec.u64().ok()?,
+            get_backoff_ns: dec.u64().ok()?,
+            puts_deferred: dec.u64().ok()?,
         };
         let store_profile = StorageProfile::by_name(dec.str().ok()?)?.name;
         let store_objects_live = dec.u64().ok()?;
@@ -381,6 +425,11 @@ impl RunReport {
             detected_at,
             restart_time_ns,
             recovery_time_ns,
+            recoveries,
+            unavailability_ns,
+            replayed_records,
+            ckpts_deferred,
+            recovery_line_mins,
             payload_bytes,
             protocol_bytes,
             store,
@@ -653,6 +702,11 @@ mod tests {
             detected_at: Some(18_000_000_000),
             restart_time_ns: None,
             recovery_time_ns: Some(2_000_000_000),
+            recoveries: 2,
+            unavailability_ns: 450_000_000,
+            replayed_records: 731,
+            ckpts_deferred: 4,
+            recovery_line_mins: vec![3, 3, 5],
             payload_bytes: 1 << 30,
             protocol_bytes: 1 << 20,
             store: StoreStats {
@@ -666,6 +720,9 @@ mod tests {
                 bytes_deleted: 8,
                 put_retries: 9,
                 get_retries: 10,
+                put_backoff_ns: 11,
+                get_backoff_ns: 12,
+                puts_deferred: 13,
             },
             store_profile: StorageProfile::s3_wan().name,
             store_objects_live: 21,

@@ -400,10 +400,37 @@ pub struct Coordinator {
     pub round_durations: Vec<u64>,
     /// UNC/CIC: capture → durable per checkpoint.
     pub ckpt_durations: Vec<u64>,
+    /// Most recently failed worker (reporting compatibility).
     pub failed_worker: Option<u32>,
+    /// Workers currently down (killed, not yet restarted). Overlapping
+    /// storm kills put several workers here at once; a restart clears
+    /// the whole set.
+    pub down_workers: BTreeSet<u32>,
+    /// First failure detection (reporting compatibility: single-kill
+    /// runs read restart/recovery spans from these).
     pub detected_at: Option<SimTime>,
     pub restart_done_at: Option<SimTime>,
     pub recovery_done_at: Option<SimTime>,
+    /// Completed restart episodes (a restart covering N overlapping
+    /// kills counts once).
+    pub recoveries: u64,
+    /// Start of the current outage episode: the first kill since the
+    /// last completed restart. `None` while everything is up.
+    pub episode_started_at: Option<SimTime>,
+    /// Total virtual time any part of the job was down — sum over
+    /// episodes of (restart done − first kill of the episode).
+    pub unavailability_ns: u64,
+    /// Records re-delivered from channel logs across all recoveries
+    /// (wasted work: they were processed once already).
+    pub replayed_records: u64,
+    /// Checkpoints abandoned because the store was browned out at
+    /// upload time (graceful degradation accounting).
+    pub ckpts_deferred: u64,
+    /// Minimum checkpoint index of each computed recovery line, in
+    /// order. Monotonicity of this sequence is the multi-kill
+    /// recovery-line property the proptests assert: a later recovery
+    /// never rolls back behind an earlier recovery's line.
+    pub recovery_line_mins: Vec<u64>,
     /// Steady-state source backlog (seconds of input) sampled before the
     /// failure; recovery completes when backlog returns near it.
     pub steady_lag_secs: f64,
@@ -425,9 +452,16 @@ impl Coordinator {
             round_durations: Vec::new(),
             ckpt_durations: Vec::new(),
             failed_worker: None,
+            down_workers: BTreeSet::new(),
             detected_at: None,
             restart_done_at: None,
             recovery_done_at: None,
+            recoveries: 0,
+            episode_started_at: None,
+            unavailability_ns: 0,
+            replayed_records: 0,
+            ckpts_deferred: 0,
+            recovery_line_mins: Vec::new(),
             steady_lag_secs: 0.0,
             lag_at_warmup_secs: None,
             invalid_checkpoints: 0,

@@ -3,13 +3,14 @@
 //! bit-level determinism. Expensive, so few cases — every case is a full
 //! engine run.
 
-use checkmate_core::ProtocolKind;
+use checkmate_core::{FaultPlan, KillEvent, ProtocolKind};
 use checkmate_dataflow::WorkerId;
-use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::config::{EngineConfig, FailureSpec, TierConfig};
 use checkmate_engine::engine::Engine;
 use checkmate_engine::report::Outcome;
 use checkmate_engine::testkit::counting_pipeline;
 use checkmate_sim::{MILLIS, SECONDS};
+use checkmate_storage::{TierPolicy, TieredProfile};
 use proptest::prelude::*;
 
 fn bounded(protocol: ProtocolKind, seed: u64, failure: Option<FailureSpec>) -> EngineConfig {
@@ -83,5 +84,77 @@ proptest! {
         prop_assert_eq!(a.sink_digest, b.sink_digest);
         prop_assert_eq!(a.end_time, b.end_time);
         prop_assert_eq!(a.checkpoints_total, b.checkpoints_total);
+    }
+
+    /// Repeated kills at arbitrary instants and victims: exactly-once
+    /// still holds, and the global recovery line never moves backwards
+    /// (each computed line's minimum checkpoint index is ≥ its
+    /// predecessor's). Runs both flat and under an aggressively
+    /// compacting tiered store — the latter additionally exercises
+    /// recovery-line pins: compaction between the kills must never
+    /// reclaim state a later recovery line needs.
+    #[test]
+    fn repeated_kills_keep_lines_monotone_and_exactly_once(
+        proto_i in 0usize..4,
+        first_ms in 500u64..2_000,
+        gap_ms in 100u64..2_500,
+        v1 in 0u32..3,
+        v2 in 0u32..3,
+        seed in any::<u64>(),
+        tiered in any::<bool>(),
+    ) {
+        let protocol = [
+            ProtocolKind::Coordinated,
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::CommunicationInduced,
+            ProtocolKind::CommunicationInducedBcs,
+        ][proto_i];
+        let mut kills = vec![
+            KillEvent { at_ns: first_ms * MILLIS, worker: v1 },
+            KillEvent { at_ns: (first_ms + gap_ms) * MILLIS, worker: v2 },
+        ];
+        kills.sort_by_key(|k| (k.at_ns, k.worker));
+        let storm = FaultPlan { kills, ..FaultPlan::default() };
+        let tiering = tiered.then_some(TierConfig {
+            tiers: TieredProfile::standard(),
+            policy: TierPolicy {
+                hot_capacity_bytes: 4 << 10,
+                warm_retain_layers: 0,
+                vacuum_dead_fraction: 0.2,
+            },
+            maintenance_interval: Some(300 * MILLIS),
+        });
+        let clean = Engine::new(
+            &counting_pipeline(3),
+            bounded(protocol, seed, None),
+        ).run();
+        let stormy = Engine::new(
+            &counting_pipeline(3),
+            EngineConfig {
+                storm: Some(storm),
+                tiering,
+                ..bounded(protocol, seed, None)
+            },
+        ).run();
+        prop_assert_eq!(clean.outcome, Outcome::Drained);
+        prop_assert_eq!(
+            stormy.outcome.clone(),
+            Outcome::Drained,
+            "storm run stalled: {}",
+            stormy.summary()
+        );
+        prop_assert_eq!(
+            stormy.sink_digest,
+            clean.sink_digest,
+            "exactly-once violated for {} (kills {}ms/w{} + {}ms/w{}, tiered={}): {}",
+            protocol, first_ms, v1, first_ms + gap_ms, v2, tiered,
+            stormy.summary()
+        );
+        prop_assert!(
+            stormy.recovery_line_mins.windows(2).all(|w| w[0] <= w[1]),
+            "recovery line moved backwards for {}: {:?}",
+            protocol,
+            stormy.recovery_line_mins
+        );
     }
 }

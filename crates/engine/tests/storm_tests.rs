@@ -1,0 +1,284 @@
+//! Failure-storm tests: the engine under a deterministic multi-fault
+//! schedule ([`FaultPlan`]) — correlated and repeated kills (including
+//! a second kill mid-recovery), straggler windows, and storage
+//! brownouts — must stay exactly-once and bit-deterministic, and the
+//! plan-driven single-kill path must be indistinguishable from the
+//! legacy `FailureSpec` knob.
+
+use checkmate_core::{BrownoutWindow, FaultPlan, KillEvent, ProtocolKind, StragglerWindow};
+use checkmate_dataflow::WorkerId;
+use checkmate_engine::config::{EngineConfig, FailureSpec};
+use checkmate_engine::engine::Engine;
+use checkmate_engine::report::Outcome;
+use checkmate_engine::testkit::counting_pipeline;
+use checkmate_sim::{MILLIS, SECONDS};
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+    ProtocolKind::CommunicationInducedBcs,
+];
+
+fn bounded(protocol: ProtocolKind, storm: Option<FaultPlan>) -> EngineConfig {
+    EngineConfig {
+        parallelism: 3,
+        protocol,
+        total_rate: 1_200.0,
+        checkpoint_interval: SECONDS,
+        duration: 120 * SECONDS,
+        warmup: SECONDS,
+        input_limit: Some(1_500),
+        storm,
+        ..EngineConfig::default()
+    }
+}
+
+/// Longer bounded input (~7.5 s at the configured rate) so kills and
+/// fault windows late in the run still land before the input drains.
+fn long_bounded(protocol: ProtocolKind, storm: Option<FaultPlan>) -> EngineConfig {
+    EngineConfig {
+        input_limit: Some(3_000),
+        ..bounded(protocol, storm)
+    }
+}
+
+/// Three overlapping kills: a correlated pair 50 ms apart (the second
+/// lands before the first is even detected), a third kill mid-recovery
+/// (500 ms after the first — past the 400 ms detection timeout, inside
+/// the restart window), plus a storage brownout later in the run.
+fn overlapping_storm() -> FaultPlan {
+    FaultPlan {
+        seed: 0,
+        kills: vec![
+            KillEvent {
+                at_ns: 2 * SECONDS,
+                worker: 0,
+            },
+            KillEvent {
+                at_ns: 2 * SECONDS + 50 * MILLIS,
+                worker: 1,
+            },
+            KillEvent {
+                at_ns: 2 * SECONDS + 500 * MILLIS,
+                worker: 2,
+            },
+        ],
+        stragglers: Vec::new(),
+        brownouts: vec![BrownoutWindow {
+            from_ns: 6 * SECONDS,
+            until_ns: 8 * SECONDS,
+            put_fail_p: 0.5,
+            get_fail_p: 0.0,
+            extra_latency_ns: 2 * MILLIS,
+        }],
+    }
+}
+
+#[test]
+fn exactly_once_under_overlapping_kills_and_brownout() {
+    for protocol in PROTOCOLS {
+        let clean = Engine::new(&counting_pipeline(3), bounded(protocol, None)).run();
+        let stormy = Engine::new(
+            &counting_pipeline(3),
+            bounded(protocol, Some(overlapping_storm())),
+        )
+        .run();
+        assert_eq!(clean.outcome, Outcome::Drained);
+        assert_eq!(
+            stormy.outcome,
+            Outcome::Drained,
+            "{protocol}: storm run stalled: {}",
+            stormy.summary()
+        );
+        assert_eq!(
+            stormy.sink_digest,
+            clean.sink_digest,
+            "{protocol}: exactly-once violated under storm\nclean:  {}\nstormy: {}",
+            clean.summary(),
+            stormy.summary()
+        );
+        // The correlated pair shares one recovery episode (both workers
+        // down before detection fires); the mid-recovery kill restarts
+        // that episode's line computation rather than opening a new one,
+        // so a single completed recovery covers all three kills.
+        assert!(
+            stormy.recoveries >= 1,
+            "{protocol}: no recovery completed: {}",
+            stormy.summary()
+        );
+        assert!(
+            stormy.unavailability_ns > 400 * MILLIS,
+            "{protocol}: unavailability {}ns too small",
+            stormy.unavailability_ns
+        );
+        assert!(stormy.detected_at.is_some(), "{protocol}: never detected");
+    }
+}
+
+#[test]
+fn storm_runs_are_bit_deterministic() {
+    let storm = || FaultPlan::storm(17, 3, 3, 20 * SECONDS);
+    assert_eq!(storm(), storm(), "plan generation must be deterministic");
+    let run = || {
+        Engine::new(
+            &counting_pipeline(3),
+            bounded(ProtocolKind::Uncoordinated, Some(storm())),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn single_kill_storm_matches_legacy_failure_spec() {
+    // The plan-driven path replaces `FailureSpec` without changing a
+    // single event: a one-kill plan must reproduce the legacy knob's
+    // run bit for bit.
+    for protocol in [ProtocolKind::Coordinated, ProtocolKind::Uncoordinated] {
+        let legacy = Engine::new(
+            &counting_pipeline(3),
+            EngineConfig {
+                failure: Some(FailureSpec {
+                    at: 2 * SECONDS,
+                    worker: WorkerId(1),
+                }),
+                ..bounded(protocol, None)
+            },
+        )
+        .run();
+        let plan = Engine::new(
+            &counting_pipeline(3),
+            bounded(protocol, Some(FaultPlan::single_kill(2 * SECONDS, 1))),
+        )
+        .run();
+        assert_eq!(
+            format!("{legacy:?}"),
+            format!("{plan:?}"),
+            "{protocol}: plan-driven single kill diverged from FailureSpec"
+        );
+    }
+}
+
+#[test]
+fn straggler_window_slows_without_changing_results() {
+    let straggler = FaultPlan {
+        seed: 0,
+        kills: Vec::new(),
+        stragglers: vec![StragglerWindow {
+            worker: 1,
+            from_ns: 2 * SECONDS,
+            until_ns: 6 * SECONDS,
+            slowdown: 3.0,
+        }],
+        brownouts: Vec::new(),
+    };
+    let clean = Engine::new(
+        &counting_pipeline(3),
+        bounded(ProtocolKind::Uncoordinated, None),
+    )
+    .run();
+    let slowed = Engine::new(
+        &counting_pipeline(3),
+        bounded(ProtocolKind::Uncoordinated, Some(straggler)),
+    )
+    .run();
+    assert_eq!(slowed.outcome, Outcome::Drained);
+    assert_eq!(slowed.sink_digest, clean.sink_digest);
+    // A 3× slowdown on one worker must cost wall-clock somewhere.
+    assert!(
+        slowed.end_time > clean.end_time,
+        "straggler had no effect: clean ends {} vs slowed {}",
+        clean.end_time,
+        slowed.end_time
+    );
+    // No kills: the failure path must stay cold.
+    assert!(slowed.detected_at.is_none());
+    assert_eq!(slowed.recoveries, 0);
+}
+
+#[test]
+fn total_brownout_defers_checkpoints_but_recovery_stays_exact() {
+    // put_fail_p = 1.0 ⇒ every bounded-retry upload in the window
+    // exhausts its attempts ⇒ every whole-snapshot checkpoint in the
+    // window is deferred. A kill after the window must still recover to
+    // the clean digest from the checkpoints that did land.
+    let plan = FaultPlan {
+        seed: 0,
+        kills: vec![KillEvent {
+            at_ns: 6 * SECONDS,
+            worker: 0,
+        }],
+        stragglers: Vec::new(),
+        brownouts: vec![BrownoutWindow {
+            from_ns: 2 * SECONDS,
+            until_ns: 5 * SECONDS,
+            put_fail_p: 1.0,
+            get_fail_p: 0.0,
+            extra_latency_ns: 0,
+        }],
+    };
+    let clean = Engine::new(
+        &counting_pipeline(3),
+        long_bounded(ProtocolKind::Uncoordinated, None),
+    )
+    .run();
+    let stormy = Engine::new(
+        &counting_pipeline(3),
+        long_bounded(ProtocolKind::Uncoordinated, Some(plan)),
+    )
+    .run();
+    assert_eq!(stormy.outcome, Outcome::Drained, "{}", stormy.summary());
+    assert_eq!(stormy.sink_digest, clean.sink_digest);
+    assert!(
+        stormy.ckpts_deferred >= 3,
+        "expected ≥1 deferred checkpoint per worker in a 3s total \
+         brownout, got {}",
+        stormy.ckpts_deferred
+    );
+    assert!(stormy.recoveries >= 1);
+}
+
+#[test]
+fn recovery_line_mins_are_monotone_under_repeated_kills() {
+    // Two well-separated kills ⇒ two completed recoveries; the global
+    // recovery line (witnessed by the minimum checkpoint index of each
+    // computed line) must never move backwards.
+    let plan = FaultPlan {
+        seed: 0,
+        kills: vec![
+            KillEvent {
+                at_ns: 2 * SECONDS,
+                worker: 0,
+            },
+            KillEvent {
+                at_ns: 5 * SECONDS,
+                worker: 2,
+            },
+        ],
+        stragglers: Vec::new(),
+        brownouts: Vec::new(),
+    };
+    for protocol in PROTOCOLS {
+        let r = Engine::new(
+            &counting_pipeline(3),
+            long_bounded(protocol, Some(plan.clone())),
+        )
+        .run();
+        assert_eq!(r.outcome, Outcome::Drained, "{protocol}: {}", r.summary());
+        assert!(
+            r.recoveries >= 2,
+            "{protocol}: expected two recoveries, got {} ({})",
+            r.recoveries,
+            r.summary()
+        );
+        assert_eq!(r.recovery_line_mins.len() as u64, r.recoveries);
+        assert!(
+            r.recovery_line_mins.windows(2).all(|w| w[0] <= w[1]),
+            "{protocol}: recovery line moved backwards: {:?}",
+            r.recovery_line_mins
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! batch cap, source poll burst). Defaults match the historical
 //! single-file runtime so existing callers behave identically.
 
-use checkmate_core::{IncrementalPolicy, ProtocolKind};
+use checkmate_core::{FaultPlan, IncrementalPolicy, ProtocolKind};
 use checkmate_storage::{SharedStore, TierPolicy, TieredProfile};
 use std::time::Duration;
 
@@ -64,7 +64,18 @@ pub struct LiveConfig {
     /// Checkpoint interval (wall clock).
     pub checkpoint_interval: Duration,
     /// Kill this worker once it has processed some records, then recover.
+    /// The legacy single-kill knob; internally converted to a one-kill
+    /// [`FaultPlan`]. Mutually exclusive with [`LiveConfig::storm`].
     pub kill_worker: Option<u32>,
+    /// Deterministic multi-fault schedule: correlated and repeated
+    /// worker kills (including kills landing mid-recovery), per-worker
+    /// straggler slowdown windows, and storage brownout windows — all
+    /// wall-clock anchored at run start. Kills are injected at their
+    /// scheduled instants and *detected* by heartbeat silence; brownout
+    /// windows wrap the default in-memory store in a
+    /// [`checkmate_storage::PerturbedBackend`] (incompatible with a
+    /// caller-supplied [`LiveConfig::store`] or tiering).
+    pub storm: Option<FaultPlan>,
     /// Hard wall-clock cap.
     pub timeout: Duration,
     /// Durable store to checkpoint into. `None` = a fresh in-memory
@@ -117,6 +128,7 @@ impl Default for LiveConfig {
             records_per_partition: 2_000,
             checkpoint_interval: Duration::from_millis(150),
             kill_worker: None,
+            storm: None,
             timeout: Duration::from_secs(30),
             store: None,
             tiering: None,

@@ -18,25 +18,36 @@
 
 use crate::config::LiveConfig;
 use crate::inbox::Inbox;
-use crate::uploader::{uploader_main, UploadMsg};
+use crate::uploader::{uploader_main, UploadMsg, UploaderStats};
 use crate::wire::Wire;
 use crate::worker::worker_main;
 use crate::{report::LiveReport, Shared};
 use checkmate_core::{
     coordinated_line, rollback_propagation, snapshot, ChannelTriple, CheckpointGraph, CheckpointId,
-    CheckpointMeta, CicPiggyback, DurableCheckpoints, HmnrPiggyback, ProtocolKind,
+    CheckpointMeta, CicPiggyback, DurableCheckpoints, FaultPlan, HmnrPiggyback, KillEvent,
+    ProtocolKind,
 };
 use checkmate_dataflow::graph::{InstanceIdx, PhysicalGraph};
 use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{LogicalGraph, OpId, OpRole, Record};
-use checkmate_storage::{ObjectStore, TieredBackend};
+use checkmate_storage::{
+    Brownout, MemBackend, ObjectStore, Perturbation, PerturbedBackend, TieredBackend,
+};
 use checkmate_wal::{ChannelLog, DeterminantLog, EventStream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a killed worker's heartbeat must be silent before the
+/// coordinator declares it failed and starts recovery. Live workers
+/// stamp their heartbeat every loop iteration (sub-millisecond when
+/// idle, a few milliseconds under load), so 15 ms of silence is
+/// unambiguous — and only workers the fault plan actually killed can go
+/// silent at all.
+const DETECT_SILENCE_NS: u64 = 15_000_000;
 
 /// Coordinator → worker control messages.
 pub(crate) enum Ctrl {
@@ -91,16 +102,61 @@ pub fn run_live(
         "LiveConfig::store and LiveConfig::tiering are mutually exclusive: \
          tiering constructs its own tiered store"
     );
+    assert!(
+        cfg.storm.is_none() || cfg.kill_worker.is_none(),
+        "LiveConfig::storm generalizes kill_worker; set at most one"
+    );
+    if let Some(plan) = &cfg.storm {
+        plan.validate(cfg.parallelism);
+        assert!(
+            plan.brownouts.is_empty() || (cfg.store.is_none() && cfg.tiering.is_none()),
+            "storm brownouts wrap the default in-memory store and are \
+             incompatible with a caller-supplied store or tiering"
+        );
+    }
     let pg = graph.expand(cfg.parallelism);
     let n_channels = pg.n_channels();
     let n_instances = pg.n_instances();
+    let start = Instant::now();
     let tiered = cfg
         .tiering
         .map(|t| Arc::new(TieredBackend::new(t.tiers, t.policy)));
+    // Brownout windows from the fault plan wrap the store in a
+    // perturbation decorator whose clock is anchored at run start —
+    // the same timeline the plan's kills and stragglers are scheduled
+    // on — so window membership, kill instants and slowdowns all read
+    // one clock.
+    let storm_store = cfg
+        .storm
+        .as_ref()
+        .filter(|p| !p.brownouts.is_empty())
+        .map(|p| {
+            let brownouts: Vec<Brownout> = p
+                .brownouts
+                .iter()
+                .map(|b| Brownout {
+                    from_ns: b.from_ns,
+                    until_ns: b.until_ns,
+                    put_fail_p: b.put_fail_p,
+                    get_fail_p: b.get_fail_p,
+                    extra_latency_ns: b.extra_latency_ns,
+                })
+                .collect();
+            ObjectStore::shared_with(Arc::new(PerturbedBackend::with_clock(
+                Arc::new(MemBackend::new()),
+                Perturbation {
+                    brownouts,
+                    seed: p.seed ^ 0x5EED,
+                    ..Perturbation::default()
+                },
+                Box::new(move || start.elapsed().as_nanos() as u64),
+            )))
+        });
     let shared = Arc::new(Shared {
-        store: match &tiered {
-            Some(b) => ObjectStore::shared_with(Arc::clone(b) as _),
-            None => cfg.store.clone().unwrap_or_else(ObjectStore::shared),
+        store: match (&tiered, storm_store) {
+            (Some(b), _) => ObjectStore::shared_with(Arc::clone(b) as _),
+            (None, Some(s)) => s,
+            (None, None) => cfg.store.clone().unwrap_or_else(ObjectStore::shared),
         },
         logs: (0..n_channels)
             .map(|_| Mutex::new(ChannelLog::new()))
@@ -128,13 +184,19 @@ pub fn run_live(
     let (note_tx, note_rx) = unbounded::<Note>();
     let (up_tx, up_rx) = unbounded::<UploadMsg>();
     let quiet = Arc::new(AtomicU64::new(0));
+    // Per-worker heartbeats (ns since run start of the last stamp):
+    // live workers stamp every loop iteration; a killed one goes
+    // silent, which is what the coordinator's failure detector watches.
+    let hb: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cfg.parallelism).map(|_| AtomicU64::new(0)).collect());
+    let up_stats = Arc::new(UploaderStats::default());
 
-    let start = Instant::now();
     let uploader = {
         let store = Arc::clone(&shared.store);
         let note = note_tx.clone();
         let tier = tiered.clone().zip(cfg.tiering.map(|t| t.maintain_every));
-        std::thread::spawn(move || uploader_main(store, up_rx, note, start, tier))
+        let stats = Arc::clone(&up_stats);
+        std::thread::spawn(move || uploader_main(store, up_rx, note, start, tier, stats))
     };
     let mut handles = Vec::new();
     for w in 0..cfg.parallelism {
@@ -146,15 +208,16 @@ pub fn run_live(
         let up = up_tx.clone();
         let streams = streams.clone();
         let quiet = Arc::clone(&quiet);
+        let hb = Arc::clone(&hb);
         handles.push(std::thread::spawn(move || {
             worker_main(
-                w, shared, cfg, streams, inboxes, crx, note, up, start, quiet,
+                w, shared, cfg, streams, inboxes, crx, note, up, start, quiet, hb,
             )
         }));
     }
 
     let report = coordinate(
-        &cfg, &shared, &ctrl_tx, &inboxes, &note_rx, &up_tx, &quiet, start, &tiered,
+        &cfg, &shared, &ctrl_tx, &inboxes, &note_rx, &up_tx, &quiet, &hb, start, &tiered, &up_stats,
     );
     for h in handles {
         h.join().expect("worker thread");
@@ -192,7 +255,27 @@ fn recovery_line(
                     to: c.to,
                 })
                 .collect();
-            let ms: Vec<CheckpointMeta> = metas.values().cloned().collect();
+            // A checkpoint the uploader *deferred* (bounded retries
+            // exhausted mid-brownout) was never acked durable, so an
+            // instance's index sequence may have holes. The rollback
+            // graph requires per-instance contiguity — consider only
+            // each instance's dense prefix. Recovery discards post-line
+            // metadata and the workers re-mint indices from the line,
+            // so holes never accumulate across episodes.
+            let mut expect: BTreeMap<InstanceIdx, u64> = BTreeMap::new();
+            let ms: Vec<CheckpointMeta> = metas
+                .iter()
+                .filter(|((inst, idx), _)| {
+                    let e = expect.entry(*inst).or_insert(0);
+                    if *idx == *e {
+                        *e += 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .map(|(_, m)| m.clone())
+                .collect();
             rollback_propagation(&CheckpointGraph::build(ms, &triples)).line
         }
     }
@@ -236,8 +319,10 @@ fn coordinate(
     note_rx: &Receiver<Note>,
     up_tx: &Sender<UploadMsg>,
     quiet: &Arc<AtomicU64>,
+    hb: &Arc<Vec<AtomicU64>>,
     start: Instant,
     tiered: &Option<Arc<TieredBackend>>,
+    up_stats: &Arc<UploaderStats>,
 ) -> LiveReport {
     let pg = &shared.pg;
     let mut metas: BTreeMap<(InstanceIdx, u64), CheckpointMeta> = BTreeMap::new();
@@ -253,10 +338,20 @@ fn coordinate(
     let mut checkpoints = 0u64;
     let mut recovered = false;
     let mut cur_epoch = 0u32;
-    // Kill roughly 40 % into the expected input window.
+    // The unified fault schedule: an explicit storm plan, or the legacy
+    // single-kill knob expressed as a one-kill plan landing roughly
+    // 40 % into the expected input window.
     let expected = cfg.expected_input_window();
-    let kill_at = cfg.kill_worker.map(|_| expected.mul_f64(0.4));
-    let mut killed = false;
+    let plan = cfg.storm.clone().or_else(|| {
+        cfg.kill_worker
+            .map(|v| FaultPlan::single_kill(expected.mul_f64(0.4).as_nanos() as u64, v))
+    });
+    let mut plan_kills: VecDeque<KillEvent> = plan
+        .map(|p| p.kills.into_iter().collect())
+        .unwrap_or_default();
+    // Workers killed but not yet recovered.
+    let mut down: Vec<u32> = Vec::new();
+    let mut recoveries = 0u64;
     let run_deadline = start + cfg.timeout;
     let all_quiet = (1u64 << cfg.parallelism) - 1;
     let mut quiet_since: Option<Instant> = None;
@@ -293,23 +388,45 @@ fn coordinate(
             }
             next_round = start.elapsed() + cfg.checkpoint_interval;
         }
-        if let (Some(at), Some(victim)) = (kill_at, cfg.kill_worker) {
-            if !killed && start.elapsed() >= at {
-                killed = true;
-                let _ = ctrl_tx[victim as usize].send(Ctrl::Kill);
-                std::thread::sleep(Duration::from_millis(30));
+        // Inject kills that have come due. The coordinator does not act
+        // on the injection itself — failure *detection* below goes by
+        // heartbeat silence, paying a realistic detection delay.
+        inject_due(ctrl_tx, start, &mut plan_kills, &mut down);
+        // Failure detection: a worker is declared failed once its
+        // heartbeat has been silent past the timeout. One recovery
+        // episode covers every down worker; kills landing *during* the
+        // recovery restart its line computation (see `recover`).
+        if !down.is_empty() {
+            let now = start.elapsed().as_nanos() as u64;
+            let detected = down.iter().any(|&v| {
+                now.saturating_sub(hb[v as usize].load(Ordering::Relaxed)) > DETECT_SILENCE_NS
+            });
+            if detected {
                 cur_epoch = recover(
-                    cfg, shared, ctrl_tx, inboxes, note_rx, up_tx, &mut metas, cur_epoch, tiered,
+                    cfg,
+                    shared,
+                    ctrl_tx,
+                    inboxes,
+                    note_rx,
+                    up_tx,
+                    &mut metas,
+                    cur_epoch,
+                    tiered,
+                    start,
+                    &mut plan_kills,
+                    &mut down,
                 );
+                recoveries += 1;
                 recovered = true;
                 quiet_since = None;
             }
         }
-        // Quiescence: all workers idle, nothing in any inbox, and — for
-        // kill runs — the scripted failure already played out.
+        // Quiescence: all workers idle, nothing in any inbox, and every
+        // scheduled failure already played out and recovered.
         let quiesced = quiet.load(Ordering::Relaxed) == all_quiet
             && inboxes.iter().all(|ib| ib.is_empty())
-            && (cfg.kill_worker.is_none() || killed);
+            && plan_kills.is_empty()
+            && down.is_empty();
         if quiesced {
             let since = *quiet_since.get_or_insert_with(Instant::now);
             if since.elapsed() >= Duration::from_millis(50) {
@@ -378,12 +495,42 @@ fn coordinate(
         max_out_pending,
         determinants,
         replayed,
+        recoveries,
+        ckpts_deferred: up_stats.ckpts_deferred.load(Ordering::Relaxed),
+        uploader_idle_wakeups: up_stats.idle_wakeups.load(Ordering::Relaxed),
+        store: shared.store.stats(),
         tier: tiered.as_ref().map(|b| b.stats()),
     }
 }
 
-/// Pause, compute the recovery line, restore, replay, resume. Returns
-/// the post-recovery epoch.
+/// Send `Ctrl::Kill` for every scheduled kill due by now, recording the
+/// victims as down (idempotently). Returns how many were injected.
+fn inject_due(
+    ctrl_tx: &[Sender<Ctrl>],
+    start: Instant,
+    plan_kills: &mut VecDeque<KillEvent>,
+    down: &mut Vec<u32>,
+) -> usize {
+    let now = start.elapsed().as_nanos() as u64;
+    let mut n = 0;
+    while plan_kills.front().is_some_and(|k| k.at_ns <= now) {
+        let k = plan_kills.pop_front().expect("nonempty");
+        let _ = ctrl_tx[k.worker as usize].send(Ctrl::Kill);
+        if !down.contains(&k.worker) {
+            down.push(k.worker);
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Pause, compute the recovery line, restore, replay, resume — and
+/// *restart cleanly* when another scheduled kill lands mid-recovery: a
+/// kill arriving while workers restore wipes its victim's freshly
+/// restored state, so the pause → flush → line → restore sequence runs
+/// again from the top (per-worker control FIFO orders the queued Kill
+/// before the next pass's Restore). Returns the post-recovery epoch;
+/// every down worker has been restored and resumed on return.
 #[allow(clippy::too_many_arguments)] // the coordinator's full wiring
 fn recover(
     cfg: &LiveConfig,
@@ -395,85 +542,107 @@ fn recover(
     metas: &mut BTreeMap<(InstanceIdx, u64), CheckpointMeta>,
     cur_epoch: u32,
     tiered: &Option<Arc<TieredBackend>>,
+    start: Instant,
+    plan_kills: &mut VecDeque<KillEvent>,
+    down: &mut Vec<u32>,
 ) -> u32 {
     let pg = &shared.pg;
-    // Pause everyone and wait for acks. Uploads already handed to the
-    // uploader keep draining meanwhile; their acks still count (they are
-    // durable checkpoints of the current epoch).
-    for tx in ctrl_tx {
-        let _ = tx.send(Ctrl::Pause);
-    }
-    let mut paused = 0;
-    while paused < cfg.parallelism {
-        match note_rx.recv_timeout(Duration::from_secs(10)) {
-            Ok(Note::Paused(_)) => paused += 1,
-            Ok(Note::Meta(epoch, m)) => {
-                if epoch == cur_epoch {
-                    metas.insert((m.id.instance, m.id.index), m);
-                }
-            }
-            Ok(_) => {}
-            Err(_) => panic!("pause ack timeout"),
+    let line = loop {
+        // Pause everyone and wait for acks (idempotent: on a restarted
+        // pass already-paused workers simply ack again). Uploads already
+        // handed to the uploader keep draining meanwhile; their acks
+        // still count (they are durable checkpoints of the current
+        // epoch).
+        for tx in ctrl_tx {
+            let _ = tx.send(Ctrl::Pause);
         }
-    }
-    // Quiesce the upload pipeline: workers are paused (no new jobs), so
-    // after this barrier nothing is in flight. Checkpoints that were
-    // mid-upload at the failure are now durable — fold their acks in
-    // before computing the line; they are legitimate restore points.
-    {
-        let (ack_tx, ack_rx) = unbounded::<()>();
-        let _ = up_tx.send(UploadMsg::Flush(ack_tx));
-        let _ = ack_rx.recv_timeout(Duration::from_secs(10));
-        while let Ok(n) = note_rx.try_recv() {
-            if let Note::Meta(epoch, m) = n {
-                if epoch == cur_epoch {
-                    metas.insert((m.id.instance, m.id.index), m);
+        let mut paused = 0;
+        while paused < cfg.parallelism {
+            match note_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Note::Paused(_)) => paused += 1,
+                Ok(Note::Meta(epoch, m)) => {
+                    if epoch == cur_epoch {
+                        metas.insert((m.id.instance, m.id.index), m);
+                    }
                 }
+                Ok(_) => {}
+                Err(_) => panic!("pause ack timeout"),
             }
         }
-    }
-
-    // Recovery line.
-    let line = recovery_line(cfg.protocol, pg, metas);
-    // Discard post-line metadata and the durable objects it owns (the
-    // indices will be reused post-rollback; stale chunk objects must not
-    // linger under the same keys).
-    let durable = DurableCheckpoints::new(Arc::clone(&shared.store));
-    let discarded: Vec<CheckpointMeta> = metas
-        .iter()
-        .filter(|((inst, idx), _)| line.get(inst).is_none_or(|l| *idx > l.index))
-        .map(|(_, m)| m.clone())
-        .collect();
-    for m in discarded {
-        durable.delete_checkpoint(&m);
-    }
-    metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
-    // The surviving metas ARE the restore set: pin them before the
-    // compactor (still running in the uploader thread) gets another
-    // pass, so restore GETs below read cold objects only when the line
-    // genuinely lives there.
-    refresh_pins(tiered, cfg.protocol, pg, metas);
-
-    // Restore every worker. Workers arm their determinant-ordered replay
-    // themselves from the shared logs (`meta.det_pos()` onward).
-    for w in 0..cfg.parallelism {
-        let mut per_op = BTreeMap::new();
-        for op in pg.logical().ops() {
-            let idx = InstanceIdx(op.id.0 * cfg.parallelism + w);
-            let id = line[&idx];
-            per_op.insert(op.id, metas[&(idx, id.index)].clone());
+        // Quiesce the upload pipeline: workers are paused (no new jobs),
+        // so after this barrier nothing is in flight. Checkpoints that
+        // were mid-upload at the failure are now durable — fold their
+        // acks in before computing the line; they are legitimate restore
+        // points.
+        {
+            let (ack_tx, ack_rx) = unbounded::<()>();
+            let _ = up_tx.send(UploadMsg::Flush(ack_tx));
+            let _ = ack_rx.recv_timeout(Duration::from_secs(10));
+            while let Ok(n) = note_rx.try_recv() {
+                if let Note::Meta(epoch, m) = n {
+                    if epoch == cur_epoch {
+                        metas.insert((m.id.instance, m.id.index), m);
+                    }
+                }
+            }
         }
-        let _ = ctrl_tx[w as usize].send(Ctrl::Restore(per_op));
-    }
-    let mut restored = 0;
-    while restored < cfg.parallelism {
-        match note_rx.recv_timeout(Duration::from_secs(10)) {
-            Ok(Note::Restored(_)) => restored += 1,
-            Ok(Note::Meta(..)) => {}
-            Ok(_) => {}
-            Err(_) => panic!("restore ack timeout"),
+
+        // Kills due by now land before the line computation: each
+        // victim's Kill precedes the Restore below in its control
+        // queue, so this pass recovers them too.
+        inject_due(ctrl_tx, start, plan_kills, down);
+
+        // Recovery line.
+        let line = recovery_line(cfg.protocol, pg, metas);
+        // Discard post-line metadata and the durable objects it owns
+        // (the indices will be reused post-rollback; stale chunk objects
+        // must not linger under the same keys).
+        let durable = DurableCheckpoints::new(Arc::clone(&shared.store));
+        let discarded: Vec<CheckpointMeta> = metas
+            .iter()
+            .filter(|((inst, idx), _)| line.get(inst).is_none_or(|l| *idx > l.index))
+            .map(|(_, m)| m.clone())
+            .collect();
+        for m in discarded {
+            durable.delete_checkpoint(&m);
         }
-    }
+        metas.retain(|(inst, idx), _| line.get(inst).is_some_and(|l| *idx <= l.index));
+        // The surviving metas ARE the restore set: pin them before the
+        // compactor (still running in the uploader thread) gets another
+        // pass, so restore GETs below read cold objects only when the
+        // line genuinely lives there.
+        refresh_pins(tiered, cfg.protocol, pg, metas);
+
+        // Restore every worker. Workers arm their determinant-ordered
+        // replay themselves from the shared logs (`meta.det_pos()`
+        // onward).
+        for w in 0..cfg.parallelism {
+            let mut per_op = BTreeMap::new();
+            for op in pg.logical().ops() {
+                let idx = InstanceIdx(op.id.0 * cfg.parallelism + w);
+                let id = line[&idx];
+                per_op.insert(op.id, metas[&(idx, id.index)].clone());
+            }
+            let _ = ctrl_tx[w as usize].send(Ctrl::Restore(per_op));
+        }
+        let mut restored = 0;
+        while restored < cfg.parallelism {
+            match note_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Note::Restored(_)) => restored += 1,
+                Ok(Note::Meta(..)) => {}
+                Ok(_) => {}
+                Err(_) => panic!("restore ack timeout"),
+            }
+        }
+
+        // A kill that came due while we restored invalidated this pass —
+        // its victim's restored state is gone again. Go around: the line
+        // is recomputed and everyone restores against it cleanly.
+        if inject_due(ctrl_tx, start, plan_kills, down) == 0 {
+            break line;
+        }
+    };
+    down.clear();
 
     // Replay logged in-flight messages with the fresh epoch, then resume.
     // Inboxes dequeue in push order and workers are still paused while we

@@ -9,7 +9,7 @@
 //! never as unbounded queue growth.
 
 use checkmate_dataflow::ops::Digest;
-use checkmate_storage::TieredStats;
+use checkmate_storage::{StoreStats, TieredStats};
 use std::time::Duration;
 
 /// Result of a live run.
@@ -41,6 +41,24 @@ pub struct LiveReport {
     /// Records re-delivered from the durable channel logs during
     /// recovery.
     pub replayed: u64,
+    /// Completed recovery episodes. The legacy single-kill path reports
+    /// 1; a failure storm with overlapping kills may fold several kills
+    /// into one episode (a kill landing mid-recovery restarts the line
+    /// computation instead of opening a new episode).
+    pub recoveries: u64,
+    /// Checkpoints the uploader dropped because the store's bounded
+    /// retry budget was exhausted mid-brownout: the checkpoint is never
+    /// acked durable and recovery lines skip past it (graceful
+    /// degradation instead of a stalled upload thread).
+    pub ckpts_deferred: u64,
+    /// Times the uploader's maintenance timer fired with no work to do
+    /// (no upload job, no-op compaction pass). Bounded by the idle
+    /// backoff — a run that parks for seconds must not spin thousands of
+    /// wakeups.
+    pub uploader_idle_wakeups: u64,
+    /// Durable-store operation counters: puts/gets, retries and backoff
+    /// time absorbed by transient faults, deferred puts.
+    pub store: StoreStats,
     /// Tiered-store accounting (residency per tier, compaction
     /// counters) when the run used [`crate::LiveTiering`]; `None` for
     /// flat stores.
@@ -58,13 +76,15 @@ impl LiveReport {
             None => String::new(),
         };
         format!(
-            "{} sink records (digest {:016x}/{}), {} ckpts, recovered={}, \
-             p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, pending≤{}, dets={}, replayed={}{}",
+            "{} sink records (digest {:016x}/{}), {} ckpts ({} deferred), \
+             recoveries={}, p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, \
+             pending≤{}, dets={}, replayed={}, store retries {}+{}{}",
             self.sink_records,
             self.sink_digest.acc,
             self.sink_digest.count,
             self.checkpoints,
-            self.recovered,
+            self.ckpts_deferred,
+            self.recoveries,
             self.p50_latency,
             self.throughput,
             self.elapsed,
@@ -72,6 +92,8 @@ impl LiveReport {
             self.max_out_pending,
             self.determinants,
             self.replayed,
+            self.store.put_retries,
+            self.store.get_retries,
             tier,
         )
     }

@@ -31,8 +31,21 @@ use crate::coordinator::Note;
 use checkmate_core::{CheckpointMeta, DurableCheckpoints};
 use checkmate_storage::{SharedStore, TieredBackend};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Uploader-side health counters, read by the coordinator into the
+/// final [`crate::LiveReport`].
+#[derive(Default)]
+pub(crate) struct UploaderStats {
+    /// Maintenance-timer wakeups that found nothing to do (no job, no-op
+    /// compaction pass). The idle backoff keeps this bounded.
+    pub idle_wakeups: AtomicU64,
+    /// Whole-snapshot checkpoints dropped because a PUT exhausted the
+    /// store's bounded retry budget (brownout degradation).
+    pub ckpts_deferred: AtomicU64,
+}
 
 /// A serialized snapshot handed to the background uploader: the worker
 /// resumes processing the moment this is enqueued.
@@ -60,20 +73,34 @@ pub(crate) fn uploader_main(
     note: Sender<Note>,
     start: Instant,
     tier: Option<(Arc<TieredBackend>, Duration)>,
+    stats: Arc<UploaderStats>,
 ) {
     let durable = DurableCheckpoints::new(store);
     let mut next_maintain = tier.as_ref().map(|(_, every)| Instant::now() + *every);
+    // Consecutive no-op maintenance passes; each doubles the timer (up
+    // to 64×) so an idle uploader parks instead of spinning wakeups at
+    // the raw `maintain_every` cadence. Any job or productive pass
+    // resets the cadence.
+    let mut idle_streak: u32 = 0;
     loop {
         let msg = if let (Some((backend, every)), Some(at)) = (&tier, next_maintain) {
             match jobs.recv_timeout(at.saturating_duration_since(Instant::now())) {
-                Ok(msg) => msg,
+                Ok(msg) => {
+                    idle_streak = 0;
+                    next_maintain = Some(Instant::now() + *every);
+                    msg
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     let t0 = Instant::now();
                     let rep = backend.maintain();
-                    if !rep.is_noop() {
+                    if rep.is_noop() {
+                        stats.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                        idle_streak = (idle_streak + 1).min(6);
+                    } else {
                         backend.note_io_ns(t0.elapsed().as_nanos() as u64);
+                        idle_streak = 0;
                     }
-                    next_maintain = Some(Instant::now() + *every);
+                    next_maintain = Some(Instant::now() + *every * (1 << idle_streak));
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -90,8 +117,30 @@ pub(crate) fn uploader_main(
                 mut meta,
                 objects,
             }) => {
+                // Incremental snapshots must land atomically: later
+                // manifests reference this job's chunks, so a dropped
+                // chunk would poison every descendant checkpoint. Use
+                // the unbounded (wedging) retry path for those. Whole
+                // snapshots are self-contained — bounded retries, and on
+                // exhaustion the checkpoint is *deferred*: never acked,
+                // never durable, skipped by recovery lines.
+                let deferrable = meta.manifest.is_none();
+                let mut dropped = false;
                 for (key, bytes) in objects {
-                    durable.store().put(key, bytes);
+                    if dropped {
+                        break;
+                    }
+                    if deferrable {
+                        if durable.store().try_put(key, bytes).is_err() {
+                            dropped = true;
+                        }
+                    } else {
+                        durable.store().put(key, bytes);
+                    }
+                }
+                if dropped {
+                    stats.ckpts_deferred.fetch_add(1, Ordering::Relaxed);
+                    continue;
                 }
                 meta.durable_at = start.elapsed().as_nanos() as u64;
                 durable.persist_meta(&meta);

@@ -128,6 +128,7 @@ pub(crate) fn worker_main(
     up_tx: Sender<UploadMsg>,
     start: Instant,
     quiet: Arc<AtomicU64>,
+    hb: Arc<Vec<AtomicU64>>,
 ) {
     let pg = &shared.pg;
     let logs: Vec<SourceLog<Arc<dyn EventStream>>> = streams
@@ -660,6 +661,13 @@ pub(crate) fn worker_main(
         if stopped {
             break;
         }
+        // Heartbeat: a live thread (paused or not) stamps every
+        // iteration; a killed one goes silent, which is what the
+        // coordinator's failure detector watches for. Real systems
+        // detect crashes by missing heartbeats, not by being told.
+        if !dead {
+            hb[w as usize].store(now_ns(&start).max(1), Ordering::Relaxed);
+        }
         if paused || dead {
             quiet.fetch_and(!quiet_bit, Ordering::Relaxed);
             std::thread::sleep(Duration::from_micros(200));
@@ -806,6 +814,20 @@ pub(crate) fn worker_main(
         // Everything staged this iteration goes out before we sleep or
         // hand control back — the buffer is always empty at loop top.
         flush_sends!();
+
+        // Straggler injection: inside a scheduled slowdown window this
+        // worker pays extra wall-clock per productive iteration,
+        // throttling its progress without changing what it computes.
+        if let Some(plan) = &cfg.storm {
+            if any && !plan.stragglers.is_empty() {
+                let f = plan.slowdown_at(w, now_ns(&start));
+                if f > 1.0 {
+                    std::thread::sleep(Duration::from_micros(
+                        (100.0 * (f - 1.0)).min(5_000.0) as u64
+                    ));
+                }
+            }
+        }
 
         let idle = drained
             && !any

@@ -1,0 +1,208 @@
+//! Live failure storms: the threaded runtime under a deterministic
+//! multi-fault schedule ([`FaultPlan`]) — overlapping kills detected by
+//! heartbeat silence, straggler slowdowns, and storage brownout windows
+//! with bounded-retry checkpoint deferral — must stay exactly-once
+//! against a clean run's digest.
+
+use checkmate_core::{BrownoutWindow, FaultPlan, KillEvent, ProtocolKind, StragglerWindow};
+use checkmate_dataflow::ops::{DigestSinkOp, KeyedCounterOp, PassThroughOp};
+use checkmate_dataflow::{EdgeKind, GraphBuilder, LogicalGraph, Record, Value};
+use checkmate_runtime::{run_live, LiveConfig};
+use checkmate_wal::EventStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MS: u64 = 1_000_000;
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+    ProtocolKind::CommunicationInducedBcs,
+];
+
+struct TestStream {
+    partitions: u32,
+}
+
+impl EventStream for TestStream {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+    fn record(&self, partition: u32, offset: u64) -> Record {
+        let g = offset * self.partitions as u64 + partition as u64;
+        Record::new(g % 37, Value::U64(g), 0)
+    }
+}
+
+fn counting_graph() -> LogicalGraph {
+    let mut b = GraphBuilder::new();
+    let src = b.source("src", 0, 0, Arc::new(|_| Box::new(PassThroughOp)));
+    let cnt = b.op("count", 0, Arc::new(|_| Box::new(KeyedCounterOp::new())));
+    let sink = b.sink("sink", 0, Arc::new(|_| Box::new(DigestSinkOp::new())));
+    b.connect(src, cnt, EdgeKind::Shuffle);
+    b.connect(cnt, sink, EdgeKind::Forward);
+    b.build().unwrap()
+}
+
+/// One-second input window: late fault events still land mid-run.
+fn cfg(protocol: ProtocolKind, storm: Option<FaultPlan>) -> LiveConfig {
+    LiveConfig {
+        parallelism: 3,
+        protocol,
+        rate_per_partition: 1_500.0,
+        records_per_partition: 1_500,
+        checkpoint_interval: Duration::from_millis(120),
+        storm,
+        timeout: Duration::from_secs(60),
+        ..LiveConfig::default()
+    }
+}
+
+fn streams() -> Vec<Arc<dyn EventStream>> {
+    vec![Arc::new(TestStream { partitions: 3 })]
+}
+
+/// Three overlapping kills — a correlated pair 20 ms apart (the second
+/// typically lands while the first's recovery is still in flight and is
+/// folded into it by the restartable recovery loop), then a third kill
+/// *inside* a storage brownout, so its restore GETs run against
+/// elevated transient failure rates and lean on the store's bounded
+/// retry/backoff.
+fn overlapping_storm() -> FaultPlan {
+    FaultPlan {
+        seed: 0,
+        kills: vec![
+            KillEvent {
+                at_ns: 300 * MS,
+                worker: 0,
+            },
+            KillEvent {
+                at_ns: 320 * MS,
+                worker: 1,
+            },
+            KillEvent {
+                at_ns: 800 * MS,
+                worker: 2,
+            },
+        ],
+        stragglers: vec![StragglerWindow {
+            worker: 1,
+            from_ns: 400 * MS,
+            until_ns: 700 * MS,
+            slowdown: 2.0,
+        }],
+        brownouts: vec![BrownoutWindow {
+            from_ns: 700 * MS,
+            until_ns: 1_200 * MS,
+            put_fail_p: 0.5,
+            get_fail_p: 0.2,
+            extra_latency_ns: MS / 2,
+        }],
+    }
+}
+
+#[test]
+fn live_exactly_once_under_overlapping_kills_and_brownout() {
+    let graph = counting_graph();
+    for protocol in PROTOCOLS {
+        let clean = run_live(&graph, streams(), cfg(protocol, None));
+        let stormy = run_live(&graph, streams(), cfg(protocol, Some(overlapping_storm())));
+        assert_eq!(
+            stormy.sink_digest,
+            clean.sink_digest,
+            "{protocol}: live exactly-once violated under storm\nclean:  {}\nstormy: {}",
+            clean.summary(),
+            stormy.summary()
+        );
+        // Three kills: the correlated pair may fold into one recovery
+        // episode, the brownout kill is always its own.
+        assert!(
+            (2..=3).contains(&stormy.recoveries),
+            "{protocol}: expected 2-3 recoveries for 3 kills, got {}: {}",
+            stormy.recoveries,
+            stormy.summary()
+        );
+        assert!(stormy.recovered);
+        // The brownout overlapped dozens of 50/50 PUT attempts; zero
+        // observed retries would mean the perturbed store never engaged.
+        assert!(
+            stormy.store.put_retries > 0,
+            "{protocol}: brownout injected no PUT retries: {}",
+            stormy.summary()
+        );
+    }
+}
+
+#[test]
+fn live_straggler_slows_nothing_but_the_clock() {
+    let graph = counting_graph();
+    let plan = FaultPlan {
+        seed: 0,
+        kills: Vec::new(),
+        stragglers: vec![StragglerWindow {
+            worker: 1,
+            from_ns: 200 * MS,
+            until_ns: 800 * MS,
+            slowdown: 3.0,
+        }],
+        brownouts: Vec::new(),
+    };
+    let clean = run_live(&graph, streams(), cfg(ProtocolKind::Uncoordinated, None));
+    let slowed = run_live(
+        &graph,
+        streams(),
+        cfg(ProtocolKind::Uncoordinated, Some(plan)),
+    );
+    assert_eq!(slowed.sink_digest, clean.sink_digest);
+    assert_eq!(slowed.recoveries, 0, "no kills scheduled");
+    assert!(!slowed.recovered);
+}
+
+#[test]
+fn live_total_brownout_defers_checkpoints_gracefully() {
+    // put_fail_p = 1.0 ⇒ every whole-snapshot upload inside the window
+    // exhausts its bounded retries and the checkpoint is deferred —
+    // never acked, never durable — while the pipeline keeps processing.
+    // The run must complete exactly-once and the deferral accounting
+    // must line up between the uploader and the store (one object per
+    // whole-snapshot checkpoint).
+    let graph = counting_graph();
+    let plan = FaultPlan {
+        seed: 0,
+        kills: Vec::new(),
+        stragglers: Vec::new(),
+        brownouts: vec![BrownoutWindow {
+            from_ns: 300 * MS,
+            until_ns: 600 * MS,
+            put_fail_p: 1.0,
+            get_fail_p: 0.0,
+            extra_latency_ns: 0,
+        }],
+    };
+    let clean = run_live(&graph, streams(), cfg(ProtocolKind::Uncoordinated, None));
+    let r = run_live(
+        &graph,
+        streams(),
+        cfg(ProtocolKind::Uncoordinated, Some(plan)),
+    );
+    assert_eq!(r.sink_digest, clean.sink_digest);
+    assert!(
+        r.ckpts_deferred >= 1,
+        "a 300 ms total brownout must defer at least one 120 ms-interval \
+         checkpoint: {}",
+        r.summary()
+    );
+    assert_eq!(
+        r.ckpts_deferred,
+        r.store.puts_deferred,
+        "uploader deferral count and store accounting disagree: {}",
+        r.summary()
+    );
+    // Processing continued after the window: durable checkpoints exist.
+    assert!(
+        r.checkpoints > 0,
+        "no checkpoint ever landed: {}",
+        r.summary()
+    );
+}

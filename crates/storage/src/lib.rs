@@ -40,7 +40,7 @@ pub use backend::{MemBackend, ObjectKey, StorageBackend, StorageError};
 pub use compact::{maintenance_io_ns, MaintenanceReport, TierPolicy};
 pub use file::FileBackend;
 pub use layer::Layer;
-pub use perturb::{Perturbation, PerturbedBackend};
+pub use perturb::{Brownout, Perturbation, PerturbedBackend};
 pub use profile::StorageProfile;
-pub use store::{ObjectStore, SharedStore, StoreStats, MAX_ATTEMPTS};
+pub use store::{ObjectStore, SharedStore, StoreStats, MAX_ATTEMPTS, TRY_ATTEMPTS};
 pub use tier::{Tier, TierStats, TieredBackend, TieredProfile, TieredStats};

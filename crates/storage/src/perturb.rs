@@ -19,8 +19,35 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// What to inject. The default injects nothing.
+/// A time-bounded storage brownout: inside `[from_ns, until_ns)` (on
+/// the backend's clock, nanoseconds since construction or whatever the
+/// injected clock reports), failure probabilities and latency are
+/// *elevated* to these values on top of the baseline perturbation.
+/// This is the storage-level mirror of `checkmate_core::BrownoutWindow`
+/// (storage sits below core in the crate DAG, so the types are
+/// duplicated rather than shared; runtimes convert between them).
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brownout {
+    pub from_ns: u64,
+    pub until_ns: u64,
+    /// PUT failure probability inside the window (replaces the baseline
+    /// when higher).
+    pub put_fail_p: f64,
+    /// GET failure probability inside the window (replaces the baseline
+    /// when higher).
+    pub get_fail_p: f64,
+    /// Extra latency added inside the window, on top of the baseline.
+    pub extra_latency_ns: u64,
+}
+
+impl Brownout {
+    fn contains(&self, now_ns: u64) -> bool {
+        now_ns >= self.from_ns && now_ns < self.until_ns
+    }
+}
+
+/// What to inject. The default injects nothing.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Perturbation {
     /// Mean extra latency added to every PUT and GET.
     pub extra_latency_ns: u64,
@@ -37,6 +64,11 @@ pub struct Perturbation {
     /// Seed of the decorator's private RNG — same seed, same fault and
     /// jitter sequence.
     pub seed: u64,
+    /// Time-windowed brownouts layered on the baseline. The RNG draw
+    /// per operation is consumed whether or not a window is active, so
+    /// the same seed replays the same fault sequence for a fixed
+    /// sequence of (operation, window-membership) pairs.
+    pub brownouts: Vec<Brownout>,
 }
 
 impl Default for Perturbation {
@@ -48,26 +80,76 @@ impl Default for Perturbation {
             put_fail_p: 0.0,
             get_fail_p: 0.0,
             seed: 0x5EED,
+            brownouts: Vec::new(),
         }
     }
 }
 
 /// A [`StorageBackend`] decorator injecting latency, bandwidth caps and
 /// transient failures into an inner backend.
-#[derive(Debug)]
 pub struct PerturbedBackend {
     inner: Arc<dyn StorageBackend>,
     cfg: Perturbation,
     rng: Mutex<u64>,
+    /// Clock for brownout-window membership: nanoseconds since "run
+    /// start". Defaults to wall time since construction; tests and the
+    /// live runtime may inject their own (e.g. anchored at run start,
+    /// or fully manual for deterministic window tests).
+    clock: Box<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for PerturbedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerturbedBackend")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PerturbedBackend {
     pub fn new(inner: Arc<dyn StorageBackend>, cfg: Perturbation) -> Self {
+        let born = std::time::Instant::now();
+        Self::with_clock(
+            inner,
+            cfg,
+            Box::new(move || born.elapsed().as_nanos() as u64),
+        )
+    }
+
+    /// Like [`new`](Self::new), but with an explicit clock for brownout
+    /// windows (nanoseconds since run start).
+    pub fn with_clock(
+        inner: Arc<dyn StorageBackend>,
+        cfg: Perturbation,
+        clock: Box<dyn Fn() -> u64 + Send + Sync>,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&cfg.put_fail_p));
         assert!((0.0..=1.0).contains(&cfg.get_fail_p));
         assert!((0.0..=1.0).contains(&cfg.jitter));
+        for b in &cfg.brownouts {
+            assert!((0.0..=1.0).contains(&b.put_fail_p));
+            assert!((0.0..=1.0).contains(&b.get_fail_p));
+            assert!(
+                b.from_ns < b.until_ns,
+                "brownout window is empty or inverted"
+            );
+        }
         let rng = Mutex::new(cfg.seed | 1);
-        Self { inner, cfg, rng }
+        Self {
+            inner,
+            cfg,
+            rng,
+            clock,
+        }
+    }
+
+    /// The brownout window active right now, if any.
+    fn active_brownout(&self) -> Option<&Brownout> {
+        if self.cfg.brownouts.is_empty() {
+            return None;
+        }
+        let now = (self.clock)();
+        self.cfg.brownouts.iter().find(|b| b.contains(now))
     }
 
     /// Next uniform draw in `[0, 1)` (splitmix64).
@@ -81,9 +163,9 @@ impl PerturbedBackend {
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    fn sleep_for(&self, bytes: usize) {
+    fn sleep_for(&self, bytes: usize, window_extra_ns: u64) {
         let jitter = 1.0 + self.cfg.jitter * (2.0 * self.draw() - 1.0);
-        let mut ns = (self.cfg.extra_latency_ns as f64 * jitter) as u64;
+        let mut ns = (self.cfg.extra_latency_ns as f64 * jitter) as u64 + window_extra_ns;
         if let Some(cap) = self.cfg.bandwidth_bytes_per_sec {
             ns += (bytes as u64).saturating_mul(1_000_000_000) / cap.max(1);
         }
@@ -92,8 +174,14 @@ impl PerturbedBackend {
         }
     }
 
+    /// One fault decision. The draw is consumed *unconditionally* — one
+    /// per call, whether any failure probability is set and whether a
+    /// brownout window is active — so the same seed yields the same
+    /// draw sequence no matter how windows line up, and window
+    /// membership changes only the threshold the draw is compared to.
     fn fail(&self, p: f64, op: &'static str, key: &str) -> Result<(), StorageError> {
-        if p > 0.0 && self.draw() < p {
+        let draw = self.draw();
+        if p > 0.0 && draw < p {
             Err(StorageError {
                 op,
                 key: key.to_string(),
@@ -107,15 +195,23 @@ impl PerturbedBackend {
 
 impl StorageBackend for PerturbedBackend {
     fn put(&self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
-        self.fail(self.cfg.put_fail_p, "put", key)?;
-        self.sleep_for(bytes.len());
+        let (p, extra) = match self.active_brownout() {
+            Some(b) => (self.cfg.put_fail_p.max(b.put_fail_p), b.extra_latency_ns),
+            None => (self.cfg.put_fail_p, 0),
+        };
+        self.fail(p, "put", key)?;
+        self.sleep_for(bytes.len(), extra);
         self.inner.put(key, bytes)
     }
 
     fn get(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
-        self.fail(self.cfg.get_fail_p, "get", key)?;
+        let (p, extra) = match self.active_brownout() {
+            Some(b) => (self.cfg.get_fail_p.max(b.get_fail_p), b.extra_latency_ns),
+            None => (self.cfg.get_fail_p, 0),
+        };
+        self.fail(p, "get", key)?;
         let got = self.inner.get(key)?;
-        self.sleep_for(got.as_ref().map_or(0, Bytes::len));
+        self.sleep_for(got.as_ref().map_or(0, Bytes::len), extra);
         Ok(got)
     }
 
@@ -222,5 +318,103 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A perturbed backend whose brownout clock is driven manually, so
+    /// window membership per operation is exact and repeatable.
+    fn perturbed_with_manual_clock(
+        cfg: Perturbation,
+    ) -> (PerturbedBackend, Arc<std::sync::atomic::AtomicU64>) {
+        let now = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let clock = Arc::clone(&now);
+        let b = PerturbedBackend::with_clock(
+            Arc::new(MemBackend::new()),
+            cfg,
+            Box::new(move || clock.load(std::sync::atomic::Ordering::SeqCst)),
+        );
+        (b, now)
+    }
+
+    #[test]
+    fn brownout_window_elevates_failures_then_recovers() {
+        let (b, now) = perturbed_with_manual_clock(Perturbation {
+            brownouts: vec![Brownout {
+                from_ns: 100,
+                until_ns: 200,
+                put_fail_p: 1.0,
+                get_fail_p: 1.0,
+                extra_latency_ns: 0,
+            }],
+            ..Perturbation::default()
+        });
+        use std::sync::atomic::Ordering::SeqCst;
+        // Before the window: healthy.
+        assert!(b.put("a", Bytes::from(vec![1u8])).is_ok());
+        // Inside: every op fails transiently.
+        now.store(150, SeqCst);
+        assert!(b.put("b", Bytes::from(vec![1u8])).is_err());
+        assert!(b.get("a").is_err());
+        // After: healthy again, and nothing was written inside.
+        now.store(250, SeqCst);
+        assert!(b.put("c", Bytes::from(vec![1u8])).is_ok());
+        assert_eq!(b.get("a").unwrap().unwrap().as_ref(), &[1]);
+        assert_eq!(b.object_count(), 2);
+    }
+
+    #[test]
+    fn two_brownout_windows_same_seed_replay_identical_fault_sequences() {
+        // Satellite guarantee: with a fixed seed and a fixed op/clock
+        // script, two brownout windows inject the *same* fault sequence
+        // on every run — and the draw sequence is consumed identically
+        // whether or not a window is active, so faults inside windows
+        // line up run-to-run.
+        let script = || {
+            let (b, now) = perturbed_with_manual_clock(Perturbation {
+                get_fail_p: 0.1,
+                seed: 77,
+                brownouts: vec![
+                    Brownout {
+                        from_ns: 100,
+                        until_ns: 200,
+                        put_fail_p: 0.0,
+                        get_fail_p: 0.8,
+                        extra_latency_ns: 0,
+                    },
+                    Brownout {
+                        from_ns: 300,
+                        until_ns: 400,
+                        put_fail_p: 0.0,
+                        get_fail_p: 0.8,
+                        extra_latency_ns: 0,
+                    },
+                ],
+                ..Perturbation::default()
+            });
+            use std::sync::atomic::Ordering::SeqCst;
+            let mut outcomes = Vec::new();
+            for t in (0..500u64).step_by(10) {
+                now.store(t, SeqCst);
+                outcomes.push(b.get("missing").is_err());
+            }
+            outcomes
+        };
+        let a = script();
+        let b = script();
+        assert_eq!(a, b, "same seed + same windows must replay identically");
+        // Sanity: the windows actually bite — more failures inside than
+        // the 10% baseline would produce over 20 in-window ops.
+        let in_windows = a
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let t = *i as u64 * 10;
+                (100..200).contains(&t) || (300..400).contains(&t)
+            })
+            .filter(|(_, failed)| **failed)
+            .count();
+        assert!(
+            in_windows >= 10,
+            "brownout windows injected only {in_windows} failures"
+        );
     }
 }

@@ -22,6 +22,25 @@ use std::sync::Arc;
 /// Attempts per operation before the facade declares the store down.
 pub const MAX_ATTEMPTS: u32 = 16;
 
+/// Attempts [`ObjectStore::try_put`] makes before giving up and letting
+/// the caller defer the write (graceful degradation under brownouts).
+pub const TRY_ATTEMPTS: u32 = 4;
+
+/// First backoff sleep after a transient failure; doubles per attempt.
+const BACKOFF_BASE_NS: u64 = 50_000;
+
+/// Backoff ceiling — retries never sleep longer than this per attempt.
+const BACKOFF_CAP_NS: u64 = 5_000_000;
+
+/// Exponential backoff for retry `attempt` (1-based): `base * 2^(n-1)`,
+/// capped. Deterministic — no jitter — so retry traffic under a seeded
+/// perturbation replays identically.
+fn backoff_ns(attempt: u32) -> u64 {
+    BACKOFF_BASE_NS
+        .saturating_mul(1u64 << (attempt - 1).min(16))
+        .min(BACKOFF_CAP_NS)
+}
+
 /// Aggregate store statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -42,6 +61,14 @@ pub struct StoreStats {
     pub put_retries: u64,
     /// Transiently failed GET attempts that were retried.
     pub get_retries: u64,
+    /// Nanoseconds spent sleeping between PUT retry attempts.
+    pub put_backoff_ns: u64,
+    /// Nanoseconds spent sleeping between GET retry attempts.
+    pub get_backoff_ns: u64,
+    /// PUTs abandoned by [`ObjectStore::try_put`] after exhausting its
+    /// bounded attempts — writes the caller chose to defer rather than
+    /// wedge on (checkpoint degradation accounting).
+    pub puts_deferred: u64,
 }
 
 impl StoreStats {
@@ -113,10 +140,62 @@ impl ObjectStore {
                     if attempt == MAX_ATTEMPTS {
                         panic!("store unavailable after {MAX_ATTEMPTS} attempts: {e}");
                     }
+                    self.sleep_backoff(attempt, true);
                 }
             }
         }
         unreachable!("loop returns or panics");
+    }
+
+    /// Like [`put`](Self::put), but bounded: after [`TRY_ATTEMPTS`]
+    /// transient failures it gives up and returns the last error instead
+    /// of panicking, counting the abandonment in
+    /// [`StoreStats::puts_deferred`]. The checkpoint uploader uses this
+    /// under storage brownouts so an unreachable store defers the
+    /// checkpoint instead of wedging the round.
+    pub fn try_put(
+        &self,
+        key: impl Into<ObjectKey>,
+        bytes: impl Into<Bytes>,
+    ) -> Result<(), String> {
+        let key = key.into();
+        let bytes = bytes.into();
+        let len = bytes.len() as u64;
+        let mut last_err = String::new();
+        for attempt in 1..=TRY_ATTEMPTS {
+            match self.backend.put(&key, bytes.clone()) {
+                Ok(()) => {
+                    let mut st = self.stats.lock();
+                    st.puts += 1;
+                    st.bytes_put += len;
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.stats.lock().put_retries += 1;
+                    last_err = e.to_string();
+                    if attempt < TRY_ATTEMPTS {
+                        self.sleep_backoff(attempt, true);
+                    }
+                }
+            }
+        }
+        self.stats.lock().puts_deferred += 1;
+        Err(last_err)
+    }
+
+    /// Sleep the deterministic backoff for retry `attempt` and account
+    /// the wait in the put/get backoff counters.
+    fn sleep_backoff(&self, attempt: u32, is_put: bool) {
+        let ns = backoff_ns(attempt);
+        {
+            let mut st = self.stats.lock();
+            if is_put {
+                st.put_backoff_ns += ns;
+            } else {
+                st.get_backoff_ns += ns;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_nanos(ns));
     }
 
     /// Fetch the object under `key`. Transient backend failures are
@@ -137,6 +216,7 @@ impl ObjectStore {
                     if attempt == MAX_ATTEMPTS {
                         panic!("store unavailable after {MAX_ATTEMPTS} attempts: {e}");
                     }
+                    self.sleep_backoff(attempt, false);
                 }
             }
         }
@@ -335,6 +415,47 @@ mod tests {
         assert_eq!(st.gets, 40);
         assert!(st.put_retries > 0, "expected some injected put failures");
         assert!(st.get_retries > 0, "expected some injected get failures");
+        assert!(st.put_backoff_ns > 0, "retries should have backed off");
+        assert!(st.get_backoff_ns > 0, "retries should have backed off");
+        assert_eq!(st.puts_deferred, 0, "infallible put never defers");
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        assert_eq!(backoff_ns(1), BACKOFF_BASE_NS);
+        assert_eq!(backoff_ns(2), 2 * BACKOFF_BASE_NS);
+        assert_eq!(backoff_ns(3), 4 * BACKOFF_BASE_NS);
+        assert_eq!(backoff_ns(MAX_ATTEMPTS), BACKOFF_CAP_NS);
+        assert_eq!(
+            backoff_ns(60),
+            BACKOFF_CAP_NS,
+            "shift saturates past the cap"
+        );
+    }
+
+    #[test]
+    fn try_put_defers_when_store_is_unreachable() {
+        // put_fail_p = 1.0: every attempt fails, so try_put must give
+        // up after its bounded attempts and account the deferral.
+        let s = ObjectStore::with_backend(Arc::new(PerturbedBackend::new(
+            Arc::new(MemBackend::new()),
+            Perturbation {
+                put_fail_p: 1.0,
+                seed: 11,
+                ..Perturbation::default()
+            },
+        )));
+        assert!(s.try_put("k", vec![1u8; 8]).is_err());
+        let st = s.stats();
+        assert_eq!(st.puts, 0);
+        assert_eq!(st.puts_deferred, 1);
+        assert_eq!(st.put_retries, TRY_ATTEMPTS as u64);
+        // A healthy store succeeds and never defers.
+        let ok = ObjectStore::new();
+        assert!(ok.try_put("k", vec![1u8; 8]).is_ok());
+        assert_eq!(ok.stats().puts, 1);
+        assert_eq!(ok.stats().puts_deferred, 0);
+        assert_eq!(ok.get("k").unwrap().len(), 8);
     }
 
     #[test]
