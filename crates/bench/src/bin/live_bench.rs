@@ -10,7 +10,12 @@
 //!   part of the wall clock);
 //! - **slow-sink cell**: a deliberately slow consumer behind a bounded
 //!   inbox, proving the backpressure path sustains exactly-once with
-//!   bounded memory (`max_inbox_depth` is the evidence).
+//!   bounded memory (`max_inbox_depth` is the evidence);
+//! - **protocol-overhead ablation**: the logging protocols (UNC, CIC)
+//!   at p = 4 across {staged appends, locked oracle} × {steal on,
+//!   steal off} — four transport combinations whose sink digests must
+//!   be bit-identical (the knobs are pure performance levers), with the
+//!   throughput spread quantifying what shared-log lock traffic costs.
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin live_bench [-- --json]
@@ -48,6 +53,8 @@ struct Cell {
     protocol: ProtocolKind,
     parallelism: u32,
     batch_max: usize,
+    buffered_logs: bool,
+    steal_sources: bool,
     report: LiveReport,
     wall_secs: f64,
 }
@@ -73,6 +80,8 @@ fn run_cell(
     let mut cfg = base_cfg(parallelism, protocol);
     tweak(&mut cfg);
     let batch_max = cfg.batch_max;
+    let buffered_logs = cfg.buffered_logs;
+    let steal_sources = cfg.steal_sources;
     let start = std::time::Instant::now();
     let report = run_query_live(query, SEED, None, FLOOD, cfg);
     let wall_secs = start.elapsed().as_secs_f64();
@@ -83,6 +92,8 @@ fn run_cell(
         protocol,
         parallelism,
         batch_max,
+        buffered_logs,
+        steal_sources,
         report,
         wall_secs,
     }
@@ -220,6 +231,42 @@ fn smoke() {
     );
     assert!(r.determinants > 0, "UNC logs delivery order");
     println!("live-smoke kill/recovery: {}", r.summary());
+    // Staged appends vs. the locked oracle: same kill schedule, same
+    // config, the digests must match bit for bit and each transport
+    // must prove it took its own path.
+    let mut oracle_cfg = base_cfg(2, ProtocolKind::Uncoordinated);
+    oracle_cfg.records_per_partition = limit;
+    oracle_cfg.kill_worker = Some(1);
+    oracle_cfg.checkpoint_interval = Duration::from_millis(100);
+    oracle_cfg.buffered_logs = false;
+    let oracle = run_query_live(Query::Q1, SEED, None, FLOOD, oracle_cfg);
+    assert_eq!(
+        oracle.sink_digest,
+        r.sink_digest,
+        "staged appends diverged from the locked oracle\nstaged: {}\noracle: {}",
+        r.summary(),
+        oracle.summary()
+    );
+    assert!(r.staged_appends > 0, "buffered run never staged");
+    assert_eq!(oracle.staged_appends, 0, "oracle run staged");
+    println!("live-smoke oracle-diff:   {}", oracle.summary());
+    // Work-stealing dispatch across the same kill: journaled claims
+    // must keep recovery exactly-once.
+    let mut steal_cfg = base_cfg(2, ProtocolKind::Uncoordinated);
+    steal_cfg.records_per_partition = limit;
+    steal_cfg.kill_worker = Some(1);
+    steal_cfg.checkpoint_interval = Duration::from_millis(100);
+    steal_cfg.steal_sources = true;
+    let stolen = run_query_live(Query::Q1, SEED, None, FLOOD, steal_cfg);
+    assert!(stolen.recovered, "steal-mode kill never recovered");
+    assert_eq!(
+        stolen.sink_digest,
+        r.sink_digest,
+        "steal dispatch broke exactly-once across the kill\nsteal: {}\naffine: {}",
+        stolen.summary(),
+        r.summary()
+    );
+    println!("live-smoke steal-kill:    {}", stolen.summary());
     let (slow, _) = run_slow_sink(2, 1_000);
     println!("live-smoke slow-sink:     {}", slow.summary());
     println!("live-smoke OK");
@@ -262,6 +309,38 @@ fn main() {
             cfg.checkpoint_interval = Duration::from_millis(150);
         },
     ));
+    // Protocol-overhead ablation: the two logging protocols across all
+    // four transport combinations. The digests must be bit-identical —
+    // staged appends and steal dispatch are pure performance knobs.
+    for protocol in [
+        ProtocolKind::Uncoordinated,
+        ProtocolKind::CommunicationInduced,
+    ] {
+        let combos: [(&'static str, bool, bool); 4] = [
+            ("ablate-staged", true, false),
+            ("ablate-oracle", false, false),
+            ("ablate-staged-steal", true, true),
+            ("ablate-oracle-steal", false, true),
+        ];
+        let mut digest = None;
+        for (name, buffered, steal) in combos {
+            let cell = run_cell(name, Query::Q1, protocol, 4, |cfg| {
+                cfg.buffered_logs = buffered;
+                cfg.steal_sources = steal;
+            });
+            if let Some(d) = digest {
+                assert_eq!(
+                    cell.report.sink_digest,
+                    d,
+                    "{name}/{protocol}: ablation digest split — the transport \
+                     knobs changed the answer: {}",
+                    cell.report.summary()
+                );
+            }
+            digest = Some(cell.report.sink_digest);
+            cells.push(cell);
+        }
+    }
     for c in &cells {
         if c.name == "kill" {
             assert!(c.report.recovered, "kill cell must recover");
@@ -273,19 +352,27 @@ fn main() {
         println!("  \"live_cells\": [");
         for (i, c) in cells.iter().enumerate() {
             println!(
-                "    {{\"cell\": \"{}\", \"query\": \"{}\", \"protocol\": \"{}\", \"parallelism\": {}, \"batch_max\": {}, \"events\": {}, \"sink_records\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"max_inbox_depth\": {}, \"max_out_pending\": {}, \"determinants\": {}, \"recovered\": {}}}{}",
+                "    {{\"cell\": \"{}\", \"query\": \"{}\", \"protocol\": \"{}\", \"parallelism\": {}, \"batch_max\": {}, \"buffered_logs\": {}, \"steal_sources\": {}, \"events\": {}, \"sink_records\": {}, \"sink_digest\": \"{:016x}/{}\", \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"max_inbox_depth\": {}, \"max_out_pending\": {}, \"determinants\": {}, \"staged_appends\": {}, \"log_flushes\": {}, \"steals\": {}, \"steal_denied\": {}, \"recovered\": {}}}{}",
                 c.name,
                 c.query,
                 c.protocol,
                 c.parallelism,
                 c.batch_max,
+                c.buffered_logs,
+                c.steal_sources,
                 c.report.events,
                 c.report.sink_records,
+                c.report.sink_digest.acc,
+                c.report.sink_digest.count,
                 c.wall_secs,
                 c.report.events as f64 / c.wall_secs,
                 c.report.max_inbox_depth,
                 c.report.max_out_pending,
                 c.report.determinants,
+                c.report.staged_appends,
+                c.report.log_flushes,
+                c.report.steals,
+                c.report.steal_denied,
                 c.report.recovered,
                 if i + 1 == cells.len() { "" } else { "," }
             );
@@ -299,18 +386,24 @@ fn main() {
     } else {
         for c in &cells {
             println!(
-                "{:10} {:4} {:24} p={} batch={:<4} {:>10} events {:>9} sinks {:>7.2}s {:>12.0} ev/s inbox≤{} pending≤{}",
+                "{:19} {:4} {:24} p={} batch={:<4} {}{} {:>10} events {:>9} sinks {:>7.2}s {:>12.0} ev/s inbox≤{} pending≤{} staged={}/{} steals={}(-{})",
                 c.name,
                 c.query,
                 c.protocol.to_string(),
                 c.parallelism,
                 c.batch_max,
+                if c.buffered_logs { "B" } else { "-" },
+                if c.steal_sources { "S" } else { "-" },
                 c.report.events,
                 c.report.sink_records,
                 c.wall_secs,
                 c.report.events as f64 / c.wall_secs,
                 c.report.max_inbox_depth,
                 c.report.max_out_pending,
+                c.report.staged_appends,
+                c.report.log_flushes,
+                c.report.steals,
+                c.report.steal_denied,
             );
         }
         println!("slow-sink  p=3 cap=64: {}", slow.summary());

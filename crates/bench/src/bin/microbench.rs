@@ -11,7 +11,11 @@
 //!   per-probe setup/teardown cost is measurable on its own;
 //! - **snapshot cells**: a checkpoint-heavy stateful run under the
 //!   full-encode oracle vs. sized-only accounting, isolating what
-//!   snapshot serialization costs a failure-free run.
+//!   snapshot serialization costs a failure-free run;
+//! - **wal cells**: shared channel-log appends under the live runtime's
+//!   lock layout, one-mutex-acquisition-per-append (the locked oracle)
+//!   vs. worker-local staging with bulk publication (the
+//!   `buffered_logs` path), at 1/4/8 contending workers.
 //!
 //! ```text
 //! cargo run --release -p checkmate-bench --bin microbench [-- --json]
@@ -54,6 +58,81 @@ struct SnapshotCell {
     mode: &'static str,
     events_per_sec: f64,
     wall_secs: f64,
+}
+
+struct WalCell {
+    mode: &'static str,
+    workers: usize,
+    appends_per_sec: f64,
+}
+
+/// Isolated shared-log append cell, mirroring the live runtime's layout:
+/// one `Vec<Mutex<ChannelLog>>` with a few channels per worker, each
+/// channel single-writer — so the locks never guard real interleaving
+/// and their entire cost (acquisition plus cross-core traffic on
+/// adjacent lock words) is overhead. "locked" takes the mutex per append
+/// (the `buffered_logs = false` oracle); "staged" accumulates runs in a
+/// worker-local [`checkmate_wal::RunStage`] and publishes every 256
+/// appends, the way the worker loop publishes at flush boundaries.
+fn bench_wal_append(staged: bool, workers: usize) -> WalCell {
+    use checkmate_dataflow::{Record, Value};
+    use checkmate_wal::{ChannelLog, LogEntry, RunStage};
+    use parking_lot::Mutex;
+
+    const CHANNELS_PER_WORKER: usize = 4;
+    const APPENDS_PER_WORKER: usize = 200_000;
+    const PUBLISH_EVERY: usize = 256;
+
+    let logs: Vec<Mutex<ChannelLog>> = (0..workers * CHANNELS_PER_WORKER)
+        .map(|_| Mutex::new(ChannelLog::new()))
+        .collect();
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let logs = &logs;
+            scope.spawn(move || {
+                let rec = Record::new(w as u64, Value::U64(w as u64), 0);
+                let mut seqs = [0u64; CHANNELS_PER_WORKER];
+                let mut stage: RunStage<LogEntry> = RunStage::new(logs.len());
+                for i in 0..APPENDS_PER_WORKER {
+                    let c = i % CHANNELS_PER_WORKER;
+                    let ch = w * CHANNELS_PER_WORKER + c;
+                    seqs[c] += 1;
+                    let record = rec.clone();
+                    if staged {
+                        let bytes = record.encoded_len();
+                        stage.stage(
+                            ch as u32,
+                            seqs[c],
+                            LogEntry {
+                                seq: seqs[c],
+                                record,
+                                bytes,
+                            },
+                        );
+                        if stage.staged() as usize >= PUBLISH_EVERY {
+                            stage.publish_into(|lane, _start, items| {
+                                logs[lane as usize].lock().append_entries(items.drain(..));
+                            });
+                        }
+                    } else {
+                        logs[ch].lock().append(seqs[c], record);
+                    }
+                }
+                stage.publish_into(|lane, _start, items| {
+                    logs[lane as usize].lock().append_entries(items.drain(..));
+                });
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let total: u64 = logs.iter().map(|l| l.lock().last_seq()).sum();
+    assert_eq!(total as usize, workers * APPENDS_PER_WORKER);
+    WalCell {
+        mode: if staged { "staged" } else { "locked" },
+        workers,
+        appends_per_sec: total as f64 / wall,
+    }
 }
 
 /// Session-reuse cell: `runs` *short* runs on a wide world (p=8, the
@@ -204,6 +283,11 @@ fn main() {
         bench_snapshot(&h, SnapshotMode::Full, "full"),
         bench_snapshot(&h, SnapshotMode::Auto, "sized"),
     ];
+    let mut wal_cells = Vec::new();
+    for workers in [1usize, 4, 8] {
+        wal_cells.push(bench_wal_append(false, workers));
+        wal_cells.push(bench_wal_append(true, workers));
+    }
     let total_events: u64 = cells.iter().map(|c| c.events).sum();
     let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
     if json {
@@ -263,6 +347,17 @@ fn main() {
             );
         }
         println!("  ],");
+        println!("  \"wal_cells\": [");
+        for (i, c) in wal_cells.iter().enumerate() {
+            println!(
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"appends_per_sec\": {:.0}}}{}",
+                c.mode,
+                c.workers,
+                c.appends_per_sec,
+                if i + 1 == wal_cells.len() { "" } else { "," }
+            );
+        }
+        println!("  ],");
         println!(
             "  \"total_events_per_sec\": {:.0}",
             total_events as f64 / total_wall
@@ -296,6 +391,12 @@ fn main() {
             println!(
                 "snapshot {:8} wall={:<8.3} {:>36.0} ev/s",
                 c.mode, c.wall_secs, c.events_per_sec
+            );
+        }
+        for c in &wal_cells {
+            println!(
+                "wal      {:8} workers={:<6} {:>36.0} appends/s",
+                c.mode, c.workers, c.appends_per_sec
             );
         }
         println!(

@@ -32,7 +32,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// 2: `RunReport` gained the tiered-storage stats block.
 /// 3: `RunReport` gained storm counters (recoveries, unavailability,
 ///    deferral) and `StoreStats` the retry/backoff/deferral fields.
-pub const CACHE_FORMAT: u32 = 3;
+/// 4: live protocol data plane reworked (staged shared-log appends,
+///    work-stealing source dispatch) and `LiveReport` gained the
+///    staged/steal health counters — live-derived cells must recompute.
+pub const CACHE_FORMAT: u32 = 4;
 
 /// A directory of fingerprint-keyed entries with hit/miss counters.
 pub struct DiskCache {

@@ -33,7 +33,7 @@ use checkmate_dataflow::{LogicalGraph, OpId, OpRole, Record};
 use checkmate_storage::{
     Brownout, MemBackend, ObjectStore, Perturbation, PerturbedBackend, TieredBackend,
 };
-use checkmate_wal::{ChannelLog, DeterminantLog, EventStream};
+use checkmate_wal::{ChannelLog, ClaimLog, DeterminantLog, EventStream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -81,6 +81,10 @@ pub(crate) struct WorkerEnd {
     pub max_out_pending: usize,
     pub determinants: u64,
     pub replayed: u64,
+    pub staged_appends: u64,
+    pub log_flushes: u64,
+    pub steals: u64,
+    pub steal_denied: u64,
 }
 
 /// Run a workload on real threads. `streams[i]` backs source stream `i`.
@@ -105,6 +109,11 @@ pub fn run_live(
     assert!(
         cfg.storm.is_none() || cfg.kill_worker.is_none(),
         "LiveConfig::storm generalizes kill_worker; set at most one"
+    );
+    assert!(
+        !(cfg.steal_sources && cfg.strict_source_order),
+        "steal_sources reassigns partitions across workers and cannot \
+         honor strict (schedule-order) source admission"
     );
     if let Some(plan) = &cfg.storm {
         plan.validate(cfg.parallelism);
@@ -163,6 +172,12 @@ pub fn run_live(
             .collect(),
         dets: (0..n_instances)
             .map(|_| Mutex::new(DeterminantLog::new()))
+            .collect(),
+        claims: (0..n_instances)
+            .map(|_| Mutex::new(ClaimLog::new()))
+            .collect(),
+        cursors: (0..streams.len() * cfg.parallelism as usize)
+            .map(|_| AtomicU64::new(0))
             .collect(),
         pg,
     });
@@ -449,6 +464,10 @@ fn coordinate(
     let mut events = 0u64;
     let mut determinants = 0u64;
     let mut replayed = 0u64;
+    let mut staged_appends = 0u64;
+    let mut log_flushes = 0u64;
+    let mut steals = 0u64;
+    let mut steal_denied = 0u64;
     let mut max_out_pending = 0usize;
     let mut latencies = Vec::new();
     let mut done = 0;
@@ -462,6 +481,10 @@ fn coordinate(
                 events += end.events;
                 determinants += end.determinants;
                 replayed += end.replayed;
+                staged_appends += end.staged_appends;
+                log_flushes += end.log_flushes;
+                steals += end.steals;
+                steal_denied += end.steal_denied;
                 max_out_pending = max_out_pending.max(end.max_out_pending);
                 latencies.extend(end.latencies);
             }
@@ -495,6 +518,10 @@ fn coordinate(
         max_out_pending,
         determinants,
         replayed,
+        staged_appends,
+        log_flushes,
+        steals,
+        steal_denied,
         recoveries,
         ckpts_deferred: up_stats.ckpts_deferred.load(Ordering::Relaxed),
         uploader_idle_wakeups: up_stats.idle_wakeups.load(Ordering::Relaxed),
@@ -643,6 +670,32 @@ fn recover(
         }
     };
     down.clear();
+
+    // Work stealing: rewind every shared claim cursor to the journaled
+    // frontier while the workers are still paused. Offsets claimed but
+    // never journaled died with their claimant's staging arena and must
+    // become claimable again; journaled claims are replayed by their
+    // original claimant (armed at Restore), so the frontier — not the
+    // restored checkpoints' positions — is where fresh claiming resumes.
+    if cfg.steal_sources {
+        let n_parts = cfg.parallelism as usize;
+        for c in shared.cursors.iter() {
+            c.store(0, Ordering::SeqCst);
+        }
+        for op in pg.logical().ops() {
+            let OpRole::Source { stream } = op.role else {
+                continue;
+            };
+            for i in 0..cfg.parallelism {
+                let idx = InstanceIdx(op.id.0 * cfg.parallelism + i);
+                let journal = shared.claims[idx.0 as usize].lock();
+                for claim in journal.iter() {
+                    shared.cursors[stream as usize * n_parts + claim.partition as usize]
+                        .fetch_max(claim.end(), Ordering::SeqCst);
+                }
+            }
+        }
+    }
 
     // Replay logged in-flight messages with the fresh epoch, then resume.
     // Inboxes dequeue in push order and workers are still paused while we

@@ -41,6 +41,24 @@ pub struct LiveReport {
     /// Records re-delivered from the durable channel logs during
     /// recovery.
     pub replayed: u64,
+    /// Protocol-log appends staged in worker-local arenas instead of
+    /// taking a shared-log mutex (`LiveConfig::buffered_logs`): channel
+    /// payloads, determinants and steal claims. 0 on the locked-oracle
+    /// path.
+    pub staged_appends: u64,
+    /// Bulk publications of staged runs to the shared logs (one count
+    /// per non-empty stage drained at a flush boundary). The contention
+    /// win is the ratio `staged_appends / log_flushes` — appends that
+    /// shared one lock acquisition instead of paying one each.
+    pub log_flushes: u64,
+    /// Foreign-partition claims under work-stealing dispatch
+    /// (`LiveConfig::steal_sources`): a drained worker ingested a
+    /// starved peer's backlog.
+    pub steals: u64,
+    /// Steal attempts that found no admissible victim: every foreign
+    /// backlog was under the handoff threshold, or the victim's cursor
+    /// was raced away mid-claim.
+    pub steal_denied: u64,
     /// Completed recovery episodes. The legacy single-kill path reports
     /// 1; a failure storm with overlapping kills may fold several kills
     /// into one episode (a kill landing mid-recovery restarts the line
@@ -78,7 +96,8 @@ impl LiveReport {
         format!(
             "{} sink records (digest {:016x}/{}), {} ckpts ({} deferred), \
              recoveries={}, p50 {:?}, {:.0} ev/s over {:?}, inbox≤{}, \
-             pending≤{}, dets={}, replayed={}, store retries {}+{}{}",
+             pending≤{}, dets={}, replayed={}, staged={}/{} flushes, \
+             steals={}(-{}), store retries {}+{}{}",
             self.sink_records,
             self.sink_digest.acc,
             self.sink_digest.count,
@@ -92,6 +111,10 @@ impl LiveReport {
             self.max_out_pending,
             self.determinants,
             self.replayed,
+            self.staged_appends,
+            self.log_flushes,
+            self.steals,
+            self.steal_denied,
             self.store.put_retries,
             self.store.get_retries,
             tier,

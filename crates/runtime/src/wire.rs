@@ -14,6 +14,13 @@
 //!    when its metadata becomes restorable, or a post-failure replay
 //!    would come up short.
 //!
+//! These flush sites double as the **staged-append publication points**
+//! (`LiveConfig::buffered_logs`): determinants and steal claims publish
+//! from their worker-local arenas at every flush, before the staged
+//! wires escape; channel payloads publish at invariant 2's
+//! checkpoint-capture flush, which is exactly when the durable-coverage
+//! requirement bites (see the `worker.rs` module docs).
+//!
 //! Every wire carries the sender's epoch; receivers drop wires from
 //! before the latest recovery.
 

@@ -28,6 +28,29 @@
 //! suffix drains, parked leftovers (fresh post-crash traffic) release in
 //! channel/sequence order. Order-sensitive operators (the cyclic
 //! reachability join with deletions) run live correctly because of this.
+//!
+//! **Staged appends.** With `buffered_logs` (the default) no shared-log
+//! mutex is taken per append: channel payloads, determinants and steal
+//! claims accumulate in worker-local [`checkmate_wal::RunStage`] arenas
+//! and publish in bulk — determinants and claims at every `flush_sends`
+//! *before* the staged wires escape (causal-logging order), channel
+//! payloads only at checkpoint boundaries (replay never reads past a
+//! checkpointed sent watermark; entries lost with a crash are
+//! regenerated deterministically and deduplicated on re-publication).
+//! `buffered_logs = false` keeps the historical one-lock-per-append
+//! path as a correctness oracle.
+//!
+//! **Work stealing.** With `steal_sources`, source offsets come from
+//! shared per-partition claim cursors instead of the private checkpointed
+//! cursor: a worker claims contiguous runs of its own partitions by CAS,
+//! steals a starved peer's partition when its own have nothing claimable,
+//! and journals every claim in the instance's shared
+//! [`checkmate_wal::ClaimLog`] before the claimed records' wires leave.
+//! Checkpoints store the journal position; after a restore the instance
+//! replays the journal suffix (re-polling exactly those offsets, in
+//! order) while the coordinator rewinds the shared cursors to the
+//! journaled frontier — the explicit cursor handoff that keeps stolen
+//! partitions exactly-once (see `dispatch.rs`).
 
 use crate::config::LiveConfig;
 use crate::coordinator::{Ctrl, Note, WorkerEnd};
@@ -45,7 +68,7 @@ use checkmate_dataflow::ops::Digest;
 use checkmate_dataflow::{
     shuffle_target, Codec, Dec, Enc, OpCtx, OpRole, Operator, PortId, Record,
 };
-use checkmate_wal::{EventStream, Schedule, SourceCursor, SourceLog};
+use checkmate_wal::{Claim, EventStream, LogEntry, RunStage, Schedule, SourceCursor, SourceLog};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +95,13 @@ pub(crate) struct LiveInstance {
     /// Wires that arrived ahead of their determinant turn, parked once
     /// (keyed by `(channel, seq)`) instead of rescanned.
     pub det_parked: BTreeMap<(ChannelIdx, u64), (Record, Option<CicPiggyback>)>,
+    /// Position in this instance's shared claim journal (steal mode):
+    /// how many claimed source-offset runs it has ingested. Checkpointed
+    /// with the cursor; recovery replays the journal suffix past it.
+    pub claim_pos: u64,
+    /// Journaled claims still to be re-polled after a restore (steal
+    /// mode). Empty outside recovery replay.
+    pub claim_replay: VecDeque<Claim>,
 }
 
 impl LiveInstance {
@@ -92,6 +122,7 @@ impl LiveInstance {
             Some(c) => {
                 enc.bool(true);
                 enc.u64(c.next_offset);
+                enc.u64(self.claim_pos);
             }
             None => {
                 enc.bool(false);
@@ -112,6 +143,7 @@ impl LiveInstance {
             self.cursor = Some(SourceCursor {
                 next_offset: dec.u64().expect("cursor"),
             });
+            self.claim_pos = dec.u64().expect("claim pos");
         }
     }
 }
@@ -171,6 +203,8 @@ pub(crate) fn worker_main(
                     last_manifest: None,
                     det_replay: VecDeque::new(),
                     det_parked: BTreeMap::new(),
+                    claim_pos: 0,
+                    claim_replay: VecDeque::new(),
                 }
             })
             .collect()
@@ -184,6 +218,18 @@ pub(crate) fn worker_main(
         .map(|(i, _)| i)
         .collect();
     let mut dispatcher = SourceDispatcher::new(source_slots.clone());
+    let n_parts = cfg.parallelism as usize;
+    // Sender-local staging arenas (buffered mode): appends accumulate
+    // lock-free here and publish to the shared logs in bulk — see the
+    // module docs for the publication-order argument. Cleared on
+    // kill/restore with the rest of the volatile state.
+    let mut chan_stage: RunStage<LogEntry> = RunStage::new(shared.logs.len());
+    let mut det_stage: RunStage<(ChannelIdx, u64)> = RunStage::new(shared.dets.len());
+    let mut claim_stage: RunStage<Claim> = RunStage::new(shared.claims.len());
+    let mut staged_appends = 0u64;
+    let mut log_flushes = 0u64;
+    let mut steals = 0u64;
+    let mut steal_denied = 0u64;
     let mut epoch: u32 = 0;
     let mut dead = false;
     let mut paused = false;
@@ -238,13 +284,67 @@ pub(crate) fn worker_main(
         }};
     }
 
+    // Publish staged determinants and steal claims. Must run before any
+    // staged wire escapes: a message's content depends on its sender's
+    // delivery and claim order so far, and the receiver may checkpoint
+    // state built on it the moment it is delivered — the order logs make
+    // that state reproducible only if they cover the send.
+    macro_rules! publish_order_stages {
+        () => {{
+            if !det_stage.is_empty() {
+                det_stage.publish_into(|inst, start, items| {
+                    determinants += shared.dets[inst as usize].lock().append_run(start, items);
+                });
+                log_flushes += 1;
+            }
+            if !claim_stage.is_empty() {
+                claim_stage.publish_into(|inst, start, items| {
+                    shared.claims[inst as usize].lock().append_run(start, items);
+                });
+                log_flushes += 1;
+            }
+        }};
+    }
+
+    // Publish staged channel payloads. Only needed at checkpoint
+    // boundaries: replay reads a channel log no further than the
+    // sender's checkpointed sent watermark, so entries staged since the
+    // last checkpoint are never requested — if they die with a crash,
+    // the rolled-back sender regenerates them (same seqs, same records)
+    // and re-publication deduplicates.
+    macro_rules! publish_channel_stage {
+        () => {{
+            if !chan_stage.is_empty() {
+                chan_stage.publish_into(|ch, _start, items| {
+                    shared.logs[ch as usize]
+                        .lock()
+                        .append_entries(items.drain(..));
+                });
+                log_flushes += 1;
+            }
+        }};
+    }
+
     macro_rules! flush_sends {
         () => {{
+            if cfg.buffered_logs {
+                publish_order_stages!();
+            }
             for batch in out_buf.drain(..) {
                 if cfg.protocol.logs_messages() {
-                    let mut log = shared.logs[batch.channel.0 as usize].lock();
-                    for (i, (rec, _)) in batch.items.iter().enumerate() {
-                        log.append(batch.start_seq + i as u64, rec.clone());
+                    if cfg.buffered_logs {
+                        for (i, (rec, _)) in batch.items.iter().enumerate() {
+                            let seq = batch.start_seq + i as u64;
+                            let record = rec.clone();
+                            let bytes = record.encoded_len();
+                            chan_stage.stage(batch.channel.0, seq, LogEntry { seq, record, bytes });
+                        }
+                        staged_appends += batch.items.len() as u64;
+                    } else {
+                        let mut log = shared.logs[batch.channel.0 as usize].lock();
+                        for (i, (rec, _)) in batch.items.iter().enumerate() {
+                            log.append(batch.start_seq + i as u64, rec.clone());
+                        }
                     }
                 }
                 let dest = batch.dest;
@@ -316,12 +416,16 @@ pub(crate) fn worker_main(
     // immediately; the durable-checkpoint ack reaches the coordinator
     // from the uploader once the PUTs complete.
     //
-    // Staged sends flush first: the snapshot's sent watermarks must
-    // already be covered by the durable channel logs when the meta
-    // becomes restorable, or a post-kill replay would come up short.
+    // Staged sends flush first — and the staged channel payloads publish
+    // — so the snapshot's sent watermarks are covered by the shared
+    // channel logs by the time the meta becomes restorable, or a
+    // post-kill replay would come up short.
     macro_rules! take_checkpoint {
         ($inst_i:expr, $kind:expr) => {{
             flush_sends!();
+            if cfg.buffered_logs {
+                publish_channel_stage!();
+            }
             instances[$inst_i].ckpt_index += 1;
             let index = instances[$inst_i].ckpt_index;
             let idx = instances[$inst_i].idx;
@@ -428,11 +532,19 @@ pub(crate) fn worker_main(
                 // during replay land below the log's end and are
                 // idempotently ignored.
                 let pos = instances[op_i].book.total_received() - 1;
-                let mut det = shared.dets[instances[op_i].idx.0 as usize].lock();
-                let before = det.end_pos();
-                det.append(pos, channel, seq);
-                if det.end_pos() > before {
-                    determinants += 1;
+                if cfg.buffered_logs {
+                    // Staged now, published (and counted if fresh) at the
+                    // next flush — always before the wires this delivery
+                    // produces become visible.
+                    det_stage.stage(instances[op_i].idx.0, pos, (channel, seq));
+                    staged_appends += 1;
+                } else {
+                    let mut det = shared.dets[instances[op_i].idx.0 as usize].lock();
+                    let before = det.end_pos();
+                    det.append(pos, channel, seq);
+                    if det.end_pos() > before {
+                        determinants += 1;
+                    }
                 }
             }
             if let (Some(cic), Some(pb)) = (instances[op_i].cic.as_mut(), &piggyback) {
@@ -603,6 +715,9 @@ pub(crate) fn worker_main(
                     stash.clear();
                     pending.clear();
                     out_buf.clear();
+                    chan_stage.clear();
+                    det_stage.clear();
+                    claim_stage.clear();
                     for q in out_pending.iter_mut() {
                         q.clear();
                     }
@@ -634,11 +749,23 @@ pub(crate) fn worker_main(
                                 .suffix_from(meta.det_pos());
                             inst.det_parked.clear();
                         }
+                        if cfg.steal_sources && inst.stream.is_some() {
+                            // Arm claim-ordered replay: re-poll exactly
+                            // the journaled claims past the restored
+                            // checkpoint, in their original order (the
+                            // cursor handoff for stolen partitions).
+                            inst.claim_replay = shared.claims[inst.idx.0 as usize]
+                                .lock()
+                                .suffix_from(inst.claim_pos);
+                        }
                     }
                     blocked.clear();
                     stash.clear();
                     pending.clear();
                     out_buf.clear();
+                    chan_stage.clear();
+                    det_stage.clear();
+                    claim_stage.clear();
                     for q in out_pending.iter_mut() {
                         q.clear();
                     }
@@ -758,50 +885,202 @@ pub(crate) fn worker_main(
             } else {
                 cfg.source_batch as u64 * source_slots.len() as u64
             };
-            while budget > 0 {
-                let mut best: Option<(u64, usize)> = None;
-                for op_i in dispatcher.order() {
-                    let stream = instances[op_i].stream.expect("source slot") as usize;
-                    let cursor = instances[op_i].cursor.expect("source");
-                    let Some(at) = logs[stream].available_at(cursor.next_offset) else {
-                        continue; // exhausted
-                    };
-                    if at <= now && best.is_none_or(|(b, _)| at < b) {
-                        best = Some((at, op_i));
+            if cfg.steal_sources {
+                // Claim replay first: a restored instance re-polls
+                // exactly the journaled claims past its checkpoint, in
+                // original order, without touching the shared cursors or
+                // re-journaling — deterministic regeneration, deduped by
+                // sequence downstream.
+                'replay: for &op_i in &source_slots {
+                    while let Some(c) = instances[op_i].claim_replay.front().copied() {
+                        if budget == 0 {
+                            break 'replay;
+                        }
+                        instances[op_i].claim_replay.pop_front();
+                        instances[op_i].claim_pos += 1;
+                        let stream = instances[op_i].stream.expect("source slot") as usize;
+                        for off in c.start..c.end() {
+                            let entry = logs[stream]
+                                .poll(c.partition, off, now)
+                                .expect("journaled claim no longer pollable");
+                            events += 1;
+                            run_and_route!(op_i, PortId(0), entry.record);
+                        }
+                        any = true;
+                        budget = budget.saturating_sub(c.len as u64);
                     }
                 }
-                let Some((_, op_i)) = best else {
-                    break;
+                // Fresh claims: CAS a contiguous run off a shared
+                // partition cursor — own partitions first, a starved
+                // peer's partition when none of ours has claimable
+                // backlog.
+                let replay_pending = source_slots
+                    .iter()
+                    .any(|&op_i| !instances[op_i].claim_replay.is_empty());
+                let try_claim = |stream: usize, partition: u32, budget: u64| -> Option<Claim> {
+                    let slot = &shared.cursors[stream * n_parts + partition as usize];
+                    loop {
+                        let cur = slot.load(Ordering::Acquire);
+                        if logs[stream].exhausted(cur) {
+                            return None;
+                        }
+                        let n = logs[stream]
+                            .lag(cur, now)
+                            .min(budget)
+                            .min(cfg.source_batch as u64);
+                        if n == 0 {
+                            return None;
+                        }
+                        if slot
+                            .compare_exchange(cur, cur + n, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            return Some(Claim {
+                                partition,
+                                start: cur,
+                                len: n as u32,
+                            });
+                        }
+                        // Raced with another claimant; re-read and retry.
+                    }
                 };
-                let stream = instances[op_i].stream.expect("source slot") as usize;
-                let cursor = instances[op_i].cursor.expect("source");
-                let Some(entry) = logs[stream].poll(w, cursor.next_offset, now) else {
-                    break;
-                };
-                any = true;
-                events += 1;
-                budget -= 1;
-                instances[op_i].cursor.as_mut().expect("source").advance();
-                run_and_route!(op_i, PortId(0), entry.record);
+                while budget > 0 && !replay_pending {
+                    let mut claimed: Option<(usize, Claim)> = None;
+                    for op_i in dispatcher.order() {
+                        let stream = instances[op_i].stream.expect("source slot") as usize;
+                        if let Some(c) = try_claim(stream, w, budget) {
+                            claimed = Some((op_i, c));
+                            break;
+                        }
+                    }
+                    if claimed.is_none() {
+                        // Steal path: viable victims are foreign
+                        // partitions whose backlog clears the handoff
+                        // threshold (a full claim batch) — helping a
+                        // genuinely starved peer, not shaving a peer
+                        // that is merely one poll behind.
+                        let mut candidates: Vec<(usize, u32)> = Vec::new();
+                        let mut thin_backlog = false;
+                        for &op_i in &source_slots {
+                            let stream = instances[op_i].stream.expect("source slot") as usize;
+                            for p in 0..n_parts as u32 {
+                                if p == w {
+                                    continue;
+                                }
+                                let cur = shared.cursors[stream * n_parts + p as usize]
+                                    .load(Ordering::Acquire);
+                                if logs[stream].exhausted(cur) {
+                                    continue;
+                                }
+                                let backlog = logs[stream].lag(cur, now);
+                                if backlog >= cfg.source_batch as u64 {
+                                    candidates.push((op_i, p));
+                                } else if backlog > 0 {
+                                    thin_backlog = true;
+                                }
+                            }
+                        }
+                        match dispatcher.steal(&candidates) {
+                            Some((op_i, victim)) => {
+                                let stream = instances[op_i].stream.expect("source slot") as usize;
+                                if let Some(c) = try_claim(stream, victim, budget) {
+                                    steals += 1;
+                                    claimed = Some((op_i, c));
+                                } else {
+                                    // Lost the race for the victim's
+                                    // backlog to its owner or another
+                                    // thief.
+                                    steal_denied += 1;
+                                }
+                            }
+                            None => {
+                                if thin_backlog {
+                                    // Foreign backlog exists but is under
+                                    // the handoff threshold.
+                                    steal_denied += 1;
+                                }
+                            }
+                        }
+                    }
+                    let Some((op_i, c)) = claimed else {
+                        break;
+                    };
+                    // Journal-then-ingest: the claim is journaled before
+                    // its records route, so it publishes no later than
+                    // the wires it produced (`publish_order_stages` on
+                    // the buffered path, a direct locked append on the
+                    // oracle path).
+                    if cfg.buffered_logs {
+                        claim_stage.stage(instances[op_i].idx.0, instances[op_i].claim_pos, c);
+                        staged_appends += 1;
+                    } else {
+                        shared.claims[instances[op_i].idx.0 as usize]
+                            .lock()
+                            .append(instances[op_i].claim_pos, c);
+                    }
+                    instances[op_i].claim_pos += 1;
+                    let stream = instances[op_i].stream.expect("source slot") as usize;
+                    for off in c.start..c.end() {
+                        let entry = logs[stream]
+                            .poll(c.partition, off, now)
+                            .expect("claimed offset no longer pollable");
+                        events += 1;
+                        run_and_route!(op_i, PortId(0), entry.record);
+                    }
+                    any = true;
+                    budget = budget.saturating_sub(c.len as u64);
+                }
+            } else {
+                while budget > 0 {
+                    let mut best: Option<(u64, usize)> = None;
+                    for op_i in dispatcher.order() {
+                        let stream = instances[op_i].stream.expect("source slot") as usize;
+                        let cursor = instances[op_i].cursor.expect("source");
+                        let Some(at) = logs[stream].available_at(cursor.next_offset) else {
+                            continue; // exhausted
+                        };
+                        if at <= now && best.is_none_or(|(b, _)| at < b) {
+                            best = Some((at, op_i));
+                        }
+                    }
+                    let Some((_, op_i)) = best else {
+                        break;
+                    };
+                    let stream = instances[op_i].stream.expect("source slot") as usize;
+                    let cursor = instances[op_i].cursor.expect("source");
+                    let Some(entry) = logs[stream].poll(w, cursor.next_offset, now) else {
+                        break;
+                    };
+                    any = true;
+                    events += 1;
+                    budget -= 1;
+                    instances[op_i].cursor.as_mut().expect("source").advance();
+                    run_and_route!(op_i, PortId(0), entry.record);
+                }
             }
         }
 
-        // Has every source partition been fully consumed?
-        let mut drained = true;
-        for &op_i in &source_slots {
-            let stream = instances[op_i].stream.expect("source slot") as usize;
-            let cursor = instances[op_i].cursor.expect("source");
-            if !logs[stream].exhausted(cursor.next_offset) {
-                drained = false;
-                break;
-            }
-        }
-        if drained {
-            // A drained worker probes the work-stealing hook; the default
-            // dispatcher never offers a foreign partition (cursor
-            // ownership is checkpointed state — see dispatch.rs).
-            debug_assert!(dispatcher.steal().is_none(), "no steal policy installed");
-        }
+        // Has every source partition been fully consumed? Under work
+        // stealing ownership is fluid, so the question is global: every
+        // shared partition cursor exhausted and no claim replay pending
+        // anywhere locally.
+        let drained = if cfg.steal_sources {
+            source_slots.iter().all(|&op_i| {
+                instances[op_i].claim_replay.is_empty() && {
+                    let stream = instances[op_i].stream.expect("source slot") as usize;
+                    (0..n_parts).all(|p| {
+                        logs[stream]
+                            .exhausted(shared.cursors[stream * n_parts + p].load(Ordering::Acquire))
+                    })
+                }
+            })
+        } else {
+            source_slots.iter().all(|&op_i| {
+                let stream = instances[op_i].stream.expect("source slot") as usize;
+                let cursor = instances[op_i].cursor.expect("source");
+                logs[stream].exhausted(cursor.next_offset)
+            })
+        };
 
         // Local checkpoint timers (UNC/CIC).
         if cfg.protocol.independent_checkpoints() && start.elapsed() >= next_local_ckpt {
@@ -866,6 +1145,10 @@ pub(crate) fn worker_main(
             max_out_pending,
             determinants,
             replayed,
+            staged_appends,
+            log_flushes,
+            steals,
+            steal_denied,
         },
     ));
 }

@@ -156,6 +156,29 @@ impl ChannelLog {
         self.sizes.push_back(bytes as u32);
     }
 
+    /// Bulk append of a staged contiguous run (see [`crate::staging`])
+    /// under a single lock acquisition at the publication site. Entries
+    /// carry their own sequences; re-publication of already-logged
+    /// entries after a rollback is ignored per entry, like
+    /// [`Self::append`]. Returns how many entries were fresh.
+    pub fn append_entries(&mut self, run: impl IntoIterator<Item = LogEntry>) -> u64 {
+        let mut fresh = 0;
+        for e in run {
+            debug_assert_eq!(e.bytes, e.record.encoded_len());
+            if !self.accept(e.seq) {
+                continue;
+            }
+            self.total_bytes += e.bytes;
+            if self.materialized {
+                self.entries.push_back(e);
+            } else {
+                self.sizes.push_back(e.bytes as u32);
+            }
+            fresh += 1;
+        }
+        fresh
+    }
+
     /// Contiguity check shared by the append paths: `false` for re-sends
     /// of already-logged messages (post-rollback regeneration; the
     /// original entry stands), panic on gaps.

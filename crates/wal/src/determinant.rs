@@ -52,6 +52,23 @@ impl DeterminantLog {
         self.entries.push_back((ch, seq));
     }
 
+    /// Bulk append of a staged contiguous run starting at `start_pos`
+    /// (see [`crate::staging`]) under a single lock acquisition at the
+    /// publication site. Returns how many entries were fresh (replayed
+    /// re-deliveries re-publish their original positions and are
+    /// ignored).
+    pub fn append_run(&mut self, start_pos: u64, entries: &[(ChannelIdx, u64)]) -> u64 {
+        let mut fresh = 0;
+        for (i, &(ch, seq)) in entries.iter().enumerate() {
+            let before = self.end_pos();
+            self.append(start_pos + i as u64, ch, seq);
+            if self.end_pos() > before {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
     /// Absolute position one past the last recorded determinant — what a
     /// checkpoint taken now should store.
     pub fn end_pos(&self) -> u64 {

@@ -12,11 +12,17 @@
 //! - [`determinant::DeterminantLog`] — receiver-side delivery-order
 //!   logs, the determinants that make log-based replay deterministic
 //!   for operators whose output depends on cross-channel arrival order.
+//! - [`staging::RunStage`] / [`staging::ClaimLog`] — sender-local
+//!   staging arenas that keep the shared-log mutexes off the hot path,
+//!   and the per-instance journal of claimed source-offset runs that
+//!   makes work-stealing source dispatch recoverable.
 
 pub mod channel_log;
 pub mod determinant;
 pub mod source;
+pub mod staging;
 
 pub use channel_log::{ChannelLog, LogEntry, ReplayUnavailable};
 pub use determinant::{DeterminantLog, DET_ENTRY_BYTES};
 pub use source::{EventStream, Schedule, SourceCursor, SourceEntry, SourceLog};
+pub use staging::{Claim, ClaimLog, RunStage};

@@ -1,0 +1,325 @@
+//! Sender-local staging for the shared protocol logs.
+//!
+//! The live runtime's hot path used to take a shared mutex for every
+//! protocol-log append: one per wire batch on the sender's
+//! [`crate::ChannelLog`] and one per delivery on the receiver's
+//! [`crate::DeterminantLog`]. Both logs are effectively single-writer
+//! (each channel has one sending instance, each instance lives on one
+//! worker), so the locks were never guarding real interleaving — they
+//! were pure per-append overhead plus cross-worker cache-line traffic on
+//! the lock words.
+//!
+//! [`RunStage`] is the replacement: a worker-local arena of contiguous
+//! append runs, one lane per log, accumulated lock-free and published to
+//! the shared logs in bulk at the flush boundaries the wire protocol
+//! already enforces (`wire.rs`: flush before any marker leaves, flush
+//! before every checkpoint capture). Publication order carries the
+//! correctness argument:
+//!
+//! * **determinants and claims publish before any staged wire leaves the
+//!   worker** — a message's content depends on its sender's delivery
+//!   order (and, under work stealing, its source-claim order) so far;
+//!   once those determinants are in the shared log *before* the message
+//!   becomes visible, any downstream state built on the message is
+//!   reproducible by ordered replay;
+//! * **channel payloads publish before every checkpoint capture** — a
+//!   snapshot's sent watermarks must be covered by the durable channel
+//!   logs by the time its metadata becomes restorable. Between
+//!   checkpoints the payloads may stay staged: a crash loses them
+//!   together with the worker's in-memory state, and the rolled-back
+//!   sender regenerates them deterministically (same sequences, same
+//!   records — receivers dedup by sequence).
+//!
+//! Staged runs are discarded on kill/restore exactly like the rest of a
+//! worker's volatile state; the shared logs' idempotent append paths
+//! absorb the re-publication of regenerated entries.
+//!
+//! [`ClaimLog`] extends the determinant idea to *source polls* for the
+//! work-stealing dispatcher: each source instance journals the runs of
+//! `(partition, offset)` it claimed, in claim order, so a restored
+//! instance can re-poll exactly the claims past its checkpoint — the
+//! "explicit checkpointed-cursor handoff" that makes stolen partitions
+//! recover exactly-once (see `runtime::dispatch`).
+
+use std::collections::VecDeque;
+
+/// A worker-local arena of contiguous append runs, one lane per shared
+/// log. `stage` is lock-free (a `Vec` push); `publish_into` drains every
+/// dirty lane as one `(lane, start_pos, items)` run for bulk append
+/// under a single lock acquisition per lane.
+#[derive(Debug)]
+pub struct RunStage<T> {
+    /// `(start_pos, items)` per lane; an empty lane's start is stale.
+    lanes: Vec<(u64, Vec<T>)>,
+    /// Lanes with staged items, in first-touch order.
+    dirty: Vec<u32>,
+    staged: u64,
+}
+
+impl<T> RunStage<T> {
+    pub fn new(n_lanes: usize) -> Self {
+        Self {
+            lanes: (0..n_lanes).map(|_| (0, Vec::new())).collect(),
+            dirty: Vec::new(),
+            staged: 0,
+        }
+    }
+
+    /// Stage one item at absolute position `pos` of `lane`. Positions
+    /// within a lane's staged run must be contiguous — the worker derives
+    /// them from monotone per-instance counters, and every rebuild of
+    /// those counters (kill/restore) clears the stage first.
+    pub fn stage(&mut self, lane: u32, pos: u64, item: T) {
+        let (start, items) = &mut self.lanes[lane as usize];
+        if items.is_empty() {
+            *start = pos;
+            self.dirty.push(lane);
+        } else {
+            debug_assert_eq!(
+                pos,
+                *start + items.len() as u64,
+                "staged run gap on lane {lane}"
+            );
+        }
+        items.push(item);
+        self.staged += 1;
+    }
+
+    /// Total items currently staged across all lanes.
+    pub fn staged(&self) -> u64 {
+        self.staged
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.staged == 0
+    }
+
+    /// Drain every dirty lane into `sink` as `(lane, start_pos, items)`,
+    /// in first-touch order. Returns the number of items published. The
+    /// per-lane `Vec` allocations are recycled.
+    pub fn publish_into(&mut self, mut sink: impl FnMut(u32, u64, &mut Vec<T>)) -> u64 {
+        let published = self.staged;
+        for lane in self.dirty.drain(..) {
+            let (start, items) = &mut self.lanes[lane as usize];
+            sink(lane, *start, items);
+            items.clear();
+        }
+        self.staged = 0;
+        published
+    }
+
+    /// Discard everything staged (worker kill/restore: staged runs die
+    /// with the rest of the volatile state).
+    pub fn clear(&mut self) {
+        for lane in self.dirty.drain(..) {
+            self.lanes[lane as usize].1.clear();
+        }
+        self.staged = 0;
+    }
+}
+
+/// One claimed run of source offsets: `len` consecutive offsets of
+/// `partition` starting at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    pub partition: u32,
+    pub start: u64,
+    pub len: u32,
+}
+
+impl Claim {
+    /// One past the last claimed offset.
+    pub fn end(&self) -> u64 {
+        self.start + self.len as u64
+    }
+}
+
+/// Per-source-instance journal of claimed source-offset runs, in claim
+/// order — the determinant log of the work-stealing dispatcher.
+///
+/// Checkpoints record their absolute position in it (the instance's
+/// `claim_pos`); recovery replays the suffix past the restored
+/// checkpoint, re-polling exactly the journaled `(partition, offset)`
+/// runs in their original order, so the regenerated sends are
+/// bit-identical to the pre-crash ones and receivers can dedup them by
+/// sequence. Like the other shared logs it models an external service:
+/// it survives worker kills, and re-publication of regenerated claims
+/// is idempotent.
+#[derive(Debug, Default)]
+pub struct ClaimLog {
+    entries: VecDeque<Claim>,
+    /// Absolute position of `entries[0]` (everything below is GC'd).
+    first_pos: u64,
+}
+
+impl ClaimLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one claim at absolute position `pos`. Re-publication after
+    /// a rollback re-uses original positions and is ignored (the
+    /// original entry stands), mirroring [`crate::DeterminantLog`].
+    pub fn append(&mut self, pos: u64, claim: Claim) {
+        let expected = self.end_pos();
+        if pos < expected {
+            debug_assert_eq!(
+                self.entries[(pos - self.first_pos) as usize],
+                claim,
+                "re-published claim diverged from the journaled original"
+            );
+            return;
+        }
+        assert_eq!(
+            pos, expected,
+            "claim log gap: appended pos {pos}, expected {expected}"
+        );
+        self.entries.push_back(claim);
+    }
+
+    /// Bulk append of a contiguous staged run starting at `start_pos`.
+    /// Returns how many entries were fresh (not re-publications).
+    pub fn append_run(&mut self, start_pos: u64, claims: &[Claim]) -> u64 {
+        let mut fresh = 0;
+        for (i, &c) in claims.iter().enumerate() {
+            let before = self.end_pos();
+            self.append(start_pos + i as u64, c);
+            if self.end_pos() > before {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Absolute position one past the last journaled claim — what a
+    /// checkpoint taken now should store as its `claim_pos`.
+    pub fn end_pos(&self) -> u64 {
+        self.first_pos + self.entries.len() as u64
+    }
+
+    /// The claims journaled from absolute position `pos` on. Panics if
+    /// part of the suffix was truncated — recovery must never need GC'd
+    /// claims.
+    pub fn suffix_from(&self, pos: u64) -> VecDeque<Claim> {
+        assert!(
+            pos >= self.first_pos,
+            "claim replay from pos {pos} reaches below retained pos {}",
+            self.first_pos
+        );
+        self.entries
+            .iter()
+            .skip((pos - self.first_pos) as usize)
+            .copied()
+            .collect()
+    }
+
+    /// Retained claims in journal order.
+    pub fn iter(&self) -> impl Iterator<Item = &Claim> {
+        self.entries.iter()
+    }
+
+    /// Highest journaled end offset for `partition` (0 if none): the
+    /// recovery-time claim frontier the shared cursors reset to.
+    pub fn frontier(&self, partition: u32) -> u64 {
+        self.entries
+            .iter()
+            .filter(|c| c.partition == partition)
+            .map(Claim::end)
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub fn retained_len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_accumulates_and_publishes_runs() {
+        let mut s: RunStage<u64> = RunStage::new(4);
+        s.stage(1, 10, 100);
+        s.stage(1, 11, 101);
+        s.stage(3, 0, 300);
+        assert_eq!(s.staged(), 3);
+        let mut seen = Vec::new();
+        let published = s.publish_into(|lane, start, items| {
+            seen.push((lane, start, items.clone()));
+        });
+        assert_eq!(published, 3);
+        assert!(s.is_empty());
+        assert_eq!(seen, vec![(1, 10, vec![100, 101]), (3, 0, vec![300])]);
+        // Lanes are reusable after publication, at any new position.
+        s.stage(1, 12, 102);
+        assert_eq!(s.staged(), 1);
+    }
+
+    #[test]
+    fn clear_discards_staged_runs() {
+        let mut s: RunStage<u32> = RunStage::new(2);
+        s.stage(0, 5, 1);
+        s.clear();
+        assert!(s.is_empty());
+        let published = s.publish_into(|_, _, _| panic!("nothing to publish"));
+        assert_eq!(published, 0);
+        // Post-clear staging restarts the lane run anywhere (rollback).
+        s.stage(0, 2, 9);
+        let mut got = Vec::new();
+        s.publish_into(|lane, start, items| got.push((lane, start, items.clone())));
+        assert_eq!(got, vec![(0, 2, vec![9])]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "staged run gap"))]
+    fn staged_gap_is_a_bug() {
+        let mut s: RunStage<u8> = RunStage::new(1);
+        s.stage(0, 0, 1);
+        s.stage(0, 2, 2);
+        if !cfg!(debug_assertions) {
+            panic!("staged run gap"); // release builds skip the check
+        }
+    }
+
+    fn c(partition: u32, start: u64, len: u32) -> Claim {
+        Claim {
+            partition,
+            start,
+            len,
+        }
+    }
+
+    #[test]
+    fn claim_log_records_and_replays_in_order() {
+        let mut l = ClaimLog::new();
+        l.append(0, c(0, 0, 8));
+        l.append(1, c(2, 0, 4));
+        l.append(2, c(0, 8, 8));
+        assert_eq!(l.end_pos(), 3);
+        assert_eq!(l.suffix_from(1), [c(2, 0, 4), c(0, 8, 8)]);
+        assert_eq!(l.frontier(0), 16);
+        assert_eq!(l.frontier(2), 4);
+        assert_eq!(l.frontier(9), 0);
+    }
+
+    #[test]
+    fn claim_republication_is_idempotent() {
+        let mut l = ClaimLog::new();
+        assert_eq!(l.append_run(0, &[c(0, 0, 4), c(1, 0, 2)]), 2);
+        // A rolled-back claimant republishes the same claims at the same
+        // positions, then makes fresh progress.
+        assert_eq!(l.append_run(0, &[c(0, 0, 4), c(1, 0, 2), c(0, 4, 4)]), 1);
+        assert_eq!(l.end_pos(), 3);
+        assert_eq!(l.frontier(0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "claim log gap")]
+    fn claim_gap_panics() {
+        let mut l = ClaimLog::new();
+        l.append(0, c(0, 0, 1));
+        l.append(2, c(0, 1, 1));
+    }
+}

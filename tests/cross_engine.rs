@@ -202,3 +202,37 @@ fn virtual_and_live_engines_agree_across_failures() {
         reference
     );
 }
+
+/// The protocol data-plane knobs — staged shared-log appends
+/// (`buffered_logs`) and claim-journal work stealing (`steal_sources`)
+/// — are transport choices, not semantics: under one shared config
+/// every {staged, locked-oracle} x {steal on, steal off} live digest
+/// matches the virtual-time engine bit for bit.
+#[test]
+fn live_transport_ablation_agrees_with_virtual_engine() {
+    let reference = virtual_digest(ProtocolKind::Uncoordinated, false);
+    for (buffered, steal) in [(true, false), (false, false), (true, true), (false, true)] {
+        let r = run_live(
+            &graph(),
+            vec![stream()],
+            LiveConfig {
+                parallelism: PARALLELISM,
+                protocol: ProtocolKind::Uncoordinated,
+                rate_per_partition: 3_000.0,
+                records_per_partition: LIMIT,
+                checkpoint_interval: Duration::from_millis(120),
+                timeout: Duration::from_secs(60),
+                buffered_logs: buffered,
+                steal_sources: steal,
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(
+            r.sink_digest,
+            reference,
+            "buffered={buffered} steal={steal}: live transport diverged \
+             from the virtual engine: {}",
+            r.summary()
+        );
+    }
+}
