@@ -5,6 +5,13 @@
 //!
 //! - **queue cells**: push/pop throughput per event-queue backend at
 //!   several pending-set sizes;
+//! - **arrival cells**: the per-worker inbound `ArrivalQueue` under its
+//!   calendar index vs. the BTree oracle, on three op mixes (the hot
+//!   insert/pop-due hold model, remove-heavy determinant-replay
+//!   cursoring, purge-heavy failure sweeps). With `--features
+//!   alloc-count` each cell also reports the allocations its run made
+//!   (a counting global allocator; off by default because counting
+//!   perturbs the throughput numbers);
 //! - **session cells**: the same short probe-shaped run executed N
 //!   times cold (fresh engine world per run — graph expand, operator
 //!   builds, fresh store) vs. through one reused `RunSession`, so the
@@ -28,11 +35,66 @@
 
 use checkmate_bench::{Harness, Scale, Wl};
 use checkmate_core::ProtocolKind;
+use checkmate_dataflow::graph::ChannelIdx;
+use checkmate_dataflow::{Record, Value};
 use checkmate_engine::config::{EngineConfig, SnapshotMode};
 use checkmate_engine::engine::Engine;
+use checkmate_engine::msg::NetMsg;
 use checkmate_engine::session::RunSession;
+use checkmate_engine::state::{ArrivalIndex, ArrivalQueue, QueueKey};
 use checkmate_nexmark::Query;
 use checkmate_sim::{EventQueue, QueueBackend, SimRng, MILLIS, SECONDS};
+
+/// Counting global allocator (`--features alloc-count`): every `alloc`
+/// and `realloc` bumps one relaxed counter, so a cell's allocation
+/// footprint is the counter delta across its run.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates every operation to `System`; the counter is a
+    // side effect with no bearing on the returned memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    pub fn snapshot() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocation counter snapshot: a real count under `alloc-count`, `None`
+/// otherwise (the column renders as `null`/absent).
+fn alloc_snapshot() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(alloc_count::snapshot())
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
 
 struct Cell {
     workload: &'static str,
@@ -46,6 +108,14 @@ struct QueueCell {
     backend: &'static str,
     pending: usize,
     ops_per_sec: f64,
+}
+
+struct ArrivalCell {
+    index: &'static str,
+    mix: &'static str,
+    ops_per_sec: f64,
+    /// Allocations the cell's run made (`--features alloc-count` only).
+    allocs: Option<u64>,
 }
 
 struct SessionCell {
@@ -226,6 +296,110 @@ fn bench_queue(backend: QueueBackend, pending: usize) -> f64 {
     (ops * 2) as f64 / wall
 }
 
+/// Isolated `ArrivalQueue` cell: one op mix on one index backend.
+/// Deterministic (seeded RNG, globally unique ship-sequence keys), so
+/// both backends execute byte-identical op sequences and the numbers
+/// differ only by index cost.
+///
+/// - `hot`: the steady-state delivery loop — advance the clock, drain
+///   everything due, reinsert as many near-future successors.
+/// - `remove`: determinant-replay shape — a standing future backlog hit
+///   by out-of-order `remove`s, re-filled by inserts.
+/// - `purge`: failure-sweep shape — build a future-gated backlog, then
+///   `purge_not_arrived` kills one sender's channels in place.
+fn bench_arrival(index: ArrivalIndex, name: &'static str, mix: &'static str) -> ArrivalCell {
+    let msg_of =
+        |ch: u32, seq: u64| NetMsg::data(ChannelIdx(ch), seq, Record::new(seq, Value::Unit, 0));
+    let mut q = ArrivalQueue::with_index(index);
+    let mut rng = SimRng::new(0xA11C + mix.len() as u64);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut ops = 0u64;
+    let alloc_before = alloc_snapshot();
+    let start = std::time::Instant::now();
+    match mix {
+        "hot" => {
+            for _ in 0..1024u64 {
+                q.insert(
+                    (now + 1 + rng.below(1_000_000), seq),
+                    msg_of((seq % 5) as u32, seq),
+                );
+                seq += 1;
+            }
+            while ops < 2_000_000 {
+                now += rng.below(500_000);
+                let mut drained = 0u64;
+                while let Some((_, m)) = q.pop_first_due(now) {
+                    drained += 1;
+                    ops += 1;
+                    q.insert((now + 1 + rng.below(1_000_000), seq), m);
+                    seq += 1;
+                    ops += 1;
+                }
+                if drained == 0 {
+                    now = q.first_key().expect("hold model keeps entries").0;
+                }
+            }
+        }
+        "remove" => {
+            let mut live: Vec<QueueKey> = Vec::new();
+            for _ in 0..4096u64 {
+                let key = (now + 1 + rng.below(10_000_000), seq);
+                q.insert(key, msg_of((seq % 5) as u32, seq));
+                live.push(key);
+                seq += 1;
+            }
+            while ops < 1_500_000 {
+                let i = rng.below(live.len() as u64) as usize;
+                let key = live.swap_remove(i);
+                q.remove(&key).expect("live key");
+                ops += 1;
+                let key = (now + 1 + rng.below(10_000_000), seq);
+                q.insert(key, msg_of((seq % 5) as u32, seq));
+                live.push(key);
+                seq += 1;
+                ops += 1;
+            }
+            for key in &live {
+                q.remove(key).expect("live key");
+            }
+        }
+        "purge" => {
+            while ops < 1_500_000 {
+                for _ in 0..512u64 {
+                    q.insert(
+                        (now + 1 + rng.below(4_000_000), seq),
+                        msg_of((seq % 5) as u32, seq),
+                    );
+                    seq += 1;
+                    ops += 1;
+                }
+                now += 2_000_000;
+                let victim = rng.below(5) as u32;
+                q.purge_not_arrived(now, |m| m.channel.0 == victim);
+                ops += 1;
+                while q.pop_first_due(now).is_some() {
+                    ops += 1;
+                }
+            }
+        }
+        other => unreachable!("unknown mix {other}"),
+    }
+    while q.pop_first().is_some() {}
+    assert!(q.is_empty());
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = match (alloc_before, alloc_snapshot()) {
+        (Some(a), Some(b)) => Some(b - a),
+        _ => None,
+    };
+    ArrivalCell {
+        index: name,
+        mix,
+        ops_per_sec: ops as f64 / wall,
+        allocs,
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let scale = Scale::quick();
@@ -278,6 +452,15 @@ fn main() {
             });
         }
     }
+    let mut arrival_cells = Vec::new();
+    for mix in ["hot", "remove", "purge"] {
+        for (index, name) in [
+            (ArrivalIndex::Calendar, "calendar"),
+            (ArrivalIndex::BTree, "btree"),
+        ] {
+            arrival_cells.push(bench_arrival(index, name, mix));
+        }
+    }
     let session_cells = [bench_session(&h, false, 200), bench_session(&h, true, 200)];
     let snapshot_cells = [
         bench_snapshot(&h, SnapshotMode::Full, "full"),
@@ -314,6 +497,22 @@ fn main() {
                 c.pending,
                 c.ops_per_sec,
                 if i + 1 == queue_cells.len() { "" } else { "," }
+            );
+        }
+        println!("  ],");
+        println!("  \"arrival_cells\": [");
+        for (i, c) in arrival_cells.iter().enumerate() {
+            let allocs = match c.allocs {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            };
+            println!(
+                "    {{\"index\": \"{}\", \"mix\": \"{}\", \"ops_per_sec\": {:.0}, \"allocs\": {}}}{}",
+                c.index,
+                c.mix,
+                c.ops_per_sec,
+                allocs,
+                if i + 1 == arrival_cells.len() { "" } else { "," }
             );
         }
         println!("  ],");
@@ -379,6 +578,16 @@ fn main() {
             println!(
                 "queue    {:8} pending={:<6} {:>38.0} ops/s",
                 c.backend, c.pending, c.ops_per_sec
+            );
+        }
+        for c in &arrival_cells {
+            let allocs = match c.allocs {
+                Some(n) => format!(" {n:>12} allocs"),
+                None => String::new(),
+            };
+            println!(
+                "arrival  {:8} mix={:<9} {:>35.0} ops/s{}",
+                c.index, c.mix, c.ops_per_sec, allocs
             );
         }
         for c in &session_cells {

@@ -4,7 +4,7 @@
 //! cargo run --release -p checkmate-bench --bin regen -- \
 //!     [--scale quick|paper-lite|paper|paper-full] [--exp fig7,tab2,...] \
 //!     [--jobs N] [--out results/] [--cache-dir DIR] [--queue ladder|heap] \
-//!     [--snapshot auto|full|sized] [-v]
+//!     [--snapshot auto|full|sized] [--arrival-index calendar|btree] [-v]
 //! ```
 //!
 //! Writes one JSON file per experiment under `--out` and prints the
@@ -26,10 +26,14 @@
 //! every run without explicit tiering through the passthrough tiered
 //! store (the tiered backend's flat-pricing oracle); output is likewise
 //! identical either way (CI diffs the `storage_sweep` JSON).
+//! `--arrival-index btree` switches every worker's inbound queue to the
+//! BTree map index (the calendar index's equivalence oracle); output is
+//! likewise identical either way (CI diffs the whole result directory).
 
 use checkmate_bench::experiments as exp;
 use checkmate_bench::{Harness, Scale};
 use checkmate_engine::config::SnapshotMode;
+use checkmate_engine::state::ArrivalIndex;
 use checkmate_sim::QueueBackend;
 use std::path::PathBuf;
 
@@ -42,6 +46,7 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut queue = QueueBackend::default();
     let mut snapshot = SnapshotMode::default();
+    let mut arrival = ArrivalIndex::default();
     let mut tier_oracle = false;
 
     let mut args = std::env::args().skip(1);
@@ -67,6 +72,14 @@ fn main() {
                     "full" => SnapshotMode::Full,
                     "sized" => SnapshotMode::SizedOnly,
                     other => panic!("unknown snapshot mode {other}; use auto|full|sized"),
+                };
+            }
+            "--arrival-index" => {
+                let v = args.next().expect("--arrival-index needs a value");
+                arrival = match v.as_str() {
+                    "calendar" => ArrivalIndex::Calendar,
+                    "btree" => ArrivalIndex::BTree,
+                    other => panic!("unknown arrival index {other}; use calendar|btree"),
                 };
             }
             "--profile" => {
@@ -107,7 +120,7 @@ fn main() {
             }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [--snapshot auto|full|sized] [--profile flat|tiered] [-v]");
+                eprintln!("usage: regen [--scale quick|paper-lite|paper|paper-full] [--exp ids] [--jobs N] [--out dir] [--cache-dir dir] [--queue ladder|heap] [--snapshot auto|full|sized] [--arrival-index calendar|btree] [--profile flat|tiered] [-v]");
                 eprintln!("experiments: {}", exp::ALL_IDS.join(", "));
                 return;
             }
@@ -121,6 +134,7 @@ fn main() {
     h.jobs = jobs;
     h.queue = queue;
     h.snapshot = snapshot;
+    h.arrival = arrival;
     h.tier_oracle = tier_oracle;
     if let Some(dir) = &cache_dir {
         h.set_cache_dir(dir.clone());

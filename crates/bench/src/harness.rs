@@ -21,6 +21,7 @@ use checkmate_dataflow::WorkerId;
 use checkmate_engine::config::{EngineConfig, FailureSpec, SnapshotMode, TierConfig};
 use checkmate_engine::report::RunReport;
 use checkmate_engine::session::RunSession;
+use checkmate_engine::state::ArrivalIndex;
 use checkmate_engine::workload::Workload;
 use checkmate_metrics::{find_max_sustainable_ctx, find_max_sustainable_par, MstSearch};
 use checkmate_nexmark::{Query, Skew};
@@ -115,6 +116,12 @@ pub struct Harness {
     /// accounting is property-tested bit-identical against the
     /// full-encode oracle), so this too is an oracle/benchmarking knob.
     pub snapshot: SnapshotMode,
+    /// Arrival-queue index every engine run uses
+    /// (`regen --arrival-index`); results are index-independent
+    /// (calendar vs BTree is property-tested bit-identical in
+    /// `engine/tests/arrival_equivalence.rs`), so this is another
+    /// oracle/benchmarking knob.
+    pub arrival: ArrivalIndex,
     /// Route every run that does not configure tiering itself through a
     /// *passthrough* tiered store (`regen --profile tiered`): every tier
     /// priced as the run's flat profile, maintenance off. Results are
@@ -146,6 +153,7 @@ impl Harness {
             verbose: false,
             queue: QueueBackend::default(),
             snapshot: SnapshotMode::default(),
+            arrival: ArrivalIndex::default(),
             tier_oracle: false,
             disk: None,
             workloads: Mutex::new(BTreeMap::new()),
@@ -244,6 +252,7 @@ impl Harness {
             },
             event_queue: self.queue,
             snapshot_mode: self.snapshot,
+            arrival_index: self.arrival,
             ..EngineConfig::default()
         }
     }

@@ -1,0 +1,58 @@
+//! `regen --arrival-index btree` must produce byte-identical result
+//! JSON to the default calendar index: the index is an internal queue
+//! structure, invisible to the simulation (property-tested at queue
+//! level and end-to-end in `engine/tests/arrival_equivalence.rs`).
+//! This test closes the loop at the harness layer — the `--arrival-index`
+//! knob threads through `base_cfg` into every MST probe and steady run,
+//! so a whole experiment's serialized output must not move. Run at a
+//! miniature scale so the property stays testable in CI.
+
+use checkmate_bench::experiments::{ablation, fig7};
+use checkmate_bench::{Harness, Scale};
+use checkmate_engine::state::ArrivalIndex;
+use checkmate_sim::SECONDS;
+use serde::Serialize;
+
+fn tiny() -> Scale {
+    Scale {
+        name: "tiny",
+        parallelisms: vec![2],
+        table_parallelisms: [2, 2],
+        cyclic_parallelisms: [2, 2],
+        duration: 3 * SECONDS,
+        warmup: SECONDS,
+        failure_at: 2 * SECONDS,
+        cyclic_failure_at: 2 * SECONDS,
+        probe_duration: 2 * SECONDS,
+        probe_warmup: SECONDS,
+        mst_probes: 3,
+        series_parallelisms: vec![2],
+        checkpoint_interval: SECONDS,
+        seed: 0xA21A,
+    }
+}
+
+fn json<R: Serialize>(e: &checkmate_bench::Experiment<R>) -> String {
+    serde_json::to_string(e).expect("serializable experiment")
+}
+
+#[test]
+fn arrival_index_produces_identical_results() {
+    let mut calendar = Harness::new(tiny());
+    calendar.arrival = ArrivalIndex::Calendar;
+    let mut btree = Harness::new(tiny());
+    btree.arrival = ArrivalIndex::BTree;
+
+    // fig7 exercises the MST cache (bisection probes hammer the arrival
+    // queues); the ablation adds steady runs with CIC piggybacking.
+    assert_eq!(
+        json(&fig7::run(&calendar)),
+        json(&fig7::run(&btree)),
+        "fig7 rows diverged between arrival indexes"
+    );
+    assert_eq!(
+        json(&ablation::run(&calendar)),
+        json(&ablation::run(&btree)),
+        "ablation rows diverged between arrival indexes"
+    );
+}

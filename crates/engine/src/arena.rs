@@ -18,7 +18,7 @@
 //! one constructed fresh (the `jobs_equivalence` and
 //! `queue_equivalence` suites exercise both paths).
 
-use crate::engine::{Ev, ShipItem};
+use crate::engine::{ChanRoute, Ev, ShipItem};
 use crate::state::ArrivalQueue;
 use checkmate_core::snapshot::ZeroBytes;
 use checkmate_dataflow::OpCtx;
@@ -37,6 +37,9 @@ pub struct SimArena {
     /// Recycled batched-arrival event payload buffers.
     pub(crate) batch_pool: Vec<Vec<ShipItem>>,
     pub(crate) chan_floor: Vec<SimTime>,
+    /// Recycled per-channel routing table capacity (rebuilt per run —
+    /// the table is a pure function of the graph and parallelism).
+    pub(crate) chan_route: Vec<ChanRoute>,
     pub(crate) ctx: OpCtx,
     /// Recycled checkpoint store: the next engine resets it in place
     /// (objects cleared, key-string and map allocations pooled, stats
@@ -55,6 +58,7 @@ impl SimArena {
             ship: Vec::new(),
             batch_pool: Vec::new(),
             chan_floor: Vec::new(),
+            chan_route: Vec::new(),
             ctx: OpCtx::new(0),
             store: None,
             zeros: ZeroBytes::new(),

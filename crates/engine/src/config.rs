@@ -1,5 +1,6 @@
 //! Engine run configuration.
 
+use crate::state::ArrivalIndex;
 use checkmate_core::{FaultPlan, IncrementalPolicy, ProtocolKind};
 use checkmate_dataflow::WorkerId;
 use checkmate_sim::{CostModel, QueueBackend, SimTime, MILLIS, SECONDS};
@@ -173,6 +174,13 @@ pub struct EngineConfig {
     /// simulated timeline — is identical; property-tested in
     /// `engine/tests/queue_equivalence.rs`).
     pub event_queue: QueueBackend,
+    /// Per-worker arrival-queue index. `Calendar` (default) is the
+    /// ladder/calendar ordered map (O(1) amortized insert/pop on the
+    /// arrival pattern); `BTree` is the original `BTreeMap` index, kept
+    /// as the equivalence oracle (the delivery order — and therefore the
+    /// whole simulated timeline — is identical; property-tested in
+    /// `engine/tests/arrival_equivalence.rs`).
+    pub arrival_index: ArrivalIndex,
     /// Snapshot production mode (see [`SnapshotMode`]): `Auto` skips
     /// snapshot encoding on failure-free runs with exact-size
     /// accounting; `Full` keeps the materializing path as the oracle.
@@ -208,6 +216,7 @@ impl Default for EngineConfig {
             max_events: 500_000_000,
             data_batching: true,
             event_queue: QueueBackend::Ladder,
+            arrival_index: ArrivalIndex::Calendar,
             snapshot_mode: SnapshotMode::Auto,
             tiering: None,
         }

@@ -11,7 +11,7 @@ use crate::arena::SimArena;
 use crate::config::EngineConfig;
 use crate::msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 use crate::report::{LatencySeries, Outcome, RunReport};
-use crate::state::{build_worker_instances, Coordinator, QueueKey, Worker};
+use crate::state::{build_worker_instances, ArrivalQueue, Coordinator, QueueKey, Worker};
 use crate::workload::Workload;
 use bytes::Bytes;
 use checkmate_core::snapshot::ZeroBytes;
@@ -38,6 +38,28 @@ use std::sync::Arc;
 /// this is the same total order the historical assign-at-arrival scheme
 /// produced, and it lets one event carry many messages.
 pub(crate) type ShipItem = (QueueKey, u32, NetMsg);
+
+/// Per-channel routing facts, resolved once per run. The delivery and
+/// fan-out hot paths used to re-walk `pg.channel(ch)` → instance table →
+/// worker arithmetic for every record; a channel's endpoints are a pure
+/// function of `(graph, parallelism)`, so the engine flattens them into
+/// one cache-friendly row per channel at construction and the hot loops
+/// do a single indexed copy instead.
+#[derive(Clone, Copy)]
+pub(crate) struct ChanRoute {
+    /// Receiving operator (the channel's `to` instance's op).
+    pub(crate) to_op: OpId,
+    /// Input port at the receiver.
+    pub(crate) port: PortId,
+    /// Sending instance (CIC piggyback indexing, replay provenance).
+    pub(crate) from: InstanceIdx,
+    /// Receiving instance (CIC send-clock indexing).
+    pub(crate) to: InstanceIdx,
+    /// Worker hosting the sending instance.
+    pub(crate) from_w: u32,
+    /// Worker hosting the receiving instance.
+    pub(crate) to_w: u32,
+}
 
 /// Simulation events. Events carry worker incarnations where staleness
 /// after a failure must invalidate them; the whole tuple is additionally
@@ -177,6 +199,9 @@ pub struct Engine {
     fail_injected: bool,
     /// Zero buffer backing sized-only placeholders (arena-recycled).
     zeros: ZeroBytes,
+    /// Flattened per-channel routing table (arena-recycled): endpoints,
+    /// receiving op/port, hosting workers. Indexed by `ChannelIdx.0`.
+    chan_route: Vec<ChanRoute>,
     chan_floor: Vec<SimTime>,
     chan_logs: Vec<ChannelLog>,
     /// Per-instance delivery-order logs (UNC/CIC); empty under COOR/None.
@@ -278,7 +303,7 @@ impl Engine {
         workload: &Workload,
         cfg: EngineConfig,
         pg: Arc<PhysicalGraph>,
-        workers: Vec<Worker>,
+        mut workers: Vec<Worker>,
         arena: &mut SimArena,
     ) -> Self {
         cfg.validate();
@@ -311,6 +336,16 @@ impl Engine {
         if queue.backend() != cfg.event_queue {
             queue = EventQueue::with_backend(cfg.event_queue);
         }
+        // Same normalization choke point for the per-worker arrival
+        // queues: recycled workers (session path) and arena-pooled
+        // queues (fresh path) may carry the previous run's index
+        // backend; rebuild any that mismatch this run's config. The
+        // queues are logically empty here either way.
+        for wk in &mut workers {
+            if wk.queue.index_kind() != cfg.arrival_index {
+                wk.queue = ArrivalQueue::with_index(cfg.arrival_index);
+            }
+        }
         let mut pending_ship = std::mem::take(&mut arena.ship);
         let mut batch_pool = std::mem::take(&mut arena.batch_pool);
         // Surplus staging buffers (a previous run at higher parallelism)
@@ -322,6 +357,16 @@ impl Engine {
         let mut chan_floor = std::mem::take(&mut arena.chan_floor);
         chan_floor.clear();
         chan_floor.resize(n_channels, 0);
+        let mut chan_route = std::mem::take(&mut arena.chan_route);
+        chan_route.clear();
+        chan_route.extend(pg.channels().iter().map(|ch| ChanRoute {
+            to_op: pg.instance_id(ch.to).op,
+            port: ch.port,
+            from: ch.from,
+            to: ch.to,
+            from_w: ch.from.0 % parallelism,
+            to_w: ch.to.0 % parallelism,
+        }));
         let mut ctx = std::mem::replace(&mut arena.ctx, OpCtx::new(0));
         ctx.now = 0;
         // Recycle the previous run's store when its backend supports an
@@ -372,6 +417,7 @@ impl Engine {
             pending_dsts: Vec::new(),
             batch_pool,
             ctx,
+            chan_route,
             chan_floor,
             // Replay only ever reads the logs after a failure; a run
             // with no failure injected keeps the logs' full cost and
@@ -506,21 +552,9 @@ impl Engine {
     /// Blocked-channel messages are stashed lazily by the dispatch scan
     /// exactly when they become due, which observes the blocked set at
     /// the same instants the per-message plane did.
-    ///
-    /// Batches are usually runs of one channel, so the channel → sender
-    /// worker resolution is memoized across consecutive items instead of
-    /// re-walking the channel table per record.
     fn enqueue_arrivals(&mut self, to_w: usize, batch: &mut Vec<ShipItem>) {
-        let mut memo: Option<(ChannelIdx, usize)> = None;
         for (key, src_winc, msg) in batch.drain(..) {
-            let from_w = match memo {
-                Some((ch, from_w)) if ch == msg.channel => from_w,
-                _ => {
-                    let from_w = self.worker_of_inst(self.pg.channel(msg.channel).from);
-                    memo = Some((msg.channel, from_w));
-                    from_w
-                }
-            };
+            let from_w = self.chan_route[msg.channel.0 as usize].from_w as usize;
             if self.workers[from_w].incarnation != src_winc {
                 continue; // lost with the failed sender
             }
@@ -547,7 +581,7 @@ impl Engine {
                 // safety valve keeps measuring logical message traffic.
                 self.events += batch.len() as u64 - 1;
                 if epoch == self.epoch {
-                    let to_w = self.worker_of_inst(self.pg.channel(batch[0].2.channel).to);
+                    let to_w = self.chan_route[batch[0].2.channel.0 as usize].to_w as usize;
                     if self.workers[to_w].incarnation == dst_winc && !self.workers[to_w].down {
                         self.enqueue_arrivals(to_w, &mut batch);
                         self.batch_pool.push(batch);
@@ -852,7 +886,7 @@ impl Engine {
             if replaying {
                 if let Some(held) = self.det_held_as(w, key) {
                     let msg = self.workers[w].queue.remove(&key).expect("checked");
-                    let op = self.pg.instance_id(self.pg.channel(msg.channel).to).op;
+                    let op = self.chan_route[msg.channel.0 as usize].to_op;
                     self.workers[w]
                         .instance_mut(op)
                         .det_parked
@@ -892,7 +926,7 @@ impl Engine {
         let MsgKind::Data { seq, .. } = &msg.kind else {
             return None;
         };
-        let op = self.pg.instance_id(self.pg.channel(msg.channel).to).op;
+        let op = self.chan_route[msg.channel.0 as usize].to_op;
         let inst = self.workers[w].instance(op);
         match inst.det_replay.front() {
             None => None,
@@ -970,43 +1004,49 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn exec_deliver(&mut self, w: usize, msg: NetMsg) {
-        let ch_meta = self.pg.channel(msg.channel);
-        let (op, port, from_inst) = (
-            self.pg.instance_id(ch_meta.to).op,
-            ch_meta.port,
-            ch_meta.from,
-        );
+        let route = self.chan_route[msg.channel.0 as usize];
+        let (op, port, from_inst) = (route.to_op, route.port, route.from);
         let wire = msg.payload_bytes() + msg.wire_overhead;
         match msg.kind {
             MsgKind::Marker { round } => self.exec_marker(w, op, msg.channel, round),
             MsgKind::Data { seq, record } => {
                 let mut service = self.cfg.cost.deser_ns(wire);
-                // Duplicate? (replayed message already reflected in the
-                // restored receiver state)
-                let last = self.workers[w].instance(op).book.last_received(msg.channel);
-                if seq <= last {
-                    assert!(
-                        msg.replayed,
-                        "non-replay duplicate on {:?}: seq {seq} ≤ wm {last}",
-                        msg.channel
-                    );
+                // One read-only instance borrow decides both pre-delivery
+                // questions: duplicate? (replayed message already
+                // reflected in the restored receiver state) and CIC
+                // forced checkpoint before delivery?
+                let (dup, force) = {
+                    let inst = self.workers[w].instance(op);
+                    let last = inst.book.last_received(msg.channel);
+                    if seq <= last {
+                        assert!(
+                            msg.replayed,
+                            "non-replay duplicate on {:?}: seq {seq} ≤ wm {last}",
+                            msg.channel
+                        );
+                        (true, false)
+                    } else {
+                        let force = msg.piggyback.as_ref().is_some_and(|pb| {
+                            inst.cic
+                                .as_ref()
+                                .expect("piggyback implies CIC")
+                                .should_force(from_inst.0 as usize, pb)
+                        });
+                        (false, force)
+                    }
+                };
+                if dup {
                     self.metrics.replay_dedup_drops += 1;
                     self.begin_task(w, service);
                     return;
                 }
-                // CIC forced checkpoint before delivery.
-                if let Some(pb) = &msg.piggyback {
-                    let force = self.workers[w]
-                        .instance(op)
-                        .cic
-                        .as_ref()
-                        .expect("piggyback implies CIC")
-                        .should_force(from_inst.0 as usize, pb);
-                    if force {
-                        service += self.take_checkpoint(w, op, CheckpointKind::Forced);
-                    }
+                if force {
+                    service += self.take_checkpoint(w, op, CheckpointKind::Forced);
                 }
-                {
+                // One mutating borrow applies the delivery and carries
+                // the determinant coordinates out, so the log append
+                // below needs no re-resolution.
+                let (det_pos, inst_idx) = {
                     let inst = self.workers[w].instance_mut(op);
                     let fresh = inst.book.deliver(msg.channel, seq);
                     assert!(fresh, "post-dedup delivery must be fresh");
@@ -1022,7 +1062,8 @@ impl Engine {
                     if let (Some(cic), Some(pb)) = (inst.cic.as_mut(), &msg.piggyback) {
                         cic.on_deliver(from_inst.0 as usize, pb);
                     }
-                }
+                    (inst.book.total_received() - 1, inst.idx)
+                };
                 if !self.det_logs.is_empty() {
                     // Persist the delivery determinant (receiver-side
                     // message-logging requirement for deterministic
@@ -1033,9 +1074,7 @@ impl Engine {
                     // it can never run in a failure-free run (same
                     // reasoning as the sized-only channel logs).
                     if self.fail_injected {
-                        let inst = self.workers[w].instance(op);
-                        let pos = inst.book.total_received() - 1;
-                        self.det_logs[inst.idx.0 as usize].append(pos, msg.channel, seq);
+                        self.det_logs[inst_idx.0 as usize].append(det_pos, msg.channel, seq);
                     }
                     service += self.cfg.cost.log_append_ns(DET_ENTRY_BYTES);
                 }
@@ -1179,10 +1218,15 @@ impl Engine {
         let mut service = 0;
         let p = self.cfg.parallelism;
         let inst_idx = self.workers[w].instance(op).idx;
+        // Resolve the instance's edge table once for the whole fan-out.
+        // Borrowing through a local `Arc` clone (graph is read-only and
+        // shared) keeps `self` free for the `&mut` sends, so the inner
+        // loops index a live slice instead of re-walking
+        // `pg.out_edges_of` per edge per record.
+        let pg = Arc::clone(&self.pg);
+        let edges = pg.out_edges_of(inst_idx);
         for (edge_i, rec) in outputs.drain(..) {
-            // One edge-table walk per record: resolve kind and channel in
-            // a single immutable borrow, then send (which needs `&mut`).
-            let edge = &self.pg.out_edges_of(inst_idx)[edge_i];
+            let edge = &edges[edge_i];
             match edge.kind {
                 EdgeKind::Forward => {
                     let ch = edge.targets[w].expect("edge connects target");
@@ -1195,8 +1239,7 @@ impl Engine {
                 }
                 EdgeKind::Broadcast => {
                     for j in 0..p as usize {
-                        let ch = self.pg.out_edges_of(inst_idx)[edge_i].targets[j]
-                            .expect("edge connects target");
+                        let ch = edge.targets[j].expect("edge connects target");
                         service += self.send_data(w, op, ch, rec.clone());
                     }
                 }
@@ -1208,14 +1251,12 @@ impl Engine {
 
     /// Send one data record on `ch`; returns the sender CPU cost.
     fn send_data(&mut self, w: usize, op: OpId, ch: ChannelIdx, rec: Record) -> SimTime {
-        // One channel-table walk: copy both endpoints out of the borrow.
-        let cmeta = self.pg.channel(ch);
-        let (from_inst, dest_inst) = (cmeta.from, cmeta.to);
-        debug_assert_eq!(self.worker_of_inst(from_inst), w); // from == our inst
+        let route = self.chan_route[ch.0 as usize];
+        debug_assert_eq!(route.from_w as usize, w); // from == our inst
         let (seq, pb) = {
             let inst = self.workers[w].instance_mut(op);
             let seq = inst.book.next_send(ch);
-            let pb = inst.cic.as_mut().map(|c| c.on_send(dest_inst.0 as usize));
+            let pb = inst.cic.as_mut().map(|c| c.on_send(route.to.0 as usize));
             (seq, pb)
         };
         // Clone the record for the log only when the log materializes
@@ -1257,8 +1298,8 @@ impl Engine {
         // Tasks call route/send during dispatch, before begin_task fixes
         // busy_until; use `now` + a conservative bound: the arrival floor
         // guarantees FIFO regardless, and service times dominate.
-        let ch = self.pg.channel(msg.channel);
-        let (from_w, to_w) = (self.worker_of_inst(ch.from), self.worker_of_inst(ch.to));
+        let route = self.chan_route[msg.channel.0 as usize];
+        let (from_w, to_w) = (route.from_w as usize, route.to_w as usize);
         let local = from_w == to_w;
         let xfer = if local {
             self.cfg.cost.local_xfer_ns
@@ -1780,15 +1821,14 @@ impl Engine {
         // Fail event was pushed at bootstrap, so among same-instant
         // events it pops first — an entry due exactly now has not been
         // delivered yet.)
-        let pg = &self.pg;
-        let p = self.cfg.parallelism;
+        let routes = &self.chan_route;
         let now = self.now;
         for (dst, dw) in self.workers.iter_mut().enumerate() {
             if dst == w {
                 continue; // cleared wholesale above
             }
             dw.queue
-                .purge_not_arrived(now, |msg| pg.channel(msg.channel).from.0 % p == w as u32);
+                .purge_not_arrived(now, |msg| routes[msg.channel.0 as usize].from_w == w as u32);
         }
         self.coord.failed_worker = Some(w as u32);
         self.push_at(self.now + self.cfg.cost.failure_detect_ns, Ev::Detect);
@@ -2280,6 +2320,8 @@ impl Engine {
         arena.batch_pool.append(&mut self.batch_pool);
         self.chan_floor.clear();
         arena.chan_floor = self.chan_floor;
+        self.chan_route.clear();
+        arena.chan_route = self.chan_route;
         self.ctx.now = 0;
         arena.ctx = self.ctx;
         // A tiered store never entered the pool (its arena slot was left

@@ -29,4 +29,5 @@ pub use engine::Engine;
 pub use msg::{hmnr_wire_bytes, MsgKind, NetMsg, BCS_WIRE_BYTES, MARKER_BYTES};
 pub use report::{percentile_of, LatencySeries, Outcome, RunReport, SecondStats};
 pub use session::RunSession;
+pub use state::ArrivalIndex;
 pub use workload::{StreamSpec, Workload};

@@ -17,7 +17,11 @@
 //! - the worker set itself: operator boxes and their state maps stay
 //!   alive across runs and are [`Worker::reset_for_run`] in place
 //!   (protocol state is rebuilt per run, so one session serves all
-//!   four protocols of a sweep cell).
+//!   four protocols of a sweep cell). A recycled worker may carry the
+//!   previous run's arrival-index backend; `Engine::new_with_workers`
+//!   normalizes every queue onto the new config's
+//!   [`crate::config::EngineConfig::arrival_index`], the same choke
+//!   point that re-backends the recycled event queue.
 //!
 //! Reuse is invisible to the simulation: a session-run is bit-identical
 //! to a fresh-build run (property-tested end-to-end, across protocols

@@ -8,7 +8,7 @@ use checkmate_core::{
 };
 use checkmate_dataflow::graph::{ChannelIdx, InstanceIdx};
 use checkmate_dataflow::{Codec, Dec, Enc, OpId, Operator, PhysicalGraph};
-use checkmate_sim::SimTime;
+use checkmate_sim::{CalendarIndex, SimTime};
 use checkmate_wal::SourceCursor;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -168,23 +168,75 @@ impl LocalInstance {
 /// processing order within a worker.
 pub type QueueKey = (SimTime, u64);
 
+/// Which ordered structure indexes the per-worker [`ArrivalQueue`]s.
+/// Selected by `EngineConfig::arrival_index`; both produce bit-identical
+/// runs (property-tested in `engine/tests/arrival_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalIndex {
+    /// Ladder/calendar index ([`CalendarIndex`]): O(1) amortized
+    /// insert/pop on the arrival pattern, bucket scans on the cold
+    /// ordered-scan and removal paths.
+    #[default]
+    Calendar,
+    /// The original `BTreeMap` index, kept as the equivalence oracle.
+    BTree,
+}
+
 /// Arrival-ordered inbound message queue.
 ///
 /// An ordered index of small `(key → slot)` entries over a slab of
-/// messages: the `BTreeMap` then shifts 24-byte entries on node
-/// splits/merges instead of whole `NetMsg`s (~4× less memory traffic on
-/// the hottest per-record structure), while keeping every ordered-scan
-/// operation the dispatch and determinant-replay paths rely on.
-#[derive(Default)]
+/// messages: the index then shifts 24-byte entries instead of whole
+/// `NetMsg`s (~4× less memory traffic on the hottest per-record
+/// structure), while keeping every ordered-scan operation the dispatch
+/// and determinant-replay paths rely on. Two interchangeable index
+/// structures implement that contract (see [`ArrivalIndex`]); the slab
+/// and free list are shared, so switching the index preserves the slot
+/// discipline bit for bit.
 pub struct ArrivalQueue {
-    index: BTreeMap<QueueKey, u32>,
+    index: Index,
     slots: Vec<Option<NetMsg>>,
     free: Vec<u32>,
+    /// Scratch key buffer for the BTree index's purge sweeps. Rides the
+    /// queue through `SimArena` / session pooling (workers keep their
+    /// queues between runs), so sender-failure sweeps stay
+    /// allocation-free in the steady state. The calendar index purges in
+    /// place and never touches it.
+    scratch: Vec<QueueKey>,
+}
+
+enum Index {
+    Calendar(CalendarIndex),
+    BTree(BTreeMap<QueueKey, u32>),
+}
+
+impl Default for ArrivalQueue {
+    fn default() -> Self {
+        Self::with_index(ArrivalIndex::default())
+    }
 }
 
 impl ArrivalQueue {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    pub fn with_index(kind: ArrivalIndex) -> Self {
+        Self {
+            index: match kind {
+                ArrivalIndex::Calendar => Index::Calendar(CalendarIndex::new()),
+                ArrivalIndex::BTree => Index::BTree(BTreeMap::new()),
+            },
+            slots: Vec::new(),
+            free: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn index_kind(&self) -> ArrivalIndex {
+        match self.index {
+            Index::Calendar(_) => ArrivalIndex::Calendar,
+            Index::BTree(_) => ArrivalIndex::BTree,
+        }
     }
 
     pub fn insert(&mut self, key: QueueKey, msg: NetMsg) {
@@ -198,57 +250,86 @@ impl ArrivalQueue {
                 (self.slots.len() - 1) as u32
             }
         };
-        let prev = self.index.insert(key, slot);
-        debug_assert!(prev.is_none(), "duplicate queue key");
+        match &mut self.index {
+            Index::Calendar(c) => c.insert(key, slot), // dup-checked in debug
+            Index::BTree(t) => {
+                let prev = t.insert(key, slot);
+                debug_assert!(prev.is_none(), "duplicate queue key");
+            }
+        }
     }
 
-    /// Earliest entry (key and message), without removing it.
-    pub fn first(&self) -> Option<(QueueKey, &NetMsg)> {
-        let (&key, &slot) = self.index.first_key_value()?;
+    /// Earliest entry (key and message), without removing it. `&mut`
+    /// because the calendar index restructures lazily on peeks.
+    pub fn first(&mut self) -> Option<(QueueKey, &NetMsg)> {
+        let (key, slot) = match &mut self.index {
+            Index::Calendar(c) => c.first()?,
+            Index::BTree(t) => t.first_key_value().map(|(&k, &s)| (k, s))?,
+        };
         Some((key, self.slots[slot as usize].as_ref().expect("live slot")))
     }
 
-    pub fn first_key(&self) -> Option<QueueKey> {
-        self.index.first_key_value().map(|(&k, _)| k)
+    pub fn first_key(&mut self) -> Option<QueueKey> {
+        match &mut self.index {
+            Index::Calendar(c) => c.first_key(),
+            Index::BTree(t) => t.first_key_value().map(|(&k, _)| k),
+        }
     }
 
     pub fn pop_first(&mut self) -> Option<(QueueKey, NetMsg)> {
-        let (key, slot) = self.index.pop_first()?;
+        let (key, slot) = match &mut self.index {
+            Index::Calendar(c) => c.pop_first()?,
+            Index::BTree(t) => t.pop_first()?,
+        };
         self.free.push(slot);
         Some((key, self.slots[slot as usize].take().expect("live slot")))
     }
 
     /// Pop the earliest entry only if it has arrived by `now` — the
-    /// dispatch fast path's peek-then-pop collapsed into one tree
+    /// dispatch fast path's peek-then-pop collapsed into one index
     /// descent and one slab access.
     pub fn pop_first_due(&mut self, now: SimTime) -> Option<(QueueKey, NetMsg)> {
-        let entry = self.index.first_entry()?;
-        if entry.key().0 > now {
-            return None; // earliest message has not arrived yet
-        }
-        let key = *entry.key();
-        let slot = entry.remove();
+        let (key, slot) = match &mut self.index {
+            Index::Calendar(c) => c.pop_first_due(now)?,
+            Index::BTree(t) => {
+                let entry = t.first_entry()?;
+                if entry.key().0 > now {
+                    return None; // earliest message has not arrived yet
+                }
+                let key = *entry.key();
+                (key, entry.remove())
+            }
+        };
         self.free.push(slot);
         Some((key, self.slots[slot as usize].take().expect("live slot")))
     }
 
     pub fn remove(&mut self, key: &QueueKey) -> Option<NetMsg> {
-        let slot = self.index.remove(key)?;
+        let slot = match &mut self.index {
+            Index::Calendar(c) => c.remove(key)?,
+            Index::BTree(t) => t.remove(key)?,
+        };
         self.free.push(slot);
         Some(self.slots[slot as usize].take().expect("live slot"))
     }
 
     pub fn get(&self, key: &QueueKey) -> Option<&NetMsg> {
-        let &slot = self.index.get(key)?;
+        let slot = match &self.index {
+            Index::Calendar(c) => c.get(key)?,
+            Index::BTree(t) => *t.get(key)?,
+        };
         Some(self.slots[slot as usize].as_ref().expect("live slot"))
     }
 
     /// The first key strictly after `prev` (ordered-scan cursor).
     pub fn next_key_after(&self, prev: QueueKey) -> Option<QueueKey> {
-        self.index
-            .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(&k, _)| k)
+        match &self.index {
+            Index::Calendar(c) => c.next_key_after(prev),
+            Index::BTree(t) => t
+                .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(&k, _)| k),
+        }
     }
 
     /// Remove every entry whose arrival instant is at or after `now` and
@@ -258,23 +339,50 @@ impl ArrivalQueue {
     /// individual arrival events would have (the per-message plane drops
     /// them on the stale-incarnation check at each arrival).
     pub fn purge_not_arrived(&mut self, now: SimTime, mut pred: impl FnMut(&NetMsg) -> bool) {
-        let stale: Vec<QueueKey> = self
-            .index
-            .range((now, 0)..)
-            .filter(|(_, &slot)| pred(self.slots[slot as usize].as_ref().expect("live slot")))
-            .map(|(&k, _)| k)
-            .collect();
-        for k in stale {
-            self.remove(&k);
+        match &mut self.index {
+            Index::Calendar(c) => {
+                let slots = &mut self.slots;
+                let free = &mut self.free;
+                c.purge_from(now, |_, slot| {
+                    let dead = pred(slots[slot as usize].as_ref().expect("live slot"));
+                    if dead {
+                        slots[slot as usize] = None;
+                        free.push(slot);
+                    }
+                    dead
+                });
+            }
+            Index::BTree(t) => {
+                self.scratch.clear();
+                self.scratch.extend(
+                    t.range((now, 0)..)
+                        .filter(|(_, &slot)| {
+                            pred(self.slots[slot as usize].as_ref().expect("live slot"))
+                        })
+                        .map(|(&k, _)| k),
+                );
+                for i in 0..self.scratch.len() {
+                    let k = self.scratch[i];
+                    let slot = t.remove(&k).expect("collected above");
+                    self.slots[slot as usize] = None;
+                    self.free.push(slot);
+                }
+            }
         }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        match &self.index {
+            Index::Calendar(c) => c.is_empty(),
+            Index::BTree(t) => t.is_empty(),
+        }
     }
 
     pub fn clear(&mut self) {
-        self.index.clear();
+        match &mut self.index {
+            Index::Calendar(c) => c.clear(),
+            Index::BTree(t) => t.clear(),
+        }
         self.slots.clear();
         self.free.clear();
     }

@@ -1,0 +1,235 @@
+//! The calendar-indexed `ArrivalQueue` is a drop-in for the BTree map:
+//! every observable — ordered scans (`first_key`/`next_key_after`),
+//! arbitrary removes, time-gated pops, range purges — must agree with
+//! the map on any operation interleaving, and a whole run on either
+//! index must be *bit-identical* (same digests, same latency series,
+//! same recovery instants), clean or under a deterministic failure
+//! storm. The queue-level property drives both backends through random
+//! op sequences directly; the end-to-end properties flip only
+//! `EngineConfig::arrival_index` and fingerprint the full report.
+
+use checkmate_core::{FaultPlan, ProtocolKind};
+use checkmate_dataflow::graph::ChannelIdx;
+use checkmate_dataflow::{Record, Value};
+use checkmate_engine::config::EngineConfig;
+use checkmate_engine::engine::Engine;
+use checkmate_engine::msg::NetMsg;
+use checkmate_engine::report::RunReport;
+use checkmate_engine::state::{ArrivalIndex, ArrivalQueue, QueueKey};
+use checkmate_engine::testkit::counting_pipeline;
+use checkmate_sim::SECONDS;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// queue-level equivalence
+// ---------------------------------------------------------------------
+
+/// One scripted queue operation. Operand semantics depend on the op;
+/// everything is resolved deterministically against the shadow key list
+/// so both backends see byte-identical call sequences.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert at `now + gap` (seq assigned by the driver).
+    Insert {
+        gap: u64,
+    },
+    /// Advance the clock, then drain everything due.
+    PopDue {
+        advance: u64,
+    },
+    Pop,
+    /// Remove the live key at `pick % live.len()` (no-op when empty).
+    Remove {
+        pick: usize,
+    },
+    /// Walk the whole queue via `first_key` + `next_key_after`.
+    Scan,
+    /// Purge future-gated entries whose channel matches `parity`.
+    Purge {
+        parity: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..5_000).prop_map(|gap| Op::Insert { gap }),
+        2 => (0u64..3_000).prop_map(|advance| Op::PopDue { advance }),
+        1 => Just(Op::Pop),
+        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+        1 => Just(Op::Scan),
+        1 => (0u32..2).prop_map(|parity| Op::Purge { parity }),
+    ]
+}
+
+fn msg(ch: u32, seq: u64) -> NetMsg {
+    NetMsg::data(ChannelIdx(ch), seq, Record::new(seq, Value::Unit, 0))
+}
+
+/// Drive one backend through the script, returning a transcript of every
+/// observable: pop results, scan walks, final drain. Two backends with
+/// equal transcripts are observationally identical.
+fn transcript(ops: &[Op], index: ArrivalIndex) -> Vec<(QueueKey, u32)> {
+    let mut q = ArrivalQueue::with_index(index);
+    let mut out = Vec::new();
+    let mut live: Vec<QueueKey> = Vec::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    for op in ops {
+        match *op {
+            Op::Insert { gap } => {
+                let key = (now + gap, seq);
+                q.insert(key, msg((seq % 5) as u32, seq));
+                live.push(key);
+                seq += 1;
+            }
+            Op::PopDue { advance } => {
+                now += advance;
+                while let Some((key, m)) = q.pop_first_due(now) {
+                    live.retain(|k| *k != key);
+                    out.push((key, m.channel.0));
+                }
+            }
+            Op::Pop => {
+                if let Some((key, m)) = q.pop_first() {
+                    live.retain(|k| *k != key);
+                    out.push((key, m.channel.0));
+                }
+            }
+            Op::Remove { pick } => {
+                if !live.is_empty() {
+                    let key = live.remove(pick % live.len());
+                    let m = q.remove(&key).expect("live key must be present");
+                    out.push((key, m.channel.0));
+                }
+            }
+            Op::Scan => {
+                let mut cursor = q.first_key();
+                while let Some(key) = cursor {
+                    let m = q.get(&key).expect("scan key must resolve");
+                    out.push((key, m.channel.0));
+                    cursor = q.next_key_after(key);
+                }
+            }
+            Op::Purge { parity } => {
+                q.purge_not_arrived(now, |m| m.channel.0 % 2 == parity);
+                live.retain(|k| k.0 <= now || q.get(k).is_some());
+            }
+        }
+    }
+    while let Some((key, m)) = q.pop_first() {
+        out.push((key, m.channel.0));
+    }
+    assert!(q.is_empty());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of inserts, time-gated pops, arbitrary removes,
+    /// ordered scans and range purges observes the same transcript on
+    /// the calendar index as on the BTree oracle.
+    #[test]
+    fn calendar_index_matches_btree_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let cal = transcript(&ops, ArrivalIndex::Calendar);
+        let btree = transcript(&ops, ArrivalIndex::BTree);
+        prop_assert_eq!(cal, btree);
+    }
+}
+
+/// Queue keys are globally unique by construction (engine-wide ship
+/// sequence); both backends assert that contract in debug builds.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "duplicate queue key")]
+fn calendar_rejects_duplicate_keys() {
+    let mut q = ArrivalQueue::with_index(ArrivalIndex::Calendar);
+    q.insert((10, 1), msg(0, 0));
+    q.insert((10, 1), msg(1, 1));
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "duplicate queue key")]
+fn btree_rejects_duplicate_keys() {
+    let mut q = ArrivalQueue::with_index(ArrivalIndex::BTree);
+    q.insert((10, 1), msg(0, 0));
+    q.insert((10, 1), msg(1, 1));
+}
+
+// ---------------------------------------------------------------------
+// end-to-end equivalence
+// ---------------------------------------------------------------------
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Coordinated,
+    ProtocolKind::Uncoordinated,
+    ProtocolKind::CommunicationInduced,
+    ProtocolKind::CommunicationInducedBcs,
+];
+
+fn run(
+    protocol: ProtocolKind,
+    seed: u64,
+    storm: Option<FaultPlan>,
+    index: ArrivalIndex,
+) -> RunReport {
+    let config = EngineConfig {
+        parallelism: 3,
+        protocol,
+        total_rate: 1_500.0,
+        checkpoint_interval: SECONDS,
+        duration: 120 * SECONDS,
+        warmup: SECONDS,
+        input_limit: Some(800),
+        seed,
+        storm,
+        arrival_index: index,
+        ..EngineConfig::default()
+    };
+    Engine::new(&counting_pipeline(3), config).run()
+}
+
+fn fingerprint(r: &RunReport) -> String {
+    format!("{r:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Clean runs: calendar == btree for every protocol, bit for bit.
+    #[test]
+    fn arrival_index_is_bit_identical_clean(
+        proto_i in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let cal = run(protocol, seed, None, ArrivalIndex::Calendar);
+        let btree = run(protocol, seed, None, ArrivalIndex::BTree);
+        prop_assert_eq!(fingerprint(&cal), fingerprint(&btree), "protocol {}", protocol);
+    }
+
+    /// Failure-storm runs: recovery exercises the queue's hard paths —
+    /// `purge_not_arrived` sweeps at each kill, the determinant-replay
+    /// cursor scans (`first_key`/`next_key_after`/`remove`) under
+    /// UNC/CIC — and must be equally index-independent.
+    #[test]
+    fn arrival_index_is_bit_identical_with_storm(
+        proto_i in 0usize..4,
+        storm_seed in 0u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let protocol = PROTOCOLS[proto_i];
+        let storm = Some(FaultPlan::storm(storm_seed, 3, 3, 20 * SECONDS));
+        let cal = run(protocol, seed, storm.clone(), ArrivalIndex::Calendar);
+        let btree = run(protocol, seed, storm, ArrivalIndex::BTree);
+        prop_assert_eq!(
+            fingerprint(&cal),
+            fingerprint(&btree),
+            "protocol {} storm seed {}",
+            protocol, storm_seed
+        );
+    }
+}

@@ -1,0 +1,651 @@
+//! A calendar-indexed ordered map: the ladder shape as an index.
+//!
+//! [`CalendarIndex`] maps `(time, seq)` keys to `u32` slot handles with
+//! the same Top/rungs/Bottom structure the event queue's `Ladder` core
+//! uses (shared machinery in `crate::ladder`), but extended with the
+//! three operations an *inbound message* index needs beyond push/pop:
+//! ordered scans (`first_key` / `next_key_after`), arbitrary `remove` by
+//! key, and range sweeps (`purge_from`). The engine's per-worker
+//! `ArrivalQueue` runs on it, with a `BTreeMap` index kept as the
+//! config-selectable equivalence oracle.
+//!
+//! Cost shape: the hot operations — `insert` of a near- or far-future
+//! key and `pop_first_due` of a due key — are O(1) amortized, exactly
+//! like the event queue. The ordered-scan and removal operations only
+//! run on cold paths (determinant replay, blocked-channel stashing,
+//! sender-failure purges) and cost a bucket scan: every region of the
+//! structure is located by mirroring the insert predicates, so a key is
+//! found precisely where `insert` filed it.
+//!
+//! Unlike the event queue's `Ladder`, Bottom is a *descending-sorted
+//! vector* rather than a binary heap: the earliest key sits at the end,
+//! so due pops are `Vec::pop`, ordered peeks are `last()`, and successor
+//! queries are a binary search — all impossible on a heap — while
+//! inserts below every rung pay a bounded memmove (Bottom overflow
+//! re-buckets past `BOTTOM_SPAWN` entries, as in the queue).
+
+use crate::ladder::{
+    new_rung, recycle, Entry, Key, Rung, BOTTOM_SPAWN, BOTTOM_THRESH, MAX_BUCKETS,
+};
+use crate::time::SimTime;
+
+/// An ordered `(time, seq) → u32` map with ladder-queue performance on
+/// the near-future-skewed insert/pop pattern. Keys must be unique
+/// (checked in debug builds); values are opaque slot handles.
+#[derive(Debug, Default)]
+pub struct CalendarIndex {
+    /// Earliest region, sorted descending (earliest key last).
+    bottom: Vec<Entry>,
+    rungs: Vec<Rung>, // outermost first, innermost last
+    top: Vec<Entry>,  // unsorted, times ≥ top_floor
+    top_floor: SimTime,
+    top_min: SimTime,
+    top_max: SimTime,
+    count: usize,
+    /// Recycled bucket vectors (capacity reuse across spawns and runs).
+    pool: Vec<Vec<Entry>>,
+}
+
+impl CalendarIndex {
+    pub fn new() -> Self {
+        Self {
+            bottom: Vec::new(),
+            rungs: Vec::new(),
+            top: Vec::new(),
+            top_floor: 0,
+            top_min: SimTime::MAX,
+            top_max: 0,
+            count: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Drop all entries, keeping every allocation for reuse.
+    pub fn clear(&mut self) {
+        self.bottom.clear();
+        self.top.clear();
+        self.top_floor = 0;
+        self.top_min = SimTime::MAX;
+        self.top_max = 0;
+        self.count = 0;
+        let rungs = std::mem::take(&mut self.rungs);
+        for r in rungs {
+            recycle(&mut self.pool, r.buckets);
+        }
+    }
+
+    pub fn insert(&mut self, key: (SimTime, u64), slot: u32) {
+        let key = Key {
+            time: key.0,
+            seq: key.1,
+        };
+        debug_assert!(
+            self.locate(key).is_none(),
+            "duplicate queue key ({}, {})",
+            key.time,
+            key.seq
+        );
+        self.count += 1;
+        if self.count == 1 {
+            // Empty map: restart the ladder at this key's time so the
+            // steady drain-refill cycle never leaves inserts stranded in
+            // a stale range (everything funnels through Top again).
+            self.top_floor = key.time;
+            self.top_min = key.time;
+            self.top_max = key.time;
+            self.top.push((key, slot));
+            return;
+        }
+        if key.time >= self.top_floor {
+            self.top_min = self.top_min.min(key.time);
+            self.top_max = self.top_max.max(key.time);
+            self.top.push((key, slot));
+            return;
+        }
+        for r in &mut self.rungs {
+            if key.time >= r.cur_start() {
+                r.insert(key, slot);
+                return;
+            }
+        }
+        // Below every structured range: sorted insert into Bottom
+        // (descending, so the earliest key stays at the end).
+        let idx = self.bottom.partition_point(|&(k, _)| k > key);
+        self.bottom.insert(idx, (key, slot));
+        if self.bottom.len() > BOTTOM_SPAWN {
+            self.spawn_from_bottom();
+        }
+    }
+
+    /// The earliest key, without removing it.
+    ///
+    /// `&mut`: peeking restructures lazily (the front chunk is pulled
+    /// down into Bottom exactly as a pop would), which is what keeps the
+    /// amortized bound — a read-only scan would re-walk a bucket per
+    /// call.
+    pub fn first_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.bottom.is_empty() {
+            if self.count == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        self.bottom.last().map(|&(k, _)| (k.time, k.seq))
+    }
+
+    /// The earliest entry (key and slot), without removing it.
+    pub fn first(&mut self) -> Option<((SimTime, u64), u32)> {
+        if self.bottom.is_empty() {
+            if self.count == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        self.bottom.last().map(|&(k, s)| ((k.time, k.seq), s))
+    }
+
+    pub fn pop_first(&mut self) -> Option<((SimTime, u64), u32)> {
+        if self.bottom.is_empty() {
+            if self.count == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        let (k, s) = self.bottom.pop().expect("refill yields entries");
+        self.count -= 1;
+        Some(((k.time, k.seq), s))
+    }
+
+    /// Pop the earliest entry only if its time is at or before `now`.
+    pub fn pop_first_due(&mut self, now: SimTime) -> Option<((SimTime, u64), u32)> {
+        if self.bottom.is_empty() {
+            if self.count == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        let &(k, _) = self.bottom.last().expect("refill yields entries");
+        if k.time > now {
+            return None; // earliest key is still in the future
+        }
+        let (k, s) = self.bottom.pop().expect("peeked above");
+        self.count -= 1;
+        Some(((k.time, k.seq), s))
+    }
+
+    /// Remove `key`, returning its slot if present.
+    pub fn remove(&mut self, key: &(SimTime, u64)) -> Option<u32> {
+        let key = Key {
+            time: key.0,
+            seq: key.1,
+        };
+        match self.locate(key)? {
+            Region::Top(i) => {
+                // Order within Top is irrelevant (it is re-bucketed
+                // wholesale); top_min/top_max may go stale-wide, which
+                // only loosens future rung geometry, never correctness.
+                let (_, slot) = self.top.swap_remove(i);
+                self.count -= 1;
+                Some(slot)
+            }
+            Region::Rung(r, b, i) => {
+                // Bucket order is irrelevant too: a drained bucket is
+                // either heap-sorted into Bottom or re-bucketed.
+                let (_, slot) = self.rungs[r].buckets[b].swap_remove(i);
+                self.rungs[r].count -= 1;
+                self.count -= 1;
+                Some(slot)
+            }
+            Region::Bottom(i) => {
+                // Bottom must stay sorted: ordered removal (≤ BOTTOM_SPAWN
+                // entries of memmove, cold path only).
+                let (_, slot) = self.bottom.remove(i);
+                self.count -= 1;
+                Some(slot)
+            }
+        }
+    }
+
+    /// The slot stored under `key`, if present. Read-only scan.
+    pub fn get(&self, key: &(SimTime, u64)) -> Option<u32> {
+        let key = Key {
+            time: key.0,
+            seq: key.1,
+        };
+        match self.locate(key)? {
+            Region::Top(i) => Some(self.top[i].1),
+            Region::Rung(r, b, i) => Some(self.rungs[r].buckets[b][i].1),
+            Region::Bottom(i) => Some(self.bottom[i].1),
+        }
+    }
+
+    /// The smallest key strictly greater than `prev` (ordered-scan
+    /// cursor). Read-only: walks the regions earliest-first — Bottom,
+    /// then rungs innermost to outermost, then Top — and each region's
+    /// range is strictly before the next one's, so the first hit wins.
+    pub fn next_key_after(&self, prev: (SimTime, u64)) -> Option<(SimTime, u64)> {
+        let prev = Key {
+            time: prev.0,
+            seq: prev.1,
+        };
+        // Bottom is descending: the successor sits just before the first
+        // element ≤ prev.
+        let i = self.bottom.partition_point(|&(k, _)| k > prev);
+        if i > 0 {
+            let k = self.bottom[i - 1].0;
+            return Some((k.time, k.seq));
+        }
+        for r in self.rungs.iter().rev() {
+            if r.count == 0 {
+                continue;
+            }
+            // Buckets cover ascending disjoint ranges: the first bucket
+            // holding any key > prev holds the regional successor.
+            for b in &r.buckets[r.cur..] {
+                if let Some(k) = b.iter().map(|&(k, _)| k).filter(|k| *k > prev).min() {
+                    return Some((k.time, k.seq));
+                }
+            }
+        }
+        self.top
+            .iter()
+            .map(|&(k, _)| k)
+            .filter(|k| *k > prev)
+            .min()
+            .map(|k| (k.time, k.seq))
+    }
+
+    /// Visit every entry with `time ≥ now`; entries for which `kill`
+    /// returns true are removed in place (no scratch allocation). Call
+    /// order within the sweep is structural, not key order — callers'
+    /// predicates must not depend on visit order.
+    pub fn purge_from(&mut self, now: SimTime, mut kill: impl FnMut((SimTime, u64), u32) -> bool) {
+        let mut removed = 0usize;
+        self.top.retain(|&(k, s)| {
+            let dead = k.time >= now && kill((k.time, k.seq), s);
+            removed += dead as usize;
+            !dead
+        });
+        for r in &mut self.rungs {
+            if r.count == 0 {
+                continue;
+            }
+            let mut r_removed = 0usize;
+            for b in r.buckets[r.cur..].iter_mut() {
+                b.retain(|&(k, s)| {
+                    let dead = k.time >= now && kill((k.time, k.seq), s);
+                    r_removed += dead as usize;
+                    !dead
+                });
+            }
+            r.count -= r_removed;
+            removed += r_removed;
+        }
+        // `retain` keeps relative order, so Bottom stays sorted.
+        self.bottom.retain(|&(k, s)| {
+            let dead = k.time >= now && kill((k.time, k.seq), s);
+            removed += dead as usize;
+            !dead
+        });
+        self.count -= removed;
+    }
+
+    /// Bottom overflow: re-bucket the whole Bottom into a fresh innermost
+    /// rung so subsequent near-now inserts become O(1) bucket appends
+    /// again. Skipped when the keys are too dense to split (average
+    /// spacing under 2 ns) — a sorted array is already optimal there.
+    fn spawn_from_bottom(&mut self) {
+        let end = match self.rungs.last() {
+            Some(r) => r.cur_start(),
+            None => self.top_floor,
+        };
+        let start = self.bottom.last().expect("overflowing Bottom").0.time;
+        if end <= start || (end - start) < 2 * self.bottom.len() as SimTime {
+            return;
+        }
+        let n = self.bottom.len();
+        let mut rung = new_rung(&mut self.pool, start, end - start, n);
+        for (key, slot) in self.bottom.drain(..) {
+            rung.insert(key, slot);
+        }
+        self.rungs.push(rung);
+    }
+
+    /// Move the earliest chunk of keys into Bottom (sorted). Called with
+    /// Bottom empty and `count > 0`. Mirrors the event queue's refill,
+    /// except the drained chunk is sorted instead of heapified.
+    fn refill(&mut self) {
+        loop {
+            // Innermost rung first; pop rungs drained by pops *or* removals.
+            while let Some(i) = self.rungs.len().checked_sub(1) {
+                {
+                    let r = &mut self.rungs[i];
+                    while r.cur < r.buckets.len() && r.buckets[r.cur].is_empty() {
+                        r.cur += 1;
+                    }
+                    if r.count > 0 && r.cur < r.buckets.len() {
+                        break;
+                    }
+                }
+                let r = self.rungs.pop().expect("indexed above");
+                recycle(&mut self.pool, r.buckets);
+            }
+            if let Some(i) = self.rungs.len().checked_sub(1) {
+                let (len, width) = {
+                    let r = &self.rungs[i];
+                    (r.buckets[r.cur].len(), r.width)
+                };
+                if len <= BOTTOM_THRESH || width <= 1 {
+                    // Sort this bucket into Bottom and consume it (the
+                    // bucket vector keeps its capacity).
+                    let r = &mut self.rungs[i];
+                    self.bottom.append(&mut r.buckets[r.cur]);
+                    r.cur += 1;
+                    r.count -= len;
+                    self.bottom.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+                    return;
+                }
+                // Over-full bucket: spawn a finer rung covering its span.
+                let (start, span, mut items) = {
+                    let r = &mut self.rungs[i];
+                    let start = r.cur_start();
+                    let items = std::mem::replace(
+                        &mut r.buckets[r.cur],
+                        self.pool.pop().unwrap_or_default(),
+                    );
+                    r.cur += 1;
+                    r.count -= len;
+                    (start, r.width, items)
+                };
+                let mut child = new_rung(&mut self.pool, start, span, len);
+                for (key, slot) in items.drain(..) {
+                    child.insert(key, slot);
+                }
+                if self.pool.len() < MAX_BUCKETS * 4 {
+                    self.pool.push(items);
+                }
+                self.rungs.push(child);
+                continue;
+            }
+            // No rungs left: everything pending sits in Top.
+            debug_assert!(!self.top.is_empty(), "count > 0 with empty structures");
+            self.top_floor = self.top_max + 1;
+            if self.top.len() <= BOTTOM_THRESH {
+                self.bottom.append(&mut self.top);
+                self.bottom.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+                self.top_min = SimTime::MAX;
+                self.top_max = 0;
+                return;
+            }
+            let start = self.top_min;
+            let span = self.top_max - self.top_min + 1;
+            let n = self.top.len();
+            let mut rung = new_rung(&mut self.pool, start, span, n);
+            let mut top = std::mem::take(&mut self.top);
+            for (key, slot) in top.drain(..) {
+                rung.insert(key, slot);
+            }
+            self.top = top; // keep the capacity
+            self.top_min = SimTime::MAX;
+            self.top_max = 0;
+            debug_assert!(self.rungs.is_empty());
+            self.rungs.push(rung);
+        }
+    }
+
+    /// Find `key`'s position by mirroring `insert`'s region predicates
+    /// exactly: Top for `time ≥ top_floor`, else the outermost rung whose
+    /// consumed front lies at or before `time`, else Bottom. The region
+    /// boundaries only move in directions that keep old placements
+    /// consistent with these predicates (rung fronts advance; `top_floor`
+    /// rises only when Top is re-bucketed away, and falls only when the
+    /// map is empty), so a present key is always found.
+    fn locate(&self, key: Key) -> Option<Region> {
+        if self.count == 0 {
+            return None;
+        }
+        if key.time >= self.top_floor {
+            let i = self.top.iter().position(|&(k, _)| k == key)?;
+            return Some(Region::Top(i));
+        }
+        for (ri, r) in self.rungs.iter().enumerate() {
+            if key.time >= r.cur_start() {
+                let b = r.bucket_of(key.time);
+                let i = r.buckets[b].iter().position(|&(k, _)| k == key)?;
+                return Some(Region::Rung(ri, b, i));
+            }
+        }
+        let i = self.bottom.partition_point(|&(k, _)| k > key);
+        (self.bottom.get(i).map(|&(k, _)| k) == Some(key)).then_some(Region::Bottom(i))
+    }
+}
+
+/// Where `locate` found a key: index within Top, `(rung, bucket, index)`
+/// within the rungs, or index within Bottom.
+enum Region {
+    Top(usize),
+    Rung(usize, usize, usize),
+    Bottom(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn keys(n: u64, f: impl Fn(u64) -> SimTime) -> Vec<(SimTime, u64)> {
+        (0..n).map(|i| (f(i), i)).collect()
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut c = CalendarIndex::new();
+        for &(t, s) in &[(30, 2), (10, 0), (20, 1), (10, 5)] {
+            c.insert((t, s), s as u32);
+        }
+        assert_eq!(c.pop_first(), Some(((10, 0), 0)));
+        assert_eq!(c.pop_first(), Some(((10, 5), 5)));
+        assert_eq!(c.pop_first(), Some(((20, 1), 1)));
+        assert_eq!(c.pop_first(), Some(((30, 2), 2)));
+        assert_eq!(c.pop_first(), None);
+    }
+
+    #[test]
+    fn pop_first_due_gates_on_time() {
+        let mut c = CalendarIndex::new();
+        c.insert((100, 0), 0);
+        c.insert((50, 1), 1);
+        assert_eq!(c.pop_first_due(49), None);
+        assert_eq!(c.pop_first_due(50), Some(((50, 1), 1)));
+        assert_eq!(c.pop_first_due(99), None);
+        assert_eq!(c.first_key(), Some((100, 0)));
+        assert_eq!(c.pop_first_due(100), Some(((100, 0), 0)));
+        assert_eq!(c.pop_first_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn remove_and_get_across_regions() {
+        // Enough spread that refill builds rungs, then hit every region.
+        let mut c = CalendarIndex::new();
+        for (t, s) in keys(300, |i| 1_000 + i * 97) {
+            c.insert((t, s), s as u32);
+        }
+        c.pop_first(); // forces rungs + a populated Bottom
+                       // Far-future insert lands in Top.
+        c.insert((10_000_000, 999), 999);
+        for probe in [(1_097u64, 1u64), (1_000 + 150 * 97, 150), (10_000_000, 999)] {
+            assert_eq!(c.get(&probe), Some(probe.1 as u32), "{probe:?}");
+        }
+        assert_eq!(c.get(&(1_097, 2)), None); // right time, wrong seq
+        assert_eq!(c.remove(&(1_097, 1)), Some(1));
+        assert_eq!(c.get(&(1_097, 1)), None);
+        assert_eq!(c.remove(&(1_097, 1)), None);
+        assert_eq!(c.remove(&(10_000_000, 999)), Some(999));
+        assert_eq!(c.len(), 298);
+    }
+
+    #[test]
+    fn next_key_after_walks_all_regions() {
+        let mut c = CalendarIndex::new();
+        let mut oracle = BTreeMap::new();
+        for (t, s) in keys(500, |i| (i * 37) % 7_001 * 1_000) {
+            c.insert((t, s), s as u32);
+            oracle.insert((t, s), s as u32);
+        }
+        c.pop_first();
+        c.insert((3, 777), 777); // below everything: Bottom
+        oracle.insert((3, 777), 777);
+        let popped = *oracle.first_key_value().unwrap().0;
+        oracle.remove(&popped);
+        let mut cursor = None;
+        loop {
+            let next = match cursor {
+                None => c.first_key(),
+                Some(prev) => c.next_key_after(prev),
+            };
+            let expect = match cursor {
+                None => oracle.first_key_value().map(|(&k, _)| k),
+                Some(prev) => oracle
+                    .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
+                    .next()
+                    .map(|(&k, _)| k),
+            };
+            assert_eq!(next, expect, "cursor {cursor:?}");
+            match next {
+                Some(k) => cursor = Some(k),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn purge_removes_matching_future_entries_in_place() {
+        let mut c = CalendarIndex::new();
+        for (t, s) in keys(400, |i| i * 53) {
+            c.insert((t, s), s as u32);
+        }
+        c.pop_first(); // structure the ladder
+        let cutoff = 150 * 53;
+        // Kill odd slots at or past the cutoff.
+        c.purge_from(cutoff, |_, slot| slot % 2 == 1);
+        let mut seen = Vec::new();
+        while let Some((k, s)) = c.pop_first() {
+            seen.push((k, s));
+        }
+        for (k, s) in seen {
+            assert!(k.0 < cutoff || s % 2 == 0, "({k:?}, {s}) survived wrongly");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_working_like_fresh() {
+        let mut c = CalendarIndex::new();
+        for (t, s) in keys(1_000, |i| i * 11) {
+            c.insert((t, s), s as u32);
+        }
+        c.pop_first();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.pop_first(), None);
+        c.insert((7, 1), 1);
+        c.insert((7, 2), 2);
+        assert_eq!(c.first_key(), Some((7, 1)));
+        assert_eq!(c.pop_first(), Some(((7, 1), 1)));
+        assert_eq!(c.pop_first(), Some(((7, 2), 2)));
+    }
+
+    #[test]
+    fn mixed_ops_against_btree_oracle() {
+        // Deterministic pseudo-random interleaving of every operation.
+        let mut c = CalendarIndex::new();
+        let mut oracle: BTreeMap<(SimTime, u64), u32> = BTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        let mut live: Vec<(SimTime, u64)> = Vec::new();
+        for step in 0..30_000u64 {
+            match rng() % 10 {
+                0..=4 => {
+                    let delta = match rng() % 10 {
+                        0 => 0,
+                        1..=7 => rng() % 1_000,
+                        8 => rng() % 100_000,
+                        _ => 1_000_000 + rng() % 1_000_000,
+                    };
+                    let key = (now + delta, step);
+                    c.insert(key, step as u32);
+                    oracle.insert(key, step as u32);
+                    live.push(key);
+                }
+                5 | 6 => {
+                    let a = c.pop_first_due(now + 500);
+                    let b = match oracle.first_key_value() {
+                        Some((&k, &v)) if k.0 <= now + 500 => {
+                            oracle.remove(&k);
+                            Some((k, v))
+                        }
+                        _ => None,
+                    };
+                    assert_eq!(a, b, "pop_first_due diverged at step {step}");
+                    if let Some((k, _)) = a {
+                        now = now.max(k.0);
+                        live.retain(|x| *x != k);
+                    }
+                }
+                7 => {
+                    if !live.is_empty() {
+                        let k = live[(rng() % live.len() as u64) as usize];
+                        assert_eq!(c.remove(&k), oracle.remove(&k), "remove {k:?}");
+                        live.retain(|x| *x != k);
+                    }
+                }
+                8 => {
+                    if !live.is_empty() {
+                        let k = live[(rng() % live.len() as u64) as usize];
+                        assert_eq!(c.get(&k), oracle.get(&k).copied(), "get {k:?}");
+                        let miss = (k.0, u64::MAX);
+                        assert_eq!(c.get(&miss), None);
+                        assert_eq!(c.next_key_after(k), {
+                            oracle
+                                .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                                .next()
+                                .map(|(&kk, _)| kk)
+                        });
+                    }
+                }
+                _ => {
+                    let cut = now + rng() % 1_000_000;
+                    c.purge_from(cut, |k, _| k.1 % 3 == 0);
+                    let dead: Vec<_> = oracle
+                        .range((cut, 0)..)
+                        .filter(|(k, _)| k.1 % 3 == 0)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    for k in dead {
+                        oracle.remove(&k);
+                        live.retain(|x| *x != k);
+                    }
+                }
+            }
+            assert_eq!(c.len(), oracle.len(), "len diverged at step {step}");
+        }
+        while let Some((k, v)) = c.pop_first() {
+            let (ok, ov) = oracle.pop_first().expect("oracle shorter");
+            assert_eq!((k, v), (ok, ov));
+        }
+        assert!(oracle.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Machinery shared by the ladder-shaped ordering structures.
+//!
+//! The [`crate::queue::EventQueue`]'s `Ladder` core and the
+//! [`crate::calendar::CalendarIndex`] ordered map are the same
+//! Top/rungs/Bottom shape (Tang & Goh's ladder queue): far-future keys
+//! accumulate unsorted in *Top*, get spread over rungs of time buckets on
+//! demand (over-full buckets re-bucketed recursively into finer rungs),
+//! and the front bucket drains into a small *Bottom* that serves pops.
+//! This module holds the pieces both structures share — the `(time, seq)`
+//! key, the 24-byte `(key, slot)` entry the structures shuffle instead of
+//! payloads, the rung geometry, and the bucket-vector pool discipline —
+//! so the two cores cannot drift apart on the invariants that make their
+//! pop order exact.
+
+use crate::time::SimTime;
+
+/// Bucket chunks at or below this size are sorted straight into Bottom
+/// instead of being re-bucketed; Bottom inserts stay O(this).
+pub(crate) const BOTTOM_THRESH: usize = 48;
+/// Bottom size beyond which pushes re-bucket the near-now region into a
+/// fresh innermost rung (Tang's Bottom-overflow rule). Without it the
+/// engine's dominant pattern — pushes a few microseconds past `now`
+/// under a rung whose buckets span milliseconds (timers stretch the
+/// ladder) — degenerates into O(|Bottom|) sorted-vector inserts.
+pub(crate) const BOTTOM_SPAWN: usize = 96;
+/// Cap on the bucket count of one rung (bounds per-rung memory).
+pub(crate) const MAX_BUCKETS: usize = 1024;
+
+/// Total order of the ladder structures: time, then insertion sequence
+/// (FIFO within an instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Key {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+}
+
+/// `(key, slot)` — what the ordering structures shuffle around.
+pub(crate) type Entry = (Key, u32);
+
+/// One rung: `buckets` of `width` ns each, covering
+/// `[start, start + width × buckets.len())`, with everything before
+/// bucket `cur` already consumed. The last bucket is clamped, so keys
+/// past the nominal span still land (and are found) there.
+#[derive(Debug)]
+pub(crate) struct Rung {
+    pub(crate) start: SimTime,
+    pub(crate) width: SimTime, // ≥ 1
+    pub(crate) cur: usize,     // buckets before this are consumed
+    pub(crate) count: usize,
+    pub(crate) buckets: Vec<Vec<Entry>>,
+}
+
+impl Rung {
+    pub(crate) fn cur_start(&self) -> SimTime {
+        self.start + self.cur as SimTime * self.width
+    }
+
+    /// The bucket a key of `time` belongs to (insert and lookup must
+    /// agree on this, clamp included).
+    pub(crate) fn bucket_of(&self, time: SimTime) -> usize {
+        (((time - self.start) / self.width) as usize).min(self.buckets.len() - 1)
+    }
+
+    pub(crate) fn insert(&mut self, key: Key, slot: u32) {
+        let idx = self.bucket_of(key.time);
+        self.buckets[idx].push((key, slot));
+        self.count += 1;
+    }
+}
+
+/// A rung of ~`events` buckets covering `[start, start + span)`, drawing
+/// bucket vectors from `pool`.
+pub(crate) fn new_rung(
+    pool: &mut Vec<Vec<Entry>>,
+    start: SimTime,
+    span: SimTime,
+    events: usize,
+) -> Rung {
+    let nb = events.clamp(2, MAX_BUCKETS) as SimTime;
+    // Ceil so nb buckets always cover the span — flooring here would
+    // overshoot the MAX_BUCKETS cap when the recount divides span up.
+    let width = span.div_ceil(nb).max(1);
+    let nb = (span.div_ceil(width)) as usize;
+    let mut buckets = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        buckets.push(pool.pop().unwrap_or_default());
+    }
+    Rung {
+        start,
+        width,
+        cur: 0,
+        count: 0,
+        buckets,
+    }
+}
+
+/// Return a retired rung's bucket vectors to `pool` (bounded).
+pub(crate) fn recycle(pool: &mut Vec<Vec<Entry>>, buckets: Vec<Vec<Entry>>) {
+    for mut b in buckets {
+        if pool.len() >= MAX_BUCKETS * 4 {
+            break;
+        }
+        b.clear();
+        pool.push(b);
+    }
+}

@@ -10,11 +10,14 @@
 //! the same configuration and seed produce bit-identical traces, which the
 //! test suite asserts.
 
+pub mod calendar;
 pub mod cost;
+mod ladder;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use calendar::CalendarIndex;
 pub use cost::CostModel;
 pub use queue::{EventQueue, QueueBackend};
 pub use rng::{derive_seed, SimRng};

@@ -26,6 +26,9 @@
 //! `(key, slot)` entries through the ordering structure, so rebucketing
 //! never copies event payloads.
 
+use crate::ladder::{
+    new_rung, recycle, Entry, Key, Rung, BOTTOM_SPAWN, BOTTOM_THRESH, MAX_BUCKETS,
+};
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,15 +44,6 @@ pub enum QueueBackend {
     /// equivalence oracle.
     Heap,
 }
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    time: SimTime,
-    seq: u64,
-}
-
-/// `(key, slot)` — what the ordering structures shuffle around.
-type Entry = (Key, u32);
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 #[derive(Debug)]
@@ -169,19 +163,9 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Bucket chunks at or below this size are sorted straight into Bottom
-/// instead of being re-bucketed; Bottom inserts stay O(this).
-const BOTTOM_THRESH: usize = 48;
-/// Bottom size beyond which pushes re-bucket the near-now region into a
-/// fresh innermost rung (Tang's Bottom-overflow rule). Without it the
-/// engine's dominant pattern — pushes a few microseconds past `now`
-/// under a rung whose buckets span milliseconds (timers stretch the
-/// ladder) — degenerates into O(|Bottom|) sorted-vector inserts.
-const BOTTOM_SPAWN: usize = 96;
-/// Cap on the bucket count of one rung (bounds per-rung memory).
-const MAX_BUCKETS: usize = 1024;
-
-/// The ladder core. Ranges, earliest to latest:
+/// The ladder core (geometry and constants shared with
+/// [`crate::calendar::CalendarIndex`] via `crate::ladder`). Ranges,
+/// earliest to latest:
 /// `bottom` (a small min-heap, serves pops) < innermost rung < … <
 /// outermost rung < `top` (unsorted, times ≥ `top_floor`).
 ///
@@ -210,27 +194,6 @@ struct Ladder {
     pool: Vec<Vec<Entry>>,
 }
 
-#[derive(Debug)]
-struct Rung {
-    start: SimTime,
-    width: SimTime, // ≥ 1
-    cur: usize,     // buckets before this are consumed
-    count: usize,
-    buckets: Vec<Vec<Entry>>,
-}
-
-impl Rung {
-    fn cur_start(&self) -> SimTime {
-        self.start + self.cur as SimTime * self.width
-    }
-
-    fn insert(&mut self, key: Key, slot: u32) {
-        let idx = (((key.time - self.start) / self.width) as usize).min(self.buckets.len() - 1);
-        self.buckets[idx].push((key, slot));
-        self.count += 1;
-    }
-}
-
 impl Ladder {
     fn new() -> Self {
         Self {
@@ -254,17 +217,7 @@ impl Ladder {
         self.count = 0;
         let rungs = std::mem::take(&mut self.rungs);
         for r in rungs {
-            self.recycle(r.buckets);
-        }
-    }
-
-    fn recycle(&mut self, buckets: Vec<Vec<Entry>>) {
-        for mut b in buckets {
-            if self.pool.len() >= MAX_BUCKETS * 4 {
-                break;
-            }
-            b.clear();
-            self.pool.push(b);
+            recycle(&mut self.pool, r.buckets);
         }
     }
 
@@ -313,7 +266,7 @@ impl Ladder {
             return;
         }
         let n = self.bottom.len();
-        let mut rung = self.new_rung(start, end - start, n);
+        let mut rung = new_rung(&mut self.pool, start, end - start, n);
         for Reverse((key, slot)) in self.bottom.drain() {
             rung.insert(key, slot);
         }
@@ -350,7 +303,7 @@ impl Ladder {
                     }
                 }
                 let r = self.rungs.pop().expect("indexed above");
-                self.recycle(r.buckets);
+                recycle(&mut self.pool, r.buckets);
             }
             if let Some(i) = self.rungs.len().checked_sub(1) {
                 let (len, width) = {
@@ -378,7 +331,7 @@ impl Ladder {
                     r.count -= len;
                     (start, r.width, items)
                 };
-                let mut child = self.new_rung(start, span, len);
+                let mut child = new_rung(&mut self.pool, start, span, len);
                 for (key, slot) in items.drain(..) {
                     child.insert(key, slot);
                 }
@@ -400,7 +353,7 @@ impl Ladder {
             let start = self.top_min;
             let span = self.top_max - self.top_min + 1;
             let n = self.top.len();
-            let mut rung = self.new_rung(start, span, n);
+            let mut rung = new_rung(&mut self.pool, start, span, n);
             let mut top = std::mem::take(&mut self.top);
             for (key, slot) in top.drain(..) {
                 rung.insert(key, slot);
@@ -410,27 +363,6 @@ impl Ladder {
             self.top_max = 0;
             debug_assert!(self.rungs.is_empty());
             self.rungs.push(rung);
-        }
-    }
-
-    /// A rung of ~`events` buckets covering `[start, start + span)`,
-    /// drawing bucket vectors from the pool.
-    fn new_rung(&mut self, start: SimTime, span: SimTime, events: usize) -> Rung {
-        let nb = events.clamp(2, MAX_BUCKETS) as SimTime;
-        // Ceil so nb buckets always cover the span — flooring here would
-        // overshoot the MAX_BUCKETS cap when the recount divides span up.
-        let width = span.div_ceil(nb).max(1);
-        let nb = (span.div_ceil(width)) as usize;
-        let mut buckets = Vec::with_capacity(nb);
-        for _ in 0..nb {
-            buckets.push(self.pool.pop().unwrap_or_default());
-        }
-        Rung {
-            start,
-            width,
-            cur: 0,
-            count: 0,
-            buckets,
         }
     }
 
